@@ -1,0 +1,649 @@
+// Benchmark harness: one testing.B benchmark per experiment in
+// DESIGN.md §4 — every paper figure/table (F1, F2, T1, F4) plus the
+// quantified prose claims (C1–C7) and ablations (A1–A3). Paper-vs-
+// measured commentary lives in EXPERIMENTS.md; `go run ./cmd/paperbench
+// -all` prints the same artifacts as formatted text.
+package timedmedia_test
+
+import (
+	"fmt"
+	"testing"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/codec"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/music"
+	"timedmedia/internal/player"
+	"timedmedia/internal/stream"
+	"timedmedia/internal/timebase"
+)
+
+// ---------------------------------------------------------------- F1
+
+// BenchmarkF1Classify measures Figure 1's category computation over a
+// second of CD audio elements.
+func BenchmarkF1Classify(b *testing.B) {
+	elems := make([]stream.Element, 44100)
+	for i := range elems {
+		elems[i] = stream.Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	s, err := stream.New(media.CDAudioType(), elems)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Classify().Has(stream.Uniform) {
+			b.Fatal("CD audio must classify uniform")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- F2
+
+func fig2Interp(b *testing.B, seconds float64) (*interp.Interpretation, blob.Store) {
+	b.Helper()
+	store := blob.NewMemStore()
+	it, err := fixtures.Figure2(store, seconds, 160, 120, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return it, store
+}
+
+// BenchmarkF2ElementLookup measures time-indexed element access into
+// the Figure 2 interpretation.
+func BenchmarkF2ElementLookup(b *testing.B) {
+	it, _ := fig2Interp(b, 4)
+	tr := it.MustTrack("audio1")
+	_, span := tr.Stream().Span()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.ElementAt(int64(i) % span); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkF2InterleavedDemux measures reading both tracks of the
+// interleaved BLOB in presentation order (the playback access
+// pattern).
+func BenchmarkF2InterleavedDemux(b *testing.B) {
+	it, _ := fig2Interp(b, 2)
+	v := it.MustTrack("video1")
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		for e := 0; e < v.Len(); e++ {
+			vb, err := it.Payload("video1", e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ab, err := it.Payload("audio1", e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes += int64(len(vb) + len(ab))
+		}
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// ---------------------------------------------------------------- T1
+
+func benchDerivation(b *testing.B, op string, inputs []*derive.Value, params []byte) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.Apply(op, inputs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1ColorSeparation is Table 1 row 1: image → image.
+func BenchmarkT1ColorSeparation(b *testing.B) {
+	img := derive.ImageValue(frame.Generator{W: 320, H: 240, Seed: 3}.Frame(0))
+	benchDerivation(b, "color-separation", []*derive.Value{img},
+		derive.EncodeParams(derive.SeparationParams{UCR: 1, InkLimit: 3.2}))
+}
+
+// BenchmarkT1AudioNormalize is Table 1 row 2: audio → audio.
+func BenchmarkT1AudioNormalize(b *testing.B) {
+	quiet := fixtures.Tone(1, 440)
+	quiet.Audio.Gain(0.2)
+	benchDerivation(b, "audio-normalize", []*derive.Value{quiet},
+		derive.EncodeParams(derive.NormalizeParams{TargetPeak: 0.95}))
+}
+
+// BenchmarkT1VideoEdit is Table 1 row 3: video → video (timing).
+func BenchmarkT1VideoEdit(b *testing.B) {
+	vid := fixtures.Video(100, 160, 120, 11)
+	benchDerivation(b, "video-edit", []*derive.Value{vid},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{
+			{Input: 0, From: 50, To: 100}, {Input: 0, From: 0, To: 50}}}))
+}
+
+// BenchmarkT1VideoTransition is Table 1 row 4: video ×2 → video.
+func BenchmarkT1VideoTransition(b *testing.B) {
+	a := fixtures.Video(25, 160, 120, 11)
+	c := fixtures.Video(25, 160, 120, 23)
+	benchDerivation(b, "video-transition", []*derive.Value{a, c},
+		derive.EncodeParams(derive.TransitionParams{Type: "fade", Dur: 25}))
+}
+
+// BenchmarkT1MIDISynthesis is Table 1 row 5: music → audio (type).
+func BenchmarkT1MIDISynthesis(b *testing.B) {
+	score := derive.MusicValue(music.Scale(60, 8, 0))
+	benchDerivation(b, "midi-synthesis", []*derive.Value{score},
+		derive.EncodeParams(derive.SynthesisParams{TempoBPM: 240, Channels: 1}))
+}
+
+// ---------------------------------------------------------------- F4
+
+// BenchmarkF4Pipeline builds the Figure 4 production pipeline (capture,
+// cuts, fade, concat, composition) and expands the final video.
+func BenchmarkF4Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := fixtures.NewMemDB()
+		m, err := fixtures.Figure4(db, 32, 48, 36)
+		if err != nil {
+			b.Fatal(err)
+		}
+		video3, err := db.Lookup("video3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Expand(video3.ID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.BuildMultimedia(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- C1
+
+// BenchmarkC1DerivationFootprint reports the storage ratio between a
+// derived video and its derivation object.
+func BenchmarkC1DerivationFootprint(b *testing.B) {
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("clip", fixtures.Video(250, 160, 120, 5), catalog.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cut, err := db.AddDerived(fmt.Sprintf("cut%d", i), "video-edit", []core.ID{id},
+			derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 25, To: 225}}}), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, _ := db.Get(cut)
+		v, err := db.Expand(cut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var expanded int
+		for _, f := range v.Video {
+			expanded += len(f.Pix)
+		}
+		ratio = float64(expanded) / float64(obj.Derivation.SizeBytes())
+	}
+	b.ReportMetric(ratio, "expanded/derivation-bytes")
+}
+
+// ---------------------------------------------------------------- C2
+
+// BenchmarkC2EditListDelete measures the non-destructive delete.
+func BenchmarkC2EditListDelete(b *testing.B) {
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("clip", fixtures.Video(500, 160, 120, 6), catalog.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{
+		{Input: 0, From: 0, To: 100}, {Input: 0, From: 400, To: 500}}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.AddDerived(fmt.Sprintf("del%d", i), "video-edit", []core.ID{id}, params, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC2CopyDelete measures the copy-reassemble baseline.
+func BenchmarkC2CopyDelete(b *testing.B) {
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("clip", fixtures.Video(500, 160, 120, 6), catalog.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, _ := db.Get(id)
+	it, _ := db.Interpretation(obj.Blob)
+	typ := media.PALVideoType(160, 120, media.QualityVHS, media.EncodingVJPG)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nid, nb, err := db.Store().Create()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bu := interp.NewBuilder(nid, nb).AddTrack("video", typ, typ.NewDescriptor(200))
+		out := 0
+		for e := 0; e < 500; e++ {
+			if e >= 100 && e < 400 {
+				continue
+			}
+			payload, err := it.Payload(obj.Track, e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bu.Append("video", payload, int64(out), 1, media.ElementDescriptor{})
+			out++
+		}
+		if _, err := bu.Seal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- C3
+
+func multilingualBlob(b *testing.B) (*interp.Interpretation, blob.BLOB, blob.Store) {
+	b.Helper()
+	store := blob.NewMemStore()
+	id, bl, err := store.Create()
+	if err != nil {
+		b.Fatal(err)
+	}
+	aType := media.PCMBlockAudioType(1764)
+	bu := interp.NewBuilder(id, bl)
+	langs := []string{"en", "fr", "de", "it"}
+	for _, l := range langs {
+		bu.AddTrack("audio-"+l, aType, aType.NewDescriptor(1764*100))
+	}
+	payload := make([]byte, 1764*4)
+	for i := 0; i < 100; i++ {
+		for _, l := range langs {
+			bu.Append("audio-"+l, payload, int64(i)*1764, 1764, media.ElementDescriptor{})
+		}
+	}
+	it, err := bu.Seal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return it, bl, store
+}
+
+// BenchmarkC3StructuralQuery reads one language track through the
+// interpretation.
+func BenchmarkC3StructuralQuery(b *testing.B) {
+	it, _, store := multilingualBlob(b)
+	tr := it.MustTrack("audio-fr")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for e := 0; e < tr.Len(); e++ {
+			if _, err := it.Payload("audio-fr", e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	_, bytes, _, _ := store.Stats().Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes-read/op")
+}
+
+// BenchmarkC3BlobScan is the uninterpreted baseline: scan everything.
+func BenchmarkC3BlobScan(b *testing.B) {
+	_, bl, store := multilingualBlob(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.ReadSpan(0, bl.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, bytes, _, _ := store.Stats().Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes-read/op")
+}
+
+// ---------------------------------------------------------------- C4
+
+func bigStream(b *testing.B, n int) *stream.Stream {
+	b.Helper()
+	elems := make([]stream.Element, n)
+	for i := range elems {
+		elems[i] = stream.Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	s, err := stream.New(media.CDAudioType(), elems)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkC4IndexedSeek: O(log n) time-index lookups.
+func BenchmarkC4IndexedSeek(b *testing.B) {
+	s := bigStream(b, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.IndexAt(int64((i * 7919) % 200000)); !ok {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// BenchmarkC4ScanSeek: the O(n) no-index baseline.
+func BenchmarkC4ScanSeek(b *testing.B) {
+	s := bigStream(b, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64((i * 7919) % 200000)
+		found := false
+		for j := 0; j < s.Len(); j++ {
+			e := s.At(j)
+			if e.Start <= t && t < e.End() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- C5
+
+func scaledDB(b *testing.B) (*catalog.DB, *interp.Interpretation, string) {
+	b.Helper()
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("scalable", fixtures.Video(50, 160, 120, 8), catalog.IngestOptions{Layered: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, _ := db.Get(id)
+	it, _ := db.Interpretation(obj.Blob)
+	return db, it, obj.Track
+}
+
+// BenchmarkC5ScaledPlayback plays the base layer only.
+func BenchmarkC5ScaledPlayback(b *testing.B) {
+	db, it, track := scaledDB(b)
+	db.Store().Stats().Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink player.Discard
+		if _, err := player.Play(it, []string{track}, &player.VirtualClock{}, &sink, player.Options{MaxLayer: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, bytes, _, _ := db.Store().Stats().Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes-read/op")
+}
+
+// BenchmarkC5FullPlayback plays all layers.
+func BenchmarkC5FullPlayback(b *testing.B) {
+	db, it, track := scaledDB(b)
+	db.Store().Stats().Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink player.Discard
+		if _, err := player.Play(it, []string{track}, &player.VirtualClock{}, &sink, player.Options{MaxLayer: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, bytes, _, _ := db.Store().Stats().Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes-read/op")
+}
+
+// ---------------------------------------------------------------- C6
+
+// BenchmarkC6PlaybackSchedule plays composed A/V on the virtual clock
+// and reports worst-case jitter.
+func BenchmarkC6PlaybackSchedule(b *testing.B) {
+	store := blob.NewMemStore()
+	it, err := fixtures.Figure2(store, 2, 160, 120, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink player.Discard
+		rep, err := player.Play(it, nil, &player.VirtualClock{}, &sink, player.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j := rep.MaxJitter().Seconds(); j > worst {
+			worst = j
+		}
+	}
+	b.ReportMetric(worst*1e6, "max-jitter-µs")
+}
+
+// ---------------------------------------------------------------- C7
+
+// BenchmarkC7Validate measures invariant validation throughput.
+func BenchmarkC7Validate(b *testing.B) {
+	s := bigStream(b, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1_000_000)
+}
+
+// ---------------------------------------------------------------- A1
+
+// BenchmarkA1Rational measures exact tick rescaling.
+func BenchmarkA1Rational(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := timebase.Rescale(int64(i%1000000), timebase.NTSC, timebase.CDAudio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Float measures the float baseline (cheaper but drifting —
+// see paperbench -ablations for the drift measurement).
+func BenchmarkA1Float(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += float64(i%1000000) * (1001.0 / 30000.0) * 44100
+	}
+	_ = sink
+}
+
+// ---------------------------------------------------------------- A2
+
+func keyedTrack(b *testing.B) *interp.Track {
+	b.Helper()
+	store := blob.NewMemStore()
+	id, bl, err := store.Create()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ty := media.PALVideoType(8, 8, media.QualityVHS, media.EncodingVMPG)
+	bu := interp.NewBuilder(id, bl).AddTrack("v", ty, ty.NewDescriptor(20000))
+	for i := 0; i < 20000; i++ {
+		bu.Append("v", []byte{byte(i)}, int64(i), 1, media.ElementDescriptor{Key: i%250 == 0})
+	}
+	it, err := bu.Seal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return it.MustTrack("v")
+}
+
+// BenchmarkA2KeyIndex uses the sync-sample index.
+func BenchmarkA2KeyIndex(b *testing.B) {
+	tr := keyedTrack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.KeyBefore((i * 37) % 20000); !ok {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// BenchmarkA2KeyScan scans backwards for the key.
+func BenchmarkA2KeyScan(b *testing.B) {
+	tr := keyedTrack(b)
+	s := tr.Stream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := (i * 37) % 20000
+		for j := idx; j >= 0; j-- {
+			if s.At(j).Desc.Key {
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- A3
+
+// BenchmarkA3InterleavedLayout measures synchronized A/V payload reads
+// under the Figure 2 interleave.
+func BenchmarkA3InterleavedLayout(b *testing.B) {
+	store := blob.NewMemStore()
+	g := frame.Generator{W: 80, H: 60, Seed: 12}
+	frames := make([]*frame.Frame, 50)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	tone := audio.Sine(50*1764, 2, 440, 44100, 0.4)
+	it, err := player.CaptureAV(store, frames, timebase.PAL, tone, timebase.CDAudio, player.CaptureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSyncReads(b, it)
+}
+
+// BenchmarkA3SeparatedLayout measures the same reads with tracks
+// stored in disjoint regions.
+func BenchmarkA3SeparatedLayout(b *testing.B) {
+	store := blob.NewMemStore()
+	id, bl, err := store.Create()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := frame.Generator{W: 80, H: 60, Seed: 12}
+	tone := audio.Sine(50*1764, 2, 440, 44100, 0.4)
+	vType := media.PALVideoType(80, 60, media.QualityVHS, media.EncodingVJPG)
+	aType := media.PCMBlockAudioType(1764)
+	bu := interp.NewBuilder(id, bl).
+		AddTrack("video1", vType, vType.NewDescriptor(50)).
+		AddTrack("audio1", aType, aType.NewDescriptor(50*1764))
+	q := codec.QuantizerFor(media.QualityVHS)
+	for i := 0; i < 50; i++ {
+		data, err := codec.VJPGEncode(g.Frame(i), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bu.Append("video1", data, int64(i), 1, media.ElementDescriptor{})
+	}
+	for i := 0; i < 50; i++ {
+		bu.Append("audio1", codec.PCMEncode16(tone.Slice(i*1764, (i+1)*1764)), int64(i)*1764, 1764, media.ElementDescriptor{})
+	}
+	it, err := bu.Seal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSyncReads(b, it)
+}
+
+// benchSyncReads reads both tracks in presentation order and reports
+// the seek distance between consecutive reads.
+func benchSyncReads(b *testing.B, it *interp.Interpretation) {
+	v := it.MustTrack("video1")
+	a := it.MustTrack("audio1")
+	b.ResetTimer()
+	var dist int64
+	for i := 0; i < b.N; i++ {
+		var pos int64
+		dist = 0
+		for e := 0; e < v.Len(); e++ {
+			for _, tr := range []*interp.Track{v, a} {
+				pl, err := tr.Placement(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := pl.Offset - pos
+				if d < 0 {
+					d = -d
+				}
+				dist += d
+				pos = pl.End()
+				if _, err := it.Payload(tr.Name(), e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(dist), "seek-bytes/run")
+}
+
+// ---------------------------------------------------------------- A4
+
+func a4Material(b *testing.B) ([]*frame.Frame, [][]byte, []codec.VMPGPacket) {
+	b.Helper()
+	g := frame.Generator{W: 96, H: 72, Seed: 21}
+	frames := make([]*frame.Frame, 48)
+	intra := make([][]byte, 48)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+		data, err := codec.VJPGEncode(frames[i], codec.QuantizerFor(media.QualityVHS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		intra[i] = data
+	}
+	packets, err := codec.VMPGEncode(frames, codec.QuantizerFor(media.QualityVHS), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frames, intra, packets
+}
+
+// BenchmarkA4ReverseVJPG decodes intraframe video in reverse order —
+// one decode per frame, order-independent.
+func BenchmarkA4ReverseVJPG(b *testing.B) {
+	_, intra, _ := a4Material(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := len(intra) - 1; j >= 0; j-- {
+			if _, err := codec.VJPGDecode(intra[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkA4ReverseVMPG decodes interframe video in reverse order —
+// each intermediate costs its two bracketing key decodes.
+func BenchmarkA4ReverseVMPG(b *testing.B) {
+	_, _, packets := a4Material(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 47; j >= 0; j-- {
+			if _, err := codec.VMPGDecodeFrame(packets, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/blob"
+	"timedmedia/internal/codec"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/player"
+	"timedmedia/internal/timebase"
+)
+
+// runAblations measures the design-choice ablations of DESIGN.md.
+func runAblations() error {
+	for _, a := range []struct {
+		id string
+		fn func() error
+	}{
+		{"A1 rational vs floating-point time systems", ablationA1},
+		{"A2 index suite vs reduced indexes", ablationA2},
+		{"A3 interleaved vs separated BLOB layout", ablationA3},
+		{"A4 reverse playback: intraframe vs interframe coding", ablationA4},
+	} {
+		fmt.Printf("---- %s\n", a.id)
+		if err := a.fn(); err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+	}
+	return nil
+}
+
+// ablationA1: NTSC start times accumulated as float64 drift against
+// CD-audio sample positions; exact rational ticks do not.
+func ablationA1() error {
+	frames := 60 * 60 * 30 // ≈1 hour of NTSC
+	// Single-precision accumulation, as a 1990s implementation (or a
+	// fixed 33.37ms timer) would do.
+	var acc float32
+	step := float32(1001.0 / 30000.0)
+	for i := 0; i < frames; i++ {
+		acc += step
+	}
+	floatSamples := float64(acc) * 44100
+	// Exact rational position of frame `frames`.
+	exact, err := timebase.Rescale(int64(frames), timebase.NTSC, timebase.CDAudio)
+	if err != nil {
+		return err
+	}
+	exactFloat := float64(int64(frames)) * 1001 / 30000 * 44100
+	drift := math.Abs(floatSamples - exactFloat)
+	fmt.Printf("after %d NTSC frames (≈1 h): float32 accumulation drifts %.0f audio samples (%.1f ms) off; rational ticks land exactly on sample %d\n",
+		frames, drift, drift/44.1, exact)
+	// Round-trip exactness.
+	back, err := timebase.Rescale(exact, timebase.CDAudio, timebase.NTSC)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rational round trip NTSC→CD→NTSC: %d → %d (lossless: %v)\n", frames, back, back == int64(frames))
+	return nil
+}
+
+// ablationA2: the key-sample and size indexes vs recomputation.
+func ablationA2() error {
+	store := blob.NewMemStore()
+	id, b, err := store.Create()
+	if err != nil {
+		return err
+	}
+	n := 20000
+	ty := media.PALVideoType(8, 8, media.QualityVHS, media.EncodingVMPG)
+	bu := interp.NewBuilder(id, b).AddTrack("v", ty, ty.NewDescriptor(int64(n)))
+	for i := 0; i < n; i++ {
+		// Key every 250 frames (a 10-second GOP at PAL rates, the
+		// random-access granularity CD-I-era systems used).
+		bu.Append("v", []byte{byte(i)}, int64(i), 1, media.ElementDescriptor{Key: i%250 == 0})
+	}
+	it, err := bu.Seal()
+	if err != nil {
+		return err
+	}
+	tr := it.MustTrack("v")
+	probes := 5000
+
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		tr.KeyBefore((i * 37) % n)
+	}
+	withIndex := time.Since(start)
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		keyBeforeScan(tr, (i*37)%n)
+	}
+	withoutIndex := time.Since(start)
+	fmt.Printf("key-sample seek x%d: index %v, backward scan %v (%.0fx)\n",
+		probes, withIndex.Round(time.Microsecond), withoutIndex.Round(time.Microsecond),
+		float64(withoutIndex)/float64(withIndex))
+
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		tr.BytesBefore((i * 41) % n)
+	}
+	prefix := time.Since(start)
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		sumBytes(tr, (i*41)%n)
+	}
+	summed := time.Since(start)
+	fmt.Printf("byte-position query x%d: size prefix %v, summation %v (%.0fx)\n",
+		probes, prefix.Round(time.Microsecond), summed.Round(time.Microsecond),
+		float64(summed)/float64(prefix))
+	return nil
+}
+
+func keyBeforeScan(tr *interp.Track, i int) (int, bool) {
+	for j := i; j >= 0; j-- {
+		if tr.Stream().At(j).Desc.Key {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+func sumBytes(tr *interp.Track, i int) int64 {
+	var total int64
+	for j := 0; j < i; j++ {
+		total += tr.Stream().At(j).Size
+	}
+	return total
+}
+
+// ablationA3: synchronized A/V playback locality under interleaved vs
+// separated layouts, measured as total seek distance between
+// consecutive reads.
+func ablationA3() error {
+	nFrames := 100
+	g := frame.Generator{W: 80, H: 60, Seed: 12}
+	frames := make([]*frame.Frame, nFrames)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	tone := audio.Sine(nFrames*1764, 2, 440, 44100, 0.4)
+	q := codec.QuantizerFor(media.QualityVHS)
+
+	// Interleaved layout (the Figure 2 capture).
+	storeI := blob.NewMemStore()
+	itI, err := player.CaptureAV(storeI, frames, timebase.PAL, tone, timebase.CDAudio, player.CaptureOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Separated layout: video then audio, one BLOB, disjoint regions.
+	storeS := blob.NewMemStore()
+	sid, sb, err := storeS.Create()
+	if err != nil {
+		return err
+	}
+	vType := media.PALVideoType(80, 60, media.QualityVHS, media.EncodingVJPG)
+	aType := media.PCMBlockAudioType(1764)
+	bu := interp.NewBuilder(sid, sb).
+		AddTrack("video1", vType, vType.NewDescriptor(int64(nFrames))).
+		AddTrack("audio1", aType, aType.NewDescriptor(int64(nFrames)*1764))
+	for i, f := range frames {
+		data, err := codec.VJPGEncode(f, q)
+		if err != nil {
+			return err
+		}
+		bu.Append("video1", data, int64(i), 1, media.ElementDescriptor{})
+	}
+	for i := 0; i < nFrames; i++ {
+		bu.Append("audio1", codec.PCMEncode16(tone.Slice(i*1764, (i+1)*1764)), int64(i)*1764, 1764, media.ElementDescriptor{})
+	}
+	itS, err := bu.Seal()
+	if err != nil {
+		return err
+	}
+
+	for _, layout := range []struct {
+		name string
+		it   *interp.Interpretation
+	}{{"interleaved", itI}, {"separated  ", itS}} {
+		dist, err := seekDistance(layout.it)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: total seek distance %10d B over synchronized playback\n", layout.name, dist)
+	}
+	fmt.Println("(interleaving exists to make synchronized consumption sequential; the")
+	fmt.Println(" separated layout pays a long seek per element pair)")
+	return nil
+}
+
+// seekDistance simulates synchronized playback read order (merged by
+// presentation time) and sums the byte distance between consecutive
+// reads.
+func seekDistance(it *interp.Interpretation) (int64, error) {
+	type read struct {
+		deadline float64
+		off, end int64
+	}
+	var reads []read
+	for _, name := range it.TrackNames() {
+		tr, err := it.Track(name)
+		if err != nil {
+			return 0, err
+		}
+		tsys := tr.MediaType().Time
+		for i := 0; i < tr.Len(); i++ {
+			pl, err := tr.Placement(i)
+			if err != nil {
+				return 0, err
+			}
+			reads = append(reads, read{deadline: tsys.Seconds(tr.Stream().At(i).Start), off: pl.Offset, end: pl.End()})
+		}
+	}
+	// Merge by deadline (stable insertion keeps track order).
+	for i := 1; i < len(reads); i++ {
+		for j := i; j > 0 && reads[j].deadline < reads[j-1].deadline; j-- {
+			reads[j], reads[j-1] = reads[j-1], reads[j]
+		}
+	}
+	var pos, dist int64
+	for _, r := range reads {
+		d := r.off - pos
+		if d < 0 {
+			d = -d
+		}
+		dist += d
+		pos = r.end
+	}
+	return dist, nil
+}
+
+// ablationA4: the paper on JPEG-class coding — "since frames are
+// compressed independently, it is easier to rearrange the order of the
+// frames and to playback in reverse or at variable rates" than with
+// MPEG-class interframe coding, whose intermediates need their
+// bracketing keys decoded first.
+func ablationA4() error {
+	n := 48
+	g := frame.Generator{W: 96, H: 72, Seed: 21}
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	q := codec.QuantizerFor(media.QualityVHS)
+
+	// Intraframe: one decode per frame regardless of order.
+	intra := make([][]byte, n)
+	for i, f := range frames {
+		data, err := codec.VJPGEncode(f, q)
+		if err != nil {
+			return err
+		}
+		intra[i] = data
+	}
+	start := time.Now()
+	for i := n - 1; i >= 0; i-- {
+		if _, err := codec.VJPGDecode(intra[i]); err != nil {
+			return err
+		}
+	}
+	intraTime := time.Since(start)
+
+	// Interframe: reverse random access decodes bracketing keys per
+	// intermediate frame.
+	packets, err := codec.VMPGEncode(frames, q, 8)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := n - 1; i >= 0; i-- {
+		if _, err := codec.VMPGDecodeFrame(packets, i); err != nil {
+			return err
+		}
+	}
+	interTime := time.Since(start)
+	fmt.Printf("reverse play of %d frames: vjpg %v, vmpg %v (%.1fx slower)\n",
+		n, intraTime.Round(time.Millisecond), interTime.Round(time.Millisecond),
+		float64(interTime)/float64(intraTime))
+	return nil
+}

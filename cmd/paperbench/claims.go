@@ -1,0 +1,311 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/codec"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/player"
+	"timedmedia/internal/stream"
+	"timedmedia/internal/timebase"
+)
+
+// runClaims measures the paper's quantified prose claims (DESIGN.md
+// C1–C7).
+func runClaims() error {
+	for _, c := range []struct {
+		id string
+		fn func() error
+	}{
+		{"C1 derivation objects are orders of magnitude smaller", claimC1},
+		{"C2 non-destructive edit vs copy-based edit", claimC2},
+		{"C3 structural query vs uninterpreted BLOB scan", claimC3},
+		{"C4 indexed time lookup vs linear scan", claimC4},
+		{"C5 scaled playback reads fewer bytes", claimC5},
+		{"C6 playback deadlines and jitter", claimC6},
+		{"C7 stream invariant validation throughput", claimC7},
+	} {
+		fmt.Printf("---- %s\n", c.id)
+		if err := c.fn(); err != nil {
+			return fmt.Errorf("%s: %w", c.id, err)
+		}
+	}
+	return nil
+}
+
+// claimC1: "a video edit list is likely many orders of magnitude
+// smaller than a video object."
+func claimC1() error {
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("clip", fixtures.Video(250, 160, 120, 5), catalog.IngestOptions{})
+	if err != nil {
+		return err
+	}
+	cut, err := db.SelectDuration(id, "cut", 25, 225)
+	if err != nil {
+		return err
+	}
+	obj, _ := db.Get(cut)
+	derivBytes := obj.Derivation.SizeBytes()
+	mat, err := db.Materialize(cut, "cut-mat", catalog.IngestOptions{})
+	if err != nil {
+		return err
+	}
+	matObj, _ := db.Get(mat)
+	it, _ := db.Interpretation(matObj.Blob)
+	tr, _ := it.Track(matObj.Track)
+	stored := tr.TotalBytes()
+	fmt.Printf("derivation object: %d B; materialized derived video: %d B; ratio %.0fx\n",
+		derivBytes, stored, float64(stored)/float64(derivBytes))
+	return nil
+}
+
+// claimC2: "rather than reading and writing vast amounts of data in
+// order to accomplish a modification, references to structures within
+// the data are manipulated."
+func claimC2() error {
+	db := fixtures.NewMemDB()
+	n := 500
+	id, err := db.Ingest("clip", fixtures.Video(n, 160, 120, 6), catalog.IngestOptions{})
+	if err != nil {
+		return err
+	}
+	obj, _ := db.Get(id)
+	it, _ := db.Interpretation(obj.Blob)
+	tr, _ := it.Track(obj.Track)
+
+	// Non-destructive: record an edit list deleting frames [100, 400).
+	start := time.Now()
+	_, err = db.AddDerived("deleted", "video-edit", []core.ID{id},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{
+			{Input: 0, From: 0, To: 100}, {Input: 0, From: 400, To: int64(n)}}}), nil)
+	if err != nil {
+		return err
+	}
+	editTime := time.Since(start)
+
+	// Copy-based: read every surviving payload and write a new BLOB.
+	start = time.Now()
+	nid, nb, err := db.Store().Create()
+	if err != nil {
+		return err
+	}
+	typ := media.PALVideoType(160, 120, media.QualityVHS, media.EncodingVJPG)
+	bu := interp.NewBuilder(nid, nb).AddTrack("video", typ, typ.NewDescriptor(int64(n-300)))
+	out := 0
+	for i := 0; i < n; i++ {
+		if i >= 100 && i < 400 {
+			continue
+		}
+		payload, err := it.Payload(obj.Track, i)
+		if err != nil {
+			return err
+		}
+		bu.Append("video", payload, int64(out), 1, media.ElementDescriptor{})
+		out++
+	}
+	if _, err := bu.Seal(); err != nil {
+		return err
+	}
+	copyTime := time.Since(start)
+	fmt.Printf("edit-list delete: %v; copy-reassemble delete: %v (%.0fx); bytes untouched by edit list: %d\n",
+		editTime.Round(time.Microsecond), copyTime.Round(time.Microsecond),
+		float64(copyTime)/float64(editTime), tr.TotalBytes())
+	return nil
+}
+
+// claimC3: structural querying — "select a specific sound track" from
+// a movie with audio tracks in different languages — vs scanning an
+// uninterpreted BLOB.
+func claimC3() error {
+	store := blob.NewMemStore()
+	id, b, err := store.Create()
+	if err != nil {
+		return err
+	}
+	langs := []string{"en", "fr", "de", "it"}
+	aType := media.PCMBlockAudioType(1764)
+	bu := interp.NewBuilder(id, b)
+	for _, l := range langs {
+		bu.AddTrack("audio-"+l, aType, aType.NewDescriptor(1764*100))
+	}
+	for i := 0; i < 100; i++ {
+		for li, l := range langs {
+			payload := make([]byte, 1764*4)
+			payload[0] = byte(li)
+			bu.Append("audio-"+l, payload, int64(i)*1764, 1764, media.ElementDescriptor{})
+		}
+	}
+	it, err := bu.Seal()
+	if err != nil {
+		return err
+	}
+
+	// Structural: read only the French track through the interpretation.
+	store.Stats().Reset()
+	start := time.Now()
+	tr := it.MustTrack("audio-fr")
+	var structuralBytes int64
+	for i := 0; i < tr.Len(); i++ {
+		p, err := it.Payload("audio-fr", i)
+		if err != nil {
+			return err
+		}
+		structuralBytes += int64(len(p))
+	}
+	structuralTime := time.Since(start)
+	_, readStructural, _, _ := store.Stats().Snapshot()
+
+	// Baseline: the BLOB is uninterpreted — the application must scan
+	// all of it to find the track.
+	store.Stats().Reset()
+	start = time.Now()
+	if _, err := b.ReadSpan(0, b.Size()); err != nil {
+		return err
+	}
+	scanTime := time.Since(start)
+	_, readScan, _, _ := store.Stats().Snapshot()
+
+	fmt.Printf("structural query: %d B read in %v; BLOB scan: %d B read in %v (%.1fx bytes)\n",
+		readStructural, structuralTime.Round(time.Microsecond),
+		readScan, scanTime.Round(time.Microsecond), float64(readScan)/float64(readStructural))
+	return nil
+}
+
+// claimC4: the time index answers "element at time t" in O(log n)
+// against the O(n) scan the tables would need without indexes.
+func claimC4() error {
+	n := 200000
+	elems := make([]stream.Element, n)
+	for i := range elems {
+		elems[i] = stream.Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	ty := media.CDAudioType()
+	s, err := stream.New(ty, elems)
+	if err != nil {
+		return err
+	}
+	probes := 2000
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		s.IndexAt(int64((i * 7919) % n))
+	}
+	indexed := time.Since(start)
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		linearScan(s, int64((i*7919)%n))
+	}
+	scanned := time.Since(start)
+	fmt.Printf("%d seeks over %d elements: indexed %v, scan %v (%.0fx)\n",
+		probes, n, indexed.Round(time.Microsecond), scanned.Round(time.Microsecond),
+		float64(scanned)/float64(indexed))
+	return nil
+}
+
+func linearScan(s *stream.Stream, t int64) (int, bool) {
+	for i := 0; i < s.Len(); i++ {
+		e := s.At(i)
+		if e.Start <= t && t < e.End() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// claimC5: scalability — presenting at lower fidelity "by ignoring
+// parts of the storage unit."
+func claimC5() error {
+	db := fixtures.NewMemDB()
+	id, err := db.Ingest("scalable", fixtures.Video(50, 160, 120, 8), catalog.IngestOptions{Layered: true})
+	if err != nil {
+		return err
+	}
+	obj, _ := db.Get(id)
+	it, _ := db.Interpretation(obj.Blob)
+	var results []string
+	for _, layer := range []int{0, -1} {
+		db.Store().Stats().Reset()
+		var sink player.Discard
+		if _, err := player.Play(it, []string{obj.Track}, &player.VirtualClock{}, &sink, player.Options{MaxLayer: layer}); err != nil {
+			return err
+		}
+		_, read, _, _ := db.Store().Stats().Snapshot()
+		name := "full fidelity"
+		if layer == 0 {
+			name = "base layer   "
+		}
+		results = append(results, fmt.Sprintf("%s: %7d B read, %d frames", name, read, sink.Events))
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	// Decode check at base fidelity.
+	layers, err := db.FramesAtFidelity(id, 0)
+	if err != nil {
+		return err
+	}
+	f, err := codec.VJPGDecodeBase(layers[0][0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("base-layer decode: %dx%d (half resolution of 160x120)\n", f.Width, f.Height)
+	return nil
+}
+
+// claimC6: playback meets rate deadlines on the virtual clock; jitter
+// appears (and is measured, not fatal) once simulated work exceeds the
+// frame budget.
+func claimC6() error {
+	store := blob.NewMemStore()
+	it, err := fixtures.Figure2(store, 2, 160, 120, 9)
+	if err != nil {
+		return err
+	}
+	for _, load := range []struct {
+		name string
+		work time.Duration
+	}{
+		{"idle machine ", 0},
+		{"loaded (5µs/B)", 5 * time.Microsecond},
+	} {
+		var sink player.Discard
+		rep, err := player.Play(it, nil, &player.VirtualClock{}, &sink, player.Options{WorkPerByte: load.work})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %4d events, max jitter %8v, mean jitter %8v, ran %v\n",
+			load.name, sink.Events, rep.MaxJitter().Round(time.Microsecond),
+			rep.Tracks[0].MeanJitter().Round(time.Microsecond), rep.Duration.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// claimC7: Section 3.3's constraints (s_{i+1} = s_i + d_i, d_i = 1 for
+// CD audio) validate at memory bandwidth.
+func claimC7() error {
+	n := 1_000_000
+	elems := make([]stream.Element, n)
+	for i := range elems {
+		elems[i] = stream.Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	s, err := stream.New(media.CDAudioType(), elems)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	secs := timebase.CDAudio.Seconds(int64(n))
+	fmt.Printf("validated %d elements (%.1f s of CD audio) in %v (%.0fx faster than real time)\n",
+		n, secs, elapsed.Round(time.Microsecond), secs/elapsed.Seconds())
+	return nil
+}

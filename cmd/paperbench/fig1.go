@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"timedmedia/internal/media"
+	"timedmedia/internal/stream"
+	"timedmedia/internal/timebase"
+)
+
+// figure1 regenerates the paper's Figure 1: one representative stream
+// per form of time-based media, classified into the category lattice.
+func figure1() error {
+	type row struct {
+		name string
+		s    *stream.Stream
+	}
+
+	free := func(name string) *media.Type {
+		return &media.Type{Name: name, Kind: media.KindVideo, Time: timebase.PAL}
+	}
+
+	// CD audio: uniform.
+	cd := make([]stream.Element, 32)
+	for i := range cd {
+		cd[i] = stream.Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	// ADPCM audio: heterogeneous (per-block parameters), continuous.
+	adpcm := make([]stream.Element, 8)
+	for i := range adpcm {
+		adpcm[i] = stream.Element{Start: int64(i) * 1764, Dur: 1764, Size: 1770,
+			Desc: media.ElementDescriptor{Quantizer: 10 + i}}
+	}
+	// Compressed video (vjpg): constant frequency, variable size.
+	vjpg := make([]stream.Element, 12)
+	for i := range vjpg {
+		vjpg[i] = stream.Element{Start: int64(i), Dur: 1, Size: int64(18000 + 131*i%977)}
+	}
+	// Interframe video (vmpg): heterogeneous (key flags).
+	vmpg := make([]stream.Element, 12)
+	for i := range vmpg {
+		size := int64(4000 + 37*i)
+		if i%6 == 0 {
+			size = 21000 // key frames are intra-coded and larger
+		}
+		vmpg[i] = stream.Element{Start: int64(i), Dur: 1, Size: size,
+			Desc: media.ElementDescriptor{Key: i%6 == 0}}
+	}
+	// Raw video: uniform.
+	raw := make([]stream.Element, 8)
+	for i := range raw {
+		raw[i] = stream.Element{Start: int64(i), Dur: 1, Size: 640 * 480 * 3}
+	}
+	// Music: non-continuous with overlapping notes (a chord).
+	musicEls := []stream.Element{
+		{Start: 0, Dur: 480, Size: 16},
+		{Start: 0, Dur: 480, Size: 16},
+		{Start: 0, Dur: 480, Size: 16},
+		{Start: 960, Dur: 480, Size: 16},
+	}
+	// MIDI: event-based.
+	midi := []stream.Element{{Start: 0}, {Start: 480}, {Start: 960}}
+	// Animation: non-continuous with gaps (object at rest).
+	animEls := []stream.Element{
+		{Start: 0, Dur: 10, Size: 36},
+		{Start: 40, Dur: 10, Size: 36},
+	}
+	// Constant data rate with varying element duration.
+	cdr := []stream.Element{
+		{Start: 0, Dur: 1, Size: 1000},
+		{Start: 1, Dur: 3, Size: 3000},
+		{Start: 4, Dur: 2, Size: 2000},
+	}
+
+	rows := []row{
+		{"CD audio (PCM)", stream.MustNew(free("cd"), cd)},
+		{"ADPCM audio", stream.MustNew(free("adpcm"), adpcm)},
+		{"vjpg video", stream.MustNew(free("vjpg"), vjpg)},
+		{"vmpg video", stream.MustNew(free("vmpg"), vmpg)},
+		{"raw video", stream.MustNew(free("raw"), raw)},
+		{"music (notes)", stream.MustNew(free("music"), musicEls)},
+		{"MIDI events", stream.MustNew(free("midi"), midi)},
+		{"animation", stream.MustNew(free("anim"), animEls)},
+		{"CBR packets", stream.MustNew(free("cbr"), cdr)},
+	}
+
+	cats := []struct {
+		name string
+		c    stream.Category
+	}{
+		{"homogeneous", stream.Homogeneous},
+		{"heterogeneous", stream.Heterogeneous},
+		{"continuous", stream.Continuous},
+		{"non-continuous", stream.NonContinuous},
+		{"event-based", stream.EventBased},
+		{"const frequency", stream.ConstantFrequency},
+		{"const data rate", stream.ConstantDataRate},
+		{"uniform", stream.Uniform},
+	}
+
+	fmt.Printf("%-16s", "")
+	for _, r := range rows {
+		fmt.Printf(" %-14s", truncate(r.name, 14))
+	}
+	fmt.Println()
+	for _, c := range cats {
+		fmt.Printf("%-16s", c.name)
+		for _, r := range rows {
+			mark := "."
+			if r.s.Classify().Has(c.c) {
+				mark = "#"
+			}
+			fmt.Printf(" %-14s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: CD audio is uniform; ADPCM heterogeneous; video constant-frequency;")
+	fmt.Println("music/animation non-continuous; MIDI event-based. '#' marks membership.")
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+var _ = strings.TrimSpace

@@ -1,0 +1,79 @@
+// Command paperbench regenerates every figure and table of Gibbs,
+// Breiteneder and Tsichritzis, "Data Modeling of Time-Based Media"
+// (SIGMOD 1994), plus measurements for the paper's quantified prose
+// claims (C1–C7) and the design-choice ablations (A1–A3) indexed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	paperbench -all
+//	paperbench -fig 1        # stream-category taxonomy
+//	paperbench -fig 2        # interpretation of an interleaved BLOB
+//	paperbench -table 1      # the five derivations (also Figure 3)
+//	paperbench -fig 4        # composition instance diagram + timeline
+//	paperbench -fig 5        # interpretation→derivation→composition
+//	paperbench -claims       # C1..C7 measurements
+//	paperbench -ablations    # A1..A3 measurements
+//	paperbench -seconds 2    # Figure 2 capture length (default 2 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate figure N (1, 2, 4 or 5)")
+		table     = flag.Int("table", 0, "regenerate table N (1)")
+		claims    = flag.Bool("claims", false, "measure the quantified prose claims C1..C7")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations A1..A4")
+		sweeps    = flag.Bool("sweeps", false, "run the parameter sweeps S1..S2")
+		all       = flag.Bool("all", false, "regenerate everything")
+		seconds   = flag.Float64("seconds", 2, "captured duration for the Figure 2 example")
+		width     = flag.Int("width", 640, "Figure 2 frame width")
+		height    = flag.Int("height", 480, "Figure 2 frame height")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(name string, fn func() error) {
+		ran = true
+		fmt.Printf("════════ %s ════════\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all || *fig == 1 {
+		run("Figure 1 — timed stream categories", figure1)
+	}
+	if *all || *fig == 2 {
+		run("Figure 2 — interpretation of a BLOB", func() error { return figure2(*seconds, *width, *height) })
+	}
+	if *all || *table == 1 {
+		run("Table 1 / Figure 3 — derivations", table1)
+	}
+	if *all || *fig == 4 {
+		run("Figure 4 — composition instance diagram & timeline", figure4)
+	}
+	if *all || *fig == 5 {
+		run("Figure 5 — interpretation, derivation, composition layers", figure5)
+	}
+	if *all || *claims {
+		run("Claims C1..C7", runClaims)
+	}
+	if *all || *ablations {
+		run("Ablations A1..A4", runAblations)
+	}
+	if *all || *sweeps {
+		run("Sweeps S1..S2", runSweeps)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

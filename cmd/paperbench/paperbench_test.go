@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+// The paperbench generators must run clean at reduced scale; full-size
+// output formatting is checked by eye / EXPERIMENTS.md.
+
+func TestFigure1(t *testing.T) {
+	if err := figure1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2Small(t *testing.T) {
+	if err := figure2(0.2, 64, 48); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if err := table1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4And5(t *testing.T) {
+	if err := figure4(); err != nil {
+		t.Fatal(err)
+	}
+	if err := figure5(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClaimsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims are slow")
+	}
+	if err := runClaims(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	if err := runAblations(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	if err := runSweeps(); err != nil {
+		t.Fatal(err)
+	}
+}

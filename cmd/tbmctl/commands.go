@@ -1,0 +1,638 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/edl"
+	"timedmedia/internal/export"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/media"
+	"timedmedia/internal/player"
+	"timedmedia/internal/timebase"
+)
+
+// openDB loads (or initializes) the database in dir.
+func openDB(dir string) (*catalog.DB, *blob.FileStore, error) {
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := os.Stat(dir + "/catalog.gob"); err == nil {
+		db, err := catalog.Load(dir, store)
+		if err != nil {
+			store.Close()
+			return nil, nil, err
+		}
+		return db, store, nil
+	}
+	return catalog.New(store), store, nil
+}
+
+// saveDB persists and closes.
+func saveDB(db *catalog.DB, store *blob.FileStore, dir string) error {
+	if err := db.Save(dir); err != nil {
+		store.Close()
+		return err
+	}
+	return store.Close()
+}
+
+func cmdCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "object base name (required)")
+	seconds := fs.Float64("seconds", 2, "captured duration")
+	width := fs.Int("width", 320, "frame width")
+	height := fs.Int("height", 240, "frame height")
+	layered := fs.Bool("layered", false, "store scalable video (base+enhancement)")
+	seed := fs.Int64("seed", 1, "content generator seed")
+	lang := fs.String("language", "", "language attribute for the audio object")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	nFrames := int(*seconds * 25)
+	video := fixtures.Video(nFrames, *width, *height, *seed)
+	audio := fixtures.Tone(*seconds, 220+110*float64(*seed%5))
+	vid, err := db.Ingest(*name+"-video", video, catalog.IngestOptions{Layered: *layered})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	var attrs map[string]string
+	if *lang != "" {
+		attrs = map[string]string{"language": *lang}
+	}
+	aud, err := db.Ingest(*name+"-audio", audio, catalog.IngestOptions{Attrs: attrs})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	fmt.Printf("captured %v (%d frames) and %v (%.1f s audio)\n", vid, nFrames, aud, *seconds)
+	return saveDB(db, store, *dir)
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := dirFlag(fs)
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	for _, obj := range db.Select(func(*core.Object) bool { return true }) {
+		fmt.Println(obj)
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "object name (required)")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Println(obj)
+	for k, v := range obj.Attrs {
+		fmt.Printf("  attr %s = %q\n", k, v)
+	}
+	switch obj.Class {
+	case core.ClassNonDerived:
+		it, err := db.Interpretation(obj.Blob)
+		if err != nil {
+			return err
+		}
+		tr, err := it.Track(obj.Track)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  descriptor: %v\n", tr.Descriptor())
+		fmt.Printf("  categories: %v\n", tr.Stream().Classify())
+		fmt.Printf("  table:      %v\n", tr)
+		fmt.Printf("  bytes:      %d in %v (%d B)\n", tr.TotalBytes(), obj.Blob, it.BlobSize())
+		fmt.Printf("  chunks:     %d, key elements: %d\n", len(tr.Chunks()), len(tr.KeyElements()))
+	case core.ClassDerived:
+		fmt.Printf("  derivation: %s inputs=%v params=%s (%d B)\n",
+			obj.Derivation.Op, obj.Derivation.Inputs, obj.Derivation.Params, obj.Derivation.SizeBytes())
+	case core.ClassMultimedia:
+		mm, err := db.BuildMultimedia(obj.ID)
+		if err != nil {
+			return err
+		}
+		d, err := mm.Duration()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  components: %d, duration %d ticks of %v\n", mm.Len(), d, obj.Multimedia.Time)
+	}
+	return nil
+}
+
+func cmdCut(args []string) error {
+	fs := flag.NewFlagSet("cut", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "new object name (required)")
+	input := fs.String("input", "", "source video object (required)")
+	from := fs.Int64("from", 0, "first frame (inclusive)")
+	to := fs.Int64("to", 0, "last frame (exclusive)")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	src, err := db.Lookup(*input)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	id, err := db.SelectDuration(src.ID, *name, *from, *to)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	obj, _ := db.Get(id)
+	fmt.Printf("created %v (derivation object: %d B)\n", obj, obj.Derivation.SizeBytes())
+	return saveDB(db, store, *dir)
+}
+
+func cmdDerive(args []string) error {
+	fs := flag.NewFlagSet("derive", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "new object name (required)")
+	op := fs.String("op", "", "operator (see `tbmctl ops`)")
+	inputs := fs.String("inputs", "", "comma-separated input object names")
+	params := fs.String("params", "", "JSON operator parameters")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	var ids []core.ID
+	for _, n := range strings.Split(*inputs, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		obj, err := db.Lookup(n)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		ids = append(ids, obj.ID)
+	}
+	id, err := db.AddDerived(*name, *op, ids, []byte(*params), nil)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	obj, _ := db.Get(id)
+	fmt.Printf("created %v\n", obj)
+	return saveDB(db, store, *dir)
+}
+
+func cmdCompose(args []string) error {
+	fs := flag.NewFlagSet("compose", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "new multimedia object name (required)")
+	comps := fs.String("components", "", `comma-separated "objectName@startMs"`)
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	var refs []core.ComponentRef
+	for _, part := range strings.Split(*comps, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		objName, startStr, ok := strings.Cut(part, "@")
+		if !ok {
+			store.Close()
+			return fmt.Errorf("component %q: want name@startMs", part)
+		}
+		obj, err := db.Lookup(objName)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		start, err := strconv.ParseInt(startStr, 10, 64)
+		if err != nil {
+			store.Close()
+			return fmt.Errorf("component %q: %v", part, err)
+		}
+		refs = append(refs, core.ComponentRef{Object: obj.ID, Start: start})
+	}
+	id, err := db.AddMultimedia(*name, timebase.Millis, refs, nil)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	obj, _ := db.Get(id)
+	fmt.Printf("created %v\n", obj)
+	return saveDB(db, store, *dir)
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "multimedia object name (required)")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	mm, err := db.BuildMultimedia(obj.ID)
+	if err != nil {
+		return err
+	}
+	tl, err := mm.RenderTimeline(64)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tl)
+	return nil
+}
+
+func cmdLineage(args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "object name (required)")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	diagram, err := db.InstanceDiagram(obj.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Print(diagram)
+	return nil
+}
+
+func cmdPlay(args []string) error {
+	fs := flag.NewFlagSet("play", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "object name (required)")
+	fidelity := fs.String("fidelity", "full", `"full" or "base" (scaled playback)`)
+	work := fs.Duration("work", 0, "simulated processing cost per byte (e.g. 1µs)")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	opts := player.Options{MaxLayer: -1, WorkPerByte: *work}
+	if *fidelity == "base" {
+		opts.MaxLayer = 0
+	}
+	clock := &player.VirtualClock{}
+	var sink player.Discard
+	var rep player.Report
+	switch obj.Class {
+	case core.ClassMultimedia:
+		rep, err = player.PlayComposition(db, obj.ID, clock, &sink, opts)
+	case core.ClassNonDerived:
+		it, ierr := db.Interpretation(obj.Blob)
+		if ierr != nil {
+			return ierr
+		}
+		rep, err = player.Play(it, []string{obj.Track}, clock, &sink, opts)
+	default:
+		return fmt.Errorf("play a stored or multimedia object (materialize derived objects first)")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("played %q: %d events, %d B, ran %v\n", *name, sink.Events, sink.Bytes, rep.Duration.Round(time.Millisecond))
+	for _, tr := range rep.Tracks {
+		fmt.Printf("  %-12s %5d events %9d B  max jitter %v\n", tr.Track, tr.Events, tr.Bytes, tr.MaxJitter)
+	}
+	if rep.MaxSkew > 0 {
+		fmt.Printf("  max sync skew %v\n", rep.MaxSkew)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := dirFlag(fs)
+	kind := fs.String("kind", "", "media kind (video, audio, music, animation, image)")
+	attr := fs.String("attr", "", "attribute filter key=value")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	pred := func(o *core.Object) bool { return true }
+	if *kind != "" {
+		want := kindByName(*kind)
+		prev := pred
+		pred = func(o *core.Object) bool { return prev(o) && o.Kind == want }
+	}
+	if *attr != "" {
+		k, v, ok := strings.Cut(*attr, "=")
+		if !ok {
+			return fmt.Errorf("-attr wants key=value")
+		}
+		prev := pred
+		pred = func(o *core.Object) bool { return prev(o) && o.Attrs[k] == v }
+	}
+	for _, obj := range db.Select(pred) {
+		fmt.Println(obj)
+	}
+	return nil
+}
+
+func kindByName(name string) media.Kind {
+	switch name {
+	case "video":
+		return media.KindVideo
+	case "audio":
+		return media.KindAudio
+	case "music":
+		return media.KindMusic
+	case "animation":
+		return media.KindAnimation
+	case "image":
+		return media.KindImage
+	default:
+		return media.KindUnknown
+	}
+}
+
+func cmdOps(args []string) error {
+	for _, name := range derive.Ops() {
+		op, err := derive.Lookup(name)
+		if err != nil {
+			return err
+		}
+		lo, hi := op.Arity()
+		arity := fmt.Sprintf("%d..%d", lo, hi)
+		if hi < 0 {
+			arity = fmt.Sprintf("%d..n", lo)
+		}
+		fmt.Printf("%-18s %-18s inputs %-5s → %v\n", name, op.Category(), arity, op.ResultKind())
+	}
+	return nil
+}
+
+func cmdEDL(args []string) error {
+	fs := flag.NewFlagSet("edl", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "new object name (required)")
+	file := fs.String("file", "", "EDL file path (required)")
+	inputs := fs.String("inputs", "", "comma-separated input video objects, in EDL input order")
+	fs.Parse(args)
+	text, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	list, err := edl.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	var ids []core.ID
+	for _, n := range strings.Split(*inputs, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		obj, err := db.Lookup(n)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		ids = append(ids, obj.ID)
+	}
+	id, err := db.AddDerived(*name, "video-edit", ids, derive.EncodeParams(list.Params), nil)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	obj, _ := db.Get(id)
+	fmt.Printf("created %v from EDL %q (%d events)\n", obj, list.Title, len(list.Params.Entries))
+	return saveDB(db, store, *dir)
+}
+
+// cmdExport materializes an object into standard interchange files:
+// audio → .wav, music → .mid, video → numbered .ppm frames,
+// image → .ppm.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "object name (required)")
+	out := fs.String("out", ".", "output directory")
+	limit := fs.Int("frames", 25, "max video frames to export")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	v, err := db.Expand(obj.ID)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	switch v.Kind {
+	case media.KindAudio:
+		path := filepath.Join(*out, *name+".wav")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := export.WriteWAV(f, v.Audio, int(v.Rate.Frequency())); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d sample frames)\n", path, v.Audio.Frames())
+	case media.KindMusic:
+		path := filepath.Join(*out, *name+".mid")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := export.WriteSMF(f, v.Music); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", path, len(v.Music.Events))
+	case media.KindImage:
+		path := filepath.Join(*out, *name+".ppm")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := export.WritePPM(f, v.Image); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	case media.KindVideo:
+		n := len(v.Video)
+		if n > *limit {
+			n = *limit
+		}
+		for i := 0; i < n; i++ {
+			path := filepath.Join(*out, fmt.Sprintf("%s-%04d.ppm", *name, i))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := export.WritePPM(f, v.Video[i]); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %d frames to %s/%s-NNNN.ppm\n", n, *out, *name)
+	default:
+		return fmt.Errorf("cannot export kind %v", v.Kind)
+	}
+	return nil
+}
+
+// cmdImport ingests external interchange files: .wav audio, .mid
+// music, .ppm images.
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "new object name (required)")
+	file := fs.String("file", "", "input file: .wav, .mid or .ppm (required)")
+	fs.Parse(args)
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	var value *derive.Value
+	switch {
+	case strings.HasSuffix(*file, ".wav"):
+		buf, rate, err := export.ReadWAV(f)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		tsys, err := timebase.New(int64(rate), 1)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		value = derive.AudioValue(buf, tsys)
+	case strings.HasSuffix(*file, ".mid"):
+		seq, err := export.ReadSMF(f)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		value = derive.MusicValue(seq)
+	case strings.HasSuffix(*file, ".ppm"):
+		img, err := export.ReadPPM(f)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		value = derive.ImageValue(img)
+	default:
+		store.Close()
+		return fmt.Errorf("unknown file type %q (want .wav, .mid or .ppm)", *file)
+	}
+	id, err := db.Ingest(*name, value, catalog.IngestOptions{})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	obj, _ := db.Get(id)
+	fmt.Printf("imported %v\n", obj)
+	return saveDB(db, store, *dir)
+}
+
+// cmdRender rasterizes a multimedia object's spatial composition at an
+// axis tick into a PPM image.
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	dir := dirFlag(fs)
+	name := fs.String("name", "", "multimedia object name (required)")
+	tick := fs.Int64("tick", 0, "axis tick (ms on the default axis)")
+	width := fs.Int("width", 320, "canvas width")
+	height := fs.Int("height", 240, "canvas height")
+	out := fs.String("out", "composition.ppm", "output PPM path")
+	fs.Parse(args)
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	obj, err := db.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	f, err := db.RenderCompositionFrame(obj.ID, *tick, *width, *height)
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := export.WritePPM(file, f); err != nil {
+		return err
+	}
+	fmt.Printf("rendered %q at tick %d → %s (%dx%d)\n", *name, *tick, *out, *width, *height)
+	return nil
+}

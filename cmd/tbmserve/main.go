@@ -1,0 +1,43 @@
+// Command tbmserve serves a time-based-media database over HTTP — a
+// minimal video-on-demand facade over the catalog (see
+// internal/server for the API).
+//
+// Usage:
+//
+//	tbmserve -dir db -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "tbmdb", "database directory")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	store, err := blob.OpenFileStore(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	var db *catalog.DB
+	if _, err := os.Stat(*dir + "/catalog.gob"); err == nil {
+		db, err = catalog.Load(*dir, store)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		db = catalog.New(store)
+	}
+	fmt.Printf("serving %d objects from %s on %s\n", db.Len(), *dir, *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
+}

@@ -1,0 +1,123 @@
+package timedmedia_test
+
+import (
+	"testing"
+	"time"
+
+	"timedmedia"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+)
+
+// TestFacadeQuickstart exercises the README quickstart path through
+// the public facade only.
+func TestFacadeQuickstart(t *testing.T) {
+	db := timedmedia.NewDB(timedmedia.NewMemStore())
+
+	g := frame.Generator{W: 32, H: 24, Seed: 7}
+	frames := make([]*timedmedia.Frame, 25)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	clip, err := db.Ingest("clip", timedmedia.VideoValue(frames, timedmedia.PAL),
+		timedmedia.IngestOptions{Quality: timedmedia.QualityVHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	song, err := db.Ingest("song", timedmedia.AudioValue(audio.Sine(44100, 2, 440, 44100, 0.4), timedmedia.CDAudio),
+		timedmedia.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := db.SelectDuration(clip, "cut", 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	show, err := db.AddMultimedia("show", timedmedia.Millis, []timedmedia.ComponentRef{
+		{Object: cut, Start: 0},
+		{Object: song, Start: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink timedmedia.PlayerDiscard
+	rep, err := timedmedia.PlayComposition(db, show, timedmedia.NewVirtualClock(), &sink, timedmedia.PlayerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events == 0 || rep.MaxJitter() != 0 {
+		t.Errorf("events=%d jitter=%v", sink.Events, rep.MaxJitter())
+	}
+}
+
+// TestFacadePersistence drives save/load through the facade.
+func TestFacadePersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := timedmedia.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := timedmedia.NewDB(store)
+	g := frame.Generator{W: 16, H: 16, Seed: 1}
+	if _, err := db.Ingest("clip", timedmedia.VideoValue([]*timedmedia.Frame{g.Frame(0)}, timedmedia.PAL),
+		timedmedia.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := timedmedia.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := timedmedia.LoadDB(dir, store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db2.Lookup("clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Expand(obj.ID)
+	if err != nil || len(v.Video) != 1 {
+		t.Fatalf("expand: %v", err)
+	}
+}
+
+// TestFacadeTimeSystems checks the re-exported time systems.
+func TestFacadeTimeSystems(t *testing.T) {
+	if timedmedia.PAL.Frequency() != 25 || timedmedia.Film.Frequency() != 24 {
+		t.Error("time system constants wrong")
+	}
+	if s := timedmedia.NTSC.String(); s != "D_30000/1001" {
+		t.Errorf("NTSC = %s", s)
+	}
+}
+
+// TestFacadeSinkFunc checks the functional sink adapter and real
+// clock export.
+func TestFacadeSinkFunc(t *testing.T) {
+	n := 0
+	sink := timedmedia.PlayerSinkFunc(func(e timedmedia.PlayerEvent) error {
+		n++
+		return nil
+	})
+	if err := sink.Deliver(timedmedia.PlayerEvent{}); err != nil || n != 1 {
+		t.Error("sink func not invoked")
+	}
+	c := timedmedia.NewRealClock()
+	if c.Now() > time.Second {
+		t.Error("fresh clock should be near zero")
+	}
+}
+
+// TestFacadeMultimediaBuilder exercises compose.New via the facade.
+func TestFacadeMultimediaBuilder(t *testing.T) {
+	mm := timedmedia.NewMultimedia("x", timedmedia.Millis)
+	if mm.Len() != 0 {
+		t.Error("fresh multimedia should be empty")
+	}
+	if timedmedia.EncodeParams(map[string]int{"a": 1}) == nil {
+		t.Error("EncodeParams returned nil")
+	}
+}

@@ -1,0 +1,3 @@
+module timedmedia
+
+go 1.22

@@ -1,0 +1,93 @@
+package activity
+
+import (
+	"timedmedia/internal/interp"
+)
+
+// Bridges between the activity graph and the rest of the system:
+// a producer that reads an interpretation track element-by-element,
+// and transformers built from common element operations. Together they
+// realize the conclusion's picture: a stored stream flows out of the
+// database, through transforming activities, into a consumer — without
+// materializing intermediates.
+
+// TrackProducer emits a track's elements in presentation order.
+type TrackProducer struct {
+	it    *interp.Interpretation
+	track string
+	next  int
+	total int
+}
+
+// NewTrackProducer creates a producer over one interpretation track.
+func NewTrackProducer(it *interp.Interpretation, track string) (*TrackProducer, error) {
+	tr, err := it.Track(track)
+	if err != nil {
+		return nil, err
+	}
+	return &TrackProducer{it: it, track: track, total: tr.Len()}, nil
+}
+
+// Name implements Producer.
+func (p *TrackProducer) Name() string { return "read:" + p.track }
+
+// Next implements Producer.
+func (p *TrackProducer) Next() (Item, bool, error) {
+	if p.next >= p.total {
+		return Item{}, false, nil
+	}
+	tr, err := p.it.Track(p.track)
+	if err != nil {
+		return Item{}, false, err
+	}
+	el := tr.Stream().At(p.next)
+	payload, err := p.it.Payload(p.track, p.next)
+	if err != nil {
+		return Item{}, false, err
+	}
+	p.next++
+	return Item{Start: el.Start, Dur: el.Dur, Payload: payload}, true, nil
+}
+
+// Gate passes only items whose interval intersects [from, to) — a
+// streaming selection (the activity form of an edit-list entry).
+func Gate(name string, from, to int64) FuncTransformer {
+	return FuncTransformer{
+		ActivityName: name,
+		Fn: func(i Item) ([]Item, error) {
+			end := i.Start + i.Dur
+			if i.Start >= to || (end <= from && !(i.Dur == 0 && i.Start >= from)) {
+				return nil, nil
+			}
+			return []Item{i}, nil
+		},
+	}
+}
+
+// Shift translates item timing by delta ticks — the streaming form of
+// the temporal-translation derivation.
+func Shift(name string, delta int64) FuncTransformer {
+	return FuncTransformer{
+		ActivityName: name,
+		Fn: func(i Item) ([]Item, error) {
+			i.Start += delta
+			return []Item{i}, nil
+		},
+	}
+}
+
+// Collect is a consumer gathering all items (for tests and for
+// re-ingesting transformed streams).
+type Collect struct {
+	ActivityName string
+	Items        []Item
+}
+
+// Name implements Consumer.
+func (c *Collect) Name() string { return c.ActivityName }
+
+// Consume implements Consumer.
+func (c *Collect) Consume(i Item) error {
+	c.Items = append(c.Items, i)
+	return nil
+}

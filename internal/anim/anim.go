@@ -1,0 +1,265 @@
+// Package anim implements the animation substrate: movement
+// specifications over a 2-D scene, represented — as the paper
+// describes — by a *non-continuous* timed stream: "At times when the
+// animated object is at rest there are no associated media elements."
+//
+// A Scene holds sprites (colored rectangles); a Movement element moves
+// one sprite linearly over an interval. Rendering a scene at a frame
+// time rasterizes sprite positions interpolated from the movements in
+// effect — the "derivation via rendering" that turns animation into
+// video (Section 6).
+package anim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// Errors.
+var (
+	ErrNoSprite  = errors.New("anim: movement references unknown sprite")
+	ErrTruncated = errors.New("anim: truncated serialized movement")
+	ErrBadSpan   = errors.New("anim: movement duration must be positive")
+	ErrBadScene  = errors.New("anim: scene dimensions must be positive")
+)
+
+// Sprite is a colored rectangle with an initial position.
+type Sprite struct {
+	ID      uint32
+	W, H    int
+	R, G, B byte
+	X0, Y0  int // initial position (top-left)
+}
+
+// Movement is one media element of an animation stream: sprite ID,
+// start tick, duration, and the displacement applied linearly over the
+// interval.
+type Movement struct {
+	Sprite uint32
+	Tick   int64 // start time in frames
+	Dur    int64 // duration in frames, > 0
+	DX, DY int   // total displacement over the movement
+}
+
+// movementSize is the fixed serialized size of a Movement in bytes.
+const movementSize = 4 + 8 + 8 + 8 + 8
+
+// Marshal serializes the movement for BLOB storage.
+func (m Movement) Marshal() []byte {
+	buf := make([]byte, 0, movementSize)
+	buf = binary.BigEndian.AppendUint32(buf, m.Sprite)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Tick))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Dur))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.DX)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.DY)))
+	return buf
+}
+
+// UnmarshalMovement parses a serialized movement.
+func UnmarshalMovement(data []byte) (Movement, error) {
+	if len(data) < movementSize {
+		return Movement{}, ErrTruncated
+	}
+	return Movement{
+		Sprite: binary.BigEndian.Uint32(data),
+		Tick:   int64(binary.BigEndian.Uint64(data[4:])),
+		Dur:    int64(binary.BigEndian.Uint64(data[12:])),
+		DX:     int(int64(binary.BigEndian.Uint64(data[20:]))),
+		DY:     int(int64(binary.BigEndian.Uint64(data[28:]))),
+	}, nil
+}
+
+// Scene is an animation object: sprites plus a movement list, rendered
+// at a frame rate over given dimensions.
+type Scene struct {
+	W, H      int
+	Rate      timebase.System
+	BG        [3]byte
+	Sprites   []Sprite
+	Movements []Movement
+}
+
+// NewScene returns a scene with a dark background.
+func NewScene(w, h int, rate timebase.System) *Scene {
+	return &Scene{W: w, H: h, Rate: rate, BG: [3]byte{16, 16, 32}}
+}
+
+// AddSprite registers a sprite and returns its ID.
+func (s *Scene) AddSprite(w, h int, r, g, b byte, x0, y0 int) uint32 {
+	id := uint32(len(s.Sprites) + 1)
+	s.Sprites = append(s.Sprites, Sprite{ID: id, W: w, H: h, R: r, G: g, B: b, X0: x0, Y0: y0})
+	return id
+}
+
+// Move schedules a linear movement of a sprite.
+func (s *Scene) Move(sprite uint32, tick, dur int64, dx, dy int) {
+	s.Movements = append(s.Movements, Movement{Sprite: sprite, Tick: tick, Dur: dur, DX: dx, DY: dy})
+	sort.SliceStable(s.Movements, func(i, j int) bool { return s.Movements[i].Tick < s.Movements[j].Tick })
+}
+
+// Validate checks scene consistency.
+func (s *Scene) Validate() error {
+	if s.W <= 0 || s.H <= 0 {
+		return ErrBadScene
+	}
+	ids := map[uint32]bool{}
+	for _, sp := range s.Sprites {
+		ids[sp.ID] = true
+	}
+	for i, m := range s.Movements {
+		if !ids[m.Sprite] {
+			return fmt.Errorf("%w: movement %d → sprite %d", ErrNoSprite, i, m.Sprite)
+		}
+		if m.Dur <= 0 {
+			return fmt.Errorf("%w: movement %d", ErrBadSpan, i)
+		}
+		if i > 0 && m.Tick < s.Movements[i-1].Tick {
+			return errors.New("anim: movements must be sorted by tick")
+		}
+	}
+	return nil
+}
+
+// Duration returns the tick at which the last movement completes.
+func (s *Scene) Duration() int64 {
+	var end int64
+	for _, m := range s.Movements {
+		if m.Tick+m.Dur > end {
+			end = m.Tick + m.Dur
+		}
+	}
+	return end
+}
+
+// positionAt computes the sprite's top-left corner at frame t by
+// accumulating completed movements and interpolating the active one.
+func (s *Scene) positionAt(sp Sprite, t int64) (x, y int) {
+	x, y = sp.X0, sp.Y0
+	for _, m := range s.Movements {
+		if m.Sprite != sp.ID {
+			continue
+		}
+		switch {
+		case t >= m.Tick+m.Dur:
+			x += m.DX
+			y += m.DY
+		case t > m.Tick:
+			f := float64(t-m.Tick) / float64(m.Dur)
+			x += int(float64(m.DX) * f)
+			y += int(float64(m.DY) * f)
+		}
+	}
+	return x, y
+}
+
+// Render rasterizes frame t as RGB.
+func (s *Scene) Render(t int64) *frame.Frame {
+	f := frame.New(s.W, s.H, media.ColorRGB)
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			f.SetRGB(x, y, s.BG[0], s.BG[1], s.BG[2])
+		}
+	}
+	for _, sp := range s.Sprites {
+		px, py := s.positionAt(sp, t)
+		for y := py; y < py+sp.H; y++ {
+			if y < 0 || y >= s.H {
+				continue
+			}
+			for x := px; x < px+sp.W; x++ {
+				if x < 0 || x >= s.W {
+					continue
+				}
+				f.SetRGB(x, y, sp.R, sp.G, sp.B)
+			}
+		}
+	}
+	return f
+}
+
+// Elements returns the animation's timed-stream elements — one per
+// movement, with gaps while everything is at rest and overlaps when
+// several sprites move at once — exactly the paper's characterization
+// of animation as a non-continuous medium.
+type Element struct {
+	Movement Movement
+	Payload  []byte
+}
+
+// Elements serializes the movement list as stream elements.
+func (s *Scene) Elements() []Element {
+	out := make([]Element, len(s.Movements))
+	for i, m := range s.Movements {
+		out[i] = Element{Movement: m, Payload: m.Marshal()}
+	}
+	return out
+}
+
+// Scene metadata serialization: dimensions, rate, background and
+// sprites — everything except the movement stream, which is stored
+// element-by-element under an interpretation.
+//
+// Layout: "TMAN" | u16 w | u16 h | u32 rateNum | u32 rateDen |
+// bg r,g,b | u16 spriteCount | per sprite: u32 id | u16 w,h |
+// r,g,b | i32 x0,y0.
+
+const metaMagic = "TMAN"
+
+// MarshalMeta serializes the scene metadata (no movements).
+func (s *Scene) MarshalMeta() []byte {
+	buf := make([]byte, 0, 32+len(s.Sprites)*17)
+	buf = append(buf, metaMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(s.W))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(s.H))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Rate.Num))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Rate.Den))
+	buf = append(buf, s.BG[0], s.BG[1], s.BG[2])
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Sprites)))
+	for _, sp := range s.Sprites {
+		buf = binary.BigEndian.AppendUint32(buf, sp.ID)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(sp.W))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(sp.H))
+		buf = append(buf, sp.R, sp.G, sp.B)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(sp.X0)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(sp.Y0)))
+	}
+	return buf
+}
+
+// UnmarshalMeta reconstructs a scene (without movements).
+func UnmarshalMeta(data []byte) (*Scene, error) {
+	if len(data) < 21 || string(data[:4]) != metaMagic {
+		return nil, ErrTruncated
+	}
+	w := int(binary.BigEndian.Uint16(data[4:]))
+	h := int(binary.BigEndian.Uint16(data[6:]))
+	rate, err := timebase.New(int64(binary.BigEndian.Uint32(data[8:])), int64(binary.BigEndian.Uint32(data[12:])))
+	if err != nil {
+		return nil, fmt.Errorf("anim: %w", err)
+	}
+	s := &Scene{W: w, H: h, Rate: rate, BG: [3]byte{data[16], data[17], data[18]}}
+	count := int(binary.BigEndian.Uint16(data[19:]))
+	off := 21
+	for i := 0; i < count; i++ {
+		if len(data)-off < 19 {
+			return nil, ErrTruncated
+		}
+		sp := Sprite{
+			ID: binary.BigEndian.Uint32(data[off:]),
+			W:  int(binary.BigEndian.Uint16(data[off+4:])),
+			H:  int(binary.BigEndian.Uint16(data[off+6:])),
+			R:  data[off+8], G: data[off+9], B: data[off+10],
+			X0: int(int32(binary.BigEndian.Uint32(data[off+11:]))),
+			Y0: int(int32(binary.BigEndian.Uint32(data[off+15:]))),
+		}
+		s.Sprites = append(s.Sprites, sp)
+		off += 19
+	}
+	return s, nil
+}

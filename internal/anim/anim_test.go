@@ -1,0 +1,197 @@
+package anim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"timedmedia/internal/frame"
+	"timedmedia/internal/timebase"
+)
+
+func testScene() *Scene {
+	s := NewScene(64, 48, timebase.PAL)
+	id := s.AddSprite(8, 8, 255, 0, 0, 0, 0)
+	s.Move(id, 0, 10, 40, 20)
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	s := testScene()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Movements[0].Sprite = 99
+	if err := s.Validate(); !errors.Is(err, ErrNoSprite) {
+		t.Errorf("unknown sprite: %v", err)
+	}
+	s = testScene()
+	s.Movements[0].Dur = 0
+	if err := s.Validate(); !errors.Is(err, ErrBadSpan) {
+		t.Errorf("zero duration: %v", err)
+	}
+	s = NewScene(0, 10, timebase.PAL)
+	if err := s.Validate(); !errors.Is(err, ErrBadScene) {
+		t.Errorf("bad scene: %v", err)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	s := testScene()
+	if s.Duration() != 10 {
+		t.Errorf("duration = %d", s.Duration())
+	}
+	id := s.Sprites[0].ID
+	s.Move(id, 20, 5, -10, 0)
+	if s.Duration() != 25 {
+		t.Errorf("duration = %d", s.Duration())
+	}
+}
+
+func TestPositionInterpolation(t *testing.T) {
+	s := testScene()
+	sp := s.Sprites[0]
+	x, y := s.positionAt(sp, 0)
+	if x != 0 || y != 0 {
+		t.Errorf("t=0 pos = %d,%d", x, y)
+	}
+	x, y = s.positionAt(sp, 5)
+	if x != 20 || y != 10 {
+		t.Errorf("t=5 pos = %d,%d", x, y)
+	}
+	x, y = s.positionAt(sp, 10)
+	if x != 40 || y != 20 {
+		t.Errorf("t=10 pos = %d,%d", x, y)
+	}
+	x, y = s.positionAt(sp, 100) // after movement: stays put (at rest)
+	if x != 40 || y != 20 {
+		t.Errorf("t=100 pos = %d,%d", x, y)
+	}
+}
+
+func TestRenderMovesSprite(t *testing.T) {
+	s := testScene()
+	f0 := s.Render(0)
+	f5 := s.Render(5)
+	// Sprite at origin in f0.
+	if r, _, _ := f0.RGB(2, 2); r != 255 {
+		t.Error("sprite not rendered at origin")
+	}
+	// Background where the sprite will later be.
+	if r, _, _ := f0.RGB(22, 12); r != 16 {
+		t.Error("expected background at future position")
+	}
+	// Sprite moved at t=5.
+	if r, _, _ := f5.RGB(22, 12); r != 255 {
+		t.Error("sprite not rendered at interpolated position")
+	}
+	d, _ := frame.MeanAbsDiff(f0, f5)
+	if d == 0 {
+		t.Error("frames identical despite movement")
+	}
+}
+
+func TestRenderClipsOffscreen(t *testing.T) {
+	s := NewScene(32, 32, timebase.PAL)
+	id := s.AddSprite(8, 8, 200, 0, 0, 28, 28) // partially offscreen
+	s.Move(id, 0, 4, 20, 20)                   // moves fully offscreen
+	f := s.Render(4)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderAtRestIsStatic(t *testing.T) {
+	// Gaps in the movement stream: renders during a rest are identical
+	// (the non-continuity of the paper's animation example).
+	s := testScene()
+	a := s.Render(12)
+	b := s.Render(15)
+	d, _ := frame.MeanAbsDiff(a, b)
+	if d != 0 {
+		t.Errorf("frames differ during rest: mad=%v", d)
+	}
+}
+
+func TestMovementMarshalRoundTripProperty(t *testing.T) {
+	f := func(sprite uint32, tick, dur int64, dx, dy int32) bool {
+		m := Movement{Sprite: sprite, Tick: tick, Dur: dur, DX: int(dx), DY: int(dy)}
+		got, err := UnmarshalMovement(m.Marshal())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalMovementTruncated(t *testing.T) {
+	if _, err := UnmarshalMovement(make([]byte, 8)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestElements(t *testing.T) {
+	s := testScene()
+	s.Move(s.Sprites[0].ID, 20, 5, 1, 1)
+	els := s.Elements()
+	if len(els) != 2 {
+		t.Fatalf("elements = %d", len(els))
+	}
+	m, err := UnmarshalMovement(els[1].Payload)
+	if err != nil || m != s.Movements[1] {
+		t.Errorf("payload round trip: %+v err=%v", m, err)
+	}
+}
+
+func TestMoveKeepsSorted(t *testing.T) {
+	s := NewScene(10, 10, timebase.PAL)
+	id := s.AddSprite(2, 2, 1, 2, 3, 0, 0)
+	s.Move(id, 50, 5, 1, 0)
+	s.Move(id, 10, 5, 1, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Movements[0].Tick != 10 {
+		t.Errorf("first movement tick = %d", s.Movements[0].Tick)
+	}
+}
+
+func TestSceneMetaRoundTrip(t *testing.T) {
+	s := NewScene(320, 200, timebase.PAL)
+	s.BG = [3]byte{9, 8, 7}
+	s.AddSprite(10, 12, 1, 2, 3, -5, 40)
+	s.AddSprite(6, 6, 200, 100, 50, 300, 190)
+	got, err := UnmarshalMeta(s.MarshalMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 320 || got.H != 200 || got.BG != s.BG || !got.Rate.Equal(s.Rate) {
+		t.Errorf("meta = %+v", got)
+	}
+	if len(got.Sprites) != 2 {
+		t.Fatalf("sprites = %d", len(got.Sprites))
+	}
+	for i := range s.Sprites {
+		if got.Sprites[i] != s.Sprites[i] {
+			t.Errorf("sprite %d = %+v, want %+v", i, got.Sprites[i], s.Sprites[i])
+		}
+	}
+	if len(got.Movements) != 0 {
+		t.Error("meta must not carry movements")
+	}
+}
+
+func TestUnmarshalMetaErrors(t *testing.T) {
+	if _, err := UnmarshalMeta(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := UnmarshalMeta([]byte("XXXX0123456789abcdefgh")); err == nil {
+		t.Error("bad magic must fail")
+	}
+	s := NewScene(8, 8, timebase.PAL)
+	s.AddSprite(1, 1, 0, 0, 0, 0, 0)
+	data := s.MarshalMeta()
+	if _, err := UnmarshalMeta(data[:len(data)-2]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated sprites: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package audio provides PCM sample buffers, synthetic signal
+// generation, and level analysis for the audio substrate.
+//
+// Samples are int16 regardless of on-disk sample size; channel data is
+// interleaved (L R L R ... for stereo) as in the paper's Figure 2
+// example where "audio samples follow the associated video frame".
+package audio
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrChannelMismatch is returned when combining buffers whose channel
+// counts differ.
+var ErrChannelMismatch = errors.New("audio: channel count mismatch")
+
+// Buffer holds interleaved PCM samples.
+type Buffer struct {
+	Channels int
+	Samples  []int16 // length = frames * Channels
+}
+
+// NewBuffer allocates a zeroed buffer for the given number of frames
+// (sample tuples across channels).
+func NewBuffer(frames, channels int) *Buffer {
+	return &Buffer{Channels: channels, Samples: make([]int16, frames*channels)}
+}
+
+// Frames returns the number of per-channel sample tuples.
+func (b *Buffer) Frames() int {
+	if b.Channels == 0 {
+		return 0
+	}
+	return len(b.Samples) / b.Channels
+}
+
+// Clone returns a deep copy.
+func (b *Buffer) Clone() *Buffer {
+	return &Buffer{Channels: b.Channels, Samples: append([]int16(nil), b.Samples...)}
+}
+
+// Slice returns the sub-buffer covering frames [from, to). The
+// returned buffer shares storage with b.
+func (b *Buffer) Slice(from, to int) *Buffer {
+	return &Buffer{Channels: b.Channels, Samples: b.Samples[from*b.Channels : to*b.Channels]}
+}
+
+// Peak returns the maximum absolute sample value, 0..32768.
+func (b *Buffer) Peak() int {
+	peak := 0
+	for _, s := range b.Samples {
+		v := int(s)
+		if v < 0 {
+			v = -v
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// RMS returns the root-mean-square level of the buffer.
+func (b *Buffer) RMS() float64 {
+	if len(b.Samples) == 0 {
+		return 0
+	}
+	var sq float64
+	for _, s := range b.Samples {
+		sq += float64(s) * float64(s)
+	}
+	return math.Sqrt(sq / float64(len(b.Samples)))
+}
+
+// Gain scales every sample by factor, clamping to the int16 range.
+// This is the kernel of the paper's "audio normalization" derivation.
+func (b *Buffer) Gain(factor float64) {
+	for i, s := range b.Samples {
+		v := math.Round(float64(s) * factor)
+		if v > math.MaxInt16 {
+			v = math.MaxInt16
+		}
+		if v < math.MinInt16 {
+			v = math.MinInt16
+		}
+		b.Samples[i] = int16(v)
+	}
+}
+
+// MixInto adds src into dst sample-by-sample with saturation; both
+// buffers must have the same channel count. If src is shorter, only
+// the overlapping prefix is mixed. Used by temporal composition to
+// present simultaneous audio components (music + narration).
+func MixInto(dst, src *Buffer) error {
+	if dst.Channels != src.Channels {
+		return ErrChannelMismatch
+	}
+	n := len(dst.Samples)
+	if len(src.Samples) < n {
+		n = len(src.Samples)
+	}
+	for i := 0; i < n; i++ {
+		v := int32(dst.Samples[i]) + int32(src.Samples[i])
+		if v > math.MaxInt16 {
+			v = math.MaxInt16
+		}
+		if v < math.MinInt16 {
+			v = math.MinInt16
+		}
+		dst.Samples[i] = int16(v)
+	}
+	return nil
+}
+
+// Sine fills a new buffer with a sine tone of the given frequency (Hz)
+// at the given sample rate and amplitude (0..1).
+func Sine(frames, channels int, freqHz, sampleRateHz, amplitude float64) *Buffer {
+	b := NewBuffer(frames, channels)
+	scale := amplitude * math.MaxInt16
+	for f := 0; f < frames; f++ {
+		v := int16(scale * math.Sin(2*math.Pi*freqHz*float64(f)/sampleRateHz))
+		for c := 0; c < channels; c++ {
+			b.Samples[f*channels+c] = v
+		}
+	}
+	return b
+}
+
+// Sweep fills a new buffer with a linear frequency sweep, giving
+// codecs a non-stationary signal.
+func Sweep(frames, channels int, fromHz, toHz, sampleRateHz, amplitude float64) *Buffer {
+	b := NewBuffer(frames, channels)
+	scale := amplitude * math.MaxInt16
+	phase := 0.0
+	for f := 0; f < frames; f++ {
+		t := float64(f) / float64(frames)
+		freq := fromHz + (toHz-fromHz)*t
+		phase += 2 * math.Pi * freq / sampleRateHz
+		v := int16(scale * math.Sin(phase))
+		for c := 0; c < channels; c++ {
+			b.Samples[f*channels+c] = v
+		}
+	}
+	return b
+}
+
+// SNR returns the signal-to-noise ratio in dB of buffer b against
+// reference ref (the codec-quality analogue of frame.PSNR); +Inf for
+// identical content.
+func SNR(ref, b *Buffer) float64 {
+	n := len(ref.Samples)
+	if len(b.Samples) < n {
+		n = len(b.Samples)
+	}
+	var sig, noise float64
+	for i := 0; i < n; i++ {
+		s := float64(ref.Samples[i])
+		d := s - float64(b.Samples[i])
+		sig += s * s
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	if sig == 0 {
+		return 0
+	}
+	return 10 * math.Log10(sig/noise)
+}

@@ -1,0 +1,131 @@
+package audio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBufferFrames(t *testing.T) {
+	b := NewBuffer(100, 2)
+	if b.Frames() != 100 || len(b.Samples) != 200 {
+		t.Errorf("frames=%d len=%d", b.Frames(), len(b.Samples))
+	}
+	var empty Buffer
+	if empty.Frames() != 0 {
+		t.Error("zero buffer should have 0 frames")
+	}
+}
+
+func TestSinePeakAndRMS(t *testing.T) {
+	b := Sine(44100, 2, 440, 44100, 0.5)
+	peak := b.Peak()
+	want := math.MaxInt16 / 2
+	if peak < want-200 || peak > want+200 {
+		t.Errorf("peak = %d, want ≈%d", peak, want)
+	}
+	// RMS of a sine is peak/sqrt(2).
+	rms := b.RMS()
+	if math.Abs(rms-float64(want)/math.Sqrt2) > 300 {
+		t.Errorf("rms = %v", rms)
+	}
+}
+
+func TestGainNormalization(t *testing.T) {
+	b := Sine(4410, 1, 440, 44100, 0.25)
+	peak := b.Peak()
+	b.Gain(float64(32767) / float64(peak))
+	if got := b.Peak(); got < 32000 {
+		t.Errorf("normalized peak = %d", got)
+	}
+}
+
+func TestGainClamps(t *testing.T) {
+	b := &Buffer{Channels: 1, Samples: []int16{30000, -30000}}
+	b.Gain(10)
+	if b.Samples[0] != math.MaxInt16 || b.Samples[1] != math.MinInt16 {
+		t.Errorf("samples = %v", b.Samples)
+	}
+}
+
+func TestMixIntoSaturates(t *testing.T) {
+	dst := &Buffer{Channels: 1, Samples: []int16{30000, -30000, 100}}
+	src := &Buffer{Channels: 1, Samples: []int16{10000, -10000, 50}}
+	if err := MixInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Samples[0] != math.MaxInt16 || dst.Samples[1] != math.MinInt16 || dst.Samples[2] != 150 {
+		t.Errorf("mixed = %v", dst.Samples)
+	}
+}
+
+func TestMixIntoChannelMismatch(t *testing.T) {
+	if err := MixInto(NewBuffer(4, 2), NewBuffer(4, 1)); err != ErrChannelMismatch {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMixIntoShorterSource(t *testing.T) {
+	dst := NewBuffer(10, 1)
+	src := &Buffer{Channels: 1, Samples: []int16{5, 5}}
+	if err := MixInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Samples[0] != 5 || dst.Samples[2] != 0 {
+		t.Errorf("mixed = %v", dst.Samples[:4])
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	b := NewBuffer(10, 2)
+	s := b.Slice(2, 4)
+	if s.Frames() != 2 {
+		t.Errorf("frames = %d", s.Frames())
+	}
+	s.Samples[0] = 7
+	if b.Samples[4] != 7 {
+		t.Error("Slice must share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := Sine(100, 1, 440, 44100, 0.5)
+	c := b.Clone()
+	c.Samples[0] = 12345
+	if b.Samples[0] == 12345 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSNR(t *testing.T) {
+	ref := Sine(4410, 1, 440, 44100, 0.5)
+	if !math.IsInf(SNR(ref, ref.Clone()), 1) {
+		t.Error("identical buffers must have infinite SNR")
+	}
+	noisy := ref.Clone()
+	for i := range noisy.Samples {
+		noisy.Samples[i] += int16(i % 7)
+	}
+	snr := SNR(ref, noisy)
+	if snr < 20 || snr > 120 {
+		t.Errorf("snr = %v", snr)
+	}
+}
+
+func TestSweepIsNonStationary(t *testing.T) {
+	b := Sweep(44100, 1, 100, 4000, 44100, 0.8)
+	// Zero-crossing rate in the last tenth must exceed the first tenth.
+	zc := func(s []int16) int {
+		n := 0
+		for i := 1; i < len(s); i++ {
+			if (s[i-1] < 0) != (s[i] < 0) {
+				n++
+			}
+		}
+		return n
+	}
+	first := zc(b.Samples[:4410])
+	last := zc(b.Samples[len(b.Samples)-4410:])
+	if last <= first {
+		t.Errorf("sweep zero crossings: first=%d last=%d", first, last)
+	}
+}

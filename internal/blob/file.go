@@ -1,0 +1,222 @@
+package blob
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileStore is a Store backed by one file per BLOB inside a directory.
+// It persists across process restarts: opening an existing directory
+// rediscovers its BLOBs. Safe for concurrent use.
+type FileStore struct {
+	mu    sync.Mutex
+	dir   string
+	next  ID
+	open  map[ID]*fileBLOB
+	stats Stats
+}
+
+// OpenFileStore opens (creating if necessary) a file-backed store in
+// dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	s := &FileStore{dir: dir, next: 1, open: map[ID]*fileBLOB{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	for _, e := range entries {
+		id, ok := parseBlobName(e.Name())
+		if !ok {
+			continue
+		}
+		if id >= s.next {
+			s.next = id + 1
+		}
+	}
+	return s, nil
+}
+
+func blobName(id ID) string { return fmt.Sprintf("%d.blob", uint64(id)) }
+
+func parseBlobName(name string) (ID, bool) {
+	base, ok := strings.CutSuffix(name, ".blob")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return ID(n), true
+}
+
+func (s *FileStore) path(id ID) string { return filepath.Join(s.dir, blobName(id)) }
+
+// Create implements Store.
+func (s *FileStore) Create() (ID, BLOB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	f, err := os.OpenFile(s.path(id), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return 0, nil, fmt.Errorf("blob: %w", err)
+	}
+	b := &fileBLOB{f: f, stats: &s.stats}
+	s.open[id] = b
+	return id, b, nil
+}
+
+// Open implements Store.
+func (s *FileStore) Open(id ID) (BLOB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.open[id]; ok {
+		return b, nil
+	}
+	f, err := os.OpenFile(s.path(id), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	b := &fileBLOB{f: f, stats: &s.stats}
+	s.open[id] = b
+	return b, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.open[id]; ok {
+		b.close()
+		delete(s.open, id)
+	}
+	if err := os.Remove(s.path(id)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %v", ErrNotFound, id)
+		}
+		return fmt.Errorf("blob: %w", err)
+	}
+	return nil
+}
+
+// IDs implements Store.
+func (s *FileStore) IDs() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []ID
+	for _, e := range entries {
+		if id, ok := parseBlobName(e.Name()); ok {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() *Stats { return &s.stats }
+
+// Close releases all open file handles.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, b := range s.open {
+		if err := b.close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.open, id)
+	}
+	return first
+}
+
+type fileBLOB struct {
+	mu    sync.Mutex
+	f     *os.File
+	stats *Stats
+}
+
+// ReadSpan implements BLOB.
+func (b *fileBLOB) ReadSpan(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, ErrOutOfRange
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil, ErrClosed
+	}
+	fi, err := b.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	if off+n > fi.Size() {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+n, fi.Size())
+	}
+	out := make([]byte, n)
+	if _, err := b.f.ReadAt(out, off); err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	b.stats.Reads.Add(1)
+	b.stats.BytesRead.Add(n)
+	return out, nil
+}
+
+// Append implements BLOB.
+func (b *fileBLOB) Append(data []byte) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return 0, ErrClosed
+	}
+	off, err := b.f.Seek(0, 2)
+	if err != nil {
+		return 0, fmt.Errorf("blob: %w", err)
+	}
+	if _, err := b.f.Write(data); err != nil {
+		return 0, fmt.Errorf("blob: %w", err)
+	}
+	b.stats.Appends.Add(1)
+	b.stats.BytesAppended.Add(int64(len(data)))
+	return off, nil
+}
+
+// Size implements BLOB.
+func (b *fileBLOB) Size() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return 0
+	}
+	fi, err := b.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+func (b *fileBLOB) close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil
+	}
+	err := b.f.Close()
+	b.f = nil
+	return err
+}

@@ -1,0 +1,269 @@
+// Package catalog implements the multimedia database: a catalog of
+// media objects, derivation objects and multimedia objects over a
+// BLOB store, with the three structuring relationships of the paper —
+// InterpretationOf, DerivedFrom (via derivation objects) and
+// ComponentOf — plus structural queries, expansion of derived
+// objects, materialization, and durable persistence.
+//
+// The catalog follows the paper's production workflow: "raw material
+// is created and added to the database, and then successively refined
+// (derived) and composed."
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/compose"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// Errors.
+var (
+	ErrNotFound     = errors.New("catalog: object not found")
+	ErrDupName      = errors.New("catalog: duplicate object name")
+	ErrNoInterp     = errors.New("catalog: blob has no interpretation")
+	ErrNotMedia     = errors.New("catalog: not a media object")
+	ErrNotComposite = errors.New("catalog: not a multimedia object")
+)
+
+// DB is the multimedia database. Safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	store   blob.Store
+	nextID  core.ID
+	objects map[core.ID]*core.Object
+	byName  map[string]core.ID
+	interps map[blob.ID]*interp.Interpretation
+
+	memoMu sync.Mutex
+	memo   map[core.ID]*derive.Value
+}
+
+// New creates a catalog over the given BLOB store.
+func New(store blob.Store) *DB {
+	return &DB{
+		store:   store,
+		nextID:  1,
+		objects: map[core.ID]*core.Object{},
+		byName:  map[string]core.ID{},
+		interps: map[blob.ID]*interp.Interpretation{},
+		memo:    map[core.ID]*derive.Value{},
+	}
+}
+
+// Store exposes the underlying BLOB store.
+func (db *DB) Store() blob.Store { return db.store }
+
+// RegisterInterpretation permanently associates a sealed
+// interpretation with its BLOB (Section 4.1: one complete
+// interpretation, built during capture).
+func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.interps[it.BlobID()]; dup {
+		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
+	}
+	db.interps[it.BlobID()] = it
+	return nil
+}
+
+// Interpretation returns the interpretation of a BLOB.
+func (db *DB) Interpretation(id blob.ID) (*interp.Interpretation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	it, ok := db.interps[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoInterp, id)
+	}
+	return it, nil
+}
+
+// AddNonDerived registers a media object bound to an interpretation
+// track. The descriptor is taken from the track.
+func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	it, ok := db.interps[blobID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNoInterp, blobID)
+	}
+	tr, err := it.Track(track)
+	if err != nil {
+		return 0, err
+	}
+	obj := &core.Object{
+		Name:  name,
+		Class: core.ClassNonDerived,
+		Kind:  tr.MediaType().Kind,
+		Desc:  tr.Descriptor(),
+		Attrs: attrs,
+		Blob:  blobID,
+		Track: track,
+	}
+	return db.insert(obj)
+}
+
+// AddDerived registers a derived media object. Inputs must already
+// exist (making cycles impossible by construction) and must satisfy
+// the operator's signature kinds.
+func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+	opImpl, err := derive.Lookup(op)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	lo, hi := opImpl.Arity()
+	if len(inputs) < lo || (hi >= 0 && len(inputs) > hi) {
+		return 0, fmt.Errorf("catalog: %s takes %d..%d inputs, got %d", op, lo, hi, len(inputs))
+	}
+	for i, in := range inputs {
+		src, ok := db.objects[in]
+		if !ok {
+			return 0, fmt.Errorf("%w: input %v", ErrNotFound, in)
+		}
+		if src.Class == core.ClassMultimedia {
+			return 0, fmt.Errorf("%w: input %v is a multimedia object", ErrNotMedia, in)
+		}
+		if want := opImpl.ArgKind(i); src.Kind != want {
+			return 0, fmt.Errorf("catalog: %s input %d is %v, want %v", op, i, src.Kind, want)
+		}
+	}
+	obj := &core.Object{
+		Name:       name,
+		Class:      core.ClassDerived,
+		Kind:       opImpl.ResultKind(),
+		Attrs:      attrs,
+		Derivation: &core.Derivation{Op: op, Inputs: append([]core.ID(nil), inputs...), Params: append([]byte(nil), params...)},
+	}
+	return db.insert(obj)
+}
+
+// AddMultimedia registers a multimedia object composing existing
+// objects on the given time axis.
+func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, c := range comps {
+		if _, ok := db.objects[c.Object]; !ok {
+			return 0, fmt.Errorf("%w: component %v", ErrNotFound, c.Object)
+		}
+	}
+	obj := &core.Object{
+		Name:       name,
+		Class:      core.ClassMultimedia,
+		Attrs:      attrs,
+		Multimedia: &core.MultimediaSpec{Time: axis, Components: append([]core.ComponentRef(nil), comps...)},
+	}
+	return db.insert(obj)
+}
+
+// AddSync records a synchronization constraint on a multimedia object.
+func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	obj, ok := db.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if obj.Class != core.ClassMultimedia {
+		return fmt.Errorf("%w: %v", ErrNotComposite, id)
+	}
+	if a < 0 || a >= len(obj.Multimedia.Components) || b < 0 || b >= len(obj.Multimedia.Components) {
+		return compose.ErrNoComponent
+	}
+	if maxSkew < 0 {
+		return compose.ErrBadSkew
+	}
+	obj.Multimedia.Syncs = append(obj.Multimedia.Syncs, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+	return nil
+}
+
+// insert assumes db.mu is held.
+func (db *DB) insert(obj *core.Object) (core.ID, error) {
+	if _, dup := db.byName[obj.Name]; dup {
+		return 0, fmt.Errorf("%w: %q", ErrDupName, obj.Name)
+	}
+	obj.ID = db.nextID
+	if err := obj.Validate(); err != nil {
+		return 0, err
+	}
+	db.nextID++
+	db.objects[obj.ID] = obj
+	db.byName[obj.Name] = obj.ID
+	return obj.ID, nil
+}
+
+// Get returns the object with the given ID.
+func (db *DB) Get(id core.ID) (*core.Object, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	obj, ok := db.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	return obj, nil
+}
+
+// Lookup returns the object with the given name.
+func (db *DB) Lookup(name string) (*core.Object, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return db.objects[id], nil
+}
+
+// Len returns the number of objects.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.objects)
+}
+
+// Select returns objects satisfying pred, ordered by ID — the
+// structural querying the paper motivates ("it is possible to issue
+// queries which select a specific sound track, or select a specific
+// duration, or perhaps retrieve frames at a specific visual
+// fidelity").
+func (db *DB) Select(pred func(*core.Object) bool) []*core.Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*core.Object
+	for _, obj := range db.objects {
+		if pred(obj) {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByKind selects media objects of a kind.
+func (db *DB) ByKind(k media.Kind) []*core.Object {
+	return db.Select(func(o *core.Object) bool { return o.Kind == k })
+}
+
+// ByAttr selects objects with attribute key = value (e.g.
+// language = "fr").
+func (db *DB) ByAttr(key, value string) []*core.Object {
+	return db.Select(func(o *core.Object) bool { return o.Attrs[key] == value })
+}
+
+// ByQuality selects media objects whose descriptor carries the given
+// quality factor.
+func (db *DB) ByQuality(q media.Quality) []*core.Object {
+	return db.Select(func(o *core.Object) bool {
+		return o.Desc != nil && o.Desc.QualityFactor() == q
+	})
+}

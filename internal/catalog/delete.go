@@ -1,0 +1,69 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+)
+
+// ErrInUse is returned when deleting an object that other objects
+// derive from or compose — the paper's warning about destroying
+// interpretations applies equally to dangling derivation inputs.
+var ErrInUse = errors.New("catalog: object is referenced by others")
+
+// Delete removes an object from the catalog. It refuses while any
+// other object references it (as a derivation input or composition
+// component). When the last object bound to a BLOB disappears, the
+// BLOB and its interpretation are garbage-collected.
+func (db *DB) Delete(id core.ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	obj, ok := db.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	for _, other := range db.objects {
+		if other.ID == id {
+			continue
+		}
+		if other.Derivation != nil {
+			for _, in := range other.Derivation.Inputs {
+				if in == id {
+					return fmt.Errorf("%w: %v ← %v", ErrInUse, id, other.ID)
+				}
+			}
+		}
+		if other.Multimedia != nil {
+			for _, c := range other.Multimedia.Components {
+				if c.Object == id {
+					return fmt.Errorf("%w: %v ← %v", ErrInUse, id, other.ID)
+				}
+			}
+		}
+	}
+	delete(db.objects, id)
+	delete(db.byName, obj.Name)
+	db.memoMu.Lock()
+	delete(db.memo, id)
+	db.memoMu.Unlock()
+
+	// GC the BLOB if no remaining object reads it.
+	if obj.Class == core.ClassNonDerived {
+		db.maybeCollectBlob(obj.Blob)
+	}
+	return nil
+}
+
+// maybeCollectBlob assumes db.mu is held.
+func (db *DB) maybeCollectBlob(id blob.ID) {
+	for _, other := range db.objects {
+		if other.Blob == id {
+			return
+		}
+	}
+	delete(db.interps, id)
+	// Best effort: a missing blob is already collected.
+	_ = db.store.Delete(id)
+}

@@ -1,0 +1,280 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"timedmedia/internal/anim"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/codec"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/music"
+)
+
+// Expansion errors.
+var (
+	ErrCannotExpand = errors.New("catalog: cannot expand object")
+	ErrBadEncoding  = errors.New("catalog: unsupported track encoding")
+)
+
+// Expand materializes a media object into element data (the paper's
+// "expand derived objects to produce actual (i.e., non-derived)
+// objects"). Non-derived objects decode from their interpretation;
+// derived objects expand their inputs recursively and apply the
+// derivation operator. Results are memoized per object.
+func (db *DB) Expand(id core.ID) (*derive.Value, error) {
+	db.memoMu.Lock()
+	if v, ok := db.memo[id]; ok {
+		db.memoMu.Unlock()
+		return v, nil
+	}
+	db.memoMu.Unlock()
+
+	obj, err := db.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var v *derive.Value
+	switch obj.Class {
+	case core.ClassNonDerived:
+		v, err = db.decodeTrack(obj)
+	case core.ClassDerived:
+		v, err = db.expandDerived(obj)
+	default:
+		return nil, fmt.Errorf("%w: %v is a multimedia object (play it instead)", ErrCannotExpand, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.memoMu.Lock()
+	db.memo[id] = v
+	db.memoMu.Unlock()
+	return v, nil
+}
+
+// InvalidateCache drops memoized expansions (benchmarks use this to
+// measure cold expansion).
+func (db *DB) InvalidateCache() {
+	db.memoMu.Lock()
+	db.memo = map[core.ID]*derive.Value{}
+	db.memoMu.Unlock()
+}
+
+func (db *DB) expandDerived(obj *core.Object) (*derive.Value, error) {
+	d := obj.Derivation
+	inputs := make([]*derive.Value, len(d.Inputs))
+	for i, in := range d.Inputs {
+		v, err := db.Expand(in)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
+		}
+		inputs[i] = v
+	}
+	return derive.Apply(d.Op, inputs, d.Params)
+}
+
+// decodeTrack decodes a non-derived object's elements from its
+// interpretation, dispatching on the track encoding.
+func (db *DB) decodeTrack(obj *core.Object) (*derive.Value, error) {
+	it, err := db.Interpretation(obj.Blob)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := it.Track(obj.Track)
+	if err != nil {
+		return nil, err
+	}
+	if tr.MediaType().Kind == media.KindImage {
+		return decodeImageTrack(it, tr)
+	}
+	switch enc := tr.MediaType().Encoding(); enc {
+	case media.EncodingVJPG:
+		return decodeVJPGTrack(it, tr)
+	case media.EncodingVMPG:
+		return decodeVMPGTrack(it, tr)
+	case media.EncodingRawRGB:
+		return decodeRawTrack(it, tr)
+	case media.EncodingPCM:
+		return decodePCMTrack(it, tr)
+	case media.EncodingADPCM:
+		return decodeADPCMTrack(it, tr)
+	case media.EncodingMIDI:
+		return decodeMIDITrack(it, tr)
+	case media.EncodingScene:
+		return decodeSceneTrack(it, tr)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadEncoding, enc)
+	}
+}
+
+func decodeVJPGTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	frames := make([]*frame.Frame, tr.Len())
+	for i := range frames {
+		layers, err := it.PayloadLayers(tr.Name(), i, -1)
+		if err != nil {
+			return nil, err
+		}
+		var f *frame.Frame
+		if len(layers) >= 2 {
+			f, err = codec.VJPGDecodeLayered(layers[0], layers[1])
+		} else {
+			f, err = codec.VJPGDecode(layers[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s[%d]: %w", tr.Name(), i, err)
+		}
+		frames[i] = f
+	}
+	return derive.VideoValue(frames, tr.MediaType().Time), nil
+}
+
+func decodeVMPGTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	packets := make([]codec.VMPGPacket, tr.Len())
+	for i := range packets {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		packets[i] = codec.VMPGPacket{Data: data, Index: i, Key: tr.Stream().At(i).Desc.Key}
+	}
+	frames, err := codec.VMPGDecode(packets)
+	if err != nil {
+		return nil, err
+	}
+	return derive.VideoValue(frames, tr.MediaType().Time), nil
+}
+
+func decodeImageTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	if tr.Len() != 1 {
+		return nil, fmt.Errorf("catalog: image track %q has %d elements", tr.Name(), tr.Len())
+	}
+	data, err := it.Payload(tr.Name(), 0)
+	if err != nil {
+		return nil, err
+	}
+	w, h := tr.MediaType().Dimensions()
+	model := media.ColorRGB
+	if tr.MediaType().Encoding() == media.EncodingCMYKSep {
+		model = media.ColorCMYK
+	}
+	f := frame.New(w, h, model)
+	if len(data) != len(f.Pix) {
+		return nil, fmt.Errorf("catalog: image payload %d bytes, want %d", len(data), len(f.Pix))
+	}
+	copy(f.Pix, data)
+	return derive.ImageValue(f), nil
+}
+
+func decodeRawTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	w, h := tr.MediaType().Dimensions()
+	frames := make([]*frame.Frame, tr.Len())
+	for i := range frames {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) != w*h*3 {
+			return nil, fmt.Errorf("catalog: raw frame %d has %d bytes, want %d", i, len(data), w*h*3)
+		}
+		f := frame.New(w, h, media.ColorRGB)
+		copy(f.Pix, data)
+		frames[i] = f
+	}
+	return derive.VideoValue(frames, tr.MediaType().Time), nil
+}
+
+func decodePCMTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	bits, channels := tr.MediaType().AudioLayout()
+	var raw []byte
+	for i := 0; i < tr.Len(); i++ {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, data...)
+	}
+	var buf *audio.Buffer
+	var err error
+	if bits == 8 {
+		buf, err = codec.PCMDecode8(raw, channels)
+	} else {
+		buf, err = codec.PCMDecode16(raw, channels)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return derive.AudioValue(buf, tr.MediaType().Time), nil
+}
+
+func decodeADPCMTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	_, channels := tr.MediaType().AudioLayout()
+	out := &audio.Buffer{Channels: channels}
+	for i := 0; i < tr.Len(); i++ {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		framesInBlock := int(tr.Stream().At(i).Dur)
+		blk, err := codec.ADPCMDecodeBlock(data, framesInBlock, channels)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s block %d: %w", tr.Name(), i, err)
+		}
+		out.Samples = append(out.Samples, blk.Samples...)
+	}
+	return derive.AudioValue(out, tr.MediaType().Time), nil
+}
+
+func decodeMIDITrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	seq := &music.Sequence{Division: tr.MediaType().Time}
+	for i := 0; i < tr.Len(); i++ {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := music.UnmarshalEvent(data)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s event %d: %w", tr.Name(), i, err)
+		}
+		seq.Events = append(seq.Events, ev)
+	}
+	seq.Sort()
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	return derive.MusicValue(seq), nil
+}
+
+func decodeSceneTrack(it *interp.Interpretation, tr *interp.Track) (*derive.Value, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("catalog: empty scene track %q", tr.Name())
+	}
+	// Element 0 is the scene header (marked Key); the rest are
+	// movements.
+	head, err := it.Payload(tr.Name(), 0)
+	if err != nil {
+		return nil, err
+	}
+	scene, err := anim.UnmarshalMeta(head)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < tr.Len(); i++ {
+		data, err := it.Payload(tr.Name(), i)
+		if err != nil {
+			return nil, err
+		}
+		m, err := anim.UnmarshalMovement(data)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s movement %d: %w", tr.Name(), i, err)
+		}
+		scene.Movements = append(scene.Movements, m)
+	}
+	if err := scene.Validate(); err != nil {
+		return nil, err
+	}
+	return derive.AnimValue(scene), nil
+}

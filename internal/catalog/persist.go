@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/compose"
+	"timedmedia/internal/core"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// Durable persistence: the object graph is gob-encoded into
+// catalog.gob next to a blob.FileStore directory; interpretations are
+// exported to their serializable form. Payload bytes stay in the BLOBs.
+
+// savedObject mirrors core.Object with the descriptor boxed for gob.
+type savedObject struct {
+	ID    core.ID
+	Name  string
+	Class core.Class
+	Kind  int
+	Desc  *interp.ExportedDescriptor
+	Attrs map[string]string
+
+	Blob  blob.ID
+	Track string
+
+	DerivOp     string
+	DerivInputs []core.ID
+	DerivParams []byte
+
+	MMTimeNum, MMTimeDen int64
+	MMComponents         []savedComponent
+	MMSyncs              []compose.SyncConstraint
+}
+
+type savedComponent struct {
+	Object core.ID
+	Start  int64
+	Region *compose.Region
+}
+
+type savedCatalog struct {
+	NextID  core.ID
+	Objects []savedObject
+	Interps []*interp.Exported
+}
+
+// Save writes the catalog's object graph and interpretations to
+// dir/catalog.gob. The BLOB store persists independently (use a
+// FileStore in the same dir).
+func (db *DB) Save(dir string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := savedCatalog{NextID: db.nextID}
+	for id := core.ID(1); id < db.nextID; id++ {
+		obj, ok := db.objects[id]
+		if !ok {
+			continue
+		}
+		so := savedObject{
+			ID: obj.ID, Name: obj.Name, Class: obj.Class, Kind: int(obj.Kind),
+			Attrs: obj.Attrs, Blob: obj.Blob, Track: obj.Track,
+		}
+		if obj.Desc != nil {
+			boxed, err := interp.WrapDescriptor(obj.Desc)
+			if err != nil {
+				return err
+			}
+			so.Desc = &boxed
+		}
+		if obj.Derivation != nil {
+			so.DerivOp = obj.Derivation.Op
+			so.DerivInputs = obj.Derivation.Inputs
+			so.DerivParams = obj.Derivation.Params
+		}
+		if obj.Multimedia != nil {
+			so.MMTimeNum = obj.Multimedia.Time.Num
+			so.MMTimeDen = obj.Multimedia.Time.Den
+			for _, c := range obj.Multimedia.Components {
+				so.MMComponents = append(so.MMComponents, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
+			}
+			so.MMSyncs = obj.Multimedia.Syncs
+		}
+		snap.Objects = append(snap.Objects, so)
+	}
+	for _, it := range db.interps {
+		rec, err := interp.Export(it)
+		if err != nil {
+			return err
+		}
+		snap.Interps = append(snap.Interps, rec)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	tmp := filepath.Join(dir, "catalog.gob.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, "catalog.gob"))
+}
+
+// Load reads a catalog saved with Save, resolving interpretations
+// against the given store.
+func Load(dir string, store blob.Store) (*DB, error) {
+	f, err := os.Open(filepath.Join(dir, "catalog.gob"))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	var snap savedCatalog
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	db := New(store)
+	db.nextID = snap.NextID
+	for _, rec := range snap.Interps {
+		b, err := store.Open(rec.BlobID)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: interpretation of missing %v: %w", rec.BlobID, err)
+		}
+		it, err := interp.Import(rec, b)
+		if err != nil {
+			return nil, err
+		}
+		db.interps[rec.BlobID] = it
+	}
+	for _, so := range snap.Objects {
+		obj := &core.Object{
+			ID: so.ID, Name: so.Name, Class: so.Class, Kind: kindFromInt(so.Kind),
+			Attrs: so.Attrs, Blob: so.Blob, Track: so.Track,
+		}
+		if so.Desc != nil {
+			d, err := so.Desc.Unwrap()
+			if err != nil {
+				return nil, err
+			}
+			obj.Desc = d
+		}
+		if so.DerivOp != "" {
+			obj.Derivation = &core.Derivation{Op: so.DerivOp, Inputs: so.DerivInputs, Params: so.DerivParams}
+		}
+		if len(so.MMComponents) != 0 {
+			axis, err := timebase.New(so.MMTimeNum, so.MMTimeDen)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: object %v: %w", so.ID, err)
+			}
+			spec := &core.MultimediaSpec{Time: axis, Syncs: so.MMSyncs}
+			for _, c := range so.MMComponents {
+				spec.Components = append(spec.Components, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
+			}
+			obj.Multimedia = spec
+		}
+		if err := obj.Validate(); err != nil {
+			return nil, fmt.Errorf("catalog: loaded object %v invalid: %w", so.ID, err)
+		}
+		db.objects[obj.ID] = obj
+		db.byName[obj.Name] = obj.ID
+	}
+	return db, nil
+}
+
+func kindFromInt(k int) (out media.Kind) { return media.Kind(k) }

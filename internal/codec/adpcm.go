@@ -1,0 +1,216 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"timedmedia/internal/audio"
+)
+
+// IMA-style ADPCM: 4 bits per sample (4:1 vs 16-bit PCM), block-based.
+// Each block starts with a per-channel header carrying the predictor
+// and step index — "a set of encoding parameters that vary over an
+// audio sequence. These parameters would be part of element
+// descriptors" (Section 3.3). One block is one stream element.
+
+// adpcm step size table (IMA standard).
+var stepTable = [89]int{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var indexTable = [16]int{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+type adpcmState struct {
+	predictor int
+	index     int
+}
+
+func (s *adpcmState) encodeSample(v int16) byte {
+	step := stepTable[s.index]
+	diff := int(v) - s.predictor
+	var code byte
+	if diff < 0 {
+		code = 8
+		diff = -diff
+	}
+	if diff >= step {
+		code |= 4
+		diff -= step
+	}
+	if diff >= step/2 {
+		code |= 2
+		diff -= step / 2
+	}
+	if diff >= step/4 {
+		code |= 1
+	}
+	s.decodeStep(code)
+	return code
+}
+
+// decodeStep applies code to the state and returns the reconstructed
+// sample.
+func (s *adpcmState) decodeStep(code byte) int16 {
+	step := stepTable[s.index]
+	diff := step >> 3
+	if code&4 != 0 {
+		diff += step
+	}
+	if code&2 != 0 {
+		diff += step >> 1
+	}
+	if code&1 != 0 {
+		diff += step >> 2
+	}
+	if code&8 != 0 {
+		s.predictor -= diff
+	} else {
+		s.predictor += diff
+	}
+	if s.predictor > 32767 {
+		s.predictor = 32767
+	}
+	if s.predictor < -32768 {
+		s.predictor = -32768
+	}
+	s.index += indexTable[code]
+	if s.index < 0 {
+		s.index = 0
+	}
+	if s.index > 88 {
+		s.index = 88
+	}
+	return int16(s.predictor)
+}
+
+// ADPCMBlockParams is the per-block varying state: the contents of an
+// element descriptor for ADPCM streams (one entry per channel).
+type ADPCMBlockParams struct {
+	Predictor []int16
+	StepIndex []uint8
+}
+
+// ADPCMEncodeBlock encodes frames [0, framesPerBlock) of b into one
+// block. The states carry across blocks (one per channel); the block
+// header records their entry values so blocks decode independently.
+//
+// Block layout: per channel {i16 predictor, u8 index}, then 4-bit
+// codes channel-interleaved, two per byte, zero-padded.
+func ADPCMEncodeBlock(b *audio.Buffer, states []*adpcmState) ([]byte, ADPCMBlockParams) {
+	ch := b.Channels
+	params := ADPCMBlockParams{Predictor: make([]int16, ch), StepIndex: make([]uint8, ch)}
+	head := make([]byte, 0, ch*3)
+	for c := 0; c < ch; c++ {
+		params.Predictor[c] = int16(states[c].predictor)
+		params.StepIndex[c] = uint8(states[c].index)
+		head = binary.LittleEndian.AppendUint16(head, uint16(states[c].predictor))
+		head = append(head, uint8(states[c].index))
+	}
+	codes := make([]byte, 0, (len(b.Samples)+1)/2)
+	var nibble byte
+	half := false
+	for i, s := range b.Samples {
+		code := states[i%ch].encodeSample(s)
+		_ = code
+		if !half {
+			nibble = code
+			half = true
+		} else {
+			codes = append(codes, nibble|code<<4)
+			half = false
+		}
+	}
+	if half {
+		codes = append(codes, nibble)
+	}
+	return append(head, codes...), params
+}
+
+// ADPCMDecodeBlock decodes one block of the given frame count and
+// channel layout.
+func ADPCMDecodeBlock(data []byte, frames, channels int) (*audio.Buffer, error) {
+	headLen := channels * 3
+	if len(data) < headLen {
+		return nil, fmt.Errorf("%w: adpcm block header", ErrCorrupt)
+	}
+	states := make([]*adpcmState, channels)
+	for c := 0; c < channels; c++ {
+		states[c] = &adpcmState{
+			predictor: int(int16(binary.LittleEndian.Uint16(data[c*3:]))),
+			index:     int(data[c*3+2]),
+		}
+		if states[c].index > 88 {
+			return nil, fmt.Errorf("%w: adpcm step index %d", ErrCorrupt, states[c].index)
+		}
+	}
+	n := frames * channels
+	if len(data)-headLen < (n+1)/2 {
+		return nil, fmt.Errorf("%w: adpcm block body", ErrCorrupt)
+	}
+	out := &audio.Buffer{Channels: channels, Samples: make([]int16, n)}
+	body := data[headLen:]
+	for i := 0; i < n; i++ {
+		var code byte
+		if i%2 == 0 {
+			code = body[i/2] & 0x0F
+		} else {
+			code = body[i/2] >> 4
+		}
+		out.Samples[i] = states[i%channels].decodeStep(code)
+	}
+	return out, nil
+}
+
+// ADPCMEncoder encodes an audio buffer into a sequence of blocks,
+// returning one encoded element per block together with its varying
+// parameters (the element descriptor content).
+type ADPCMBlock struct {
+	Data   []byte
+	Params ADPCMBlockParams
+	Frames int
+}
+
+// ADPCMEncode splits b into blocks of framesPerBlock frames (the last
+// block may be shorter) and encodes each.
+func ADPCMEncode(b *audio.Buffer, framesPerBlock int) ([]ADPCMBlock, error) {
+	if framesPerBlock <= 0 {
+		return nil, fmt.Errorf("codec: framesPerBlock must be positive")
+	}
+	states := make([]*adpcmState, b.Channels)
+	for c := range states {
+		states[c] = &adpcmState{}
+	}
+	var blocks []ADPCMBlock
+	total := b.Frames()
+	for off := 0; off < total; off += framesPerBlock {
+		end := off + framesPerBlock
+		if end > total {
+			end = total
+		}
+		sub := b.Slice(off, end)
+		data, params := ADPCMEncodeBlock(sub, states)
+		blocks = append(blocks, ADPCMBlock{Data: data, Params: params, Frames: end - off})
+	}
+	return blocks, nil
+}
+
+// ADPCMDecode reassembles a full buffer from blocks.
+func ADPCMDecode(blocks []ADPCMBlock, channels int) (*audio.Buffer, error) {
+	out := &audio.Buffer{Channels: channels}
+	for _, blk := range blocks {
+		buf, err := ADPCMDecodeBlock(blk.Data, blk.Frames, channels)
+		if err != nil {
+			return nil, err
+		}
+		out.Samples = append(out.Samples, buf.Samples...)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"timedmedia/internal/audio"
+)
+
+func TestPCM16RoundTripLossless(t *testing.T) {
+	b := audio.Sweep(4410, 2, 100, 4000, 44100, 0.8)
+	data := PCMEncode16(b)
+	if len(data) != len(b.Samples)*2 {
+		t.Errorf("encoded %d bytes", len(data))
+	}
+	got, err := PCMDecode16(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(audio.SNR(b, got), 1) {
+		t.Error("PCM16 round trip not lossless")
+	}
+}
+
+func TestPCM16RoundTripProperty(t *testing.T) {
+	f := func(samples []int16) bool {
+		b := &audio.Buffer{Channels: 1, Samples: samples}
+		got, err := PCMDecode16(PCMEncode16(b), 1)
+		if err != nil {
+			return false
+		}
+		if len(got.Samples) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if got.Samples[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCMDecode16Errors(t *testing.T) {
+	if _, err := PCMDecode16([]byte{1}, 1); err != ErrCorrupt {
+		t.Errorf("odd length: %v", err)
+	}
+	if _, err := PCMDecode16([]byte{1, 2}, 0); err != ErrCorrupt {
+		t.Errorf("zero channels: %v", err)
+	}
+	if _, err := PCMDecode16([]byte{1, 2}, 3); err != ErrCorrupt {
+		t.Errorf("misaligned channels: %v", err)
+	}
+}
+
+func TestPCM8IsLossyButClose(t *testing.T) {
+	b := audio.Sine(4410, 1, 440, 44100, 0.8)
+	got, err := PCMDecode8(PCMEncode8(b), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr := audio.SNR(b, got)
+	if snr < 30 || math.IsInf(snr, 1) {
+		t.Errorf("PCM8 SNR = %v, want lossy but > 30 dB", snr)
+	}
+	// 2:1 size.
+	if len(PCMEncode8(b))*2 != len(PCMEncode16(b)) {
+		t.Error("PCM8 must be half the size of PCM16")
+	}
+}
+
+func TestADPCMRoundTripQuality(t *testing.T) {
+	b := audio.Sine(8820, 2, 440, 44100, 0.6)
+	blocks, err := ADPCMEncode(b, 1764)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ADPCMDecode(blocks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames() != b.Frames() {
+		t.Fatalf("frames = %d, want %d", got.Frames(), b.Frames())
+	}
+	snr := audio.SNR(b, got)
+	if snr < 20 {
+		t.Errorf("ADPCM SNR = %v dB, want > 20", snr)
+	}
+}
+
+func TestADPCMCompressionRatio(t *testing.T) {
+	// "Adaptive Differential Pulse Code Modulation ... a form of audio
+	// compression": 4 bits/sample vs 16 → ≈4:1 (minus block headers).
+	b := audio.Sine(44100, 2, 440, 44100, 0.6)
+	blocks, _ := ADPCMEncode(b, 1764)
+	var enc int
+	for _, blk := range blocks {
+		enc += len(blk.Data)
+	}
+	raw := len(PCMEncode16(b))
+	ratio := float64(raw) / float64(enc)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("ADPCM ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestADPCMBlockParamsVary(t *testing.T) {
+	// The per-block parameters must actually vary over a non-stationary
+	// signal — that is what makes ADPCM streams heterogeneous.
+	b := audio.Sweep(44100, 1, 50, 8000, 44100, 0.9)
+	blocks, _ := ADPCMEncode(b, 1764)
+	varied := false
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Params.StepIndex[0] != blocks[0].Params.StepIndex[0] ||
+			blocks[i].Params.Predictor[0] != blocks[0].Params.Predictor[0] {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("ADPCM block parameters never varied over a sweep")
+	}
+}
+
+func TestADPCMBlocksDecodeIndependently(t *testing.T) {
+	// Decoding block k alone must agree with decoding the whole stream,
+	// because headers carry the entry state.
+	b := audio.Sweep(8820, 2, 100, 2000, 44100, 0.7)
+	blocks, _ := ADPCMEncode(b, 882)
+	full, _ := ADPCMDecode(blocks, 2)
+	off := 0
+	for _, blk := range blocks {
+		solo, err := ADPCMDecodeBlock(blk.Data, blk.Frames, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range solo.Samples {
+			if s != full.Samples[off+i] {
+				t.Fatalf("independent decode diverges at sample %d", off+i)
+			}
+		}
+		off += len(solo.Samples)
+	}
+}
+
+func TestADPCMDecodeErrors(t *testing.T) {
+	if _, err := ADPCMDecodeBlock([]byte{1, 2}, 10, 2); err == nil {
+		t.Error("short header must fail")
+	}
+	if _, err := ADPCMDecodeBlock([]byte{0, 0, 99, 0, 0, 99}, 10, 2); err == nil {
+		t.Error("bad step index must fail")
+	}
+	if _, err := ADPCMDecodeBlock([]byte{0, 0, 0, 0, 0, 0, 1}, 100, 2); err == nil {
+		t.Error("short body must fail")
+	}
+	if _, err := ADPCMEncode(audio.NewBuffer(10, 1), 0); err == nil {
+		t.Error("zero block size must fail")
+	}
+}
+
+func TestADPCMLastPartialBlock(t *testing.T) {
+	b := audio.Sine(1000, 1, 440, 44100, 0.5)
+	blocks, err := ADPCMEncode(b, 441)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 || blocks[2].Frames != 118 {
+		t.Fatalf("blocks = %d, last frames = %d", len(blocks), blocks[len(blocks)-1].Frames)
+	}
+	got, err := ADPCMDecode(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames() != 1000 {
+		t.Errorf("decoded frames = %d", got.Frames())
+	}
+}

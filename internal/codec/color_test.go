@@ -1,0 +1,146 @@
+package codec
+
+import (
+	"testing"
+
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+)
+
+func TestYUVRoundTripQuality(t *testing.T) {
+	f := frame.Generator{W: 64, H: 48, Seed: 3}.Frame(0)
+	yuv, err := RGBToYUV422(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := YUV422ToRGB(yuv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := frame.PSNR(f, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chroma subsampling is lossy but mild: expect > 25 dB on
+	// gradient-plus-box content.
+	if p < 25 {
+		t.Errorf("YUV round trip PSNR = %v dB", p)
+	}
+}
+
+func TestYUVGrayIsNeutral(t *testing.T) {
+	f := frame.Flat(16, 16, 128, 128, 128)
+	yuv, _ := RGBToYUV422(f)
+	w, h := 16, 16
+	cw := (w + 1) / 2
+	// Chroma of gray must be ~128 (neutral).
+	u := yuv.Pix[w*h]
+	v := yuv.Pix[w*h+cw*h]
+	if int(u) < 126 || int(u) > 130 || int(v) < 126 || int(v) > 130 {
+		t.Errorf("gray chroma = %d,%d", u, v)
+	}
+}
+
+func TestYUVRequiresRGB(t *testing.T) {
+	yuv := frame.New(8, 8, media.ColorYUV422)
+	if _, err := RGBToYUV422(yuv); err == nil {
+		t.Error("YUV input must be rejected")
+	}
+	rgb := frame.New(8, 8, media.ColorRGB)
+	if _, err := YUV422ToRGB(rgb); err == nil {
+		t.Error("RGB input must be rejected")
+	}
+}
+
+func TestYUVOddWidth(t *testing.T) {
+	f := frame.Flat(7, 5, 40, 80, 120)
+	yuv, err := RGBToYUV422(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := YUV422ToRGB(yuv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCMYKSeparationPrimaries(t *testing.T) {
+	// Pure black separates to K plate with full UCR.
+	f := frame.Flat(4, 4, 0, 0, 0)
+	sep, err := RGBToCMYK(f, DefaultSeparation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Pix[3] != 255 {
+		t.Errorf("black K = %d", sep.Pix[3])
+	}
+	if sep.Pix[0] != 0 || sep.Pix[1] != 0 || sep.Pix[2] != 0 {
+		t.Errorf("black CMY = %d,%d,%d", sep.Pix[0], sep.Pix[1], sep.Pix[2])
+	}
+	// Pure red: C=0, M=Y=1, K=0.
+	f = frame.Flat(4, 4, 255, 0, 0)
+	sep, _ = RGBToCMYK(f, DefaultSeparation())
+	if sep.Pix[0] != 0 || sep.Pix[1] != 255 || sep.Pix[2] != 255 || sep.Pix[3] != 0 {
+		t.Errorf("red CMYK = %v", sep.Pix[:4])
+	}
+}
+
+func TestCMYKRoundTrip(t *testing.T) {
+	f := frame.Generator{W: 32, H: 24, Seed: 5}.Frame(0)
+	sep, err := RGBToCMYK(f, DefaultSeparation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := CMYKToRGB(sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := frame.PSNR(f, back)
+	if p < 30 {
+		t.Errorf("CMYK round trip PSNR = %v", p)
+	}
+}
+
+func TestSeparationTableUCRChangesK(t *testing.T) {
+	// Different separation parameters must produce different plates —
+	// the paper's point that the mapping "is not unique".
+	f := frame.Flat(4, 4, 100, 100, 100)
+	full, _ := RGBToCMYK(f, SeparationTable{UCR: 1.0, InkLimit: 4})
+	none, _ := RGBToCMYK(f, SeparationTable{UCR: 0.0, InkLimit: 4})
+	if full.Pix[3] == none.Pix[3] {
+		t.Error("UCR had no effect on the K plate")
+	}
+	if none.Pix[3] != 0 {
+		t.Errorf("UCR=0 K = %d, want 0", none.Pix[3])
+	}
+}
+
+func TestSeparationInkLimit(t *testing.T) {
+	f := frame.Flat(4, 4, 10, 10, 200)
+	lim, err := RGBToCMYK(f, SeparationTable{UCR: 0, InkLimit: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(lim.Pix[0]) + int(lim.Pix[1]) + int(lim.Pix[2]) + int(lim.Pix[3])
+	if total > 256 {
+		t.Errorf("ink total = %d exceeds limit", total)
+	}
+}
+
+func TestSeparationRejectsBadTable(t *testing.T) {
+	f := frame.Flat(2, 2, 0, 0, 0)
+	if _, err := RGBToCMYK(f, SeparationTable{UCR: 2, InkLimit: 4}); err == nil {
+		t.Error("UCR 2 must be rejected")
+	}
+	if _, err := RGBToCMYK(f, SeparationTable{UCR: 0.5, InkLimit: 0}); err == nil {
+		t.Error("ink limit 0 must be rejected")
+	}
+}
+
+func TestCMYKRequiresModels(t *testing.T) {
+	if _, err := RGBToCMYK(frame.New(2, 2, media.ColorGray), DefaultSeparation()); err == nil {
+		t.Error("gray input must be rejected")
+	}
+	if _, err := CMYKToRGB(frame.New(2, 2, media.ColorRGB)); err == nil {
+		t.Error("rgb input must be rejected")
+	}
+}

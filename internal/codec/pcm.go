@@ -1,0 +1,54 @@
+package codec
+
+import (
+	"encoding/binary"
+
+	"timedmedia/internal/audio"
+)
+
+// PCM is the paper's "simple encoding scheme for sample data":
+// lossless packing of int16 samples. Little-endian 16-bit and
+// offset-binary 8-bit variants are supported.
+
+// PCMEncode16 packs interleaved int16 samples little-endian.
+func PCMEncode16(b *audio.Buffer) []byte {
+	out := make([]byte, len(b.Samples)*2)
+	for i, s := range b.Samples {
+		binary.LittleEndian.PutUint16(out[i*2:], uint16(s))
+	}
+	return out
+}
+
+// PCMDecode16 unpacks little-endian 16-bit samples.
+func PCMDecode16(data []byte, channels int) (*audio.Buffer, error) {
+	if len(data)%2 != 0 || channels <= 0 || (len(data)/2)%channels != 0 {
+		return nil, ErrCorrupt
+	}
+	b := &audio.Buffer{Channels: channels, Samples: make([]int16, len(data)/2)}
+	for i := range b.Samples {
+		b.Samples[i] = int16(binary.LittleEndian.Uint16(data[i*2:]))
+	}
+	return b, nil
+}
+
+// PCMEncode8 packs samples as unsigned 8-bit (offset binary), a lossy
+// 2:1 reduction used by the telephone/AM quality factors.
+func PCMEncode8(b *audio.Buffer) []byte {
+	out := make([]byte, len(b.Samples))
+	for i, s := range b.Samples {
+		out[i] = byte((int(s) >> 8) + 128)
+	}
+	return out
+}
+
+// PCMDecode8 unpacks unsigned 8-bit samples to int16.
+func PCMDecode8(data []byte, channels int) (*audio.Buffer, error) {
+	if channels <= 0 || len(data)%channels != 0 {
+		return nil, ErrCorrupt
+	}
+	b := &audio.Buffer{Channels: channels, Samples: make([]int16, len(data))}
+	for i, v := range data {
+		b.Samples[i] = int16(int(v)-128) << 8
+	}
+	return b, nil
+}

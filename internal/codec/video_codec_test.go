@@ -1,0 +1,451 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+)
+
+func genFrames(n, w, h int, seed int64) []*frame.Frame {
+	g := frame.Generator{W: w, H: h, Seed: seed}
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		out[i] = g.Frame(i)
+	}
+	return out
+}
+
+func TestVJPGRoundTripQuality(t *testing.T) {
+	f := frame.Generator{W: 64, H: 48, Seed: 7}.Frame(0)
+	for _, q := range []media.Quality{media.QualityPreview, media.QualityVHS, media.QualityBroadcast} {
+		data, err := VJPGEncode(f, QuantizerFor(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VJPGDecode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := frame.PSNR(f, got)
+		if p < 20 {
+			t.Errorf("%v: PSNR = %.1f dB", q, p)
+		}
+	}
+}
+
+func TestVJPGQualityMonotone(t *testing.T) {
+	// Higher quality factor → larger encoding and higher PSNR: the
+	// "quality factors" contract of Section 2.2.
+	f := frame.Generator{W: 64, H: 48, Seed: 7}.Frame(0)
+	var prevSize int
+	var prevPSNR float64
+	for _, q := range []media.Quality{media.QualityPreview, media.QualityVHS, media.QualityBroadcast, media.QualityStudio} {
+		data, _ := VJPGEncode(f, QuantizerFor(q))
+		rec, _ := VJPGDecode(data)
+		p, _ := frame.PSNR(f, rec)
+		if len(data) <= prevSize {
+			t.Errorf("%v: size %d not larger than previous %d", q, len(data), prevSize)
+		}
+		if p <= prevPSNR {
+			t.Errorf("%v: PSNR %.1f not higher than previous %.1f", q, p, prevPSNR)
+		}
+		prevSize, prevPSNR = len(data), p
+	}
+}
+
+func TestVJPGCompresses(t *testing.T) {
+	f := frame.Generator{W: 64, H: 48, Seed: 1}.Frame(0)
+	raw := len(f.Pix)
+	data, _ := VJPGEncode(f, QuantizerFor(media.QualityVHS))
+	if len(data) >= raw/3 {
+		t.Errorf("vjpg VHS: %d bytes vs raw %d — expected >3:1 on synthetic content", len(data), raw)
+	}
+}
+
+func TestVJPGVariableElementSize(t *testing.T) {
+	// Different frames compress to different sizes: the "encoded video
+	// frames are variable sized" property that forces explicit
+	// interpretation tables (Section 4.1).
+	frames := genFrames(10, 64, 48, 11)
+	sizes := map[int]bool{}
+	for _, f := range frames {
+		data, _ := VJPGEncode(f, QuantizerFor(media.QualityVHS))
+		sizes[len(data)] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("all frames encoded to identical sizes")
+	}
+}
+
+func TestVJPGDims(t *testing.T) {
+	f := frame.Flat(33, 17, 1, 2, 3)
+	data, _ := VJPGEncode(f, 8)
+	w, h, err := VJPGDims(data)
+	if err != nil || w != 33 || h != 17 {
+		t.Errorf("dims = %dx%d err=%v", w, h, err)
+	}
+}
+
+func TestVJPGErrors(t *testing.T) {
+	f := frame.Flat(8, 8, 0, 0, 0)
+	if _, err := VJPGEncode(f, 0); err == nil {
+		t.Error("quantizer 0 must fail")
+	}
+	if _, err := VJPGEncode(f, 200); err == nil {
+		t.Error("quantizer 200 must fail")
+	}
+	if _, err := VJPGDecode([]byte("XX")); err == nil {
+		t.Error("bad magic must fail")
+	}
+	data, _ := VJPGEncode(f, 8)
+	if _, err := VJPGDecode(data[:len(data)-1]); err == nil {
+		t.Error("truncated stream must fail")
+	}
+}
+
+func TestVMPGStorageOrderOutOfOrder(t *testing.T) {
+	// Four frames, keys at 0 and 3: the paper's placement order
+	// "1,4,2,3" (here 0-based: 0,3,1,2).
+	frames := genFrames(4, 32, 24, 2)
+	packets, err := VMPGEncode(frames, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := StorageOrder(packets)
+	want := []int{0, 3, 1, 2}
+	if len(order) != 4 {
+		t.Fatalf("packets = %d", len(order))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("storage order = %v, want %v", order, want)
+		}
+	}
+	if !packets[0].Key || !packets[1].Key || packets[2].Key || packets[3].Key {
+		t.Error("key flags wrong")
+	}
+}
+
+func TestVMPGRoundTrip(t *testing.T) {
+	frames := genFrames(13, 48, 32, 4)
+	packets, err := VMPGEncode(frames, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VMPGDecode(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames", len(got))
+	}
+	for i := range frames {
+		p, _ := frame.PSNR(frames[i], got[i])
+		if p < 18 {
+			t.Errorf("frame %d PSNR = %.1f", i, p)
+		}
+	}
+}
+
+// staticSceneFrames renders a fixed background with only a small
+// moving box — the temporal-redundancy regime interframe coding
+// exists for.
+func staticSceneFrames(n, w, h int) []*frame.Frame {
+	// A noise background is expensive to code intra but free to code
+	// inter while it stays still.
+	base := frame.Noise(w, h, 15)
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		f := base.Clone()
+		bx := (i * 3) % (w - 8)
+		for y := 4; y < 10 && y < h; y++ {
+			for x := bx; x < bx+8; x++ {
+				f.SetRGB(x, y, 240, 240, 30)
+			}
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestVMPGBeatsVJPGOnRate(t *testing.T) {
+	// Interframe coding must beat intraframe on temporally redundant
+	// content — the reason the paper's example uses MPEG-class rates.
+	frames := staticSceneFrames(12, 64, 48)
+	var vj, vm int
+	for _, f := range frames {
+		d, _ := VJPGEncode(f, 12)
+		vj += len(d)
+	}
+	packets, _ := VMPGEncode(frames, 12, 6)
+	for _, p := range packets {
+		vm += len(p.Data)
+	}
+	if vm >= vj {
+		t.Errorf("vmpg %d bytes >= vjpg %d bytes", vm, vj)
+	}
+}
+
+func TestVMPGHeterogeneousDescriptors(t *testing.T) {
+	frames := genFrames(6, 32, 24, 8)
+	packets, _ := VMPGEncode(frames, 8, 5)
+	keys, inter := 0, 0
+	for _, p := range packets {
+		if p.Desc().Key {
+			keys++
+		} else {
+			inter++
+		}
+	}
+	if keys != 2 || inter != 4 {
+		t.Errorf("keys=%d inter=%d", keys, inter)
+	}
+}
+
+func TestVMPGDecodeFrameRandomAccess(t *testing.T) {
+	frames := genFrames(9, 32, 24, 9)
+	packets, _ := VMPGEncode(frames, 8, 4)
+	for _, idx := range []int{0, 2, 4, 7, 8} {
+		got, err := VMPGDecodeFrame(packets, idx)
+		if err != nil {
+			t.Fatalf("frame %d: %v", idx, err)
+		}
+		p, _ := frame.PSNR(frames[idx], got)
+		if p < 18 {
+			t.Errorf("frame %d PSNR = %.1f", idx, p)
+		}
+	}
+	if _, err := VMPGDecodeFrame(packets, 99); err == nil {
+		t.Error("missing frame must fail")
+	}
+}
+
+func TestVMPGSingleFrame(t *testing.T) {
+	frames := genFrames(1, 16, 16, 1)
+	packets, err := VMPGEncode(frames, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != 1 || !packets[0].Key {
+		t.Fatalf("packets = %+v", packets)
+	}
+	got, err := VMPGDecode(packets)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestVMPGErrors(t *testing.T) {
+	frames := genFrames(4, 16, 16, 1)
+	if _, err := VMPGEncode(frames, 8, 0); err == nil {
+		t.Error("gop 0 must fail")
+	}
+	mixed := append(genFrames(2, 16, 16, 1), frame.Flat(8, 8, 0, 0, 0))
+	if _, err := VMPGEncode(mixed, 8, 2); err == nil {
+		t.Error("mixed geometry must fail")
+	}
+	// Decode with no keys.
+	packets, _ := VMPGEncode(frames, 8, 3)
+	var noKeys []VMPGPacket
+	for _, p := range packets {
+		if !p.Key {
+			noKeys = append(noKeys, p)
+		}
+	}
+	if _, err := VMPGDecode(noKeys); err == nil {
+		t.Error("decode without keys must fail")
+	}
+}
+
+func TestVJPGLayeredScalability(t *testing.T) {
+	f := frame.Generator{W: 64, H: 48, Seed: 12}.Frame(3)
+	base, enh, err := VJPGEncodeLayered(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base alone: fewer bytes, half resolution, usable.
+	if len(base) >= len(base)+len(enh) {
+		t.Error("base must be a strict subset of the data")
+	}
+	low, err := VJPGDecodeBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Width != 32 || low.Height != 24 {
+		t.Errorf("base dims = %dx%d", low.Width, low.Height)
+	}
+	// Full: better fidelity than upsampled base.
+	full, err := VJPGDecodeLayered(base, enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Width != 64 || full.Height != 48 {
+		t.Errorf("full dims = %dx%d", full.Width, full.Height)
+	}
+	pFull, _ := frame.PSNR(f, full)
+	if pFull < 25 {
+		t.Errorf("layered full PSNR = %.1f", pFull)
+	}
+}
+
+func TestVJPGLayeredErrors(t *testing.T) {
+	f := frame.Generator{W: 32, H: 32, Seed: 1}.Frame(0)
+	base, enh, _ := VJPGEncodeLayered(f, 8)
+	if _, err := VJPGDecodeLayered(base, enh[:3]); err == nil {
+		t.Error("truncated enhancement must fail")
+	}
+	if _, err := VJPGDecodeLayered(base, append([]byte("XX"), enh[2:]...)); err == nil {
+		t.Error("bad enhancement magic must fail")
+	}
+	yuv := frame.New(8, 8, media.ColorYUV422)
+	if _, _, err := VJPGEncodeLayered(yuv, 8); err == nil {
+		t.Error("non-RGB layered encode must fail")
+	}
+}
+
+func TestQuantizerFor(t *testing.T) {
+	if QuantizerFor(media.QualityStudio) != 1 {
+		t.Error("studio must be near-lossless")
+	}
+	if QuantizerFor(media.QualityPreview) <= QuantizerFor(media.QualityVHS) {
+		t.Error("preview must quantize harder than VHS")
+	}
+	if QuantizerFor(media.QualityUnspecified) != QuantizerFor(media.QualityVHS) {
+		t.Error("default quality is VHS")
+	}
+}
+
+func TestVMPGMotionCompensationHelpsOnPan(t *testing.T) {
+	// A panning scene: content shifts 2 px/frame. Motion-compensated
+	// intermediates must reconstruct well (keys 8 apart mean the
+	// interpolation ghost would be 16 px wide without MC).
+	w, h := 96, 64
+	// A wide textured scene (smooth gradient + features) viewed
+	// through a window panning 2 px/frame.
+	wide := frame.Generator{W: w * 2, H: h, Seed: 31}.Frame(0)
+	frames := make([]*frame.Frame, 9)
+	for i := range frames {
+		f := frame.New(w, h, media.ColorRGB)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				r, g, b := wide.RGB(x+2*i, y)
+				f.SetRGB(x, y, r, g, b)
+			}
+		}
+		frames[i] = f
+	}
+	packets, err := VMPGEncode(frames, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VMPGDecode(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every intermediate reconstructs well despite the 16-px key gap:
+	// each block is within the ±4 px search range of one of the keys.
+	for i := range frames {
+		p, _ := frame.PSNR(frames[i], got[i])
+		if p < 20 {
+			t.Errorf("panning frame %d PSNR = %.1f", i, p)
+		}
+	}
+	// And some blocks actually chose motion vectors: the motion field
+	// should make the stream smaller than interpolation-only would
+	// need for this content (sanity: intermediates smaller than keys).
+	var keyBytes, interBytes, inter int
+	for _, pk := range packets {
+		if pk.Key {
+			keyBytes += len(pk.Data)
+		} else {
+			interBytes += len(pk.Data)
+			inter++
+		}
+	}
+	if inter == 0 {
+		t.Fatal("no intermediates")
+	}
+	if interBytes/inter >= keyBytes/2 {
+		t.Errorf("avg intermediate %d B vs key %d B — MC ineffective", interBytes/inter, keyBytes/2)
+	}
+}
+
+func TestMVCodeRoundTrip(t *testing.T) {
+	for ref := 0; ref <= 1; ref++ {
+		for dy := -mcRange; dy <= mcRange; dy++ {
+			for dx := -mcRange; dx <= mcRange; dx++ {
+				code := mvCode(ref, dx, dy)
+				if code == 0 {
+					t.Fatalf("mv (%d,%d,%d) coded as interpolation", ref, dx, dy)
+				}
+				gr, gx, gy := mvDecode(code)
+				if gr != ref || gx != dx || gy != dy {
+					t.Fatalf("mv (%d,%d,%d) → %d → (%d,%d,%d)", ref, dx, dy, code, gr, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func TestVJPGRoundTripProperty(t *testing.T) {
+	// Over random generator seeds and geometries, decode(encode(f))
+	// stays within the VHS quality bound and never errors.
+	if err := quick.Check(func(seed int64, w8, h8 uint8) bool {
+		w := int(w8%120) + 8
+		h := int(h8%90) + 8
+		f := frame.Generator{W: w, H: h, Seed: seed}.Frame(int(seed % 17))
+		data, err := VJPGEncode(f, QuantizerFor(media.QualityVHS))
+		if err != nil {
+			return false
+		}
+		rec, err := VJPGDecode(data)
+		if err != nil {
+			return false
+		}
+		if rec.Width != w || rec.Height != h {
+			return false
+		}
+		p, err := frame.PSNR(f, rec)
+		return err == nil && p > 18
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestADPCMRoundTripProperty(t *testing.T) {
+	// Random tones through ADPCM keep at least 15 dB SNR and exact
+	// frame counts.
+	if err := quick.Check(func(seed int64, n16 uint16, ch8 uint8) bool {
+		frames := int(n16%8000) + 2000
+		channels := int(ch8%2) + 1
+		freq := 100 + float64(absSeed(seed)%2000)
+		b := audio.Sine(frames, channels, freq, 44100, 0.5)
+		blocks, err := ADPCMEncode(b, 512)
+		if err != nil {
+			return false
+		}
+		got, err := ADPCMDecode(blocks, channels)
+		if err != nil {
+			return false
+		}
+		if got.Frames() != frames {
+			return false
+		}
+		// Measure steady state: the IMA step size needs ~1000 samples
+		// to adapt from its tiny initial value.
+		half := frames / 2
+		return audio.SNR(b.Slice(half, frames), got.Slice(half, frames)) > 12
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absSeed(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

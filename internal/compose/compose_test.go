@@ -1,0 +1,217 @@
+package compose
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// figure4 builds the paper's Figure 4b timeline:
+//
+//	video3:  0:00 – 2:10  (video)
+//	audio2:  0:00 – 1:10  (narration)
+//	audio1:  1:00 – 2:10  (music)
+func figure4(t *testing.T) *Multimedia {
+	t.Helper()
+	m := New("m", timebase.Millis)
+	if _, err := m.Add(Component{Name: "video3", Kind: media.KindVideo, Rate: timebase.PAL, Duration: 25 * 130}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(Component{Name: "audio2", Kind: media.KindAudio, Rate: timebase.CDAudio, Duration: 44100 * 70}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(Component{Name: "audio1", Kind: media.KindAudio, Rate: timebase.CDAudio, Duration: 44100 * 70}, 60_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFigure4Timeline(t *testing.T) {
+	m := figure4(t)
+	spans, err := m.Timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Span{
+		{Name: "audio2", Start: 0, End: 70_000},
+		{Name: "video3", Start: 0, End: 130_000},
+		{Name: "audio1", Start: 60_000, End: 130_000},
+	}
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	for i, w := range want {
+		if spans[i] != w {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], w)
+		}
+	}
+	d, err := m.Duration()
+	if err != nil || d != 130_000 {
+		t.Errorf("duration = %d (2:10 = 130000 ms)", d)
+	}
+}
+
+func TestCrossTimeSystemConversion(t *testing.T) {
+	// A PAL component of 25 frames lasts exactly 1000 ms on a millis
+	// axis.
+	m := New("x", timebase.Millis)
+	i, _ := m.Add(Component{Name: "v", Kind: media.KindVideo, Rate: timebase.PAL, Duration: 25}, 500)
+	p, _ := m.At(i)
+	end, err := p.EndTicks(m.Time)
+	if err != nil || end != 1500 {
+		t.Errorf("end = %d err=%v", end, err)
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	m := figure4(t)
+	names, err := m.ActiveAt(65_000) // 1:05 — all three active
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("active at 1:05 = %v", names)
+	}
+	names, _ = m.ActiveAt(100_000) // 1:40 — video3 + audio1
+	if len(names) != 2 {
+		t.Errorf("active at 1:40 = %v", names)
+	}
+	names, _ = m.ActiveAt(130_000) // end — nothing
+	if len(names) != 0 {
+		t.Errorf("active at end = %v", names)
+	}
+}
+
+func TestAllenRelations(t *testing.T) {
+	m := New("rel", timebase.Millis)
+	ms := func(name string, start, dur int64) int {
+		i, err := m.Add(Component{Name: name, Kind: media.KindAudio, Rate: timebase.Millis, Duration: dur}, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return i
+	}
+	a := ms("a", 0, 10)
+	b := ms("b", 20, 10) // a before b
+	c := ms("c", 10, 10) // a meets c
+	d := ms("d", 0, 10)  // a equals d
+	e := ms("e", 2, 5)   // e during a
+	f := ms("f", 0, 5)   // f starts a
+	g := ms("g", 5, 5)   // g finishes a
+	h := ms("h", 5, 10)  // a overlaps h
+
+	cases := []struct {
+		x, y int
+		want string
+	}{
+		{a, b, "before"}, {b, a, "after"},
+		{a, c, "meets"}, {c, a, "met-by"},
+		{a, d, "equals"},
+		{e, a, "during"}, {a, e, "contains"},
+		{f, a, "starts"}, {a, f, "started-by"},
+		{g, a, "finishes"}, {a, g, "finished-by"},
+		{a, h, "overlaps"}, {h, a, "overlapped-by"},
+	}
+	for _, tc := range cases {
+		got, err := m.Relation(tc.x, tc.y)
+		if err != nil || got != tc.want {
+			t.Errorf("Relation(%d,%d) = %q err=%v, want %q", tc.x, tc.y, got, err, tc.want)
+		}
+	}
+	if _, err := m.Relation(0, 99); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("oob: %v", err)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	m := New("x", timebase.Millis)
+	if _, err := m.Add(Component{Name: "", Rate: timebase.PAL, Duration: 1}, 0); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("empty name: %v", err)
+	}
+	if _, err := m.Add(Component{Name: "v", Duration: 1}, 0); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("no rate: %v", err)
+	}
+	if _, err := m.Add(Component{Name: "v", Rate: timebase.PAL, Duration: 1}, -1); !errors.Is(err, ErrBadStart) {
+		t.Errorf("negative start: %v", err)
+	}
+	if _, err := m.AddSpatial(Component{Name: "v", Rate: timebase.PAL, Duration: 1}, 0, &Region{W: 0, H: 5}); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("bad region: %v", err)
+	}
+}
+
+func TestSpatialComposition(t *testing.T) {
+	m := New("scene", timebase.Millis)
+	i, err := m.AddSpatial(
+		Component{Name: "pip", Kind: media.KindVideo, Rate: timebase.PAL, Duration: 50},
+		0, &Region{X: 10, Y: 10, W: 160, H: 120, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.At(i)
+	if p.Spatial == nil || p.Spatial.Z != 1 {
+		t.Errorf("spatial = %+v", p.Spatial)
+	}
+}
+
+func TestSyncConstraints(t *testing.T) {
+	m := figure4(t)
+	if err := m.Sync(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(0, 9, 2); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("oob sync: %v", err)
+	}
+	if err := m.Sync(0, 1, -1); !errors.Is(err, ErrBadSkew) {
+		t.Errorf("negative skew: %v", err)
+	}
+	if len(m.Syncs()) != 1 {
+		t.Errorf("syncs = %v", m.Syncs())
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	m := figure4(t)
+	out, err := m.RenderTimeline(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"video3", "audio1", "audio2", "=", "130000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// audio1's bar must start around the middle.
+	lines := strings.Split(out, "\n")
+	var audio1Line string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "audio1") {
+			audio1Line = l
+		}
+	}
+	bar := strings.Index(audio1Line, "=")
+	if bar < 30 {
+		t.Errorf("audio1 bar starts at col %d:\n%s", bar, out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	m := New("empty", timebase.Millis)
+	out, err := m.RenderTimeline(40)
+	if err != nil || !strings.Contains(out, "empty") {
+		t.Errorf("out=%q err=%v", out, err)
+	}
+}
+
+func TestDurationOverflowPropagates(t *testing.T) {
+	m := New("x", timebase.CDAudio)
+	// A component whose duration overflows when rescaled.
+	if _, err := m.Add(Component{Name: "v", Kind: media.KindVideo, Rate: timebase.MustNew(1, 1000000), Duration: 1 << 60}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Duration(); err == nil {
+		t.Error("expected overflow error")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/compose"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+func videoDesc() media.Descriptor {
+	return media.PALVideoType(64, 48, media.QualityVHS, media.EncodingVJPG).NewDescriptor(100)
+}
+
+func TestClassLayers(t *testing.T) {
+	// The Figure 5 stack: BLOB(0) → non-derived(1) → derived(2) →
+	// multimedia(3).
+	if ClassNonDerived.Layer() != 1 || ClassDerived.Layer() != 2 || ClassMultimedia.Layer() != 3 {
+		t.Error("layer numbering wrong")
+	}
+	if Class(99).Layer() != -1 {
+		t.Error("unknown class layer")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if !strings.Contains(ClassDerived.String(), "derived") {
+		t.Errorf("%q", ClassDerived.String())
+	}
+	if !strings.Contains(ClassMultimedia.String(), "multimedia") {
+		t.Errorf("%q", ClassMultimedia.String())
+	}
+}
+
+func TestValidateNonDerived(t *testing.T) {
+	obj := &Object{Name: "v", Class: ClassNonDerived, Kind: media.KindVideo, Desc: videoDesc(), Blob: 1, Track: "video1"}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *obj
+	bad.Track = ""
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("no track: %v", err)
+	}
+	bad = *obj
+	bad.Desc = nil
+	if err := bad.Validate(); !errors.Is(err, ErrNilDescriptor) {
+		t.Errorf("no descriptor: %v", err)
+	}
+	bad = *obj
+	bad.Derivation = &Derivation{Op: "x", Inputs: []ID{1}}
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("extra derivation: %v", err)
+	}
+}
+
+func TestValidateDerived(t *testing.T) {
+	obj := &Object{Name: "d", Class: ClassDerived, Kind: media.KindVideo,
+		Derivation: &Derivation{Op: "video-edit", Inputs: []ID{1}, Params: []byte("{}")}}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *obj
+	bad.Derivation = nil
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("nil derivation: %v", err)
+	}
+	bad = *obj
+	bad.Derivation = &Derivation{Op: "", Inputs: []ID{1}}
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("empty op: %v", err)
+	}
+	bad = *obj
+	bad.Blob = 3
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("blob on derived: %v", err)
+	}
+}
+
+func TestValidateMultimedia(t *testing.T) {
+	obj := &Object{Name: "m", Class: ClassMultimedia,
+		Multimedia: &MultimediaSpec{Time: timebase.Millis, Components: []ComponentRef{{Object: 1, Start: 0}}}}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *obj
+	bad.Multimedia = &MultimediaSpec{Time: timebase.Millis}
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("no components: %v", err)
+	}
+	bad = *obj
+	bad.Multimedia = &MultimediaSpec{Components: []ComponentRef{{Object: 1}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBinding) {
+		t.Errorf("no axis: %v", err)
+	}
+}
+
+func TestValidateNoName(t *testing.T) {
+	obj := &Object{Class: ClassNonDerived, Desc: videoDesc(), Blob: 1, Track: "v"}
+	if err := obj.Validate(); !errors.Is(err, ErrNoName) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDerivationSize(t *testing.T) {
+	d := &Derivation{Op: "video-edit", Inputs: []ID{1, 2}, Params: []byte(`{"entries":[]}`)}
+	// Tiny: the heart of the C1 storage claim.
+	if d.SizeBytes() > 64 {
+		t.Errorf("derivation size = %d", d.SizeBytes())
+	}
+}
+
+func TestObjectStrings(t *testing.T) {
+	nd := &Object{ID: 1, Name: "v", Class: ClassNonDerived, Blob: 2, Track: "video1"}
+	if s := nd.String(); !strings.Contains(s, "blob-2") || !strings.Contains(s, "video1") {
+		t.Errorf("%q", s)
+	}
+	de := &Object{ID: 2, Name: "cut", Class: ClassDerived, Derivation: &Derivation{Op: "video-edit", Inputs: []ID{1}}}
+	if s := de.String(); !strings.Contains(s, "video-edit") {
+		t.Errorf("%q", s)
+	}
+	mm := &Object{ID: 3, Name: "m", Class: ClassMultimedia, Multimedia: &MultimediaSpec{Components: make([]ComponentRef, 3)}}
+	if s := mm.String(); !strings.Contains(s, "3 components") {
+		t.Errorf("%q", s)
+	}
+}
+
+func TestComponentRefRegion(t *testing.T) {
+	r := &compose.Region{X: 1, Y: 2, W: 100, H: 50, Z: 3}
+	c := ComponentRef{Object: 7, Start: 500, Region: r}
+	if c.Region.W != 100 {
+		t.Error("region lost")
+	}
+}

@@ -1,0 +1,76 @@
+package derive
+
+import (
+	"sync"
+	"time"
+
+	"timedmedia/internal/timebase"
+)
+
+// The store-or-expand decision (Section 4.2): "Typically, the media
+// elements need only be stored if the calculation cannot be performed
+// in real time (as when the time to calculate elements in a constant
+// frequency stream is greater than their period)."
+//
+// Cost models an operator's work per produced element in abstract
+// units (≈ bytes touched); the machine's sustainable units/second is
+// calibrated once per process by timing a small memory-bound loop.
+
+// Cost is a derivation expansion cost estimate.
+type Cost struct {
+	// WorkPerElement is the estimated work to produce one element.
+	WorkPerElement float64
+}
+
+// EstimateCost asks the operator for its per-element work with these
+// inputs and parameters.
+func EstimateCost(name string, inputs []*Value, params []byte) (Cost, error) {
+	op, err := Lookup(name)
+	if err != nil {
+		return Cost{}, err
+	}
+	return Cost{WorkPerElement: op.CostPerElement(inputs, params)}, nil
+}
+
+// RealTime reports whether expansion at the given element rate fits
+// within the calibrated machine throughput, with a 2x safety margin.
+func (c Cost) RealTime(rate timebase.System) bool {
+	if !rate.Valid() {
+		return true
+	}
+	required := c.WorkPerElement * rate.Frequency()
+	return required*2 <= machineThroughput()
+}
+
+var (
+	calibrateOnce sync.Once
+	calibrated    float64
+)
+
+// machineThroughput returns the calibrated work units per second.
+func machineThroughput() float64 {
+	calibrateOnce.Do(func() {
+		buf := make([]byte, 1<<20)
+		start := time.Now()
+		var iterations int
+		for time.Since(start) < 5*time.Millisecond {
+			for i := range buf {
+				buf[i] = byte(i) + buf[i]
+			}
+			iterations++
+		}
+		elapsed := time.Since(start).Seconds()
+		calibrated = float64(iterations) * float64(len(buf)) / elapsed
+		if calibrated <= 0 {
+			calibrated = 1e8 // conservative fallback
+		}
+	})
+	return calibrated
+}
+
+// SetMachineThroughput overrides calibration; tests use it to make the
+// real-time decision deterministic.
+func SetMachineThroughput(unitsPerSecond float64) {
+	calibrateOnce.Do(func() {})
+	calibrated = unitsPerSecond
+}

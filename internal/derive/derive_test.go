@@ -1,0 +1,576 @@
+package derive
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"timedmedia/internal/anim"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+	"timedmedia/internal/music"
+	"timedmedia/internal/timebase"
+)
+
+func vidValue(n int, seed int64) *Value {
+	g := frame.Generator{W: 32, H: 24, Seed: seed}
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	return VideoValue(frames, timebase.PAL)
+}
+
+func TestRegistryHasTable1Ops(t *testing.T) {
+	// Every Table 1 row must be a registered operator.
+	for _, name := range []string{"color-separation", "audio-normalize", "video-edit", "video-transition", "midi-synthesis"} {
+		op, err := Lookup(name)
+		if err != nil {
+			t.Errorf("missing Table 1 operator %q", name)
+			continue
+		}
+		if op.Name() != name {
+			t.Errorf("op name mismatch: %q", op.Name())
+		}
+	}
+	if _, err := Lookup("nonsense"); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("unknown op: %v", err)
+	}
+	if len(Ops()) < 10 {
+		t.Errorf("only %d operators registered", len(Ops()))
+	}
+}
+
+func TestTable1Signature(t *testing.T) {
+	// Table 1's argument/result types and categories.
+	cases := []struct {
+		name   string
+		arg    media.Kind
+		result media.Kind
+		cat    Category
+	}{
+		{"color-separation", media.KindImage, media.KindImage, ChangesContent},
+		{"audio-normalize", media.KindAudio, media.KindAudio, ChangesContent},
+		{"video-edit", media.KindVideo, media.KindVideo, ChangesTiming},
+		{"video-transition", media.KindVideo, media.KindVideo, ChangesContent},
+		{"midi-synthesis", media.KindMusic, media.KindAudio, ChangesType},
+	}
+	for _, c := range cases {
+		op, err := Lookup(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.ArgKind(0) != c.arg || op.ResultKind() != c.result || op.Category() != c.cat {
+			t.Errorf("%s: arg=%v result=%v cat=%v", c.name, op.ArgKind(0), op.ResultKind(), op.Category())
+		}
+	}
+	// The paper's note: video edit is a change of *timing*, while
+	// transition is a change of *content*.
+	edit, _ := Lookup("video-edit")
+	tr, _ := Lookup("video-transition")
+	if edit.Category() == tr.Category() {
+		t.Error("edit and transition must be in different categories")
+	}
+}
+
+func TestVideoEdit(t *testing.T) {
+	v := vidValue(20, 1)
+	params := EncodeParams(EditParams{Entries: []EditEntry{
+		{Input: 0, From: 10, To: 15},
+		{Input: 0, From: 0, To: 5},
+	}})
+	out, err := Apply("video-edit", []*Value{v}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Video) != 10 {
+		t.Fatalf("frames = %d", len(out.Video))
+	}
+	// Reordered: first output frame is source frame 10.
+	p, _ := frame.PSNR(out.Video[0], v.Video[10])
+	if !math.IsInf(p, 1) {
+		t.Error("edit copied wrong frames")
+	}
+	p, _ = frame.PSNR(out.Video[5], v.Video[0])
+	if !math.IsInf(p, 1) {
+		t.Error("second selection wrong")
+	}
+}
+
+func TestVideoEditMultipleInputs(t *testing.T) {
+	a, b := vidValue(10, 1), vidValue(10, 2)
+	params := EncodeParams(EditParams{Entries: []EditEntry{
+		{Input: 0, From: 0, To: 3},
+		{Input: 1, From: 5, To: 8},
+	}})
+	out, err := Apply("video-edit", []*Value{a, b}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Video) != 6 {
+		t.Fatalf("frames = %d", len(out.Video))
+	}
+}
+
+func TestVideoEditErrors(t *testing.T) {
+	v := vidValue(5, 1)
+	if _, err := Apply("video-edit", []*Value{v}, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty edit list: %v", err)
+	}
+	bad := EncodeParams(EditParams{Entries: []EditEntry{{Input: 2, From: 0, To: 1}}})
+	if _, err := Apply("video-edit", []*Value{v}, bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad input ref: %v", err)
+	}
+	bad = EncodeParams(EditParams{Entries: []EditEntry{{Input: 0, From: 3, To: 99}}})
+	if _, err := Apply("video-edit", []*Value{v}, bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("oob selection: %v", err)
+	}
+}
+
+func TestVideoTransitionFade(t *testing.T) {
+	a, b := vidValue(10, 3), vidValue(10, 4)
+	params := EncodeParams(TransitionParams{Type: "fade", Dur: 10})
+	out, err := Apply("video-transition", []*Value{a, b}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Video) != 10 {
+		t.Fatalf("frames = %d", len(out.Video))
+	}
+	// First output ≈ a[0]; the fade approaches b towards the end.
+	pa0, _ := frame.PSNR(out.Video[0], a.Video[0])
+	if pa0 < 40 {
+		t.Errorf("fade start should match A (PSNR %.1f)", pa0)
+	}
+	paEnd, _ := frame.PSNR(out.Video[9], a.Video[9])
+	pbEnd, _ := frame.PSNR(out.Video[9], b.Video[9])
+	if pbEnd <= paEnd {
+		t.Error("fade end should be closer to B than to A")
+	}
+}
+
+func TestVideoTransitionWipe(t *testing.T) {
+	a, b := vidValue(8, 5), vidValue(8, 6)
+	params := EncodeParams(TransitionParams{Type: "wipe", Dur: 8})
+	out, err := Apply("video-transition", []*Value{a, b}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midway: left half from B, right half from A.
+	mid := out.Video[4]
+	bl, _, _ := mid.RGB(0, 0)
+	wantBL, _, _ := b.Video[4].RGB(0, 0)
+	if bl != wantBL {
+		t.Error("wipe left edge should show B")
+	}
+	ar, _, _ := mid.RGB(31, 0)
+	wantAR, _, _ := a.Video[4].RGB(31, 0)
+	if ar != wantAR {
+		t.Error("wipe right edge should show A")
+	}
+}
+
+func TestVideoTransitionErrors(t *testing.T) {
+	a, b := vidValue(4, 1), vidValue(4, 2)
+	if _, err := Apply("video-transition", []*Value{a, b}, EncodeParams(TransitionParams{Dur: 0})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("dur 0: %v", err)
+	}
+	if _, err := Apply("video-transition", []*Value{a, b}, EncodeParams(TransitionParams{Dur: 99})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("dur too long: %v", err)
+	}
+	if _, err := Apply("video-transition", []*Value{a, b}, EncodeParams(TransitionParams{Dur: 2, Type: "dissolve"})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, err := Apply("video-transition", []*Value{a}, EncodeParams(TransitionParams{Dur: 2})); !errors.Is(err, ErrArity) {
+		t.Errorf("one input: %v", err)
+	}
+}
+
+func TestAudioNormalize(t *testing.T) {
+	quiet := audio.Sine(4410, 2, 440, 44100, 0.1)
+	v := AudioValue(quiet, timebase.CDAudio)
+	out, err := Apply("audio-normalize", []*Value{v}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Audio.Peak() < 30000 {
+		t.Errorf("normalized peak = %d", out.Audio.Peak())
+	}
+	// Source untouched.
+	if quiet.Peak() > 4000 {
+		t.Error("normalize mutated its input")
+	}
+}
+
+func TestAudioNormalizeRange(t *testing.T) {
+	b := audio.NewBuffer(100, 1)
+	for i := 0; i < 50; i++ {
+		b.Samples[i] = 100
+	}
+	for i := 50; i < 100; i++ {
+		b.Samples[i] = 1000
+	}
+	v := AudioValue(b, timebase.CDAudio)
+	params := EncodeParams(NormalizeParams{From: 0, To: 50, TargetPeak: 0.5})
+	out, err := Apply("audio-normalize", []*Value{v}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Audio.Samples[0] < 16000 {
+		t.Errorf("range not normalized: %d", out.Audio.Samples[0])
+	}
+	if out.Audio.Samples[60] != 1000 {
+		t.Errorf("out-of-range sample modified: %d", out.Audio.Samples[60])
+	}
+}
+
+func TestAudioNormalizeErrors(t *testing.T) {
+	v := AudioValue(audio.NewBuffer(10, 1), timebase.CDAudio)
+	if _, err := Apply("audio-normalize", []*Value{v}, EncodeParams(NormalizeParams{From: 5, To: 2})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("inverted range: %v", err)
+	}
+	if _, err := Apply("audio-normalize", []*Value{v}, EncodeParams(NormalizeParams{TargetPeak: 2})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("target 2: %v", err)
+	}
+}
+
+func TestMIDISynthesis(t *testing.T) {
+	seq := music.Scale(60, 4, 0)
+	v := MusicValue(seq)
+	params := EncodeParams(SynthesisParams{TempoBPM: 240, Channels: 1, Instruments: map[string]string{"0": "organ"}})
+	out, err := Apply("midi-synthesis", []*Value{v}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != media.KindAudio {
+		t.Fatalf("result kind = %v", out.Kind)
+	}
+	if out.Audio.Peak() < 1000 {
+		t.Error("synthesis silent")
+	}
+}
+
+func TestMIDISynthesisErrors(t *testing.T) {
+	v := MusicValue(music.Scale(60, 2, 0))
+	if _, err := Apply("midi-synthesis", []*Value{v}, EncodeParams(SynthesisParams{Instruments: map[string]string{"0": "kazoo"}})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unknown instrument: %v", err)
+	}
+	if _, err := Apply("midi-synthesis", []*Value{v}, EncodeParams(SynthesisParams{Instruments: map[string]string{"x": "piano"}})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad channel: %v", err)
+	}
+}
+
+func TestColorSeparation(t *testing.T) {
+	img := ImageValue(frame.Flat(8, 8, 0, 0, 0))
+	out, err := Apply("color-separation", []*Value{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.Model != media.ColorCMYK {
+		t.Errorf("model = %v", out.Image.Model)
+	}
+	// UCR=0: no black plate.
+	out2, err := Apply("color-separation", []*Value{img}, EncodeParams(SeparationParams{UCR: 0, InkLimit: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Image.Pix[3] != 0 {
+		t.Errorf("K plate with UCR=0: %d", out2.Image.Pix[3])
+	}
+}
+
+func TestChromaKey(t *testing.T) {
+	fgFrames := []*frame.Frame{frame.Flat(8, 8, 0, 255, 0)} // all key color
+	bgFrames := []*frame.Frame{frame.Flat(8, 8, 7, 8, 9)}
+	out, err := Apply("chroma-key", []*Value{VideoValue(fgFrames, timebase.PAL), VideoValue(bgFrames, timebase.PAL)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := out.Video[0].RGB(4, 4)
+	if r != 7 || g != 8 || b != 9 {
+		t.Errorf("keyed pixel = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestTemporalScale(t *testing.T) {
+	v := vidValue(10, 7)
+	// Slow down 2x: 20 frames.
+	out, err := Apply("temporal-scale", []*Value{v}, EncodeParams(ScaleParams{Num: 2, Den: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Video) != 20 {
+		t.Fatalf("frames = %d", len(out.Video))
+	}
+	// Speed up 2x: 5 frames.
+	out, err = Apply("temporal-scale", []*Value{v}, EncodeParams(ScaleParams{Num: 1, Den: 2}))
+	if err != nil || len(out.Video) != 5 {
+		t.Fatalf("frames = %d err=%v", len(out.Video), err)
+	}
+	if _, err := Apply("temporal-scale", []*Value{v}, EncodeParams(ScaleParams{Num: 0, Den: 1})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("scale 0: %v", err)
+	}
+}
+
+func TestConcatOps(t *testing.T) {
+	a, b := vidValue(3, 1), vidValue(4, 2)
+	out, err := Apply("video-concat", []*Value{a, b}, nil)
+	if err != nil || len(out.Video) != 7 {
+		t.Fatalf("video concat: %v, %d frames", err, len(out.Video))
+	}
+	x := AudioValue(audio.Sine(100, 2, 440, 44100, 0.5), timebase.CDAudio)
+	y := AudioValue(audio.Sine(50, 2, 880, 44100, 0.5), timebase.CDAudio)
+	outA, err := Apply("audio-concat", []*Value{x, y}, nil)
+	if err != nil || outA.Audio.Frames() != 150 {
+		t.Fatalf("audio concat: %v", err)
+	}
+	z := AudioValue(audio.Sine(50, 1, 880, 44100, 0.5), timebase.CDAudio)
+	if _, err := Apply("audio-concat", []*Value{x, z}, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("channel mismatch: %v", err)
+	}
+}
+
+func TestAudioMix(t *testing.T) {
+	a := AudioValue(audio.Sine(1000, 1, 440, 44100, 0.3), timebase.CDAudio)
+	b := AudioValue(audio.Sine(500, 1, 880, 44100, 0.3), timebase.CDAudio)
+	out, err := Apply("audio-mix", []*Value{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Audio.Frames() != 1000 {
+		t.Errorf("frames = %d", out.Audio.Frames())
+	}
+	// With gains.
+	out2, err := Apply("audio-mix", []*Value{a, b}, EncodeParams(MixParams{Gains: []float64{0.5, 0.5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Audio.Peak() >= out.Audio.Peak() {
+		t.Error("gains had no effect")
+	}
+	if _, err := Apply("audio-mix", []*Value{a, b}, EncodeParams(MixParams{Gains: []float64{1}})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("gain count: %v", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	v := MusicValue(music.Scale(60, 3, 0))
+	out, err := Apply("transpose", []*Value{v}, EncodeParams(TransposeParams{Semitones: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes, _ := out.Music.Notes()
+	if notes[0].Key != 72 {
+		t.Errorf("key = %d", notes[0].Key)
+	}
+}
+
+func TestRenderAnimationOp(t *testing.T) {
+	scene := anim.NewScene(16, 16, timebase.PAL)
+	id := scene.AddSprite(2, 2, 200, 0, 0, 0, 0)
+	scene.Move(id, 0, 5, 10, 10)
+	out, err := Apply("render-animation", []*Value{AnimValue(scene)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != media.KindVideo || len(out.Video) != 6 {
+		t.Fatalf("kind=%v frames=%d", out.Kind, len(out.Video))
+	}
+}
+
+func TestApplyKindChecks(t *testing.T) {
+	a := AudioValue(audio.NewBuffer(10, 1), timebase.CDAudio)
+	if _, err := Apply("video-edit", []*Value{a}, EncodeParams(EditParams{Entries: []EditEntry{{From: 0, To: 1}}})); !errors.Is(err, ErrArgKind) {
+		t.Errorf("audio into video-edit: %v", err)
+	}
+}
+
+func TestValueValidate(t *testing.T) {
+	bad := &Value{Kind: media.KindVideo}
+	if bad.Validate() == nil {
+		t.Error("video without frames must be invalid")
+	}
+	bad = &Value{Kind: media.KindAudio, Audio: audio.NewBuffer(1, 1)}
+	if bad.Validate() == nil {
+		t.Error("audio without rate must be invalid")
+	}
+	var nilVal *Value
+	if nilVal.Validate() == nil {
+		t.Error("nil value must be invalid")
+	}
+}
+
+func TestCostRealTimeDecision(t *testing.T) {
+	SetMachineThroughput(1e6) // 1M units/sec
+	defer SetMachineThroughput(0)
+	v := vidValue(2, 1) // 32x24x3 = 2304 units per transition frame x2
+	c, err := EstimateCost("video-transition", []*Value{v, v}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4608 units * 25 fps * 2 margin = 230k < 1M → feasible.
+	if !c.RealTime(timebase.PAL) {
+		t.Error("transition at PAL should be feasible at 1M units/s")
+	}
+	// At CD rate (44100/s) it is not.
+	if c.RealTime(timebase.CDAudio) {
+		t.Error("transition at 44.1kHz should be infeasible at 1M units/s")
+	}
+	SetMachineThroughput(1e12)
+	if !c.RealTime(timebase.CDAudio) {
+		t.Error("fast machine should make it feasible")
+	}
+}
+
+func TestEstimateCostUnknownOp(t *testing.T) {
+	if _, err := EstimateCost("ghost", nil, nil); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDerivationObjectSmall(t *testing.T) {
+	// The C1 claim at unit scale: the derivation object (edit-list
+	// JSON) is orders of magnitude smaller than the derived value.
+	v := vidValue(50, 2)
+	params := EncodeParams(EditParams{Entries: []EditEntry{{Input: 0, From: 0, To: 50}}})
+	out, _ := Apply("video-edit", []*Value{v}, params)
+	derivedBytes := 0
+	for _, f := range out.Video {
+		derivedBytes += len(f.Pix)
+	}
+	if len(params)*100 > derivedBytes {
+		t.Errorf("derivation object %d B vs derived %d B — not orders of magnitude", len(params), derivedBytes)
+	}
+}
+
+func TestVideoReverse(t *testing.T) {
+	v := vidValue(10, 9)
+	out, err := Apply("video-reverse", []*Value{v}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Video) != 10 {
+		t.Fatalf("frames = %d", len(out.Video))
+	}
+	p, _ := frame.PSNR(out.Video[0], v.Video[9])
+	if !math.IsInf(p, 1) {
+		t.Error("first output frame should be last input frame")
+	}
+	p, _ = frame.PSNR(out.Video[9], v.Video[0])
+	if !math.IsInf(p, 1) {
+		t.Error("last output frame should be first input frame")
+	}
+	// Source order untouched.
+	p, _ = frame.PSNR(v.Video[0], vidValue(10, 9).Video[0])
+	if !math.IsInf(p, 1) {
+		t.Error("reverse mutated its input")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if ChangesContent.String() != "change of content" ||
+		ChangesTiming.String() != "change of timing" ||
+		ChangesType.String() != "change of type" {
+		t.Error("category names must match Table 1")
+	}
+	if Category(99).String() != "unknown" {
+		t.Error("unknown category")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	v := vidValue(7, 1)
+	if v.Elements() != 7 || v.DurationTicks() != 7 {
+		t.Errorf("video: elements=%d dur=%d", v.Elements(), v.DurationTicks())
+	}
+	a := AudioValue(audio.NewBuffer(100, 2), timebase.CDAudio)
+	if a.Elements() != 100 || a.DurationTicks() != 100 {
+		t.Errorf("audio: elements=%d dur=%d", a.Elements(), a.DurationTicks())
+	}
+	img := ImageValue(frame.Flat(2, 2, 0, 0, 0))
+	if img.Elements() != 1 || img.DurationTicks() != 0 {
+		t.Errorf("image: elements=%d dur=%d", img.Elements(), img.DurationTicks())
+	}
+	m := MusicValue(music.Scale(60, 3, 0))
+	if m.Elements() != 6 || m.DurationTicks() != 1440 {
+		t.Errorf("music: elements=%d dur=%d", m.Elements(), m.DurationTicks())
+	}
+	sc := anim.NewScene(4, 4, timebase.PAL)
+	sid := sc.AddSprite(1, 1, 0, 0, 0, 0, 0)
+	sc.Move(sid, 0, 3, 1, 1)
+	av := AnimValue(sc)
+	if av.Elements() != 1 || av.DurationTicks() != 3 {
+		t.Errorf("anim: elements=%d dur=%d", av.Elements(), av.DurationTicks())
+	}
+}
+
+func TestEveryOpReportsCost(t *testing.T) {
+	// Every registered operator must expose a signature and a cost
+	// estimate usable by the store-vs-expand decision.
+	v2 := vidValue(2, 1)
+	inputsFor := func(op Op) []*Value {
+		lo, _ := op.Arity()
+		if lo < 1 {
+			lo = 1
+		}
+		ins := make([]*Value, lo)
+		for i := range ins {
+			switch op.ArgKind(i) {
+			case media.KindVideo:
+				ins[i] = v2
+			case media.KindAudio:
+				ins[i] = AudioValue(audio.NewBuffer(10, 2), timebase.CDAudio)
+			case media.KindImage:
+				ins[i] = ImageValue(frame.Flat(4, 4, 0, 0, 0))
+			case media.KindMusic:
+				ins[i] = MusicValue(music.Scale(60, 2, 0))
+			case media.KindAnimation:
+				sc := anim.NewScene(4, 4, timebase.PAL)
+				id := sc.AddSprite(1, 1, 0, 0, 0, 0, 0)
+				sc.Move(id, 0, 2, 1, 0)
+				ins[i] = AnimValue(sc)
+			}
+		}
+		return ins
+	}
+	for _, name := range Ops() {
+		op, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := inputsFor(op)
+		c, err := EstimateCost(name, ins, nil)
+		if err != nil {
+			t.Errorf("%s: cost: %v", name, err)
+		}
+		if c.WorkPerElement < 0 {
+			t.Errorf("%s: negative cost", name)
+		}
+		if op.ResultKind() == media.KindUnknown {
+			t.Errorf("%s: unknown result kind", name)
+		}
+		_ = op.Category().String()
+	}
+}
+
+func TestImageFilter(t *testing.T) {
+	img := ImageValue(frame.Generator{W: 16, H: 16, Seed: 2}.Frame(0))
+	for _, kernel := range []string{"blur", "sharpen", "edge"} {
+		out, err := Apply("image-filter", []*Value{img}, EncodeParams(FilterParams{Kernel: kernel}))
+		if err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		if out.Image.Width != 16 {
+			t.Errorf("%s: dims", kernel)
+		}
+	}
+	// Blur reduces high-frequency energy relative to edge output.
+	blur, _ := Apply("image-filter", []*Value{img}, nil) // default blur
+	if blur.Image == nil {
+		t.Fatal("default kernel missing")
+	}
+	if _, err := Apply("image-filter", []*Value{img}, EncodeParams(FilterParams{Kernel: "emboss"})); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unknown kernel: %v", err)
+	}
+}

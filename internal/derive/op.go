@@ -1,0 +1,146 @@
+package derive
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"timedmedia/internal/media"
+)
+
+// Category groups derivations as Section 4.2 does.
+type Category int
+
+// Derivation categories.
+const (
+	// ChangesContent alters element content (filters, transitions,
+	// chroma key, color separation, normalization).
+	ChangesContent Category = iota
+	// ChangesTiming alters element placement in time (edit,
+	// translate, scale, concat); generic across time-based media.
+	ChangesTiming
+	// ChangesType maps one media type to another (MIDI synthesis,
+	// animation rendering).
+	ChangesType
+)
+
+// String names the category as in the paper's Table 1.
+func (c Category) String() string {
+	switch c {
+	case ChangesContent:
+		return "change of content"
+	case ChangesTiming:
+		return "change of timing"
+	case ChangesType:
+		return "change of type"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one derivation operator.
+type Op interface {
+	// Name is the registry key (e.g. "video-transition").
+	Name() string
+	// Category classifies the operator.
+	Category() Category
+	// Arity returns the allowed input counts (min, max; max < 0 means
+	// unbounded).
+	Arity() (min, max int)
+	// ArgKind returns the required media kind of input i.
+	ArgKind(i int) media.Kind
+	// ResultKind returns the media kind of the result.
+	ResultKind() media.Kind
+	// Apply computes the derived value. params is the JSON-encoded
+	// parameter record for the operator.
+	Apply(inputs []*Value, params []byte) (*Value, error)
+	// CostPerElement estimates the work to produce one result element,
+	// in abstract work units (≈ bytes touched); see cost.go.
+	CostPerElement(inputs []*Value, params []byte) float64
+}
+
+// registry of operators, populated by init() in the ops_* files.
+var registry = map[string]Op{}
+
+func register(op Op) {
+	if _, dup := registry[op.Name()]; dup {
+		panic("derive: duplicate operator " + op.Name())
+	}
+	registry[op.Name()] = op
+}
+
+// Lookup returns the named operator.
+func Lookup(name string) (Op, error) {
+	op, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownOp, name)
+	}
+	return op, nil
+}
+
+// Ops lists registered operator names, sorted.
+func Ops() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply validates inputs against the operator's signature and runs it.
+func Apply(name string, inputs []*Value, params []byte) (*Value, error) {
+	op, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSignature(op, inputs); err != nil {
+		return nil, err
+	}
+	out, err := op.Apply(inputs, params)
+	if err != nil {
+		return nil, fmt.Errorf("derive: %s: %w", name, err)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("derive: %s produced invalid value: %w", name, err)
+	}
+	return out, nil
+}
+
+func checkSignature(op Op, inputs []*Value) error {
+	lo, hi := op.Arity()
+	if len(inputs) < lo || (hi >= 0 && len(inputs) > hi) {
+		return fmt.Errorf("%w: %s takes %d..%d inputs, got %d", ErrArity, op.Name(), lo, hi, len(inputs))
+	}
+	for i, in := range inputs {
+		if err := in.Validate(); err != nil {
+			return err
+		}
+		if want := op.ArgKind(i); in.Kind != want {
+			return fmt.Errorf("%w: %s input %d is %v, want %v", ErrArgKind, op.Name(), i, in.Kind, want)
+		}
+	}
+	return nil
+}
+
+// decodeParams unmarshals JSON params into dst, treating empty params
+// as the zero value.
+func decodeParams(params []byte, dst any) error {
+	if len(params) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(params, dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return nil
+}
+
+// EncodeParams marshals an operator parameter record for storage in a
+// derivation object.
+func EncodeParams(p any) []byte {
+	data, err := json.Marshal(p)
+	if err != nil {
+		panic("derive: unmarshalable params: " + err.Error())
+	}
+	return data
+}

@@ -1,0 +1,266 @@
+package derive
+
+import (
+	"fmt"
+	"math"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/media"
+	"timedmedia/internal/synth"
+	"timedmedia/internal/timebase"
+)
+
+func init() {
+	register(audioNormalizeOp{})
+	register(audioConcatOp{})
+	register(audioMixOp{})
+	register(midiSynthesisOp{})
+	register(transposeOp{})
+}
+
+// NormalizeParams parameterizes audio normalization: "The parameters
+// needed are the start and end points of the audio sequence to be
+// normalized. If no parameters are specified, normalization is
+// performed for the whole audio object."
+type NormalizeParams struct {
+	From       int64   `json:"from"` // sample frame bounds; To = 0 → whole object
+	To         int64   `json:"to"`
+	TargetPeak float64 `json:"target_peak"` // 0 → full scale
+}
+
+// audioNormalizeOp implements Table 1's "audio normalization": "the
+// enhancement of sound files with too little amplitude or uneven
+// volume is done by a scaling operation."
+type audioNormalizeOp struct{}
+
+func (audioNormalizeOp) Name() string           { return "audio-normalize" }
+func (audioNormalizeOp) Category() Category     { return ChangesContent }
+func (audioNormalizeOp) Arity() (int, int)      { return 1, 1 }
+func (audioNormalizeOp) ArgKind(int) media.Kind { return media.KindAudio }
+func (audioNormalizeOp) ResultKind() media.Kind { return media.KindAudio }
+
+func (audioNormalizeOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p NormalizeParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	src := inputs[0].Audio
+	from, to := p.From, p.To
+	if to == 0 {
+		to = int64(src.Frames())
+	}
+	if from < 0 || to > int64(src.Frames()) || from >= to {
+		return nil, fmt.Errorf("%w: normalize range [%d,%d) of %d", ErrBadParams, from, to, src.Frames())
+	}
+	target := p.TargetPeak
+	if target == 0 {
+		target = 1.0
+	}
+	if target < 0 || target > 1 {
+		return nil, fmt.Errorf("%w: target peak %v", ErrBadParams, target)
+	}
+	out := src.Clone()
+	region := out.Slice(int(from), int(to))
+	peak := region.Peak()
+	if peak > 0 {
+		region.Gain(target * math.MaxInt16 / float64(peak))
+	}
+	return AudioValue(out, inputs[0].Rate), nil
+}
+
+func (audioNormalizeOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 {
+		return float64(inputs[0].Audio.Channels) * 2
+	}
+	return 0
+}
+
+// audioConcatOp concatenates audio sequences.
+type audioConcatOp struct{}
+
+func (audioConcatOp) Name() string           { return "audio-concat" }
+func (audioConcatOp) Category() Category     { return ChangesTiming }
+func (audioConcatOp) Arity() (int, int)      { return 1, -1 }
+func (audioConcatOp) ArgKind(int) media.Kind { return media.KindAudio }
+func (audioConcatOp) ResultKind() media.Kind { return media.KindAudio }
+
+func (audioConcatOp) Apply(inputs []*Value, _ []byte) (*Value, error) {
+	ch := inputs[0].Audio.Channels
+	out := &audio.Buffer{Channels: ch}
+	for _, in := range inputs {
+		if in.Audio.Channels != ch {
+			return nil, fmt.Errorf("%w: channel mismatch", ErrBadParams)
+		}
+		out.Samples = append(out.Samples, in.Audio.Samples...)
+	}
+	return AudioValue(out, inputs[0].Rate), nil
+}
+
+func (audioConcatOp) CostPerElement([]*Value, []byte) float64 { return 1 }
+
+// MixParams parameterizes audio mixing.
+type MixParams struct {
+	// Gains scales each input before summing; empty → unity.
+	Gains []float64 `json:"gains"`
+}
+
+// audioMixOp sums audio inputs sample-wise (music + narration played
+// simultaneously, as in the Section 4.3 example).
+type audioMixOp struct{}
+
+func (audioMixOp) Name() string           { return "audio-mix" }
+func (audioMixOp) Category() Category     { return ChangesContent }
+func (audioMixOp) Arity() (int, int)      { return 2, -1 }
+func (audioMixOp) ArgKind(int) media.Kind { return media.KindAudio }
+func (audioMixOp) ResultKind() media.Kind { return media.KindAudio }
+
+func (audioMixOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p MixParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Gains) != 0 && len(p.Gains) != len(inputs) {
+		return nil, fmt.Errorf("%w: %d gains for %d inputs", ErrBadParams, len(p.Gains), len(inputs))
+	}
+	ch := inputs[0].Audio.Channels
+	maxFrames := 0
+	for _, in := range inputs {
+		if in.Audio.Channels != ch {
+			return nil, fmt.Errorf("%w: channel mismatch", ErrBadParams)
+		}
+		if in.Audio.Frames() > maxFrames {
+			maxFrames = in.Audio.Frames()
+		}
+	}
+	out := audio.NewBuffer(maxFrames, ch)
+	for i, in := range inputs {
+		src := in.Audio
+		if len(p.Gains) != 0 && p.Gains[i] != 1 {
+			src = src.Clone()
+			src.Gain(p.Gains[i])
+		}
+		if err := audio.MixInto(out, src); err != nil {
+			return nil, err
+		}
+	}
+	return AudioValue(out, inputs[0].Rate), nil
+}
+
+func (audioMixOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	return float64(len(inputs) * 4)
+}
+
+// SynthesisParams parameterizes MIDI synthesis, naming instruments per
+// channel (Table 1: "Parameters are tempo, MIDI channel mappings and
+// instrument parameters").
+type SynthesisParams struct {
+	TempoBPM      float64           `json:"tempo_bpm"`
+	SampleRateNum int64             `json:"sample_rate_num"`
+	SampleRateDen int64             `json:"sample_rate_den"`
+	Channels      int               `json:"channels"`
+	Instruments   map[string]string `json:"instruments"` // channel "0".."15" → instrument name
+	Gain          float64           `json:"gain"`
+}
+
+// midiSynthesisOp implements Table 1's "MIDI synthesis": music → audio.
+type midiSynthesisOp struct{}
+
+func (midiSynthesisOp) Name() string           { return "midi-synthesis" }
+func (midiSynthesisOp) Category() Category     { return ChangesType }
+func (midiSynthesisOp) Arity() (int, int)      { return 1, 1 }
+func (midiSynthesisOp) ArgKind(int) media.Kind { return media.KindMusic }
+func (midiSynthesisOp) ResultKind() media.Kind { return media.KindAudio }
+
+func (midiSynthesisOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p SynthesisParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	sp := synth.DefaultParams()
+	if p.TempoBPM != 0 {
+		sp.TempoBPM = p.TempoBPM
+	}
+	if p.SampleRateNum != 0 {
+		rate, err := timebase.New(p.SampleRateNum, max64(p.SampleRateDen, 1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+		}
+		sp.SampleRate = rate
+	}
+	if p.Channels != 0 {
+		sp.Channels = p.Channels
+	}
+	if p.Gain != 0 {
+		sp.Gain = p.Gain
+	}
+	if len(p.Instruments) != 0 {
+		sp.ChannelInstruments = map[uint8]synth.Instrument{}
+		for chName, instName := range p.Instruments {
+			var ch uint8
+			if _, err := fmt.Sscanf(chName, "%d", &ch); err != nil {
+				return nil, fmt.Errorf("%w: channel %q", ErrBadParams, chName)
+			}
+			inst, err := instrumentByName(instName)
+			if err != nil {
+				return nil, err
+			}
+			sp.ChannelInstruments[ch] = inst
+		}
+	}
+	buf, err := synth.Synthesize(inputs[0].Music, sp)
+	if err != nil {
+		return nil, err
+	}
+	return AudioValue(buf, sp.SampleRate), nil
+}
+
+func (midiSynthesisOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	// Synthesis renders many samples per event.
+	return 4096
+}
+
+func instrumentByName(name string) (synth.Instrument, error) {
+	switch name {
+	case "piano":
+		return synth.Piano, nil
+	case "organ":
+		return synth.Organ, nil
+	case "violin":
+		return synth.Violin, nil
+	default:
+		return synth.Instrument{}, fmt.Errorf("%w: instrument %q", ErrBadParams, name)
+	}
+}
+
+// TransposeParams shifts note keys by semitones.
+type TransposeParams struct {
+	Semitones int `json:"semitones"`
+}
+
+// transposeOp is Section 4.2's music content derivation
+// ("transposition of a music object to a different key").
+type transposeOp struct{}
+
+func (transposeOp) Name() string           { return "transpose" }
+func (transposeOp) Category() Category     { return ChangesContent }
+func (transposeOp) Arity() (int, int)      { return 1, 1 }
+func (transposeOp) ArgKind(int) media.Kind { return media.KindMusic }
+func (transposeOp) ResultKind() media.Kind { return media.KindMusic }
+
+func (transposeOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p TransposeParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	out := inputs[0].Music.Transpose(p.Semitones)
+	return MusicValue(out), nil
+}
+
+func (transposeOp) CostPerElement([]*Value, []byte) float64 { return 1 }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package derive
+
+import (
+	"fmt"
+
+	"timedmedia/internal/codec"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+)
+
+func init() {
+	register(colorSeparationOp{})
+}
+
+// SeparationParams parameterizes RGB→CMYK separation; the separation
+// table "accounts for physical characteristics of inks and papers".
+type SeparationParams struct {
+	UCR      float64 `json:"ucr"`
+	InkLimit float64 `json:"ink_limit"`
+}
+
+// colorSeparationOp implements Table 1's "color separation"
+// (image → image, change of content).
+type colorSeparationOp struct{}
+
+func (colorSeparationOp) Name() string           { return "color-separation" }
+func (colorSeparationOp) Category() Category     { return ChangesContent }
+func (colorSeparationOp) Arity() (int, int)      { return 1, 1 }
+func (colorSeparationOp) ArgKind(int) media.Kind { return media.KindImage }
+func (colorSeparationOp) ResultKind() media.Kind { return media.KindImage }
+
+func (colorSeparationOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	p := SeparationParams{UCR: 1.0, InkLimit: 4.0}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	out, err := codec.RGBToCMYK(inputs[0].Image, codec.SeparationTable{UCR: p.UCR, InkLimit: p.InkLimit})
+	if err != nil {
+		return nil, err
+	}
+	return ImageValue(out), nil
+}
+
+func (colorSeparationOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 && inputs[0].Image != nil {
+		return float64(len(inputs[0].Image.Pix))
+	}
+	return 0
+}
+
+func init() {
+	register(imageFilterOp{})
+}
+
+// FilterParams selects a digital filter kernel by name.
+type FilterParams struct {
+	Kernel string `json:"kernel"` // "blur", "sharpen" or "edge"
+}
+
+// imageFilterOp is Section 4.2's image content derivation ("digital
+// filters for images").
+type imageFilterOp struct{}
+
+func (imageFilterOp) Name() string           { return "image-filter" }
+func (imageFilterOp) Category() Category     { return ChangesContent }
+func (imageFilterOp) Arity() (int, int)      { return 1, 1 }
+func (imageFilterOp) ArgKind(int) media.Kind { return media.KindImage }
+func (imageFilterOp) ResultKind() media.Kind { return media.KindImage }
+
+func (imageFilterOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	p := FilterParams{Kernel: "blur"}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	var k frame.Kernel3
+	switch p.Kernel {
+	case "blur":
+		k = frame.KernelBlur
+	case "sharpen":
+		k = frame.KernelSharpen
+	case "edge":
+		k = frame.KernelEdge
+	default:
+		return nil, fmt.Errorf("%w: kernel %q", ErrBadParams, p.Kernel)
+	}
+	out, err := frame.Convolve3(inputs[0].Image, k)
+	if err != nil {
+		return nil, err
+	}
+	return ImageValue(out), nil
+}
+
+func (imageFilterOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 && inputs[0].Image != nil {
+		return float64(len(inputs[0].Image.Pix)) * 9
+	}
+	return 0
+}

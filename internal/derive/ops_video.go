@@ -1,0 +1,330 @@
+package derive
+
+import (
+	"fmt"
+
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+	"timedmedia/internal/synth"
+)
+
+func init() {
+	register(videoEditOp{})
+	register(videoTransitionOp{})
+	register(videoConcatOp{})
+	register(chromaKeyOp{})
+	register(temporalScaleOp{})
+	register(renderAnimationOp{})
+	register(videoReverseOp{})
+}
+
+// videoReverseOp plays a sequence backwards — a timing derivation the
+// paper singles out: with independently compressed frames (vjpg) "it
+// is easier to rearrange the order of the frames and to playback in
+// reverse or at variable rates" than with interframe coding.
+type videoReverseOp struct{}
+
+func (videoReverseOp) Name() string           { return "video-reverse" }
+func (videoReverseOp) Category() Category     { return ChangesTiming }
+func (videoReverseOp) Arity() (int, int)      { return 1, 1 }
+func (videoReverseOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (videoReverseOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (videoReverseOp) Apply(inputs []*Value, _ []byte) (*Value, error) {
+	src := inputs[0].Video
+	if len(src) == 0 {
+		return nil, ErrEmptyResult
+	}
+	out := make([]*frame.Frame, len(src))
+	for i, f := range src {
+		out[len(src)-1-i] = f
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (videoReverseOp) CostPerElement([]*Value, []byte) float64 { return 1 }
+
+// EditEntry selects frames [From, To) of input Input. An edit list is
+// an ordered sequence of such selections — "Edit lists are derivation
+// objects, while edited video sequences are derived objects."
+type EditEntry struct {
+	Input int   `json:"input"`
+	From  int64 `json:"from"`
+	To    int64 `json:"to"`
+}
+
+// EditParams is the parameter record of the video-edit operator.
+type EditParams struct {
+	Entries []EditEntry `json:"entries"`
+}
+
+// videoEditOp implements Table 1's "video edit": selection and
+// ordering of sequences combined into a new video object. A timing
+// derivation: content is untouched, placement changes.
+type videoEditOp struct{}
+
+func (videoEditOp) Name() string           { return "video-edit" }
+func (videoEditOp) Category() Category     { return ChangesTiming }
+func (videoEditOp) Arity() (int, int)      { return 1, -1 }
+func (videoEditOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (videoEditOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (videoEditOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p EditParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("%w: empty edit list", ErrBadParams)
+	}
+	var out []*frame.Frame
+	for _, e := range p.Entries {
+		if e.Input < 0 || e.Input >= len(inputs) {
+			return nil, fmt.Errorf("%w: edit entry references input %d", ErrBadParams, e.Input)
+		}
+		src := inputs[e.Input].Video
+		if e.From < 0 || e.To > int64(len(src)) || e.From >= e.To {
+			return nil, fmt.Errorf("%w: selection [%d,%d) of %d frames", ErrBadParams, e.From, e.To, len(src))
+		}
+		out = append(out, src[e.From:e.To]...)
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (videoEditOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	// Reference shuffling only — no pixel work.
+	return 1
+}
+
+// TransitionParams parameterizes video-transition: "The parameters for
+// this kind of derivation specify the type of transition, its duration
+// and the start time in both video objects."
+type TransitionParams struct {
+	Type   string `json:"type"` // "fade" or "wipe"
+	Dur    int64  `json:"dur"`
+	AStart int64  `json:"a_start"`
+	BStart int64  `json:"b_start"`
+}
+
+// videoTransitionOp implements Table 1's "video transition" (fade or
+// wipe between two sequences). A content derivation: output frames mix
+// data from both inputs.
+type videoTransitionOp struct{}
+
+func (videoTransitionOp) Name() string           { return "video-transition" }
+func (videoTransitionOp) Category() Category     { return ChangesContent }
+func (videoTransitionOp) Arity() (int, int)      { return 2, 2 }
+func (videoTransitionOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (videoTransitionOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (videoTransitionOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p TransitionParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	a, b := inputs[0].Video, inputs[1].Video
+	if p.Dur <= 0 {
+		return nil, fmt.Errorf("%w: transition duration %d", ErrBadParams, p.Dur)
+	}
+	if p.AStart < 0 || p.AStart+p.Dur > int64(len(a)) || p.BStart < 0 || p.BStart+p.Dur > int64(len(b)) {
+		return nil, fmt.Errorf("%w: transition exceeds inputs", ErrBadParams)
+	}
+	out := make([]*frame.Frame, p.Dur)
+	for i := int64(0); i < p.Dur; i++ {
+		fa, fb := a[p.AStart+i], b[p.BStart+i]
+		if len(fa.Pix) != len(fb.Pix) {
+			return nil, fmt.Errorf("%w: frame geometry differs between inputs", ErrBadParams)
+		}
+		mixed := fa.Clone()
+		switch p.Type {
+		case "", "fade":
+			// Weight shifts linearly from A to B.
+			wb := int(i * 256 / p.Dur)
+			wa := 256 - wb
+			for j := range mixed.Pix {
+				mixed.Pix[j] = byte((int(fa.Pix[j])*wa + int(fb.Pix[j])*wb) / 256)
+			}
+		case "wipe":
+			// B wipes in from the left.
+			edge := int(i) * fa.Width / int(p.Dur)
+			for y := 0; y < fa.Height; y++ {
+				for x := 0; x < edge; x++ {
+					r, g, bl := fb.RGB(x, y)
+					mixed.SetRGB(x, y, r, g, bl)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown transition type %q", ErrBadParams, p.Type)
+		}
+		out[i] = mixed
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (videoTransitionOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 && len(inputs[0].Video) > 0 {
+		return float64(len(inputs[0].Video[0].Pix)) * 2 // read both inputs
+	}
+	return 0
+}
+
+// videoConcatOp concatenates video sequences — a timing derivation.
+type videoConcatOp struct{}
+
+func (videoConcatOp) Name() string           { return "video-concat" }
+func (videoConcatOp) Category() Category     { return ChangesTiming }
+func (videoConcatOp) Arity() (int, int)      { return 1, -1 }
+func (videoConcatOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (videoConcatOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (videoConcatOp) Apply(inputs []*Value, _ []byte) (*Value, error) {
+	var out []*frame.Frame
+	for _, in := range inputs {
+		out = append(out, in.Video...)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptyResult
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (videoConcatOp) CostPerElement([]*Value, []byte) float64 { return 1 }
+
+// ChromaKeyParams parameterizes chroma keying of one video over
+// another (Section 4.2's two-input content derivation: "the content of
+// the first video sequence is partially replaced with that of the
+// second").
+type ChromaKeyParams struct {
+	KeyR      byte `json:"key_r"`
+	KeyG      byte `json:"key_g"`
+	KeyB      byte `json:"key_b"`
+	Tolerance int  `json:"tolerance"`
+}
+
+type chromaKeyOp struct{}
+
+func (chromaKeyOp) Name() string           { return "chroma-key" }
+func (chromaKeyOp) Category() Category     { return ChangesContent }
+func (chromaKeyOp) Arity() (int, int)      { return 2, 2 }
+func (chromaKeyOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (chromaKeyOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (chromaKeyOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	p := ChromaKeyParams{KeyG: 255, Tolerance: 60}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	fg, bg := inputs[0].Video, inputs[1].Video
+	n := len(fg)
+	if len(bg) < n {
+		n = len(bg)
+	}
+	if n == 0 {
+		return nil, ErrEmptyResult
+	}
+	out := make([]*frame.Frame, n)
+	for i := 0; i < n; i++ {
+		f, b := fg[i], bg[i]
+		if len(f.Pix) != len(b.Pix) {
+			return nil, fmt.Errorf("%w: frame geometry differs", ErrBadParams)
+		}
+		mixed := f.Clone()
+		for y := 0; y < f.Height; y++ {
+			for x := 0; x < f.Width; x++ {
+				r, g, bl := f.RGB(x, y)
+				if absInt(int(r)-int(p.KeyR))+absInt(int(g)-int(p.KeyG))+absInt(int(bl)-int(p.KeyB)) <= p.Tolerance*3 {
+					br, bgc, bb := b.RGB(x, y)
+					mixed.SetRGB(x, y, br, bgc, bb)
+				}
+			}
+		}
+		out[i] = mixed
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (chromaKeyOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 && len(inputs[0].Video) > 0 {
+		return float64(len(inputs[0].Video[0].Pix)) * 2
+	}
+	return 0
+}
+
+// ScaleParams parameterizes temporal scaling by Num/Den (Section 4.2's
+// generic timing derivation). For video, frames are dropped or
+// duplicated; for audio, nearest-neighbor resampling in time.
+type ScaleParams struct {
+	Num int64 `json:"num"`
+	Den int64 `json:"den"`
+}
+
+type temporalScaleOp struct{}
+
+func (temporalScaleOp) Name() string           { return "temporal-scale" }
+func (temporalScaleOp) Category() Category     { return ChangesTiming }
+func (temporalScaleOp) Arity() (int, int)      { return 1, 1 }
+func (temporalScaleOp) ArgKind(int) media.Kind { return media.KindVideo }
+func (temporalScaleOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (temporalScaleOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p ScaleParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Num <= 0 || p.Den <= 0 {
+		return nil, fmt.Errorf("%w: scale %d/%d", ErrBadParams, p.Num, p.Den)
+	}
+	src := inputs[0].Video
+	outLen := int64(len(src)) * p.Num / p.Den
+	if outLen == 0 {
+		return nil, ErrEmptyResult
+	}
+	out := make([]*frame.Frame, outLen)
+	for i := int64(0); i < outLen; i++ {
+		out[i] = src[i*p.Den/p.Num]
+	}
+	return VideoValue(out, inputs[0].Rate), nil
+}
+
+func (temporalScaleOp) CostPerElement([]*Value, []byte) float64 { return 1 }
+
+// RenderParams bounds animation rendering.
+type RenderParams struct {
+	FromTick int64 `json:"from_tick"`
+	ToTick   int64 `json:"to_tick"`
+}
+
+// renderAnimationOp is the animation→video type-changing derivation.
+type renderAnimationOp struct{}
+
+func (renderAnimationOp) Name() string           { return "render-animation" }
+func (renderAnimationOp) Category() Category     { return ChangesType }
+func (renderAnimationOp) Arity() (int, int)      { return 1, 1 }
+func (renderAnimationOp) ArgKind(int) media.Kind { return media.KindAnimation }
+func (renderAnimationOp) ResultKind() media.Kind { return media.KindVideo }
+
+func (renderAnimationOp) Apply(inputs []*Value, params []byte) (*Value, error) {
+	var p RenderParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	frames, err := synth.RenderAnimation(inputs[0].Anim, p.FromTick, p.ToTick)
+	if err != nil {
+		return nil, err
+	}
+	return VideoValue(frames, inputs[0].Rate), nil
+}
+
+func (renderAnimationOp) CostPerElement(inputs []*Value, _ []byte) float64 {
+	if len(inputs) > 0 && inputs[0].Anim != nil {
+		return float64(inputs[0].Anim.W * inputs[0].Anim.H * 3)
+	}
+	return 0
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+// Package derive implements derivation (Definition 6 of Gibbs et al.,
+// SIGMOD 1994): mappings D(O, P_D) → O' from a set of media objects
+// and parameters to a new media object. Derivation objects — the
+// operator name, input references, and parameter values — are small
+// data records; expansion computes the derived object's media elements
+// on demand.
+//
+// The operator set covers Table 1 (color separation, audio
+// normalization, video edit, video transition, MIDI synthesis) plus
+// the generic timing derivations of Section 4.2 (temporal translation
+// and scaling, concatenation) and further content derivations (chroma
+// key, animation rendering, music transposition, audio mix).
+package derive
+
+import (
+	"errors"
+	"fmt"
+
+	"timedmedia/internal/anim"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+	"timedmedia/internal/music"
+	"timedmedia/internal/timebase"
+)
+
+// Errors.
+var (
+	ErrUnknownOp   = errors.New("derive: unknown operator")
+	ErrArity       = errors.New("derive: wrong number of inputs")
+	ErrArgKind     = errors.New("derive: wrong input kind")
+	ErrBadParams   = errors.New("derive: invalid parameters")
+	ErrEmptyResult = errors.New("derive: derivation produced no elements")
+)
+
+// Value is a materialized media object: the expanded element data a
+// derivation consumes and produces. Exactly one payload field is set,
+// according to Kind.
+type Value struct {
+	Kind media.Kind
+	// Rate is the time system of timed values (frame rate for video,
+	// sample rate for audio, division for music, frame rate for
+	// animation). Unset for images.
+	Rate timebase.System
+
+	Video []*frame.Frame
+	Audio *audio.Buffer
+	Image *frame.Frame
+	Music *music.Sequence
+	Anim  *anim.Scene
+}
+
+// VideoValue wraps frames into a Value.
+func VideoValue(frames []*frame.Frame, rate timebase.System) *Value {
+	return &Value{Kind: media.KindVideo, Rate: rate, Video: frames}
+}
+
+// AudioValue wraps a sample buffer into a Value.
+func AudioValue(b *audio.Buffer, rate timebase.System) *Value {
+	return &Value{Kind: media.KindAudio, Rate: rate, Audio: b}
+}
+
+// ImageValue wraps a still frame into a Value.
+func ImageValue(f *frame.Frame) *Value {
+	return &Value{Kind: media.KindImage, Image: f}
+}
+
+// MusicValue wraps a music sequence into a Value.
+func MusicValue(s *music.Sequence) *Value {
+	return &Value{Kind: media.KindMusic, Rate: s.Division, Music: s}
+}
+
+// AnimValue wraps an animation scene into a Value.
+func AnimValue(s *anim.Scene) *Value {
+	return &Value{Kind: media.KindAnimation, Rate: s.Rate, Anim: s}
+}
+
+// Validate checks the kind/payload correspondence.
+func (v *Value) Validate() error {
+	if v == nil {
+		return errors.New("derive: nil value")
+	}
+	switch v.Kind {
+	case media.KindVideo:
+		if v.Video == nil {
+			return errors.New("derive: video value without frames")
+		}
+		if !v.Rate.Valid() {
+			return errors.New("derive: video value without frame rate")
+		}
+	case media.KindAudio:
+		if v.Audio == nil {
+			return errors.New("derive: audio value without buffer")
+		}
+		if !v.Rate.Valid() {
+			return errors.New("derive: audio value without sample rate")
+		}
+	case media.KindImage:
+		if v.Image == nil {
+			return errors.New("derive: image value without frame")
+		}
+	case media.KindMusic:
+		if v.Music == nil {
+			return errors.New("derive: music value without sequence")
+		}
+	case media.KindAnimation:
+		if v.Anim == nil {
+			return errors.New("derive: animation value without scene")
+		}
+	default:
+		return fmt.Errorf("derive: unknown kind %v", v.Kind)
+	}
+	return nil
+}
+
+// Elements returns the element count of the value (frames, sample
+// frames, events, movements; 1 for images).
+func (v *Value) Elements() int {
+	switch v.Kind {
+	case media.KindVideo:
+		return len(v.Video)
+	case media.KindAudio:
+		return v.Audio.Frames()
+	case media.KindImage:
+		return 1
+	case media.KindMusic:
+		return len(v.Music.Events)
+	case media.KindAnimation:
+		return len(v.Anim.Movements)
+	default:
+		return 0
+	}
+}
+
+// DurationTicks returns the value's duration in ticks of its rate.
+func (v *Value) DurationTicks() int64 {
+	switch v.Kind {
+	case media.KindVideo:
+		return int64(len(v.Video))
+	case media.KindAudio:
+		return int64(v.Audio.Frames())
+	case media.KindMusic:
+		return v.Music.Duration()
+	case media.KindAnimation:
+		return v.Anim.Duration()
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,178 @@
+// Package edl parses and formats edit decision lists, the textual
+// interchange form of the paper's edit-list derivation objects ("The
+// list of start and stop times of these selections is called an edit
+// list. Edit lists are derivation objects, while edited video
+// sequences are derived objects").
+//
+// The format is line-oriented, inspired by CMX-style EDLs but
+// simplified:
+//
+//	TITLE: sunset final cut
+//	FCM: 25
+//	001 input=0 from=00:00:01:00 to=00:00:05:12
+//	002 input=1 from=130 to=300
+//	# comments and blank lines are ignored
+//
+// Selections may use HH:MM:SS:FF timecodes (interpreted at the FCM
+// frame rate, default 25) or bare frame numbers. Parse produces a
+// derive.EditParams ready to store as a derivation object; Format is
+// its inverse.
+package edl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"timedmedia/internal/derive"
+)
+
+// Errors.
+var (
+	ErrSyntax = errors.New("edl: syntax error")
+	ErrEmpty  = errors.New("edl: no selections")
+)
+
+// List is a parsed edit decision list.
+type List struct {
+	Title     string
+	FrameRate int64 // FCM: frames per second for timecode conversion
+	Params    derive.EditParams
+}
+
+// Parse reads an EDL document.
+func Parse(text string) (*List, error) {
+	l := &List{FrameRate: 25}
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "TITLE:"):
+			l.Title = strings.TrimSpace(strings.TrimPrefix(line, "TITLE:"))
+		case strings.HasPrefix(line, "FCM:"):
+			rate, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, "FCM:")), 10, 64)
+			if err != nil || rate <= 0 {
+				return nil, fmt.Errorf("%w: line %d: bad FCM", ErrSyntax, lineNo)
+			}
+			l.FrameRate = rate
+		default:
+			entry, err := l.parseEvent(line)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+			}
+			l.Params.Entries = append(l.Params.Entries, entry)
+		}
+	}
+	if len(l.Params.Entries) == 0 {
+		return nil, ErrEmpty
+	}
+	return l, nil
+}
+
+// parseEvent parses "NNN input=I from=X to=Y".
+func (l *List) parseEvent(line string) (derive.EditEntry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return derive.EditEntry{}, fmt.Errorf("want 'NNN input=I from=X to=Y', got %q", line)
+	}
+	if _, err := strconv.Atoi(fields[0]); err != nil {
+		return derive.EditEntry{}, fmt.Errorf("event number %q", fields[0])
+	}
+	var e derive.EditEntry
+	var haveInput, haveFrom, haveTo bool
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return derive.EditEntry{}, fmt.Errorf("field %q", f)
+		}
+		switch key {
+		case "input":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return derive.EditEntry{}, fmt.Errorf("input %q", val)
+			}
+			e.Input = n
+			haveInput = true
+		case "from":
+			fr, err := l.parseTime(val)
+			if err != nil {
+				return derive.EditEntry{}, err
+			}
+			e.From = fr
+			haveFrom = true
+		case "to":
+			to, err := l.parseTime(val)
+			if err != nil {
+				return derive.EditEntry{}, err
+			}
+			e.To = to
+			haveTo = true
+		default:
+			return derive.EditEntry{}, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	if !haveInput || !haveFrom || !haveTo {
+		return derive.EditEntry{}, fmt.Errorf("missing input/from/to in %q", line)
+	}
+	if e.From >= e.To {
+		return derive.EditEntry{}, fmt.Errorf("empty selection [%d,%d)", e.From, e.To)
+	}
+	return e, nil
+}
+
+// parseTime accepts a bare frame count or HH:MM:SS:FF timecode.
+func (l *List) parseTime(s string) (int64, error) {
+	if !strings.Contains(s, ":") {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("frame count %q", s)
+		}
+		return n, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("timecode %q (want HH:MM:SS:FF)", s)
+	}
+	var v [4]int64
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("timecode %q", s)
+		}
+		v[i] = n
+	}
+	if v[1] > 59 || v[2] > 59 || v[3] >= l.FrameRate {
+		return 0, fmt.Errorf("timecode %q out of range at %d fps", s, l.FrameRate)
+	}
+	return ((v[0]*60+v[1])*60+v[2])*l.FrameRate + v[3], nil
+}
+
+// Format renders the list back to text with timecodes.
+func (l *List) Format() string {
+	var b strings.Builder
+	if l.Title != "" {
+		fmt.Fprintf(&b, "TITLE: %s\n", l.Title)
+	}
+	rate := l.FrameRate
+	if rate <= 0 {
+		rate = 25
+	}
+	fmt.Fprintf(&b, "FCM: %d\n", rate)
+	for i, e := range l.Params.Entries {
+		fmt.Fprintf(&b, "%03d input=%d from=%s to=%s\n",
+			i+1, e.Input, timecode(e.From, rate), timecode(e.To, rate))
+	}
+	return b.String()
+}
+
+// timecode renders frames as HH:MM:SS:FF.
+func timecode(frames, rate int64) string {
+	ff := frames % rate
+	sec := frames / rate
+	return fmt.Sprintf("%02d:%02d:%02d:%02d", sec/3600, sec/60%60, sec%60, ff)
+}

@@ -1,0 +1,148 @@
+package edl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"timedmedia/internal/derive"
+)
+
+const sample = `
+TITLE: sunset final cut
+FCM: 25
+# scene one
+001 input=0 from=00:00:01:00 to=00:00:05:12
+002 input=1 from=130 to=300
+`
+
+func TestParseSample(t *testing.T) {
+	l, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Title != "sunset final cut" || l.FrameRate != 25 {
+		t.Errorf("header = %q %d", l.Title, l.FrameRate)
+	}
+	if len(l.Params.Entries) != 2 {
+		t.Fatalf("entries = %d", len(l.Params.Entries))
+	}
+	e := l.Params.Entries[0]
+	// 00:00:01:00 at 25fps = frame 25; 00:00:05:12 = 137.
+	if e.Input != 0 || e.From != 25 || e.To != 137 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	e = l.Params.Entries[1]
+	if e.Input != 1 || e.From != 130 || e.To != 300 {
+		t.Errorf("entry 1 = %+v", e)
+	}
+}
+
+func TestParseUsesFrameRateForTimecode(t *testing.T) {
+	l, err := Parse("FCM: 30\n001 input=0 from=00:00:01:00 to=00:00:02:00\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Params.Entries[0].From != 30 || l.Params.Entries[0].To != 60 {
+		t.Errorf("entry = %+v", l.Params.Entries[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                          // empty
+		"001 input=0 from=5 to=2\n",                 // inverted
+		"001 input=0 from=5\n",                      // missing to
+		"xxx input=0 from=0 to=5\n",                 // bad event number
+		"001 input=-1 from=0 to=5\n",                // negative input
+		"001 input=0 from=0 to=abc\n",               // bad number
+		"001 input=0 from=00:00:01 to=00:00:02\n",   // short timecode
+		"001 input=0 from=00:00:00:99 to=5\n",       // FF >= rate
+		"FCM: 0\n001 input=0 from=0 to=1\n",         // bad rate
+		"001 input=0 from=0 to=5 extra=1\n",         // unknown field
+		"001 input=0 noequals from=0 to=5\n",        // malformed field
+		"TITLE: x\n",                                // no selections
+		"001 input=0 from=00:99:00:00 to=1:0:0:0\n", // minutes out of range
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+	if _, err := Parse("TITLE: x\n"); !errors.Is(err, ErrEmpty) {
+		t.Error("empty list must be ErrEmpty")
+	}
+	if _, err := Parse("001 input=0 from=5 to=2\n"); !errors.Is(err, ErrSyntax) {
+		t.Error("inverted range must be ErrSyntax")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	l := &List{
+		Title:     "demo",
+		FrameRate: 25,
+		Params: derive.EditParams{Entries: []derive.EditEntry{
+			{Input: 0, From: 25, To: 137},
+			{Input: 2, From: 0, To: 90000}, // an hour
+		}},
+	}
+	text := l.Format()
+	for _, want := range []string{"TITLE: demo", "FCM: 25", "00:00:01:00", "00:00:05:12", "01:00:00:00", "input=2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted EDL missing %q:\n%s", want, text)
+		}
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Params.Entries) != 2 {
+		t.Fatalf("entries = %d", len(back.Params.Entries))
+	}
+	for i := range l.Params.Entries {
+		if back.Params.Entries[i] != l.Params.Entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, back.Params.Entries[i], l.Params.Entries[i])
+		}
+	}
+}
+
+func TestFormatParseProperty(t *testing.T) {
+	f := func(input uint8, from, span uint16) bool {
+		l := &List{FrameRate: 25, Params: derive.EditParams{Entries: []derive.EditEntry{
+			{Input: int(input % 8), From: int64(from), To: int64(from) + int64(span) + 1},
+		}}}
+		back, err := Parse(l.Format())
+		if err != nil {
+			return false
+		}
+		return back.Params.Entries[0] == l.Params.Entries[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimecodeRendering(t *testing.T) {
+	if tc := timecode(137, 25); tc != "00:00:05:12" {
+		t.Errorf("tc = %s", tc)
+	}
+	if tc := timecode(0, 25); tc != "00:00:00:00" {
+		t.Errorf("tc = %s", tc)
+	}
+	// 1 hour 2 min 3 s 4 frames at 30fps.
+	frames := int64(((1*60+2)*60+3)*30 + 4)
+	if tc := timecode(frames, 30); tc != "01:02:03:04" {
+		t.Errorf("tc = %s", tc)
+	}
+}
+
+func TestDefaultFrameRate(t *testing.T) {
+	l, err := Parse("001 input=0 from=00:00:01:00 to=00:00:02:00\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.FrameRate != 25 || l.Params.Entries[0].From != 25 {
+		t.Errorf("default rate: %+v", l)
+	}
+}

@@ -1,0 +1,165 @@
+package export
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/music"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	b := audio.Sweep(4410, 2, 100, 3000, 44100, 0.7)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, b, 44100); err != nil {
+		t.Fatal(err)
+	}
+	got, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 44100 || got.Channels != 2 {
+		t.Errorf("rate=%d ch=%d", rate, got.Channels)
+	}
+	if !math.IsInf(audio.SNR(b, got), 1) {
+		t.Error("WAV round trip not lossless")
+	}
+}
+
+func TestWAVHeaderFields(t *testing.T) {
+	b := audio.NewBuffer(10, 1)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, b, 8000); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if string(data[:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		t.Error("bad RIFF header")
+	}
+	if len(data) != 44+20 {
+		t.Errorf("file length = %d", len(data))
+	}
+}
+
+func TestWAVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, audio.NewBuffer(1, 1), 0); !errors.Is(err, ErrFormat) {
+		t.Errorf("rate 0: %v", err)
+	}
+	if _, _, err := ReadWAV(bytes.NewReader([]byte("short"))); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("short: %v", err)
+	}
+	// Valid header but non-PCM format code.
+	b := audio.NewBuffer(4, 1)
+	buf.Reset()
+	WriteWAV(&buf, b, 8000)
+	data := buf.Bytes()
+	data[20] = 3 // IEEE float
+	if _, _, err := ReadWAV(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Errorf("non-pcm: %v", err)
+	}
+}
+
+func TestSMFRoundTrip(t *testing.T) {
+	seq := music.Scale(60, 8, 2)
+	seq.Events = append([]music.Event{{Tick: 0, Kind: music.Program, Channel: 2, Value: 19}}, seq.Events...)
+	var buf bytes.Buffer
+	if err := WriteSMF(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSMF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reader adds the tempo meta event we always write.
+	notesWant, _ := seq.Notes()
+	notesGot, err := got.Notes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notesGot) != len(notesWant) {
+		t.Fatalf("notes = %d, want %d", len(notesGot), len(notesWant))
+	}
+	for i := range notesWant {
+		if notesGot[i].Tick != notesWant[i].Tick || notesGot[i].Key != notesWant[i].Key ||
+			notesGot[i].Dur != notesWant[i].Dur || notesGot[i].Channel != notesWant[i].Channel {
+			t.Errorf("note %d = %+v, want %+v", i, notesGot[i], notesWant[i])
+		}
+	}
+	// Program change survives.
+	foundProg := false
+	for _, e := range got.Events {
+		if e.Kind == music.Program && e.Value == 19 && e.Channel == 2 {
+			foundProg = true
+		}
+	}
+	if !foundProg {
+		t.Error("program change lost")
+	}
+	// MThd header shape.
+	data := buf.Bytes()
+	if string(data[:4]) != "MThd" || string(data[14:18]) != "MTrk" {
+		t.Error("bad SMF chunks")
+	}
+}
+
+func TestSMFErrors(t *testing.T) {
+	if _, err := ReadSMF(bytes.NewReader([]byte("not a midi file"))); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("garbage: %v", err)
+	}
+	// Format 1 rejected.
+	seq := music.Scale(60, 2, 0)
+	var buf bytes.Buffer
+	WriteSMF(&buf, seq)
+	data := buf.Bytes()
+	data[9] = 1 // format 1
+	if _, err := ReadSMF(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Errorf("format 1: %v", err)
+	}
+}
+
+func TestVarLenRoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 127, 128, 16383, 16384, 2097151, 2097152} {
+		enc := appendVarLen(nil, v)
+		got, n, err := readVarLen(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Errorf("varlen %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+	if _, _, err := readVarLen([]byte{0x80, 0x80, 0x80, 0x80}); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("runaway varlen: %v", err)
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	f := frame.Generator{W: 20, H: 14, Seed: 6}.Frame(2)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPM(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := frame.PSNR(f, got)
+	if !math.IsInf(p, 1) {
+		t.Error("PPM round trip not lossless")
+	}
+}
+
+func TestPPMErrors(t *testing.T) {
+	yuv := frame.New(4, 4, 2) // ColorYUV422
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, yuv); !errors.Is(err, ErrFormat) {
+		t.Errorf("yuv: %v", err)
+	}
+	if _, err := ReadPPM(bytes.NewReader([]byte("P3\n2 2\n255\n"))); !errors.Is(err, ErrFormat) {
+		t.Errorf("ascii ppm: %v", err)
+	}
+	if _, err := ReadPPM(bytes.NewReader([]byte("P6\n2 2\n255\nxx"))); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("short body: %v", err)
+	}
+}

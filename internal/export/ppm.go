@@ -1,0 +1,48 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"timedmedia/internal/frame"
+	"timedmedia/internal/media"
+)
+
+// WritePPM encodes an RGB frame as binary PPM (P6), viewable with any
+// image tool.
+func WritePPM(w io.Writer, f *frame.Frame) error {
+	if f.Model != media.ColorRGB {
+		return fmt.Errorf("%w: PPM needs RGB, got %v", ErrFormat, f.Model)
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", f.Width, f.Height); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Pix)
+	return err
+}
+
+// ReadPPM parses a binary PPM (P6) image.
+func ReadPPM(r io.Reader) (*frame.Frame, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("%w: ppm header: %v", ErrCorruptFile, err)
+	}
+	if magic != "P6" || maxVal != 255 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: ppm header %q %d %d %d", ErrFormat, magic, w, h, maxVal)
+	}
+	// Single whitespace byte after maxval.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("%w: ppm separator", ErrCorruptFile)
+	}
+	f := frame.New(w, h, media.ColorRGB)
+	if _, err := io.ReadFull(br, f.Pix); err != nil {
+		return nil, fmt.Errorf("%w: ppm body: %v", ErrCorruptFile, err)
+	}
+	return f, nil
+}

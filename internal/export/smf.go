@@ -1,0 +1,200 @@
+package export
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"timedmedia/internal/music"
+)
+
+// Standard MIDI File (format 0) writer and reader for music sequences.
+// Division is written as ticks-per-quarter assuming the sequence's
+// pulse system runs at 480 PPQ / 120 BPM (the package default); a
+// tempo meta event records 120 BPM explicitly.
+
+const smfPPQ = 480
+
+// WriteSMF encodes a sequence as a single-track (format 0) MIDI file.
+func WriteSMF(w io.Writer, seq *music.Sequence) error {
+	if err := seq.Validate(); err != nil {
+		return err
+	}
+	var track []byte
+	// Tempo meta event: 120 BPM = 500000 µs/quarter.
+	track = append(track, 0x00, 0xFF, 0x51, 0x03, 0x07, 0xA1, 0x20)
+	last := int64(0)
+	for _, e := range seq.Events {
+		delta := e.Tick - last
+		if delta < 0 {
+			delta = 0
+		}
+		last = e.Tick
+		track = appendVarLen(track, uint32(delta))
+		switch e.Kind {
+		case music.NoteOn:
+			track = append(track, 0x90|e.Channel, e.Key&0x7F, e.Velocity&0x7F)
+		case music.NoteOff:
+			track = append(track, 0x80|e.Channel, e.Key&0x7F, 0x40)
+		case music.Program:
+			track = append(track, 0xC0|e.Channel, byte(e.Value)&0x7F)
+		case music.Tempo:
+			us := e.Value
+			track = append(track, 0xFF, 0x51, 0x03, byte(us>>16), byte(us>>8), byte(us))
+		default:
+			return fmt.Errorf("%w: event kind %v", ErrFormat, e.Kind)
+		}
+	}
+	// End of track.
+	track = append(track, 0x00, 0xFF, 0x2F, 0x00)
+
+	var out []byte
+	out = append(out, "MThd"...)
+	out = binary.BigEndian.AppendUint32(out, 6)
+	out = binary.BigEndian.AppendUint16(out, 0) // format 0
+	out = binary.BigEndian.AppendUint16(out, 1) // one track
+	out = binary.BigEndian.AppendUint16(out, smfPPQ)
+	out = append(out, "MTrk"...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(track)))
+	out = append(out, track...)
+	_, err := w.Write(out)
+	return err
+}
+
+// ReadSMF parses a format-0 MIDI file into a sequence (note and
+// program events; other events are skipped).
+func ReadSMF(r io.Reader) (*music.Sequence, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 22 || string(data[:4]) != "MThd" {
+		return nil, fmt.Errorf("%w: MThd", ErrCorruptFile)
+	}
+	format := binary.BigEndian.Uint16(data[8:])
+	ntracks := binary.BigEndian.Uint16(data[10:])
+	if format != 0 || ntracks != 1 {
+		return nil, fmt.Errorf("%w: only format 0 single-track files", ErrFormat)
+	}
+	if string(data[14:18]) != "MTrk" {
+		return nil, fmt.Errorf("%w: MTrk", ErrCorruptFile)
+	}
+	trackLen := int(binary.BigEndian.Uint32(data[18:]))
+	if 22+trackLen > len(data) {
+		return nil, fmt.Errorf("%w: track overruns", ErrCorruptFile)
+	}
+	track := data[22 : 22+trackLen]
+
+	seq := music.NewSequence()
+	tick := int64(0)
+	off := 0
+	var running byte
+	for off < len(track) {
+		delta, n, err := readVarLen(track[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		tick += int64(delta)
+		if off >= len(track) {
+			return nil, fmt.Errorf("%w: truncated event", ErrCorruptFile)
+		}
+		status := track[off]
+		if status < 0x80 {
+			status = running // running status
+		} else {
+			off++
+		}
+		running = status
+		switch {
+		case status == 0xFF: // meta
+			if off+1 >= len(track) {
+				return nil, fmt.Errorf("%w: meta", ErrCorruptFile)
+			}
+			metaType := track[off]
+			off++
+			l, n, err := readVarLen(track[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			if off+int(l) > len(track) {
+				return nil, fmt.Errorf("%w: meta body", ErrCorruptFile)
+			}
+			if metaType == 0x51 && l == 3 {
+				us := uint32(track[off])<<16 | uint32(track[off+1])<<8 | uint32(track[off+2])
+				seq.Events = append(seq.Events, music.Event{Tick: tick, Kind: music.Tempo, Value: us})
+			}
+			if metaType == 0x2F {
+				off += int(l)
+				goto done
+			}
+			off += int(l)
+		case status&0xF0 == 0x90:
+			if off+1 >= len(track) {
+				return nil, fmt.Errorf("%w: note on", ErrCorruptFile)
+			}
+			key, vel := track[off], track[off+1]
+			off += 2
+			kind := music.NoteOn
+			if vel == 0 { // velocity-0 note-on is note-off
+				kind = music.NoteOff
+			}
+			seq.Events = append(seq.Events, music.Event{Tick: tick, Kind: kind, Channel: status & 0x0F, Key: key, Velocity: vel})
+		case status&0xF0 == 0x80:
+			if off+1 >= len(track) {
+				return nil, fmt.Errorf("%w: note off", ErrCorruptFile)
+			}
+			key := track[off]
+			off += 2
+			seq.Events = append(seq.Events, music.Event{Tick: tick, Kind: music.NoteOff, Channel: status & 0x0F, Key: key})
+		case status&0xF0 == 0xC0 || status&0xF0 == 0xD0: // program / channel pressure: 1 data byte
+			if off >= len(track) {
+				return nil, fmt.Errorf("%w: short event", ErrCorruptFile)
+			}
+			if status&0xF0 == 0xC0 {
+				seq.Events = append(seq.Events, music.Event{Tick: tick, Kind: music.Program, Channel: status & 0x0F, Value: uint32(track[off])})
+			}
+			off++
+		default: // other channel events: 2 data bytes, skipped
+			off += 2
+			if off > len(track) {
+				return nil, fmt.Errorf("%w: short event", ErrCorruptFile)
+			}
+		}
+	}
+done:
+	seq.Sort()
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}
+
+// appendVarLen writes a MIDI variable-length quantity.
+func appendVarLen(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	n := 0
+	tmp[n] = byte(v & 0x7F)
+	n++
+	for v >>= 7; v > 0; v >>= 7 {
+		tmp[n] = byte(v&0x7F) | 0x80
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, tmp[i])
+	}
+	return dst
+}
+
+// readVarLen parses a MIDI variable-length quantity.
+func readVarLen(src []byte) (uint32, int, error) {
+	var v uint32
+	for i := 0; i < len(src) && i < 4; i++ {
+		v = v<<7 | uint32(src[i]&0x7F)
+		if src[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: varlen", ErrCorruptFile)
+}

@@ -1,0 +1,105 @@
+// Package export writes media objects in standard interchange formats
+// — RIFF/WAVE for audio, Standard MIDI Files for music, binary PPM for
+// frames — so content produced by the database can be inspected with
+// ordinary tools. Importers for WAV and SMF close the loop for
+// round-trip tests and external material.
+package export
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"timedmedia/internal/audio"
+)
+
+// Errors.
+var (
+	ErrFormat      = errors.New("export: unsupported format")
+	ErrCorruptFile = errors.New("export: corrupt file")
+)
+
+// WriteWAV encodes a PCM buffer as a 16-bit RIFF/WAVE stream.
+func WriteWAV(w io.Writer, b *audio.Buffer, sampleRateHz int) error {
+	if sampleRateHz <= 0 || b.Channels <= 0 {
+		return fmt.Errorf("%w: rate %d, channels %d", ErrFormat, sampleRateHz, b.Channels)
+	}
+	dataLen := len(b.Samples) * 2
+	var hdr []byte
+	hdr = append(hdr, "RIFF"...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(36+dataLen))
+	hdr = append(hdr, "WAVE"...)
+	hdr = append(hdr, "fmt "...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 16)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 1) // PCM
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(b.Channels))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(sampleRateHz))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(sampleRateHz*b.Channels*2)) // byte rate
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(b.Channels*2))              // block align
+	hdr = binary.LittleEndian.AppendUint16(hdr, 16)                                // bits
+	hdr = append(hdr, "data"...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(dataLen))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	body := make([]byte, dataLen)
+	for i, s := range b.Samples {
+		binary.LittleEndian.PutUint16(body[i*2:], uint16(s))
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadWAV parses a 16-bit PCM RIFF/WAVE stream.
+func ReadWAV(r io.Reader) (*audio.Buffer, int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < 44 || string(data[:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("%w: RIFF header", ErrCorruptFile)
+	}
+	// Walk chunks.
+	var channels, bits int
+	var rate int
+	var body []byte
+	off := 12
+	for off+8 <= len(data) {
+		id := string(data[off : off+4])
+		size := int(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8
+		if off+size > len(data) {
+			return nil, 0, fmt.Errorf("%w: chunk %q overruns", ErrCorruptFile, id)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return nil, 0, fmt.Errorf("%w: fmt chunk", ErrCorruptFile)
+			}
+			if binary.LittleEndian.Uint16(data[off:]) != 1 {
+				return nil, 0, fmt.Errorf("%w: non-PCM wav", ErrFormat)
+			}
+			channels = int(binary.LittleEndian.Uint16(data[off+2:]))
+			rate = int(binary.LittleEndian.Uint32(data[off+4:]))
+			bits = int(binary.LittleEndian.Uint16(data[off+14:]))
+		case "data":
+			body = data[off : off+size]
+		}
+		off += size + size%2 // chunks are word-aligned
+	}
+	if channels <= 0 || rate <= 0 || body == nil {
+		return nil, 0, fmt.Errorf("%w: missing fmt/data", ErrCorruptFile)
+	}
+	if bits != 16 {
+		return nil, 0, fmt.Errorf("%w: %d-bit wav", ErrFormat, bits)
+	}
+	if len(body)%2 != 0 || (len(body)/2)%channels != 0 {
+		return nil, 0, fmt.Errorf("%w: data length", ErrCorruptFile)
+	}
+	b := &audio.Buffer{Channels: channels, Samples: make([]int16, len(body)/2)}
+	for i := range b.Samples {
+		b.Samples[i] = int16(binary.LittleEndian.Uint16(body[i*2:]))
+	}
+	return b, rate, nil
+}

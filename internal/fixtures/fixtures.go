@@ -1,0 +1,232 @@
+// Package fixtures builds the synthetic workloads shared by the
+// benchmark harness, the paperbench tool and the examples: generated
+// A/V content, the Figure 2 capture, and the Figure 4 production
+// pipeline.
+package fixtures
+
+import (
+	"fmt"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/codec"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// Frames renders n synthetic frames at w×h from a seed.
+func Frames(n, w, h int, seed int64) []*frame.Frame {
+	g := frame.Generator{W: w, H: h, Seed: seed}
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		out[i] = g.Frame(i)
+	}
+	return out
+}
+
+// Video wraps generated frames as a PAL video value.
+func Video(n, w, h int, seed int64) *derive.Value {
+	return derive.VideoValue(Frames(n, w, h, seed), timebase.PAL)
+}
+
+// Tone generates a CD-rate stereo sine of the given duration in
+// seconds.
+func Tone(seconds float64, freqHz float64) *derive.Value {
+	frames := int(seconds * 44100)
+	return derive.AudioValue(audio.Sine(frames, 2, freqHz, 44100, 0.4), timebase.CDAudio)
+}
+
+// Figure2 runs the worked example of Section 4.1 at a configurable
+// scale: `seconds` of PAL video at w×h (the paper uses 10 minutes at
+// 640×480) with CD-quality stereo audio, interleaved in one BLOB with
+// audio samples following the associated video frame. It returns the
+// sealed interpretation.
+func Figure2(store blob.Store, seconds float64, w, h int, seed int64) (*interp.Interpretation, error) {
+	nFrames := int(seconds * 25)
+	if nFrames < 1 {
+		nFrames = 1
+	}
+	id, b, err := store.Create()
+	if err != nil {
+		return nil, err
+	}
+	vType := media.PALVideoType(w, h, media.QualityVHS, media.EncodingVJPG)
+	aType := media.PCMBlockAudioType(1764)
+	bu := interp.NewBuilder(id, b).
+		AddTrack("video1", vType, vType.NewDescriptor(int64(nFrames))).
+		AddTrack("audio1", aType, aType.NewDescriptor(int64(nFrames)*1764))
+
+	g := frame.Generator{W: w, H: h, Seed: seed}
+	q := codec.QuantizerFor(media.QualityVHS)
+	tone := audio.Sine(nFrames*1764, 2, 440, 44100, 0.4)
+	for i := 0; i < nFrames; i++ {
+		data, err := codec.VJPGEncode(g.Frame(i), q)
+		if err != nil {
+			return nil, err
+		}
+		bu.Append("video1", data, int64(i), 1, media.ElementDescriptor{})
+		pcm := codec.PCMEncode16(tone.Slice(i*1764, (i+1)*1764))
+		bu.Append("audio1", pcm, int64(i)*1764, 1764, media.ElementDescriptor{})
+	}
+	return bu.Seal()
+}
+
+// Figure4 reproduces the Section 4.3 composition example in a catalog:
+// two video sequences captured into one BLOB, two audio sequences
+// interleaved in another, then cut₁/fade/cut₂/concat derivations and a
+// temporal composition. The `scale` parameter is the length of each
+// raw video sequence in frames (the fade takes scale/8, cuts take
+// 3*scale/4). It returns the multimedia object's ID.
+func Figure4(db *catalog.DB, scale int, w, h int) (core.ID, error) {
+	if scale < 16 {
+		scale = 16
+	}
+	store := db.Store()
+
+	// One BLOB holding both video sequences ("the two video sequences
+	// result from a single capture operation ... and so also reside in
+	// a single BLOB").
+	vID, vb, err := store.Create()
+	if err != nil {
+		return 0, err
+	}
+	vType := media.PALVideoType(w, h, media.QualityVHS, media.EncodingVJPG)
+	vbu := interp.NewBuilder(vID, vb).
+		AddTrack("video1", vType, vType.NewDescriptor(int64(scale))).
+		AddTrack("video2", vType, vType.NewDescriptor(int64(scale)))
+	q := codec.QuantizerFor(media.QualityVHS)
+	g1 := frame.Generator{W: w, H: h, Seed: 41}
+	g2 := frame.Generator{W: w, H: h, Seed: 97}
+	for i := 0; i < scale; i++ {
+		d1, err := codec.VJPGEncode(g1.Frame(i), q)
+		if err != nil {
+			return 0, err
+		}
+		d2, err := codec.VJPGEncode(g2.Frame(i), q)
+		if err != nil {
+			return 0, err
+		}
+		vbu.Append("video1", d1, int64(i), 1, media.ElementDescriptor{})
+		vbu.Append("video2", d2, int64(i), 1, media.ElementDescriptor{})
+	}
+	vit, err := vbu.Seal()
+	if err != nil {
+		return 0, err
+	}
+	if err := db.RegisterInterpretation(vit); err != nil {
+		return 0, err
+	}
+
+	// One BLOB holding both audio sequences, interleaved ("they are
+	// interleaved in a single BLOB" — music and narration presented
+	// simultaneously).
+	audioSamples := scale * 1764
+	aID, ab, err := store.Create()
+	if err != nil {
+		return 0, err
+	}
+	aType := media.PCMBlockAudioType(1764)
+	abu := interp.NewBuilder(aID, ab).
+		AddTrack("audio1", aType, aType.NewDescriptor(int64(audioSamples))).
+		AddTrack("audio2", aType, aType.NewDescriptor(int64(audioSamples)))
+	music := audio.Sine(audioSamples, 2, 330, 44100, 0.35)
+	narration := audio.Sweep(audioSamples, 2, 200, 800, 44100, 0.35)
+	for i := 0; i < scale; i++ {
+		abu.Append("audio1", codec.PCMEncode16(music.Slice(i*1764, (i+1)*1764)), int64(i)*1764, 1764, media.ElementDescriptor{})
+		abu.Append("audio2", codec.PCMEncode16(narration.Slice(i*1764, (i+1)*1764)), int64(i)*1764, 1764, media.ElementDescriptor{})
+	}
+	ait, err := abu.Seal()
+	if err != nil {
+		return 0, err
+	}
+	if err := db.RegisterInterpretation(ait); err != nil {
+		return 0, err
+	}
+
+	v1, err := db.AddNonDerived("video1", vID, "video1", nil)
+	if err != nil {
+		return 0, err
+	}
+	v2, err := db.AddNonDerived("video2", vID, "video2", nil)
+	if err != nil {
+		return 0, err
+	}
+	a1, err := db.AddNonDerived("audio1", aID, "audio1", map[string]string{"content": "music"})
+	if err != nil {
+		return 0, err
+	}
+	a2, err := db.AddNonDerived("audio2", aID, "audio2", map[string]string{"content": "narration"})
+	if err != nil {
+		return 0, err
+	}
+
+	// "The first step is to construct a derived video sequence which
+	// performs a slow fade from video1 to video2."
+	fadeLen := int64(scale / 8)
+	cutLen := int64(3 * scale / 4)
+	fade, err := db.AddDerived("videoF", "video-transition", []core.ID{v1, v2},
+		derive.EncodeParams(derive.TransitionParams{Type: "fade", Dur: fadeLen, AStart: cutLen, BStart: 0}), nil)
+	if err != nil {
+		return 0, err
+	}
+	// "we concatenate it with 'cut' versions of the original
+	// sequences to produce video3."
+	cut1, err := db.AddDerived("videoC1", "video-edit", []core.ID{v1},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: cutLen}}}), nil)
+	if err != nil {
+		return 0, err
+	}
+	cut2, err := db.AddDerived("videoC2", "video-edit", []core.ID{v2},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: fadeLen, To: int64(scale)}}}), nil)
+	if err != nil {
+		return 0, err
+	}
+	video3, err := db.AddDerived("video3", "video-concat", []core.ID{cut1, fade, cut2}, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+
+	// "Finally, a multimedia object is created and the three sequences
+	// audio1, audio2 and video3 are added to it using temporal
+	// composition." Figure 4b offsets: audio2 from the start, audio1
+	// entering partway through.
+	videoMs := int64((cutLen + fadeLen + int64(scale) - fadeLen) * 40)
+	m, err := db.AddMultimedia("m", timebase.Millis, []core.ComponentRef{
+		{Object: video3, Start: 0},
+		{Object: a2, Start: 0},
+		{Object: a1, Start: videoMs / 2},
+	}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.AddSync(m, 0, 1, 40); err != nil {
+		return 0, err
+	}
+	return m, nil
+}
+
+// NewMemDB returns a catalog over a fresh in-memory store.
+func NewMemDB() *catalog.DB { return catalog.New(blob.NewMemStore()) }
+
+// Describe returns a short human-readable summary of a value.
+func Describe(v *derive.Value) string {
+	switch {
+	case v.Video != nil:
+		return fmt.Sprintf("video: %d frames %dx%d", len(v.Video), v.Video[0].Width, v.Video[0].Height)
+	case v.Audio != nil:
+		return fmt.Sprintf("audio: %d sample frames x%dch", v.Audio.Frames(), v.Audio.Channels)
+	case v.Image != nil:
+		return fmt.Sprintf("image: %dx%d %v", v.Image.Width, v.Image.Height, v.Image.Model)
+	case v.Music != nil:
+		return fmt.Sprintf("music: %d events", len(v.Music.Events))
+	case v.Anim != nil:
+		return fmt.Sprintf("animation: %d movements", len(v.Anim.Movements))
+	default:
+		return "empty"
+	}
+}

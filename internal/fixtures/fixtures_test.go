@@ -1,0 +1,134 @@
+package fixtures
+
+import (
+	"strings"
+	"testing"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/stream"
+)
+
+func TestFramesDeterministic(t *testing.T) {
+	a := Frames(3, 16, 16, 5)
+	b := Frames(3, 16, 16, 5)
+	for i := range a {
+		for j := range a[i].Pix {
+			if a[i].Pix[j] != b[i].Pix[j] {
+				t.Fatal("fixtures not deterministic")
+			}
+		}
+	}
+}
+
+func TestVideoAndTone(t *testing.T) {
+	v := Video(10, 16, 16, 1)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Video) != 10 {
+		t.Errorf("frames = %d", len(v.Video))
+	}
+	a := Tone(0.5, 440)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Audio.Frames() != 22050 {
+		t.Errorf("audio frames = %d", a.Audio.Frames())
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	store := blob.NewMemStore()
+	it, err := Figure2(store, 1, 32, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.MustTrack("video1")
+	a := it.MustTrack("audio1")
+	if v.Len() != 25 || a.Len() != 25 {
+		t.Fatalf("lens: v=%d a=%d", v.Len(), a.Len())
+	}
+	// 1764 samples per frame, audio follows video.
+	if a.Stream().At(0).Dur != 1764 {
+		t.Errorf("block dur = %d", a.Stream().At(0).Dur)
+	}
+	vp, _ := v.Placement(0)
+	ap, _ := a.Placement(0)
+	if ap.Offset != vp.End() {
+		t.Error("not interleaved")
+	}
+	if !v.Stream().Classify().Has(stream.ConstantFrequency) {
+		t.Error("video must be constant frequency")
+	}
+}
+
+func TestFigure2MinimumOneFrame(t *testing.T) {
+	store := blob.NewMemStore()
+	it, err := Figure2(store, 0.001, 16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.MustTrack("video1").Len() != 1 {
+		t.Error("sub-frame capture should produce one frame")
+	}
+}
+
+func TestFigure4Graph(t *testing.T) {
+	db := NewMemDB()
+	m, err := Figure4(db, 32, 32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nine objects exist: 4 non-derived, 4 derived, 1 multimedia.
+	if db.Len() != 9 {
+		t.Errorf("objects = %d", db.Len())
+	}
+	nodes, err := db.Lineage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 11 { // 9 objects + 2 blobs
+		t.Errorf("lineage nodes = %d", len(nodes))
+	}
+	// The two video tracks share one BLOB, the audio tracks another.
+	v1, _ := db.Lookup("video1")
+	v2, _ := db.Lookup("video2")
+	if v1.Blob != v2.Blob {
+		t.Error("video sequences must share a BLOB (single capture)")
+	}
+	a1, _ := db.Lookup("audio1")
+	a2, _ := db.Lookup("audio2")
+	if a1.Blob != a2.Blob {
+		t.Error("audio sequences must share a BLOB (interleaved)")
+	}
+	if v1.Blob == a1.Blob {
+		t.Error("video and audio live in different BLOBs in Figure 4")
+	}
+}
+
+func TestFigure4MinimumScale(t *testing.T) {
+	db := NewMemDB()
+	if _, err := Figure4(db, 1, 16, 16); err != nil {
+		t.Fatal(err) // scale clamps to 16
+	}
+	v3, err := db.Lookup("video3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := db.Expand(v3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(val.Video) == 0 {
+		t.Error("empty video3")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if s := Describe(Video(2, 8, 8, 1)); !strings.Contains(s, "2 frames") {
+		t.Errorf("describe video = %q", s)
+	}
+	if s := Describe(Tone(0.1, 100)); !strings.Contains(s, "4410") {
+		t.Errorf("describe audio = %q", s)
+	}
+}

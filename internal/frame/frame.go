@@ -1,0 +1,293 @@
+// Package frame provides raster frame representation, synthetic frame
+// generation, and quality measurement for the video/image substrates.
+//
+// The paper's examples digitize real PAL video; we have no camera, so
+// seeded synthetic generators stand in (see DESIGN.md §5). Frames with
+// smooth gradients plus moving features exercise the same codec paths
+// — intraframe spatial redundancy and interframe temporal redundancy —
+// that natural video would.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"timedmedia/internal/media"
+)
+
+// ErrDimensionMismatch is returned by operations on frames whose
+// dimensions differ.
+var ErrDimensionMismatch = errors.New("frame: dimension mismatch")
+
+// Frame is a raster image with interleaved 8-bit components in the
+// given color model. Pix holds Width*Height*Components(model) bytes in
+// row-major order. For ColorYUV422 the U and V planes are stored
+// half-width after the full Y plane (planar), matching the 8:2:2
+// subsampling of the paper's Figure 2 example.
+type Frame struct {
+	Width, Height int
+	Model         media.ColorModel
+	Pix           []byte
+}
+
+// New allocates a zeroed frame.
+func New(w, h int, model media.ColorModel) *Frame {
+	return &Frame{Width: w, Height: h, Model: model, Pix: make([]byte, bufLen(w, h, model))}
+}
+
+func bufLen(w, h int, model media.ColorModel) int {
+	switch model {
+	case media.ColorYUV422:
+		// Y plane w*h, U and V planes (w/2)*h each = 2 bytes/pixel.
+		return w*h + 2*((w+1)/2)*h
+	default:
+		return w * h * model.Components()
+	}
+}
+
+// Validate checks structural consistency.
+func (f *Frame) Validate() error {
+	if f.Width <= 0 || f.Height <= 0 {
+		return media.ErrBadDimensions
+	}
+	if want := bufLen(f.Width, f.Height, f.Model); len(f.Pix) != want {
+		return fmt.Errorf("frame: pix length %d, want %d", len(f.Pix), want)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (f *Frame) Clone() *Frame {
+	out := &Frame{Width: f.Width, Height: f.Height, Model: f.Model}
+	out.Pix = append([]byte(nil), f.Pix...)
+	return out
+}
+
+// RGB returns the r,g,b bytes at (x, y). Valid for ColorRGB frames.
+func (f *Frame) RGB(x, y int) (r, g, b byte) {
+	i := (y*f.Width + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+// SetRGB stores r,g,b at (x, y). Valid for ColorRGB frames.
+func (f *Frame) SetRGB(x, y int, r, g, b byte) {
+	i := (y*f.Width + x) * 3
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+}
+
+// Gray returns the single component at (x, y) of a grayscale frame.
+func (f *Frame) Gray(x, y int) byte { return f.Pix[y*f.Width+x] }
+
+// SetGray stores v at (x, y) of a grayscale frame.
+func (f *Frame) SetGray(x, y int, v byte) { f.Pix[y*f.Width+x] = v }
+
+// PSNR returns the peak signal-to-noise ratio in dB between two frames
+// of identical geometry; +Inf for identical content. Used to assert
+// that lossy codecs stay within their quality factor's bound.
+func PSNR(a, b *Frame) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height || a.Model != b.Model || len(a.Pix) != len(b.Pix) {
+		return 0, ErrDimensionMismatch
+	}
+	var sq float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sq += d * d
+	}
+	if sq == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sq / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// MeanAbsDiff returns the mean absolute per-byte difference between
+// two frames; a cheap temporal-redundancy measure used by interframe
+// encoders to pick key frames.
+func MeanAbsDiff(a, b *Frame) (float64, error) {
+	if len(a.Pix) != len(b.Pix) {
+		return 0, ErrDimensionMismatch
+	}
+	if len(a.Pix) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(a.Pix)), nil
+}
+
+// Generator produces deterministic synthetic video content: a smooth
+// background gradient that drifts slowly plus a bright moving box, all
+// derived from a seed. Consecutive frames are highly correlated
+// (interframe coders win) while each frame has spatial structure
+// (intraframe coders win over raw).
+type Generator struct {
+	W, H int
+	Seed int64
+}
+
+// Frame renders frame number i as RGB.
+func (g Generator) Frame(i int) *Frame {
+	f := New(g.W, g.H, media.ColorRGB)
+	s := g.Seed
+	// Background: slow diagonal gradient with phase advancing per frame.
+	phase := int(s%251) + i/2
+	for y := 0; y < g.H; y++ {
+		rowBase := (y + phase) & 0xFF
+		for x := 0; x < g.W; x++ {
+			v := byte((x + rowBase) & 0xFF)
+			f.SetRGB(x, y, v, byte(255-int(v)), byte((int(v)+64)&0xFF))
+		}
+	}
+	// Moving box: position advances 2 px/frame, wraps.
+	bw, bh := g.W/8+1, g.H/8+1
+	bx := (int(s%97) + 2*i) % (g.W - bw + 1)
+	by := (int(s%89) + i) % (g.H - bh + 1)
+	if bx < 0 {
+		bx = -bx % (g.W - bw + 1)
+	}
+	if by < 0 {
+		by = -by % (g.H - bh + 1)
+	}
+	for y := by; y < by+bh; y++ {
+		for x := bx; x < bx+bw; x++ {
+			f.SetRGB(x, y, 250, 250, 20)
+		}
+	}
+	return f
+}
+
+// Noise renders a deterministic pseudo-random frame (worst case for
+// compression); useful in ratio tests as an upper bound.
+func Noise(w, h int, seed int64) *Frame {
+	f := New(w, h, media.ColorRGB)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range f.Pix {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		f.Pix[i] = byte(x)
+	}
+	return f
+}
+
+// Flat renders a constant-color frame (best case for compression).
+func Flat(w, h int, r, g, b byte) *Frame {
+	f := New(w, h, media.ColorRGB)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.SetRGB(x, y, r, g, b)
+		}
+	}
+	return f
+}
+
+// Kernel3 is a 3×3 convolution kernel with a divisor, the classic
+// digital-filter primitive.
+type Kernel3 struct {
+	K   [9]int
+	Div int
+}
+
+// Common kernels.
+var (
+	// KernelBlur is a box blur.
+	KernelBlur = Kernel3{K: [9]int{1, 1, 1, 1, 1, 1, 1, 1, 1}, Div: 9}
+	// KernelSharpen accentuates edges.
+	KernelSharpen = Kernel3{K: [9]int{0, -1, 0, -1, 5, -1, 0, -1, 0}, Div: 1}
+	// KernelEdge is a Laplacian edge detector.
+	KernelEdge = Kernel3{K: [9]int{-1, -1, -1, -1, 8, -1, -1, -1, -1}, Div: 1}
+)
+
+// Convolve3 applies a 3×3 kernel to an RGB frame (edges clamp),
+// returning a new frame.
+func Convolve3(f *Frame, k Kernel3) (*Frame, error) {
+	if f.Model != media.ColorRGB {
+		return nil, fmt.Errorf("frame: Convolve3 requires RGB, got %v", f.Model)
+	}
+	if k.Div == 0 {
+		return nil, errors.New("frame: kernel divisor must be nonzero")
+	}
+	out := New(f.Width, f.Height, media.ColorRGB)
+	clampX := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		if x >= f.Width {
+			return f.Width - 1
+		}
+		return x
+	}
+	clampY := func(y int) int {
+		if y < 0 {
+			return 0
+		}
+		if y >= f.Height {
+			return f.Height - 1
+		}
+		return y
+	}
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			var sr, sg, sb int
+			ki := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					r, g, b := f.RGB(clampX(x+dx), clampY(y+dy))
+					w := k.K[ki]
+					sr += w * int(r)
+					sg += w * int(g)
+					sb += w * int(b)
+					ki++
+				}
+			}
+			out.SetRGB(x, y, clampByte(sr/k.Div), clampByte(sg/k.Div), clampByte(sb/k.Div))
+		}
+	}
+	return out, nil
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// DrawScaled blits src into dst at the rectangle (x, y, w, h) with
+// nearest-neighbor scaling and clipping — the primitive behind spatial
+// composition ("placing graphical objects in a scene").
+func DrawScaled(dst, src *Frame, x, y, w, h int) error {
+	if dst.Model != media.ColorRGB || src.Model != media.ColorRGB {
+		return fmt.Errorf("frame: DrawScaled requires RGB frames")
+	}
+	if w <= 0 || h <= 0 {
+		return errors.New("frame: DrawScaled target must have positive size")
+	}
+	for dy := 0; dy < h; dy++ {
+		ty := y + dy
+		if ty < 0 || ty >= dst.Height {
+			continue
+		}
+		sy := dy * src.Height / h
+		for dx := 0; dx < w; dx++ {
+			tx := x + dx
+			if tx < 0 || tx >= dst.Width {
+				continue
+			}
+			sx := dx * src.Width / w
+			r, g, b := src.RGB(sx, sy)
+			dst.SetRGB(tx, ty, r, g, b)
+		}
+	}
+	return nil
+}

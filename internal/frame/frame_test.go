@@ -1,0 +1,211 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"timedmedia/internal/media"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	f := New(640, 480, media.ColorRGB)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Pix) != 640*480*3 {
+		t.Errorf("pix len = %d", len(f.Pix))
+	}
+	y := New(640, 480, media.ColorYUV422)
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Y plane + 2 half-width chroma planes = 2 bytes/pixel.
+	if len(y.Pix) != 640*480*2 {
+		t.Errorf("yuv pix len = %d, want %d", len(y.Pix), 640*480*2)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	f := New(10, 10, media.ColorRGB)
+	f.Width = 0
+	if f.Validate() == nil {
+		t.Error("width 0 must fail")
+	}
+	f = New(10, 10, media.ColorRGB)
+	f.Pix = f.Pix[:10]
+	if f.Validate() == nil {
+		t.Error("short pix must fail")
+	}
+}
+
+func TestRGBAccessors(t *testing.T) {
+	f := New(4, 4, media.ColorRGB)
+	f.SetRGB(2, 3, 10, 20, 30)
+	r, g, b := f.RGB(2, 3)
+	if r != 10 || g != 20 || b != 30 {
+		t.Errorf("got %d,%d,%d", r, g, b)
+	}
+}
+
+func TestGrayAccessors(t *testing.T) {
+	f := New(4, 4, media.ColorGray)
+	f.SetGray(1, 2, 99)
+	if f.Gray(1, 2) != 99 {
+		t.Errorf("got %d", f.Gray(1, 2))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := Flat(8, 8, 1, 2, 3)
+	c := f.Clone()
+	c.SetRGB(0, 0, 100, 100, 100)
+	if r, _, _ := f.RGB(0, 0); r == 100 {
+		t.Error("Clone shares pixel storage")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := Flat(16, 16, 128, 128, 128)
+	p, err := PSNR(f, f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("PSNR identical = %v, want +Inf", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := Flat(16, 16, 100, 100, 100)
+	b := Flat(16, 16, 101, 101, 101)
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE = 1 → PSNR = 10*log10(255^2) ≈ 48.13 dB.
+	if math.Abs(p-48.13) > 0.01 {
+		t.Errorf("PSNR = %v, want ≈48.13", p)
+	}
+}
+
+func TestPSNRDimensionMismatch(t *testing.T) {
+	a := Flat(8, 8, 0, 0, 0)
+	b := Flat(16, 16, 0, 0, 0)
+	if _, err := PSNR(a, b); err != ErrDimensionMismatch {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := Flat(8, 8, 10, 10, 10)
+	b := Flat(8, 8, 13, 13, 13)
+	d, err := MeanAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("mad = %v, want 3", d)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := Generator{W: 64, H: 48, Seed: 42}
+	a := g.Frame(7)
+	b := Generator{W: 64, H: 48, Seed: 42}.Frame(7)
+	p, _ := PSNR(a, b)
+	if !math.IsInf(p, 1) {
+		t.Error("generator is not deterministic")
+	}
+}
+
+func TestGeneratorTemporalCorrelation(t *testing.T) {
+	// Consecutive frames must be much more alike than distant ones —
+	// the property interframe coding exploits.
+	g := Generator{W: 64, H: 48, Seed: 1}
+	f0, f1, f40 := g.Frame(0), g.Frame(1), g.Frame(40)
+	near, _ := MeanAbsDiff(f0, f1)
+	far, _ := MeanAbsDiff(f0, f40)
+	if near >= far {
+		t.Errorf("near diff %v >= far diff %v", near, far)
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := Generator{W: 32, H: 32, Seed: 1}.Frame(0)
+	b := Generator{W: 32, H: 32, Seed: 2}.Frame(0)
+	d, _ := MeanAbsDiff(a, b)
+	if d == 0 {
+		t.Error("different seeds produced identical frames")
+	}
+}
+
+func TestNoiseDeterministicAndDense(t *testing.T) {
+	a := Noise(32, 32, 9)
+	b := Noise(32, 32, 9)
+	p, _ := PSNR(a, b)
+	if !math.IsInf(p, 1) {
+		t.Error("noise not deterministic")
+	}
+	// Noise should use much of the byte range.
+	seen := map[byte]bool{}
+	for _, v := range a.Pix {
+		seen[v] = true
+	}
+	if len(seen) < 128 {
+		t.Errorf("noise uses only %d distinct byte values", len(seen))
+	}
+}
+
+func TestConvolve3Blur(t *testing.T) {
+	// A single bright pixel blurs into its neighborhood.
+	f := Flat(9, 9, 0, 0, 0)
+	f.SetRGB(4, 4, 255, 255, 255)
+	out, err := Convolve3(f, KernelBlur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _, _ := out.RGB(4, 4); r != 255/9 {
+		t.Errorf("center = %d, want %d", r, 255/9)
+	}
+	if r, _, _ := out.RGB(3, 3); r != 255/9 {
+		t.Errorf("neighbor = %d", r)
+	}
+	if r, _, _ := out.RGB(0, 0); r != 0 {
+		t.Errorf("far pixel = %d", r)
+	}
+}
+
+func TestConvolve3EdgeOnFlat(t *testing.T) {
+	// The Laplacian of a constant image is zero.
+	f := Flat(8, 8, 100, 150, 200)
+	out, err := Convolve3(f, KernelEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Pix {
+		if v != 0 {
+			t.Fatalf("edge of flat image nonzero: %d", v)
+		}
+	}
+}
+
+func TestConvolve3SharpenIdentityOnFlat(t *testing.T) {
+	f := Flat(8, 8, 42, 43, 44)
+	out, err := Convolve3(f, KernelSharpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := PSNR(f, out)
+	if !math.IsInf(p, 1) {
+		t.Error("sharpen must be identity on flat content")
+	}
+}
+
+func TestConvolve3Errors(t *testing.T) {
+	if _, err := Convolve3(New(4, 4, media.ColorGray), KernelBlur); err == nil {
+		t.Error("gray input must fail")
+	}
+	if _, err := Convolve3(Flat(4, 4, 0, 0, 0), Kernel3{}); err == nil {
+		t.Error("zero divisor must fail")
+	}
+}

@@ -1,0 +1,197 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"timedmedia/internal/media"
+	"timedmedia/internal/stream"
+)
+
+// Track is one media object within an interpretation: a timed stream
+// plus per-element placements and the index suite. The paper notes
+// that "existing storage systems for time-based media use multiple
+// index structures ... (For example, QuickTime uses up to seven
+// indexes for a single timed stream.)" — Track maintains seven:
+//
+//  1. the element table itself (presentation order → placement)
+//  2. the time index (start-time binary search, via stream.IndexAt)
+//  3. the sync/key-sample index (element numbers of key elements)
+//  4. the decode-order map (storage order ↔ presentation order)
+//  5. the size prefix (cumulative payload bytes before each element)
+//  6. the chunk map (runs of physically contiguous elements)
+//  7. the layer table (per-element scalability layers)
+type Track struct {
+	name string
+	typ  *media.Type
+	desc media.Descriptor
+	str  *stream.Stream
+	// layers[i] lists the placements of element i's layers (0 = base).
+	layers [][]Placement
+	// storageOf maps presentation index -> storage (append) index.
+	storageOf []int
+
+	// derived indexes
+	keyIdx     []int   // presentation indices of key elements
+	sizePrefix []int64 // sizePrefix[i] = total payload bytes of elements [0,i)
+	chunks     []Chunk
+	decodeSeq  []int // presentation indices in storage order
+}
+
+// Chunk is a run of consecutive (in presentation order) elements whose
+// base layers are physically contiguous in the BLOB — the unit of
+// clustering for efficient sequential playback.
+type Chunk struct {
+	// First is the presentation index of the first element.
+	First int
+	// Count is the number of elements in the run.
+	Count int
+	// Offset and Size delimit the contiguous byte range.
+	Offset int64
+	Size   int64
+}
+
+func (tr *Track) buildIndexes() {
+	n := tr.str.Len()
+	tr.sizePrefix = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		tr.sizePrefix[i+1] = tr.sizePrefix[i] + tr.str.At(i).Size
+		if tr.str.At(i).Desc.Key {
+			tr.keyIdx = append(tr.keyIdx, i)
+		}
+	}
+	// Decode order: presentation indices sorted by storage index.
+	tr.decodeSeq = make([]int, n)
+	inv := make([]int, n)
+	for p, s := range tr.storageOf {
+		inv[s] = p
+	}
+	copy(tr.decodeSeq, inv)
+	// Chunk map over base layers.
+	for i := 0; i < n; {
+		base := tr.layers[i][0]
+		c := Chunk{First: i, Count: 1, Offset: base.Offset, Size: base.Size}
+		j := i + 1
+		for j < n && len(tr.layers[j]) == 1 && tr.layers[j][0].Offset == c.Offset+c.Size && len(tr.layers[j-1]) == 1 {
+			c.Size += tr.layers[j][0].Size
+			c.Count++
+			j++
+		}
+		tr.chunks = append(tr.chunks, c)
+		i = j
+	}
+}
+
+// Name returns the track name ("video1", "audio1", ...).
+func (tr *Track) Name() string { return tr.name }
+
+// MediaType returns the track's media type.
+func (tr *Track) MediaType() *media.Type { return tr.typ }
+
+// Descriptor returns the media descriptor.
+func (tr *Track) Descriptor() media.Descriptor { return tr.desc }
+
+// Stream returns the logical timed stream.
+func (tr *Track) Stream() *stream.Stream { return tr.str }
+
+// Len returns the element count.
+func (tr *Track) Len() int { return tr.str.Len() }
+
+// Placement returns the base-layer placement of element i.
+func (tr *Track) Placement(i int) (Placement, error) {
+	if i < 0 || i >= len(tr.layers) {
+		return Placement{}, fmt.Errorf("%w: %q[%d]", ErrNoElement, tr.name, i)
+	}
+	return tr.layers[i][0], nil
+}
+
+// Layers returns the number of layers of element i.
+func (tr *Track) Layers(i int) int {
+	if i < 0 || i >= len(tr.layers) {
+		return 0
+	}
+	return len(tr.layers[i])
+}
+
+// ElementAt returns the presentation index of the element covering
+// tick t (see stream.IndexAt) — the time index.
+func (tr *Track) ElementAt(t int64) (int, bool) { return tr.str.IndexAt(t) }
+
+// ElementAtScan is the no-index baseline used by the C4 experiment: a
+// linear scan over the element table.
+func (tr *Track) ElementAtScan(t int64) (int, bool) {
+	for i := 0; i < tr.str.Len(); i++ {
+		e := tr.str.At(i)
+		if e.Start <= t && (t < e.End() || (e.Dur == 0 && e.Start == t)) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// KeyElements returns the presentation indices of key (sync) elements
+// — the sync-sample index.
+func (tr *Track) KeyElements() []int { return append([]int(nil), tr.keyIdx...) }
+
+// KeyBefore returns the latest key element at or before presentation
+// index i, for starting decode at a random access point.
+func (tr *Track) KeyBefore(i int) (int, bool) {
+	pos := sort.SearchInts(tr.keyIdx, i+1)
+	if pos == 0 {
+		return 0, false
+	}
+	return tr.keyIdx[pos-1], true
+}
+
+// BytesBefore returns the total payload bytes of elements [0, i) — the
+// size index, O(1).
+func (tr *Track) BytesBefore(i int) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i > len(tr.sizePrefix)-1 {
+		i = len(tr.sizePrefix) - 1
+	}
+	return tr.sizePrefix[i]
+}
+
+// TotalBytes returns the track's total payload size.
+func (tr *Track) TotalBytes() int64 { return tr.sizePrefix[len(tr.sizePrefix)-1] }
+
+// DecodeOrder returns presentation indices in storage (decode) order —
+// the decode-order map. For vjpg tracks this is 0,1,2,...; for vmpg it
+// reproduces the paper's out-of-order placement.
+func (tr *Track) DecodeOrder() []int { return append([]int(nil), tr.decodeSeq...) }
+
+// StorageIndex returns the storage position of presentation element i.
+func (tr *Track) StorageIndex(i int) (int, error) {
+	if i < 0 || i >= len(tr.storageOf) {
+		return 0, fmt.Errorf("%w: %q[%d]", ErrNoElement, tr.name, i)
+	}
+	return tr.storageOf[i], nil
+}
+
+// Chunks returns the chunk map.
+func (tr *Track) Chunks() []Chunk { return append([]Chunk(nil), tr.chunks...) }
+
+// String renders like the paper's logical table view, e.g.
+// "video1(elementNumber, elementSize, blobPlacement) n=15000".
+func (tr *Track) String() string {
+	cols := "elementNumber, blobPlacement"
+	if !uniformSize(tr.str) {
+		cols = "elementNumber, elementSize, blobPlacement"
+	}
+	if tr.str.Classify().Has(stream.Heterogeneous) || !tr.str.Classify().Has(stream.Continuous) {
+		cols = "elementNumber, startTime, duration, elementDescriptor, elementSize, blobPlacement"
+	}
+	return fmt.Sprintf("%s(%s) n=%d", tr.name, cols, tr.str.Len())
+}
+
+func uniformSize(s *stream.Stream) bool {
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).Size != s.At(0).Size {
+			return false
+		}
+	}
+	return true
+}

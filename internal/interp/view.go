@@ -1,0 +1,21 @@
+package interp
+
+import "fmt"
+
+// View returns a read-only interpretation exposing only the named
+// tracks, sharing the underlying BLOB — Section 4.1's "alternative
+// view of the BLOB (e.g., only the audio sequence is visible)". The
+// original interpretation is untouched, respecting the paper's warning
+// that modifying an interpretation risks losing media elements.
+func (it *Interpretation) View(tracks ...string) (*Interpretation, error) {
+	out := &Interpretation{b: it.b, blobID: it.blobID, tracks: map[string]*Track{}}
+	for _, name := range tracks {
+		tr, ok := it.tracks[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTrack, name)
+		}
+		out.tracks[name] = tr
+		out.order = append(out.order, name)
+	}
+	return out, nil
+}

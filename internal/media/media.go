@@ -1,0 +1,544 @@
+// Package media defines media types, media descriptors, element
+// descriptors and quality factors (Definition 1 of Gibbs et al.,
+// SIGMOD 1994).
+//
+// A media descriptor records what a database system must minimally know
+// about a media object: its kind (image, audio, video, ...) and the
+// encoding attributes that vary from kind to kind — e.g. width and
+// height for images, sample size and rate for audio. A media *type* is
+// the specification of which attributes descriptors carry, what values
+// they may take, and which structural constraints timed streams based
+// on the type must satisfy.
+//
+// Quality factors are descriptive ("VHS quality", "CD quality") rather
+// than numeric compression parameters; the codec packages map them to
+// concrete encoder settings.
+package media
+
+import (
+	"errors"
+	"fmt"
+
+	"timedmedia/internal/timebase"
+)
+
+// Kind enumerates the media kinds the data model covers.
+type Kind int
+
+// Media kinds.
+const (
+	KindUnknown Kind = iota
+	KindImage
+	KindAudio
+	KindVideo
+	KindMusic // symbolic music, e.g. MIDI event streams
+	KindAnimation
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindImage:
+		return "image"
+	case KindAudio:
+		return "audio"
+	case KindVideo:
+		return "video"
+	case KindMusic:
+		return "music"
+	case KindAnimation:
+		return "animation"
+	default:
+		return "unknown"
+	}
+}
+
+// TimeBased reports whether objects of this kind are timed streams
+// (everything except still images).
+func (k Kind) TimeBased() bool { return k != KindImage && k != KindUnknown }
+
+// Quality is a descriptive quality factor. Values are ordered within a
+// kind: a higher value means higher fidelity. The mapping from a
+// Quality to concrete encoding parameters lives in the codec packages.
+type Quality int
+
+// Video quality factors.
+const (
+	QualityUnspecified Quality = iota
+	QualityPreview             // thumbnail-rate preview video
+	QualityVHS                 // "VHS quality", the paper's running example
+	QualityBroadcast           // near-broadcast (MPEG II territory)
+	QualityStudio              // effectively lossless
+)
+
+// Audio quality factors. They share the Quality scale but occupy a
+// distinct named range for readability.
+const (
+	QualityTelephone Quality = 100 + iota
+	QualityAMRadio
+	QualityFMRadio
+	QualityCD // "CD quality"
+	QualityDAT
+)
+
+// String returns the descriptive name of the quality factor.
+func (q Quality) String() string {
+	switch q {
+	case QualityUnspecified:
+		return "unspecified"
+	case QualityPreview:
+		return "preview quality"
+	case QualityVHS:
+		return "VHS quality"
+	case QualityBroadcast:
+		return "broadcast quality"
+	case QualityStudio:
+		return "studio quality"
+	case QualityTelephone:
+		return "telephone quality"
+	case QualityAMRadio:
+		return "AM quality"
+	case QualityFMRadio:
+		return "FM quality"
+	case QualityCD:
+		return "CD quality"
+	case QualityDAT:
+		return "DAT quality"
+	default:
+		return fmt.Sprintf("quality(%d)", int(q))
+	}
+}
+
+// VideoBitsPerPixel returns the target compressed bits-per-pixel for a
+// video quality factor, the knob the paper says should stay hidden
+// behind the descriptive factor. (The Figure 2 example compresses to
+// "about 0.5 bits per pixel (this will give VHS quality)".)
+func (q Quality) VideoBitsPerPixel() float64 {
+	switch q {
+	case QualityPreview:
+		return 0.15
+	case QualityVHS:
+		return 0.5
+	case QualityBroadcast:
+		return 2.0
+	case QualityStudio:
+		return 12.0 // effectively uncompressed YUV 8:2:2
+	default:
+		return 0.5
+	}
+}
+
+// AudioParams returns the sampling parameters implied by an audio
+// quality factor: sample rate system, sample size in bits, channels.
+func (q Quality) AudioParams() (rate timebase.System, sampleBits, channels int) {
+	switch q {
+	case QualityTelephone:
+		return timebase.MustNew(8000, 1), 8, 1
+	case QualityAMRadio:
+		return timebase.MustNew(11025, 1), 8, 1
+	case QualityFMRadio:
+		return timebase.MustNew(22050, 1), 16, 2
+	case QualityCD:
+		return timebase.CDAudio, 16, 2
+	case QualityDAT:
+		return timebase.DATAudio, 16, 2
+	default:
+		return timebase.CDAudio, 16, 2
+	}
+}
+
+// ColorModel enumerates pixel color models.
+type ColorModel int
+
+// Color models.
+const (
+	ColorUnknown ColorModel = iota
+	ColorRGB                // red/green/blue intensities
+	ColorYUV422             // luminance + subsampled chrominance ("YUV 8:2:2")
+	ColorCMYK               // print separation
+	ColorGray
+)
+
+// String returns the color model name.
+func (c ColorModel) String() string {
+	switch c {
+	case ColorRGB:
+		return "RGB"
+	case ColorYUV422:
+		return "YUV 8:2:2"
+	case ColorCMYK:
+		return "CMYK"
+	case ColorGray:
+		return "grayscale"
+	default:
+		return "unknown"
+	}
+}
+
+// Components returns the number of stored components per pixel group.
+func (c ColorModel) Components() int {
+	switch c {
+	case ColorRGB:
+		return 3
+	case ColorYUV422:
+		return 3
+	case ColorCMYK:
+		return 4
+	case ColorGray:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Descriptor is a media descriptor: the per-object metadata a database
+// system keeps about a media object.
+type Descriptor interface {
+	// Kind returns the media kind described.
+	Kind() Kind
+	// TimeSystem returns the discrete time system in which elements of
+	// the object are timed. Still images return the zero System.
+	TimeSystem() timebase.System
+	// Duration returns the object's span in ticks of TimeSystem.
+	Duration() int64
+	// QualityFactor returns the descriptive quality factor.
+	QualityFactor() Quality
+	// Validate checks internal consistency.
+	Validate() error
+	// String renders the descriptor in a form close to the paper's
+	// Figure 2 listings.
+	String() string
+}
+
+// Errors returned by descriptor validation.
+var (
+	ErrBadDimensions = errors.New("media: dimensions must be positive")
+	ErrBadDepth      = errors.New("media: bit depth must be positive and byte-aligned per pixel group")
+	ErrBadTimeSystem = errors.New("media: invalid time system")
+	ErrBadDuration   = errors.New("media: duration must be non-negative")
+	ErrBadChannels   = errors.New("media: channel count must be positive")
+	ErrBadSampleSize = errors.New("media: sample size must be 8, 16, 24 or 32 bits")
+	ErrBadEncoding   = errors.New("media: unknown encoding")
+)
+
+// Known encodings. Codec packages register nothing here; this is the
+// schema-level vocabulary.
+const (
+	EncodingRawRGB  = "raw-rgb"
+	EncodingRawYUV  = "yuv-8:2:2"
+	EncodingVJPG    = "vjpg" // intraframe, JPEG-like
+	EncodingVMPG    = "vmpg" // interframe, MPEG-like
+	EncodingPCM     = "pcm"
+	EncodingADPCM   = "adpcm"
+	EncodingMIDI    = "midi"
+	EncodingScene   = "scene" // animation movement specs
+	EncodingCMYKSep = "cmyk"  // color-separated image planes
+)
+
+var videoEncodings = map[string]bool{
+	EncodingRawRGB: true, EncodingRawYUV: true, EncodingVJPG: true, EncodingVMPG: true,
+}
+
+var audioEncodings = map[string]bool{
+	EncodingPCM: true, EncodingADPCM: true,
+}
+
+var imageEncodings = map[string]bool{
+	EncodingRawRGB: true, EncodingRawYUV: true, EncodingVJPG: true, EncodingCMYKSep: true,
+}
+
+// Video is the media descriptor for digital video, mirroring the
+// "video1 descriptor" listing of Figure 2.
+type Video struct {
+	Quality       Quality
+	FrameRate     timebase.System
+	DurationTicks int64 // in frames
+	Width, Height int
+	Depth         int // bits per pixel before compression
+	Color         ColorModel
+	Encoding      string
+	// AvgDataRate and PeakDataRate, in bytes per second, help allocate
+	// playback resources (the paper: descriptors "should also contain
+	// information that helps allocate resources for playback").
+	AvgDataRate  float64
+	PeakDataRate float64
+}
+
+// Kind implements Descriptor.
+func (v *Video) Kind() Kind { return KindVideo }
+
+// TimeSystem implements Descriptor.
+func (v *Video) TimeSystem() timebase.System { return v.FrameRate }
+
+// Duration implements Descriptor.
+func (v *Video) Duration() int64 { return v.DurationTicks }
+
+// QualityFactor implements Descriptor.
+func (v *Video) QualityFactor() Quality { return v.Quality }
+
+// Validate implements Descriptor.
+func (v *Video) Validate() error {
+	if v.Width <= 0 || v.Height <= 0 {
+		return ErrBadDimensions
+	}
+	if v.Depth <= 0 {
+		return ErrBadDepth
+	}
+	if !v.FrameRate.Valid() {
+		return ErrBadTimeSystem
+	}
+	if v.DurationTicks < 0 {
+		return ErrBadDuration
+	}
+	if !videoEncodings[v.Encoding] {
+		return fmt.Errorf("%w: %q for video", ErrBadEncoding, v.Encoding)
+	}
+	return nil
+}
+
+// RawFrameBytes returns the uncompressed size in bytes of one frame at
+// the descriptor's dimensions and depth.
+func (v *Video) RawFrameBytes() int {
+	return v.Width * v.Height * v.Depth / 8
+}
+
+// RawDataRate returns the uncompressed data rate in bytes per second.
+func (v *Video) RawDataRate() float64 {
+	return float64(v.RawFrameBytes()) * v.FrameRate.Frequency()
+}
+
+// String implements Descriptor.
+func (v *Video) String() string {
+	return fmt.Sprintf("video{%s, %v fps, %d frames, %dx%dx%d %s, enc=%s}",
+		v.Quality, v.FrameRate, v.DurationTicks, v.Width, v.Height, v.Depth, v.Color, v.Encoding)
+}
+
+// Audio is the media descriptor for digital audio, mirroring the
+// "audio1 descriptor" listing of Figure 2.
+type Audio struct {
+	Quality       Quality
+	SampleRate    timebase.System
+	DurationTicks int64 // in samples
+	SampleBits    int
+	Channels      int
+	Encoding      string
+	AvgDataRate   float64 // bytes per second
+}
+
+// Kind implements Descriptor.
+func (a *Audio) Kind() Kind { return KindAudio }
+
+// TimeSystem implements Descriptor.
+func (a *Audio) TimeSystem() timebase.System { return a.SampleRate }
+
+// Duration implements Descriptor.
+func (a *Audio) Duration() int64 { return a.DurationTicks }
+
+// QualityFactor implements Descriptor.
+func (a *Audio) QualityFactor() Quality { return a.Quality }
+
+// Validate implements Descriptor.
+func (a *Audio) Validate() error {
+	if !a.SampleRate.Valid() {
+		return ErrBadTimeSystem
+	}
+	if a.DurationTicks < 0 {
+		return ErrBadDuration
+	}
+	if a.Channels <= 0 {
+		return ErrBadChannels
+	}
+	switch a.SampleBits {
+	case 8, 16, 24, 32:
+	default:
+		return ErrBadSampleSize
+	}
+	if !audioEncodings[a.Encoding] {
+		return fmt.Errorf("%w: %q for audio", ErrBadEncoding, a.Encoding)
+	}
+	return nil
+}
+
+// FrameBytes returns the bytes occupied by one sample across all
+// channels (one "sample pair" for stereo) before compression.
+func (a *Audio) FrameBytes() int { return a.SampleBits / 8 * a.Channels }
+
+// RawDataRate returns the uncompressed data rate in bytes per second.
+func (a *Audio) RawDataRate() float64 {
+	return float64(a.FrameBytes()) * a.SampleRate.Frequency()
+}
+
+// String implements Descriptor.
+func (a *Audio) String() string {
+	return fmt.Sprintf("audio{%s, %v Hz, %d samples, %d-bit x%dch, enc=%s}",
+		a.Quality, a.SampleRate, a.DurationTicks, a.SampleBits, a.Channels, a.Encoding)
+}
+
+// Image is the media descriptor for still images.
+type Image struct {
+	Quality       Quality
+	Width, Height int
+	Depth         int
+	Color         ColorModel
+	Encoding      string
+}
+
+// Kind implements Descriptor.
+func (im *Image) Kind() Kind { return KindImage }
+
+// TimeSystem implements Descriptor. Images are not timed.
+func (im *Image) TimeSystem() timebase.System { return timebase.System{} }
+
+// Duration implements Descriptor.
+func (im *Image) Duration() int64 { return 0 }
+
+// QualityFactor implements Descriptor.
+func (im *Image) QualityFactor() Quality { return im.Quality }
+
+// Validate implements Descriptor.
+func (im *Image) Validate() error {
+	if im.Width <= 0 || im.Height <= 0 {
+		return ErrBadDimensions
+	}
+	if im.Depth <= 0 {
+		return ErrBadDepth
+	}
+	if !imageEncodings[im.Encoding] {
+		return fmt.Errorf("%w: %q for image", ErrBadEncoding, im.Encoding)
+	}
+	return nil
+}
+
+// String implements Descriptor.
+func (im *Image) String() string {
+	return fmt.Sprintf("image{%s, %dx%dx%d %s, enc=%s}",
+		im.Quality, im.Width, im.Height, im.Depth, im.Color, im.Encoding)
+}
+
+// Music is the media descriptor for symbolic music (MIDI-like event
+// streams). Elements are duration-less events, so music objects are
+// event-based streams in the Figure 1 taxonomy.
+type Music struct {
+	Division      timebase.System // pulse resolution
+	DurationTicks int64
+	Channels      int
+	TempoBPM      float64
+}
+
+// Kind implements Descriptor.
+func (m *Music) Kind() Kind { return KindMusic }
+
+// TimeSystem implements Descriptor.
+func (m *Music) TimeSystem() timebase.System { return m.Division }
+
+// Duration implements Descriptor.
+func (m *Music) Duration() int64 { return m.DurationTicks }
+
+// QualityFactor implements Descriptor.
+func (m *Music) QualityFactor() Quality { return QualityUnspecified }
+
+// Validate implements Descriptor.
+func (m *Music) Validate() error {
+	if !m.Division.Valid() {
+		return ErrBadTimeSystem
+	}
+	if m.DurationTicks < 0 {
+		return ErrBadDuration
+	}
+	if m.Channels <= 0 || m.Channels > 16 {
+		return ErrBadChannels
+	}
+	if m.TempoBPM <= 0 {
+		return errors.New("media: tempo must be positive")
+	}
+	return nil
+}
+
+// String implements Descriptor.
+func (m *Music) String() string {
+	return fmt.Sprintf("music{%v, %d ticks, %d channels, %.0f BPM}",
+		m.Division, m.DurationTicks, m.Channels, m.TempoBPM)
+}
+
+// Animation is the media descriptor for animation: movement specs over
+// a scene, a non-continuous stream (elements exist only while objects
+// move).
+type Animation struct {
+	FrameRate     timebase.System // rate at which the animation renders
+	DurationTicks int64
+	Width, Height int
+}
+
+// Kind implements Descriptor.
+func (an *Animation) Kind() Kind { return KindAnimation }
+
+// TimeSystem implements Descriptor.
+func (an *Animation) TimeSystem() timebase.System { return an.FrameRate }
+
+// Duration implements Descriptor.
+func (an *Animation) Duration() int64 { return an.DurationTicks }
+
+// QualityFactor implements Descriptor.
+func (an *Animation) QualityFactor() Quality { return QualityUnspecified }
+
+// Validate implements Descriptor.
+func (an *Animation) Validate() error {
+	if !an.FrameRate.Valid() {
+		return ErrBadTimeSystem
+	}
+	if an.DurationTicks < 0 {
+		return ErrBadDuration
+	}
+	if an.Width <= 0 || an.Height <= 0 {
+		return ErrBadDimensions
+	}
+	return nil
+}
+
+// String implements Descriptor.
+func (an *Animation) String() string {
+	return fmt.Sprintf("animation{%v, %d ticks, %dx%d}",
+		an.FrameRate, an.DurationTicks, an.Width, an.Height)
+}
+
+// ElementDescriptor carries per-element attributes for heterogeneous
+// streams (Definition 1: "a media type also specifies the form of
+// element descriptors"). For homogeneous streams all fields are zero
+// and element descriptors may be omitted entirely — the media
+// descriptor subsumes them.
+type ElementDescriptor struct {
+	// Key marks a key/sync element from which decoding can start
+	// (an intraframe in vmpg video; always true for vjpg).
+	Key bool
+	// Quantizer is the encoder quantization step used for this
+	// element, for encodings whose parameters vary over the stream
+	// (e.g. ADPCM block parameters, per-frame rate control).
+	Quantizer int
+	// Width and Height override the media descriptor for streams whose
+	// image dimensions vary element to element.
+	Width, Height int
+}
+
+// Zero reports whether the element descriptor carries no information
+// beyond the media descriptor.
+func (e ElementDescriptor) Zero() bool {
+	return !e.Key && e.Quantizer == 0 && e.Width == 0 && e.Height == 0
+}
+
+// String renders the element descriptor compactly.
+func (e ElementDescriptor) String() string {
+	if e.Zero() {
+		return "{}"
+	}
+	s := "{"
+	if e.Key {
+		s += "key "
+	}
+	if e.Quantizer != 0 {
+		s += fmt.Sprintf("q=%d ", e.Quantizer)
+	}
+	if e.Width != 0 || e.Height != 0 {
+		s += fmt.Sprintf("%dx%d ", e.Width, e.Height)
+	}
+	return s[:len(s)-1] + "}"
+}

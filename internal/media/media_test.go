@@ -1,0 +1,437 @@
+package media
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/timebase"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindImage: "image", KindAudio: "audio", KindVideo: "video",
+		KindMusic: "music", KindAnimation: "animation", KindUnknown: "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if KindImage.TimeBased() {
+		t.Error("images are not time-based")
+	}
+	if !KindVideo.TimeBased() || !KindMusic.TimeBased() {
+		t.Error("video and music are time-based")
+	}
+}
+
+func TestQualityNames(t *testing.T) {
+	if QualityVHS.String() != "VHS quality" {
+		t.Errorf("got %q", QualityVHS.String())
+	}
+	if QualityCD.String() != "CD quality" {
+		t.Errorf("got %q", QualityCD.String())
+	}
+	if !strings.Contains(Quality(999).String(), "999") {
+		t.Error("unknown quality should include numeric value")
+	}
+}
+
+func TestQualityVHSBitsPerPixel(t *testing.T) {
+	// The Figure 2 example: VHS quality = about 0.5 bits per pixel.
+	if got := QualityVHS.VideoBitsPerPixel(); got != 0.5 {
+		t.Errorf("VHS bpp = %v, want 0.5", got)
+	}
+	if QualityBroadcast.VideoBitsPerPixel() <= QualityVHS.VideoBitsPerPixel() {
+		t.Error("broadcast quality must use more bits per pixel than VHS")
+	}
+}
+
+func TestQualityAudioParams(t *testing.T) {
+	rate, bits, ch := QualityCD.AudioParams()
+	if !rate.Equal(timebase.CDAudio) || bits != 16 || ch != 2 {
+		t.Errorf("CD params = %v/%d/%d", rate, bits, ch)
+	}
+	rate, bits, ch = QualityTelephone.AudioParams()
+	if rate.Frequency() != 8000 || bits != 8 || ch != 1 {
+		t.Errorf("telephone params = %v/%d/%d", rate, bits, ch)
+	}
+}
+
+func TestVideoDescriptorFigure2(t *testing.T) {
+	// The paper's video1: PAL 640x480x24 RGB, 10 minutes, VHS quality.
+	v := &Video{
+		Quality:       QualityVHS,
+		FrameRate:     timebase.PAL,
+		DurationTicks: 25 * 600,
+		Width:         640,
+		Height:        480,
+		Depth:         24,
+		Color:         ColorRGB,
+		Encoding:      EncodingVJPG,
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "the original video data rate ... about 22 Mbyte/sec"
+	raw := v.RawDataRate()
+	if math.Abs(raw-23040000) > 1 {
+		t.Errorf("raw data rate = %v, want 23040000 (≈22 MB/s)", raw)
+	}
+	if v.RawFrameBytes() != 640*480*3 {
+		t.Errorf("raw frame bytes = %d", v.RawFrameBytes())
+	}
+	if !strings.Contains(v.String(), "VHS quality") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestAudioDescriptorFigure2(t *testing.T) {
+	// The paper's audio1: 44100 Hz, 16-bit, stereo PCM.
+	a := &Audio{
+		Quality:       QualityCD,
+		SampleRate:    timebase.CDAudio,
+		DurationTicks: 44100 * 600,
+		SampleBits:    16,
+		Channels:      2,
+		Encoding:      EncodingPCM,
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "the audio data rate is 172 kbyte/sec" (176400 B/s = 172.27 KiB/s)
+	if got := a.RawDataRate(); got != 176400 {
+		t.Errorf("audio data rate = %v, want 176400", got)
+	}
+	if a.FrameBytes() != 4 {
+		t.Errorf("sample-pair bytes = %d, want 4", a.FrameBytes())
+	}
+}
+
+func TestVideoValidateErrors(t *testing.T) {
+	base := func() *Video {
+		return &Video{
+			FrameRate: timebase.PAL, Width: 10, Height: 10, Depth: 24,
+			Encoding: EncodingRawRGB,
+		}
+	}
+	v := base()
+	v.Width = 0
+	if err := v.Validate(); !errors.Is(err, ErrBadDimensions) {
+		t.Errorf("width=0: %v", err)
+	}
+	v = base()
+	v.Depth = 0
+	if err := v.Validate(); !errors.Is(err, ErrBadDepth) {
+		t.Errorf("depth=0: %v", err)
+	}
+	v = base()
+	v.FrameRate = timebase.System{}
+	if err := v.Validate(); !errors.Is(err, ErrBadTimeSystem) {
+		t.Errorf("bad time system: %v", err)
+	}
+	v = base()
+	v.DurationTicks = -1
+	if err := v.Validate(); !errors.Is(err, ErrBadDuration) {
+		t.Errorf("negative duration: %v", err)
+	}
+	v = base()
+	v.Encoding = "mystery"
+	if err := v.Validate(); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad encoding: %v", err)
+	}
+}
+
+func TestAudioValidateErrors(t *testing.T) {
+	base := func() *Audio {
+		return &Audio{SampleRate: timebase.CDAudio, SampleBits: 16, Channels: 2, Encoding: EncodingPCM}
+	}
+	a := base()
+	a.Channels = 0
+	if err := a.Validate(); !errors.Is(err, ErrBadChannels) {
+		t.Errorf("channels=0: %v", err)
+	}
+	a = base()
+	a.SampleBits = 12
+	if err := a.Validate(); !errors.Is(err, ErrBadSampleSize) {
+		t.Errorf("bits=12: %v", err)
+	}
+	a = base()
+	a.Encoding = EncodingVJPG
+	if err := a.Validate(); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("video encoding on audio: %v", err)
+	}
+}
+
+func TestImageValidate(t *testing.T) {
+	im := &Image{Width: 100, Height: 50, Depth: 24, Color: ColorRGB, Encoding: EncodingRawRGB}
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im.Duration() != 0 || im.TimeSystem().Valid() {
+		t.Error("images must be untimed")
+	}
+	im.Encoding = EncodingVMPG
+	if err := im.Validate(); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("vmpg image: %v", err)
+	}
+}
+
+func TestMusicValidate(t *testing.T) {
+	m := &Music{Division: timebase.MIDIPulse, DurationTicks: 960, Channels: 16, TempoBPM: 120}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.Channels = 17
+	if err := m.Validate(); !errors.Is(err, ErrBadChannels) {
+		t.Errorf("17 channels: %v", err)
+	}
+	m.Channels = 16
+	m.TempoBPM = 0
+	if m.Validate() == nil {
+		t.Error("tempo 0 must fail")
+	}
+}
+
+func TestAnimationValidate(t *testing.T) {
+	an := &Animation{FrameRate: timebase.PAL, DurationTicks: 100, Width: 320, Height: 200}
+	if err := an.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	an.Width = 0
+	if err := an.Validate(); !errors.Is(err, ErrBadDimensions) {
+		t.Errorf("width 0: %v", err)
+	}
+}
+
+func TestElementDescriptorZero(t *testing.T) {
+	var e ElementDescriptor
+	if !e.Zero() {
+		t.Error("zero value must be Zero()")
+	}
+	if e.String() != "{}" {
+		t.Errorf("String() = %q", e.String())
+	}
+	e.Key = true
+	e.Quantizer = 8
+	if e.Zero() {
+		t.Error("non-empty descriptor reported Zero()")
+	}
+	if s := e.String(); !strings.Contains(s, "key") || !strings.Contains(s, "q=8") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCDAudioTypeConstraints(t *testing.T) {
+	ty := CDAudioType()
+	c := ty.Constraint
+	if !c.RequireContinuous || c.ConstantDuration != 1 || c.ConstantElementSize != 4 || !c.Homogeneous {
+		t.Errorf("CD audio constraint = %+v", c)
+	}
+	d := ty.NewDescriptor(44100)
+	a, ok := d.(*Audio)
+	if !ok {
+		t.Fatalf("descriptor type %T", d)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Quality != QualityCD || a.SampleBits != 16 || a.Channels != 2 {
+		t.Errorf("descriptor = %+v", a)
+	}
+	if a.AvgDataRate != 176400 {
+		t.Errorf("avg data rate = %v", a.AvgDataRate)
+	}
+}
+
+func TestPALVideoTypeDescriptor(t *testing.T) {
+	ty := PALVideoType(640, 480, QualityVHS, EncodingVJPG)
+	d := ty.NewDescriptor(15000).(*Video)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// AvgDataRate should be raw * bpp/depth = 23040000*0.5/24 = 480000.
+	if math.Abs(d.AvgDataRate-480000) > 1 {
+		t.Errorf("avg data rate = %v, want 480000 (the paper's ≈0.5 MB/s)", d.AvgDataRate)
+	}
+	if !ty.Constraint.Homogeneous {
+		t.Error("vjpg streams are homogeneous")
+	}
+	vm := PALVideoType(640, 480, QualityVHS, EncodingVMPG)
+	if vm.Constraint.Homogeneous {
+		t.Error("vmpg streams are heterogeneous (key/delta descriptors)")
+	}
+}
+
+func TestRawVideoTypeUniform(t *testing.T) {
+	ty := RawVideoType(320, 240, timebase.PAL)
+	if ty.Constraint.ConstantElementSize != 320*240*3 {
+		t.Errorf("constant size = %d", ty.Constraint.ConstantElementSize)
+	}
+	d := ty.NewDescriptor(25).(*Video)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIDITypeEventBased(t *testing.T) {
+	ty := MIDIType()
+	if !ty.Constraint.EventBased {
+		t.Error("MIDI streams are event-based")
+	}
+	d := ty.NewDescriptor(1920).(*Music)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnimationTypeDescriptor(t *testing.T) {
+	ty := AnimationType(320, 200, timebase.PAL)
+	if ty.Constraint.RequireContinuous || ty.Constraint.EventBased {
+		t.Error("animation streams are unconstrained (non-continuous allowed)")
+	}
+	d := ty.NewDescriptor(250).(*Animation)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageTypeDescriptor(t *testing.T) {
+	ty := ImageType(1024, 768, ColorRGB, EncodingRawRGB)
+	d := ty.NewDescriptor(0).(*Image)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Depth != 24 {
+		t.Errorf("depth = %d", d.Depth)
+	}
+}
+
+func TestNTSCVideoType(t *testing.T) {
+	ty := NTSCVideoType(640, 480, QualityBroadcast, EncodingVMPG)
+	if !ty.Time.Equal(timebase.NTSC) {
+		t.Errorf("time system = %v", ty.Time)
+	}
+}
+
+func TestStreamConstraintString(t *testing.T) {
+	var c StreamConstraint
+	if c.String() != "unconstrained" {
+		t.Errorf("zero constraint = %q", c.String())
+	}
+	c = CDAudioType().Constraint
+	s := c.String()
+	for _, want := range []string{"continuous", "d=1", "size=4", "homogeneous"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("constraint %q missing %q", s, want)
+		}
+	}
+}
+
+func TestColorModel(t *testing.T) {
+	if ColorRGB.Components() != 3 || ColorCMYK.Components() != 4 || ColorGray.Components() != 1 {
+		t.Error("component counts wrong")
+	}
+	if ColorYUV422.String() != "YUV 8:2:2" {
+		t.Errorf("yuv name = %q", ColorYUV422.String())
+	}
+}
+
+func TestDescriptorInterfaceAccessors(t *testing.T) {
+	// Every concrete descriptor must satisfy the Descriptor contract
+	// coherently.
+	v := &Video{Quality: QualityVHS, FrameRate: timebase.PAL, DurationTicks: 50,
+		Width: 8, Height: 8, Depth: 24, Encoding: EncodingVJPG}
+	a := &Audio{Quality: QualityCD, SampleRate: timebase.CDAudio, DurationTicks: 100,
+		SampleBits: 16, Channels: 2, Encoding: EncodingPCM}
+	im := &Image{Quality: QualityStudio, Width: 4, Height: 4, Depth: 24, Encoding: EncodingRawRGB}
+	m := &Music{Division: timebase.MIDIPulse, DurationTicks: 960, Channels: 16, TempoBPM: 120}
+	an := &Animation{FrameRate: timebase.PAL, DurationTicks: 25, Width: 10, Height: 10}
+
+	cases := []struct {
+		d    Descriptor
+		kind Kind
+		dur  int64
+	}{
+		{v, KindVideo, 50},
+		{a, KindAudio, 100},
+		{im, KindImage, 0},
+		{m, KindMusic, 960},
+		{an, KindAnimation, 25},
+	}
+	for _, c := range cases {
+		if c.d.Kind() != c.kind {
+			t.Errorf("%T kind = %v", c.d, c.d.Kind())
+		}
+		if c.d.Duration() != c.dur {
+			t.Errorf("%T duration = %d", c.d, c.d.Duration())
+		}
+		if c.d.Kind() != KindImage && !c.d.TimeSystem().Valid() {
+			t.Errorf("%T has no time system", c.d)
+		}
+		if c.d.String() == "" {
+			t.Errorf("%T has empty String()", c.d)
+		}
+		if err := c.d.Validate(); err != nil {
+			t.Errorf("%T invalid: %v", c.d, err)
+		}
+	}
+	if m.QualityFactor() != QualityUnspecified || an.QualityFactor() != QualityUnspecified {
+		t.Error("symbolic media have unspecified quality")
+	}
+}
+
+func TestAudioParamsAllFactors(t *testing.T) {
+	for _, q := range []Quality{QualityTelephone, QualityAMRadio, QualityFMRadio, QualityCD, QualityDAT, QualityUnspecified} {
+		rate, bits, ch := q.AudioParams()
+		if !rate.Valid() || bits <= 0 || ch <= 0 {
+			t.Errorf("%v params invalid: %v %d %d", q, rate, bits, ch)
+		}
+	}
+	if r, _, _ := QualityDAT.AudioParams(); r.Frequency() != 48000 {
+		t.Error("DAT rate wrong")
+	}
+}
+
+func TestQualityNamesAll(t *testing.T) {
+	for _, q := range []Quality{QualityUnspecified, QualityPreview, QualityVHS, QualityBroadcast,
+		QualityStudio, QualityTelephone, QualityAMRadio, QualityFMRadio, QualityCD, QualityDAT} {
+		if q.String() == "" {
+			t.Errorf("quality %d has no name", q)
+		}
+	}
+	if QualityStudio.VideoBitsPerPixel() <= QualityBroadcast.VideoBitsPerPixel() {
+		t.Error("bpp must increase with quality")
+	}
+}
+
+func TestTypeSpecRoundTrip(t *testing.T) {
+	for _, ty := range []*Type{
+		CDAudioType(), ADPCMAudioType(1764), PCMBlockAudioType(1000),
+		PALVideoType(64, 48, QualityVHS, EncodingVJPG), RawVideoType(8, 8, timebase.PAL),
+		MIDIType(), AnimationType(32, 24, timebase.PAL), ImageType(4, 4, ColorRGB, EncodingRawRGB),
+	} {
+		got, err := FromSpec(ty.Spec())
+		if err != nil {
+			t.Fatalf("%s: %v", ty.Name, err)
+		}
+		if got.Name != ty.Name || got.Kind != ty.Kind || !got.Time.Equal(ty.Time) || got.Constraint != ty.Constraint {
+			t.Errorf("%s: header differs", ty.Name)
+		}
+		if got.Encoding() != ty.Encoding() || got.QualityFactor() != ty.QualityFactor() {
+			t.Errorf("%s: template differs", ty.Name)
+		}
+		w1, h1 := ty.Dimensions()
+		w2, h2 := got.Dimensions()
+		b1, c1 := ty.AudioLayout()
+		b2, c2 := got.AudioLayout()
+		if w1 != w2 || h1 != h2 || b1 != b2 || c1 != c2 {
+			t.Errorf("%s: layout differs", ty.Name)
+		}
+	}
+	if _, err := FromSpec(TypeSpec{Name: "bad", TimeNum: 0, TimeDen: 1}); err == nil {
+		t.Error("invalid time system must fail")
+	}
+}

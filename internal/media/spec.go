@@ -1,0 +1,81 @@
+package media
+
+import "timedmedia/internal/timebase"
+
+// TypeSpec is the serializable form of a Type, used by the catalog's
+// persistence layer. All template fields are exported here so a Type
+// can be reconstructed in another process.
+type TypeSpec struct {
+	Name       string
+	Kind       Kind
+	TimeNum    int64
+	TimeDen    int64
+	Constraint StreamConstraint
+
+	Quality  Quality
+	Encoding string
+	Width    int
+	Height   int
+	Depth    int
+	Color    ColorModel
+	Bits     int
+	Channels int
+}
+
+// Spec exports the type for serialization.
+func (t *Type) Spec() TypeSpec {
+	return TypeSpec{
+		Name:       t.Name,
+		Kind:       t.Kind,
+		TimeNum:    t.Time.Num,
+		TimeDen:    t.Time.Den,
+		Constraint: t.Constraint,
+		Quality:    t.quality,
+		Encoding:   t.encoding,
+		Width:      t.width,
+		Height:     t.height,
+		Depth:      t.depth,
+		Color:      t.color,
+		Bits:       t.bits,
+		Channels:   t.channels,
+	}
+}
+
+// FromSpec reconstructs a Type from its serialized form. Untimed
+// types (still images) carry the zero time system.
+func FromSpec(s TypeSpec) (*Type, error) {
+	var tsys timebase.System
+	if s.TimeNum != 0 || s.TimeDen != 0 {
+		var err error
+		tsys, err = timebase.New(s.TimeNum, s.TimeDen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Type{
+		Name:       s.Name,
+		Kind:       s.Kind,
+		Time:       tsys,
+		Constraint: s.Constraint,
+		quality:    s.Quality,
+		encoding:   s.Encoding,
+		width:      s.Width,
+		height:     s.Height,
+		depth:      s.Depth,
+		color:      s.Color,
+		bits:       s.Bits,
+		channels:   s.Channels,
+	}, nil
+}
+
+// Encoding returns the type's template encoding (vjpg, pcm, ...).
+func (t *Type) Encoding() string { return t.encoding }
+
+// Dimensions returns the template width and height (video/image types).
+func (t *Type) Dimensions() (w, h int) { return t.width, t.height }
+
+// AudioLayout returns the template sample size and channel count.
+func (t *Type) AudioLayout() (bits, channels int) { return t.bits, t.channels }
+
+// QualityFactor returns the template quality factor.
+func (t *Type) QualityFactor() Quality { return t.quality }

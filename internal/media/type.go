@@ -1,0 +1,292 @@
+package media
+
+import (
+	"fmt"
+
+	"timedmedia/internal/timebase"
+)
+
+// StreamConstraint expresses the structural restrictions a media type
+// imposes on timed streams based on it (Section 3.3: "Generally a
+// media type imposes restrictions on the form of timed streams based
+// on that type", e.g. CD audio requires s_{i+1} = s_i + d_i and
+// d_i = 1). The stream package enforces these.
+type StreamConstraint struct {
+	// RequireContinuous requires s_{i+1} = s_i + d_i for all i.
+	RequireContinuous bool
+	// ConstantDuration, if positive, requires every d_i to equal it.
+	ConstantDuration int64
+	// EventBased requires d_i = 0 for all i (e.g. MIDI).
+	EventBased bool
+	// ConstantElementSize, if positive, requires every element's
+	// encoded size in bytes to equal it (uniform streams).
+	ConstantElementSize int
+	// Homogeneous requires all element descriptors to be zero (the
+	// media descriptor subsumes them).
+	Homogeneous bool
+}
+
+// String summarizes the constraint.
+func (c StreamConstraint) String() string {
+	s := ""
+	if c.RequireContinuous {
+		s += "continuous "
+	}
+	if c.ConstantDuration > 0 {
+		s += fmt.Sprintf("d=%d ", c.ConstantDuration)
+	}
+	if c.EventBased {
+		s += "event-based "
+	}
+	if c.ConstantElementSize > 0 {
+		s += fmt.Sprintf("size=%d ", c.ConstantElementSize)
+	}
+	if c.Homogeneous {
+		s += "homogeneous "
+	}
+	if s == "" {
+		return "unconstrained"
+	}
+	return s[:len(s)-1]
+}
+
+// Type is a media type (Definition 1): a named specification tying a
+// kind, a discrete time system, and the structural constraints streams
+// of the type must satisfy. A Type also acts as a factory for
+// descriptors pre-filled with the type's fixed attributes.
+type Type struct {
+	Name       string
+	Kind       Kind
+	Time       timebase.System
+	Constraint StreamConstraint
+
+	// descriptor template fields; zero values mean "per-object".
+	quality  Quality
+	encoding string
+	width    int
+	height   int
+	depth    int
+	color    ColorModel
+	bits     int
+	channels int
+}
+
+// String returns the type name.
+func (t *Type) String() string { return t.Name }
+
+// CDAudioType is the media type of Section 3.3's first example:
+// 44.1 kHz, 16-bit, 2-channel PCM; uniform streams with d_i = 1.
+func CDAudioType() *Type {
+	return &Type{
+		Name: "cd-audio",
+		Kind: KindAudio,
+		Time: timebase.CDAudio,
+		Constraint: StreamConstraint{
+			RequireContinuous:   true,
+			ConstantDuration:    1,
+			ConstantElementSize: 4, // 16-bit stereo sample pair
+			Homogeneous:         true,
+		},
+		quality:  QualityCD,
+		encoding: EncodingPCM,
+		bits:     16,
+		channels: 2,
+	}
+}
+
+// PCMBlockAudioType is CD-parameter PCM stored one block of samples
+// per element (the per-sample table of the paper's audio1 example is
+// faithful but impractical beyond short clips; blocks keep element
+// tables proportional to duration/block).
+func PCMBlockAudioType(samplesPerBlock int64) *Type {
+	return &Type{
+		Name: fmt.Sprintf("pcm-audio-b%d", samplesPerBlock),
+		Kind: KindAudio,
+		Time: timebase.CDAudio,
+		Constraint: StreamConstraint{
+			// Blocks are samplesPerBlock samples except a shorter
+			// final block, so only continuity is a hard constraint.
+			RequireContinuous: true,
+			Homogeneous:       true,
+		},
+		quality:  QualityCD,
+		encoding: EncodingPCM,
+		bits:     16,
+		channels: 2,
+	}
+}
+
+// ADPCMAudioType models Section 3.3's ADPCM example: compression
+// parameters vary over the sequence, so streams are heterogeneous but
+// still continuous with constant element duration (one block of
+// samples per element).
+func ADPCMAudioType(samplesPerBlock int64) *Type {
+	return &Type{
+		Name: "adpcm-audio",
+		Kind: KindAudio,
+		Time: timebase.CDAudio,
+		Constraint: StreamConstraint{
+			// See PCMBlockAudioType on the final short block.
+			RequireContinuous: true,
+		},
+		quality:  QualityFMRadio,
+		encoding: EncodingADPCM,
+		bits:     16,
+		channels: 2,
+	}
+}
+
+// PALVideoType is 25 fps European video at the given dimensions and
+// quality; constant frequency (one frame per tick) but variable
+// element size under compression.
+func PALVideoType(w, h int, q Quality, encoding string) *Type {
+	return &Type{
+		Name: fmt.Sprintf("pal-video-%dx%d-%s", w, h, encoding),
+		Kind: KindVideo,
+		Time: timebase.PAL,
+		Constraint: StreamConstraint{
+			RequireContinuous: true,
+			ConstantDuration:  1,
+			Homogeneous:       encoding != EncodingVMPG, // vmpg has key/delta element descriptors
+		},
+		quality:  q,
+		encoding: encoding,
+		width:    w,
+		height:   h,
+		depth:    24,
+		color:    ColorRGB,
+	}
+}
+
+// NTSCVideoType is 29.97 fps North American video.
+func NTSCVideoType(w, h int, q Quality, encoding string) *Type {
+	t := PALVideoType(w, h, q, encoding)
+	t.Name = fmt.Sprintf("ntsc-video-%dx%d-%s", w, h, encoding)
+	t.Time = timebase.NTSC
+	return t
+}
+
+// RawVideoType is uncompressed RGB video: uniform streams (constant
+// element size and duration).
+func RawVideoType(w, h int, rate timebase.System) *Type {
+	return &Type{
+		Name: fmt.Sprintf("raw-video-%dx%d", w, h),
+		Kind: KindVideo,
+		Time: rate,
+		Constraint: StreamConstraint{
+			RequireContinuous:   true,
+			ConstantDuration:    1,
+			ConstantElementSize: w * h * 3,
+			Homogeneous:         true,
+		},
+		quality:  QualityStudio,
+		encoding: EncodingRawRGB,
+		width:    w,
+		height:   h,
+		depth:    24,
+		color:    ColorRGB,
+	}
+}
+
+// MIDIType is symbolic music: event-based streams (d_i = 0).
+func MIDIType() *Type {
+	return &Type{
+		Name: "midi-music",
+		Kind: KindMusic,
+		Time: timebase.MIDIPulse,
+		Constraint: StreamConstraint{
+			EventBased: true,
+		},
+		encoding: EncodingMIDI,
+		channels: 16,
+	}
+}
+
+// AnimationType is movement-spec animation: non-continuous streams
+// with gaps while objects are at rest and overlaps while several
+// objects move at once.
+func AnimationType(w, h int, rate timebase.System) *Type {
+	return &Type{
+		Name:     fmt.Sprintf("animation-%dx%d", w, h),
+		Kind:     KindAnimation,
+		Time:     rate,
+		encoding: EncodingScene,
+		width:    w,
+		height:   h,
+	}
+}
+
+// NewDescriptor builds a media descriptor for an object of this type
+// with the given duration in ticks. The descriptor inherits the type's
+// fixed attributes; callers may adjust per-object fields afterwards.
+func (t *Type) NewDescriptor(durationTicks int64) Descriptor {
+	switch t.Kind {
+	case KindVideo:
+		d := &Video{
+			Quality:       t.quality,
+			FrameRate:     t.Time,
+			DurationTicks: durationTicks,
+			Width:         t.width,
+			Height:        t.height,
+			Depth:         t.depth,
+			Color:         t.color,
+			Encoding:      t.encoding,
+		}
+		d.AvgDataRate = d.RawDataRate() * t.quality.VideoBitsPerPixel() / float64(d.Depth)
+		return d
+	case KindAudio:
+		d := &Audio{
+			Quality:       t.quality,
+			SampleRate:    t.Time,
+			DurationTicks: durationTicks,
+			SampleBits:    t.bits,
+			Channels:      t.channels,
+			Encoding:      t.encoding,
+		}
+		d.AvgDataRate = d.RawDataRate()
+		if t.encoding == EncodingADPCM {
+			d.AvgDataRate /= 4 // 4:1 compression
+		}
+		return d
+	case KindMusic:
+		return &Music{
+			Division:      t.Time,
+			DurationTicks: durationTicks,
+			Channels:      t.channels,
+			TempoBPM:      120,
+		}
+	case KindAnimation:
+		return &Animation{
+			FrameRate:     t.Time,
+			DurationTicks: durationTicks,
+			Width:         t.width,
+			Height:        t.height,
+		}
+	case KindImage:
+		return &Image{
+			Quality:  t.quality,
+			Width:    t.width,
+			Height:   t.height,
+			Depth:    t.depth,
+			Color:    t.color,
+			Encoding: t.encoding,
+		}
+	default:
+		return nil
+	}
+}
+
+// ImageType is a still-image type (no stream constraints).
+func ImageType(w, h int, color ColorModel, encoding string) *Type {
+	depth := 8 * color.Components()
+	return &Type{
+		Name:     fmt.Sprintf("image-%dx%d-%s", w, h, encoding),
+		Kind:     KindImage,
+		width:    w,
+		height:   h,
+		depth:    depth,
+		color:    color,
+		encoding: encoding,
+		quality:  QualityStudio,
+	}
+}

@@ -1,0 +1,302 @@
+// Package music implements a symbolic music substrate modeled on MIDI
+// (Musical Instrument Digital Interface), the paper's canonical
+// event-based medium: "elements are musical events of the form 'Start
+// Note X' and 'Stop Note Y'".
+//
+// A Sequence is a list of duration-less events timed in pulses of a
+// discrete time system (default 960 pulses/second, i.e. 480 PPQ at
+// 120 BPM). Sequences serialize to a compact binary form so they can
+// live in BLOBs under an interpretation like any other medium.
+package music
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"timedmedia/internal/timebase"
+)
+
+// Event kinds.
+const (
+	// NoteOn starts a note (Key, Velocity meaningful).
+	NoteOn = EventKind(iota)
+	// NoteOff stops a note.
+	NoteOff
+	// Tempo changes the tempo (Value = microseconds per quarter note).
+	Tempo
+	// Program selects the instrument on a channel (Value = program #).
+	Program
+)
+
+// EventKind discriminates musical events.
+type EventKind uint8
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case NoteOn:
+		return "note-on"
+	case NoteOff:
+		return "note-off"
+	case Tempo:
+		return "tempo"
+	case Program:
+		return "program"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one duration-less musical event.
+type Event struct {
+	// Tick is the event time in pulses of the sequence's division.
+	Tick int64
+	// Kind is the event discriminator.
+	Kind EventKind
+	// Channel is the MIDI channel, 0..15.
+	Channel uint8
+	// Key is the MIDI note number (60 = middle C) for note events.
+	Key uint8
+	// Velocity is the note-on velocity, 1..127.
+	Velocity uint8
+	// Value carries kind-specific data (tempo, program number).
+	Value uint32
+}
+
+// Errors.
+var (
+	ErrUnsorted   = errors.New("music: events must be sorted by tick")
+	ErrBadChannel = errors.New("music: channel must be 0..15")
+	ErrTruncated  = errors.New("music: truncated serialized sequence")
+	ErrBadMagic   = errors.New("music: bad magic in serialized sequence")
+	ErrDangling   = errors.New("music: note-on without matching note-off")
+)
+
+// Sequence is a symbolic music object.
+type Sequence struct {
+	Division timebase.System
+	Events   []Event
+}
+
+// NewSequence returns an empty sequence in the default MIDI pulse
+// time system.
+func NewSequence() *Sequence {
+	return &Sequence{Division: timebase.MIDIPulse}
+}
+
+// Validate checks ordering and channel ranges.
+func (s *Sequence) Validate() error {
+	if !s.Division.Valid() {
+		return errors.New("music: invalid division")
+	}
+	for i, e := range s.Events {
+		if e.Channel > 15 {
+			return fmt.Errorf("%w: event %d channel %d", ErrBadChannel, i, e.Channel)
+		}
+		if i > 0 && e.Tick < s.Events[i-1].Tick {
+			return fmt.Errorf("%w: event %d at tick %d after tick %d", ErrUnsorted, i, e.Tick, s.Events[i-1].Tick)
+		}
+	}
+	return nil
+}
+
+// Duration returns the tick of the last event (the sequence's span).
+func (s *Sequence) Duration() int64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].Tick
+}
+
+// Sort orders events by tick (stable, preserving same-tick order).
+func (s *Sequence) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Tick < s.Events[j].Tick })
+}
+
+// AddNote appends a note-on/note-off pair for a note starting at tick
+// with the given duration in ticks.
+func (s *Sequence) AddNote(tick, dur int64, channel, key, velocity uint8) {
+	s.Events = append(s.Events,
+		Event{Tick: tick, Kind: NoteOn, Channel: channel, Key: key, Velocity: velocity},
+		Event{Tick: tick + dur, Kind: NoteOff, Channel: channel, Key: key},
+	)
+	s.Sort()
+}
+
+// Notes pairs note-ons with their note-offs and returns the resulting
+// notes (start tick, duration, channel, key, velocity). A note-on
+// without a matching off yields ErrDangling.
+type Note struct {
+	Tick, Dur              int64
+	Channel, Key, Velocity uint8
+}
+
+// Notes extracts matched notes from the event list.
+func (s *Sequence) Notes() ([]Note, error) {
+	type openKey struct {
+		ch, key uint8
+	}
+	open := map[openKey][]int{} // indices into notes being built
+	var notes []Note
+	for _, e := range s.Events {
+		switch e.Kind {
+		case NoteOn:
+			k := openKey{e.Channel, e.Key}
+			open[k] = append(open[k], len(notes))
+			notes = append(notes, Note{Tick: e.Tick, Dur: -1, Channel: e.Channel, Key: e.Key, Velocity: e.Velocity})
+		case NoteOff:
+			k := openKey{e.Channel, e.Key}
+			stack := open[k]
+			if len(stack) == 0 {
+				continue // stray note-off tolerated
+			}
+			idx := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			notes[idx].Dur = e.Tick - notes[idx].Tick
+		}
+	}
+	for _, stack := range open {
+		if len(stack) > 0 {
+			return notes, ErrDangling
+		}
+	}
+	return notes, nil
+}
+
+// Transpose returns a copy with every note key shifted by semitones,
+// clamped to 0..127 — the paper's example of a content-changing
+// derivation specific to music ("transposition of a music object to a
+// different key").
+func (s *Sequence) Transpose(semitones int) *Sequence {
+	out := &Sequence{Division: s.Division, Events: append([]Event(nil), s.Events...)}
+	for i, e := range out.Events {
+		if e.Kind == NoteOn || e.Kind == NoteOff {
+			k := int(e.Key) + semitones
+			if k < 0 {
+				k = 0
+			}
+			if k > 127 {
+				k = 127
+			}
+			out.Events[i].Key = uint8(k)
+		}
+	}
+	return out
+}
+
+// serialization format:
+//
+//	magic "TMMU" | u32 count | division num,den (u32 each) |
+//	per event: tick varint-zigzag? — fixed binary for simplicity:
+//	i64 tick | u8 kind | u8 channel | u8 key | u8 velocity | u32 value
+
+const magic = "TMMU"
+
+// eventSize is the fixed encoded size of one event in bytes.
+const eventSize = 8 + 1 + 1 + 1 + 1 + 4
+
+// Marshal serializes the sequence.
+func (s *Sequence) Marshal() []byte {
+	buf := make([]byte, 0, 4+4+8+len(s.Events)*eventSize)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Events)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Division.Num))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Division.Den))
+	for _, e := range s.Events {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Tick))
+		buf = append(buf, byte(e.Kind), e.Channel, e.Key, e.Velocity)
+		buf = binary.BigEndian.AppendUint32(buf, e.Value)
+	}
+	return buf
+}
+
+// Unmarshal parses a serialized sequence.
+func Unmarshal(data []byte) (*Sequence, error) {
+	if len(data) < 16 {
+		return nil, ErrTruncated
+	}
+	if string(data[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	num := int64(binary.BigEndian.Uint32(data[8:12]))
+	den := int64(binary.BigEndian.Uint32(data[12:16]))
+	div, err := timebase.New(num, den)
+	if err != nil {
+		return nil, fmt.Errorf("music: %w", err)
+	}
+	if count > math.MaxInt32 || len(data)-16 < int(count)*eventSize {
+		return nil, ErrTruncated
+	}
+	s := &Sequence{Division: div, Events: make([]Event, count)}
+	off := 16
+	for i := range s.Events {
+		s.Events[i] = Event{
+			Tick:     int64(binary.BigEndian.Uint64(data[off:])),
+			Kind:     EventKind(data[off+8]),
+			Channel:  data[off+9],
+			Key:      data[off+10],
+			Velocity: data[off+11],
+			Value:    binary.BigEndian.Uint32(data[off+12:]),
+		}
+		off += eventSize
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalEvent serializes a single event; used when a music sequence
+// is stored element-by-element under an interpretation.
+func MarshalEvent(e Event) []byte {
+	buf := make([]byte, 0, eventSize)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Tick))
+	buf = append(buf, byte(e.Kind), e.Channel, e.Key, e.Velocity)
+	return binary.BigEndian.AppendUint32(buf, e.Value)
+}
+
+// UnmarshalEvent parses a single serialized event.
+func UnmarshalEvent(data []byte) (Event, error) {
+	if len(data) < eventSize {
+		return Event{}, ErrTruncated
+	}
+	return Event{
+		Tick:     int64(binary.BigEndian.Uint64(data)),
+		Kind:     EventKind(data[8]),
+		Channel:  data[9],
+		Key:      data[10],
+		Velocity: data[11],
+		Value:    binary.BigEndian.Uint32(data[12:]),
+	}, nil
+}
+
+// Scale is a convenience generator: an ascending major scale of n
+// notes starting at the given key, one note per beat (480 ticks).
+func Scale(root uint8, n int, channel uint8) *Sequence {
+	steps := []int{0, 2, 4, 5, 7, 9, 11}
+	s := NewSequence()
+	for i := 0; i < n; i++ {
+		oct := i / len(steps)
+		step := steps[i%len(steps)]
+		key := int(root) + 12*oct + step
+		if key > 127 {
+			break
+		}
+		s.AddNote(int64(i)*480, 480, channel, uint8(key), 96)
+	}
+	return s
+}
+
+// Chord generates a simultaneous triad at the given tick — the paper's
+// chord example of overlapping elements in non-continuous streams.
+func Chord(tick, dur int64, root uint8, channel uint8) *Sequence {
+	s := NewSequence()
+	for _, iv := range []uint8{0, 4, 7} {
+		s.AddNote(tick, dur, channel, root+iv, 96)
+	}
+	return s
+}

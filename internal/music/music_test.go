@@ -1,0 +1,244 @@
+package music
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNoteAndSort(t *testing.T) {
+	s := NewSequence()
+	s.AddNote(480, 480, 0, 64, 100)
+	s.AddNote(0, 480, 0, 60, 100)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Tick != 0 || s.Events[0].Kind != NoteOn || s.Events[0].Key != 60 {
+		t.Errorf("first event = %+v", s.Events[0])
+	}
+	if s.Duration() != 960 {
+		t.Errorf("duration = %d", s.Duration())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := NewSequence()
+	s.Events = []Event{{Tick: 10}, {Tick: 5}}
+	if err := s.Validate(); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("unsorted: %v", err)
+	}
+	s.Events = []Event{{Tick: 0, Channel: 16}}
+	if err := s.Validate(); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("bad channel: %v", err)
+	}
+}
+
+func TestNotesPairing(t *testing.T) {
+	s := NewSequence()
+	s.AddNote(0, 480, 1, 60, 90)
+	s.AddNote(240, 960, 1, 64, 80)
+	notes, err := s.Notes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %d", len(notes))
+	}
+	if notes[0].Dur != 480 || notes[1].Dur != 960 {
+		t.Errorf("durations = %d, %d", notes[0].Dur, notes[1].Dur)
+	}
+}
+
+func TestNotesDangling(t *testing.T) {
+	s := NewSequence()
+	s.Events = []Event{{Tick: 0, Kind: NoteOn, Key: 60, Velocity: 90}}
+	if _, err := s.Notes(); !errors.Is(err, ErrDangling) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNotesStrayOffTolerated(t *testing.T) {
+	s := NewSequence()
+	s.Events = []Event{{Tick: 0, Kind: NoteOff, Key: 60}}
+	notes, err := s.Notes()
+	if err != nil || len(notes) != 0 {
+		t.Errorf("notes=%v err=%v", notes, err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	s := NewSequence()
+	s.AddNote(0, 480, 0, 60, 90)
+	up := s.Transpose(7)
+	if up.Events[0].Key != 67 {
+		t.Errorf("key = %d", up.Events[0].Key)
+	}
+	// Original untouched.
+	if s.Events[0].Key != 60 {
+		t.Error("Transpose mutated source")
+	}
+	// Clamping.
+	high := s.Transpose(100)
+	if high.Events[0].Key != 127 {
+		t.Errorf("clamped key = %d", high.Events[0].Key)
+	}
+	low := s.Transpose(-100)
+	if low.Events[0].Key != 0 {
+		t.Errorf("clamped key = %d", low.Events[0].Key)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := Scale(60, 8, 0)
+	s.Events = append([]Event{{Tick: 0, Kind: Tempo, Value: 500000}}, s.Events...)
+	data := s.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(s.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(s.Events))
+	}
+	for i := range s.Events {
+		if got.Events[i] != s.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], s.Events[i])
+		}
+	}
+	if !got.Division.Equal(s.Division) {
+		t.Errorf("division = %v", got.Division)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Unmarshal([]byte("XXXX0123456789ab")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+	good := Scale(60, 4, 0).Marshal()
+	if _, err := Unmarshal(good[:len(good)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestEventMarshalRoundTripProperty(t *testing.T) {
+	f := func(tick int64, kind, ch, key, vel uint8, value uint32) bool {
+		e := Event{Tick: tick, Kind: EventKind(kind % 4), Channel: ch % 16, Key: key, Velocity: vel, Value: value}
+		got, err := UnmarshalEvent(MarshalEvent(e))
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalEventTruncated(t *testing.T) {
+	if _, err := UnmarshalEvent(make([]byte, 5)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestScaleGenerator(t *testing.T) {
+	s := Scale(60, 7, 2)
+	notes, err := s.Notes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 7 {
+		t.Fatalf("notes = %d", len(notes))
+	}
+	wantKeys := []uint8{60, 62, 64, 65, 67, 69, 71}
+	for i, n := range notes {
+		if n.Key != wantKeys[i] || n.Channel != 2 || n.Dur != 480 {
+			t.Errorf("note %d = %+v", i, n)
+		}
+	}
+}
+
+func TestChordOverlap(t *testing.T) {
+	s := Chord(0, 960, 60, 0)
+	notes, err := s.Notes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 3 {
+		t.Fatalf("notes = %d", len(notes))
+	}
+	// All three notes start together — the overlapping-element case.
+	for _, n := range notes {
+		if n.Tick != 0 || n.Dur != 960 {
+			t.Errorf("note = %+v", n)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if NoteOn.String() != "note-on" || Tempo.String() != "tempo" {
+		t.Error("kind names wrong")
+	}
+	if !bytes.Contains([]byte(EventKind(200).String()), []byte("200")) {
+		t.Error("unknown kind should include value")
+	}
+}
+
+func TestTempoMapConstant(t *testing.T) {
+	seq := NewSequence()
+	seq.AddNote(0, 480, 0, 60, 90)
+	tm := NewTempoMap(seq, 120)
+	// At 120 BPM, one quarter (480 pulses) = 0.5 s.
+	if got := tm.Seconds(480); got != 0.5 {
+		t.Errorf("Seconds(480) = %v", got)
+	}
+	if got := tm.Seconds(960); got != 1.0 {
+		t.Errorf("Seconds(960) = %v", got)
+	}
+	if tm.BPMAt(0) != 120 {
+		t.Errorf("BPM = %v", tm.BPMAt(0))
+	}
+}
+
+func TestTempoMapWithChanges(t *testing.T) {
+	seq := NewSequence()
+	// 120 BPM for the first quarter, then 60 BPM.
+	seq.Events = append(seq.Events,
+		Event{Tick: 480, Kind: Tempo, Value: 1_000_000}, // 60 BPM
+	)
+	tm := NewTempoMap(seq, 120)
+	if got := tm.Seconds(480); got != 0.5 {
+		t.Errorf("first quarter = %v s", got)
+	}
+	// Second quarter at 60 BPM takes 1 s → 1.5 s total.
+	if got := tm.Seconds(960); got != 1.5 {
+		t.Errorf("two quarters = %v s", got)
+	}
+	if tm.BPMAt(700) != 60 {
+		t.Errorf("BPM after change = %v", tm.BPMAt(700))
+	}
+	if got := tm.DurationSeconds(480, 480); got != 1.0 {
+		t.Errorf("duration across change = %v", got)
+	}
+}
+
+func TestTempoMapReplaceSameTick(t *testing.T) {
+	seq := NewSequence()
+	seq.Events = append(seq.Events,
+		Event{Tick: 0, Kind: Tempo, Value: 250_000}, // 240 BPM
+	)
+	tm := NewTempoMap(seq, 120)
+	if tm.BPMAt(0) != 240 {
+		t.Errorf("BPM = %v", tm.BPMAt(0))
+	}
+	// One quarter at 240 BPM = 0.25 s.
+	if got := tm.Seconds(480); got != 0.25 {
+		t.Errorf("Seconds(480) = %v", got)
+	}
+}
+
+func TestTempoMapDefaultGuard(t *testing.T) {
+	tm := NewTempoMap(NewSequence(), 0)
+	if tm.BPMAt(0) != 120 {
+		t.Errorf("default BPM = %v", tm.BPMAt(0))
+	}
+}

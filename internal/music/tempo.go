@@ -1,0 +1,76 @@
+package music
+
+import "sort"
+
+// PPQ is the pulse resolution assumed for sequences: 480 pulses per
+// quarter note (the timebase.MIDIPulse system runs at 960 pulses per
+// second, i.e. 480 PPQ at the 120 BPM default).
+const PPQ = 480
+
+// TempoMap converts pulse ticks to seconds under tempo changes — the
+// timing half of the paper's music model, where element start times
+// are scheduling information whose real-time meaning depends on
+// performance parameters.
+type TempoMap struct {
+	points []tempoPoint
+}
+
+type tempoPoint struct {
+	tick    int64   // pulse at which this tempo takes effect
+	seconds float64 // absolute time at tick
+	usPerQ  float64 // microseconds per quarter from this point on
+}
+
+// NewTempoMap builds a map from a sequence's Tempo events (Value =
+// microseconds per quarter note). defaultBPM governs pulses before the
+// first tempo event (and the whole piece if there are none).
+func NewTempoMap(seq *Sequence, defaultBPM float64) *TempoMap {
+	if defaultBPM <= 0 {
+		defaultBPM = 120
+	}
+	m := &TempoMap{points: []tempoPoint{{tick: 0, seconds: 0, usPerQ: 60e6 / defaultBPM}}}
+	var tempos []Event
+	for _, e := range seq.Events {
+		if e.Kind == Tempo && e.Value > 0 {
+			tempos = append(tempos, e)
+		}
+	}
+	sort.SliceStable(tempos, func(a, b int) bool { return tempos[a].Tick < tempos[b].Tick })
+	for _, e := range tempos {
+		last := m.points[len(m.points)-1]
+		sec := last.seconds + float64(e.Tick-last.tick)*last.usPerQ/1e6/PPQ
+		if e.Tick == last.tick {
+			// Replace a tempo at the same tick.
+			m.points[len(m.points)-1] = tempoPoint{tick: e.Tick, seconds: last.seconds, usPerQ: float64(e.Value)}
+			continue
+		}
+		m.points = append(m.points, tempoPoint{tick: e.Tick, seconds: sec, usPerQ: float64(e.Value)})
+	}
+	return m
+}
+
+// Seconds returns the absolute time of a pulse tick.
+func (m *TempoMap) Seconds(tick int64) float64 {
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].tick > tick }) - 1
+	if i < 0 {
+		i = 0
+	}
+	p := m.points[i]
+	return p.seconds + float64(tick-p.tick)*p.usPerQ/1e6/PPQ
+}
+
+// DurationSeconds returns the length in seconds of the span [from,
+// from+dur) in pulses.
+func (m *TempoMap) DurationSeconds(from, dur int64) float64 {
+	return m.Seconds(from+dur) - m.Seconds(from)
+}
+
+// BPMAt returns the tempo in quarter notes per minute in effect at a
+// pulse tick.
+func (m *TempoMap) BPMAt(tick int64) float64 {
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].tick > tick }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return 60e6 / m.points[i].usPerQ
+}

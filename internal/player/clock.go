@@ -1,0 +1,76 @@
+// Package player implements the presentation engine: playback of
+// interpreted tracks and composed multimedia objects against a clock,
+// with deadline and jitter accounting, scaled playback, and the
+// capture (record) path that builds interpretations incrementally.
+//
+// The paper (Section 2.2, Timing): "the handling ... of media elements
+// is subject to real-time constraints ... What is important in
+// modeling time-based media is the ability to specify the real-time
+// constraints and temporal correlations." The data model specifies
+// them (stream timing, composition offsets, sync constraints); the
+// player turns them into deadlines and measures how well a run met
+// them. Deadlines are soft — "playback 'jitter' can be removed by the
+// application just prior to presentation" — so the player reports
+// jitter rather than failing on it.
+package player
+
+import "time"
+
+// Clock abstracts presentation time as a duration since stream start.
+type Clock interface {
+	// Now returns the current presentation time.
+	Now() time.Duration
+	// WaitUntil blocks (or advances virtual time) until t, returning
+	// the clock value afterwards — which may exceed t if the clock
+	// has already passed it.
+	WaitUntil(t time.Duration) time.Duration
+	// Advance adds simulated work time (decode, filter) to the clock.
+	// Real clocks ignore it: real work takes real time.
+	Advance(d time.Duration)
+}
+
+// VirtualClock is a deterministic clock for tests and benches: time
+// advances only via WaitUntil and Advance.
+type VirtualClock struct {
+	now time.Duration
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration { return c.now }
+
+// WaitUntil implements Clock.
+func (c *VirtualClock) WaitUntil(t time.Duration) time.Duration {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Advance implements Clock.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// RealClock follows the wall clock.
+type RealClock struct {
+	start time.Time
+}
+
+// NewRealClock starts a wall clock at zero.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// WaitUntil implements Clock.
+func (c *RealClock) WaitUntil(t time.Duration) time.Duration {
+	if d := t - c.Now(); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Now()
+}
+
+// Advance implements Clock (no-op: real work takes real time).
+func (c *RealClock) Advance(time.Duration) {}

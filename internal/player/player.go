@@ -1,0 +1,219 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"timedmedia/internal/interp"
+)
+
+// Errors.
+var (
+	ErrNoTracks = errors.New("player: nothing to play")
+	ErrStopped  = errors.New("player: sink stopped playback")
+)
+
+// Event is the delivery of one element to a sink.
+type Event struct {
+	// Track names the source track.
+	Track string
+	// Index is the element's presentation index.
+	Index int
+	// Deadline is the element's presentation time.
+	Deadline time.Duration
+	// Actual is the clock value at delivery; Actual-Deadline is the
+	// element's jitter.
+	Actual time.Duration
+	// Payload is the element data (layers 0..MaxLayer concatenated).
+	Payload []byte
+}
+
+// Jitter returns how late the element was.
+func (e Event) Jitter() time.Duration { return e.Actual - e.Deadline }
+
+// Sink consumes delivered elements. Returning an error aborts
+// playback.
+type Sink interface {
+	Deliver(Event) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(Event) error
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(e Event) error { return f(e) }
+
+// Discard counts events without keeping payloads.
+type Discard struct {
+	Events int
+	Bytes  int64
+}
+
+// Deliver implements Sink.
+func (d *Discard) Deliver(e Event) error {
+	d.Events++
+	d.Bytes += int64(len(e.Payload))
+	return nil
+}
+
+// Options configure playback.
+type Options struct {
+	// MaxLayer limits fidelity: only layers 0..MaxLayer are read
+	// (scaled playback). Negative means all layers.
+	MaxLayer int
+	// WorkPerByte simulates per-byte processing cost on the clock
+	// (decode, filter); zero means free processing.
+	WorkPerByte time.Duration
+	// From and To bound playback to a presentation-time window in
+	// seconds; To = 0 plays to the end.
+	From, To float64
+	// Rate scales playback speed: 2 plays twice as fast (deadlines
+	// compressed), 0.5 half speed. Zero means 1. Variable-rate play is
+	// cheap for intraframe media, which is the paper's point about
+	// independently compressed frames.
+	Rate float64
+}
+
+// speed returns the effective playback rate.
+func (o Options) speed() float64 {
+	if o.Rate <= 0 {
+		return 1
+	}
+	return o.Rate
+}
+
+// TrackReport aggregates per-track playback statistics.
+type TrackReport struct {
+	Track     string
+	Events    int
+	Bytes     int64
+	MaxJitter time.Duration
+	SumJitter time.Duration
+}
+
+// MeanJitter returns the average lateness.
+func (r TrackReport) MeanJitter() time.Duration {
+	if r.Events == 0 {
+		return 0
+	}
+	return r.SumJitter / time.Duration(r.Events)
+}
+
+// Report summarizes a playback run.
+type Report struct {
+	Tracks   []TrackReport
+	Duration time.Duration // final clock value
+	// MaxSkew is the largest pairwise delivery-progress skew observed
+	// between tracks (see PlayComposition for constraint checking).
+	MaxSkew time.Duration
+}
+
+// MaxJitter returns the worst jitter across tracks.
+func (r Report) MaxJitter() time.Duration {
+	var m time.Duration
+	for _, tr := range r.Tracks {
+		if tr.MaxJitter > m {
+			m = tr.MaxJitter
+		}
+	}
+	return m
+}
+
+// scheduled is one element queued for delivery.
+type scheduled struct {
+	track    string
+	trackIdx int // index into report slice
+	index    int
+	deadline time.Duration
+	offset   time.Duration // composition offset already folded into deadline
+}
+
+// Play presents the named tracks of an interpretation (all tracks if
+// names is empty), merging elements across tracks by presentation
+// time — exactly what recording and playback of interleaved media
+// require. It returns a report of deadlines met.
+func Play(it *interp.Interpretation, names []string, clock Clock, sink Sink, opts Options) (Report, error) {
+	if len(names) == 0 {
+		names = it.TrackNames()
+	}
+	if len(names) == 0 {
+		return Report{}, ErrNoTracks
+	}
+	var sched []scheduled
+	reports := make([]TrackReport, len(names))
+	for ti, name := range names {
+		tr, err := it.Track(name)
+		if err != nil {
+			return Report{}, err
+		}
+		reports[ti] = TrackReport{Track: name}
+		tsys := tr.MediaType().Time
+		for i := 0; i < tr.Len(); i++ {
+			el := tr.Stream().At(i)
+			sec := tsys.Seconds(el.Start)
+			if sec < opts.From || (opts.To > 0 && sec >= opts.To) {
+				continue
+			}
+			sched = append(sched, scheduled{
+				track:    name,
+				trackIdx: ti,
+				index:    i,
+				deadline: time.Duration(sec / opts.speed() * float64(time.Second)),
+			})
+		}
+	}
+	return run(it, sched, reports, clock, sink, opts)
+}
+
+func run(it *interp.Interpretation, sched []scheduled, reports []TrackReport, clock Clock, sink Sink, opts Options) (Report, error) {
+	sort.SliceStable(sched, func(a, b int) bool { return sched[a].deadline < sched[b].deadline })
+	var rep Report
+	for _, s := range sched {
+		layers, err := it.PayloadLayers(s.track, s.index, effectiveLayer(it, s, opts.MaxLayer))
+		if err != nil {
+			return rep, err
+		}
+		var payload []byte
+		for _, l := range layers {
+			payload = append(payload, l...)
+		}
+		// Simulated processing happens before the deadline wait: work
+		// time pushes the clock, the wait absorbs slack.
+		clock.Advance(time.Duration(len(payload)) * opts.WorkPerByte)
+		actual := clock.WaitUntil(s.deadline)
+		ev := Event{Track: s.track, Index: s.index, Deadline: s.deadline, Actual: actual, Payload: payload}
+		if err := sink.Deliver(ev); err != nil {
+			return rep, fmt.Errorf("%w: %v", ErrStopped, err)
+		}
+		r := &reports[s.trackIdx]
+		r.Events++
+		r.Bytes += int64(len(payload))
+		if j := ev.Jitter(); j > 0 {
+			r.SumJitter += j
+			if j > r.MaxJitter {
+				r.MaxJitter = j
+			}
+		}
+	}
+	rep.Tracks = reports
+	rep.Duration = clock.Now()
+	return rep, nil
+}
+
+// effectiveLayer clamps the fidelity request to the element's layer
+// count so single-layer tracks play unchanged under scaled playback.
+func effectiveLayer(it *interp.Interpretation, s scheduled, maxLayer int) int {
+	if maxLayer < 0 {
+		return -1
+	}
+	tr, err := it.Track(s.track)
+	if err != nil {
+		return -1
+	}
+	if n := tr.Layers(s.index); maxLayer >= n {
+		return n - 1
+	}
+	return maxLayer
+}

@@ -1,0 +1,361 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"timedmedia/internal/audio"
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/timebase"
+)
+
+func captureSmall(t *testing.T, frames int, opts CaptureOptions) (*interp.Interpretation, blob.Store) {
+	t.Helper()
+	store := blob.NewMemStore()
+	g := frame.Generator{W: 32, H: 24, Seed: 1}
+	fs := make([]*frame.Frame, frames)
+	for i := range fs {
+		fs[i] = g.Frame(i)
+	}
+	buf := audio.Sine(frames*1764, 2, 440, 44100, 0.4)
+	it, err := CaptureAV(store, fs, timebase.PAL, buf, timebase.CDAudio, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it, store
+}
+
+func TestCaptureAVInterleaved(t *testing.T) {
+	it, _ := captureSmall(t, 5, CaptureOptions{})
+	v := it.MustTrack("video1")
+	a := it.MustTrack("audio1")
+	if v.Len() != 5 || a.Len() != 5 {
+		t.Fatalf("tracks: v=%d a=%d", v.Len(), a.Len())
+	}
+	// Figure 2 interleave: audio block i directly follows frame i.
+	for i := 0; i < 5; i++ {
+		vp, _ := v.Placement(i)
+		ap, _ := a.Placement(i)
+		if ap.Offset != vp.End() {
+			t.Errorf("frame %d: audio at %d, video ends at %d", i, ap.Offset, vp.End())
+		}
+	}
+	// 1764 sample pairs per frame (the paper's figure).
+	if a.Stream().At(0).Dur != 1764 {
+		t.Errorf("audio block duration = %d", a.Stream().At(0).Dur)
+	}
+	if ap, _ := a.Placement(0); ap.Size != 1764*4 {
+		t.Errorf("audio block size = %d", ap.Size)
+	}
+}
+
+func TestCaptureAVPadding(t *testing.T) {
+	it, _ := captureSmall(t, 3, CaptureOptions{PadTo: 2048})
+	if it.BlobSize()%2048 != 0 {
+		t.Errorf("padded blob size = %d, not a multiple of 2048", it.BlobSize())
+	}
+	// Payloads still read correctly.
+	if _, err := it.Payload("video1", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlayDeadlinesOnVirtualClock(t *testing.T) {
+	it, _ := captureSmall(t, 10, CaptureOptions{})
+	clock := &VirtualClock{}
+	var sink Discard
+	rep, err := Play(it, nil, clock, &sink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events != 20 {
+		t.Errorf("events = %d", sink.Events)
+	}
+	// No simulated work → zero jitter.
+	if rep.MaxJitter() != 0 {
+		t.Errorf("max jitter = %v", rep.MaxJitter())
+	}
+	// Final clock = last deadline = frame 9 at 9/25 s = 360 ms.
+	if rep.Duration != 360*time.Millisecond {
+		t.Errorf("duration = %v", rep.Duration)
+	}
+}
+
+func TestPlayEventOrderingInterleaved(t *testing.T) {
+	it, _ := captureSmall(t, 5, CaptureOptions{})
+	clock := &VirtualClock{}
+	var seq []string
+	sink := SinkFunc(func(e Event) error {
+		seq = append(seq, fmt.Sprintf("%s[%d]", e.Track, e.Index))
+		return nil
+	})
+	if _, err := Play(it, nil, clock, sink, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Deadlines tie frame i with audio block i; stable merge keeps
+	// video (declared first) before audio.
+	if seq[0] != "video1[0]" || seq[1] != "audio1[0]" || seq[2] != "video1[1]" {
+		t.Errorf("order = %v", seq[:4])
+	}
+}
+
+func TestPlayJitterUnderLoad(t *testing.T) {
+	it, _ := captureSmall(t, 10, CaptureOptions{})
+	clock := &VirtualClock{}
+	var sink Discard
+	// Simulate a slow machine: 1 µs per byte (≈ 5 ms per frame, over
+	// the 40 ms frame budget for A/V combined? frames ≈ 1-2 KB → fine;
+	// crank it up to force lateness).
+	rep, err := Play(it, nil, clock, &sink, Options{WorkPerByte: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxJitter() == 0 {
+		t.Error("expected jitter under simulated load")
+	}
+	if rep.Duration <= 360*time.Millisecond {
+		t.Errorf("duration = %v, should exceed nominal", rep.Duration)
+	}
+}
+
+func TestPlayWindow(t *testing.T) {
+	it, _ := captureSmall(t, 10, CaptureOptions{})
+	var sink Discard
+	_, err := Play(it, []string{"video1"}, &VirtualClock{}, &sink, Options{From: 0.2, To: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames 5..7 (at 0.20, 0.24, 0.28 s) fall in [0.2, 0.3).
+	if sink.Events != 3 {
+		t.Errorf("windowed events = %d", sink.Events)
+	}
+}
+
+func TestScaledPlaybackReadsFewerBytes(t *testing.T) {
+	it, store := captureSmall(t, 8, CaptureOptions{Layered: true})
+	var base, full Discard
+	store.Stats().Reset()
+	if _, err := Play(it, []string{"video1"}, &VirtualClock{}, &base, Options{MaxLayer: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, baseBytes, _, _ := store.Stats().Snapshot()
+	store.Stats().Reset()
+	if _, err := Play(it, []string{"video1"}, &VirtualClock{}, &full, Options{MaxLayer: -1}); err != nil {
+		t.Fatal(err)
+	}
+	_, fullBytes, _, _ := store.Stats().Snapshot()
+	if baseBytes >= fullBytes {
+		t.Errorf("scaled playback read %d bytes vs full %d", baseBytes, fullBytes)
+	}
+	if base.Events != full.Events {
+		t.Errorf("scaled playback dropped events: %d vs %d", base.Events, full.Events)
+	}
+}
+
+func TestPlaySinkAbort(t *testing.T) {
+	it, _ := captureSmall(t, 5, CaptureOptions{})
+	n := 0
+	sink := SinkFunc(func(Event) error {
+		n++
+		if n == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	_, err := Play(it, nil, &VirtualClock{}, sink, Options{})
+	if !errors.Is(err, ErrStopped) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlayUnknownTrack(t *testing.T) {
+	it, _ := captureSmall(t, 2, CaptureOptions{})
+	if _, err := Play(it, []string{"ghost"}, &VirtualClock{}, &Discard{}, Options{}); err == nil {
+		t.Error("unknown track must fail")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	start := c.Now()
+	got := c.WaitUntil(start + 5*time.Millisecond)
+	if got < start+5*time.Millisecond {
+		t.Errorf("WaitUntil returned %v", got)
+	}
+	c.Advance(time.Hour) // no-op
+	if c.Now() > start+time.Minute {
+		t.Error("Advance affected real clock")
+	}
+}
+
+func TestPlayComposition(t *testing.T) {
+	db := catalog.New(blob.NewMemStore())
+	g := frame.Generator{W: 16, H: 12, Seed: 2}
+	frames := make([]*frame.Frame, 10)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	vid, err := db.Ingest("v", derive.VideoValue(frames, timebase.PAL), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := db.Ingest("a", derive.AudioValue(audio.Sine(17640, 2, 440, 44100, 0.4), timebase.CDAudio), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Audio starts 100 ms after video.
+	mm, err := db.AddMultimedia("show", timebase.Millis, []core.ComponentRef{
+		{Object: vid, Start: 0},
+		{Object: aud, Start: 100},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddSync(mm, 0, 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	var sink Discard
+	rep, err := PlayComposition(db, mm, &VirtualClock{}, &sink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tracks) != 2 {
+		t.Fatalf("tracks = %v", rep.Tracks)
+	}
+	if rep.Tracks[0].Events != 10 {
+		t.Errorf("video events = %d", rep.Tracks[0].Events)
+	}
+	// The final deadline is the last audio block: sample 15876 at
+	// +100 ms = 460 ms (durations are not waited out).
+	if d := rep.Duration; d < 459*time.Millisecond || d > 461*time.Millisecond {
+		t.Errorf("duration = %v", d)
+	}
+	if rep.MaxSkew != 0 {
+		t.Errorf("skew on virtual clock = %v", rep.MaxSkew)
+	}
+}
+
+func TestPlayCompositionWithDerivedComponent(t *testing.T) {
+	db := catalog.New(blob.NewMemStore())
+	g := frame.Generator{W: 16, H: 12, Seed: 3}
+	frames := make([]*frame.Frame, 10)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	vid, _ := db.Ingest("v", derive.VideoValue(frames, timebase.PAL), catalog.IngestOptions{})
+	cut, err := db.SelectDuration(vid, "cut", 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := db.AddMultimedia("show", timebase.Millis, []core.ComponentRef{{Object: cut, Start: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink Discard
+	rep, err := PlayComposition(db, mm, &VirtualClock{}, &sink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tracks[0].Events != 4 {
+		t.Errorf("events = %d", rep.Tracks[0].Events)
+	}
+}
+
+func TestPlayCompositionNotMultimedia(t *testing.T) {
+	db := catalog.New(blob.NewMemStore())
+	g := frame.Generator{W: 8, H: 8, Seed: 1}
+	vid, _ := db.Ingest("v", derive.VideoValue([]*frame.Frame{g.Frame(0)}, timebase.PAL), catalog.IngestOptions{})
+	if _, err := PlayComposition(db, vid, &VirtualClock{}, &Discard{}, Options{}); err == nil {
+		t.Error("media object must be rejected")
+	}
+}
+
+func TestVirtualClockSemantics(t *testing.T) {
+	c := &VirtualClock{}
+	if c.WaitUntil(100) != 100 {
+		t.Error("WaitUntil should advance")
+	}
+	if c.WaitUntil(50) != 100 {
+		t.Error("WaitUntil must not go backwards")
+	}
+	c.Advance(25)
+	if c.Now() != 125 {
+		t.Errorf("now = %v", c.Now())
+	}
+	c.Advance(-5)
+	if c.Now() != 125 {
+		t.Error("negative advance must be ignored")
+	}
+}
+
+func TestVariableRatePlayback(t *testing.T) {
+	it, _ := captureSmall(t, 10, CaptureOptions{})
+	var sink Discard
+	// 2x: last deadline halves from 360 ms to 180 ms.
+	rep, err := Play(it, []string{"video1"}, &VirtualClock{}, &sink, Options{Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration != 180*time.Millisecond {
+		t.Errorf("2x duration = %v", rep.Duration)
+	}
+	// 0.5x: doubles to 720 ms.
+	rep, err = Play(it, []string{"video1"}, &VirtualClock{}, &sink, Options{Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration != 720*time.Millisecond {
+		t.Errorf("0.5x duration = %v", rep.Duration)
+	}
+	// Rate 0 means normal speed.
+	rep, err = Play(it, []string{"video1"}, &VirtualClock{}, &sink, Options{})
+	if err != nil || rep.Duration != 360*time.Millisecond {
+		t.Errorf("default rate duration = %v err=%v", rep.Duration, err)
+	}
+}
+
+func TestTrackReportMeanJitter(t *testing.T) {
+	var r TrackReport
+	if r.MeanJitter() != 0 {
+		t.Error("zero events must mean zero jitter")
+	}
+	r.Events = 4
+	r.SumJitter = 8 * time.Millisecond
+	if r.MeanJitter() != 2*time.Millisecond {
+		t.Errorf("mean = %v", r.MeanJitter())
+	}
+}
+
+func TestPlayCompositionScaledFidelity(t *testing.T) {
+	db := catalog.New(blob.NewMemStore())
+	g := frame.Generator{W: 32, H: 24, Seed: 4}
+	frames := make([]*frame.Frame, 5)
+	for i := range frames {
+		frames[i] = g.Frame(i)
+	}
+	vid, err := db.Ingest("v", derive.VideoValue(frames, timebase.PAL), catalog.IngestOptions{Layered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := db.AddMultimedia("m", timebase.Millis, []core.ComponentRef{{Object: vid, Start: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, full Discard
+	if _, err := PlayComposition(db, mm, &VirtualClock{}, &base, Options{MaxLayer: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlayComposition(db, mm, &VirtualClock{}, &full, Options{MaxLayer: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if base.Bytes >= full.Bytes {
+		t.Errorf("scaled composition playback: base %d >= full %d", base.Bytes, full.Bytes)
+	}
+}

@@ -1,0 +1,196 @@
+// Package query provides a composable query layer over the catalog —
+// the "sophisticated querying" Section 1.2 argues structural
+// representation makes possible. Filters on kind, class, quality,
+// duration, attributes and provenance compose into a single predicate;
+// results can be ordered and limited.
+//
+// Provenance filters (DerivedFrom, UsedBy) traverse the derivation and
+// composition relationships, answering "which objects were produced
+// from this take?" and "what would break if this BLOB were deleted?" —
+// the manipulations Section 4.2 says derivation objects let the
+// database keep track of and query.
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/media"
+)
+
+// Q is a query under construction. Build with New, chain filters, then
+// Run. A Q is single-use.
+type Q struct {
+	db      *catalog.DB
+	filters []func(*core.Object) bool
+	order   func(a, b *core.Object) bool
+	limit   int
+}
+
+// New starts a query against db.
+func New(db *catalog.DB) *Q {
+	return &Q{db: db, limit: -1}
+}
+
+// Kind keeps media objects of the given kind.
+func (q *Q) Kind(k media.Kind) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool { return o.Kind == k })
+	return q
+}
+
+// Class keeps objects of the given class (non-derived, derived,
+// multimedia).
+func (q *Q) Class(c core.Class) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool { return o.Class == c })
+	return q
+}
+
+// Quality keeps media objects whose descriptor carries the quality
+// factor.
+func (q *Q) Quality(want media.Quality) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool {
+		return o.Desc != nil && o.Desc.QualityFactor() == want
+	})
+	return q
+}
+
+// Attr keeps objects whose attribute key equals value.
+func (q *Q) Attr(key, value string) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool { return o.Attrs[key] == value })
+	return q
+}
+
+// NameContains keeps objects whose name contains the substring.
+func (q *Q) NameContains(sub string) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool { return strings.Contains(o.Name, sub) })
+	return q
+}
+
+// DurationBetween keeps media objects whose descriptor duration lies
+// in [minSec, maxSec] seconds. Objects without a timed descriptor are
+// excluded.
+func (q *Q) DurationBetween(minSec, maxSec float64) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool {
+		if o.Desc == nil || !o.Desc.TimeSystem().Valid() {
+			return false
+		}
+		sec := o.Desc.TimeSystem().Seconds(o.Desc.Duration())
+		return sec >= minSec && sec <= maxSec
+	})
+	return q
+}
+
+// DerivedFrom keeps objects whose derivation/composition ancestry
+// (transitively) includes src.
+func (q *Q) DerivedFrom(src core.ID) *Q {
+	q.filters = append(q.filters, func(o *core.Object) bool {
+		return q.reaches(o, src, map[core.ID]bool{})
+	})
+	return q
+}
+
+// reaches walks o's inputs/components looking for target.
+func (q *Q) reaches(o *core.Object, target core.ID, seen map[core.ID]bool) bool {
+	if o.ID == target {
+		return false // an object is not derived from itself
+	}
+	var children []core.ID
+	switch o.Class {
+	case core.ClassDerived:
+		children = o.Derivation.Inputs
+	case core.ClassMultimedia:
+		for _, c := range o.Multimedia.Components {
+			children = append(children, c.Object)
+		}
+	default:
+		return false
+	}
+	for _, id := range children {
+		if id == target {
+			return true
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		child, err := q.db.Get(id)
+		if err != nil {
+			continue
+		}
+		if q.reaches(child, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Where adds an arbitrary predicate.
+func (q *Q) Where(pred func(*core.Object) bool) *Q {
+	q.filters = append(q.filters, pred)
+	return q
+}
+
+// SortByName orders results by name.
+func (q *Q) SortByName() *Q {
+	q.order = func(a, b *core.Object) bool { return a.Name < b.Name }
+	return q
+}
+
+// SortByDuration orders timed results by descriptor duration in
+// seconds, untimed objects last.
+func (q *Q) SortByDuration() *Q {
+	sec := func(o *core.Object) float64 {
+		if o.Desc == nil || !o.Desc.TimeSystem().Valid() {
+			return -1
+		}
+		return o.Desc.TimeSystem().Seconds(o.Desc.Duration())
+	}
+	q.order = func(a, b *core.Object) bool {
+		sa, sb := sec(a), sec(b)
+		if sa < 0 {
+			return false
+		}
+		if sb < 0 {
+			return true
+		}
+		return sa < sb
+	}
+	return q
+}
+
+// Limit caps the result count.
+func (q *Q) Limit(n int) *Q {
+	q.limit = n
+	return q
+}
+
+// Run executes the query. Default order is by ID.
+func (q *Q) Run() []*core.Object {
+	out := q.db.Select(func(o *core.Object) bool {
+		for _, f := range q.filters {
+			if !f(o) {
+				return false
+			}
+		}
+		return true
+	})
+	if q.order != nil {
+		sort.SliceStable(out, func(a, b int) bool { return q.order(out[a], out[b]) })
+	}
+	if q.limit >= 0 && len(out) > q.limit {
+		out = out[:q.limit]
+	}
+	return out
+}
+
+// Count executes the query and returns the number of matches.
+func (q *Q) Count() int { return len(q.Run()) }
+
+// UsedBy returns every object whose derivation inputs or composition
+// components reference id, directly or transitively — the dependency
+// closure a database must know before deleting media.
+func UsedBy(db *catalog.DB, id core.ID) []*core.Object {
+	return New(db).DerivedFrom(id).Run()
+}

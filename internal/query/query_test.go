@@ -1,0 +1,191 @@
+package query
+
+import (
+	"testing"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// testDB builds a catalog with a mix of objects:
+//
+//	long-en   20 s video, language=en
+//	short-fr   2 s video, language=fr
+//	tone       1 s audio
+//	cut        derived from long-en
+//	cut2       derived from cut (grandchild of long-en)
+//	show       multimedia containing cut2 and tone
+func testDB(t *testing.T) (*catalog.DB, map[string]core.ID) {
+	t.Helper()
+	db := fixtures.NewMemDB()
+	ids := map[string]core.ID{}
+	var err error
+	if ids["long-en"], err = db.Ingest("long-en", fixtures.Video(500, 32, 24, 1),
+		catalog.IngestOptions{Attrs: map[string]string{"language": "en"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ids["short-fr"], err = db.Ingest("short-fr", fixtures.Video(50, 32, 24, 2),
+		catalog.IngestOptions{Attrs: map[string]string{"language": "fr"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ids["tone"], err = db.Ingest("tone", fixtures.Tone(1, 440), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ids["cut"], err = db.SelectDuration(ids["long-en"], "cut", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ids["cut2"], err = db.AddDerived("cut2", "video-edit", []core.ID{ids["cut"]},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 50}}}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if ids["show"], err = db.AddMultimedia("show", timebase.Millis, []core.ComponentRef{
+		{Object: ids["cut2"], Start: 0}, {Object: ids["tone"], Start: 0}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return db, ids
+}
+
+func names(objs []*core.Object) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Name
+	}
+	return out
+}
+
+func TestKindFilter(t *testing.T) {
+	db, _ := testDB(t)
+	got := New(db).Kind(media.KindAudio).Run()
+	if len(got) != 1 || got[0].Name != "tone" {
+		t.Errorf("audio objects = %v", names(got))
+	}
+	// Derived videos are KindVideo too.
+	if n := New(db).Kind(media.KindVideo).Count(); n != 4 {
+		t.Errorf("video objects = %d", n)
+	}
+}
+
+func TestClassFilter(t *testing.T) {
+	db, _ := testDB(t)
+	if n := New(db).Class(core.ClassDerived).Count(); n != 2 {
+		t.Errorf("derived = %d", n)
+	}
+	if n := New(db).Class(core.ClassMultimedia).Count(); n != 1 {
+		t.Errorf("multimedia = %d", n)
+	}
+}
+
+func TestAttrFilter(t *testing.T) {
+	db, _ := testDB(t)
+	got := New(db).Attr("language", "fr").Run()
+	if len(got) != 1 || got[0].Name != "short-fr" {
+		t.Errorf("fr = %v", names(got))
+	}
+}
+
+func TestQualityFilter(t *testing.T) {
+	db, _ := testDB(t)
+	// All stored videos default to VHS quality.
+	if n := New(db).Quality(media.QualityVHS).Count(); n != 2 {
+		t.Errorf("VHS = %d", n)
+	}
+	if n := New(db).Quality(media.QualityCD).Count(); n != 1 {
+		t.Errorf("CD = %d", n)
+	}
+}
+
+func TestDurationFilter(t *testing.T) {
+	db, _ := testDB(t)
+	// long-en is 20 s; short-fr is 2 s; tone is 1 s.
+	got := New(db).DurationBetween(1.5, 3).Run()
+	if len(got) != 1 || got[0].Name != "short-fr" {
+		t.Errorf("2s window = %v", names(got))
+	}
+	got = New(db).DurationBetween(0, 100).Run()
+	// Derived objects carry no descriptor → excluded.
+	if len(got) != 3 {
+		t.Errorf("all timed stored objects = %v", names(got))
+	}
+}
+
+func TestDerivedFromDirect(t *testing.T) {
+	db, ids := testDB(t)
+	got := New(db).DerivedFrom(ids["long-en"]).Run()
+	// cut (direct), cut2 (transitive), show (via cut2).
+	if len(got) != 3 {
+		t.Fatalf("derived from long-en = %v", names(got))
+	}
+}
+
+func TestDerivedFromLeaf(t *testing.T) {
+	db, ids := testDB(t)
+	got := New(db).DerivedFrom(ids["tone"]).Run()
+	if len(got) != 1 || got[0].Name != "show" {
+		t.Errorf("derived from tone = %v", names(got))
+	}
+	if n := New(db).DerivedFrom(ids["show"]).Count(); n != 0 {
+		t.Errorf("derived from show = %d", n)
+	}
+}
+
+func TestUsedBy(t *testing.T) {
+	db, ids := testDB(t)
+	got := UsedBy(db, ids["cut"])
+	if len(got) != 2 { // cut2 and show
+		t.Errorf("used by = %v", names(got))
+	}
+}
+
+func TestComposedFilters(t *testing.T) {
+	db, ids := testDB(t)
+	got := New(db).Kind(media.KindVideo).DerivedFrom(ids["long-en"]).Class(core.ClassDerived).Run()
+	if len(got) != 2 {
+		t.Errorf("composed = %v", names(got))
+	}
+}
+
+func TestSortByName(t *testing.T) {
+	db, _ := testDB(t)
+	got := New(db).SortByName().Run()
+	for i := 1; i < len(got); i++ {
+		if got[i].Name < got[i-1].Name {
+			t.Errorf("not sorted: %v", names(got))
+		}
+	}
+}
+
+func TestSortByDuration(t *testing.T) {
+	db, _ := testDB(t)
+	got := New(db).Class(core.ClassNonDerived).SortByDuration().Run()
+	if len(got) != 3 {
+		t.Fatalf("stored = %v", names(got))
+	}
+	if got[0].Name != "tone" || got[1].Name != "short-fr" || got[2].Name != "long-en" {
+		t.Errorf("duration order = %v", names(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db, _ := testDB(t)
+	if n := New(db).Limit(2).Count(); n != 2 {
+		t.Errorf("limit 2 = %d", n)
+	}
+	if n := New(db).Limit(0).Count(); n != 0 {
+		t.Errorf("limit 0 = %d", n)
+	}
+}
+
+func TestNameContainsAndWhere(t *testing.T) {
+	db, _ := testDB(t)
+	if n := New(db).NameContains("cut").Count(); n != 2 {
+		t.Errorf("cut* = %d", n)
+	}
+	n := New(db).Where(func(o *core.Object) bool { return o.Class == core.ClassMultimedia }).Count()
+	if n != 1 {
+		t.Errorf("where = %d", n)
+	}
+}

@@ -1,0 +1,160 @@
+package rights
+
+import (
+	"errors"
+	"testing"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+)
+
+func guarded(t *testing.T, principal string) *GuardedDB {
+	t.Helper()
+	return Guard(fixtures.NewMemDB(), NewLedger(), principal)
+}
+
+func TestOwnerHasAllPermissions(t *testing.T) {
+	g := guarded(t, "alice")
+	id, err := g.Ingest("clip", fixtures.Video(4, 16, 16, 1), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Expand(id); err != nil {
+		t.Errorf("owner read denied: %v", err)
+	}
+	if _, err := g.AddDerived("cut", "video-edit", []core.ID{id},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 2}}}), nil); err != nil {
+		t.Errorf("owner derive denied: %v", err)
+	}
+}
+
+func TestStrangerDenied(t *testing.T) {
+	g := guarded(t, "alice")
+	id, err := g.Ingest("clip", fixtures.Video(4, 16, 16, 1), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := g.As("bob")
+	if _, err := bob.Expand(id); !errors.Is(err, ErrDenied) {
+		t.Errorf("stranger read: %v", err)
+	}
+	if _, err := bob.AddDerived("steal", "video-edit", []core.ID{id},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 2}}}), nil); !errors.Is(err, ErrDenied) {
+		t.Errorf("stranger derive: %v", err)
+	}
+}
+
+func TestGrantAndRevoke(t *testing.T) {
+	g := guarded(t, "alice")
+	id, _ := g.Ingest("clip", fixtures.Video(4, 16, 16, 1), catalog.IngestOptions{})
+	bob := g.As("bob")
+
+	if err := g.Ledger.Grant(id, "bob", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Expand(id); err != nil {
+		t.Errorf("granted read denied: %v", err)
+	}
+	// Read does not imply derive.
+	if _, err := bob.AddDerived("cut", "video-edit", []core.ID{id},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 2}}}), nil); !errors.Is(err, ErrDenied) {
+		t.Errorf("read-only principal derived: %v", err)
+	}
+	if err := g.Ledger.Revoke(id, "bob", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	g.DB.InvalidateCache()
+	if _, err := bob.Expand(id); !errors.Is(err, ErrDenied) {
+		t.Errorf("revoked read allowed: %v", err)
+	}
+}
+
+func TestAttributionPropagatesThroughDerivation(t *testing.T) {
+	g := guarded(t, "alice")
+	a, _ := g.Ingest("a", fixtures.Video(4, 16, 16, 1), catalog.IngestOptions{})
+	g.Ledger.Grant(a, "bob", PermRead|PermDerive)
+
+	bobClip, err := g.As("bob").Ingest("b", fixtures.Video(4, 16, 16, 2), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Ledger.Grant(bobClip, "carol", PermDerive)
+	g.Ledger.Grant(a, "carol", PermDerive)
+
+	mix, err := g.As("carol").AddDerived("mix", "video-transition", []core.ID{a, bobClip},
+		derive.EncodeParams(derive.TransitionParams{Type: "fade", Dur: 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := g.Ledger.Attribution(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alice", "bob", "carol"}
+	if len(att) != 3 {
+		t.Fatalf("attribution = %v", att)
+	}
+	for i := range want {
+		if att[i] != want[i] {
+			t.Errorf("attribution = %v, want %v", att, want)
+		}
+	}
+}
+
+func TestDerivedReadChecksSources(t *testing.T) {
+	// Bob may read the derived object but not its source: expansion
+	// must be denied, because expanding reads the source elements.
+	g := guarded(t, "alice")
+	src, _ := g.Ingest("src", fixtures.Video(4, 16, 16, 1), catalog.IngestOptions{})
+	cut, err := g.AddDerived("cut", "video-edit", []core.ID{src},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 2}}}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Ledger.Grant(cut, "bob", PermRead)
+	if _, err := g.As("bob").Expand(cut); !errors.Is(err, ErrDenied) {
+		t.Errorf("transitive read not checked: %v", err)
+	}
+	// Granting the source unlocks it.
+	g.Ledger.Grant(src, "bob", PermRead)
+	if _, err := g.As("bob").Expand(cut); err != nil {
+		t.Errorf("read after grant: %v", err)
+	}
+}
+
+func TestLedgerErrors(t *testing.T) {
+	l := NewLedger()
+	if err := l.Check(1, "x", PermRead); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("missing record: %v", err)
+	}
+	if err := l.Grant(1, "x", PermRead); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("grant missing: %v", err)
+	}
+	if err := l.Revoke(1, "x", PermRead); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("revoke missing: %v", err)
+	}
+	if _, err := l.Attribution(1); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("attribution missing: %v", err)
+	}
+	if err := l.Register(1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register(1, "bob"); !errors.Is(err, ErrDupRecord) {
+		t.Errorf("dup: %v", err)
+	}
+}
+
+func TestUnregisteredObjectDeniedByDefault(t *testing.T) {
+	// Objects added through the raw catalog (bypassing Guard) have no
+	// record, and reads fail closed.
+	g := guarded(t, "alice")
+	id, err := g.DB.Ingest("raw", fixtures.Video(2, 16, 16, 1), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Expand(id); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("unregistered: %v", err)
+	}
+}

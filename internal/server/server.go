@@ -1,0 +1,313 @@
+// Package server exposes a catalog over HTTP — the "video on-demand
+// services" the paper's introduction names as a driver for multimedia
+// databases. The API is read-mostly and element-oriented: clients
+// browse objects, inspect descriptors and timelines, fetch individual
+// elements by index or time, and stream an object's elements in
+// presentation order.
+//
+//	GET /objects                         list catalog objects (JSON)
+//	GET /objects/{name}                  one object: descriptor, categories, attrs
+//	GET /objects/{name}/element/{i}      raw payload of element i
+//	GET /objects/{name}/at/{tick}        payload of the element covering tick
+//	GET /objects/{name}/stream?from=&to= chunked elements in presentation order
+//	GET /objects/{name}/timeline         multimedia timeline (JSON)
+//	GET /objects/{name}/lineage          Figure 5 layers (JSON)
+//	POST /objects/{name}/cut?out=&from=&to=  create an edit derivation
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/interp"
+)
+
+// Server serves a catalog over HTTP.
+type Server struct {
+	db  *catalog.DB
+	mux *http.ServeMux
+}
+
+// New builds a Server over db.
+func New(db *catalog.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /objects", s.handleList)
+	s.mux.HandleFunc("GET /objects/{name}", s.handleObject)
+	s.mux.HandleFunc("GET /objects/{name}/element/{i}", s.handleElement)
+	s.mux.HandleFunc("GET /objects/{name}/at/{tick}", s.handleAt)
+	s.mux.HandleFunc("GET /objects/{name}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /objects/{name}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /objects/{name}/lineage", s.handleLineage)
+	s.mux.HandleFunc("POST /objects/{name}/cut", s.handleCut)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// objectSummary is the list/detail JSON shape.
+type objectSummary struct {
+	ID         uint64            `json:"id"`
+	Name       string            `json:"name"`
+	Class      string            `json:"class"`
+	Kind       string            `json:"kind"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Descriptor string            `json:"descriptor,omitempty"`
+	Categories string            `json:"categories,omitempty"`
+	Elements   int               `json:"elements,omitempty"`
+	Bytes      int64             `json:"bytes,omitempty"`
+	Derivation string            `json:"derivation,omitempty"`
+}
+
+func (s *Server) summarize(obj *core.Object) objectSummary {
+	out := objectSummary{
+		ID:    uint64(obj.ID),
+		Name:  obj.Name,
+		Class: obj.Class.String(),
+		Kind:  obj.Kind.String(),
+		Attrs: obj.Attrs,
+	}
+	switch obj.Class {
+	case core.ClassNonDerived:
+		if tr, err := s.track(obj); err == nil {
+			out.Descriptor = tr.Descriptor().String()
+			out.Categories = tr.Stream().Classify().String()
+			out.Elements = tr.Len()
+			out.Bytes = tr.TotalBytes()
+		}
+	case core.ClassDerived:
+		out.Derivation = fmt.Sprintf("%s%v", obj.Derivation.Op, obj.Derivation.Inputs)
+	}
+	return out
+}
+
+func (s *Server) track(obj *core.Object) (*interp.Track, error) {
+	it, err := s.db.Interpretation(obj.Blob)
+	if err != nil {
+		return nil, err
+	}
+	return it.Track(obj.Track)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Object, bool) {
+	obj, err := s.db.Lookup(r.PathValue("name"))
+	if err != nil {
+		httpError(w, err)
+		return nil, false
+	}
+	return obj, true
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, interp.ErrNoTrack), errors.Is(err, interp.ErrNoElement):
+		code = http.StatusNotFound
+	case errors.Is(err, catalog.ErrNotComposite), errors.Is(err, catalog.ErrNotMedia):
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []objectSummary
+	for _, obj := range s.db.Select(func(o *core.Object) bool {
+		if k := r.URL.Query().Get("kind"); k != "" && o.Kind.String() != k {
+			return false
+		}
+		for key, vals := range r.URL.Query() {
+			if strings.HasPrefix(key, "attr.") && o.Attrs[strings.TrimPrefix(key, "attr.")] != vals[0] {
+				return false
+			}
+		}
+		return true
+	}) {
+		out = append(out, s.summarize(obj))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, s.summarize(obj))
+}
+
+func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if obj.Class != core.ClassNonDerived {
+		httpError(w, fmt.Errorf("%w: %s has no stored elements", catalog.ErrNotMedia, obj.Name))
+		return
+	}
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		http.Error(w, "bad element index", http.StatusBadRequest)
+		return
+	}
+	it, err := s.db.Interpretation(obj.Blob)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	payload, err := it.Payload(obj.Track, i)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	tick, err := strconv.ParseInt(r.PathValue("tick"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad tick", http.StatusBadRequest)
+		return
+	}
+	tr, err := s.track(obj)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	i, found := tr.ElementAt(tick)
+	if !found {
+		http.Error(w, "no element at tick", http.StatusNotFound)
+		return
+	}
+	it, _ := s.db.Interpretation(obj.Blob)
+	payload, err := it.Payload(obj.Track, i)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("X-Element-Index", strconv.Itoa(i))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// handleStream sends elements [from, to) in presentation order as a
+// length-prefixed byte stream: for each element an 8-byte big-endian
+// length then the payload.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	tr, err := s.track(obj)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	from, to := 0, tr.Len()
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad from", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad to", http.StatusBadRequest)
+			return
+		}
+	}
+	if from < 0 || to > tr.Len() || from > to {
+		http.Error(w, "range out of bounds", http.StatusBadRequest)
+		return
+	}
+	it, _ := s.db.Interpretation(obj.Blob)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var hdr [8]byte
+	for i := from; i < to; i++ {
+		payload, err := it.Payload(obj.Track, i)
+		if err != nil {
+			return // headers already sent; truncate
+		}
+		n := uint64(len(payload))
+		for b := 0; b < 8; b++ {
+			hdr[b] = byte(n >> (56 - 8*b))
+		}
+		if _, err := w.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := w.Write(payload); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	mm, err := s.db.BuildMultimedia(obj.ID)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	spans, err := mm.Timeline()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, spans)
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	nodes, err := s.db.Lineage(obj.ID)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, nodes)
+}
+
+func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	out := q.Get("out")
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+	to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+	if out == "" || err1 != nil || err2 != nil {
+		http.Error(w, "want ?out=name&from=N&to=N", http.StatusBadRequest)
+		return
+	}
+	id, err := s.db.SelectDuration(obj.ID, out, from, to)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	created, _ := s.db.Get(id)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.summarize(created))
+}

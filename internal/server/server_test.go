@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/timebase"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *catalog.DB) {
+	t.Helper()
+	db := fixtures.NewMemDB()
+	if _, err := db.Ingest("clip", fixtures.Video(10, 32, 24, 1),
+		catalog.IngestOptions{Attrs: map[string]string{"language": "en"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest("song", fixtures.Tone(0.2, 440), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	clip, _ := db.Lookup("clip")
+	song, _ := db.Lookup("song")
+	if _, err := db.AddMultimedia("show", timebase.Millis, []core.ComponentRef{
+		{Object: clip.ID, Start: 0}, {Object: song.ID, Start: 100},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func get(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d (%s), want %d", url, resp.StatusCode, body, wantCode)
+	}
+	return body
+}
+
+func TestListObjects(t *testing.T) {
+	ts, _ := testServer(t)
+	var objs []map[string]any
+	if err := json.Unmarshal(get(t, ts.URL+"/objects", 200), &objs); err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	// Kind filter.
+	json.Unmarshal(get(t, ts.URL+"/objects?kind=audio", 200), &objs)
+	if len(objs) != 1 || objs[0]["name"] != "song" {
+		t.Errorf("audio filter = %v", objs)
+	}
+	// Attribute filter.
+	json.Unmarshal(get(t, ts.URL+"/objects?attr.language=en", 200), &objs)
+	if len(objs) != 1 || objs[0]["name"] != "clip" {
+		t.Errorf("attr filter = %v", objs)
+	}
+}
+
+func TestObjectDetail(t *testing.T) {
+	ts, _ := testServer(t)
+	var obj map[string]any
+	if err := json.Unmarshal(get(t, ts.URL+"/objects/clip", 200), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["elements"].(float64) != 10 {
+		t.Errorf("elements = %v", obj["elements"])
+	}
+	if !strings.Contains(obj["categories"].(string), "continuous") {
+		t.Errorf("categories = %v", obj["categories"])
+	}
+	get(t, ts.URL+"/objects/ghost", 404)
+}
+
+func TestElementAndAt(t *testing.T) {
+	ts, db := testServer(t)
+	body := get(t, ts.URL+"/objects/clip/element/3", 200)
+	// Must match the stored payload exactly.
+	clip, _ := db.Lookup("clip")
+	it, _ := db.Interpretation(clip.Blob)
+	want, _ := it.Payload(clip.Track, 3)
+	if string(body) != string(want) {
+		t.Error("element payload mismatch")
+	}
+	get(t, ts.URL+"/objects/clip/element/999", 404)
+	get(t, ts.URL+"/objects/clip/element/x", 400)
+
+	// Time-addressed access: tick 3 covers element 3 (PAL frames).
+	resp, err := http.Get(ts.URL + "/objects/clip/at/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Element-Index") != "3" {
+		t.Errorf("index header = %q", resp.Header.Get("X-Element-Index"))
+	}
+	get(t, ts.URL+"/objects/clip/at/99999", 404)
+}
+
+func TestStream(t *testing.T) {
+	ts, db := testServer(t)
+	body := get(t, ts.URL+"/objects/clip/stream?from=2&to=5", 200)
+	clip, _ := db.Lookup("clip")
+	it, _ := db.Interpretation(clip.Blob)
+	off := 0
+	for i := 2; i < 5; i++ {
+		if off+8 > len(body) {
+			t.Fatalf("truncated stream at element %d", i)
+		}
+		n := int(binary.BigEndian.Uint64(body[off:]))
+		off += 8
+		want, _ := it.Payload(clip.Track, i)
+		if n != len(want) || string(body[off:off+n]) != string(want) {
+			t.Fatalf("element %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(body) {
+		t.Errorf("trailing bytes: %d", len(body)-off)
+	}
+	get(t, ts.URL+"/objects/clip/stream?from=5&to=2", 400)
+	get(t, ts.URL+"/objects/clip/stream?from=0&to=99", 400)
+}
+
+func TestTimelineAndLineage(t *testing.T) {
+	ts, _ := testServer(t)
+	var spans []map[string]any
+	if err := json.Unmarshal(get(t, ts.URL+"/objects/show/timeline", 200), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	get(t, ts.URL+"/objects/clip/timeline", 400) // not multimedia
+
+	var nodes []map[string]any
+	if err := json.Unmarshal(get(t, ts.URL+"/objects/show/lineage", 200), &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 5 { // show + clip + song + 2 blobs
+		t.Errorf("lineage = %d nodes", len(nodes))
+	}
+}
+
+func TestCutEndpoint(t *testing.T) {
+	ts, db := testServer(t)
+	resp, err := http.Post(ts.URL+"/objects/clip/cut?out=webcut&from=2&to=6", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	obj, err := db.Lookup("webcut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Expand(obj.ID)
+	if err != nil || len(v.Video) != 4 {
+		t.Fatalf("cut expand: %v", err)
+	}
+	// Bad query.
+	resp2, _ := http.Post(ts.URL+"/objects/clip/cut?out=&from=a", "", nil)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cut = %d", resp2.StatusCode)
+	}
+}

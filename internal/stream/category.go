@@ -1,0 +1,216 @@
+package stream
+
+import "strings"
+
+// Category is a bit set of the Figure 1 stream categories. A stream
+// generally belongs to several categories at once (e.g. CD audio is
+// homogeneous, continuous, constant-frequency, constant-data-rate and
+// uniform).
+type Category uint16
+
+// The Figure 1 categories.
+const (
+	// Homogeneous: element descriptors are constant (all zero here,
+	// since constant non-trivial descriptors are folded into the media
+	// descriptor).
+	Homogeneous Category = 1 << iota
+	// Heterogeneous: element descriptors vary.
+	Heterogeneous
+	// Continuous: s_{i+1} = s_i + d_i for i = 1..n-1; a unique element
+	// exists for every time value within the stream's span.
+	Continuous
+	// NonContinuous: gaps and/or overlaps among elements.
+	NonContinuous
+	// EventBased: d_i = 0 for all i.
+	EventBased
+	// ConstantFrequency: continuous and element duration constant.
+	ConstantFrequency
+	// ConstantDataRate: continuous and size/duration ratio constant.
+	ConstantDataRate
+	// Uniform: continuous and both element size and duration constant.
+	Uniform
+)
+
+var categoryNames = []struct {
+	c    Category
+	name string
+}{
+	{Homogeneous, "homogeneous"},
+	{Heterogeneous, "heterogeneous"},
+	{Continuous, "continuous"},
+	{NonContinuous, "non-continuous"},
+	{EventBased, "event-based"},
+	{ConstantFrequency, "constant frequency"},
+	{ConstantDataRate, "constant data rate"},
+	{Uniform, "uniform"},
+}
+
+// String lists the categories in Figure 1 order.
+func (c Category) String() string {
+	var parts []string
+	for _, cn := range categoryNames {
+		if c&cn.c != 0 {
+			parts = append(parts, cn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Has reports whether all bits of q are set in c.
+func (c Category) Has(q Category) bool { return c&q == q }
+
+// Classify computes the stream's Figure 1 categories from its element
+// sequence. Definitions follow the paper exactly:
+//
+//	homogeneous     — element descriptors constant
+//	heterogeneous   — element descriptors vary
+//	continuous      — s_{i+1} = s_i + d_i for all i
+//	non-continuous  — s_{i+1} > s_i + d_i for some i, or overlaps
+//	event-based     — d_i = 0 for all i
+//	const frequency — continuous and d_i constant
+//	const data rate — continuous and size_i/d_i constant
+//	uniform         — continuous and size_i and d_i constant
+//
+// Degenerate streams (n <= 1) are continuous, homogeneous and, when
+// they have an element, constant-everything; an empty stream is only
+// homogeneous and continuous.
+func (s *Stream) Classify() Category {
+	n := len(s.elems)
+	cat := Category(0)
+
+	// Homogeneity.
+	homo := true
+	for i := 1; i < n; i++ {
+		if s.elems[i].Desc != s.elems[0].Desc {
+			homo = false
+			break
+		}
+	}
+	if homo {
+		cat |= Homogeneous
+	} else {
+		cat |= Heterogeneous
+	}
+
+	// Continuity.
+	continuous := true
+	for i := 1; i < n; i++ {
+		if s.elems[i].Start != s.elems[i-1].End() {
+			continuous = false
+			break
+		}
+	}
+	if continuous {
+		cat |= Continuous
+	} else {
+		cat |= NonContinuous
+	}
+
+	// Event-based.
+	if n > 0 {
+		event := true
+		for _, e := range s.elems {
+			if e.Dur != 0 {
+				event = false
+				break
+			}
+		}
+		if event {
+			cat |= EventBased
+		}
+	}
+
+	if continuous && n > 0 {
+		constDur := true
+		constSize := true
+		for i := 1; i < n; i++ {
+			if s.elems[i].Dur != s.elems[0].Dur {
+				constDur = false
+			}
+			if s.elems[i].Size != s.elems[0].Size {
+				constSize = false
+			}
+		}
+		if constDur && s.elems[0].Dur > 0 {
+			cat |= ConstantFrequency
+		}
+		// Constant data rate: size_i / d_i constant, compared in exact
+		// integer arithmetic: size_i * d_0 == size_0 * d_i.
+		constRate := true
+		for i := 0; i < n; i++ {
+			if s.elems[i].Dur == 0 {
+				constRate = false
+				break
+			}
+		}
+		if constRate {
+			s0, d0 := s.elems[0].Size, s.elems[0].Dur
+			for i := 1; i < n; i++ {
+				if s.elems[i].Size*d0 != s0*s.elems[i].Dur {
+					constRate = false
+					break
+				}
+			}
+		}
+		if constRate {
+			cat |= ConstantDataRate
+		}
+		if constDur && constSize && s.elems[0].Dur > 0 {
+			cat |= Uniform
+		}
+	}
+	return cat
+}
+
+// Gap is a maximal interval [From, To) within the stream's span that
+// no element covers.
+type Gap struct{ From, To int64 }
+
+// Gaps returns the uncovered intervals within the stream span —
+// Figure 1's "gaps" in non-continuous streams (e.g. an animated object
+// at rest). Continuous streams return nil.
+func (s *Stream) Gaps() []Gap {
+	if len(s.elems) == 0 {
+		return nil
+	}
+	var gaps []Gap
+	covered := s.elems[0].End()
+	for _, e := range s.elems[1:] {
+		if e.Start > covered {
+			gaps = append(gaps, Gap{From: covered, To: e.Start})
+		}
+		if e.End() > covered {
+			covered = e.End()
+		}
+	}
+	return gaps
+}
+
+// Overlap is a pair of element indices whose intervals intersect —
+// Figure 1's "overlaps" (e.g. the notes of a chord).
+type Overlap struct{ I, J int }
+
+// Overlaps returns all pairs of overlapping elements. Quadratic in the
+// size of overlap runs, linear otherwise.
+func (s *Stream) Overlaps() []Overlap {
+	var out []Overlap
+	for i := 0; i < len(s.elems); i++ {
+		ei := s.elems[i]
+		if ei.Dur == 0 {
+			continue
+		}
+		for j := i + 1; j < len(s.elems); j++ {
+			ej := s.elems[j]
+			if ej.Start >= ei.End() {
+				break // starts are sorted
+			}
+			if ej.Dur > 0 || (ej.Start >= ei.Start && ej.Start < ei.End()) {
+				out = append(out, Overlap{I: i, J: j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"timedmedia/internal/media"
+)
+
+func TestClassifyCDAudioUniform(t *testing.T) {
+	// CD audio: homogeneous, continuous, constant frequency, constant
+	// data rate, uniform (Figure 1).
+	s := MustNew(media.CDAudioType(), cdElems(100))
+	c := s.Classify()
+	for _, want := range []Category{Homogeneous, Continuous, ConstantFrequency, ConstantDataRate, Uniform} {
+		if !c.Has(want) {
+			t.Errorf("CD audio missing category %v (got %v)", want, c)
+		}
+	}
+	for _, not := range []Category{Heterogeneous, NonContinuous, EventBased} {
+		if c.Has(not) {
+			t.Errorf("CD audio wrongly has %v", not)
+		}
+	}
+}
+
+func TestClassifyCompressedVideoConstantFrequency(t *testing.T) {
+	// vjpg PAL video: homogeneous, continuous, constant frequency, but
+	// variable element sizes → not constant data rate, not uniform.
+	ty := media.PALVideoType(640, 480, media.QualityVHS, media.EncodingVJPG)
+	var elems []Element
+	for i := 0; i < 25; i++ {
+		elems = append(elems, Element{Start: int64(i), Dur: 1, Size: int64(19000 + i*7)})
+	}
+	s := MustNew(ty, elems)
+	c := s.Classify()
+	if !c.Has(Homogeneous | Continuous | ConstantFrequency) {
+		t.Errorf("categories = %v", c)
+	}
+	if c.Has(ConstantDataRate) || c.Has(Uniform) {
+		t.Errorf("variable-size video must not be constant-data-rate/uniform: %v", c)
+	}
+}
+
+func TestClassifyHeterogeneousVMPG(t *testing.T) {
+	// vmpg: key frames carry element descriptors → heterogeneous.
+	ty := media.PALVideoType(640, 480, media.QualityVHS, media.EncodingVMPG)
+	var elems []Element
+	for i := 0; i < 12; i++ {
+		e := Element{Start: int64(i), Dur: 1, Size: 5000}
+		if i%6 == 0 {
+			e.Desc = media.ElementDescriptor{Key: true}
+			e.Size = 20000
+		}
+		elems = append(elems, e)
+	}
+	s := MustNew(ty, elems)
+	c := s.Classify()
+	if !c.Has(Heterogeneous) || c.Has(Homogeneous) {
+		t.Errorf("vmpg categories = %v", c)
+	}
+}
+
+func TestClassifyEventBasedMIDI(t *testing.T) {
+	s := MustNew(media.MIDIType(), []Element{{Start: 0}, {Start: 480}, {Start: 960}})
+	c := s.Classify()
+	if !c.Has(EventBased) {
+		t.Errorf("MIDI categories = %v", c)
+	}
+	if !c.Has(NonContinuous) {
+		t.Errorf("spaced events are non-continuous: %v", c)
+	}
+}
+
+func TestClassifyNonContinuousAnimation(t *testing.T) {
+	// Animation: gaps while the object is at rest, overlaps for
+	// simultaneous movements (the paper's music chord example too).
+	ty := media.AnimationType(320, 200, media.PALVideoType(1, 1, 0, media.EncodingRawRGB).Time)
+	s := MustNew(ty, []Element{
+		{Start: 0, Dur: 10, Size: 64},
+		{Start: 5, Dur: 10, Size: 64}, // overlap
+		{Start: 40, Dur: 10, Size: 64},
+	})
+	c := s.Classify()
+	if !c.Has(NonContinuous) || c.Has(Continuous) {
+		t.Errorf("animation categories = %v", c)
+	}
+	gaps := s.Gaps()
+	if len(gaps) != 1 || gaps[0] != (Gap{From: 15, To: 40}) {
+		t.Errorf("gaps = %v", gaps)
+	}
+	ovl := s.Overlaps()
+	if len(ovl) != 1 || ovl[0] != (Overlap{I: 0, J: 1}) {
+		t.Errorf("overlaps = %v", ovl)
+	}
+}
+
+func TestClassifyConstantDataRateVariableDuration(t *testing.T) {
+	// Elements with varying duration but fixed size/duration ratio:
+	// constant data rate but not constant frequency.
+	ty := editType()
+	s := MustNew(ty, []Element{
+		{Start: 0, Dur: 1, Size: 100},
+		{Start: 1, Dur: 2, Size: 200},
+		{Start: 3, Dur: 4, Size: 400},
+	})
+	c := s.Classify()
+	if !c.Has(ConstantDataRate) {
+		t.Errorf("categories = %v", c)
+	}
+	if c.Has(ConstantFrequency) || c.Has(Uniform) {
+		t.Errorf("variable duration must not be constant-frequency: %v", c)
+	}
+}
+
+func TestClassifyEmptyAndSingleton(t *testing.T) {
+	ty := editType()
+	s := MustNew(ty, nil)
+	c := s.Classify()
+	if !c.Has(Homogeneous|Continuous) || c.Has(EventBased) {
+		t.Errorf("empty stream categories = %v", c)
+	}
+	s = MustNew(ty, []Element{{Start: 0, Dur: 1, Size: 10}})
+	c = s.Classify()
+	if !c.Has(Uniform | ConstantFrequency | ConstantDataRate | Continuous | Homogeneous) {
+		t.Errorf("singleton categories = %v", c)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	c := Homogeneous | Continuous | Uniform
+	s := c.String()
+	for _, want := range []string{"homogeneous", "continuous", "uniform"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if Category(0).String() != "(none)" {
+		t.Errorf("zero category = %q", Category(0).String())
+	}
+}
+
+// randomStream builds a structurally valid stream from fuzz inputs.
+func randomStream(seed int64, n int) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	ty := editType()
+	var elems []Element
+	start := int64(0)
+	for i := 0; i < n; i++ {
+		dur := rng.Int63n(4) // includes 0 durations
+		elems = append(elems, Element{
+			Start: start,
+			Dur:   dur,
+			Size:  rng.Int63n(1000),
+			Desc:  media.ElementDescriptor{Key: rng.Intn(2) == 0},
+		})
+		start += rng.Int63n(5)
+	}
+	return MustNew(ty, elems)
+}
+
+func TestClassifyLatticeProperty(t *testing.T) {
+	// Figure 1 lattice invariants, checked on random streams:
+	//   uniform ⇒ constant data rate ∧ constant frequency
+	//   constant data rate ⇒ continuous
+	//   constant frequency ⇒ continuous
+	//   continuous XOR non-continuous
+	//   homogeneous XOR heterogeneous
+	f := func(seed int64, n uint8) bool {
+		s := randomStream(seed, int(n%64))
+		c := s.Classify()
+		if c.Has(Uniform) && (!c.Has(ConstantDataRate) || !c.Has(ConstantFrequency)) {
+			return false
+		}
+		if c.Has(ConstantDataRate) && !c.Has(Continuous) {
+			return false
+		}
+		if c.Has(ConstantFrequency) && !c.Has(Continuous) {
+			return false
+		}
+		if c.Has(Continuous) == c.Has(NonContinuous) {
+			return false
+		}
+		if c.Has(Homogeneous) == c.Has(Heterogeneous) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGapsNoneWhenContinuous(t *testing.T) {
+	s := MustNew(media.CDAudioType(), cdElems(50))
+	if g := s.Gaps(); g != nil {
+		t.Errorf("continuous stream has gaps: %v", g)
+	}
+	if o := s.Overlaps(); o != nil {
+		t.Errorf("continuous stream has overlaps: %v", o)
+	}
+}
+
+func TestGapsCoverageProperty(t *testing.T) {
+	// Every reported gap must be uncovered; every inter-element point
+	// not in a gap must be covered.
+	f := func(seed int64, n uint8) bool {
+		s := randomStream(seed, int(n%32)+2)
+		gaps := s.Gaps()
+		covered := func(t int64) bool {
+			for i := 0; i < s.Len(); i++ {
+				e := s.At(i)
+				if e.Start <= t && t < e.End() {
+					return true
+				}
+			}
+			return false
+		}
+		for _, g := range gaps {
+			if g.From >= g.To {
+				return false
+			}
+			for _, probe := range []int64{g.From, g.To - 1, (g.From + g.To) / 2} {
+				if covered(probe) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Operation errors.
+var (
+	ErrScaleFactor = errors.New("stream: scale factor must be positive")
+	ErrEmptySlice  = errors.New("stream: slice selects no elements")
+)
+
+// Slice returns a new stream containing the elements whose intervals
+// intersect [from, to), with start times preserved (not re-based).
+// Used by edit-list derivations to select subsequences.
+func (s *Stream) Slice(from, to int64) (*Stream, error) {
+	var sel []Element
+	for _, e := range s.elems {
+		if e.Start >= to {
+			break
+		}
+		covers := e.End() > from || (e.Dur == 0 && e.Start >= from)
+		if covers && e.Start < to {
+			sel = append(sel, e)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrEmptySlice, from, to)
+	}
+	return New(s.typ, sel)
+}
+
+// Translate returns a new stream with every start time shifted by
+// delta ticks — the paper's "temporally translating a sequence (i.e.,
+// uniformly incrementing element start times)", a timing-changing
+// derivation applicable to all time-based media.
+func (s *Stream) Translate(delta int64) (*Stream, error) {
+	out := make([]Element, len(s.elems))
+	for i, e := range s.elems {
+		e.Start += delta
+		out[i] = e
+	}
+	return New(s.typ, out)
+}
+
+// Scale returns a new stream with start times and durations uniformly
+// scaled by num/den — the paper's "scaling (i.e., uniformly scaling
+// element durations and start times)". Rounding is half away from
+// zero per element; constant-duration type constraints may reject the
+// result, in which case the caller should scale into an unconstrained
+// edit type first.
+func (s *Stream) Scale(num, den int64) (*Stream, error) {
+	if num <= 0 || den <= 0 {
+		return nil, ErrScaleFactor
+	}
+	out := make([]Element, len(s.elems))
+	for i, e := range s.elems {
+		e.Start = scaleRound(e.Start, num, den)
+		e.Dur = scaleRound(e.Dur, num, den)
+		out[i] = e
+	}
+	return New(s.typ, out)
+}
+
+// Rebase returns a new stream translated so its first element starts
+// at zero.
+func (s *Stream) Rebase() (*Stream, error) {
+	if len(s.elems) == 0 {
+		return New(s.typ, nil)
+	}
+	return s.Translate(-s.elems[0].Start)
+}
+
+// Concat returns a new stream that appends t's elements after s,
+// re-timing t so it begins exactly where s ends. Both streams must
+// share the same media type.
+func (s *Stream) Concat(t *Stream) (*Stream, error) {
+	if s.typ != t.typ {
+		return nil, fmt.Errorf("stream: cannot concatenate %s with %s (type mismatch)", s.typ, t.typ)
+	}
+	_, end := s.Span()
+	tt, err := t.Rebase()
+	if err != nil {
+		return nil, err
+	}
+	tt, err = tt.Translate(end)
+	if err != nil {
+		return nil, err
+	}
+	return New(s.typ, append(s.Elements(), tt.elems...))
+}
+
+func scaleRound(v, num, den int64) int64 {
+	p := v * num
+	q := p / den
+	r := p % den
+	if r < 0 {
+		r = -r
+	}
+	if 2*r >= den {
+		if p < 0 {
+			q--
+		} else if p%den != 0 {
+			q++
+		}
+	}
+	return q
+}

@@ -1,0 +1,281 @@
+// Package stream implements timed streams, the central abstraction of
+// Gibbs et al., "Data Modeling of Time-Based Media" (SIGMOD 1994).
+//
+// A timed stream (Definition 3) is a finite sequence of tuples
+// <e_i, s_i, d_i>, i = 1..n, over a media type T and a discrete time
+// system D: e_i are media elements of T, s_i is the start time of e_i
+// and d_i its duration, both measured in ticks of D, subject to
+//
+//	s_{i+1} >= s_i   and   d_i >= 0.
+//
+// The package stores element *metadata* only — start, duration,
+// encoded size, and element descriptor. Element payloads stay in BLOBs
+// and are reached through interpretations (package interp), keeping
+// physical placement hidden behind the stream abstraction as the paper
+// requires.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// Validation errors.
+var (
+	ErrNilType          = errors.New("stream: nil media type")
+	ErrUnsortedStarts   = errors.New("stream: start times must be non-decreasing (s_{i+1} >= s_i)")
+	ErrNegativeDuration = errors.New("stream: element durations must be non-negative (d_i >= 0)")
+	ErrNegativeSize     = errors.New("stream: element sizes must be non-negative")
+	ErrConstraint       = errors.New("stream: media type constraint violated")
+)
+
+// Element is one tuple <e, s, d> of a timed stream, describing a media
+// element without holding its payload.
+type Element struct {
+	// Start is s_i: when the element should be presented, in ticks of
+	// the stream's time system. Note the paper's distinction from
+	// temporal databases: this is scheduling information, not the
+	// capture timestamp.
+	Start int64
+	// Dur is d_i: the element's duration in ticks. Zero for
+	// duration-less events (MIDI).
+	Dur int64
+	// Size is the element's encoded size in bytes. Variable under
+	// compression; zero when not applicable (e.g. symbolic events
+	// whose size is implicit).
+	Size int64
+	// Desc is the element descriptor, zero for homogeneous streams.
+	Desc media.ElementDescriptor
+}
+
+// End returns s_i + d_i.
+func (e Element) End() int64 { return e.Start + e.Dur }
+
+// Stream is a timed stream: an immutable sequence of elements over a
+// media type. Construct with New or a Builder.
+type Stream struct {
+	typ   *media.Type
+	elems []Element
+}
+
+// New constructs a timed stream from elements, validating both the
+// base invariants of Definition 3 and the media type's structural
+// constraints. The element slice is copied.
+func New(typ *media.Type, elems []Element) (*Stream, error) {
+	s := &Stream{typ: typ, elems: append([]Element(nil), elems...)}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and known-good data.
+func MustNew(typ *media.Type, elems []Element) *Stream {
+	s, err := New(typ, elems)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Type returns the stream's media type.
+func (s *Stream) Type() *media.Type { return s.typ }
+
+// TimeSystem returns the stream's discrete time system.
+func (s *Stream) TimeSystem() timebase.System { return s.typ.Time }
+
+// Len returns the number of elements n.
+func (s *Stream) Len() int { return len(s.elems) }
+
+// At returns element i (0-based). It panics if i is out of range, like
+// a slice index.
+func (s *Stream) At(i int) Element { return s.elems[i] }
+
+// Elements returns a copy of the element sequence.
+func (s *Stream) Elements() []Element { return append([]Element(nil), s.elems...) }
+
+// Span returns the first start time and the last end time: the stream
+// occupies [s_1, s_n + d_n). Both are zero for an empty stream.
+func (s *Stream) Span() (from, to int64) {
+	if len(s.elems) == 0 {
+		return 0, 0
+	}
+	from = s.elems[0].Start
+	// Durations may overlap, so the span end is the max end time, not
+	// necessarily the last element's.
+	for _, e := range s.elems {
+		if e.End() > to {
+			to = e.End()
+		}
+	}
+	return from, to
+}
+
+// Duration returns the span length in ticks.
+func (s *Stream) Duration() int64 {
+	from, to := s.Span()
+	return to - from
+}
+
+// TotalSize returns the sum of element sizes in bytes.
+func (s *Stream) TotalSize() int64 {
+	var n int64
+	for _, e := range s.elems {
+		n += e.Size
+	}
+	return n
+}
+
+// Validate checks the Definition 3 invariants and the media type's
+// stream constraints. Streams built with New are always valid;
+// Validate is exported for callers that deserialize streams.
+func (s *Stream) Validate() error {
+	if s.typ == nil {
+		return ErrNilType
+	}
+	for i, e := range s.elems {
+		if e.Dur < 0 {
+			return fmt.Errorf("%w: element %d has d=%d", ErrNegativeDuration, i, e.Dur)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("%w: element %d has size=%d", ErrNegativeSize, i, e.Size)
+		}
+		if i > 0 && e.Start < s.elems[i-1].Start {
+			return fmt.Errorf("%w: s_%d=%d < s_%d=%d", ErrUnsortedStarts, i+1, e.Start, i, s.elems[i-1].Start)
+		}
+	}
+	return s.checkConstraint()
+}
+
+func (s *Stream) checkConstraint() error {
+	c := s.typ.Constraint
+	for i, e := range s.elems {
+		if c.EventBased && e.Dur != 0 {
+			return fmt.Errorf("%w (%s): element %d has nonzero duration in event-based type", ErrConstraint, s.typ, i)
+		}
+		if c.ConstantDuration > 0 && e.Dur != c.ConstantDuration {
+			return fmt.Errorf("%w (%s): element %d has d=%d, type requires %d", ErrConstraint, s.typ, i, e.Dur, c.ConstantDuration)
+		}
+		if c.ConstantElementSize > 0 && e.Size != int64(c.ConstantElementSize) {
+			return fmt.Errorf("%w (%s): element %d has size=%d, type requires %d", ErrConstraint, s.typ, i, e.Size, c.ConstantElementSize)
+		}
+		if c.Homogeneous && !e.Desc.Zero() {
+			return fmt.Errorf("%w (%s): element %d carries a descriptor in a homogeneous type", ErrConstraint, s.typ, i)
+		}
+		if c.RequireContinuous && i > 0 {
+			prev := s.elems[i-1]
+			if e.Start != prev.Start+prev.Dur {
+				return fmt.Errorf("%w (%s): s_%d=%d != s_%d+d_%d=%d (continuity)",
+					ErrConstraint, s.typ, i+1, e.Start, i, i, prev.Start+prev.Dur)
+			}
+		}
+	}
+	return nil
+}
+
+// IndexAt returns the index of the element whose interval [s_i, s_i+d_i)
+// contains time t, preferring the earliest such element. For
+// event-based streams it returns the latest event with s_i <= t. The
+// second result is false when no element covers t.
+//
+// Lookup is O(log n) thanks to the sortedness invariant.
+func (s *Stream) IndexAt(t int64) (int, bool) {
+	n := len(s.elems)
+	if n == 0 {
+		return 0, false
+	}
+	// First element with Start > t, then step back.
+	i := sort.Search(n, func(i int) bool { return s.elems[i].Start > t })
+	// Scan back over elements starting at or before t; overlaps mean
+	// more than one may cover t — return the earliest. Starts are
+	// sorted, so all candidates share Start <= t.
+	found := -1
+	for j := i - 1; j >= 0; j-- {
+		e := s.elems[j]
+		if e.Start <= t && (t < e.End() || (e.Dur == 0 && e.Start == t)) {
+			found = j
+		}
+		// Once starts drop far enough that no earlier element could
+		// still cover t we could stop, but durations vary; bound the
+		// scan by remembering the earliest covering element and
+		// stopping when starts pass below t minus the max duration
+		// seen. For simplicity and because overlap runs are short in
+		// practice, stop when we have a hit and the next start is
+		// strictly smaller than the hit's start and does not cover t.
+		if found != -1 && e.Start < s.elems[found].Start && t >= e.End() {
+			break
+		}
+	}
+	if found == -1 {
+		// Event-based convenience: latest event at or before t.
+		if s.typ.Constraint.EventBased && i > 0 {
+			return i - 1, true
+		}
+		return 0, false
+	}
+	return found, true
+}
+
+// String renders a summary like "timed stream [cd-audio, n=44100,
+// span=[0,44100), 176400 B]".
+func (s *Stream) String() string {
+	from, to := s.Span()
+	return fmt.Sprintf("timed stream [%s, n=%d, span=[%d,%d), %d B]",
+		s.typ, len(s.elems), from, to, s.TotalSize())
+}
+
+// Builder accumulates elements and produces a validated Stream. The
+// zero value is unusable; construct with NewBuilder.
+type Builder struct {
+	typ   *media.Type
+	elems []Element
+	err   error
+}
+
+// NewBuilder returns a Builder for the given media type.
+func NewBuilder(typ *media.Type) *Builder {
+	b := &Builder{typ: typ}
+	if typ == nil {
+		b.err = ErrNilType
+	}
+	return b
+}
+
+// Append adds an element; errors are deferred to Build.
+func (b *Builder) Append(e Element) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.elems = append(b.elems, e)
+	return b
+}
+
+// AppendRun appends count contiguous elements of equal duration and
+// size, starting where the stream currently ends (or at 0 when empty).
+// Convenient for constant-frequency media.
+func (b *Builder) AppendRun(count int, dur, size int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	start := int64(0)
+	if n := len(b.elems); n > 0 {
+		start = b.elems[n-1].End()
+	}
+	for i := 0; i < count; i++ {
+		b.elems = append(b.elems, Element{Start: start, Dur: dur, Size: size})
+		start += dur
+	}
+	return b
+}
+
+// Build validates and returns the stream.
+func (b *Builder) Build() (*Stream, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return New(b.typ, b.elems)
+}

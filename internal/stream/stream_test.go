@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/media"
+	"timedmedia/internal/timebase"
+)
+
+// editType returns an unconstrained video-like type usable for
+// arbitrary element sequences in tests.
+func editType() *media.Type {
+	return &media.Type{Name: "test-free", Kind: media.KindVideo, Time: timebase.PAL}
+}
+
+func cdElems(n int) []Element {
+	out := make([]Element, n)
+	for i := range out {
+		out[i] = Element{Start: int64(i), Dur: 1, Size: 4}
+	}
+	return out
+}
+
+func TestNewValidCDAudio(t *testing.T) {
+	s, err := New(media.CDAudioType(), cdElems(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 {
+		t.Errorf("len = %d", s.Len())
+	}
+	from, to := s.Span()
+	if from != 0 || to != 100 {
+		t.Errorf("span = [%d,%d)", from, to)
+	}
+	if s.Duration() != 100 {
+		t.Errorf("duration = %d", s.Duration())
+	}
+	if s.TotalSize() != 400 {
+		t.Errorf("total size = %d", s.TotalSize())
+	}
+}
+
+func TestNewRejectsNilType(t *testing.T) {
+	if _, err := New(nil, nil); !errors.Is(err, ErrNilType) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewRejectsUnsortedStarts(t *testing.T) {
+	elems := []Element{{Start: 5, Dur: 1}, {Start: 3, Dur: 1}}
+	if _, err := New(editType(), elems); !errors.Is(err, ErrUnsortedStarts) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewRejectsNegativeDuration(t *testing.T) {
+	elems := []Element{{Start: 0, Dur: -1}}
+	if _, err := New(editType(), elems); !errors.Is(err, ErrNegativeDuration) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewRejectsNegativeSize(t *testing.T) {
+	elems := []Element{{Start: 0, Dur: 1, Size: -4}}
+	if _, err := New(editType(), elems); !errors.Is(err, ErrNegativeSize) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConstraintContinuity(t *testing.T) {
+	// CD audio requires s_{i+1} = s_i + d_i (Section 3.3).
+	elems := cdElems(10)
+	elems[9].Start = 100 // introduce a gap before the last element
+	_, err := New(media.CDAudioType(), elems)
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("gap in CD audio: err = %v", err)
+	}
+}
+
+func TestConstraintConstantDuration(t *testing.T) {
+	elems := cdElems(10)
+	elems[3].Dur = 2
+	_, err := New(media.CDAudioType(), elems)
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("d=2 in CD audio: err = %v", err)
+	}
+}
+
+func TestConstraintConstantSize(t *testing.T) {
+	elems := cdElems(10)
+	elems[7].Size = 8
+	_, err := New(media.CDAudioType(), elems)
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("size=8 in CD audio: err = %v", err)
+	}
+}
+
+func TestConstraintHomogeneous(t *testing.T) {
+	elems := cdElems(10)
+	elems[2].Desc = media.ElementDescriptor{Key: true}
+	_, err := New(media.CDAudioType(), elems)
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("descriptor in homogeneous type: err = %v", err)
+	}
+}
+
+func TestConstraintEventBased(t *testing.T) {
+	elems := []Element{{Start: 0, Dur: 5}}
+	_, err := New(media.MIDIType(), elems)
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("nonzero duration in MIDI: err = %v", err)
+	}
+	if _, err := New(media.MIDIType(), []Element{{Start: 0}, {Start: 480}}); err != nil {
+		t.Errorf("valid MIDI stream rejected: %v", err)
+	}
+}
+
+func TestIndexAtContinuous(t *testing.T) {
+	s := MustNew(media.CDAudioType(), cdElems(100))
+	cases := []struct {
+		t    int64
+		want int
+		ok   bool
+	}{
+		{0, 0, true}, {1, 1, true}, {99, 99, true}, {100, 0, false}, {-1, 0, false}, {50, 50, true},
+	}
+	for _, c := range cases {
+		got, ok := s.IndexAt(c.t)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("IndexAt(%d) = %d,%v; want %d,%v", c.t, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIndexAtWithGaps(t *testing.T) {
+	ty := editType()
+	s := MustNew(ty, []Element{
+		{Start: 0, Dur: 10},
+		{Start: 20, Dur: 10},
+	})
+	if i, ok := s.IndexAt(5); !ok || i != 0 {
+		t.Errorf("IndexAt(5) = %d,%v", i, ok)
+	}
+	if _, ok := s.IndexAt(15); ok {
+		t.Error("IndexAt(15) should miss (gap)")
+	}
+	if i, ok := s.IndexAt(25); !ok || i != 1 {
+		t.Errorf("IndexAt(25) = %d,%v", i, ok)
+	}
+}
+
+func TestIndexAtOverlaps(t *testing.T) {
+	ty := editType()
+	// Two overlapping elements (a chord): prefer the earliest.
+	s := MustNew(ty, []Element{
+		{Start: 0, Dur: 100},
+		{Start: 50, Dur: 100},
+	})
+	if i, ok := s.IndexAt(60); !ok || i != 0 {
+		t.Errorf("IndexAt(60) = %d,%v; want 0,true", i, ok)
+	}
+	if i, ok := s.IndexAt(120); !ok || i != 1 {
+		t.Errorf("IndexAt(120) = %d,%v; want 1,true", i, ok)
+	}
+}
+
+func TestIndexAtEventBased(t *testing.T) {
+	s := MustNew(media.MIDIType(), []Element{{Start: 0}, {Start: 480}, {Start: 960}})
+	if i, ok := s.IndexAt(480); !ok || i != 1 {
+		t.Errorf("IndexAt(480) = %d,%v", i, ok)
+	}
+	// Between events: latest event at or before t.
+	if i, ok := s.IndexAt(700); !ok || i != 1 {
+		t.Errorf("IndexAt(700) = %d,%v; want 1,true", i, ok)
+	}
+}
+
+func TestBuilderAppendRun(t *testing.T) {
+	s, err := NewBuilder(media.CDAudioType()).AppendRun(50, 1, 4).AppendRun(50, 1, 4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.At(99).Start != 99 {
+		t.Errorf("last start = %d", s.At(99).Start)
+	}
+}
+
+func TestBuilderNilType(t *testing.T) {
+	if _, err := NewBuilder(nil).Append(Element{}).Build(); !errors.Is(err, ErrNilType) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpanWithOverlappingTail(t *testing.T) {
+	ty := editType()
+	s := MustNew(ty, []Element{
+		{Start: 0, Dur: 100}, // long element
+		{Start: 10, Dur: 5},  // short overlap that ends earlier
+	})
+	from, to := s.Span()
+	if from != 0 || to != 100 {
+		t.Errorf("span = [%d,%d), want [0,100)", from, to)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := MustNew(media.CDAudioType(), cdElems(10))
+	str := s.String()
+	for _, want := range []string{"cd-audio", "n=10", "span=[0,10)", "40 B"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestElementsCopy(t *testing.T) {
+	s := MustNew(media.CDAudioType(), cdElems(3))
+	es := s.Elements()
+	es[0].Start = 999
+	if s.At(0).Start == 999 {
+		t.Error("Elements() must return a copy")
+	}
+}

@@ -1,0 +1,201 @@
+// Package synth implements the paper's type-changing derivations:
+// synthesis of audio from music ("the synthesis of an audio object
+// from a MIDI object") and of video from animation ("the synthesis of
+// a video object via rendering an animation sequence") — Section 4.2
+// and the Conclusion's treatment of symbolic media.
+//
+// The synthesizer is a small additive software instrument bank; the
+// renderer drives anim.Scene. Fidelity is deliberately modest — the
+// data model cares about the *mapping* (types, parameters, timing),
+// not audiophile output (DESIGN.md §5).
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"timedmedia/internal/anim"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/music"
+	"timedmedia/internal/timebase"
+)
+
+// Errors.
+var (
+	ErrBadTempo   = errors.New("synth: tempo must be positive")
+	ErrBadRate    = errors.New("synth: invalid sample rate")
+	ErrBadChannel = errors.New("synth: channel mapping references channel > 15")
+)
+
+// Instrument shapes the tone of one MIDI channel.
+type Instrument struct {
+	// Name for display.
+	Name string
+	// Harmonics are relative amplitudes of the first N partials.
+	Harmonics []float64
+	// Attack and Release are envelope times in seconds.
+	Attack, Release float64
+}
+
+// Builtin instruments.
+var (
+	Piano  = Instrument{Name: "piano", Harmonics: []float64{1, 0.5, 0.25, 0.12}, Attack: 0.005, Release: 0.2}
+	Organ  = Instrument{Name: "organ", Harmonics: []float64{1, 0.8, 0.6, 0.4, 0.2}, Attack: 0.02, Release: 0.05}
+	Violin = Instrument{Name: "violin", Harmonics: []float64{1, 0.7, 0.5, 0.35, 0.2, 0.1}, Attack: 0.08, Release: 0.15}
+)
+
+// Params are the MIDI-synthesis derivation parameters the paper lists:
+// "Parameters are tempo, MIDI channel mappings and instrument
+// parameters."
+type Params struct {
+	// TempoBPM sets quarter notes per minute (the music sequence's
+	// division is pulses; 480 pulses = one quarter at the default).
+	TempoBPM float64
+	// SampleRate is the output audio time system.
+	SampleRate timebase.System
+	// Channels is the output channel count (1 or 2).
+	Channels int
+	// ChannelInstruments maps MIDI channel → instrument; unmapped
+	// channels use Piano.
+	ChannelInstruments map[uint8]Instrument
+	// Gain scales the mix (0..1].
+	Gain float64
+}
+
+// DefaultParams returns CD-rate stereo piano synthesis at 120 BPM.
+func DefaultParams() Params {
+	return Params{TempoBPM: 120, SampleRate: timebase.CDAudio, Channels: 2, Gain: 0.5}
+}
+
+// Synthesize renders a music sequence to PCM audio. The result length
+// covers the last note-off plus the longest release tail.
+func Synthesize(seq *music.Sequence, p Params) (*audio.Buffer, error) {
+	if p.TempoBPM <= 0 {
+		return nil, ErrBadTempo
+	}
+	if !p.SampleRate.Valid() {
+		return nil, ErrBadRate
+	}
+	if p.Channels != 1 && p.Channels != 2 {
+		return nil, fmt.Errorf("synth: channels must be 1 or 2, got %d", p.Channels)
+	}
+	if p.Gain <= 0 {
+		p.Gain = 0.5
+	}
+	for ch := range p.ChannelInstruments {
+		if ch > 15 {
+			return nil, ErrBadChannel
+		}
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	notes, err := seq.Notes()
+	if err != nil {
+		return nil, err
+	}
+	rate := p.SampleRate.Frequency()
+	// Pulse timing honors in-sequence Tempo events; TempoBPM sets the
+	// initial tempo (the division is calibrated at 480 PPQ).
+	tm := music.NewTempoMap(seq, p.TempoBPM)
+
+	maxRelease := 0.0
+	for _, inst := range p.ChannelInstruments {
+		if inst.Release > maxRelease {
+			maxRelease = inst.Release
+		}
+	}
+	if Piano.Release > maxRelease {
+		maxRelease = Piano.Release
+	}
+	totalSec := tm.Seconds(seq.Duration()) + maxRelease
+	frames := int(math.Ceil(totalSec * rate))
+	if frames <= 0 {
+		frames = 1
+	}
+	mix := make([]float64, frames)
+	for _, n := range notes {
+		inst, ok := p.ChannelInstruments[n.Channel]
+		if !ok {
+			inst = Piano
+		}
+		renderNote(mix, n, inst, tm, rate)
+	}
+	out := audio.NewBuffer(frames, p.Channels)
+	for i, v := range mix {
+		s := v * p.Gain * math.MaxInt16
+		if s > math.MaxInt16 {
+			s = math.MaxInt16
+		}
+		if s < math.MinInt16 {
+			s = math.MinInt16
+		}
+		for c := 0; c < p.Channels; c++ {
+			out.Samples[i*p.Channels+c] = int16(s)
+		}
+	}
+	return out, nil
+}
+
+// renderNote adds one note's waveform into the mix.
+func renderNote(mix []float64, n music.Note, inst Instrument, tm *music.TempoMap, rate float64) {
+	freq := keyFreq(n.Key)
+	startSec := tm.Seconds(n.Tick)
+	durSec := tm.DurationSeconds(n.Tick, n.Dur)
+	amp := float64(n.Velocity) / 127
+	start := int(startSec * rate)
+	sustain := int(durSec * rate)
+	release := int(inst.Release * rate)
+	attack := int(inst.Attack * rate)
+	if attack < 1 {
+		attack = 1
+	}
+	total := sustain + release
+	for i := 0; i < total; i++ {
+		idx := start + i
+		if idx < 0 || idx >= len(mix) {
+			continue
+		}
+		env := 1.0
+		if i < attack {
+			env = float64(i) / float64(attack)
+		}
+		if i >= sustain {
+			env *= 1 - float64(i-sustain)/float64(release+1)
+		}
+		t := float64(i) / rate
+		var v float64
+		for h, ha := range inst.Harmonics {
+			v += ha * math.Sin(2*math.Pi*freq*float64(h+1)*t)
+		}
+		mix[idx] += amp * env * v / float64(len(inst.Harmonics))
+	}
+}
+
+// keyFreq converts a MIDI key number to Hz (A4 = key 69 = 440 Hz).
+func keyFreq(key uint8) float64 {
+	return 440 * math.Pow(2, (float64(key)-69)/12)
+}
+
+// RenderAnimation renders an animation scene to a video frame
+// sequence at its frame rate — the animation→video derivation.
+// fromTick/toTick bound the rendered range; toTick <= 0 means the
+// scene's full duration.
+func RenderAnimation(scene *anim.Scene, fromTick, toTick int64) ([]*frame.Frame, error) {
+	if err := scene.Validate(); err != nil {
+		return nil, err
+	}
+	if toTick <= 0 {
+		toTick = scene.Duration() + 1
+	}
+	if fromTick < 0 || fromTick >= toTick {
+		return nil, fmt.Errorf("synth: bad render range [%d,%d)", fromTick, toTick)
+	}
+	out := make([]*frame.Frame, 0, toTick-fromTick)
+	for t := fromTick; t < toTick; t++ {
+		out = append(out, scene.Render(t))
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"timedmedia/internal/anim"
+	"timedmedia/internal/audio"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/music"
+	"timedmedia/internal/timebase"
+)
+
+func TestKeyFreq(t *testing.T) {
+	if f := keyFreq(69); math.Abs(f-440) > 1e-9 {
+		t.Errorf("A4 = %v", f)
+	}
+	if f := keyFreq(81); math.Abs(f-880) > 1e-9 {
+		t.Errorf("A5 = %v", f)
+	}
+	if f := keyFreq(60); math.Abs(f-261.6256) > 0.01 {
+		t.Errorf("C4 = %v", f)
+	}
+}
+
+func TestSynthesizeProducesAudio(t *testing.T) {
+	seq := music.Scale(60, 4, 0)
+	buf, err := Synthesize(seq, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 beats at 120 BPM = 2 s → ≈88200 frames at 44.1 kHz + release.
+	if buf.Frames() < 88200 || buf.Frames() > 99225 {
+		t.Errorf("frames = %d", buf.Frames())
+	}
+	if buf.Peak() < 1000 {
+		t.Errorf("peak = %d — synthesis produced silence?", buf.Peak())
+	}
+	if buf.Channels != 2 {
+		t.Errorf("channels = %d", buf.Channels)
+	}
+}
+
+func TestSynthesizeDominantFrequency(t *testing.T) {
+	// A single A4 note must put most energy near 440 Hz: verify via
+	// zero-crossing rate ≈ 2*f.
+	seq := music.NewSequence()
+	seq.AddNote(0, 960, 0, 69, 127) // 2 beats of A4
+	p := DefaultParams()
+	p.Channels = 1
+	p.ChannelInstruments = map[uint8]Instrument{0: {Name: "sine", Harmonics: []float64{1}, Attack: 0.001, Release: 0.01}}
+	buf, err := Synthesize(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inspect the steady middle second.
+	mid := buf.Slice(11025, 33075)
+	zc := 0
+	for i := 1; i < len(mid.Samples); i++ {
+		if (mid.Samples[i-1] < 0) != (mid.Samples[i] < 0) {
+			zc++
+		}
+	}
+	rate := float64(zc) / 2 / 0.5 // crossings per second / 2
+	if math.Abs(rate-440) > 10 {
+		t.Errorf("dominant frequency ≈ %v Hz, want 440", rate)
+	}
+}
+
+func TestTempoChangesDuration(t *testing.T) {
+	seq := music.Scale(60, 4, 0)
+	slow := DefaultParams()
+	slow.TempoBPM = 60
+	fast := DefaultParams()
+	fast.TempoBPM = 240
+	bs, err := Synthesize(seq, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Synthesize(seq, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Frames() <= 3*bf.Frames() {
+		t.Errorf("slow %d frames vs fast %d — tempo parameter ineffective", bs.Frames(), bf.Frames())
+	}
+}
+
+func TestChannelInstrumentMapping(t *testing.T) {
+	seq := music.NewSequence()
+	seq.AddNote(0, 480, 3, 60, 100)
+	p := DefaultParams()
+	p.Channels = 1
+	p.ChannelInstruments = map[uint8]Instrument{3: Organ}
+	withOrgan, err := Synthesize(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := DefaultParams()
+	p2.Channels = 1
+	asPiano, err := Synthesize(seq, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := withOrgan.Frames()
+	if asPiano.Frames() < n {
+		n = asPiano.Frames()
+	}
+	if audio.SNR(withOrgan.Slice(0, n), asPiano.Slice(0, n)) > 40 {
+		t.Error("instrument mapping made no audible difference")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	seq := music.Scale(60, 2, 0)
+	p := DefaultParams()
+	p.TempoBPM = 0
+	if _, err := Synthesize(seq, p); !errors.Is(err, ErrBadTempo) {
+		t.Errorf("tempo: %v", err)
+	}
+	p = DefaultParams()
+	p.SampleRate = timebase.System{}
+	if _, err := Synthesize(seq, p); !errors.Is(err, ErrBadRate) {
+		t.Errorf("rate: %v", err)
+	}
+	p = DefaultParams()
+	p.Channels = 3
+	if _, err := Synthesize(seq, p); err == nil {
+		t.Error("3 channels must fail")
+	}
+	p = DefaultParams()
+	p.ChannelInstruments = map[uint8]Instrument{16: Piano}
+	if _, err := Synthesize(seq, p); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("channel 16: %v", err)
+	}
+	// Dangling note-on propagates.
+	bad := music.NewSequence()
+	bad.Events = []music.Event{{Tick: 0, Kind: music.NoteOn, Key: 60, Velocity: 100}}
+	if _, err := Synthesize(bad, DefaultParams()); err == nil {
+		t.Error("dangling note must fail")
+	}
+}
+
+func TestRenderAnimation(t *testing.T) {
+	scene := anim.NewScene(32, 24, timebase.PAL)
+	id := scene.AddSprite(4, 4, 255, 255, 255, 0, 0)
+	scene.Move(id, 0, 5, 20, 10)
+	frames, err := RenderAnimation(scene, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	d, _ := frame.MeanAbsDiff(frames[0], frames[5])
+	if d == 0 {
+		t.Error("animation rendered static frames")
+	}
+}
+
+func TestRenderAnimationRange(t *testing.T) {
+	scene := anim.NewScene(16, 16, timebase.PAL)
+	id := scene.AddSprite(2, 2, 9, 9, 9, 0, 0)
+	scene.Move(id, 0, 10, 10, 0)
+	frames, err := RenderAnimation(scene, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Errorf("frames = %d", len(frames))
+	}
+	if _, err := RenderAnimation(scene, 5, 2); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := RenderAnimation(scene, -1, 2); err == nil {
+		t.Error("negative start must fail")
+	}
+}
+
+func TestRenderAnimationValidates(t *testing.T) {
+	scene := anim.NewScene(16, 16, timebase.PAL)
+	scene.Move(42, 0, 5, 1, 1) // unknown sprite
+	if _, err := RenderAnimation(scene, 0, 0); err == nil {
+		t.Error("invalid scene must fail")
+	}
+}
+
+func TestSynthesisHonorsTempoEvents(t *testing.T) {
+	// A note after a mid-piece slowdown starts later than without it.
+	base := music.NewSequence()
+	base.AddNote(960, 480, 0, 60, 100)
+	plain, err := Synthesize(base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed := music.NewSequence()
+	slowed.Events = append(slowed.Events, music.Event{Tick: 0, Kind: music.Tempo, Value: 2_000_000}) // 30 BPM
+	slowed.AddNote(960, 480, 0, 60, 100)
+	slow, err := Synthesize(slowed, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Frames() <= 3*plain.Frames() {
+		t.Errorf("tempo event ignored: plain=%d slow=%d frames", plain.Frames(), slow.Frames())
+	}
+}

@@ -1,0 +1,249 @@
+// Package timebase implements discrete time systems (Definition 2 of
+// Gibbs et al., "Data Modeling of Time-Based Media", SIGMOD 1994).
+//
+// A discrete time system D_f maps integers ("discrete time values",
+// here called ticks) to real numbers ("continuous time values",
+// seconds): D_f(i) = i/f. The frequency f is an exact rational so that
+// broadcast rates such as NTSC's 30000/1001 frames per second carry no
+// rounding error. All stream timing in this repository is expressed as
+// int64 ticks relative to a System.
+package timebase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrOverflow is returned when a conversion between time systems cannot
+// be represented in an int64 without overflow.
+var ErrOverflow = errors.New("timebase: tick conversion overflows int64")
+
+// ErrZeroFrequency is returned when constructing a System whose
+// frequency would be zero or negative.
+var ErrZeroFrequency = errors.New("timebase: frequency must be positive")
+
+// System is a discrete time system D_f with rational frequency
+// Num/Den ticks per second. The zero value is invalid; construct
+// systems with New or use the predefined ones.
+type System struct {
+	// Num and Den define the frequency Num/Den in ticks per second.
+	// Both are positive and the fraction is stored in lowest terms.
+	Num int64
+	Den int64
+}
+
+// New returns the discrete time system with frequency num/den ticks per
+// second, reduced to lowest terms.
+func New(num, den int64) (System, error) {
+	if num <= 0 || den <= 0 {
+		return System{}, ErrZeroFrequency
+	}
+	g := gcd(num, den)
+	return System{Num: num / g, Den: den / g}, nil
+}
+
+// MustNew is New but panics on error. Intended for package-level
+// constants with known-good arguments.
+func MustNew(num, den int64) System {
+	s, err := New(num, den)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Predefined time systems used throughout the paper's examples.
+var (
+	// NTSC is D_29.97, North American video: 30000/1001 frames/s.
+	NTSC = MustNew(30000, 1001)
+	// PAL is D_25, European video: 25 frames/s.
+	PAL = MustNew(25, 1)
+	// Film is D_24: 24 frames/s.
+	Film = MustNew(24, 1)
+	// CDAudio is D_44100: compact disc audio sampling.
+	CDAudio = MustNew(44100, 1)
+	// DATAudio is D_48000: digital audio tape sampling.
+	DATAudio = MustNew(48000, 1)
+	// MIDIPulse is a 480 pulses-per-quarter tick system at 120 BPM,
+	// i.e. 960 ticks per second.
+	MIDIPulse = MustNew(960, 1)
+	// Millis is a millisecond time system, convenient for editing UIs.
+	Millis = MustNew(1000, 1)
+)
+
+// Valid reports whether s was properly constructed.
+func (s System) Valid() bool { return s.Num > 0 && s.Den > 0 }
+
+// Frequency returns the frequency in ticks per second as a float64.
+// Use rational arithmetic (Rescale and friends) wherever exactness
+// matters; Frequency is for display and estimation only.
+func (s System) Frequency() float64 { return float64(s.Num) / float64(s.Den) }
+
+// Seconds returns the continuous time value D_f(ticks) in seconds as a
+// float64. Display/estimation only; see Frequency.
+func (s System) Seconds(ticks int64) float64 {
+	return float64(ticks) * float64(s.Den) / float64(s.Num)
+}
+
+// TickDuration returns the length of one tick in seconds.
+func (s System) TickDuration() float64 { return float64(s.Den) / float64(s.Num) }
+
+// TicksFromSeconds returns the tick count nearest to the given number
+// of seconds (rounding half away from zero).
+func (s System) TicksFromSeconds(sec float64) int64 {
+	return int64(math.Round(sec * float64(s.Num) / float64(s.Den)))
+}
+
+// String renders the system as "D_f" with f in lowest terms, matching
+// the paper's notation (e.g. "D_25", "D_30000/1001").
+func (s System) String() string {
+	if s.Den == 1 {
+		return fmt.Sprintf("D_%d", s.Num)
+	}
+	return fmt.Sprintf("D_%d/%d", s.Num, s.Den)
+}
+
+// Equal reports whether two systems have the same frequency.
+func (s System) Equal(t System) bool { return s.Num == t.Num && s.Den == t.Den }
+
+// Rescale converts a tick count from system `from` to system `to`,
+// rounding half away from zero when the conversion is inexact.
+// It returns ErrOverflow if the result cannot be represented in int64.
+//
+// The conversion is ticks * (to.Num*from.Den) / (to.Den*from.Num),
+// computed with 128-bit intermediate precision.
+func Rescale(ticks int64, from, to System) (int64, error) {
+	if !from.Valid() || !to.Valid() {
+		return 0, ErrZeroFrequency
+	}
+	if ticks == 0 || from.Equal(to) {
+		return ticks, nil
+	}
+	neg := ticks < 0
+	ut := absU64(ticks)
+
+	// numerator factor and denominator, each a product of two positive
+	// int64s; reduce before multiplying to keep magnitudes small.
+	a, b := to.Num, from.Den // numerator parts
+	c, d := to.Den, from.Num // denominator parts
+	if g := gcd(a, c); g > 1 {
+		a, c = a/g, c/g
+	}
+	if g := gcd(a, d); g > 1 {
+		a, d = a/g, d/g
+	}
+	if g := gcd(b, c); g > 1 {
+		b, c = b/g, c/g
+	}
+	if g := gcd(b, d); g > 1 {
+		b, d = b/g, d/g
+	}
+	numHi, numLo := bits.Mul64(uint64(a), uint64(b))
+	if numHi != 0 {
+		return 0, ErrOverflow
+	}
+	denHi, denLo := bits.Mul64(uint64(c), uint64(d))
+	if denHi != 0 {
+		return 0, ErrOverflow
+	}
+	num, den := numLo, denLo
+
+	// q = ut*num/den with rounding, via 128-bit intermediate.
+	hi, lo := bits.Mul64(ut, num)
+	if hi >= den {
+		return 0, ErrOverflow
+	}
+	q, r := bits.Div64(hi, lo, den)
+	// Round half away from zero.
+	if r >= den-r && r != 0 {
+		if q == math.MaxUint64 {
+			return 0, ErrOverflow
+		}
+		q++
+	}
+	if neg {
+		if q > uint64(math.MaxInt64)+1 {
+			return 0, ErrOverflow
+		}
+		if q == uint64(math.MaxInt64)+1 {
+			return math.MinInt64, nil
+		}
+		return -int64(q), nil
+	}
+	if q > uint64(math.MaxInt64) {
+		return 0, ErrOverflow
+	}
+	return int64(q), nil
+}
+
+// MustRescale is Rescale but panics on error.
+func MustRescale(ticks int64, from, to System) int64 {
+	v, err := Rescale(ticks, from, to)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Exact reports whether converting ticks from `from` to `to` is exact
+// (no rounding is needed).
+func Exact(ticks int64, from, to System) bool {
+	if ticks == 0 || from.Equal(to) {
+		return true
+	}
+	fwd, err := Rescale(ticks, from, to)
+	if err != nil {
+		return false
+	}
+	back, err := Rescale(fwd, to, from)
+	if err != nil {
+		return false
+	}
+	if back != ticks {
+		return false
+	}
+	// Round-trip equality is necessary but not sufficient; verify the
+	// remainder directly: ticks*to.Num*from.Den mod (to.Den*from.Num).
+	a, b := to.Num, from.Den
+	c, d := to.Den, from.Num
+	if g := gcd(a, c); g > 1 {
+		a, c = a/g, c/g
+	}
+	if g := gcd(a, d); g > 1 {
+		a, d = a/g, d/g
+	}
+	if g := gcd(b, c); g > 1 {
+		b, c = b/g, c/g
+	}
+	if g := gcd(b, d); g > 1 {
+		b, d = b/g, d/g
+	}
+	numHi, numLo := bits.Mul64(uint64(a), uint64(b))
+	denHi, denLo := bits.Mul64(uint64(c), uint64(d))
+	if numHi != 0 || denHi != 0 {
+		return false
+	}
+	hi, lo := bits.Mul64(absU64(ticks), numLo)
+	if hi >= denLo {
+		return false
+	}
+	_, r := bits.Div64(hi, lo, denLo)
+	return r == 0
+}
+
+// gcd returns the greatest common divisor of two positive int64s.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func absU64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-(v + 1)) + 1
+	}
+	return uint64(v)
+}

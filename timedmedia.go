@@ -1,0 +1,174 @@
+// Package timedmedia is a data model and storage engine for time-based
+// media, reproducing Gibbs, Breiteneder and Tsichritzis, "Data Modeling
+// of Time-Based Media" (SIGMOD 1994).
+//
+// The model's central abstraction is the timed stream: a finite
+// sequence of media elements with start times and durations over a
+// discrete time system. Three media-independent structuring mechanisms
+// connect streams to storage and to each other:
+//
+//   - Interpretation maps an uninterpreted BLOB to media objects,
+//     recording element timing, descriptors and placement.
+//   - Derivation defines media objects as computations over other
+//     media objects plus parameters (edit lists, transitions,
+//     synthesis), stored implicitly and expanded on demand.
+//   - Composition assembles media objects into multimedia objects with
+//     temporal and spatial relationships.
+//
+// Quickstart:
+//
+//	store := timedmedia.NewMemStore()
+//	db := timedmedia.NewDB(store)
+//	id, _ := db.Ingest("clip", timedmedia.VideoValue(frames, timedmedia.PAL), timedmedia.IngestOptions{})
+//	cut, _ := db.SelectDuration(id, "cut", 25, 100)
+//	v, _ := db.Expand(cut)
+//
+// The facade re-exports the library's primary types; the internal
+// packages hold the implementations (internal/stream, internal/interp,
+// internal/derive, internal/compose, internal/catalog, internal/player
+// and the media substrates).
+package timedmedia
+
+import (
+	"timedmedia/internal/audio"
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/compose"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/frame"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/media"
+	"timedmedia/internal/player"
+	"timedmedia/internal/stream"
+	"timedmedia/internal/timebase"
+)
+
+// Core model types.
+type (
+	// DB is the multimedia database (catalog of media, derivation and
+	// multimedia objects over a BLOB store).
+	DB = catalog.DB
+	// IngestOptions configure encoding when storing media.
+	IngestOptions = catalog.IngestOptions
+	// ObjectID identifies a catalog object.
+	ObjectID = core.ID
+	// Object is a catalog entry.
+	Object = core.Object
+	// ComponentRef places an object inside a multimedia object.
+	ComponentRef = core.ComponentRef
+	// Derivation is a derivation object (operator + inputs + params).
+	Derivation = core.Derivation
+
+	// Stream is a timed stream.
+	Stream = stream.Stream
+	// Element is one timed-stream tuple <e, s, d>.
+	Element = stream.Element
+	// Category is the Figure 1 stream-category bit set.
+	Category = stream.Category
+
+	// Interpretation maps a BLOB to media objects.
+	Interpretation = interp.Interpretation
+	// Track is one media object inside an interpretation.
+	Track = interp.Track
+
+	// Multimedia is a composed multimedia object.
+	Multimedia = compose.Multimedia
+	// Region is a spatial placement.
+	Region = compose.Region
+
+	// Value is a materialized media object.
+	Value = derive.Value
+
+	// TimeSystem is a discrete time system D_f.
+	TimeSystem = timebase.System
+
+	// Store is a BLOB store.
+	Store = blob.Store
+
+	// Frame is a raster video frame or still image.
+	Frame = frame.Frame
+	// AudioBuffer holds interleaved PCM samples.
+	AudioBuffer = audio.Buffer
+
+	// PlayerClock abstracts presentation time.
+	PlayerClock = player.Clock
+	// PlayerOptions configure playback.
+	PlayerOptions = player.Options
+	// PlayerReport summarizes a playback run.
+	PlayerReport = player.Report
+	// PlayerSink consumes delivered elements.
+	PlayerSink = player.Sink
+	// PlayerEvent is one element delivery.
+	PlayerEvent = player.Event
+	// PlayerDiscard counts deliveries without keeping payloads.
+	PlayerDiscard = player.Discard
+	// PlayerSinkFunc adapts a function to PlayerSink.
+	PlayerSinkFunc = player.SinkFunc
+)
+
+// Predefined discrete time systems.
+var (
+	// NTSC is D_29.97 (30000/1001 frames per second).
+	NTSC = timebase.NTSC
+	// PAL is D_25.
+	PAL = timebase.PAL
+	// Film is D_24.
+	Film = timebase.Film
+	// CDAudio is D_44100.
+	CDAudio = timebase.CDAudio
+	// Millis is a millisecond axis for composition and editing.
+	Millis = timebase.Millis
+)
+
+// Quality factors.
+const (
+	QualityPreview   = media.QualityPreview
+	QualityVHS       = media.QualityVHS
+	QualityBroadcast = media.QualityBroadcast
+	QualityStudio    = media.QualityStudio
+	QualityCD        = media.QualityCD
+)
+
+// NewMemStore returns an in-memory BLOB store.
+func NewMemStore() Store { return blob.NewMemStore() }
+
+// OpenFileStore opens (creating if necessary) a file-backed BLOB store.
+func OpenFileStore(dir string) (Store, error) { return blob.OpenFileStore(dir) }
+
+// NewDB creates a multimedia database over a store.
+func NewDB(store Store) *DB { return catalog.New(store) }
+
+// LoadDB reloads a database saved with (*DB).Save.
+func LoadDB(dir string, store Store) (*DB, error) { return catalog.Load(dir, store) }
+
+// VideoValue wraps frames as a materialized video object.
+func VideoValue(frames []*Frame, rate TimeSystem) *Value { return derive.VideoValue(frames, rate) }
+
+// AudioValue wraps samples as a materialized audio object.
+func AudioValue(buf *AudioBuffer, rate TimeSystem) *Value { return derive.AudioValue(buf, rate) }
+
+// ImageValue wraps a still image.
+func ImageValue(f *Frame) *Value { return derive.ImageValue(f) }
+
+// EncodeParams serializes derivation operator parameters.
+func EncodeParams(p any) []byte { return derive.EncodeParams(p) }
+
+// NewMultimedia creates an empty multimedia object on the given axis.
+func NewMultimedia(name string, axis TimeSystem) *Multimedia { return compose.New(name, axis) }
+
+// Play presents interpretation tracks against a clock.
+func Play(it *Interpretation, tracks []string, clock PlayerClock, sink player.Sink, opts PlayerOptions) (PlayerReport, error) {
+	return player.Play(it, tracks, clock, sink, opts)
+}
+
+// PlayComposition presents a multimedia object from a database.
+func PlayComposition(db *DB, id ObjectID, clock PlayerClock, sink player.Sink, opts PlayerOptions) (PlayerReport, error) {
+	return player.PlayComposition(db, id, clock, sink, opts)
+}
+
+// NewVirtualClock returns a deterministic clock for tests and tools.
+func NewVirtualClock() *player.VirtualClock { return &player.VirtualClock{} }
+
+// NewRealClock returns a wall clock starting now.
+func NewRealClock() *player.RealClock { return player.NewRealClock() }
