@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +17,7 @@ import (
 	"timedmedia/internal/core"
 	"timedmedia/internal/derive"
 	"timedmedia/internal/edl"
+	"timedmedia/internal/expcache"
 	"timedmedia/internal/export"
 	"timedmedia/internal/fixtures"
 	"timedmedia/internal/media"
@@ -398,6 +402,93 @@ func kindByName(name string) media.Kind {
 	default:
 		return media.KindUnknown
 	}
+}
+
+// cmdStats reports catalog and expansion-cache statistics. With -url
+// it queries a running tbmserve's /metrics endpoint; otherwise it
+// opens the local database, optionally expands named objects to
+// exercise the cache, and prints the counters.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := dirFlag(fs)
+	url := fs.String("url", "", "query a running server's /metrics instead of the local database")
+	expand := fs.String("expand", "", "comma-separated object names to expand before reporting")
+	fs.Parse(args)
+
+	if *url != "" {
+		resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /metrics: %s: %s", resp.Status, body)
+		}
+		var m struct {
+			Objects        int                    `json:"objects"`
+			ExpansionCache expcache.StatsSnapshot `json:"expansion_cache"`
+		}
+		if err := json.Unmarshal(body, &m); err != nil {
+			return err
+		}
+		fmt.Printf("server %s: %d objects\n", *url, m.Objects)
+		printCacheStats(m.ExpansionCache)
+		return nil
+	}
+
+	db, store, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	for _, n := range strings.Split(*expand, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		obj, err := db.Lookup(n)
+		if err != nil {
+			return err
+		}
+		if _, err := db.Expand(obj.ID); err != nil {
+			return err
+		}
+	}
+	var counts [3]int
+	for _, obj := range db.Select(func(*core.Object) bool { return true }) {
+		switch obj.Class {
+		case core.ClassNonDerived:
+			counts[0]++
+		case core.ClassDerived:
+			counts[1]++
+		case core.ClassMultimedia:
+			counts[2]++
+		}
+	}
+	fmt.Printf("catalog %s: %d objects (%d stored, %d derived, %d multimedia)\n",
+		*dir, db.Len(), counts[0], counts[1], counts[2])
+	printCacheStats(db.CacheStats())
+	return nil
+}
+
+func printCacheStats(st expcache.StatsSnapshot) {
+	fmt.Println("expansion cache:")
+	fmt.Printf("  hits        %d\n", st.Hits)
+	fmt.Printf("  misses      %d\n", st.Misses)
+	fmt.Printf("  evictions   %d\n", st.Evictions)
+	fmt.Printf("  errors      %d\n", st.Errors)
+	fmt.Printf("  entries     %d\n", st.Entries)
+	cap := "unbounded"
+	if st.CapacityBytes > 0 {
+		cap = fmt.Sprintf("%d", st.CapacityBytes)
+	}
+	fmt.Printf("  resident    %d B (capacity %s)\n", st.BytesResident, cap)
+	fmt.Printf("  in-flight   %d\n", st.InFlight)
+	fmt.Printf("  decode time %v\n", time.Duration(st.ComputeNanos))
 }
 
 func cmdOps(args []string) error {

@@ -18,6 +18,7 @@
 //	tbmctl lineage  -dir db -name show
 //	tbmctl play     -dir db -name show [-fidelity base]
 //	tbmctl query    -dir db [-kind video] [-attr language=fr]
+//	tbmctl stats    -dir db [-expand name,...] | -url http://host:8080
 //	tbmctl ops
 package main
 
@@ -63,6 +64,8 @@ func main() {
 		err = cmdPlay(args)
 	case "query":
 		err = cmdQuery(args)
+	case "stats":
+		err = cmdStats(args)
 	case "ops":
 		err = cmdOps(args)
 	case "help", "-h", "--help":
@@ -96,6 +99,7 @@ commands:
   lineage   walk an object down to its BLOBs (the Figure 5 layers)
   play      play an object on the virtual clock and report deadlines
   query     select objects by kind or attribute
+  stats     show catalog and expansion-cache statistics (local or -url)
   ops       list derivation operators`)
 }
 

@@ -22,6 +22,8 @@ import (
 func main() {
 	dir := flag.String("dir", "tbmdb", "database directory")
 	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", catalog.DefaultCacheCapacity>>20,
+		"expansion cache capacity in MiB (0 = unbounded)")
 	flag.Parse()
 
 	store, err := blob.OpenFileStore(*dir)
@@ -29,15 +31,21 @@ func main() {
 		log.Fatal(err)
 	}
 	defer store.Close()
+	opts := []catalog.Option{catalog.WithCacheCapacity(*cacheMB << 20)}
 	var db *catalog.DB
 	if _, err := os.Stat(*dir + "/catalog.gob"); err == nil {
-		db, err = catalog.Load(*dir, store)
+		db, err = catalog.Load(*dir, store, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		db = catalog.New(store)
+		db = catalog.New(store, opts...)
 	}
-	fmt.Printf("serving %d objects from %s on %s\n", db.Len(), *dir, *addr)
+	cacheDesc := fmt.Sprintf("%d MiB", *cacheMB)
+	if *cacheMB <= 0 {
+		cacheDesc = "unbounded"
+	}
+	fmt.Printf("serving %d objects from %s on %s (expansion cache %s)\n",
+		db.Len(), *dir, *addr, cacheDesc)
 	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
 }

@@ -20,10 +20,15 @@ import (
 	"timedmedia/internal/compose"
 	"timedmedia/internal/core"
 	"timedmedia/internal/derive"
+	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/timebase"
 )
+
+// DefaultCacheCapacity bounds the expansion cache when no option is
+// given: 256 MiB of decoded element data.
+const DefaultCacheCapacity = 256 << 20
 
 // Errors.
 var (
@@ -43,21 +48,40 @@ type DB struct {
 	byName  map[string]core.ID
 	interps map[blob.ID]*interp.Interpretation
 
-	memoMu sync.Mutex
-	memo   map[core.ID]*derive.Value
+	cache *expcache.Cache[core.ID, *derive.Value]
+}
+
+// Option configures a DB at construction.
+type Option func(*config)
+
+type config struct {
+	cacheCapacity int64
+}
+
+// WithCacheCapacity bounds the expansion cache to n bytes of decoded
+// element data. n <= 0 disables the bound (unbounded cache).
+func WithCacheCapacity(n int64) Option {
+	return func(c *config) { c.cacheCapacity = n }
 }
 
 // New creates a catalog over the given BLOB store.
-func New(store blob.Store) *DB {
+func New(store blob.Store, opts ...Option) *DB {
+	cfg := config{cacheCapacity: DefaultCacheCapacity}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	return &DB{
 		store:   store,
 		nextID:  1,
 		objects: map[core.ID]*core.Object{},
 		byName:  map[string]core.ID{},
 		interps: map[blob.ID]*interp.Interpretation{},
-		memo:    map[core.ID]*derive.Value{},
+		cache:   expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
 }
+
+// CacheStats returns a snapshot of the expansion-cache counters.
+func (db *DB) CacheStats() expcache.StatsSnapshot { return db.cache.Stats() }
 
 // Store exposes the underlying BLOB store.
 func (db *DB) Store() blob.Store { return db.store }

@@ -45,9 +45,7 @@ func (db *DB) Delete(id core.ID) error {
 	}
 	delete(db.objects, id)
 	delete(db.byName, obj.Name)
-	db.memoMu.Lock()
-	delete(db.memo, id)
-	db.memoMu.Unlock()
+	db.cache.Invalidate(id)
 
 	// GC the BLOB if no remaining object reads it.
 	if obj.Class == core.ClassNonDerived {

@@ -3,6 +3,8 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"timedmedia/internal/anim"
 	"timedmedia/internal/audio"
@@ -25,54 +27,91 @@ var (
 // "expand derived objects to produce actual (i.e., non-derived)
 // objects"). Non-derived objects decode from their interpretation;
 // derived objects expand their inputs recursively and apply the
-// derivation operator. Results are memoized per object.
+// derivation operator.
+//
+// Results go through the expansion cache: a byte-bounded LRU with
+// singleflight deduplication, so concurrent Expand calls for the same
+// object share one decode and resident bytes stay under the
+// configured capacity (see internal/expcache).
 func (db *DB) Expand(id core.ID) (*derive.Value, error) {
-	db.memoMu.Lock()
-	if v, ok := db.memo[id]; ok {
-		db.memoMu.Unlock()
-		return v, nil
-	}
-	db.memoMu.Unlock()
-
+	// Object resolution stays outside the cached computation so a
+	// missing ID fails fast without occupying a flight slot.
 	obj, err := db.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	var v *derive.Value
-	switch obj.Class {
-	case core.ClassNonDerived:
-		v, err = db.decodeTrack(obj)
-	case core.ClassDerived:
-		v, err = db.expandDerived(obj)
-	default:
+	if obj.Class == core.ClassMultimedia {
 		return nil, fmt.Errorf("%w: %v is a multimedia object (play it instead)", ErrCannotExpand, id)
 	}
-	if err != nil {
-		return nil, err
-	}
-	db.memoMu.Lock()
-	db.memo[id] = v
-	db.memoMu.Unlock()
-	return v, nil
+	return db.cache.Do(id, func() (*derive.Value, int64, error) {
+		var v *derive.Value
+		var err error
+		switch obj.Class {
+		case core.ClassNonDerived:
+			v, err = db.decodeTrack(obj)
+		case core.ClassDerived:
+			v, err = db.expandDerived(obj)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, v.SizeBytes(), nil
+	})
 }
 
-// InvalidateCache drops memoized expansions (benchmarks use this to
+// InvalidateCache drops all cached expansions (benchmarks use this to
 // measure cold expansion).
-func (db *DB) InvalidateCache() {
-	db.memoMu.Lock()
-	db.memo = map[core.ID]*derive.Value{}
-	db.memoMu.Unlock()
+func (db *DB) InvalidateCache() { db.cache.Purge() }
+
+// expandWorkers bounds the fan-out when expanding a derivation's
+// inputs in parallel.
+func expandWorkers(n int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
 }
 
+// expandDerived expands a derivation's inputs — in parallel when there
+// are several, since independent inputs decode from independent
+// tracks — then applies the operator. Input order is preserved and
+// the error of the lowest-index failing input is returned, matching
+// the sequential semantics.
 func (db *DB) expandDerived(obj *core.Object) (*derive.Value, error) {
 	d := obj.Derivation
 	inputs := make([]*derive.Value, len(d.Inputs))
-	for i, in := range d.Inputs {
-		v, err := db.Expand(in)
-		if err != nil {
-			return nil, fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
+	if len(d.Inputs) <= 1 {
+		for i, in := range d.Inputs {
+			v, err := db.Expand(in)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
+			}
+			inputs[i] = v
 		}
-		inputs[i] = v
+		return derive.Apply(d.Op, inputs, d.Params)
+	}
+	errs := make([]error, len(d.Inputs))
+	sem := make(chan struct{}, expandWorkers(len(d.Inputs)))
+	var wg sync.WaitGroup
+	for i, in := range d.Inputs {
+		wg.Add(1)
+		go func(i int, in core.ID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := db.Expand(in)
+			if err != nil {
+				errs[i] = fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
+				return
+			}
+			inputs[i] = v
+		}(i, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return derive.Apply(d.Op, inputs, d.Params)
 }

@@ -1,0 +1,216 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+)
+
+// TestExpandSingleflight launches many concurrent Expand calls for the
+// same object and asserts exactly one decode happened (misses == 1).
+func TestExpandSingleflight(t *testing.T) {
+	db := memDB()
+	id, err := db.Ingest("clip", genVideo(10, 3), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*derive.Value, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := db.Expand(id)
+			if err != nil {
+				t.Errorf("Expand: %v", err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different value pointer", i)
+		}
+	}
+	st := db.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (exactly one decode)", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	}
+}
+
+// TestExpandCacheCapEnforced expands more video than the configured
+// capacity and asserts resident bytes stay under the cap while
+// evictions are counted.
+func TestExpandCacheCapEnforced(t *testing.T) {
+	// One 10-frame 32x24 RGB clip expands to ~23 KiB; cap at two
+	// clips' worth and ingest four.
+	perClip := genVideo(10, 1).SizeBytes()
+	cap := 2*perClip + perClip/2
+	db := New(blob.NewMemStore(), WithCacheCapacity(cap))
+	var ids []core.ID
+	for i := 0; i < 4; i++ {
+		id, err := db.Ingest(fmt.Sprintf("clip%d", i), genVideo(10, int64(i+1)), IngestOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := db.Expand(id); err != nil {
+			t.Fatal(err)
+		}
+		if got := db.CacheStats().BytesResident; got > cap {
+			t.Fatalf("resident %d B exceeds cap %d B", got, cap)
+		}
+	}
+	st := db.CacheStats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions after overflowing the cap")
+	}
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4", st.Misses)
+	}
+}
+
+// TestExpandDerivedParallelInputs checks that a multi-input derivation
+// expands in parallel to the same result as the sequential path, in
+// input order.
+func TestExpandDerivedParallelInputs(t *testing.T) {
+	db := memDB()
+	var inputs []core.ID
+	for i := 0; i < 4; i++ {
+		id, err := db.Ingest(fmt.Sprintf("part%d", i), genVideo(5, int64(10+i)), IngestOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, id)
+	}
+	// One edit entry per input, in order: the result is the four
+	// clips concatenated, so frame content identifies input order.
+	var entries []derive.EditEntry
+	for i := range inputs {
+		entries = append(entries, derive.EditEntry{Input: i, From: 0, To: 5})
+	}
+	cat, err := db.AddDerived("cat", "video-edit", inputs,
+		derive.EncodeParams(derive.EditParams{Entries: entries}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Expand(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Video) != 20 {
+		t.Fatalf("frames = %d, want 20", len(v.Video))
+	}
+	for i, in := range inputs {
+		want, err := db.Expand(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 5; f++ {
+			if string(v.Video[i*5+f].Pix) != string(want.Video[f].Pix) {
+				t.Fatalf("input %d frame %d out of order", i, f)
+			}
+		}
+	}
+}
+
+// TestExpandDerivedFirstError checks that when several inputs fail,
+// the error of the lowest-index failing input is reported (the
+// sequential semantics).
+func TestExpandDerivedFirstError(t *testing.T) {
+	db := memDB()
+	good, err := db.Ingest("good", genVideo(5, 1), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived inputs whose expansion fails: video-edit with invalid
+	// params passes AddDerived (arity/kinds only) but errors at Apply.
+	mkBad := func(name string) core.ID {
+		t.Helper()
+		id, err := db.AddDerived(name, "video-edit", []core.ID{good}, []byte("not json"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	badA := mkBad("badA")
+	badB := mkBad("badB")
+	parent, err := db.AddDerived("parent", "video-edit",
+		[]core.ID{good, badA, badB},
+		derive.EncodeParams(derive.EditParams{Entries: []derive.EditEntry{{Input: 0, From: 0, To: 5}}}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // repeat: parallel scheduling must not change the winner
+		db.InvalidateCache()
+		_, err = db.Expand(parent)
+		if err == nil {
+			t.Fatal("expand of parent with failing inputs succeeded")
+		}
+		if !errors.Is(err, derive.ErrBadParams) {
+			t.Fatalf("err = %v, want ErrBadParams", err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("input %v", badA)) {
+			t.Fatalf("err = %v, want lowest-index failing input %v reported", err, badA)
+		}
+	}
+}
+
+// TestExpandErrorNotCached asserts failed expansions recompute.
+func TestExpandErrorNotCached(t *testing.T) {
+	db := memDB()
+	good, err := db.Ingest("good", genVideo(5, 1), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := db.AddDerived("bad", "video-edit", []core.ID{good}, []byte("not json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := db.Expand(bad); err == nil {
+			t.Fatal("expand of bad derivation succeeded")
+		}
+	}
+	st := db.CacheStats()
+	if st.Errors != 2 {
+		t.Errorf("errors = %d, want 2 (failures are not cached)", st.Errors)
+	}
+}
+
+// TestDeleteInvalidatesCache asserts a deleted object's expansion
+// leaves the cache.
+func TestDeleteInvalidatesCache(t *testing.T) {
+	db := memDB()
+	id, err := db.Ingest("clip", genVideo(5, 1), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Expand(id); err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats().BytesResident
+	if before == 0 {
+		t.Fatal("nothing resident after expand")
+	}
+	if err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.CacheStats().BytesResident; got != 0 {
+		t.Errorf("resident = %d B after delete, want 0", got)
+	}
+}

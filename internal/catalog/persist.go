@@ -117,8 +117,9 @@ func (db *DB) Save(dir string) error {
 }
 
 // Load reads a catalog saved with Save, resolving interpretations
-// against the given store.
-func Load(dir string, store blob.Store) (*DB, error) {
+// against the given store. Options configure the reloaded DB the same
+// way they configure New (e.g. WithCacheCapacity).
+func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
 	f, err := os.Open(filepath.Join(dir, "catalog.gob"))
 	if err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
@@ -128,7 +129,7 @@ func Load(dir string, store blob.Store) (*DB, error) {
 	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
-	db := New(store)
+	db := New(store, opts...)
 	db.nextID = snap.NextID
 	for _, rec := range snap.Interps {
 		b, err := store.Open(rec.BlobID)

@@ -132,6 +132,51 @@ func (v *Value) Elements() int {
 	}
 }
 
+// SizeBytes estimates the resident memory footprint of the value's
+// element data in bytes. The expansion cache uses this for byte
+// accounting, so it must track the dominant allocations: pixel
+// buffers, sample buffers, event and movement lists. Fixed per-frame
+// and per-value struct overhead is included so empty values still
+// account as nonzero.
+func (v *Value) SizeBytes() int64 {
+	if v == nil {
+		return 0
+	}
+	const valueOverhead = 64 // Value struct itself
+	const frameOverhead = 48 // Frame header + slice header
+	size := int64(valueOverhead)
+	switch v.Kind {
+	case media.KindVideo:
+		for _, f := range v.Video {
+			size += frameOverhead
+			if f != nil {
+				size += int64(len(f.Pix))
+			}
+		}
+	case media.KindAudio:
+		if v.Audio != nil {
+			size += int64(len(v.Audio.Samples)) * 2
+		}
+	case media.KindImage:
+		if v.Image != nil {
+			size += frameOverhead + int64(len(v.Image.Pix))
+		}
+	case media.KindMusic:
+		if v.Music != nil {
+			// Event is tick(8) + kind(1) + channel(1) + key(1) +
+			// velocity(1) + value(4), padded to 24 by alignment.
+			size += int64(len(v.Music.Events)) * 24
+		}
+	case media.KindAnimation:
+		if v.Anim != nil {
+			const spriteSize = 40
+			const movementSize = 40
+			size += int64(len(v.Anim.Sprites))*spriteSize + int64(len(v.Anim.Movements))*movementSize
+		}
+	}
+	return size
+}
+
 // DurationTicks returns the value's duration in ticks of its rate.
 func (v *Value) DurationTicks() int64 {
 	switch v.Kind {

@@ -1,0 +1,257 @@
+// Package expcache provides the expansion cache backing
+// catalog.Expand: a byte-accounted LRU with singleflight deduplication
+// and atomic observability counters.
+//
+// The paper stores derived objects implicitly — a derivation object is
+// a few hundred bytes while its expansion is megabytes of decoded
+// elements — so expansion is the hot path of the whole system. The
+// cache bounds the resident bytes of expanded values (LRU eviction),
+// collapses concurrent expansions of the same object into one decode
+// (singleflight), and counts everything so operators can see hit
+// rates, evictions and decode time without a profiler.
+package expcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cache is a byte-accounted LRU keyed by K with singleflight
+// computation of missing values. The zero value is not usable; use
+// New. Safe for concurrent use.
+//
+// A value's size is reported by the compute function when it is
+// produced; resident bytes never exceed the configured capacity. A
+// single value larger than the whole capacity is returned to the
+// caller but not kept resident.
+type Cache[K comparable, V any] struct {
+	capacity int64 // bytes; <= 0 means unbounded
+
+	mu      sync.Mutex
+	entries map[K]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[K]*flight[V]
+
+	stats stats
+}
+
+// entry is an LRU cell.
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	size int64
+}
+
+// flight is one in-progress computation shared by concurrent callers.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	size int64
+	err  error
+}
+
+// stats holds the atomic counters behind Stats.
+type stats struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	bytesResident atomic.Int64
+	inFlight      atomic.Int64
+	computeNanos  atomic.Int64
+	errors        atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the cache counters.
+type StatsSnapshot struct {
+	// Hits counts lookups served from resident values plus callers
+	// that joined an in-flight computation (they avoided a decode).
+	Hits int64 `json:"hits"`
+	// Misses counts computations started (actual decodes).
+	Misses int64 `json:"misses"`
+	// Evictions counts values dropped to respect the byte capacity.
+	Evictions int64 `json:"evictions"`
+	// BytesResident is the byte account of currently cached values.
+	BytesResident int64 `json:"bytes_resident"`
+	// CapacityBytes is the configured bound (0 = unbounded).
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// Entries is the number of resident values.
+	Entries int64 `json:"entries"`
+	// InFlight is the number of computations running right now.
+	InFlight int64 `json:"in_flight"`
+	// ComputeNanos is the cumulative wall time spent computing
+	// (decoding) values, in nanoseconds.
+	ComputeNanos int64 `json:"compute_nanos"`
+	// Errors counts computations that returned an error (errors are
+	// never cached).
+	Errors int64 `json:"errors"`
+}
+
+// New returns a cache bounded to capacityBytes of resident values.
+// capacityBytes <= 0 means unbounded.
+func New[K comparable, V any](capacityBytes int64) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacityBytes,
+		entries:  map[K]*list.Element{},
+		lru:      list.New(),
+		flights:  map[K]*flight[V]{},
+	}
+}
+
+// Capacity returns the configured byte bound (0 = unbounded).
+func (c *Cache[K, V]) Capacity() int64 {
+	if c.capacity <= 0 {
+		return 0
+	}
+	return c.capacity
+}
+
+// Get returns the resident value for key, marking it recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.hits.Add(1)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, computing it at most once across
+// concurrent callers. compute returns the value, its size in bytes,
+// and an error; on success the value is inserted into the LRU (then
+// trimmed to capacity). Errors are returned to every waiting caller
+// and nothing is cached.
+//
+// compute runs without the cache lock held, so it may recursively call
+// Do with *different* keys (expansion of derivation inputs). Recursing
+// on the same key deadlocks — the catalog's acyclic derivation graph
+// rules that out by construction.
+func (c *Cache[K, V]) Do(key K, compute func() (V, int64, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.hits.Add(1)
+		v := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		// Join the in-flight computation: this caller avoided a
+		// decode, which is the cache doing its job — count a hit.
+		c.stats.hits.Add(1)
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.stats.misses.Add(1)
+	c.stats.inFlight.Add(1)
+	c.mu.Unlock()
+
+	start := time.Now()
+	fl.val, fl.size, fl.err = compute()
+	c.stats.computeNanos.Add(time.Since(start).Nanoseconds())
+	c.stats.inFlight.Add(-1)
+	if fl.err != nil {
+		c.stats.errors.Add(1)
+	}
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.err == nil {
+		c.insertLocked(key, fl.val, fl.size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// insertLocked adds a value and evicts LRU entries beyond capacity.
+// Assumes c.mu is held.
+func (c *Cache[K, V]) insertLocked(key K, val V, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := c.entries[key]; ok {
+		// Raced with a concurrent insert of the same key (possible
+		// only via Invalidate between flight removal and insert);
+		// replace in place.
+		old := el.Value.(*entry[K, V])
+		c.stats.bytesResident.Add(size - old.size)
+		old.val, old.size = val, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&entry[K, V]{key: key, val: val, size: size})
+		c.stats.bytesResident.Add(size)
+	}
+	if c.capacity > 0 {
+		for c.stats.bytesResident.Load() > c.capacity && c.lru.Len() > 0 {
+			c.evictLocked(c.lru.Back())
+		}
+	}
+}
+
+// evictLocked removes one LRU element. Assumes c.mu is held.
+func (c *Cache[K, V]) evictLocked(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.stats.bytesResident.Add(-e.size)
+	c.stats.evictions.Add(1)
+}
+
+// Invalidate drops the resident value for key, if any. An in-flight
+// computation for the key is not interrupted; its result will still be
+// inserted when it completes.
+func (c *Cache[K, V]) Invalidate(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.stats.bytesResident.Add(-e.size)
+	}
+}
+
+// Purge drops every resident value (not counted as evictions).
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[K]*list.Element{}
+	c.lru.Init()
+	c.stats.bytesResident.Store(0)
+}
+
+// Len returns the number of resident values.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the current resident byte account.
+func (c *Cache[K, V]) Bytes() int64 { return c.stats.bytesResident.Load() }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[K, V]) Stats() StatsSnapshot {
+	c.mu.Lock()
+	entries := int64(c.lru.Len())
+	c.mu.Unlock()
+	return StatsSnapshot{
+		Hits:          c.stats.hits.Load(),
+		Misses:        c.stats.misses.Load(),
+		Evictions:     c.stats.evictions.Load(),
+		BytesResident: c.stats.bytesResident.Load(),
+		CapacityBytes: c.Capacity(),
+		Entries:       entries,
+		InFlight:      c.stats.inFlight.Load(),
+		ComputeNanos:  c.stats.computeNanos.Load(),
+		Errors:        c.stats.errors.Load(),
+	}
+}

@@ -1,0 +1,180 @@
+package expcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := New[int, string](1 << 20)
+	calls := 0
+	compute := func() (string, int64, error) { calls++; return "v", 1, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do(7, compute)
+		if err != nil || v != "v" {
+			t.Fatalf("Do = %q, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int, string](1 << 20)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(1, func() (string, int64, error) { calls++; return "", 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("failed compute ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if st := c.Stats(); st.Errors != 2 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	c := New[int, int](100)
+	put := func(key int, size int64) {
+		t.Helper()
+		if _, err := c.Do(key, func() (int, int64, error) { return key, size, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1, 40)
+	put(2, 40)
+	if c.Bytes() != 80 || c.Len() != 2 {
+		t.Fatalf("resident = %d B / %d entries", c.Bytes(), c.Len())
+	}
+	// Touch 1 so 2 becomes LRU, then overflow.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("key 1 missing")
+	}
+	put(3, 40)
+	if _, ok := c.Get(2); ok {
+		t.Error("key 2 should have been evicted (LRU)")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("key 1 should be resident (recently used)")
+	}
+	if c.Bytes() > 100 {
+		t.Errorf("resident %d B exceeds capacity 100", c.Bytes())
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestOversizeValueNotResident(t *testing.T) {
+	c := New[int, int](100)
+	v, err := c.Do(1, func() (int, int64, error) { return 42, 500, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Do = %d, %v", v, err)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("oversize value kept resident: %d entries, %d B", c.Len(), c.Bytes())
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 100; i++ {
+		c.Do(i, func() (int, int64, error) { return i, 1 << 20, nil })
+	}
+	if c.Len() != 100 {
+		t.Errorf("unbounded cache evicted: %d entries", c.Len())
+	}
+}
+
+func TestInvalidateAndPurge(t *testing.T) {
+	c := New[int, int](1 << 20)
+	c.Do(1, func() (int, int64, error) { return 1, 10, nil })
+	c.Do(2, func() (int, int64, error) { return 2, 10, nil })
+	c.Invalidate(1)
+	if _, ok := c.Get(1); ok {
+		t.Error("key 1 survived Invalidate")
+	}
+	if c.Bytes() != 10 {
+		t.Errorf("bytes = %d after invalidate, want 10", c.Bytes())
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("purge left %d entries / %d B", c.Len(), c.Bytes())
+	}
+}
+
+func TestSingleflightConcurrent(t *testing.T) {
+	c := New[int, int](1 << 20)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 32
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do(9, func() (int, int64, error) {
+				computes.Add(1)
+				<-release // hold the flight open so everyone piles on
+				return 99, 8, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", st, waiters-1)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New[int, int](1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				key := k % 10
+				v, err := c.Do(key, func() (int, int64, error) { return key * 2, 4, nil })
+				if err != nil || v != key*2 {
+					t.Errorf("goroutine %d: Do(%d) = %d, %v", g, key, v, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 10 {
+		t.Errorf("entries = %d, want 10", c.Len())
+	}
+}
+
+func TestStatsSnapshotJSONShape(t *testing.T) {
+	c := New[int, int](64)
+	c.Do(1, func() (int, int64, error) { return 1, 8, nil })
+	st := c.Stats()
+	if st.CapacityBytes != 64 || st.BytesResident != 8 || st.Entries != 1 {
+		t.Errorf("snapshot = %s", fmt.Sprintf("%+v", st))
+	}
+	if st.ComputeNanos < 0 {
+		t.Errorf("compute nanos = %d", st.ComputeNanos)
+	}
+}

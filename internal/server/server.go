@@ -10,12 +10,16 @@
 //	GET /objects/{name}/element/{i}      raw payload of element i
 //	GET /objects/{name}/at/{tick}        payload of the element covering tick
 //	GET /objects/{name}/stream?from=&to= chunked elements in presentation order
+//	GET /objects/{name}/expand           expand (decode) an object; JSON summary
 //	GET /objects/{name}/timeline         multimedia timeline (JSON)
 //	GET /objects/{name}/lineage          Figure 5 layers (JSON)
 //	POST /objects/{name}/cut?out=&from=&to=  create an edit derivation
+//	GET /metrics                         expansion-cache and catalog counters (JSON)
+//	GET /healthz                         liveness probe
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +29,7 @@ import (
 
 	"timedmedia/internal/catalog"
 	"timedmedia/internal/core"
+	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
 )
 
@@ -42,9 +47,12 @@ func New(db *catalog.DB) *Server {
 	s.mux.HandleFunc("GET /objects/{name}/element/{i}", s.handleElement)
 	s.mux.HandleFunc("GET /objects/{name}/at/{tick}", s.handleAt)
 	s.mux.HandleFunc("GET /objects/{name}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /objects/{name}/expand", s.handleExpand)
 	s.mux.HandleFunc("GET /objects/{name}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /objects/{name}/lineage", s.handleLineage)
 	s.mux.HandleFunc("POST /objects/{name}/cut", s.handleCut)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
@@ -88,11 +96,27 @@ func (s *Server) summarize(obj *core.Object) objectSummary {
 }
 
 func (s *Server) track(obj *core.Object) (*interp.Track, error) {
+	_, tr, err := s.source(obj)
+	return tr, err
+}
+
+// source resolves a stored object to its interpretation and track.
+// Derived and multimedia objects have no stored elements — they must
+// be expanded/played instead — so they fail with ErrNotMedia rather
+// than a nil-interpretation panic.
+func (s *Server) source(obj *core.Object) (*interp.Interpretation, *interp.Track, error) {
+	if obj.Class != core.ClassNonDerived {
+		return nil, nil, fmt.Errorf("%w: %s has no stored elements", catalog.ErrNotMedia, obj.Name)
+	}
 	it, err := s.db.Interpretation(obj.Blob)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return it.Track(obj.Track)
+	tr, err := it.Track(obj.Track)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, tr, nil
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Object, bool) {
@@ -109,21 +133,41 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, interp.ErrNoTrack), errors.Is(err, interp.ErrNoElement):
 		code = http.StatusNotFound
-	case errors.Is(err, catalog.ErrNotComposite), errors.Is(err, catalog.ErrNotMedia):
+	case errors.Is(err, catalog.ErrNotComposite), errors.Is(err, catalog.ErrNotMedia),
+		errors.Is(err, catalog.ErrCannotExpand), errors.Is(err, catalog.ErrNoInterp):
 		code = http.StatusBadRequest
 	}
 	http.Error(w, err.Error(), code)
 }
 
+// writeJSON encodes to a buffer first so an encoding failure can still
+// produce a clean 500: calling http.Error after the encoder has
+// written part of the body would corrupt the response.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// writeJSONStatus is writeJSON with an explicit status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	var out []objectSummary
+	// Non-nil so an empty catalog encodes as [] rather than null.
+	out := []objectSummary{}
 	for _, obj := range s.db.Select(func(o *core.Object) bool {
 		if k := r.URL.Query().Get("kind"); k != "" && o.Kind.String() != k {
 			return false
@@ -153,16 +197,12 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if obj.Class != core.ClassNonDerived {
-		httpError(w, fmt.Errorf("%w: %s has no stored elements", catalog.ErrNotMedia, obj.Name))
-		return
-	}
 	i, err := strconv.Atoi(r.PathValue("i"))
 	if err != nil {
 		http.Error(w, "bad element index", http.StatusBadRequest)
 		return
 	}
-	it, err := s.db.Interpretation(obj.Blob)
+	it, _, err := s.source(obj)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -186,7 +226,7 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad tick", http.StatusBadRequest)
 		return
 	}
-	tr, err := s.track(obj)
+	it, tr, err := s.source(obj)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -196,7 +236,6 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no element at tick", http.StatusNotFound)
 		return
 	}
-	it, _ := s.db.Interpretation(obj.Blob)
 	payload, err := it.Payload(obj.Track, i)
 	if err != nil {
 		httpError(w, err)
@@ -215,7 +254,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	tr, err := s.track(obj)
+	it, tr, err := s.source(obj)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -237,7 +276,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "range out of bounds", http.StatusBadRequest)
 		return
 	}
-	it, _ := s.db.Interpretation(obj.Blob)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	var hdr [8]byte
 	for i := from; i < to; i++ {
@@ -307,7 +345,63 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	created, _ := s.db.Get(id)
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, s.summarize(created))
+	created, err := s.db.Get(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusCreated, s.summarize(created))
+}
+
+// expandSummary is the JSON shape of GET /objects/{name}/expand: the
+// materialized value's metadata, not its bytes (use /element or
+// /stream for payloads).
+type expandSummary struct {
+	Name          string `json:"name"`
+	Kind          string `json:"kind"`
+	Elements      int    `json:"elements"`
+	DurationTicks int64  `json:"duration_ticks"`
+	SizeBytes     int64  `json:"size_bytes"`
+	Rate          string `json:"rate,omitempty"`
+}
+
+// handleExpand materializes an object through the expansion cache —
+// the on-demand expansion of Definition 6 — and reports what was
+// produced. Repeated requests hit the cache; concurrent requests for
+// the same object share one decode.
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	obj, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, err := s.db.Expand(obj.ID)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := expandSummary{
+		Name:          obj.Name,
+		Kind:          v.Kind.String(),
+		Elements:      v.Elements(),
+		DurationTicks: v.DurationTicks(),
+		SizeBytes:     v.SizeBytes(),
+	}
+	if v.Rate.Valid() {
+		out.Rate = v.Rate.String()
+	}
+	writeJSON(w, out)
+}
+
+// metricsReply is the JSON shape of GET /metrics.
+type metricsReply struct {
+	Objects        int                    `json:"objects"`
+	ExpansionCache expcache.StatsSnapshot `json:"expansion_cache"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, metricsReply{Objects: s.db.Len(), ExpansionCache: s.db.CacheStats()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
 }

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
+	"timedmedia/internal/blob"
 	"timedmedia/internal/catalog"
 	"timedmedia/internal/core"
 	"timedmedia/internal/fixtures"
@@ -154,6 +156,133 @@ func TestTimelineAndLineage(t *testing.T) {
 	}
 	if len(nodes) != 5 { // show + clip + song + 2 blobs
 		t.Errorf("lineage = %d nodes", len(nodes))
+	}
+}
+
+// derivedServer is testServer plus a derived cut of "clip".
+func derivedServer(t *testing.T) (*httptest.Server, *catalog.DB) {
+	t.Helper()
+	ts, db := testServer(t)
+	clip, _ := db.Lookup("clip")
+	if _, err := db.SelectDuration(clip.ID, "cut", 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	return ts, db
+}
+
+// TestDerivedObjectErrorPaths: a derived object has no stored
+// elements; element-oriented endpoints must 4xx, not panic.
+func TestDerivedObjectErrorPaths(t *testing.T) {
+	ts, _ := derivedServer(t)
+	get(t, ts.URL+"/objects/cut/element/0", 400)
+	get(t, ts.URL+"/objects/cut/at/0", 400)
+	get(t, ts.URL+"/objects/cut/stream", 400)
+	// Multimedia objects likewise.
+	get(t, ts.URL+"/objects/show/element/0", 400)
+	get(t, ts.URL+"/objects/show/at/0", 400)
+	get(t, ts.URL+"/objects/show/stream", 400)
+}
+
+// TestEmptyListEncodesArray: no matches must encode as [], not null.
+func TestEmptyListEncodesArray(t *testing.T) {
+	db := catalog.New(blob.NewMemStore())
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+	if body := strings.TrimSpace(string(get(t, ts.URL+"/objects", 200))); body != "[]" {
+		t.Errorf("empty list = %q, want []", body)
+	}
+	// A filter matching nothing on a populated catalog, too.
+	ts2, _ := testServer(t)
+	if body := strings.TrimSpace(string(get(t, ts2.URL+"/objects?kind=animation", 200))); body != "[]" {
+		t.Errorf("filtered-empty list = %q, want []", body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	var reply map[string]string
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz", 200), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply["status"] != "ok" {
+		t.Errorf("healthz = %v", reply)
+	}
+}
+
+func TestExpandEndpoint(t *testing.T) {
+	ts, _ := derivedServer(t)
+	var sum map[string]any
+	if err := json.Unmarshal(get(t, ts.URL+"/objects/cut/expand", 200), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum["kind"] != "video" || sum["elements"].(float64) != 4 {
+		t.Errorf("expand summary = %v", sum)
+	}
+	if sum["size_bytes"].(float64) <= 0 {
+		t.Errorf("size_bytes = %v", sum["size_bytes"])
+	}
+	// Multimedia objects cannot be expanded (play them instead).
+	get(t, ts.URL+"/objects/show/expand", 400)
+	get(t, ts.URL+"/objects/ghost/expand", 404)
+}
+
+// TestConcurrentExpandSingleflight fires many concurrent /expand
+// requests at one derived object and asserts, via /metrics, that each
+// object in its derivation chain was decoded exactly once.
+func TestConcurrentExpandSingleflight(t *testing.T) {
+	ts, _ := derivedServer(t)
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/objects/cut/expand")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var m struct {
+		Objects        int `json:"objects"`
+		ExpansionCache struct {
+			Hits          int64 `json:"hits"`
+			Misses        int64 `json:"misses"`
+			Evictions     int64 `json:"evictions"`
+			BytesResident int64 `json:"bytes_resident"`
+			CapacityBytes int64 `json:"capacity_bytes"`
+			Entries       int64 `json:"entries"`
+		} `json:"expansion_cache"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/metrics", 200), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Objects != 4 { // clip, song, show, cut
+		t.Errorf("objects = %d", m.Objects)
+	}
+	c := m.ExpansionCache
+	// Expanding "cut" also expands its input "clip": two decodes
+	// total, no matter how many clients raced.
+	if c.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (one decode per object)", c.Misses)
+	}
+	if c.Hits != clients-1 {
+		t.Errorf("hits = %d, want %d", c.Hits, clients-1)
+	}
+	if c.Entries != 2 || c.BytesResident <= 0 || c.BytesResident > c.CapacityBytes {
+		t.Errorf("cache = %+v", c)
 	}
 }
 

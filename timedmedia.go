@@ -136,11 +136,20 @@ func NewMemStore() Store { return blob.NewMemStore() }
 // OpenFileStore opens (creating if necessary) a file-backed BLOB store.
 func OpenFileStore(dir string) (Store, error) { return blob.OpenFileStore(dir) }
 
+// DBOption configures a database at construction (NewDB / LoadDB).
+type DBOption = catalog.Option
+
+// WithCacheCapacity bounds the expansion cache to n bytes of decoded
+// element data. n <= 0 removes the bound.
+func WithCacheCapacity(n int64) DBOption { return catalog.WithCacheCapacity(n) }
+
 // NewDB creates a multimedia database over a store.
-func NewDB(store Store) *DB { return catalog.New(store) }
+func NewDB(store Store, opts ...DBOption) *DB { return catalog.New(store, opts...) }
 
 // LoadDB reloads a database saved with (*DB).Save.
-func LoadDB(dir string, store Store) (*DB, error) { return catalog.Load(dir, store) }
+func LoadDB(dir string, store Store, opts ...DBOption) (*DB, error) {
+	return catalog.Load(dir, store, opts...)
+}
 
 // VideoValue wraps frames as a materialized video object.
 func VideoValue(frames []*Frame, rate TimeSystem) *Value { return derive.VideoValue(frames, rate) }
