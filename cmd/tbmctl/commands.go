@@ -25,26 +25,35 @@ import (
 	"timedmedia/internal/timebase"
 )
 
-// openDB loads (or initializes) the database in dir.
+// openDB loads (or initializes) the database in dir. catalog.Open
+// recovers from a corrupt snapshot via the retained backup, replays
+// the mutation journal, and attaches it, so every mutation this CLI
+// makes is durable even if the process dies before saveDB.
 func openDB(dir string) (*catalog.DB, *blob.FileStore, error) {
 	store, err := blob.OpenFileStore(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := os.Stat(dir + "/catalog.gob"); err == nil {
-		db, err := catalog.Load(dir, store)
-		if err != nil {
-			store.Close()
-			return nil, nil, err
-		}
-		return db, store, nil
+	db, err := catalog.Open(dir, store)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
 	}
-	return catalog.New(store), store, nil
+	if rec := db.Recovery(); rec.UsedBackup || rec.JournalTorn {
+		fmt.Fprintf(os.Stderr, "tbmctl: recovered catalog (backup=%v quarantined=%q torn journal=%v)\n",
+			rec.UsedBackup, rec.Quarantined, rec.JournalTorn)
+	}
+	return db, store, nil
 }
 
 // saveDB persists and closes.
 func saveDB(db *catalog.DB, store *blob.FileStore, dir string) error {
 	if err := db.Save(dir); err != nil {
+		db.CloseJournal()
+		store.Close()
+		return err
+	}
+	if err := db.CloseJournal(); err != nil {
 		store.Close()
 		return err
 	}

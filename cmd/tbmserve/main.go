@@ -2,17 +2,31 @@
 // minimal video-on-demand facade over the catalog (see
 // internal/server for the API).
 //
+// Durability: mutations made over HTTP (e.g. POST .../cut) are
+// journaled to <dir>/journal.log before the response returns, the
+// catalog is snapshotted periodically (-save-every) and on shutdown,
+// and a corrupt snapshot recovers from its retained backup at
+// startup. SIGINT/SIGTERM triggers a graceful drain: stop accepting,
+// finish in-flight requests, sync the journal, write a final
+// snapshot.
+//
 // Usage:
 //
-//	tbmserve -dir db -addr :8080
+//	tbmserve -dir db -addr :8080 [-save-every 5m] [-request-timeout 30s]
+//	         [-max-inflight 1024] [-shutdown-grace 10s] [-cache-mb 256]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/catalog"
@@ -24,28 +38,109 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheMB := flag.Int64("cache-mb", catalog.DefaultCacheCapacity>>20,
 		"expansion cache capacity in MiB (0 = unbounded)")
+	saveEvery := flag.Duration("save-every", 5*time.Minute,
+		"snapshot interval (0 disables periodic snapshots; the journal still persists every mutation)")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout,
+		"per-request deadline (0 disables)")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight,
+		"concurrent request bound; beyond it requests are shed with 503 (0 = unbounded)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"how long a SIGTERM drain waits for in-flight requests")
 	flag.Parse()
 
-	store, err := blob.OpenFileStore(*dir)
-	if err != nil {
+	if err := run(*dir, *addr, *cacheMB, *saveEvery, *requestTimeout, *maxInFlight, *shutdownGrace); err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
-	opts := []catalog.Option{catalog.WithCacheCapacity(*cacheMB << 20)}
-	var db *catalog.DB
-	if _, err := os.Stat(*dir + "/catalog.gob"); err == nil {
-		db, err = catalog.Load(*dir, store, opts...)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		db = catalog.New(store, opts...)
+}
+
+func run(dir, addr string, cacheMB int64, saveEvery, requestTimeout time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		return err
 	}
-	cacheDesc := fmt.Sprintf("%d MiB", *cacheMB)
-	if *cacheMB <= 0 {
+	defer store.Close()
+
+	// Open loads the snapshot (falling back to the .bak on
+	// corruption), replays the mutation journal, and attaches it for
+	// writing.
+	db, err := catalog.Open(dir, store, catalog.WithCacheCapacity(cacheMB<<20))
+	if err != nil {
+		return err
+	}
+	if rec := db.Recovery(); rec.UsedBackup || rec.JournalRecords > 0 || rec.JournalTorn {
+		log.Printf("recovery: backup=%v quarantined=%q journal: %d replayed, %d skipped, torn=%v",
+			rec.UsedBackup, rec.Quarantined, rec.JournalRecords, rec.JournalSkipped, rec.JournalTorn)
+	}
+
+	cacheDesc := fmt.Sprintf("%d MiB", cacheMB)
+	if cacheMB <= 0 {
 		cacheDesc = "unbounded"
 	}
-	fmt.Printf("serving %d objects from %s on %s (expansion cache %s)\n",
-		db.Len(), *dir, *addr, cacheDesc)
-	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
+	fmt.Printf("serving %d objects from %s on %s (expansion cache %s, snapshot every %v)\n",
+		db.Len(), dir, addr, cacheDesc, saveEvery)
+
+	srv := &http.Server{
+		Addr: addr,
+		Handler: server.New(db,
+			server.WithMaxInFlight(maxInFlight),
+			server.WithRequestTimeout(requestTimeout)),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic autosave: HTTP-created derivations reach the snapshot
+	// without waiting for shutdown. The journal already makes them
+	// crash-safe; snapshots bound replay time.
+	if saveEvery > 0 {
+		ticker := time.NewTicker(saveEvery)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if err := db.Save(dir); err != nil {
+						log.Printf("autosave: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests, sync the journal,
+	// take a final snapshot (which truncates the journal).
+	log.Printf("shutdown: draining (grace %v)", shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if err := db.SyncJournal(); err != nil {
+		log.Printf("shutdown: journal sync: %v", err)
+	}
+	if err := db.Save(dir); err != nil {
+		return fmt.Errorf("shutdown: final snapshot: %w", err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		log.Printf("shutdown: journal close: %v", err)
+	}
+	log.Printf("shutdown: complete (%d objects saved)", db.Len())
+	return nil
 }

@@ -76,7 +76,7 @@ type Store interface {
 	// Delete removes a BLOB.
 	Delete(id ID) error
 	// IDs lists existing BLOBs in ascending order.
-	IDs() []ID
+	IDs() ([]ID, error)
 	// Stats exposes the store-wide I/O counters.
 	Stats() *Stats
 }
@@ -129,7 +129,7 @@ func (s *MemStore) Delete(id ID) error {
 }
 
 // IDs implements Store.
-func (s *MemStore) IDs() []ID {
+func (s *MemStore) IDs() ([]ID, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]ID, 0, len(s.blobs))
@@ -137,7 +137,7 @@ func (s *MemStore) IDs() []ID {
 		out = append(out, id)
 	}
 	sortIDs(out)
-	return out
+	return out, nil
 }
 
 // Stats implements Store.

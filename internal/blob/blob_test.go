@@ -91,7 +91,10 @@ func TestIDsSorted(t *testing.T) {
 			id, _, _ := s.Create()
 			created = append(created, id)
 		}
-		ids := s.IDs()
+		ids, err := s.IDs()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(ids) != 5 {
 			t.Fatalf("ids = %v", ids)
 		}

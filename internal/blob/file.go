@@ -110,13 +110,15 @@ func (s *FileStore) Delete(id ID) error {
 	return nil
 }
 
-// IDs implements Store.
-func (s *FileStore) IDs() []ID {
+// IDs implements Store. A ReadDir failure is propagated rather than
+// reported as an empty store: callers must be able to tell "no BLOBs"
+// from "directory unreadable".
+func (s *FileStore) IDs() ([]ID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("blob: %w", err)
 	}
 	var out []ID
 	for _, e := range entries {
@@ -125,7 +127,30 @@ func (s *FileStore) IDs() []ID {
 		}
 	}
 	sortIDs(out)
-	return out
+	return out, nil
+}
+
+// Sync flushes a BLOB's appended bytes to stable storage. BLOBs that
+// were never opened in this process have nothing buffered and sync
+// trivially. The catalog calls this before journaling an
+// interpretation record, so replay never references bytes that died
+// in the page cache.
+func (s *FileStore) Sync(id ID) error {
+	s.mu.Lock()
+	b, ok := s.open[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return ErrClosed
+	}
+	if err := b.f.Sync(); err != nil {
+		return fmt.Errorf("blob: sync %v: %w", id, err)
+	}
+	return nil
 }
 
 // Stats implements Store.

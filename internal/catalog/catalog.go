@@ -11,6 +11,8 @@
 package catalog
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +26,7 @@ import (
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/timebase"
+	"timedmedia/internal/wal"
 )
 
 // DefaultCacheCapacity bounds the expansion cache when no option is
@@ -49,6 +52,15 @@ type DB struct {
 	interps map[blob.ID]*interp.Interpretation
 
 	cache *expcache.Cache[core.ID, *derive.Value]
+
+	// Durability state (see journal.go / persist.go): the attached
+	// mutation journal, the database directory it belongs to, the
+	// sequence number of the last journaled mutation, and what the
+	// last Load had to recover.
+	wal      wal.Appender
+	walDir   string
+	seq      uint64
+	recovery RecoveryInfo
 }
 
 // Option configures a DB at construction.
@@ -88,14 +100,36 @@ func (db *DB) Store() blob.Store { return db.store }
 
 // RegisterInterpretation permanently associates a sealed
 // interpretation with its BLOB (Section 4.1: one complete
-// interpretation, built during capture).
+// interpretation, built during capture). With a journal attached the
+// BLOB is fsynced and the interpretation journaled, so the
+// registration survives a crash before the next snapshot.
 func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.interps[it.BlobID()]; dup {
 		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
+	rec := &walOp{Kind: opInterp, Blob: it.BlobID()}
+	if db.wal != nil {
+		exp, err := interp.Export(it)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(exp); err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		rec.Interp = buf.Bytes()
+		// The journal record must not outlive its payload bytes.
+		if err := db.syncBlob(it.BlobID()); err != nil {
+			return err
+		}
+	}
 	db.interps[it.BlobID()] = it
+	if err := db.journalOp(rec); err != nil {
+		delete(db.interps, it.BlobID())
+		return err
+	}
 	return nil
 }
 
@@ -115,6 +149,20 @@ func (db *DB) Interpretation(id blob.ID) (*interp.Interpretation, error) {
 func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id, err := db.addNonDerivedLocked(name, blobID, track, attrs)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.journalOp(&walOp{Kind: opNonDerived, ID: id, Name: name, Blob: blobID, Track: track, Attrs: attrs}); err != nil {
+		db.uninsert(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// addNonDerivedLocked is AddNonDerived without locking or journaling
+// (journal replay reuses it). Assumes db.mu is held.
+func (db *DB) addNonDerivedLocked(name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
 	it, ok := db.interps[blobID]
 	if !ok {
 		return 0, fmt.Errorf("%w: %v", ErrNoInterp, blobID)
@@ -139,12 +187,26 @@ func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map
 // exist (making cycles impossible by construction) and must satisfy
 // the operator's signature kinds.
 func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, err := db.addDerivedLocked(name, op, inputs, params, attrs)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.journalOp(&walOp{Kind: opDerived, ID: id, Name: name, Op: op, Inputs: inputs, Params: params, Attrs: attrs}); err != nil {
+		db.uninsert(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// addDerivedLocked is AddDerived without locking or journaling.
+// Assumes db.mu is held.
+func (db *DB) addDerivedLocked(name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
 	opImpl, err := derive.Lookup(op)
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	lo, hi := opImpl.Arity()
 	if len(inputs) < lo || (hi >= 0 && len(inputs) > hi) {
 		return 0, fmt.Errorf("catalog: %s takes %d..%d inputs, got %d", op, lo, hi, len(inputs))
@@ -176,6 +238,24 @@ func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs
 func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id, err := db.addMultimediaLocked(name, axis, comps, attrs)
+	if err != nil {
+		return 0, err
+	}
+	rec := &walOp{Kind: opMultimedia, ID: id, Name: name, Attrs: attrs, TimeNum: axis.Num, TimeDen: axis.Den}
+	for _, c := range comps {
+		rec.Comps = append(rec.Comps, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
+	}
+	if err := db.journalOp(rec); err != nil {
+		db.uninsert(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// addMultimediaLocked is AddMultimedia without locking or journaling.
+// Assumes db.mu is held.
+func (db *DB) addMultimediaLocked(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
 	for _, c := range comps {
 		if _, ok := db.objects[c.Object]; !ok {
 			return 0, fmt.Errorf("%w: component %v", ErrNotFound, c.Object)
@@ -194,6 +274,20 @@ func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.Comp
 func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.addSyncLocked(id, a, b, maxSkew); err != nil {
+		return err
+	}
+	if err := db.journalOp(&walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}); err != nil {
+		syncs := db.objects[id].Multimedia.Syncs
+		db.objects[id].Multimedia.Syncs = syncs[:len(syncs)-1]
+		return err
+	}
+	return nil
+}
+
+// addSyncLocked is AddSync without locking or journaling. Assumes
+// db.mu is held.
+func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
 	obj, ok := db.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
@@ -224,6 +318,20 @@ func (db *DB) insert(obj *core.Object) (core.ID, error) {
 	db.objects[obj.ID] = obj
 	db.byName[obj.Name] = obj.ID
 	return obj.ID, nil
+}
+
+// uninsert rolls back the most recent insert after a journal append
+// failure. Assumes db.mu is held and id was just assigned by insert.
+func (db *DB) uninsert(id core.ID) {
+	obj, ok := db.objects[id]
+	if !ok {
+		return
+	}
+	delete(db.objects, id)
+	delete(db.byName, obj.Name)
+	if id == db.nextID-1 {
+		db.nextID--
+	}
 }
 
 // Get returns the object with the given ID.

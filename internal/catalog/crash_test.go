@@ -1,0 +1,416 @@
+package catalog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/faultfs"
+	"timedmedia/internal/wal"
+)
+
+// TestCrashJournalReplayRestoresCut is the headline scenario: a
+// derivation created after the last snapshot (think POST /cut) must
+// survive a kill -9. The process "crashes" by abandoning the DB
+// without Save or CloseJournal — exactly what SIGKILL leaves behind,
+// since every journal append is fsynced before the mutation returns.
+func TestCrashJournalReplayRestoresCut(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := db.Ingest("clip", genVideo(10, 7), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := db.SelectDuration(clip, "webcut", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Save, no CloseJournal, handles simply abandoned.
+
+	fs2, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db2.Recovery()
+	if rec.JournalRecords != 1 || rec.JournalTorn {
+		t.Errorf("recovery = %+v", rec)
+	}
+	obj, err := db2.Lookup("webcut")
+	if err != nil || obj.ID != cut {
+		t.Fatalf("webcut after crash: %v %v", obj, err)
+	}
+	v, err := db2.Expand(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Video) != 6 {
+		t.Errorf("frames = %d", len(v.Video))
+	}
+	// A snapshot after recovery absorbs the journal; a further reopen
+	// replays nothing.
+	if err := db2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := db3.Recovery(); rec.JournalRecords != 0 || rec.JournalSkipped != 0 {
+		t.Errorf("post-snapshot recovery = %+v", rec)
+	}
+}
+
+// TestCrashIngestSurvivesWithoutSnapshot covers the journal-only
+// database: mutations made before the first Save must replay into a
+// fresh catalog.
+func TestCrashIngestSurvivesWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := blob.OpenFileStore(dir)
+	db, err := Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest("clip", genVideo(4, 1), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before any Save: no catalog.gob exists at all.
+
+	fs2, _ := blob.OpenFileStore(dir)
+	db2, err := Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 1 {
+		t.Fatalf("objects = %d", db2.Len())
+	}
+	obj, err := db2.Lookup("clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Expand(obj.ID); err != nil {
+		t.Errorf("expand after journal-only recovery: %v", err)
+	}
+}
+
+// corruptDB saves two generations of a catalog (so a .bak exists) and
+// returns the dir plus the names present in each generation.
+func corruptDBSetup(t *testing.T) (string, *blob.FileStore) {
+	t.Helper()
+	dir := t.TempDir()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(fs)
+	clip, err := db.Ingest("clip", genVideo(6, 2), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil { // generation 1 → becomes .bak
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil { // generation 2 → catalog.gob
+		t.Fatal(err)
+	}
+	return dir, fs
+}
+
+func TestCrashCorruptSnapshotRecoversFromBackup(t *testing.T) {
+	dir, fs := corruptDBSetup(t)
+	path := SnapshotFile(dir)
+
+	// Flip a payload byte: the CRC must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-20] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Load(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db.Recovery()
+	if !rec.UsedBackup || rec.Quarantined == "" {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The backup predates the cut: only the clip survives. Never a
+	// silent partial load of the corrupt file.
+	if _, err := db.Lookup("clip"); err != nil {
+		t.Errorf("clip lost: %v", err)
+	}
+	if _, err := db.Lookup("cut"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cut = %v, want ErrNotFound (backup predates it)", err)
+	}
+	// The bad file was quarantined, not deleted.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt snapshot still in place")
+	}
+	if _, err := os.Stat(rec.Quarantined); err != nil {
+		t.Errorf("quarantine file: %v", err)
+	}
+}
+
+func TestCrashTruncatedSnapshotRecoversFromBackup(t *testing.T) {
+	dir, fs := corruptDBSetup(t)
+	path := SnapshotFile(dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Load(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db.Recovery()
+	if !rec.UsedBackup || rec.Quarantined == "" {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if _, err := db.Lookup("clip"); err != nil {
+		t.Errorf("clip lost: %v", err)
+	}
+}
+
+// TestCrashSnapshotLostBetweenRenames covers the narrow window inside
+// WriteSnapshot where the old snapshot has been rotated to .bak but
+// the new one has not been renamed into place yet.
+func TestCrashSnapshotLostBetweenRenames(t *testing.T) {
+	dir, fs := corruptDBSetup(t)
+	if err := os.Remove(SnapshotFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := db.Recovery(); !rec.UsedBackup {
+		t.Errorf("recovery = %+v", rec)
+	}
+	if _, err := db.Lookup("clip"); err != nil {
+		t.Errorf("clip lost: %v", err)
+	}
+}
+
+// TestCrashStaleJournalSkipped covers a kill between the snapshot
+// rename and the journal truncate: the journal still holds records the
+// snapshot already captured, and sequence numbers make replay skip
+// them instead of double-applying.
+func TestCrashStaleJournalSkipped(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := blob.OpenFileStore(dir)
+	db, err := Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := db.Ingest("clip", genVideo(5, 3), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Preserve the journal as it stands (3 records: interp,
+	// nonderived, derived), snapshot (which truncates it), then put
+	// the stale journal back — the state a crash mid-Save leaves.
+	stale, err := os.ReadFile(JournalFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(JournalFile(dir), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, _ := blob.OpenFileStore(dir)
+	db2, err := Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db2.Recovery()
+	if rec.JournalRecords != 0 || rec.JournalSkipped != 3 {
+		t.Errorf("recovery = %+v", rec)
+	}
+	if db2.Len() != 2 {
+		t.Errorf("objects = %d (double-applied?)", db2.Len())
+	}
+}
+
+// TestRecoverLoadMissingBlob: a snapshot referencing a BLOB the store
+// no longer has must fail loudly, naming the blob — and must NOT
+// quarantine the (perfectly good) snapshot.
+func TestRecoverLoadMissingBlob(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(fs)
+	if _, err := db.Ingest("clip", genVideo(3, 4), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	if err := os.Remove(filepath.Join(dir, "1.blob")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, _ := blob.OpenFileStore(dir)
+	_, err = Load(dir, fs2)
+	if err == nil {
+		t.Fatal("load with missing blob must fail")
+	}
+	if !errors.Is(err, blob.ErrNotFound) || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("err = %v", err)
+	}
+	// The snapshot itself is fine; it must still be in place.
+	if _, serr := os.Stat(SnapshotFile(dir)); serr != nil {
+		t.Errorf("snapshot quarantined on store error: %v", serr)
+	}
+}
+
+// TestFaultTransientCreateRetried: a transient store failure during
+// Ingest is absorbed by the retry policy.
+func TestFaultTransientCreateRetried(t *testing.T) {
+	inj := faultfs.NewInjector(
+		faultfs.Rule{Op: "create", Nth: 1, Times: 1, Err: faultfs.Transient()})
+	db := New(faultfs.Wrap(blob.NewMemStore(), inj))
+	id, err := db.Ingest("clip", genVideo(3, 5), IngestOptions{})
+	if err != nil {
+		t.Fatalf("ingest through transient faults: %v", err)
+	}
+	if inj.Fired() != 2 {
+		t.Errorf("fired = %d, want 2", inj.Fired())
+	}
+	if _, err := db.Expand(id); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultPermanentCreateFails: non-transient store errors are not
+// retried away.
+func TestFaultPermanentCreateFails(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.Rule{Op: "create", Nth: 1})
+	db := New(faultfs.Wrap(blob.NewMemStore(), inj))
+	if _, err := db.Ingest("clip", genVideo(3, 5), IngestOptions{}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if inj.Fired() != 1 {
+		t.Errorf("fired = %d (retried a permanent error?)", inj.Fired())
+	}
+}
+
+// TestFaultJournalAppendRollsBack: when the journal append fails the
+// in-memory mutation is rolled back — no half-durable objects.
+func TestFaultJournalAppendRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	db := memDB()
+	clip, err := db.Ingest("clip", genVideo(6, 6), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := wal.Open(JournalFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(faultfs.Rule{Op: "journal.append", Nth: 1})
+	db.AttachJournal(faultfs.WrapJournal(inner, inj), dir)
+
+	before := db.Len()
+	_, err = db.SelectDuration(clip, "cut", 0, 3)
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("err = %v, want ErrJournal", err)
+	}
+	if db.Len() != before {
+		t.Errorf("len = %d, want %d (mutation not rolled back)", db.Len(), before)
+	}
+	if _, err := db.Lookup("cut"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup rolled-back object: %v", err)
+	}
+
+	// The fault was one-shot; the same mutation now succeeds and the
+	// name/ID space shows no leak from the rollback.
+	cut, err := db.SelectDuration(clip, "cut", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Expand(cut); err != nil {
+		t.Error(err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the successful mutation reached the journal.
+	var got int
+	res, err := wal.Replay(JournalFile(dir), func([]byte) error { got++; return nil })
+	if err != nil || got != 1 || res.Torn {
+		t.Fatalf("journal: got=%d res=%+v err=%v", got, res, err)
+	}
+}
+
+// TestFaultDeleteNotJournaledWhenRefused: a delete that fails
+// validation must leave no journal record (replaying it would fail).
+func TestFaultDeleteNotJournaledWhenRefused(t *testing.T) {
+	dir := t.TempDir()
+	db := memDB()
+	clip, err := db.Ingest("clip", genVideo(4, 8), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := wal.Open(JournalFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AttachJournal(inner, dir)
+
+	if err := db.Delete(clip); !errors.Is(err, ErrInUse) {
+		t.Fatalf("delete referenced: %v", err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.Replay(JournalFile(dir), func([]byte) error {
+		t.Error("refused delete reached the journal")
+		return nil
+	})
+	if err != nil || res.Records != 0 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}

@@ -20,10 +20,25 @@ var ErrInUse = errors.New("catalog: object is referenced by others")
 func (db *DB) Delete(id core.ID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	obj, ok := db.objects[id]
-	if !ok {
+	if _, ok := db.objects[id]; !ok {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
+	// Journal before applying: the BLOB garbage collection below is
+	// destructive and cannot be rolled back, so the record must be
+	// durable first. Reference validation happens inside deleteLocked
+	// and is re-checked here so a doomed delete is never journaled.
+	if err := db.checkDeletable(id); err != nil {
+		return err
+	}
+	if err := db.journalOp(&walOp{Kind: opDelete, ID: id}); err != nil {
+		return err
+	}
+	return db.deleteLocked(id)
+}
+
+// checkDeletable reports whether any other object references id.
+// Assumes db.mu is held.
+func (db *DB) checkDeletable(id core.ID) error {
 	for _, other := range db.objects {
 		if other.ID == id {
 			continue
@@ -42,6 +57,19 @@ func (db *DB) Delete(id core.ID) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// deleteLocked removes an object, re-validating references (journal
+// replay reuses it). Assumes db.mu is held.
+func (db *DB) deleteLocked(id core.ID) error {
+	obj, ok := db.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if err := db.checkDeletable(id); err != nil {
+		return err
 	}
 	delete(db.objects, id)
 	delete(db.byName, obj.Name)

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -57,6 +58,26 @@ func (db *DB) Expand(id core.ID) (*derive.Value, error) {
 		}
 		return v, v.SizeBytes(), nil
 	})
+}
+
+// ExpandContext is Expand with cancellation checkpoints at the
+// request boundary: a canceled or expired context fails before any
+// decode starts and again before the result is returned. The decode
+// itself runs to completion regardless — it is shared with concurrent
+// requests through the cache's singleflight, so one caller's
+// cancellation must not poison the others' result.
+func (db *DB) ExpandContext(ctx context.Context, id core.ID) (*derive.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v, err := db.Expand(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // InvalidateCache drops all cached expansions (benchmarks use this to

@@ -3,9 +3,11 @@ package catalog
 import (
 	"fmt"
 
+	"timedmedia/internal/blob"
 	"timedmedia/internal/codec"
 	"timedmedia/internal/core"
 	"timedmedia/internal/derive"
+	"timedmedia/internal/durable"
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/music"
@@ -63,11 +65,19 @@ func (db *DB) Ingest(name string, v *derive.Value, opts IngestOptions) (core.ID,
 		return 0, err
 	}
 	opts.defaults(v.Kind)
-	id, b, err := db.store.Create()
-	if err != nil {
+	// Transient store failures (see durable.ErrTransient) are retried
+	// with backoff rather than failing the whole capture.
+	var id blob.ID
+	var b blob.BLOB
+	if err := durable.Retry(storeRetries, storeRetryBase, func() error {
+		var e error
+		id, b, e = db.store.Create()
+		return e
+	}); err != nil {
 		return 0, err
 	}
 	bu := interp.NewBuilder(id, b)
+	var err error
 	switch v.Kind {
 	case media.KindVideo:
 		err = ingestVideo(bu, v, opts)

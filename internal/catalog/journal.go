@@ -1,0 +1,322 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/durable"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/timebase"
+	"timedmedia/internal/wal"
+)
+
+// The mutation journal makes the window between snapshots crash-safe:
+// every catalog mutation (register interpretation, add non-derived /
+// derived / multimedia object, add sync, delete) appends one fsynced,
+// checksummed record to dir/journal.log before the call returns.
+// Load replays the journal over the snapshot; Save truncates it.
+//
+// Records carry a monotonic sequence number and the snapshot records
+// the last applied one, so replay is idempotent: a crash between the
+// snapshot rename and the journal truncate merely leaves records that
+// replay skips.
+
+const journalName = "journal.log"
+
+// JournalFile returns the journal path inside a database directory.
+func JournalFile(dir string) string { return filepath.Join(dir, journalName) }
+
+// ErrJournal wraps journal append failures: the mutation was rolled
+// back and the catalog is unchanged.
+var ErrJournal = errors.New("catalog: journal append failed")
+
+// ErrReplay reports a journal that does not apply cleanly over the
+// snapshot it was found with.
+var ErrReplay = errors.New("catalog: journal replay failed")
+
+// Store-retry policy for transient BLOB-store errors (see
+// durable.ErrTransient): 4 attempts, 2ms/4ms/8ms backoff.
+const (
+	storeRetries   = 4
+	storeRetryBase = 2 * time.Millisecond
+)
+
+// Journal operation kinds.
+const (
+	opInterp     = "interp"
+	opNonDerived = "nonderived"
+	opDerived    = "derived"
+	opMultimedia = "multimedia"
+	opSync       = "sync"
+	opDelete     = "delete"
+)
+
+// walOp is one journaled mutation. One struct covers every kind; only
+// the fields for rec.Kind are populated.
+type walOp struct {
+	Seq  uint64
+	Kind string
+	// ID is the object the mutation produced or targeted. Replay
+	// verifies reproduced IDs against it.
+	ID core.ID
+
+	Name  string
+	Attrs map[string]string
+
+	Blob  blob.ID
+	Track string
+
+	Op     string
+	Inputs []core.ID
+	Params []byte
+
+	TimeNum, TimeDen int64
+	Comps            []savedComponent
+
+	A, B    int
+	MaxSkew int64
+
+	// Interp is the gob-encoded interp.Exported for opInterp records.
+	Interp []byte
+}
+
+func encodeOp(rec *walOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("catalog: encode journal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeOp(data []byte) (*walOp, error) {
+	var rec walOp
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrReplay, err)
+	}
+	return &rec, nil
+}
+
+// RecoveryInfo reports what Load / OpenJournal had to do to bring the
+// catalog back. Exposed at /metrics so operators can see that a
+// restart recovered rather than silently lost data.
+type RecoveryInfo struct {
+	SnapshotLoaded bool   `json:"snapshot_loaded"`
+	UsedBackup     bool   `json:"used_backup"`
+	Quarantined    string `json:"quarantined,omitempty"`
+	JournalRecords int    `json:"journal_records_replayed"`
+	JournalSkipped int    `json:"journal_records_skipped"`
+	JournalTorn    bool   `json:"journal_torn_tail"`
+}
+
+// Recovery returns what the last Load / OpenJournal recovered.
+func (db *DB) Recovery() RecoveryInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recovery
+}
+
+// JournalStats returns the attached journal's counters (zero when no
+// journal is attached).
+func (db *DB) JournalStats() wal.StatsSnapshot {
+	db.mu.RLock()
+	j := db.wal
+	db.mu.RUnlock()
+	if j == nil {
+		return wal.StatsSnapshot{}
+	}
+	return j.Stats()
+}
+
+// OpenJournal replays any existing journal at dir/journal.log into
+// the catalog (records already captured by the loaded snapshot are
+// skipped via their sequence numbers) and then attaches the journal
+// so subsequent mutations are logged. Call it after Load or New;
+// mutations made before OpenJournal are not journaled.
+func (db *DB) OpenJournal(dir string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		return errors.New("catalog: journal already attached")
+	}
+	if err := db.replayJournalLocked(JournalFile(dir)); err != nil {
+		return err
+	}
+	return db.attachJournalLocked(dir)
+}
+
+// attachJournalLocked opens dir's journal for appending without
+// replaying it. Assumes db.mu is held.
+func (db *DB) attachJournalLocked(dir string) error {
+	j, err := wal.Open(JournalFile(dir))
+	if err != nil {
+		return err
+	}
+	db.wal = j
+	db.walDir = filepath.Clean(dir)
+	return nil
+}
+
+// AttachJournal attaches a pre-opened journal (fault-injection tests
+// wrap a real journal in faultfs). No replay is performed; dir names
+// the database directory the journal belongs to, so Save(dir) knows
+// to truncate it.
+func (db *DB) AttachJournal(j wal.Appender, dir string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.wal = j
+	db.walDir = filepath.Clean(dir)
+}
+
+// CloseJournal syncs and detaches the journal. Mutations made
+// afterwards are not journaled.
+func (db *DB) CloseJournal() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.Sync()
+	if cerr := db.wal.Close(); err == nil {
+		err = cerr
+	}
+	db.wal = nil
+	return err
+}
+
+// SyncJournal flushes the journal without appending (shutdown path).
+func (db *DB) SyncJournal() error {
+	db.mu.RLock()
+	j := db.wal
+	db.mu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	return j.Sync()
+}
+
+// journalOp appends one mutation record. Assumes db.mu is held by a
+// writer. A nil journal is a no-op. On failure the sequence number is
+// rolled back and the caller must undo the in-memory mutation.
+func (db *DB) journalOp(rec *walOp) error {
+	if db.wal == nil {
+		return nil
+	}
+	db.seq++
+	rec.Seq = db.seq
+	data, err := encodeOp(rec)
+	if err != nil {
+		db.seq--
+		return err
+	}
+	if err := db.wal.Append(data); err != nil {
+		db.seq--
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// syncBlob flushes a BLOB's bytes when the store supports it, so a
+// journaled interpretation never outlives its payload in a crash.
+func (db *DB) syncBlob(id blob.ID) error {
+	if sy, ok := db.store.(interface{ Sync(blob.ID) error }); ok {
+		return sy.Sync(id)
+	}
+	return nil
+}
+
+// replayJournalLocked replays dir's journal into the catalog.
+// Assumes db.mu is held (or the DB is not yet shared).
+func (db *DB) replayJournalLocked(path string) error {
+	res, err := wal.Replay(path, db.applyWalLocked)
+	if err != nil {
+		return err
+	}
+	if res.Torn {
+		db.recovery.JournalTorn = true
+	}
+	return nil
+}
+
+// applyWalLocked applies one journal record, skipping records the
+// snapshot already captured. Assumes db.mu is held.
+func (db *DB) applyWalLocked(data []byte) error {
+	rec, err := decodeOp(data)
+	if err != nil {
+		return err
+	}
+	if rec.Seq <= db.seq {
+		db.recovery.JournalSkipped++
+		return nil
+	}
+	switch rec.Kind {
+	case opInterp:
+		var exp interp.Exported
+		if err := gob.NewDecoder(bytes.NewReader(rec.Interp)).Decode(&exp); err != nil {
+			return fmt.Errorf("%w: interpretation record: %v", ErrReplay, err)
+		}
+		var b blob.BLOB
+		if err := durable.Retry(storeRetries, storeRetryBase, func() error {
+			var e error
+			b, e = db.store.Open(exp.BlobID)
+			return e
+		}); err != nil {
+			return fmt.Errorf("%w: interpretation of missing %v: %v", ErrReplay, exp.BlobID, err)
+		}
+		it, err := interp.Import(&exp, b)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		db.interps[exp.BlobID] = it
+	case opNonDerived:
+		id, err := db.addNonDerivedLocked(rec.Name, rec.Blob, rec.Track, rec.Attrs)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		if id != rec.ID {
+			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
+		}
+	case opDerived:
+		id, err := db.addDerivedLocked(rec.Name, rec.Op, rec.Inputs, rec.Params, rec.Attrs)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		if id != rec.ID {
+			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
+		}
+	case opMultimedia:
+		axis, err := timebase.New(rec.TimeNum, rec.TimeDen)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		comps := make([]core.ComponentRef, 0, len(rec.Comps))
+		for _, c := range rec.Comps {
+			comps = append(comps, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
+		}
+		id, err := db.addMultimediaLocked(rec.Name, axis, comps, rec.Attrs)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		if id != rec.ID {
+			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
+		}
+	case opSync:
+		if err := db.addSyncLocked(rec.ID, rec.A, rec.B, rec.MaxSkew); err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+	case opDelete:
+		if err := db.deleteLocked(rec.ID); err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrReplay, rec.Kind)
+	}
+	db.seq = rec.Seq
+	db.recovery.JournalRecords++
+	return nil
+}

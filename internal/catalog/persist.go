@@ -1,14 +1,18 @@
 package catalog
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/compose"
 	"timedmedia/internal/core"
+	"timedmedia/internal/durable"
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/timebase"
@@ -17,6 +21,27 @@ import (
 // Durable persistence: the object graph is gob-encoded into
 // catalog.gob next to a blob.FileStore directory; interpretations are
 // exported to their serializable form. Payload bytes stay in the BLOBs.
+//
+// Crash safety (see internal/durable and internal/wal):
+//
+//   - Snapshots are framed with a versioned header and CRC-32C
+//     trailer, written to a temp file, fsynced, renamed into place,
+//     and the directory is fsynced — with the previous good snapshot
+//     retained as catalog.gob.bak.
+//   - Load verifies the frame; a truncated or corrupt snapshot is
+//     quarantined (catalog.gob.corrupt) and the backup is used
+//     instead — never a silent partial load.
+//   - Mutations between snapshots live in journal.log and are
+//     replayed over the snapshot; Save truncates the journal.
+
+const snapshotName = "catalog.gob"
+
+// SnapshotFile returns the snapshot path inside a database directory.
+func SnapshotFile(dir string) string { return filepath.Join(dir, snapshotName) }
+
+// ErrCorruptSnapshot reports a snapshot that failed integrity
+// verification (frame checksum or decode).
+var ErrCorruptSnapshot = errors.New("catalog: corrupt snapshot")
 
 // savedObject mirrors core.Object with the descriptor boxed for gob.
 type savedObject struct {
@@ -47,17 +72,15 @@ type savedComponent struct {
 
 type savedCatalog struct {
 	NextID  core.ID
+	Seq     uint64
 	Objects []savedObject
 	Interps []*interp.Exported
 }
 
-// Save writes the catalog's object graph and interpretations to
-// dir/catalog.gob. The BLOB store persists independently (use a
-// FileStore in the same dir).
-func (db *DB) Save(dir string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snap := savedCatalog{NextID: db.nextID}
+// buildSnapshot captures the object graph. Assumes db.mu is held (read
+// or write).
+func (db *DB) buildSnapshot() (*savedCatalog, error) {
+	snap := &savedCatalog{NextID: db.nextID, Seq: db.seq}
 	for id := core.ID(1); id < db.nextID; id++ {
 		obj, ok := db.objects[id]
 		if !ok {
@@ -70,7 +93,7 @@ func (db *DB) Save(dir string) error {
 		if obj.Desc != nil {
 			boxed, err := interp.WrapDescriptor(obj.Desc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			so.Desc = &boxed
 		}
@@ -92,48 +115,133 @@ func (db *DB) Save(dir string) error {
 	for _, it := range db.interps {
 		rec, err := interp.Export(it)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		snap.Interps = append(snap.Interps, rec)
+	}
+	return snap, nil
+}
+
+// Save writes the catalog's object graph and interpretations durably
+// to dir/catalog.gob: checksummed frame, temp-file write, fsync,
+// atomic rename with the previous snapshot kept as catalog.gob.bak,
+// and a directory fsync. When a journal for dir is attached it is
+// truncated afterwards — the snapshot now holds everything it did.
+// The BLOB store persists independently (use a FileStore in the same
+// dir).
+func (db *DB) Save(dir string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap, err := db.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("catalog: %w", err)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	tmp := filepath.Join(dir, "catalog.gob.tmp")
-	f, err := os.Create(tmp)
+	if err := durable.WriteSnapshot(SnapshotFile(dir), buf.Bytes()); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if db.wal != nil && db.walDir == filepath.Clean(dir) {
+		if err := db.wal.Reset(); err != nil {
+			// The snapshot is durable; stale journal records are
+			// skipped on replay via their sequence numbers. Still
+			// report it — the journal will grow unboundedly.
+			return fmt.Errorf("catalog: snapshot saved, journal truncate failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// readSnapshot reads and decodes one snapshot file. Corruption at any
+// layer (frame checksum, truncation, gob decode) is reported via
+// ErrCorruptSnapshot; a missing file surfaces as fs.ErrNotExist.
+// Pre-framing snapshots (no magic) are still accepted for upgrade.
+func readSnapshot(path string) (*savedCatalog, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("catalog: %w", err)
+		return nil, fmt.Errorf("catalog: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(&snap); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("catalog: %w", err)
+	payload, err := durable.DecodeFrame(data)
+	switch {
+	case err == nil:
+	case errors.Is(err, durable.ErrNoMagic):
+		payload = data // legacy unframed snapshot
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("catalog: %w", err)
+	var snap savedCatalog
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
-	return os.Rename(tmp, filepath.Join(dir, "catalog.gob"))
+	return &snap, nil
 }
 
 // Load reads a catalog saved with Save, resolving interpretations
-// against the given store. Options configure the reloaded DB the same
+// against the given store, and replays any mutation journal found
+// next to the snapshot. Options configure the reloaded DB the same
 // way they configure New (e.g. WithCacheCapacity).
+//
+// Recovery: a corrupt or truncated catalog.gob is quarantined and the
+// retained catalog.gob.bak is loaded instead; a snapshot lost between
+// Save's two renames is likewise recovered from the backup. What
+// happened is reported via (*DB).Recovery. Load does not attach the
+// journal for writing — call OpenJournal to log new mutations.
 func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
-	f, err := os.Open(filepath.Join(dir, "catalog.gob"))
+	primary := SnapshotFile(dir)
+	var recovery RecoveryInfo
+	snap, err := readSnapshot(primary)
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		// Crash between backup rotation and rename: the previous
+		// snapshot lives on as .bak.
+		bak, bakErr := readSnapshot(primary + ".bak")
+		if bakErr != nil {
+			return nil, err
+		}
+		snap, recovery.UsedBackup = bak, true
+	case errors.Is(err, ErrCorruptSnapshot):
+		if q, qerr := durable.Quarantine(primary); qerr == nil {
+			recovery.Quarantined = q
+		}
+		bak, bakErr := readSnapshot(primary + ".bak")
+		if bakErr != nil {
+			return nil, fmt.Errorf("%w (backup: %v)", err, bakErr)
+		}
+		snap, recovery.UsedBackup = bak, true
+	default:
+		return nil, err
+	}
+	recovery.SnapshotLoaded = true
+
+	db, err := newFromSnapshot(snap, store, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	var snap savedCatalog
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
+	db.recovery = recovery
+	if err := db.replayJournalLocked(JournalFile(dir)); err != nil {
+		return nil, err
 	}
+	return db, nil
+}
+
+// newFromSnapshot reconstructs a DB from a decoded snapshot.
+func newFromSnapshot(snap *savedCatalog, store blob.Store, opts ...Option) (*DB, error) {
 	db := New(store, opts...)
 	db.nextID = snap.NextID
+	db.seq = snap.Seq
 	for _, rec := range snap.Interps {
-		b, err := store.Open(rec.BlobID)
-		if err != nil {
+		var b blob.BLOB
+		if err := durable.Retry(storeRetries, storeRetryBase, func() error {
+			var e error
+			b, e = store.Open(rec.BlobID)
+			return e
+		}); err != nil {
 			return nil, fmt.Errorf("catalog: interpretation of missing %v: %w", rec.BlobID, err)
 		}
 		it, err := interp.Import(rec, b)
@@ -173,6 +281,37 @@ func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
 		}
 		db.objects[obj.ID] = obj
 		db.byName[obj.Name] = obj.ID
+	}
+	return db, nil
+}
+
+// Open loads the catalog at dir when any persistent state exists
+// (snapshot, backup or journal), creates a fresh one otherwise, and
+// attaches the mutation journal in both cases. This is the one-call
+// path the CLIs use.
+func Open(dir string, store blob.Store, opts ...Option) (*DB, error) {
+	_, errA := os.Stat(SnapshotFile(dir))
+	_, errB := os.Stat(SnapshotFile(dir) + ".bak")
+	if errA == nil || errB == nil {
+		db, err := Load(dir, store, opts...)
+		if err != nil {
+			return nil, err
+		}
+		// Load already replayed the journal; just attach it.
+		db.mu.Lock()
+		err = db.attachJournalLocked(dir)
+		db.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	db := New(store, opts...)
+	if err := db.OpenJournal(dir); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/media"
+)
+
+// TestRecoverMiddleware: a handler panic becomes a 500 and a counter
+// increment; the process stays up.
+func TestRecoverMiddleware(t *testing.T) {
+	var stats lifecycleStats
+	h := recoverMiddleware(&stats, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("code = %d", rec.Code)
+	}
+	if stats.snapshot().PanicsRecovered != 1 {
+		t.Errorf("panics = %d", stats.snapshot().PanicsRecovered)
+	}
+	// And an un-panicked request passes through untouched.
+	rec2 := httptest.NewRecorder()
+	recoverMiddleware(&stats, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})).ServeHTTP(rec2, httptest.NewRequest("GET", "/x", nil))
+	if rec2.Code != http.StatusTeapot {
+		t.Errorf("passthrough code = %d", rec2.Code)
+	}
+}
+
+// TestFaultLimiterSheds: at capacity the limiter answers 503 with a
+// Retry-After hint instead of queueing.
+func TestFaultLimiterSheds(t *testing.T) {
+	var stats lifecycleStats
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	slots := make(chan struct{}, 1)
+	h := limitMiddleware(&stats, slots, 7*time.Second, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+	}()
+	<-entered // the slot is now held
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/shed", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("code = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q", got)
+	}
+	if stats.snapshot().LoadShed != 1 {
+		t.Errorf("shed = %d", stats.snapshot().LoadShed)
+	}
+	close(release)
+	wg.Wait()
+	if got := stats.snapshot().InFlight; got != 0 {
+		t.Errorf("in-flight after drain = %d", got)
+	}
+
+	// A nil slots channel disables the limiter entirely.
+	if got := limitMiddleware(&stats, nil, time.Second, http.NotFoundHandler()); got == nil {
+		t.Fatal("nil limiter")
+	}
+}
+
+// TestTimeoutMiddleware: handlers observe the configured deadline via
+// the request context; d <= 0 leaves the context alone.
+func TestTimeoutMiddleware(t *testing.T) {
+	var sawDeadline bool
+	h := timeoutMiddleware(time.Minute, http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if !sawDeadline {
+		t.Error("no deadline on request context")
+	}
+
+	h0 := timeoutMiddleware(0, http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	h0.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if sawDeadline {
+		t.Error("deadline attached despite d=0")
+	}
+}
+
+// TestFaultShedVisibleInMetrics drives the full server at max-inflight
+// 1 and checks the shed shows up in /metrics.
+func TestFaultShedVisibleInMetrics(t *testing.T) {
+	db := fixtures.NewMemDB()
+	// Raw RGB and lots of frames: the stream body (~60MB) far exceeds
+	// any auto-tuned socket buffering, so an unread response blocks
+	// the handler and holds the only slot.
+	if _, err := db.Ingest("clip", fixtures.Video(100, 512, 384, 1),
+		catalog.IngestOptions{VideoEncoding: media.EncodingRawRGB}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, WithMaxInFlight(1), WithRequestTimeout(time.Minute))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold the only slot with a streaming request that we leave
+	// half-read. Use a raw client so the body stays open.
+	release := make(chan struct{})
+	go func() {
+		resp, err := http.Get(ts.URL + "/objects/clip/stream")
+		if err == nil {
+			<-release
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the slot is actually held, then expect a shed.
+	deadline := time.Now().Add(5 * time.Second)
+	var shedCode int
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			shedCode = resp.StatusCode
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	if shedCode != http.StatusServiceUnavailable {
+		t.Fatal("never observed load shedding")
+	}
+	if got := srv.stats.snapshot().LoadShed; got < 1 {
+		t.Errorf("load_shed = %d", got)
+	}
+}
+
+// TestCrashCutSurvivesRestart is the acceptance scenario end to end
+// over HTTP: POST /cut, then "kill -9" (abandon everything without
+// Save), restart, and the derivation is there.
+func TestCrashCutSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := catalog.Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest("clip", fixtures.Video(10, 32, 24, 9), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+
+	resp, err := http.Post(ts.URL+"/objects/clip/cut?out=webcut&from=2&to=6", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cut status = %d", resp.StatusCode)
+	}
+	ts.Close()
+	// Crash: no Save, no CloseJournal. The journal append that backed
+	// the 201 response was fsynced before it was sent.
+
+	fs2, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := catalog.Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db2.Lookup("webcut")
+	if err != nil {
+		t.Fatalf("webcut after restart: %v", err)
+	}
+	if uint64(obj.ID) != created.ID {
+		t.Errorf("id = %d, want %d", obj.ID, created.ID)
+	}
+	v, err := db2.Expand(obj.ID)
+	if err != nil || len(v.Video) != 4 {
+		t.Fatalf("expand after restart: %v (frames=%d)", err, len(v.Video))
+	}
+
+	// The restarted server reports the recovery in /metrics.
+	ts2 := httptest.NewServer(New(db2))
+	defer ts2.Close()
+	var m struct {
+		Recovery struct {
+			JournalRecords int `json:"journal_records_replayed"`
+		} `json:"recovery"`
+	}
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if m.Recovery.JournalRecords < 1 {
+		t.Errorf("journal_records_replayed = %d", m.Recovery.JournalRecords)
+	}
+}
+
+// TestStreamStopsOnDeadline: a stream whose deadline expires truncates
+// instead of running to completion.
+func TestStreamStopsOnDeadline(t *testing.T) {
+	db := fixtures.NewMemDB()
+	if _, err := db.Ingest("clip", fixtures.Video(50, 32, 24, 2), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// 1ns deadline: expired before the handler runs.
+	ts := httptest.NewServer(New(db, WithRequestTimeout(time.Nanosecond)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/objects/clip/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	tsFull := httptest.NewServer(New(db))
+	defer tsFull.Close()
+	full := get(t, tsFull.URL+"/objects/clip/stream", 200)
+	if len(body) >= len(full) {
+		t.Errorf("deadline-limited stream = %d bytes, full = %d", len(body), len(full))
+	}
+}

@@ -26,21 +26,59 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"timedmedia/internal/catalog"
 	"timedmedia/internal/core"
 	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
+	"timedmedia/internal/wal"
 )
+
+// DefaultMaxInFlight bounds concurrent requests when no option is
+// given; requests beyond it are shed with 503 + Retry-After.
+const DefaultMaxInFlight = 1024
+
+// DefaultRequestTimeout is the per-request context deadline when no
+// option is given.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Option configures a Server.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	maxInFlight    int
+	requestTimeout time.Duration
+}
+
+// WithMaxInFlight bounds concurrent requests to n; n <= 0 removes the
+// bound.
+func WithMaxInFlight(n int) Option {
+	return func(c *serverConfig) { c.maxInFlight = n }
+}
+
+// WithRequestTimeout sets the per-request context deadline; d <= 0
+// disables it.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *serverConfig) { c.requestTimeout = d }
+}
 
 // Server serves a catalog over HTTP.
 type Server struct {
-	db  *catalog.DB
-	mux *http.ServeMux
+	db      *catalog.DB
+	mux     *http.ServeMux
+	handler http.Handler
+	stats   lifecycleStats
 }
 
-// New builds a Server over db.
-func New(db *catalog.DB) *Server {
+// New builds a Server over db. The handler chain recovers panics,
+// sheds load beyond the in-flight bound, and deadlines every request
+// (see middleware.go).
+func New(db *catalog.DB, opts ...Option) *Server {
+	cfg := serverConfig{maxInFlight: DefaultMaxInFlight, requestTimeout: DefaultRequestTimeout}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Server{db: db, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /objects", s.handleList)
 	s.mux.HandleFunc("GET /objects/{name}", s.handleObject)
@@ -53,11 +91,19 @@ func New(db *catalog.DB) *Server {
 	s.mux.HandleFunc("POST /objects/{name}/cut", s.handleCut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	var slots chan struct{}
+	if cfg.maxInFlight > 0 {
+		slots = make(chan struct{}, cfg.maxInFlight)
+	}
+	s.handler = recoverMiddleware(&s.stats,
+		limitMiddleware(&s.stats, slots, time.Second,
+			timeoutMiddleware(cfg.requestTimeout, s.mux)))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // objectSummary is the list/detail JSON shape.
 type objectSummary struct {
@@ -279,6 +325,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	var hdr [8]byte
 	for i := from; i < to; i++ {
+		// Stop streaming when the client goes away or the request
+		// deadline expires; headers are already sent, so the stream
+		// simply truncates.
+		if r.Context().Err() != nil {
+			return
+		}
 		payload, err := it.Payload(obj.Track, i)
 		if err != nil {
 			return // headers already sent; truncate
@@ -374,7 +426,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	v, err := s.db.Expand(obj.ID)
+	v, err := s.db.ExpandContext(r.Context(), obj.ID)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -396,10 +448,19 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 type metricsReply struct {
 	Objects        int                    `json:"objects"`
 	ExpansionCache expcache.StatsSnapshot `json:"expansion_cache"`
+	Journal        wal.StatsSnapshot      `json:"journal"`
+	Recovery       catalog.RecoveryInfo   `json:"recovery"`
+	Lifecycle      lifecycleSnapshot      `json:"lifecycle"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, metricsReply{Objects: s.db.Len(), ExpansionCache: s.db.CacheStats()})
+	writeJSON(w, metricsReply{
+		Objects:        s.db.Len(),
+		ExpansionCache: s.db.CacheStats(),
+		Journal:        s.db.JournalStats(),
+		Recovery:       s.db.Recovery(),
+		Lifecycle:      s.stats.snapshot(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
