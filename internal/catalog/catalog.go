@@ -61,6 +61,11 @@ type DB struct {
 	walDir   string
 	seq      uint64
 	recovery RecoveryInfo
+
+	// saveMu serializes Save calls: Save only takes mu.RLock, and two
+	// concurrent snapshots (autosave racing shutdown) would collide on
+	// the same .tmp/.bak files.
+	saveMu sync.Mutex
 }
 
 // Option configures a DB at construction.

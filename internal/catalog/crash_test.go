@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"timedmedia/internal/blob"
@@ -106,6 +107,115 @@ func TestCrashIngestSurvivesWithoutSnapshot(t *testing.T) {
 	}
 	if _, err := db2.Expand(obj.ID); err != nil {
 		t.Errorf("expand after journal-only recovery: %v", err)
+	}
+}
+
+// TestCrashTornTailTruncatedOnRecovery is the double-crash scenario: a
+// crash mid-append leaves a torn journal tail, and recovery must
+// truncate it before reattaching the journal (which opens O_APPEND) —
+// otherwise mutations acknowledged after the recovery are written past
+// the garbage and silently dropped by the next replay.
+func TestCrashTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := db.Ingest("clip", genVideo(8, 9), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut1", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: chop into the last record (the cut1 derivation).
+	fi, err := os.Stat(JournalFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(JournalFile(dir), fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: tear reported, records before it intact.
+	fs2, _ := blob.OpenFileStore(dir)
+	db2, err := Open(dir, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := db2.Recovery(); !rec.JournalTorn || rec.JournalRecords != 2 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if _, err := db2.Lookup("cut1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record replayed: %v", err)
+	}
+	// A mutation acknowledged after the recovery...
+	obj, err := db2.Lookup("clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut2, err := db2.SelectDuration(obj.ID, "cut2", 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...crash again, without any Save.
+
+	// Second restart: cut2 must be present — it was fsynced before
+	// SelectDuration returned, and the first recovery truncated the
+	// tear so it was appended at a clean boundary.
+	fs3, _ := blob.OpenFileStore(dir)
+	db3, err := Open(dir, fs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := db3.Recovery(); rec.JournalTorn || rec.JournalRecords != 3 {
+		t.Fatalf("second recovery = %+v", rec)
+	}
+	got, err := db3.Lookup("cut2")
+	if err != nil || got.ID != cut2 {
+		t.Fatalf("cut2 after second crash: %v %v (acknowledged record lost past old tear)", got, err)
+	}
+	if _, err := db3.Expand(cut2); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSaveConcurrentSerialized: Save only takes mu.RLock, so an
+// autosave racing the shutdown snapshot used to collide on the same
+// .tmp/.bak files. saveMu must serialize them; every call succeeds and
+// the result stays loadable. Run with -race.
+func TestSaveConcurrentSerialized(t *testing.T) {
+	dir := t.TempDir()
+	db := memDB()
+	if _, err := db.Ingest("clip", genVideo(4, 2), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- db.Save(dir)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("concurrent save: %v", err)
+		}
+	}
+	db2, err := Load(dir, db.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Lookup("clip"); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -374,11 +484,25 @@ func TestFaultJournalAppendRollsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Only the successful mutation reached the journal.
-	var got int
-	res, err := wal.Replay(JournalFile(dir), func([]byte) error { got++; return nil })
-	if err != nil || got != 1 || res.Torn {
-		t.Fatalf("journal: got=%d res=%+v err=%v", got, res, err)
+	// Only the successful mutation reached the journal — and it carries
+	// a fresh sequence number. The failed append's seq must not be
+	// reused: a record that failed only at fsync can still be on disk
+	// intact, and a duplicate seq would make replay skip the
+	// acknowledged record in favor of the rolled-back one.
+	var recs []*walOp
+	res, err := wal.Replay(JournalFile(dir), func(d []byte) error {
+		rec, derr := decodeOp(d)
+		if derr != nil {
+			return derr
+		}
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil || len(recs) != 1 || res.Torn {
+		t.Fatalf("journal: recs=%d res=%+v err=%v", len(recs), res, err)
+	}
+	if recs[0].Seq != 2 {
+		t.Errorf("seq = %d, want 2 (failed append's sequence number reused)", recs[0].Seq)
 	}
 }
 

@@ -201,8 +201,12 @@ func (db *DB) SyncJournal() error {
 }
 
 // journalOp appends one mutation record. Assumes db.mu is held by a
-// writer. A nil journal is a no-op. On failure the sequence number is
-// rolled back and the caller must undo the in-memory mutation.
+// writer. A nil journal is a no-op. On failure the caller must undo
+// the in-memory mutation, but the sequence number is never reused: a
+// record that failed only at fsync may still be on disk intact, and a
+// later acknowledged record written under the same seq would be
+// skipped on replay in favor of the rolled-back one. Gaps are harmless
+// to the rec.Seq <= db.seq skip check.
 func (db *DB) journalOp(rec *walOp) error {
 	if db.wal == nil {
 		return nil
@@ -211,11 +215,9 @@ func (db *DB) journalOp(rec *walOp) error {
 	rec.Seq = db.seq
 	data, err := encodeOp(rec)
 	if err != nil {
-		db.seq--
 		return err
 	}
 	if err := db.wal.Append(data); err != nil {
-		db.seq--
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil
@@ -239,6 +241,13 @@ func (db *DB) replayJournalLocked(path string) error {
 	}
 	if res.Torn {
 		db.recovery.JournalTorn = true
+		// Cut the corrupt tail off now, before any journal is attached
+		// for appending: attachJournalLocked opens with O_APPEND, so
+		// new acknowledged records would otherwise land after the
+		// garbage and be dropped at the next replay.
+		if err := wal.TruncateAt(path, res.TornOffset); err != nil {
+			return err
+		}
 	}
 	return nil
 }

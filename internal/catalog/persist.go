@@ -130,6 +130,8 @@ func (db *DB) buildSnapshot() (*savedCatalog, error) {
 // The BLOB store persists independently (use a FileStore in the same
 // dir).
 func (db *DB) Save(dir string) error {
+	db.saveMu.Lock()
+	defer db.saveMu.Unlock()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	snap, err := db.buildSnapshot()

@@ -136,11 +136,13 @@ func WriteSnapshot(path string, payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
 	}
-	if _, err := os.Stat(path); err == nil {
-		if err := os.Rename(path, path+".bak"); err != nil {
-			os.Remove(tmp)
-			return fmt.Errorf("durable: rotate backup: %w", err)
-		}
+	// Rotate unconditionally and tolerate only a missing target: any
+	// other rotation failure (e.g. EACCES) must abort the write, or the
+	// rename below would replace the old snapshot with no backup
+	// retained.
+	if err := os.Rename(path, path+".bak"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: rotate backup: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("durable: %w", err)

@@ -15,7 +15,10 @@
 // Replay stops cleanly at the first incomplete or corrupt record: a
 // crash mid-append leaves a torn tail, which is expected and reported,
 // not an error. Records before the tear are intact (each append is
-// fsynced before the mutation is acknowledged).
+// fsynced before the mutation is acknowledged). Recovery must truncate
+// the tear away (TruncateAt) before reopening the journal for appends,
+// or new records would land after the garbage and be lost to the next
+// replay.
 package wal
 
 import (
@@ -39,6 +42,12 @@ const MaxRecordLen = 64 << 20
 
 // ErrClosed reports an append to a closed journal.
 var ErrClosed = errors.New("wal: journal closed")
+
+// ErrFailed reports a journal that could not truncate away a failed
+// append: later records would land after the partial frame and be
+// discarded as the torn tail on replay, so the journal refuses writes
+// until a Reset succeeds.
+var ErrFailed = errors.New("wal: journal failed")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -78,10 +87,14 @@ type Appender interface {
 
 // Journal is an append-only record log. Safe for concurrent use.
 type Journal struct {
-	mu    sync.Mutex
-	f     *os.File
-	path  string
-	stats Stats
+	mu sync.Mutex
+	f  *os.File
+	// size is the length of the last fully-acknowledged record
+	// boundary; a failed append truncates back to it.
+	size   int64
+	failed error
+	path   string
+	stats  Stats
 }
 
 // Open opens (creating if necessary) the journal at path for
@@ -91,7 +104,12 @@ func Open(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Journal{f: f, path: path}, nil
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Journal{f: f, path: path, size: fi.Size()}, nil
 }
 
 // Path returns the journal's file path.
@@ -112,18 +130,38 @@ func (j *Journal) Append(data []byte) error {
 		j.stats.AppendErrors.Add(1)
 		return ErrClosed
 	}
+	if j.failed != nil {
+		j.stats.AppendErrors.Add(1)
+		return fmt.Errorf("%w: %v", ErrFailed, j.failed)
+	}
 	if _, err := j.f.Write(frame); err != nil {
 		j.stats.AppendErrors.Add(1)
+		j.rollbackLocked()
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		j.stats.AppendErrors.Add(1)
+		j.rollbackLocked()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	j.size += int64(len(frame))
 	j.stats.Appends.Add(1)
 	j.stats.BytesAppended.Add(int64(len(frame)))
 	j.stats.Syncs.Add(1)
 	return nil
+}
+
+// rollbackLocked truncates away the bytes of a failed append so the
+// next record lands at a record boundary — a partial frame left
+// mid-log would be taken for the torn tail on replay, discarding
+// every acknowledged record after it. O_APPEND makes the next write
+// resume at the truncated end. If the truncate itself fails the
+// journal is marked failed and refuses further appends: better
+// unavailable than silently lossy.
+func (j *Journal) rollbackLocked() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.failed = fmt.Errorf("rollback truncate: %v", err)
+	}
 }
 
 // Reset implements Appender: truncate to zero after a snapshot has
@@ -140,6 +178,8 @@ func (j *Journal) Reset() error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	j.size = 0
+	j.failed = nil // the log is demonstrably clean again
 	j.stats.Resets.Add(1)
 	return nil
 }
@@ -242,4 +282,29 @@ func Replay(path string, fn func(data []byte) error) (ReplayResult, error) {
 		res.Records++
 		off += int64(frameHeaderLen) + int64(n)
 	}
+}
+
+// TruncateAt cuts the journal at path down to off — the tear offset
+// Replay reported — and fsyncs it, so appends after a torn-tail
+// recovery resume at a clean record boundary. The bytes past the tear
+// are unreadable by definition; left in place, a journal reopened with
+// O_APPEND would write acknowledged records after them, and the next
+// replay would stop at the old tear and drop every one. A missing file
+// is a no-op.
+func TruncateAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
 }

@@ -84,6 +84,57 @@ func TestReplayTornTail(t *testing.T) {
 	}
 }
 
+// TestTruncateAtEnablesAppendAfterTear covers the double-crash
+// scenario: a torn tail must be cut off before the journal is reopened
+// for appending, or records appended after recovery land past the
+// garbage and are dropped by the next replay.
+func TestTruncateAtEnablesAppendAfterTear(t *testing.T) {
+	path := journalPath(t)
+	j, _ := Open(path)
+	j.Append([]byte("intact"))
+	j.Append([]byte("doomed"))
+	j.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Replay(path, func([]byte) error { return nil })
+	if err != nil || !res.Torn {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if err := TruncateAt(path, res.TornOffset); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	var got []string
+	res2, err := Replay(path, func(d []byte) error { got = append(got, string(d)); return nil })
+	if err != nil || res2.Torn {
+		t.Fatalf("res=%+v err=%v", res2, err)
+	}
+	if len(got) != 2 || got[0] != "intact" || got[1] != "after-recovery" {
+		t.Fatalf("got = %q (post-recovery append lost to old tear?)", got)
+	}
+}
+
+func TestTruncateAtMissingFileIsNoOp(t *testing.T) {
+	if err := TruncateAt(journalPath(t), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReplayCorruptRecordStops(t *testing.T) {
 	path := journalPath(t)
 	j, _ := Open(path)
