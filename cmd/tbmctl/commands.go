@@ -413,6 +413,22 @@ func kindByName(name string) media.Kind {
 	}
 }
 
+// serverError renders an HTTP error body for a human. The server
+// wraps failures in a {"error":{"code","message"}} envelope; fall
+// back to the raw body when it isn't one (proxies, old servers).
+func serverError(body []byte) string {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return fmt.Sprintf("%s (%s)", env.Error.Message, env.Error.Code)
+	}
+	return strings.TrimSpace(string(body))
+}
+
 // cmdStats reports catalog and expansion-cache statistics. With -url
 // it queries a running tbmserve's /metrics endpoint; otherwise it
 // opens the local database, optionally expands named objects to
@@ -425,7 +441,13 @@ func cmdStats(args []string) error {
 	fs.Parse(args)
 
 	if *url != "" {
-		resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/metrics")
+		// /metrics defaults to Prometheus text; ask for the JSON shape.
+		req, err := http.NewRequest("GET", strings.TrimSuffix(*url, "/")+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "application/json")
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return err
 		}
@@ -435,7 +457,7 @@ func cmdStats(args []string) error {
 			return err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("GET /metrics: %s: %s", resp.Status, body)
+			return fmt.Errorf("GET /metrics: %s: %s", resp.Status, serverError(body))
 		}
 		var m struct {
 			Objects        int                    `json:"objects"`

@@ -10,10 +10,18 @@
 // finish in-flight requests, sync the journal, write a final
 // snapshot.
 //
+// Observability: every response carries an X-Request-ID, GET /metrics
+// serves Prometheus text (JSON under Accept: application/json), recent
+// request traces are at GET /v1/debug/trace, and a structured JSON
+// access log is written to stderr. -debug-addr starts a second,
+// loopback-only listener exposing net/http/pprof; it is off by
+// default so profiling endpoints never share the public port.
+//
 // Usage:
 //
 //	tbmserve -dir db -addr :8080 [-save-every 5m] [-request-timeout 30s]
 //	         [-max-inflight 1024] [-shutdown-grace 10s] [-cache-mb 256]
+//	         [-debug-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +41,7 @@ import (
 	"timedmedia/internal/blob"
 	"timedmedia/internal/catalog"
 	"timedmedia/internal/server"
+	"timedmedia/internal/telemetry"
 )
 
 func main() {
@@ -46,24 +57,33 @@ func main() {
 		"concurrent request bound; beyond it requests are shed with 503 (0 = unbounded)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
 		"how long a SIGTERM drain waits for in-flight requests")
+	debugAddr := flag.String("debug-addr", "",
+		"optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *cacheMB, *saveEvery, *requestTimeout, *maxInFlight, *shutdownGrace); err != nil {
+	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *maxInFlight, *shutdownGrace); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(dir, addr string, cacheMB int64, saveEvery, requestTimeout time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
+func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
 	store, err := blob.OpenFileStore(dir)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
 
+	// One registry spans the catalog and the HTTP layer, so a single
+	// /metrics scrape covers stage latencies (decode, fsync, ...) and
+	// per-route request histograms alike.
+	reg := telemetry.NewRegistry()
+
 	// Open loads the snapshot (falling back to the .bak on
 	// corruption), replays the mutation journal, and attaches it for
 	// writing.
-	db, err := catalog.Open(dir, store, catalog.WithCacheCapacity(cacheMB<<20))
+	db, err := catalog.Open(dir, store,
+		catalog.WithCacheCapacity(cacheMB<<20),
+		catalog.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
@@ -79,17 +99,41 @@ func run(dir, addr string, cacheMB int64, saveEvery, requestTimeout time.Duratio
 	fmt.Printf("serving %d objects from %s on %s (expansion cache %s, snapshot every %v)\n",
 		db.Len(), dir, addr, cacheDesc, saveEvery)
 
+	accessLog := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr: addr,
 		Handler: server.New(db,
 			server.WithMaxInFlight(maxInFlight),
-			server.WithRequestTimeout(requestTimeout)),
+			server.WithRequestTimeout(requestTimeout),
+			server.WithTelemetry(reg),
+			server.WithAccessLog(accessLog)),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Opt-in profiling listener. The handlers are registered on an
+	// explicit mux (not http.DefaultServeMux) so nothing else that
+	// touches the default mux can leak onto the debug port, and the
+	// debug port never shares a mux with the public API.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// Periodic autosave: HTTP-created derivations reach the snapshot
 	// without waiting for shutdown. The journal already makes them
@@ -131,6 +175,9 @@ func run(dir, addr string, cacheMB int64, saveEvery, requestTimeout time.Duratio
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(drainCtx)
 	}
 	if err := db.SyncJournal(); err != nil {
 		log.Printf("shutdown: journal sync: %v", err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/compose"
@@ -25,6 +26,7 @@ import (
 	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
+	"timedmedia/internal/telemetry"
 	"timedmedia/internal/timebase"
 	"timedmedia/internal/wal"
 )
@@ -53,6 +55,11 @@ type DB struct {
 
 	cache *expcache.Cache[core.ID, *derive.Value]
 
+	// tel caches the stage histograms (see telemetry.go). An atomic
+	// pointer keeps the warm expand path free of locks and branches
+	// beyond one load.
+	tel atomic.Pointer[dbTelemetry]
+
 	// Durability state (see journal.go / persist.go): the attached
 	// mutation journal, the database directory it belongs to, the
 	// sequence number of the last journaled mutation, and what the
@@ -73,6 +80,7 @@ type Option func(*config)
 
 type config struct {
 	cacheCapacity int64
+	telemetry     *telemetry.Registry
 }
 
 // WithCacheCapacity bounds the expansion cache to n bytes of decoded
@@ -81,13 +89,25 @@ func WithCacheCapacity(n int64) Option {
 	return func(c *config) { c.cacheCapacity = n }
 }
 
+// WithTelemetry records the catalog's stage latencies (expand, decode,
+// journal append, cache fill, wal fsync, blob read) into reg. Passing
+// it at construction also wraps the BLOB store so span reads are
+// timed — interpretations hold opened BLOBs directly, so a wrapper
+// added later would miss them (SetTelemetry covers everything else).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.telemetry = reg }
+}
+
 // New creates a catalog over the given BLOB store.
 func New(store blob.Store, opts ...Option) *DB {
 	cfg := config{cacheCapacity: DefaultCacheCapacity}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{
+	if cfg.telemetry != nil {
+		store = blob.Observed(store, cfg.telemetry.Histogram(telemetry.StageFamily, telemetry.StageBlobRead))
+	}
+	db := &DB{
 		store:   store,
 		nextID:  1,
 		objects: map[core.ID]*core.Object{},
@@ -95,6 +115,10 @@ func New(store blob.Store, opts ...Option) *DB {
 		interps: map[blob.ID]*interp.Interpretation{},
 		cache:   expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
+	if cfg.telemetry != nil {
+		db.SetTelemetry(cfg.telemetry)
+	}
+	return db
 }
 
 // CacheStats returns a snapshot of the expansion-cache counters.

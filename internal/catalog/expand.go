@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"timedmedia/internal/anim"
 	"timedmedia/internal/audio"
@@ -16,6 +17,7 @@ import (
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/music"
+	"timedmedia/internal/telemetry"
 )
 
 // Expansion errors.
@@ -35,6 +37,13 @@ var (
 // object share one decode and resident bytes stay under the
 // configured capacity (see internal/expcache).
 func (db *DB) Expand(id core.ID) (*derive.Value, error) {
+	return db.expand(context.Background(), id)
+}
+
+// expand is the shared implementation. ctx carries the caller's trace
+// (if any); it is consulted only on the miss path, keeping the warm
+// cache hit free of telemetry work.
+func (db *DB) expand(ctx context.Context, id core.ID) (*derive.Value, error) {
 	// Object resolution stays outside the cached computation so a
 	// missing ID fails fast without occupying a flight slot.
 	obj, err := db.Get(id)
@@ -44,14 +53,27 @@ func (db *DB) Expand(id core.ID) (*derive.Value, error) {
 	if obj.Class == core.ClassMultimedia {
 		return nil, fmt.Errorf("%w: %v is a multimedia object (play it instead)", ErrCannotExpand, id)
 	}
+	// Resident-value fast path: skips building the compute closure, so
+	// a warm hit costs the same as before telemetry existed. Misses
+	// (and joins of an in-flight decode) fall through to Do, which
+	// re-checks under the same lock.
+	if v, ok := db.cache.Get(id); ok {
+		return v, nil
+	}
 	return db.cache.Do(id, func() (*derive.Value, int64, error) {
 		var v *derive.Value
 		var err error
 		switch obj.Class {
 		case core.ClassNonDerived:
+			done := telemetry.StartSpan(ctx, "decode")
+			start := time.Now()
 			v, err = db.decodeTrack(obj)
+			if t := db.tel.Load(); t != nil {
+				t.decode.Observe(time.Since(start))
+			}
+			done()
 		case core.ClassDerived:
-			v, err = db.expandDerived(obj)
+			v, err = db.expandDerived(ctx, obj)
 		}
 		if err != nil {
 			return nil, 0, err
@@ -66,11 +88,20 @@ func (db *DB) Expand(id core.ID) (*derive.Value, error) {
 // itself runs to completion regardless — it is shared with concurrent
 // requests through the cache's singleflight, so one caller's
 // cancellation must not poison the others' result.
+//
+// The whole expansion (cache hit or miss) is recorded as an "expand"
+// span on the request trace and in the expand stage histogram.
 func (db *DB) ExpandContext(ctx context.Context, id core.ID) (*derive.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := db.Expand(id)
+	done := telemetry.StartSpan(ctx, "expand")
+	start := time.Now()
+	v, err := db.expand(ctx, id)
+	if t := db.tel.Load(); t != nil {
+		t.expand.Observe(time.Since(start))
+	}
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -98,12 +129,12 @@ func expandWorkers(n int) int {
 // tracks — then applies the operator. Input order is preserved and
 // the error of the lowest-index failing input is returned, matching
 // the sequential semantics.
-func (db *DB) expandDerived(obj *core.Object) (*derive.Value, error) {
+func (db *DB) expandDerived(ctx context.Context, obj *core.Object) (*derive.Value, error) {
 	d := obj.Derivation
 	inputs := make([]*derive.Value, len(d.Inputs))
 	if len(d.Inputs) <= 1 {
 		for i, in := range d.Inputs {
-			v, err := db.Expand(in)
+			v, err := db.expand(ctx, in)
 			if err != nil {
 				return nil, fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
 			}
@@ -120,7 +151,7 @@ func (db *DB) expandDerived(obj *core.Object) (*derive.Value, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			v, err := db.Expand(in)
+			v, err := db.expand(ctx, in)
 			if err != nil {
 				errs[i] = fmt.Errorf("catalog: expanding %v input %v: %w", obj.ID, in, err)
 				return

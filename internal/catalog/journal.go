@@ -159,6 +159,7 @@ func (db *DB) attachJournalLocked(dir string) error {
 	}
 	db.wal = j
 	db.walDir = filepath.Clean(dir)
+	db.wireFsyncLocked()
 	return nil
 }
 
@@ -171,6 +172,7 @@ func (db *DB) AttachJournal(j wal.Appender, dir string) {
 	defer db.mu.Unlock()
 	db.wal = j
 	db.walDir = filepath.Clean(dir)
+	db.wireFsyncLocked()
 }
 
 // CloseJournal syncs and detaches the journal. Mutations made
@@ -217,7 +219,12 @@ func (db *DB) journalOp(rec *walOp) error {
 	if err != nil {
 		return err
 	}
-	if err := db.wal.Append(data); err != nil {
+	start := time.Now()
+	err = db.wal.Append(data)
+	if t := db.tel.Load(); t != nil {
+		t.journal.Observe(time.Since(start))
+	}
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil

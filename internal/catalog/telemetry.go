@@ -1,0 +1,78 @@
+package catalog
+
+import (
+	"timedmedia/internal/telemetry"
+	"timedmedia/internal/wal"
+)
+
+// dbTelemetry caches the stage histograms the catalog's hot paths
+// record into, so observing costs one atomic pointer load rather than
+// a registry lookup.
+type dbTelemetry struct {
+	reg     *telemetry.Registry
+	expand  *telemetry.Histogram
+	decode  *telemetry.Histogram
+	journal *telemetry.Histogram
+}
+
+func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
+	// Create every stage series up front so /metrics shows a
+	// zero-valued line for each stage before its first observation.
+	for _, stage := range []string{
+		telemetry.StageLookup,
+		telemetry.StageExpand,
+		telemetry.StageDecode,
+		telemetry.StagePayload,
+		telemetry.StageJournalAppend,
+		telemetry.StageExpcacheFill,
+		telemetry.StageWALFsync,
+		telemetry.StageBlobRead,
+	} {
+		reg.Histogram(telemetry.StageFamily, stage)
+	}
+	return &dbTelemetry{
+		reg:     reg,
+		expand:  reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
+		decode:  reg.Histogram(telemetry.StageFamily, telemetry.StageDecode),
+		journal: reg.Histogram(telemetry.StageFamily, telemetry.StageJournalAppend),
+	}
+}
+
+// SetTelemetry attaches a metrics registry: expand/decode/journal
+// latencies, expansion-cache fill times and journal fsyncs are
+// recorded into its stage histograms from then on. Safe to call on a
+// live DB; passing the registry already attached is a no-op in effect
+// (series are get-or-create). BLOB read timing additionally needs the
+// store wrapped at construction — use WithTelemetry for that.
+func (db *DB) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	db.tel.Store(newDBTelemetry(reg))
+	db.cache.SetFillObserver(reg.Histogram(telemetry.StageFamily, telemetry.StageExpcacheFill))
+	db.mu.Lock()
+	db.wireFsyncLocked()
+	db.mu.Unlock()
+}
+
+// Telemetry returns the attached registry (nil when none).
+func (db *DB) Telemetry() *telemetry.Registry {
+	if t := db.tel.Load(); t != nil {
+		return t.reg
+	}
+	return nil
+}
+
+// wireFsyncLocked points the attached journal's fsync timing at the
+// wal_fsync stage histogram. Wrapped journals (fault injection) that
+// don't expose SetFsyncObserver are simply unobserved. Assumes db.mu
+// is held.
+func (db *DB) wireFsyncLocked() {
+	t := db.tel.Load()
+	if t == nil || db.wal == nil {
+		return
+	}
+	if o, ok := db.wal.(interface{ SetFsyncObserver(wal.FsyncObserver) }); ok {
+		o.SetFsyncObserver(t.reg.Histogram(telemetry.StageFamily, telemetry.StageWALFsync))
+	}
+}

@@ -33,8 +33,25 @@ type Cache[K comparable, V any] struct {
 	entries map[K]*list.Element
 	lru     *list.List // front = most recently used
 	flights map[K]*flight[V]
+	fillObs Observer // nil unless SetFillObserver was called
 
 	stats stats
+}
+
+// Observer receives the wall time of each miss fill (one observation
+// per compute call, successful or not). telemetry.*Histogram satisfies
+// it; the local interface keeps this package dependency-free.
+type Observer interface {
+	Observe(d time.Duration)
+}
+
+// SetFillObserver installs obs to receive miss-fill latencies. Call
+// before the cache is shared across goroutines, or accept that earlier
+// fills go unobserved.
+func (c *Cache[K, V]) SetFillObserver(obs Observer) {
+	c.mu.Lock()
+	c.fillObs = obs
+	c.mu.Unlock()
 }
 
 // entry is an LRU cell.
@@ -151,11 +168,16 @@ func (c *Cache[K, V]) Do(key K, compute func() (V, int64, error)) (V, error) {
 	c.flights[key] = fl
 	c.stats.misses.Add(1)
 	c.stats.inFlight.Add(1)
+	fillObs := c.fillObs
 	c.mu.Unlock()
 
 	start := time.Now()
 	fl.val, fl.size, fl.err = compute()
-	c.stats.computeNanos.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	c.stats.computeNanos.Add(elapsed.Nanoseconds())
+	if fillObs != nil {
+		fillObs.Observe(elapsed)
+	}
 	c.stats.inFlight.Add(-1)
 	if fl.err != nil {
 		c.stats.errors.Add(1)

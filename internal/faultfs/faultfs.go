@@ -83,6 +83,16 @@ func (in *Injector) Fired() int {
 	return in.fired
 }
 
+// Count returns how many calls to op have been seen (faulted or not).
+func (in *Injector) Count(op string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
 // check counts one call to op and returns the scheduled fault, if
 // any. The bool reports whether a short write was requested.
 func (in *Injector) check(op string) (error, bool) {

@@ -219,7 +219,12 @@ func TestCrashCutSurvivesRestart(t *testing.T) {
 			JournalRecords int `json:"journal_records_replayed"`
 		} `json:"recovery"`
 	}
-	mresp, err := http.Get(ts2.URL + "/metrics")
+	mreq, err := http.NewRequest("GET", ts2.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mreq.Header.Set("Accept", "application/json")
+	mresp, err := http.DefaultClient.Do(mreq)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,30 +3,41 @@ package server
 import (
 	"context"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"timedmedia/internal/telemetry"
 )
 
-// Lifecycle hardening: the handler chain wraps the mux with, from the
-// outside in,
+// Lifecycle hardening and observability: the handler chain wraps the
+// mux with, from the outside in,
 //
 //  1. panic recovery — a handler panic 500s that request and bumps a
 //     counter instead of killing the process;
-//  2. an in-flight limiter — beyond the configured concurrency the
+//  2. request telemetry — a request ID is generated, echoed in
+//     X-Request-ID and propagated via context; the response status,
+//     bytes and duration feed the per-route latency histogram, the
+//     trace ring and the access log;
+//  3. an in-flight limiter — beyond the configured concurrency the
 //     server sheds load with 503 + Retry-After rather than queueing
 //     toward collapse;
-//  3. a per-request deadline — the request context expires after the
-//     configured timeout, and /stream and /expand observe it.
+//  4. a per-request deadline — the request context expires after the
+//     configured timeout, and /stream and /expand observe it;
+//  5. a legacy rewrite — unversioned /objects... paths are rewritten
+//     to /v1/... and counted, so deprecation is observable.
 //
-// Counters for all three are reported at /metrics.
+// Counters for all of it are reported at /metrics.
 
 // lifecycleStats counts what the hardening layer had to do.
 type lifecycleStats struct {
-	panics   atomic.Int64
-	shed     atomic.Int64
-	inFlight atomic.Int64
+	panics          atomic.Int64
+	shed            atomic.Int64
+	inFlight        atomic.Int64
+	streamTruncated atomic.Int64
 }
 
 // lifecycleSnapshot is the /metrics JSON shape of lifecycleStats.
@@ -34,13 +45,18 @@ type lifecycleSnapshot struct {
 	PanicsRecovered int64 `json:"panics_recovered"`
 	LoadShed        int64 `json:"load_shed"`
 	InFlight        int64 `json:"in_flight"`
+	// StreamsTruncated counts /stream responses cut short by a payload
+	// error after the body had started (the client sees the
+	// X-Stream-Error trailer).
+	StreamsTruncated int64 `json:"streams_truncated"`
 }
 
 func (s *lifecycleStats) snapshot() lifecycleSnapshot {
 	return lifecycleSnapshot{
-		PanicsRecovered: s.panics.Load(),
-		LoadShed:        s.shed.Load(),
-		InFlight:        s.inFlight.Load(),
+		PanicsRecovered:  s.panics.Load(),
+		LoadShed:         s.shed.Load(),
+		InFlight:         s.inFlight.Load(),
+		StreamsTruncated: s.streamTruncated.Load(),
 	}
 }
 
@@ -82,7 +98,7 @@ func limitMiddleware(stats *lifecycleStats, slots chan struct{}, retryAfter time
 		default:
 			stats.shed.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
-			http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, CodeOverloaded, "server overloaded")
 		}
 	})
 }
@@ -99,5 +115,133 @@ func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Server-package context keys: the matched route name (filled in by
+// the registration wrapper — http.Request.Pattern needs Go 1.23, and
+// the module supports 1.22) and the legacy-route flag.
+type serverCtxKey int
+
+const (
+	routeKey serverCtxKey = iota
+	legacyKey
+)
+
+// routeHolder lets the routing layer report the matched route name
+// back to the telemetry middleware that wrapped it.
+type routeHolder struct{ name string }
+
+func routeFrom(ctx context.Context) *routeHolder {
+	rh, _ := ctx.Value(routeKey).(*routeHolder)
+	return rh
+}
+
+// isLegacy reports whether the request arrived on an unversioned
+// route (handlers keep the pre-/v1 response shapes there).
+func isLegacy(ctx context.Context) bool {
+	v, _ := ctx.Value(legacyKey).(bool)
+	return v
+}
+
+// statusRecorder captures the status and body size of a response, and
+// keeps Flush working for streaming handlers. Unwrap supports
+// http.ResponseController.
+type statusRecorder struct {
+	http.ResponseWriter
+	status    int
+	bytes     int64
+	completed bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// telemetryMiddleware issues the request ID, carries the trace through
+// context, and on completion feeds the per-route histogram, the trace
+// ring and the access log. It sits inside recoverMiddleware: a panic
+// unwinds through the deferred finalizer (recording the request as a
+// 500 unless a status was already written) and is then recovered
+// outside.
+func (s *Server) telemetryMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := telemetry.NewRequestID()
+		tr := telemetry.NewTrace(rid, r.Method, r.URL.Path)
+		rh := &routeHolder{}
+		ctx := telemetry.WithRequestID(r.Context(), rid)
+		ctx = telemetry.WithTrace(ctx, tr)
+		ctx = context.WithValue(ctx, routeKey, rh)
+		w.Header().Set("X-Request-ID", rid)
+		rec := &statusRecorder{ResponseWriter: w}
+		method, path := r.Method, r.URL.Path
+		defer func() {
+			d := time.Since(start)
+			status := rec.status
+			if status == 0 {
+				if rec.completed {
+					status = http.StatusOK
+				} else {
+					status = http.StatusInternalServerError // panicked before writing
+				}
+			}
+			route := rh.name
+			if route == "" {
+				route = "other" // unmatched: 404s, bad methods
+			}
+			s.reg.Histogram(telemetry.RequestFamily, `route="`+route+`"`).Observe(d)
+			s.tracer.Add(tr.Finish(status, rec.bytes, d))
+			if s.accessLog != nil {
+				s.accessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("request_id", rid),
+					slog.String("method", method),
+					slog.String("path", path),
+					slog.String("route", route),
+					slog.Int("status", status),
+					slog.Int64("bytes", rec.bytes),
+					slog.Duration("duration", d),
+				)
+			}
+		}()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		rec.completed = true
+	})
+}
+
+// legacyRewrite keeps the pre-/v1 object routes working: unversioned
+// /objects... paths are rewritten in place to /v1/objects..., counted
+// in tbm_legacy_requests_total, and flagged in the context so list
+// responses keep their legacy bare-array shape.
+func (s *Server) legacyRewrite(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p := r.URL.Path; p == "/objects" || strings.HasPrefix(p, "/objects/") {
+			s.legacy.Inc()
+			r2 := r.Clone(context.WithValue(r.Context(), legacyKey, true))
+			r2.URL.Path = "/v1" + p
+			next.ServeHTTP(w, r2)
+			return
+		}
+		next.ServeHTTP(w, r)
 	})
 }

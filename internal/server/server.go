@@ -5,25 +5,36 @@
 // elements by index or time, and stream an object's elements in
 // presentation order.
 //
-//	GET /objects                         list catalog objects (JSON)
-//	GET /objects/{name}                  one object: descriptor, categories, attrs
-//	GET /objects/{name}/element/{i}      raw payload of element i
-//	GET /objects/{name}/at/{tick}        payload of the element covering tick
-//	GET /objects/{name}/stream?from=&to= chunked elements in presentation order
-//	GET /objects/{name}/expand           expand (decode) an object; JSON summary
-//	GET /objects/{name}/timeline         multimedia timeline (JSON)
-//	GET /objects/{name}/lineage          Figure 5 layers (JSON)
-//	POST /objects/{name}/cut?out=&from=&to=  create an edit derivation
-//	GET /metrics                         expansion-cache and catalog counters (JSON)
-//	GET /healthz                         liveness probe
+// Object routes are versioned under /v1 (the pre-versioning paths
+// still work via an internal rewrite, counted in
+// tbm_legacy_requests_total):
+//
+//	GET /v1/objects?limit=&offset=          paginated object list (JSON)
+//	GET /v1/objects/{name}                  one object: descriptor, categories, attrs
+//	GET /v1/objects/{name}/element/{i}      raw payload of element i
+//	GET /v1/objects/{name}/at/{tick}        payload of the element covering tick
+//	GET /v1/objects/{name}/stream?from=&to= chunked elements in presentation order
+//	GET /v1/objects/{name}/expand           expand (decode) an object; JSON summary
+//	GET /v1/objects/{name}/timeline         multimedia timeline (JSON)
+//	GET /v1/objects/{name}/lineage          Figure 5 layers (JSON)
+//	POST /v1/objects/{name}/cut?out=&from=&to=  create an edit derivation
+//	GET /v1/debug/trace                     recent request traces (JSON)
+//	GET /metrics                            Prometheus text exposition;
+//	                                        JSON under Accept: application/json
+//	GET /healthz                            liveness probe
+//
+// Every response carries an X-Request-ID header; API errors are JSON
+// envelopes {"error":{"code":"...","message":"..."}} (see errors.go).
 package server
 
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"log"
+	"log/slog"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +43,7 @@ import (
 	"timedmedia/internal/core"
 	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
+	"timedmedia/internal/telemetry"
 	"timedmedia/internal/wal"
 )
 
@@ -49,6 +61,9 @@ type Option func(*serverConfig)
 type serverConfig struct {
 	maxInFlight    int
 	requestTimeout time.Duration
+	registry       *telemetry.Registry
+	accessLog      *slog.Logger
+	traceCapacity  int
 }
 
 // WithMaxInFlight bounds concurrent requests to n; n <= 0 removes the
@@ -63,43 +78,111 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(c *serverConfig) { c.requestTimeout = d }
 }
 
+// WithTelemetry uses reg for the server's histograms and counters
+// instead of a fresh registry, so one /metrics exposition can cover
+// several components sharing it.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *serverConfig) { c.registry = reg }
+}
+
+// WithAccessLog emits one structured line per request (request ID,
+// route, status, bytes, duration) to l.
+func WithAccessLog(l *slog.Logger) Option {
+	return func(c *serverConfig) { c.accessLog = l }
+}
+
+// WithTraceCapacity sizes the in-memory ring of recent request traces
+// served at /v1/debug/trace (default telemetry.DefaultTraceCapacity).
+func WithTraceCapacity(n int) Option {
+	return func(c *serverConfig) { c.traceCapacity = n }
+}
+
 // Server serves a catalog over HTTP.
 type Server struct {
 	db      *catalog.DB
 	mux     *http.ServeMux
 	handler http.Handler
 	stats   lifecycleStats
+
+	reg         *telemetry.Registry
+	tracer      *telemetry.Tracer
+	legacy      *telemetry.Counter
+	lookupHist  *telemetry.Histogram
+	payloadHist *telemetry.Histogram
+	accessLog   *slog.Logger
 }
 
 // New builds a Server over db. The handler chain recovers panics,
-// sheds load beyond the in-flight bound, and deadlines every request
+// records request telemetry, sheds load beyond the in-flight bound,
+// deadlines every request, and rewrites legacy unversioned routes
 // (see middleware.go).
+//
+// Registry resolution: an explicit WithTelemetry wins, else a registry
+// already attached to db is shared, else a fresh one is created. The
+// resolved registry is (re)attached to db so catalog stage histograms
+// always land in the same exposition.
 func New(db *catalog.DB, opts ...Option) *Server {
 	cfg := serverConfig{maxInFlight: DefaultMaxInFlight, requestTimeout: DefaultRequestTimeout}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{db: db, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /objects", s.handleList)
-	s.mux.HandleFunc("GET /objects/{name}", s.handleObject)
-	s.mux.HandleFunc("GET /objects/{name}/element/{i}", s.handleElement)
-	s.mux.HandleFunc("GET /objects/{name}/at/{tick}", s.handleAt)
-	s.mux.HandleFunc("GET /objects/{name}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /objects/{name}/expand", s.handleExpand)
-	s.mux.HandleFunc("GET /objects/{name}/timeline", s.handleTimeline)
-	s.mux.HandleFunc("GET /objects/{name}/lineage", s.handleLineage)
-	s.mux.HandleFunc("POST /objects/{name}/cut", s.handleCut)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	reg := cfg.registry
+	if reg == nil {
+		reg = db.Telemetry()
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	db.SetTelemetry(reg)
+
+	s := &Server{
+		db:          db,
+		mux:         http.NewServeMux(),
+		reg:         reg,
+		tracer:      telemetry.NewTracer(cfg.traceCapacity),
+		legacy:      reg.Counter(telemetry.LegacyCounter, ""),
+		lookupHist:  reg.Histogram(telemetry.StageFamily, telemetry.StageLookup),
+		payloadHist: reg.Histogram(telemetry.StageFamily, telemetry.StagePayload),
+		accessLog:   cfg.accessLog,
+	}
+	s.route("GET /v1/objects", "list", s.handleList)
+	s.route("GET /v1/objects/{name}", "object", s.handleObject)
+	s.route("GET /v1/objects/{name}/element/{i}", "element", s.handleElement)
+	s.route("GET /v1/objects/{name}/at/{tick}", "at", s.handleAt)
+	s.route("GET /v1/objects/{name}/stream", "stream", s.handleStream)
+	s.route("GET /v1/objects/{name}/expand", "expand", s.handleExpand)
+	s.route("GET /v1/objects/{name}/timeline", "timeline", s.handleTimeline)
+	s.route("GET /v1/objects/{name}/lineage", "lineage", s.handleLineage)
+	s.route("POST /v1/objects/{name}/cut", "cut", s.handleCut)
+	s.route("GET /v1/debug/trace", "trace", s.handleTrace)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
 
 	var slots chan struct{}
 	if cfg.maxInFlight > 0 {
 		slots = make(chan struct{}, cfg.maxInFlight)
 	}
 	s.handler = recoverMiddleware(&s.stats,
-		limitMiddleware(&s.stats, slots, time.Second,
-			timeoutMiddleware(cfg.requestTimeout, s.mux)))
+		s.telemetryMiddleware(
+			limitMiddleware(&s.stats, slots, time.Second,
+				timeoutMiddleware(cfg.requestTimeout,
+					s.legacyRewrite(s.mux)))))
 	return s
+}
+
+// route registers a handler under a stable route name. The name labels
+// the per-route latency series (created eagerly so /metrics lists
+// every endpoint from the start) and is reported back to the telemetry
+// middleware and onto the request trace.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.reg.Histogram(telemetry.RequestFamily, `route="`+name+`"`)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rh := routeFrom(r.Context()); rh != nil {
+			rh.name = name
+		}
+		telemetry.TraceFrom(r.Context()).SetRoute(name)
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -166,7 +249,11 @@ func (s *Server) source(obj *core.Object) (*interp.Interpretation, *interp.Track
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Object, bool) {
+	done := telemetry.StartSpan(r.Context(), "lookup")
+	start := time.Now()
 	obj, err := s.db.Lookup(r.PathValue("name"))
+	s.lookupHist.Observe(time.Since(start))
+	done()
 	if err != nil {
 		httpError(w, err)
 		return nil, false
@@ -174,16 +261,15 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Object, b
 	return obj, true
 }
 
-func httpError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, interp.ErrNoTrack), errors.Is(err, interp.ErrNoElement):
-		code = http.StatusNotFound
-	case errors.Is(err, catalog.ErrNotComposite), errors.Is(err, catalog.ErrNotMedia),
-		errors.Is(err, catalog.ErrCannotExpand), errors.Is(err, catalog.ErrNoInterp):
-		code = http.StatusBadRequest
-	}
-	http.Error(w, err.Error(), code)
+// payload fetches one element's bytes, timing the fetch into the
+// payload stage histogram and the request trace.
+func (s *Server) payload(r *http.Request, it *interp.Interpretation, track string, i int) ([]byte, error) {
+	done := telemetry.StartSpan(r.Context(), "payload")
+	start := time.Now()
+	data, err := it.Payload(track, i)
+	s.payloadHist.Observe(time.Since(start))
+	done()
+	return data, err
 }
 
 // writeJSON encodes to a buffer first so an encoding failure can still
@@ -211,23 +297,79 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Write(buf.Bytes())
 }
 
+// listReply is the paginated shape of GET /v1/objects. NextOffset is
+// present only when more objects follow the returned page.
+type listReply struct {
+	Objects    []objectSummary `json:"objects"`
+	Total      int             `json:"total"`
+	NextOffset *int            `json:"next_offset,omitempty"`
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	// Non-nil so an empty catalog encodes as [] rather than null.
-	out := []objectSummary{}
-	for _, obj := range s.db.Select(func(o *core.Object) bool {
-		if k := r.URL.Query().Get("kind"); k != "" && o.Kind.String() != k {
+	q := r.URL.Query()
+	filtered := s.db.Select(func(o *core.Object) bool {
+		if k := q.Get("kind"); k != "" && o.Kind.String() != k {
 			return false
 		}
-		for key, vals := range r.URL.Query() {
-			if strings.HasPrefix(key, "attr.") && o.Attrs[strings.TrimPrefix(key, "attr.")] != vals[0] {
+		for key, vals := range q {
+			if !strings.HasPrefix(key, "attr.") {
+				continue
+			}
+			// A repeated attr.k=v matches if the object carries any of
+			// the requested values.
+			if !slices.Contains(vals, o.Attrs[strings.TrimPrefix(key, "attr.")]) {
 				return false
 			}
 		}
 		return true
-	}) {
+	})
+
+	// Non-nil so an empty page encodes as [] rather than null.
+	out := []objectSummary{}
+	if isLegacy(r.Context()) {
+		// The pre-/v1 route returned a bare, unpaginated array; keep
+		// that shape for existing clients.
+		for _, obj := range filtered {
+			out = append(out, s.summarize(obj))
+		}
+		writeJSON(w, out)
+		return
+	}
+
+	limit, offset := -1, 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			badRequest(w, "bad limit")
+			return
+		}
+		limit = n
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			badRequest(w, "bad offset")
+			return
+		}
+		offset = n
+	}
+	total := len(filtered)
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	for _, obj := range filtered[offset:end] {
 		out = append(out, s.summarize(obj))
 	}
-	writeJSON(w, out)
+	reply := listReply{Objects: out, Total: total}
+	if end < total {
+		next := end
+		reply.NextOffset = &next
+	}
+	writeJSON(w, reply)
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
@@ -245,7 +387,7 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := strconv.Atoi(r.PathValue("i"))
 	if err != nil {
-		http.Error(w, "bad element index", http.StatusBadRequest)
+		badRequest(w, "bad element index")
 		return
 	}
 	it, _, err := s.source(obj)
@@ -253,7 +395,7 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	payload, err := it.Payload(obj.Track, i)
+	payload, err := s.payload(r, it, obj.Track, i)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -269,7 +411,7 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	}
 	tick, err := strconv.ParseInt(r.PathValue("tick"), 10, 64)
 	if err != nil {
-		http.Error(w, "bad tick", http.StatusBadRequest)
+		badRequest(w, "bad tick")
 		return
 	}
 	it, tr, err := s.source(obj)
@@ -279,10 +421,10 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	}
 	i, found := tr.ElementAt(tick)
 	if !found {
-		http.Error(w, "no element at tick", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNoElement, "no element at tick")
 		return
 	}
-	payload, err := it.Payload(obj.Track, i)
+	payload, err := s.payload(r, it, obj.Track, i)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -294,7 +436,11 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 
 // handleStream sends elements [from, to) in presentation order as a
 // length-prefixed byte stream: for each element an 8-byte big-endian
-// length then the payload.
+// length then the payload. A mid-stream failure cannot change the
+// status line (headers are long gone), so the error is reported in the
+// X-Stream-Error trailer — its absence distinguishes completion from
+// truncation — counted in lifecycle stats, and logged with the request
+// ID.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	obj, ok := s.lookup(w, r)
 	if !ok {
@@ -308,32 +454,49 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	from, to := 0, tr.Len()
 	if v := r.URL.Query().Get("from"); v != "" {
 		if from, err = strconv.Atoi(v); err != nil {
-			http.Error(w, "bad from", http.StatusBadRequest)
+			badRequest(w, "bad from")
 			return
 		}
 	}
 	if v := r.URL.Query().Get("to"); v != "" {
 		if to, err = strconv.Atoi(v); err != nil {
-			http.Error(w, "bad to", http.StatusBadRequest)
+			badRequest(w, "bad to")
 			return
 		}
 	}
 	if from < 0 || to > tr.Len() || from > to {
-		http.Error(w, "range out of bounds", http.StatusBadRequest)
+		badRequest(w, "range out of bounds")
 		return
 	}
+	// Declared before the body starts so net/http sends it as a real
+	// HTTP trailer on the chunked response.
+	w.Header().Set("Trailer", "X-Stream-Error")
 	w.Header().Set("Content-Type", "application/octet-stream")
+	defer telemetry.StartSpan(r.Context(), "payload")()
+	wrote := false
 	var hdr [8]byte
 	for i := from; i < to; i++ {
 		// Stop streaming when the client goes away or the request
 		// deadline expires; headers are already sent, so the stream
-		// simply truncates.
-		if r.Context().Err() != nil {
+		// truncates, with the reason in the trailer.
+		if err := r.Context().Err(); err != nil {
+			w.Header().Set("X-Stream-Error", err.Error())
 			return
 		}
+		start := time.Now()
 		payload, err := it.Payload(obj.Track, i)
+		s.payloadHist.Observe(time.Since(start))
 		if err != nil {
-			return // headers already sent; truncate
+			if !wrote {
+				// Nothing sent yet: a proper error response is still
+				// possible.
+				httpError(w, err)
+				return
+			}
+			s.stats.streamTruncated.Add(1)
+			s.logStreamError(r, obj.Name, i, err)
+			w.Header().Set("X-Stream-Error", fmt.Sprintf("element %d: %v", i, err))
+			return
 		}
 		n := uint64(len(payload))
 		for b := 0; b < 8; b++ {
@@ -342,10 +505,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write(hdr[:]); err != nil {
 			return
 		}
+		wrote = true
 		if _, err := w.Write(payload); err != nil {
 			return
 		}
 	}
+}
+
+// logStreamError records a mid-stream truncation with enough context
+// to find the request again.
+func (s *Server) logStreamError(r *http.Request, name string, elem int, err error) {
+	rid := telemetry.RequestIDFrom(r.Context())
+	if s.accessLog != nil {
+		s.accessLog.Error("stream truncated",
+			slog.String("request_id", rid),
+			slog.String("object", name),
+			slog.Int("element", elem),
+			slog.String("error", err.Error()),
+		)
+		return
+	}
+	log.Printf("server: stream truncated request_id=%s object=%s element=%d: %v", rid, name, elem, err)
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
@@ -389,10 +569,14 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
 	to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
 	if out == "" || err1 != nil || err2 != nil {
-		http.Error(w, "want ?out=name&from=N&to=N", http.StatusBadRequest)
+		badRequest(w, "want ?out=name&from=N&to=N")
 		return
 	}
+	// The span covers the whole journaled mutation; the precise
+	// journal fsync time lands in the journal_append stage histogram.
+	done := telemetry.StartSpan(r.Context(), "journal_append")
 	id, err := s.db.SelectDuration(obj.ID, out, from, to)
+	done()
 	if err != nil {
 		httpError(w, err)
 		return
@@ -405,8 +589,8 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, http.StatusCreated, s.summarize(created))
 }
 
-// expandSummary is the JSON shape of GET /objects/{name}/expand: the
-// materialized value's metadata, not its bytes (use /element or
+// expandSummary is the JSON shape of GET /v1/objects/{name}/expand:
+// the materialized value's metadata, not its bytes (use /element or
 // /stream for payloads).
 type expandSummary struct {
 	Name          string `json:"name"`
@@ -444,23 +628,25 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// metricsReply is the JSON shape of GET /metrics.
+// metricsReply is the JSON shape of GET /metrics under
+// Accept: application/json.
 type metricsReply struct {
 	Objects        int                    `json:"objects"`
 	ExpansionCache expcache.StatsSnapshot `json:"expansion_cache"`
 	Journal        wal.StatsSnapshot      `json:"journal"`
 	Recovery       catalog.RecoveryInfo   `json:"recovery"`
 	Lifecycle      lifecycleSnapshot      `json:"lifecycle"`
+	LegacyRequests int64                  `json:"legacy_requests"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, metricsReply{
-		Objects:        s.db.Len(),
-		ExpansionCache: s.db.CacheStats(),
-		Journal:        s.db.JournalStats(),
-		Recovery:       s.db.Recovery(),
-		Lifecycle:      s.stats.snapshot(),
-	})
+// handleTrace serves the bounded ring of recent request traces,
+// newest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Snapshot()
+	if traces == nil {
+		traces = []telemetry.TraceRecord{}
+	}
+	writeJSON(w, map[string]any{"traces": traces})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -53,6 +53,27 @@ func get(t *testing.T, url string, wantCode int) []byte {
 	return body
 }
 
+// metricsJSON fetches /metrics in its JSON shape (the default
+// exposition is Prometheus text).
+func metricsJSON(t *testing.T, baseURL string) []byte {
+	t.Helper()
+	req, err := http.NewRequest("GET", baseURL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d (%s)", resp.StatusCode, body)
+	}
+	return body
+}
+
 func TestListObjects(t *testing.T) {
 	ts, _ := testServer(t)
 	var objs []map[string]any
@@ -266,7 +287,7 @@ func TestConcurrentExpandSingleflight(t *testing.T) {
 			Entries       int64 `json:"entries"`
 		} `json:"expansion_cache"`
 	}
-	if err := json.Unmarshal(get(t, ts.URL+"/metrics", 200), &m); err != nil {
+	if err := json.Unmarshal(metricsJSON(t, ts.URL), &m); err != nil {
 		t.Fatal(err)
 	}
 	if m.Objects != 4 { // clip, song, show, cut

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are powers of two from 1µs up to ~16.8s plus an
+// overflow bucket, covering the 1µs..10s range the hot paths span
+// (cache hits are microseconds, cold video decodes are seconds).
+// Fixed buckets and atomic counters make Observe lock-free and
+// allocation-free: one bits.Len64 plus three atomic adds.
+const (
+	// NumFiniteBuckets is the count of finite bucket bounds; bound i
+	// is 1µs << i (1µs, 2µs, 4µs, ..., ~16.8s).
+	NumFiniteBuckets = 25
+	// NumBuckets includes the +Inf overflow bucket.
+	NumBuckets = NumFiniteBuckets + 1
+)
+
+// BucketBound returns the upper bound of finite bucket i as a
+// duration.
+func BucketBound(i int) time.Duration { return time.Microsecond << i }
+
+// bucketOf returns the index of the smallest bucket whose bound is
+// >= d (the Prometheus "le" convention).
+func bucketOf(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond) // ceil to µs
+	i := bits.Len64(us - 1)                                     // smallest i with 2^i >= us
+	if i >= NumFiniteBuckets {
+		return NumFiniteBuckets // overflow bucket
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram. All methods are
+// safe for concurrent use and nil-safe: observing on a nil histogram
+// is a no-op, so call sites need no telemetry-enabled branch.
+type Histogram struct {
+	counts   [NumBuckets]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// ObserveSince records time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's
+// counters. Counts are per-bucket (not cumulative).
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Snapshot copies the counters. Buckets are read individually, so a
+// snapshot taken during concurrent observation may be off by the
+// in-flight samples — fine for monitoring, and it keeps Observe
+// lock-free.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNanos.Load())
+	return s
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic counter. Nil-safe like Histogram.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a set of named histograms and counters. Series are
+// keyed by (family, labels) where labels is a raw Prometheus label
+// list such as `route="list"` (empty for none). Get-or-create is
+// idempotent, so independent subsystems can share one registry and
+// ask for the same series. A nil *Registry hands out nil instruments,
+// which silently discard observations.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]map[string]*Histogram // family -> labels -> series
+	counters map[string]map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    map[string]map[string]*Histogram{},
+		counters: map[string]map[string]*Counter{},
+	}
+}
+
+// Histogram returns the histogram series (family, labels), creating
+// it if needed. Creating a series eagerly — before any observation —
+// is how exposition guarantees a zero-valued line for every known
+// route and stage.
+func (r *Registry) Histogram(family, labels string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.hists[family]
+	if fam == nil {
+		fam = map[string]*Histogram{}
+		r.hists[family] = fam
+	}
+	h := fam[labels]
+	if h == nil {
+		h = &Histogram{}
+		fam[labels] = h
+	}
+	return h
+}
+
+// Counter returns the counter series (family, labels), creating it if
+// needed.
+func (r *Registry) Counter(family, labels string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.counters[family]
+	if fam == nil {
+		fam = map[string]*Counter{}
+		r.counters[family] = fam
+	}
+	c := fam[labels]
+	if c == nil {
+		c = &Counter{}
+		fam[labels] = c
+	}
+	return c
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4): histograms as cumulative
+// _bucket/_sum/_count series with le labels in seconds, counters as
+// plain samples. Families and series are emitted in sorted order so
+// the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	histFams := make([]string, 0, len(r.hists))
+	for f := range r.hists {
+		histFams = append(histFams, f)
+	}
+	counterFams := make([]string, 0, len(r.counters))
+	for f := range r.counters {
+		counterFams = append(counterFams, f)
+	}
+	// Copy the series maps so rendering (which takes snapshots) runs
+	// without the registry lock.
+	histSeries := map[string][]seriesRef[*Histogram]{}
+	for _, f := range histFams {
+		histSeries[f] = sortedSeries(r.hists[f])
+	}
+	counterSeries := map[string][]seriesRef[*Counter]{}
+	for _, f := range counterFams {
+		counterSeries[f] = sortedSeries(r.counters[f])
+	}
+	r.mu.Unlock()
+
+	sort.Strings(histFams)
+	sort.Strings(counterFams)
+	for _, fam := range histFams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		for _, s := range histSeries[fam] {
+			if err := writeHistogram(w, fam, s.labels, s.v.Snapshot()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fam := range counterFams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+			return err
+		}
+		for _, s := range counterSeries[fam] {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, braced(s.labels), s.v.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type seriesRef[V any] struct {
+	labels string
+	v      V
+}
+
+func sortedSeries[V any](m map[string]V) []seriesRef[V] {
+	out := make([]seriesRef[V], 0, len(m))
+	for labels, v := range m {
+		out = append(out, seriesRef[V]{labels, v})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].labels < out[b].labels })
+	return out
+}
+
+// braced wraps a raw label list in braces ("" stays "").
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends le=... to an existing label list.
+func joinLabels(labels, le string) string {
+	if labels == "" {
+		return le
+	}
+	return labels + "," + le
+}
+
+func writeHistogram(w io.Writer, fam, labels string, s HistogramSnapshot) error {
+	var cum uint64
+	for i := 0; i < NumFiniteBuckets; i++ {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[NumFiniteBuckets]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, joinLabels(labels, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, braced(labels),
+		strconv.FormatFloat(s.Sum.Seconds(), 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, braced(labels), s.Count)
+	return err
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const recordMagic = 0x57414C31 // "WAL1"
@@ -85,16 +86,45 @@ type Appender interface {
 	Stats() StatsSnapshot
 }
 
+// FsyncObserver receives the wall time of each fsync the journal
+// issues. telemetry.*Histogram satisfies it; the local interface keeps
+// this package dependency-free. Callers that only hold an Appender
+// can type-assert for the SetFsyncObserver method, so fault-injection
+// wrappers that don't forward it are simply unobserved.
+type FsyncObserver interface {
+	Observe(d time.Duration)
+}
+
 // Journal is an append-only record log. Safe for concurrent use.
 type Journal struct {
 	mu sync.Mutex
 	f  *os.File
 	// size is the length of the last fully-acknowledged record
 	// boundary; a failed append truncates back to it.
-	size   int64
-	failed error
-	path   string
-	stats  Stats
+	size     int64
+	failed   error
+	path     string
+	stats    Stats
+	fsyncObs FsyncObserver
+}
+
+// SetFsyncObserver installs obs to receive the latency of every fsync
+// (from Append and Sync, successful or not).
+func (j *Journal) SetFsyncObserver(obs FsyncObserver) {
+	j.mu.Lock()
+	j.fsyncObs = obs
+	j.mu.Unlock()
+}
+
+// syncLocked fsyncs the file and reports the latency. Assumes j.mu is
+// held.
+func (j *Journal) syncLocked() error {
+	start := time.Now()
+	err := j.f.Sync()
+	if j.fsyncObs != nil {
+		j.fsyncObs.Observe(time.Since(start))
+	}
+	return err
 }
 
 // Open opens (creating if necessary) the journal at path for
@@ -139,7 +169,7 @@ func (j *Journal) Append(data []byte) error {
 		j.rollbackLocked()
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.syncLocked(); err != nil {
 		j.stats.AppendErrors.Add(1)
 		j.rollbackLocked()
 		return fmt.Errorf("wal: sync: %w", err)
@@ -191,7 +221,7 @@ func (j *Journal) Sync() error {
 	if j.f == nil {
 		return nil
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.syncLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	j.stats.Syncs.Add(1)
