@@ -9,6 +9,7 @@
 // Usage:
 //
 //	tbmctl capture  -dir db -name clip -seconds 2 [-width 320] [-height 240] [-layered]
+//	tbmctl ingest   -dir db -n 64 -j 8 [-frames 25] [-cuts 2] [-prefix bulk]
 //	tbmctl ls       -dir db
 //	tbmctl inspect  -dir db -name clip
 //	tbmctl cut      -dir db -name cut1 -input clip -from 25 -to 100
@@ -38,6 +39,8 @@ func main() {
 	switch cmd {
 	case "capture":
 		err = cmdCapture(args)
+	case "ingest":
+		err = cmdIngest(args)
 	case "ls":
 		err = cmdLs(args)
 	case "inspect":
@@ -86,6 +89,7 @@ func usage() {
 
 commands:
   capture   capture synthetic A/V into the database
+  ingest    bulk-load synthetic clips with concurrent workers
   ls        list catalog objects
   inspect   show an object, its descriptor, stream categories and tables
   cut       create an edit-list derivation selecting a frame range

@@ -1,0 +1,394 @@
+// Command tbmload replays a deterministic mixed read/write workload
+// against a live tbmserve instance and reports throughput and latency
+// percentiles — the write-path numbers for BENCH_*.json.
+//
+// The workload is seeded: the same -seed, -clients, -duration and -mix
+// produce the same operation sequence per client, so runs are
+// comparable across builds. Each client is an independent goroutine
+// with its own RNG drawing operations from the weighted mix:
+//
+//	object   GET  /v1/objects/{name}            catalog point read
+//	expand   GET  /v1/objects/{name}/expand     derivation expansion (cached)
+//	element  GET  /v1/objects/{name}/element/{i} payload read
+//	cut      POST /v1/objects/{name}/cut        single journaled mutation
+//	batch    POST /v1/objects:batch             atomic multi-object mutation
+//
+// Targets for reads and cut inputs are discovered from GET /v1/objects
+// at startup; mutation names are namespaced per run (-run-id, default
+// derived from the seed) so repeated runs against one server don't
+// collide.
+//
+// Usage:
+//
+//	tbmload -url http://127.0.0.1:8080 [-clients 8] [-duration 10s]
+//	        [-mix object=30,expand=15,element=35,cut=15,batch=5]
+//	        [-seed 1] [-run-id r1] [-out bench.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type opStats struct {
+	lat    []time.Duration
+	errors int
+}
+
+type client struct {
+	id      int
+	rng     *rand.Rand
+	base    string
+	http    *http.Client
+	media   []target // non-derived objects with stored elements
+	names   []string // every object name (for point reads)
+	runID   string
+	mutSeq  int
+	stats   map[string]*opStats
+	verbose bool
+}
+
+type target struct {
+	Name     string
+	Elements int
+}
+
+// listShape mirrors the subset of GET /v1/objects the driver needs.
+type listShape struct {
+	Objects []struct {
+		Name     string `json:"name"`
+		Class    string `json:"class"`
+		Kind     string `json:"kind"`
+		Elements int    `json:"elements"`
+	} `json:"objects"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
+	clients := flag.Int("clients", 8, "concurrent workload clients")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run")
+	mixSpec := flag.String("mix", "object=30,expand=15,element=35,cut=15,batch=5",
+		"weighted operation mix (op=weight,...)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	runID := flag.String("run-id", "", "mutation name namespace (default load<seed>)")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	verbose := flag.Bool("v", false, "log individual operation errors")
+	flag.Parse()
+	if *runID == "" {
+		*runID = fmt.Sprintf("load%d", *seed)
+	}
+	if err := run(*url, *clients, *duration, *mixSpec, *seed, *runID, *out, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(base string, nClients int, duration time.Duration, mixSpec string, seed int64, runID, out string, verbose bool) error {
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	media, names, err := discover(base)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("server has no objects; seed it first (tbmctl ingest -dir <dir> -n 16)")
+	}
+	needMedia := mix["element"] > 0 || mix["cut"] > 0 || mix["batch"] > 0 || mix["expand"] > 0
+	if needMedia && len(media) == 0 {
+		return fmt.Errorf("workload needs stored media objects but the server has none")
+	}
+
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	workers := make([]*client, nClients)
+	start := time.Now()
+	for i := 0; i < nClients; i++ {
+		c := &client{
+			id:    i,
+			rng:   rand.New(rand.NewSource(seed*1_000_003 + int64(i))),
+			base:  base,
+			http:  &http.Client{Timeout: 30 * time.Second},
+			media: media, names: names,
+			runID:   runID,
+			stats:   map[string]*opStats{},
+			verbose: verbose,
+		}
+		workers[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				c.step(mix)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := buildReport(base, nClients, duration, mixSpec, seed, elapsed, workers)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d ops, %.0f ops/s, %d errors\n",
+		out, report.TotalOps, report.ThroughputOps, report.TotalErrors)
+	return nil
+}
+
+// parseMix parses "op=weight,..." into a weight table.
+func parseMix(spec string) (map[string]int, error) {
+	known := map[string]bool{"object": true, "expand": true, "element": true, "cut": true, "batch": true}
+	mix := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, val, ok := strings.Cut(part, "=")
+		var w int
+		if ok {
+			_, err := fmt.Sscanf(val, "%d", &w)
+			ok = err == nil
+		}
+		if !ok || !known[op] || w < 0 {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight with op in object|expand|element|cut|batch)", part)
+		}
+		mix[op] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix has zero total weight")
+	}
+	return mix, nil
+}
+
+// discover lists the server's objects and classifies them into
+// workload targets.
+func discover(base string) (media []target, names []string, err error) {
+	resp, err := http.Get(base + "/v1/objects")
+	if err != nil {
+		return nil, nil, fmt.Errorf("discover: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("discover: %s: %s", resp.Status, body)
+	}
+	var list listShape
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, nil, fmt.Errorf("discover: %w", err)
+	}
+	for _, o := range list.Objects {
+		names = append(names, o.Name)
+		if o.Class == "media object (non-derived)" && o.Kind == "video" && o.Elements > 1 {
+			media = append(media, target{Name: o.Name, Elements: o.Elements})
+		}
+	}
+	return media, names, nil
+}
+
+// pick draws an operation from the weighted mix.
+func pick(rng *rand.Rand, mix map[string]int) string {
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	n := rng.Intn(total)
+	// Iterate in fixed order so the draw is deterministic.
+	for _, op := range []string{"object", "expand", "element", "cut", "batch"} {
+		n -= mix[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return "object"
+}
+
+func (c *client) step(mix map[string]int) {
+	op := pick(c.rng, mix)
+	start := time.Now()
+	err := c.do(op)
+	lat := time.Since(start)
+	s := c.stats[op]
+	if s == nil {
+		s = &opStats{}
+		c.stats[op] = s
+	}
+	s.lat = append(s.lat, lat)
+	if err != nil {
+		s.errors++
+		if c.verbose {
+			log.Printf("client %d %s: %v", c.id, op, err)
+		}
+	}
+}
+
+func (c *client) do(op string) error {
+	switch op {
+	case "object":
+		name := c.names[c.rng.Intn(len(c.names))]
+		return c.get("/v1/objects/" + name)
+	case "expand":
+		t := c.media[c.rng.Intn(len(c.media))]
+		return c.get("/v1/objects/" + t.Name + "/expand")
+	case "element":
+		t := c.media[c.rng.Intn(len(c.media))]
+		return c.get(fmt.Sprintf("/v1/objects/%s/element/%d", t.Name, c.rng.Intn(t.Elements)))
+	case "cut":
+		t := c.media[c.rng.Intn(len(c.media))]
+		from := c.rng.Intn(t.Elements - 1)
+		to := from + 1 + c.rng.Intn(t.Elements-from-1)
+		c.mutSeq++
+		out := fmt.Sprintf("%s-c%d-%d", c.runID, c.id, c.mutSeq)
+		return c.post(fmt.Sprintf("/v1/objects/%s/cut?out=%s&from=%d&to=%d", t.Name, out, from, to),
+			"", nil, http.StatusCreated)
+	case "batch":
+		t := c.media[c.rng.Intn(len(c.media))]
+		type item struct {
+			Name       string          `json:"name"`
+			Op         string          `json:"op"`
+			InputNames []string        `json:"input_names"`
+			Params     json.RawMessage `json:"params"`
+		}
+		n := 2 + c.rng.Intn(3)
+		items := make([]item, n)
+		for k := range items {
+			c.mutSeq++
+			from := c.rng.Intn(t.Elements - 1)
+			items[k] = item{
+				Name:       fmt.Sprintf("%s-b%d-%d", c.runID, c.id, c.mutSeq),
+				Op:         "video-edit",
+				InputNames: []string{t.Name},
+				Params: json.RawMessage(fmt.Sprintf(
+					`{"entries":[{"input":0,"from":%d,"to":%d}]}`, from, from+1)),
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"items": items})
+		return c.post("/v1/objects:batch", "application/json", body, http.StatusCreated)
+	}
+	return fmt.Errorf("unknown op %q", op)
+}
+
+func (c *client) get(path string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return nil
+}
+
+func (c *client) post(path, contentType string, body []byte, want int) error {
+	resp, err := c.http.Post(c.base+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, msg)
+	}
+	return nil
+}
+
+// Report is the JSON artifact: throughput and per-operation latency
+// percentiles for one workload run.
+type Report struct {
+	Tool          string             `json:"tool"`
+	URL           string             `json:"url"`
+	Clients       int                `json:"clients"`
+	Duration      string             `json:"duration"`
+	Mix           string             `json:"mix"`
+	Seed          int64              `json:"seed"`
+	ElapsedSec    float64            `json:"elapsed_seconds"`
+	TotalOps      int                `json:"total_ops"`
+	TotalErrors   int                `json:"total_errors"`
+	ThroughputOps float64            `json:"throughput_ops_per_sec"`
+	Ops           map[string]OpStats `json:"ops"`
+}
+
+// OpStats summarizes one operation type's latency distribution.
+type OpStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func buildReport(base string, nClients int, duration time.Duration, mix string, seed int64, elapsed time.Duration, workers []*client) Report {
+	merged := map[string]*opStats{}
+	for _, c := range workers {
+		for op, s := range c.stats {
+			m := merged[op]
+			if m == nil {
+				m = &opStats{}
+				merged[op] = m
+			}
+			m.lat = append(m.lat, s.lat...)
+			m.errors += s.errors
+		}
+	}
+	rep := Report{
+		Tool: "tbmload", URL: base, Clients: nClients,
+		Duration: duration.String(), Mix: mix, Seed: seed,
+		ElapsedSec: elapsed.Seconds(), Ops: map[string]OpStats{},
+	}
+	for op, s := range merged {
+		sort.Slice(s.lat, func(a, b int) bool { return s.lat[a] < s.lat[b] })
+		var sum time.Duration
+		for _, d := range s.lat {
+			sum += d
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		pct := func(p float64) float64 {
+			if len(s.lat) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(s.lat)-1))
+			return ms(s.lat[i])
+		}
+		st := OpStats{Count: len(s.lat), Errors: s.errors,
+			P50Ms: pct(0.50), P95Ms: pct(0.95), P99Ms: pct(0.99)}
+		if len(s.lat) > 0 {
+			st.MeanMs = ms(sum / time.Duration(len(s.lat)))
+			st.MaxMs = ms(s.lat[len(s.lat)-1])
+		}
+		rep.Ops[op] = st
+		rep.TotalOps += st.Count
+		rep.TotalErrors += st.Errors
+	}
+	if elapsed > 0 {
+		rep.ThroughputOps = float64(rep.TotalOps) / elapsed.Seconds()
+	}
+	return rep
+}

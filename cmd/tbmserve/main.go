@@ -21,7 +21,7 @@
 //
 //	tbmserve -dir db -addr :8080 [-save-every 5m] [-request-timeout 30s]
 //	         [-max-inflight 1024] [-shutdown-grace 10s] [-cache-mb 256]
-//	         [-debug-addr 127.0.0.1:6060]
+//	         [-debug-addr 127.0.0.1:6060] [-wal-batch-window 2ms]
 package main
 
 import (
@@ -59,14 +59,16 @@ func main() {
 		"how long a SIGTERM drain waits for in-flight requests")
 	debugAddr := flag.String("debug-addr", "",
 		"optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+	walBatchWindow := flag.Duration("wal-batch-window", catalog.DefaultWALBatchWindow,
+		"group-commit straggler window: how long a journal fsync waits for concurrent mutators to coalesce (0 disables batching; a lone writer never waits)")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *maxInFlight, *shutdownGrace); err != nil {
+	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *walBatchWindow, *maxInFlight, *shutdownGrace); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
+func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, walBatchWindow time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
 	store, err := blob.OpenFileStore(dir)
 	if err != nil {
 		return err
@@ -83,6 +85,7 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout t
 	// writing.
 	db, err := catalog.Open(dir, store,
 		catalog.WithCacheCapacity(cacheMB<<20),
+		catalog.WithWALBatchWindow(walBatchWindow),
 		catalog.WithTelemetry(reg))
 	if err != nil {
 		return err

@@ -1,0 +1,59 @@
+package catalog
+
+import (
+	"testing"
+
+	"timedmedia/internal/core"
+)
+
+// TestSelectResultsAreClones: mutating anything reachable from a
+// Select result — attribute maps, derivation inputs, params — must not
+// corrupt the catalog's live objects. This is the aliasing contract
+// documented on Select/ByKind/ByAttr/ByQuality.
+func TestSelectResultsAreClones(t *testing.T) {
+	db := memDB()
+	clip, err := db.Ingest("clip", genVideo(8, 9), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := db.AddDerived("cut", "video-edit", []core.ID{clip}, cutParams(0, 4),
+		map[string]string{"language": "fr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := db.ByAttr("language", "fr")
+	if len(got) != 1 || got[0].ID != cut {
+		t.Fatalf("ByAttr = %v", got)
+	}
+	// Vandalize everything mutable on the copy.
+	got[0].Name = "defaced"
+	got[0].Attrs["language"] = "en"
+	got[0].Attrs["extra"] = "x"
+	got[0].Derivation.Op = "nonsense"
+	got[0].Derivation.Inputs[0] = 9999
+	got[0].Derivation.Params[0] ^= 0xff
+
+	live, err := db.Get(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Name != "cut" {
+		t.Errorf("name mutated through alias: %q", live.Name)
+	}
+	if live.Attrs["language"] != "fr" || live.Attrs["extra"] != "" {
+		t.Errorf("attrs mutated through alias: %v", live.Attrs)
+	}
+	if live.Derivation.Op != "video-edit" || live.Derivation.Inputs[0] != clip {
+		t.Errorf("derivation mutated through alias: %+v", live.Derivation)
+	}
+	// The derivation must still expand — params intact.
+	if _, err := db.Expand(cut); err != nil {
+		t.Errorf("expand after alias mutation: %v", err)
+	}
+
+	// ByAttr re-queries against live state, not the defaced copies.
+	if again := db.ByAttr("language", "fr"); len(again) != 1 {
+		t.Errorf("re-query = %v", again)
+	}
+}

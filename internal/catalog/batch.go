@@ -1,0 +1,165 @@
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/wal"
+)
+
+// BatchItem describes one object in a DB.AddBatch call. Exactly one
+// of the two shapes must be populated:
+//
+//   - non-derived: Blob + Track (the interpretation must already be
+//     registered and durable);
+//   - derived: Op + Params with inputs given as IDs (Inputs),
+//     names (InputNames), or both — names resolve against the catalog
+//     and against earlier items of the same batch, so a batch can
+//     build a derivation chain in one call.
+type BatchItem struct {
+	Name  string
+	Attrs map[string]string
+
+	// Non-derived binding.
+	Blob  blob.ID
+	Track string
+
+	// Derived definition. InputNames are appended after Inputs in
+	// operator argument order.
+	Op         string
+	Inputs     []core.ID
+	InputNames []string
+	Params     []byte
+}
+
+// AddBatch registers every item or none of them. The whole batch is
+// validated and applied under one lock acquisition and journaled as
+// one WAL batch — a single write + fsync regardless of batch size —
+// which is what makes bulk ingest amortize both locking and
+// durability (the motivation: the paper's workflow "raw material is
+// created and added to the database, and then successively refined
+// and composed" arrives in bulk). On success the returned IDs are in
+// item order. On any error — validation of any item, or the journal
+// append — no object is added and the catalog is unchanged.
+func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
+
+	db.mu.Lock()
+	ids := make([]core.ID, 0, len(items))
+	recs := make([]*walOp, 0, len(items))
+	// Items are inserted into the visible maps while db.mu is held —
+	// invisible to readers since none can acquire the lock — so later
+	// items' input validation naturally sees earlier ones. They are
+	// demoted to staged before the lock is released for journaling.
+	undoLocked := func() {
+		for i := len(ids) - 1; i >= 0; i-- {
+			if obj, ok := db.objects[ids[i]]; ok {
+				db.staged[ids[i]] = obj
+				delete(db.objects, ids[i])
+			}
+			db.unstageLocked(ids[i])
+		}
+	}
+	fail := func(i int, name string, err error) ([]core.ID, error) {
+		undoLocked()
+		db.mu.Unlock()
+		return nil, fmt.Errorf("catalog: batch item %d (%q): %w", i, name, err)
+	}
+	for i := range items {
+		it := &items[i]
+		switch {
+		case it.Op != "":
+			inputs := append([]core.ID(nil), it.Inputs...)
+			for _, nm := range it.InputNames {
+				inID, ok := db.byName[nm]
+				if ok {
+					_, ok = db.objects[inID] // staged names are not yet durable
+				}
+				if !ok {
+					return fail(i, it.Name, fmt.Errorf("%w: input %q", ErrNotFound, nm))
+				}
+				inputs = append(inputs, inID)
+			}
+			id, err := db.addDerivedLocked(0, it.Name, it.Op, inputs, it.Params, it.Attrs)
+			if err != nil {
+				return fail(i, it.Name, err)
+			}
+			ids = append(ids, id)
+			recs = append(recs, &walOp{Kind: opDerived, ID: id, Name: it.Name, Op: it.Op,
+				Inputs: inputs, Params: it.Params, Attrs: it.Attrs})
+		case it.Blob != 0:
+			id, err := db.addNonDerivedLocked(0, it.Name, it.Blob, it.Track, it.Attrs)
+			if err != nil {
+				return fail(i, it.Name, err)
+			}
+			ids = append(ids, id)
+			recs = append(recs, &walOp{Kind: opNonDerived, ID: id, Name: it.Name,
+				Blob: it.Blob, Track: it.Track, Attrs: it.Attrs})
+		default:
+			return fail(i, it.Name, fmt.Errorf("item defines neither a blob binding nor a derivation"))
+		}
+	}
+	var j wal.Appender
+	if db.wal != nil {
+		j = db.wal
+		for _, rec := range recs {
+			db.seq++
+			rec.Seq = db.seq
+		}
+		for _, id := range ids {
+			db.staged[id] = db.objects[id]
+			delete(db.objects, id)
+		}
+	}
+	db.mu.Unlock()
+	if j == nil {
+		return ids, nil
+	}
+
+	frames := make([][]byte, 0, len(recs))
+	var encErr error
+	for _, rec := range recs {
+		data, err := encodeOp(rec)
+		if err != nil {
+			encErr = err
+			break
+		}
+		frames = append(frames, data)
+	}
+	var appendErr error
+	if encErr == nil {
+		start := time.Now()
+		appendErr = j.AppendBatch(frames)
+		if t := db.tel.Load(); t != nil {
+			t.journal.Observe(time.Since(start))
+		}
+		if appendErr != nil {
+			appendErr = fmt.Errorf("%w: %v", ErrJournal, appendErr)
+		}
+	}
+
+	db.mu.Lock()
+	if encErr != nil || appendErr != nil {
+		for i := len(ids) - 1; i >= 0; i-- {
+			db.unstageLocked(ids[i])
+		}
+	} else {
+		for _, id := range ids {
+			db.publishLocked(id)
+		}
+	}
+	db.mu.Unlock()
+	if encErr != nil {
+		return nil, encErr
+	}
+	if appendErr != nil {
+		return nil, appendErr
+	}
+	return ids, nil
+}

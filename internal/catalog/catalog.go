@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/compose"
@@ -45,6 +46,14 @@ var (
 )
 
 // DB is the multimedia database. Safe for concurrent use.
+//
+// Commit protocol: with a journal attached, a mutation is applied to
+// the in-memory graph under db.mu, staged (hidden from readers), and
+// then journaled *outside* db.mu — concurrent mutators share group
+// commits (see internal/wal) instead of serializing one fsync each,
+// and readers are never blocked by a disk flush. Once the record is
+// durable the object is published; if the append fails it is rolled
+// back, so readers only ever observe acknowledged mutations.
 type DB struct {
 	mu      sync.RWMutex
 	store   blob.Store
@@ -52,6 +61,20 @@ type DB struct {
 	objects map[core.ID]*core.Object
 	byName  map[string]core.ID
 	interps map[blob.ID]*interp.Interpretation
+
+	// staged holds objects applied in memory whose journal record is
+	// not yet durable: their names are reserved in byName but they
+	// are invisible to every reader until published. stagedInterps is
+	// the same for interpretations.
+	staged        map[core.ID]*core.Object
+	stagedInterps map[blob.ID]*interp.Interpretation
+
+	// commitGate serializes snapshots against in-flight commits:
+	// mutators hold the read side from apply to ack/rollback, and
+	// Save briefly takes the write side so a snapshot never captures
+	// (or races the rollback of) a mutation that is not yet durable.
+	// Lock order: saveMu → commitGate → mu.
+	commitGate sync.RWMutex
 
 	cache *expcache.Cache[core.ID, *derive.Value]
 
@@ -62,12 +85,13 @@ type DB struct {
 
 	// Durability state (see journal.go / persist.go): the attached
 	// mutation journal, the database directory it belongs to, the
-	// sequence number of the last journaled mutation, and what the
-	// last Load had to recover.
-	wal      wal.Appender
-	walDir   string
-	seq      uint64
-	recovery RecoveryInfo
+	// group-commit straggler window, the sequence number of the last
+	// journaled mutation, and what the last Load had to recover.
+	wal            wal.Appender
+	walDir         string
+	walBatchWindow time.Duration
+	seq            uint64
+	recovery       RecoveryInfo
 
 	// saveMu serializes Save calls: Save only takes mu.RLock, and two
 	// concurrent snapshots (autosave racing shutdown) would collide on
@@ -75,12 +99,19 @@ type DB struct {
 	saveMu sync.Mutex
 }
 
+// DefaultWALBatchWindow is the group-commit straggler window applied
+// when no WithWALBatchWindow option is given: how long a journal
+// batch leader waits for concurrent mutators that are mid-append but
+// not yet queued. A lone writer never pays it (see wal.WithBatchWindow).
+const DefaultWALBatchWindow = 2 * time.Millisecond
+
 // Option configures a DB at construction.
 type Option func(*config)
 
 type config struct {
-	cacheCapacity int64
-	telemetry     *telemetry.Registry
+	cacheCapacity  int64
+	telemetry      *telemetry.Registry
+	walBatchWindow time.Duration
 }
 
 // WithCacheCapacity bounds the expansion cache to n bytes of decoded
@@ -98,9 +129,17 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *config) { c.telemetry = reg }
 }
 
+// WithWALBatchWindow sets the journal's group-commit straggler window
+// for journals the catalog opens itself (OpenJournal / Open). d <= 0
+// disables the wait; concurrent appends then only coalesce while a
+// leader's fsync is in progress.
+func WithWALBatchWindow(d time.Duration) Option {
+	return func(c *config) { c.walBatchWindow = d }
+}
+
 // New creates a catalog over the given BLOB store.
 func New(store blob.Store, opts ...Option) *DB {
-	cfg := config{cacheCapacity: DefaultCacheCapacity}
+	cfg := config{cacheCapacity: DefaultCacheCapacity, walBatchWindow: DefaultWALBatchWindow}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -108,12 +147,15 @@ func New(store blob.Store, opts ...Option) *DB {
 		store = blob.Observed(store, cfg.telemetry.Histogram(telemetry.StageFamily, telemetry.StageBlobRead))
 	}
 	db := &DB{
-		store:   store,
-		nextID:  1,
-		objects: map[core.ID]*core.Object{},
-		byName:  map[string]core.ID{},
-		interps: map[blob.ID]*interp.Interpretation{},
-		cache:   expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
+		store:          store,
+		nextID:         1,
+		objects:        map[core.ID]*core.Object{},
+		byName:         map[string]core.ID{},
+		interps:        map[blob.ID]*interp.Interpretation{},
+		staged:         map[core.ID]*core.Object{},
+		stagedInterps:  map[blob.ID]*interp.Interpretation{},
+		walBatchWindow: cfg.walBatchWindow,
+		cache:          expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
 	if cfg.telemetry != nil {
 		db.SetTelemetry(cfg.telemetry)
@@ -133,33 +175,54 @@ func (db *DB) Store() blob.Store { return db.store }
 // BLOB is fsynced and the interpretation journaled, so the
 // registration survives a crash before the next snapshot.
 func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.interps[it.BlobID()]; dup {
+		db.mu.Unlock()
 		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
-	rec := &walOp{Kind: opInterp, Blob: it.BlobID()}
-	if db.wal != nil {
-		exp, err := interp.Export(it)
-		if err != nil {
-			return err
-		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(exp); err != nil {
-			return fmt.Errorf("catalog: %w", err)
-		}
-		rec.Interp = buf.Bytes()
-		// The journal record must not outlive its payload bytes.
-		if err := db.syncBlob(it.BlobID()); err != nil {
-			return err
-		}
+	if _, dup := db.stagedInterps[it.BlobID()]; dup {
+		db.mu.Unlock()
+		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
-	db.interps[it.BlobID()] = it
-	if err := db.journalOp(rec); err != nil {
-		delete(db.interps, it.BlobID())
+	if db.wal == nil {
+		db.interps[it.BlobID()] = it
+		db.mu.Unlock()
+		return nil
+	}
+	rec := &walOp{Kind: opInterp, Blob: it.BlobID()}
+	exp, err := interp.Export(it)
+	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
-	return nil
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(exp); err != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	rec.Interp = buf.Bytes()
+	// Stage: the registration is invisible to readers (and to
+	// AddNonDerived's interpretation lookup) until the record is
+	// durable; the blob ID is reserved so a concurrent duplicate
+	// registration fails.
+	db.stagedInterps[it.BlobID()] = it
+	j := db.prepareLocked(rec)
+	db.mu.Unlock()
+
+	// The journal record must not outlive its payload bytes.
+	err = db.syncBlob(it.BlobID())
+	if err == nil {
+		err = db.appendRecord(j, rec)
+	}
+	db.mu.Lock()
+	delete(db.stagedInterps, it.BlobID())
+	if err == nil {
+		db.interps[it.BlobID()] = it
+	}
+	db.mu.Unlock()
+	return err
 }
 
 // Interpretation returns the interpretation of a BLOB.
@@ -176,22 +239,27 @@ func (db *DB) Interpretation(id blob.ID) (*interp.Interpretation, error) {
 // AddNonDerived registers a media object bound to an interpretation
 // track. The descriptor is taken from the track.
 func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	id, err := db.addNonDerivedLocked(name, blobID, track, attrs)
+	id, err := db.addNonDerivedLocked(0, name, blobID, track, attrs)
 	if err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
-	if err := db.journalOp(&walOp{Kind: opNonDerived, ID: id, Name: name, Blob: blobID, Track: track, Attrs: attrs}); err != nil {
-		db.uninsert(id)
+	rec := &walOp{Kind: opNonDerived, ID: id, Name: name, Blob: blobID, Track: track, Attrs: attrs}
+	j := db.stageCommitLocked(rec, id)
+	db.mu.Unlock()
+	if err := db.commitObject(j, rec, id); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-// addNonDerivedLocked is AddNonDerived without locking or journaling
-// (journal replay reuses it). Assumes db.mu is held.
-func (db *DB) addNonDerivedLocked(name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
+// addNonDerivedLocked is AddNonDerived without locking or journaling.
+// Journal replay reuses it with want set to the recorded ID; live
+// callers pass 0 to allocate. Assumes db.mu is held.
+func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
 	it, ok := db.interps[blobID]
 	if !ok {
 		return 0, fmt.Errorf("%w: %v", ErrNoInterp, blobID)
@@ -209,29 +277,34 @@ func (db *DB) addNonDerivedLocked(name string, blobID blob.ID, track string, att
 		Blob:  blobID,
 		Track: track,
 	}
-	return db.insert(obj)
+	return db.insert(obj, want)
 }
 
 // AddDerived registers a derived media object. Inputs must already
 // exist (making cycles impossible by construction) and must satisfy
 // the operator's signature kinds.
 func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	id, err := db.addDerivedLocked(name, op, inputs, params, attrs)
+	id, err := db.addDerivedLocked(0, name, op, inputs, params, attrs)
 	if err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
-	if err := db.journalOp(&walOp{Kind: opDerived, ID: id, Name: name, Op: op, Inputs: inputs, Params: params, Attrs: attrs}); err != nil {
-		db.uninsert(id)
+	rec := &walOp{Kind: opDerived, ID: id, Name: name, Op: op, Inputs: inputs, Params: params, Attrs: attrs}
+	j := db.stageCommitLocked(rec, id)
+	db.mu.Unlock()
+	if err := db.commitObject(j, rec, id); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
 // addDerivedLocked is AddDerived without locking or journaling.
+// Replay passes the recorded ID as want; live callers pass 0.
 // Assumes db.mu is held.
-func (db *DB) addDerivedLocked(name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+func (db *DB) addDerivedLocked(want core.ID, name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
 	opImpl, err := derive.Lookup(op)
 	if err != nil {
 		return 0, err
@@ -259,32 +332,36 @@ func (db *DB) addDerivedLocked(name, op string, inputs []core.ID, params []byte,
 		Attrs:      attrs,
 		Derivation: &core.Derivation{Op: op, Inputs: append([]core.ID(nil), inputs...), Params: append([]byte(nil), params...)},
 	}
-	return db.insert(obj)
+	return db.insert(obj, want)
 }
 
 // AddMultimedia registers a multimedia object composing existing
 // objects on the given time axis.
 func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	id, err := db.addMultimediaLocked(name, axis, comps, attrs)
+	id, err := db.addMultimediaLocked(0, name, axis, comps, attrs)
 	if err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
 	rec := &walOp{Kind: opMultimedia, ID: id, Name: name, Attrs: attrs, TimeNum: axis.Num, TimeDen: axis.Den}
 	for _, c := range comps {
 		rec.Comps = append(rec.Comps, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
 	}
-	if err := db.journalOp(rec); err != nil {
-		db.uninsert(id)
+	j := db.stageCommitLocked(rec, id)
+	db.mu.Unlock()
+	if err := db.commitObject(j, rec, id); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
 // addMultimediaLocked is AddMultimedia without locking or journaling.
+// Replay passes the recorded ID as want; live callers pass 0.
 // Assumes db.mu is held.
-func (db *DB) addMultimediaLocked(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+func (db *DB) addMultimediaLocked(want core.ID, name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
 	for _, c := range comps {
 		if _, ok := db.objects[c.Object]; !ok {
 			return 0, fmt.Errorf("%w: component %v", ErrNotFound, c.Object)
@@ -296,22 +373,54 @@ func (db *DB) addMultimediaLocked(name string, axis timebase.System, comps []cor
 		Attrs:      attrs,
 		Multimedia: &core.MultimediaSpec{Time: axis, Components: append([]core.ComponentRef(nil), comps...)},
 	}
-	return db.insert(obj)
+	return db.insert(obj, want)
 }
 
 // AddSync records a synchronization constraint on a multimedia object.
+// Unlike object adds, the constraint mutates an already-published
+// object in place, so concurrent readers may observe it during the
+// (rare) window where its journal record is still in flight; a failed
+// append removes it again.
 func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if err := db.addSyncLocked(id, a, b, maxSkew); err != nil {
+		db.mu.Unlock()
 		return err
 	}
-	if err := db.journalOp(&walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}); err != nil {
-		syncs := db.objects[id].Multimedia.Syncs
-		db.objects[id].Multimedia.Syncs = syncs[:len(syncs)-1]
+	rec := &walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}
+	j := db.prepareLocked(rec)
+	db.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	if err := db.appendRecord(j, rec); err != nil {
+		db.mu.Lock()
+		db.removeSyncLocked(id, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+		db.mu.Unlock()
 		return err
 	}
 	return nil
+}
+
+// removeSyncLocked rolls back a sync constraint whose journal record
+// failed. It removes the last constraint equal to sc by value:
+// concurrent AddSyncs may have appended after ours, so slicing off
+// the tail element would drop someone else's acknowledged constraint.
+// Assumes db.mu is held.
+func (db *DB) removeSyncLocked(id core.ID, sc compose.SyncConstraint) {
+	obj, ok := db.objects[id]
+	if !ok || obj.Multimedia == nil {
+		return
+	}
+	syncs := obj.Multimedia.Syncs
+	for i := len(syncs) - 1; i >= 0; i-- {
+		if syncs[i] == sc {
+			obj.Multimedia.Syncs = append(syncs[:i], syncs[i+1:]...)
+			return
+		}
+	}
 }
 
 // addSyncLocked is AddSync without locking or journaling. Assumes
@@ -334,36 +443,110 @@ func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
 	return nil
 }
 
-// insert assumes db.mu is held.
-func (db *DB) insert(obj *core.Object) (core.ID, error) {
+// insert places obj into the visible object map. want == 0 allocates
+// the next ID (live mutations); a non-zero want forces the recorded
+// ID (journal replay — records may appear in the log out of sequence
+// order because frames are queued for group commit in enqueue order,
+// so replay cannot rely on re-allocation reproducing them). Assumes
+// db.mu is held.
+func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	if _, dup := db.byName[obj.Name]; dup {
 		return 0, fmt.Errorf("%w: %q", ErrDupName, obj.Name)
 	}
-	obj.ID = db.nextID
+	id := want
+	if id == 0 {
+		id = db.nextID
+	} else if _, taken := db.objects[id]; taken {
+		return 0, fmt.Errorf("catalog: object %v already exists", id)
+	}
+	obj.ID = id
 	if err := obj.Validate(); err != nil {
 		return 0, err
 	}
-	db.nextID++
-	db.objects[obj.ID] = obj
-	db.byName[obj.Name] = obj.ID
-	return obj.ID, nil
+	if id >= db.nextID {
+		db.nextID = id + 1
+	}
+	db.objects[id] = obj
+	db.byName[obj.Name] = id
+	return id, nil
 }
 
-// uninsert rolls back the most recent insert after a journal append
-// failure. Assumes db.mu is held and id was just assigned by insert.
-func (db *DB) uninsert(id core.ID) {
-	obj, ok := db.objects[id]
+// prepareLocked assigns the next journal sequence number to rec and
+// returns the journal to append it to, or nil when none is attached.
+// Sequence numbers are allocated under db.mu even though the append
+// happens outside it, and are never reused after a failed append: a
+// record that failed only at fsync may still be intact on disk, and a
+// later acknowledged record under the same seq would lose to it on
+// replay. Assumes db.mu is held.
+func (db *DB) prepareLocked(rec *walOp) wal.Appender {
+	if db.wal == nil {
+		return nil
+	}
+	db.seq++
+	rec.Seq = db.seq
+	return db.wal
+}
+
+// stageCommitLocked prepares rec for journaling and, when a journal
+// is attached, demotes the freshly inserted object to staged so
+// readers cannot observe it before its record is durable. With no
+// journal the object stays visible — it is already committed. Assumes
+// db.mu is held.
+func (db *DB) stageCommitLocked(rec *walOp, id core.ID) wal.Appender {
+	j := db.prepareLocked(rec)
+	if j != nil {
+		db.staged[id] = db.objects[id]
+		delete(db.objects, id)
+	}
+	return j
+}
+
+// commitObject journals rec (nil j means no journal: nothing to do)
+// and then publishes the staged object, or rolls it back when the
+// append failed. Runs outside db.mu so concurrent mutators share
+// group commits.
+func (db *DB) commitObject(j wal.Appender, rec *walOp, id core.ID) error {
+	if j == nil {
+		return nil
+	}
+	err := db.appendRecord(j, rec)
+	db.mu.Lock()
+	if err != nil {
+		db.unstageLocked(id)
+	} else {
+		db.publishLocked(id)
+	}
+	db.mu.Unlock()
+	return err
+}
+
+// publishLocked moves a staged object into the visible map after its
+// journal record was acknowledged. Assumes db.mu is held.
+func (db *DB) publishLocked(id core.ID) {
+	if obj, ok := db.staged[id]; ok {
+		delete(db.staged, id)
+		db.objects[id] = obj
+	}
+}
+
+// unstageLocked rolls a staged object back after a failed journal
+// append: the name reservation is released and the ID is returned to
+// the allocator when it is still the newest. Assumes db.mu is held.
+func (db *DB) unstageLocked(id core.ID) {
+	obj, ok := db.staged[id]
 	if !ok {
 		return
 	}
-	delete(db.objects, id)
+	delete(db.staged, id)
 	delete(db.byName, obj.Name)
 	if id == db.nextID-1 {
 		db.nextID--
 	}
 }
 
-// Get returns the object with the given ID.
+// Get returns the object with the given ID. The returned object is
+// shared with the catalog and must be treated as read-only; use
+// (*core.Object).Clone for a mutable copy.
 func (db *DB) Get(id core.ID) (*core.Object, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -374,7 +557,9 @@ func (db *DB) Get(id core.ID) (*core.Object, error) {
 	return obj, nil
 }
 
-// Lookup returns the object with the given name.
+// Lookup returns the object with the given name. The returned object
+// is shared with the catalog and must be treated as read-only; use
+// (*core.Object).Clone for a mutable copy.
 func (db *DB) Lookup(name string) (*core.Object, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -382,7 +567,13 @@ func (db *DB) Lookup(name string) (*core.Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return db.objects[id], nil
+	obj, ok := db.objects[id]
+	if !ok {
+		// The name is reserved by an in-flight mutation whose journal
+		// record is not yet durable: invisible until acknowledged.
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return obj, nil
 }
 
 // Len returns the number of objects.
@@ -397,32 +588,38 @@ func (db *DB) Len() int {
 // queries which select a specific sound track, or select a specific
 // duration, or perhaps retrieve frames at a specific visual
 // fidelity").
+//
+// The returned objects are deep copies (see core.Object.Clone):
+// callers may mutate them — attribute maps included — without
+// corrupting the catalog's shared state. pred itself runs on the live
+// objects under the read lock and must not retain or modify them.
 func (db *DB) Select(pred func(*core.Object) bool) []*core.Object {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []*core.Object
 	for _, obj := range db.objects {
 		if pred(obj) {
-			out = append(out, obj)
+			out = append(out, obj.Clone())
 		}
 	}
+	db.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 
-// ByKind selects media objects of a kind.
+// ByKind selects media objects of a kind. The result is deep-copied;
+// see Select.
 func (db *DB) ByKind(k media.Kind) []*core.Object {
 	return db.Select(func(o *core.Object) bool { return o.Kind == k })
 }
 
 // ByAttr selects objects with attribute key = value (e.g.
-// language = "fr").
+// language = "fr"). The result is deep-copied; see Select.
 func (db *DB) ByAttr(key, value string) []*core.Object {
 	return db.Select(func(o *core.Object) bool { return o.Attrs[key] == value })
 }
 
 // ByQuality selects media objects whose descriptor carries the given
-// quality factor.
+// quality factor. The result is deep-copied; see Select.
 func (db *DB) ByQuality(q media.Quality) []*core.Object {
 	return db.Select(func(o *core.Object) bool {
 		return o.Desc != nil && o.Desc.QualityFactor() == q

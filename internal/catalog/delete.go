@@ -17,7 +17,14 @@ var ErrInUse = errors.New("catalog: object is referenced by others")
 // other object references it (as a derivation input or composition
 // component). When the last object bound to a BLOB disappears, the
 // BLOB and its interpretation are garbage-collected.
+// Delete holds the catalog write lock across its journal append —
+// unlike object adds, which journal outside the lock — because the
+// reference check and the removal must be atomic with respect to
+// every other mutation: a derived object staged against id while its
+// delete record was in flight would diverge live state from replay.
 func (db *DB) Delete(id core.ID) error {
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.objects[id]; !ok {
@@ -37,9 +44,18 @@ func (db *DB) Delete(id core.ID) error {
 }
 
 // checkDeletable reports whether any other object references id.
-// Assumes db.mu is held.
+// Staged objects (applied but not yet durable) count as references:
+// their commit may ack at any moment, and deleting their input would
+// leave the journal unreplayable. Assumes db.mu is held.
 func (db *DB) checkDeletable(id core.ID) error {
-	for _, other := range db.objects {
+	if err := checkRefs(db.objects, id); err != nil {
+		return err
+	}
+	return checkRefs(db.staged, id)
+}
+
+func checkRefs(objs map[core.ID]*core.Object, id core.ID) error {
+	for _, other := range objs {
 		if other.ID == id {
 			continue
 		}
@@ -82,9 +98,15 @@ func (db *DB) deleteLocked(id core.ID) error {
 	return nil
 }
 
-// maybeCollectBlob assumes db.mu is held.
+// maybeCollectBlob assumes db.mu is held. Staged objects keep their
+// BLOB alive like visible ones do.
 func (db *DB) maybeCollectBlob(id blob.ID) {
 	for _, other := range db.objects {
+		if other.Blob == id {
+			return
+		}
+	}
+	for _, other := range db.staged {
 		if other.Blob == id {
 			return
 		}

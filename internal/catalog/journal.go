@@ -153,7 +153,7 @@ func (db *DB) OpenJournal(dir string) error {
 // attachJournalLocked opens dir's journal for appending without
 // replaying it. Assumes db.mu is held.
 func (db *DB) attachJournalLocked(dir string) error {
-	j, err := wal.Open(JournalFile(dir))
+	j, err := wal.Open(JournalFile(dir), wal.WithBatchWindow(db.walBatchWindow))
 	if err != nil {
 		return err
 	}
@@ -202,25 +202,36 @@ func (db *DB) SyncJournal() error {
 	return j.Sync()
 }
 
-// journalOp appends one mutation record. Assumes db.mu is held by a
-// writer. A nil journal is a no-op. On failure the caller must undo
-// the in-memory mutation, but the sequence number is never reused: a
-// record that failed only at fsync may still be on disk intact, and a
-// later acknowledged record written under the same seq would be
-// skipped on replay in favor of the rolled-back one. Gaps are harmless
-// to the rec.Seq <= db.seq skip check.
+// journalOp appends one mutation record synchronously under db.mu —
+// used only by Delete, which must stay fully serialized: its blob
+// garbage collection is destructive, so the record has to be durable
+// before the apply, and no competing mutation may slip between
+// validation and removal. Object adds instead go through
+// prepareLocked + appendRecord outside the lock. A nil journal is a
+// no-op. On failure the caller must undo the in-memory mutation, but
+// the sequence number is never reused: a record that failed only at
+// fsync may still be on disk intact, and a later acknowledged record
+// written under the same seq would be skipped on replay in favor of
+// the rolled-back one. Gaps are harmless to the replay skip check.
 func (db *DB) journalOp(rec *walOp) error {
-	if db.wal == nil {
+	j := db.prepareLocked(rec)
+	if j == nil {
 		return nil
 	}
-	db.seq++
-	rec.Seq = db.seq
+	return db.appendRecord(j, rec)
+}
+
+// appendRecord encodes rec and appends it to j, recording the
+// journal-append stage latency. Called outside db.mu (group commits
+// from concurrent mutators coalesce in the wal layer); Delete calls
+// it under db.mu via journalOp.
+func (db *DB) appendRecord(j wal.Appender, rec *walOp) error {
 	data, err := encodeOp(rec)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	err = db.wal.Append(data)
+	err = j.Append(data)
 	if t := db.tel.Load(); t != nil {
 		t.journal.Observe(time.Since(start))
 	}
@@ -242,7 +253,14 @@ func (db *DB) syncBlob(id blob.ID) error {
 // replayJournalLocked replays dir's journal into the catalog.
 // Assumes db.mu is held (or the DB is not yet shared).
 func (db *DB) replayJournalLocked(path string) error {
-	res, err := wal.Replay(path, db.applyWalLocked)
+	// Records already captured by the snapshot are identified against
+	// the snapshot's seq, not a running maximum: group commit writes
+	// frames in enqueue order, so a journal can legitimately hold seq
+	// 5 before seq 3 and both must apply.
+	base := db.seq
+	res, err := wal.Replay(path, func(data []byte) error {
+		return db.applyWalLocked(base, data)
+	})
 	if err != nil {
 		return err
 	}
@@ -260,13 +278,18 @@ func (db *DB) replayJournalLocked(path string) error {
 }
 
 // applyWalLocked applies one journal record, skipping records the
-// snapshot already captured. Assumes db.mu is held.
-func (db *DB) applyWalLocked(data []byte) error {
+// snapshot already captured (rec.Seq <= base). Objects are re-created
+// at their recorded IDs: the append order in the file is not the
+// allocation order under concurrent mutators, so replay must not
+// re-allocate. Dependency order is still safe — an object referencing
+// another was only accepted after its input was acknowledged, hence
+// the input's frame precedes it in the log. Assumes db.mu is held.
+func (db *DB) applyWalLocked(base uint64, data []byte) error {
 	rec, err := decodeOp(data)
 	if err != nil {
 		return err
 	}
-	if rec.Seq <= db.seq {
+	if rec.Seq <= base {
 		db.recovery.JournalSkipped++
 		return nil
 	}
@@ -290,20 +313,12 @@ func (db *DB) applyWalLocked(data []byte) error {
 		}
 		db.interps[exp.BlobID] = it
 	case opNonDerived:
-		id, err := db.addNonDerivedLocked(rec.Name, rec.Blob, rec.Track, rec.Attrs)
-		if err != nil {
+		if _, err := db.addNonDerivedLocked(rec.ID, rec.Name, rec.Blob, rec.Track, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
-		}
-		if id != rec.ID {
-			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
 		}
 	case opDerived:
-		id, err := db.addDerivedLocked(rec.Name, rec.Op, rec.Inputs, rec.Params, rec.Attrs)
-		if err != nil {
+		if _, err := db.addDerivedLocked(rec.ID, rec.Name, rec.Op, rec.Inputs, rec.Params, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
-		}
-		if id != rec.ID {
-			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
 		}
 	case opMultimedia:
 		axis, err := timebase.New(rec.TimeNum, rec.TimeDen)
@@ -314,12 +329,8 @@ func (db *DB) applyWalLocked(data []byte) error {
 		for _, c := range rec.Comps {
 			comps = append(comps, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
 		}
-		id, err := db.addMultimediaLocked(rec.Name, axis, comps, rec.Attrs)
-		if err != nil {
+		if _, err := db.addMultimediaLocked(rec.ID, rec.Name, axis, comps, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
-		}
-		if id != rec.ID {
-			return fmt.Errorf("%w: replayed %q as %v, journal says %v", ErrReplay, rec.Name, id, rec.ID)
 		}
 	case opSync:
 		if err := db.addSyncLocked(rec.ID, rec.A, rec.B, rec.MaxSkew); err != nil {
@@ -332,7 +343,9 @@ func (db *DB) applyWalLocked(data []byte) error {
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrReplay, rec.Kind)
 	}
-	db.seq = rec.Seq
+	if rec.Seq > db.seq {
+		db.seq = rec.Seq
+	}
 	db.recovery.JournalRecords++
 	return nil
 }

@@ -132,7 +132,16 @@ func (db *DB) buildSnapshot() (*savedCatalog, error) {
 func (db *DB) Save(dir string) error {
 	db.saveMu.Lock()
 	defer db.saveMu.Unlock()
+	// Wait out in-flight commits: mutators hold commitGate.RLock from
+	// apply to ack/rollback, so after taking the write side no staged
+	// object remains — the snapshot captures acknowledged mutations
+	// only. The gate is dropped as soon as mu.RLock is held: new
+	// mutations may then pass the gate but block on mu before staging,
+	// so nothing touches the object graph or the journal until the
+	// snapshot and journal truncate are done.
+	db.commitGate.Lock()
 	db.mu.RLock()
+	db.commitGate.Unlock()
 	defer db.mu.RUnlock()
 	snap, err := db.buildSnapshot()
 	if err != nil {

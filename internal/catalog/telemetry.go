@@ -30,6 +30,7 @@ func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
 	} {
 		reg.Histogram(telemetry.StageFamily, stage)
 	}
+	reg.Histogram(telemetry.WALBatchFamily, "")
 	return &dbTelemetry{
 		reg:     reg,
 		expand:  reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
@@ -64,9 +65,10 @@ func (db *DB) Telemetry() *telemetry.Registry {
 }
 
 // wireFsyncLocked points the attached journal's fsync timing at the
-// wal_fsync stage histogram. Wrapped journals (fault injection) that
-// don't expose SetFsyncObserver are simply unobserved. Assumes db.mu
-// is held.
+// wal_fsync stage histogram and its group-commit batch sizes at the
+// wal_batch_size histogram. Wrapped journals (fault injection) that
+// don't expose the setter methods are simply unobserved. Assumes
+// db.mu is held.
 func (db *DB) wireFsyncLocked() {
 	t := db.tel.Load()
 	if t == nil || db.wal == nil {
@@ -74,5 +76,8 @@ func (db *DB) wireFsyncLocked() {
 	}
 	if o, ok := db.wal.(interface{ SetFsyncObserver(wal.FsyncObserver) }); ok {
 		o.SetFsyncObserver(t.reg.Histogram(telemetry.StageFamily, telemetry.StageWALFsync))
+	}
+	if o, ok := db.wal.(interface{ SetBatchObserver(wal.FsyncObserver) }); ok {
+		o.SetBatchObserver(t.reg.Histogram(telemetry.WALBatchFamily, ""))
 	}
 }

@@ -132,6 +132,39 @@ type Object struct {
 	Multimedia *MultimediaSpec
 }
 
+// Clone returns a deep copy of the object: mutating the copy — its
+// attribute map, derivation inputs/params, components or syncs — never
+// aliases the original. The descriptor is shared: media.Descriptor
+// implementations are immutable by contract.
+func (o *Object) Clone() *Object {
+	c := *o
+	if o.Attrs != nil {
+		c.Attrs = make(map[string]string, len(o.Attrs))
+		for k, v := range o.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	if o.Derivation != nil {
+		d := *o.Derivation
+		d.Inputs = append([]ID(nil), o.Derivation.Inputs...)
+		d.Params = append([]byte(nil), o.Derivation.Params...)
+		c.Derivation = &d
+	}
+	if o.Multimedia != nil {
+		m := MultimediaSpec{Time: o.Multimedia.Time}
+		for _, comp := range o.Multimedia.Components {
+			if comp.Region != nil {
+				r := *comp.Region
+				comp.Region = &r
+			}
+			m.Components = append(m.Components, comp)
+		}
+		m.Syncs = append([]compose.SyncConstraint(nil), o.Multimedia.Syncs...)
+		c.Multimedia = &m
+	}
+	return &c
+}
+
 // Validation errors.
 var (
 	ErrNoName        = errors.New("core: object must be named")

@@ -1,0 +1,68 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes at the snapshot frame
+// decoder: it must never panic, and whenever it accepts a frame the
+// returned payload must be exactly what EncodeFrame would have framed.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := EncodeFrame([]byte("snapshot payload"))
+	f.Add(valid)
+	f.Add(EncodeFrame(nil))
+	f.Add(valid[:len(valid)-2]) // truncated trailer
+	f.Add(valid[:headerLen-3])  // truncated header
+	f.Add([]byte{})
+	f.Add([]byte("gob-era snapshot without framing"))
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen+1] ^= 0x10 // bit-flipped payload
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeFrame(data)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("error %v with non-nil payload", err)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNoMagic) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		// Accepted: the frame must round-trip bit for bit.
+		if !bytes.Equal(EncodeFrame(payload), data) {
+			t.Fatalf("accepted frame does not re-encode to input")
+		}
+	})
+}
+
+// FuzzSnapshotCorruption flips one byte anywhere in a valid frame and
+// asserts the CRC (or header validation) rejects it — no single-byte
+// corruption may yield a successful decode of different bytes.
+func FuzzSnapshotCorruption(f *testing.F) {
+	f.Add(0, byte(0x01))
+	f.Add(12, byte(0xFF))
+	f.Add(25, byte(0x80))
+	f.Fuzz(func(t *testing.T, pos int, mask byte) {
+		if mask == 0 {
+			return // identity, not a corruption
+		}
+		orig := []byte("the catalog's object graph, gob encoded")
+		img := EncodeFrame(orig)
+		pos %= len(img)
+		if pos < 0 {
+			pos += len(img)
+		}
+		img[pos] ^= mask
+		payload, err := DecodeFrame(img)
+		if err == nil && !bytes.Equal(payload, orig) {
+			t.Fatalf("corruption at byte %d decoded to different payload", pos)
+		}
+		if err == nil {
+			t.Fatalf("single-byte corruption at %d went undetected", pos)
+		}
+	})
+}

@@ -234,6 +234,19 @@ func (j *Journal) Append(data []byte) error {
 	return j.inner.Append(data)
 }
 
+// AppendBatch implements wal.Appender. Each record in the batch
+// consumes one "journal.append" injection slot, so an Nth-append rule
+// can fire mid-batch; when it does the whole batch fails before
+// reaching the inner journal, matching the all-or-nothing contract.
+func (j *Journal) AppendBatch(records [][]byte) error {
+	for range records {
+		if err, _ := j.inj.check("journal.append"); err != nil {
+			return err
+		}
+	}
+	return j.inner.AppendBatch(records)
+}
+
 // Reset implements wal.Appender.
 func (j *Journal) Reset() error {
 	if err, _ := j.inj.check("journal.reset"); err != nil {

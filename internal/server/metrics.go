@@ -67,6 +67,7 @@ func (s *Server) writePromCounters(w io.Writer) {
 	promCounter(w, "tbm_journal_appends_total", "journal records appended", j.Appends)
 	promCounter(w, "tbm_journal_bytes_appended_total", "journal bytes appended", j.BytesAppended)
 	promCounter(w, "tbm_journal_syncs_total", "journal fsyncs", j.Syncs)
+	promCounter(w, "tbm_journal_batches_total", "group commits (one write+fsync each)", j.Batches)
 	promCounter(w, "tbm_journal_resets_total", "journal truncations after snapshots", j.Resets)
 	promCounter(w, "tbm_journal_append_errors_total", "failed journal appends", j.AppendErrors)
 

@@ -18,6 +18,7 @@
 //	GET /v1/objects/{name}/timeline         multimedia timeline (JSON)
 //	GET /v1/objects/{name}/lineage          Figure 5 layers (JSON)
 //	POST /v1/objects/{name}/cut?out=&from=&to=  create an edit derivation
+//	POST /v1/objects:batch                  atomic multi-object create (JSON)
 //	GET /v1/debug/trace                     recent request traces (JSON)
 //	GET /metrics                            Prometheus text exposition;
 //	                                        JSON under Accept: application/json
@@ -154,6 +155,7 @@ func New(db *catalog.DB, opts ...Option) *Server {
 	s.route("GET /v1/objects/{name}/timeline", "timeline", s.handleTimeline)
 	s.route("GET /v1/objects/{name}/lineage", "lineage", s.handleLineage)
 	s.route("POST /v1/objects/{name}/cut", "cut", s.handleCut)
+	s.route("POST /v1/objects:batch", "batch", s.handleBatch)
 	s.route("GET /v1/debug/trace", "trace", s.handleTrace)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /healthz", "healthz", s.handleHealthz)

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized invariant tests (PR 4): generate arbitrary valid streams
+// — gaps, overlaps, zero-duration events, mixed sizes — and check that
+// every operation preserves the Definition 3 invariants (s_{i+1} >=
+// s_i, d_i >= 0) and the properties the paper assigns to each
+// derivation: translation and rebasing preserve duration and Figure 1
+// category membership, scaling preserves ordering, slicing yields a
+// subsequence, concatenation adds durations.
+
+// invariantType is shared by every generated stream: Concat requires
+// type identity, not just structural equality.
+var invariantType = editType()
+
+// randStream builds a random valid stream over the unconstrained edit
+// type: up to 12 elements whose successive starts may be contiguous,
+// gapped, or overlapping, with a sprinkle of zero-duration events.
+func randStream(rng *rand.Rand) *Stream {
+	n := 1 + rng.Intn(12)
+	elems := make([]Element, 0, n)
+	start := int64(rng.Intn(20))
+	for i := 0; i < n; i++ {
+		var dur int64
+		if rng.Intn(4) > 0 {
+			dur = int64(1 + rng.Intn(10))
+		}
+		e := Element{Start: start, Dur: dur, Size: int64(rng.Intn(50))}
+		elems = append(elems, e)
+		switch rng.Intn(3) {
+		case 0: // contiguous
+			start = e.End()
+		case 1: // gap
+			start = e.End() + int64(1+rng.Intn(5))
+		default: // overlap (or equal start)
+			start += rng.Int63n(dur + 1)
+		}
+	}
+	return MustNew(invariantType, elems)
+}
+
+// checkOrdering re-verifies Definition 3 directly rather than trusting
+// Validate, so a Validate bug cannot mask an ops bug.
+func checkOrdering(t *testing.T, tag string, s *Stream) {
+	t.Helper()
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).Start < s.At(i-1).Start {
+			t.Fatalf("%s: s_%d=%d < s_%d=%d", tag, i+1, s.At(i).Start, i, s.At(i-1).Start)
+		}
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i).Dur < 0 {
+			t.Fatalf("%s: d_%d=%d < 0", tag, i+1, s.At(i).Dur)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+}
+
+func TestTranslatePreservesDurationAndCategoriesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		s := randStream(rng)
+		delta := rng.Int63n(2000) - 1000
+		moved, err := s.Translate(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOrdering(t, "translate", moved)
+		if moved.Duration() != s.Duration() {
+			t.Fatalf("translate changed duration: %d -> %d", s.Duration(), moved.Duration())
+		}
+		if moved.Classify() != s.Classify() {
+			t.Fatalf("translate changed categories: %v -> %v (%s)", s.Classify(), moved.Classify(), s)
+		}
+		re, err := moved.Rebase()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from, _ := re.Span(); from != 0 {
+			t.Fatalf("rebase start = %d", from)
+		}
+		if re.Duration() != s.Duration() || re.Classify() != s.Classify() {
+			t.Fatalf("rebase not invariant: %s vs %s", re, s)
+		}
+	}
+}
+
+func TestScalePreservesOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		s := randStream(rng)
+		num, den := int64(1+rng.Intn(5)), int64(1+rng.Intn(5))
+		scaled, err := s.Scale(num, den)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOrdering(t, "scale", scaled)
+		if scaled.Len() != s.Len() {
+			t.Fatalf("scale changed n: %d -> %d", s.Len(), scaled.Len())
+		}
+		// Identity scale is exact.
+		same, err := s.Scale(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < s.Len(); j++ {
+			if same.At(j) != s.At(j) {
+				t.Fatalf("Scale(1,1) altered element %d: %+v != %+v", j, same.At(j), s.At(j))
+			}
+		}
+	}
+}
+
+func TestSliceIsSubsequenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		s := randStream(rng)
+		from, to := s.Span()
+		lo := from + rng.Int63n(to-from+1)
+		hi := lo + rng.Int63n(to-lo+1) + 1
+		sub, err := s.Slice(lo, hi)
+		if err != nil {
+			continue // empty selection is a valid outcome
+		}
+		checkOrdering(t, "slice", sub)
+		// Every selected element is an element of the source, in order.
+		src := s.Elements()
+		k := 0
+		for j := 0; j < sub.Len(); j++ {
+			for k < len(src) && src[k] != sub.At(j) {
+				k++
+			}
+			if k == len(src) {
+				t.Fatalf("slice element %d (%+v) not a subsequence of source", j, sub.At(j))
+			}
+			k++
+		}
+	}
+}
+
+func TestConcatAddsDurationsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 300; i++ {
+		a, b := randStream(rng), randStream(rng)
+		cat, err := a.Concat(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOrdering(t, "concat", cat)
+		if cat.Len() != a.Len()+b.Len() {
+			t.Fatalf("concat n = %d, want %d", cat.Len(), a.Len()+b.Len())
+		}
+		if got, want := cat.Duration(), a.Duration()+b.Duration(); got != want {
+			t.Fatalf("concat duration = %d, want %d (a=%s b=%s)", got, want, a, b)
+		}
+		if cat.TotalSize() != a.TotalSize()+b.TotalSize() {
+			t.Fatalf("concat size = %d, want %d", cat.TotalSize(), a.TotalSize()+b.TotalSize())
+		}
+	}
+}
+
+// TestClassifyMatchesStructureProperty ties the Figure 1 category bits
+// to the structural probes: a stream is continuous exactly when it has
+// neither gaps nor overlaps, and the exclusive pairs are exclusive.
+func TestClassifyMatchesStructureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 500; i++ {
+		s := randStream(rng)
+		c := s.Classify()
+		if c.Has(Homogeneous) == c.Has(Heterogeneous) {
+			t.Fatalf("homogeneous/heterogeneous not exclusive: %v (%s)", c, s)
+		}
+		if c.Has(Continuous) == c.Has(NonContinuous) {
+			t.Fatalf("continuous/non-continuous not exclusive: %v (%s)", c, s)
+		}
+		structured := len(s.Gaps()) == 0 && len(s.Overlaps()) == 0
+		if c.Has(Continuous) != structured {
+			t.Fatalf("continuous=%v but gaps=%v overlaps=%v (%s)",
+				c.Has(Continuous), s.Gaps(), s.Overlaps(), s)
+		}
+		if c.Has(Uniform) && (!c.Has(ConstantFrequency) || !c.Has(ConstantDataRate)) {
+			t.Fatalf("uniform without constant frequency+rate: %v (%s)", c, s)
+		}
+		if c.Has(ConstantFrequency) && !c.Has(Continuous) {
+			t.Fatalf("constant frequency without continuity: %v (%s)", c, s)
+		}
+	}
+}

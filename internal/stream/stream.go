@@ -106,8 +106,11 @@ func (s *Stream) Span() (from, to int64) {
 	}
 	from = s.elems[0].Start
 	// Durations may overlap, so the span end is the max end time, not
-	// necessarily the last element's.
-	for _, e := range s.elems {
+	// necessarily the last element's. Seed with the first element's end
+	// rather than zero: streams translated to negative time have every
+	// end below zero.
+	to = s.elems[0].End()
+	for _, e := range s.elems[1:] {
 		if e.End() > to {
 			to = e.End()
 		}

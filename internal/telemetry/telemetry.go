@@ -43,6 +43,13 @@ const (
 	// LegacyCounter counts requests that arrived on deprecated
 	// unversioned routes and were rewritten to /v1.
 	LegacyCounter = "tbm_legacy_requests_total"
+	// WALBatchFamily is the group-commit batch-size histogram: one
+	// observation per committed WAL batch, with the record count
+	// encoded on the microsecond scale (a batch of n records is
+	// observed as n·1µs), so the power-of-two duration buckets double
+	// as count buckets — the le="2^k µs" bucket holds batches of
+	// ≤ 2^k records.
+	WALBatchFamily = "tbm_wal_batch_size"
 )
 
 // Stage label values used by the instrumented packages.

@@ -19,6 +19,21 @@
 // the tear away (TruncateAt) before reopening the journal for appends,
 // or new records would land after the garbage and be lost to the next
 // replay.
+//
+// # Group commit
+//
+// Append is a group commit: concurrent callers enqueue their frames
+// and the first to take the leader token becomes the leader, writing
+// every queued frame with a single write + fsync and acknowledging all
+// of them at once. Throughput under concurrent writers therefore
+// scales with the batch size rather than being capped at one fsync
+// per record, while a lone writer still pays exactly one write + one
+// fsync with no added latency. WithBatchWindow bounds how long a
+// leader waits for stragglers that are mid-Append but not yet queued;
+// it never delays a solitary appender. Batches keep the per-record
+// durability contract: a batch either wholly acks (every record is on
+// stable storage) or wholly rolls back (the file is truncated to the
+// last acknowledged boundary and every caller gets the error).
 package wal
 
 import (
@@ -59,23 +74,31 @@ type Stats struct {
 	Syncs         atomic.Int64
 	Resets        atomic.Int64
 	AppendErrors  atomic.Int64
+	Batches       atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats, JSON-friendly for
-// /metrics.
+// /metrics. Appends counts records; Batches counts group commits
+// (write+fsync cycles), so Appends/Batches is the mean batch size.
 type StatsSnapshot struct {
 	Appends       int64 `json:"appends"`
 	BytesAppended int64 `json:"bytes_appended"`
 	Syncs         int64 `json:"syncs"`
 	Resets        int64 `json:"resets"`
 	AppendErrors  int64 `json:"append_errors"`
+	Batches       int64 `json:"batches"`
 }
 
 // Appender is the mutation-journal surface the catalog writes to.
 // *Journal implements it; fault-injection wrappers do too.
 type Appender interface {
-	// Append durably adds one record (write + fsync).
+	// Append durably adds one record (write + fsync, possibly shared
+	// with concurrent appenders via group commit).
 	Append(data []byte) error
+	// AppendBatch durably adds all records or none of them: the
+	// records share one frame sequence, one write and one fsync, and
+	// a failure rolls the whole batch back.
+	AppendBatch(records [][]byte) error
 	// Reset truncates the journal after a successful snapshot.
 	Reset() error
 	// Sync flushes without appending (used at shutdown).
@@ -95,6 +118,14 @@ type FsyncObserver interface {
 	Observe(d time.Duration)
 }
 
+// pending is one enqueued append awaiting a group commit: one or more
+// pre-built frames plus the channel its caller blocks on.
+type pending struct {
+	frames []byte
+	n      int // record count
+	done   chan error
+}
+
 // Journal is an append-only record log. Safe for concurrent use.
 type Journal struct {
 	mu sync.Mutex
@@ -106,6 +137,33 @@ type Journal struct {
 	path     string
 	stats    Stats
 	fsyncObs FsyncObserver
+	batchObs FsyncObserver
+
+	// Group-commit state: queued appends (guarded by mu), the leader
+	// token (a 1-buffered channel; its holder is the batch leader), the
+	// straggler window, and a count of Append calls currently in flight
+	// (enqueued or about to be) that the leader compares against the
+	// queue length. A channel rather than a mutex because followers
+	// must be able to learn their fate without acquiring anything the
+	// next leader holds: they select on their done channel OR the
+	// token, whichever comes first.
+	queue       []*pending
+	leader      chan struct{}
+	batchWindow time.Duration
+	inFlight    atomic.Int32
+}
+
+// Option configures a Journal at Open.
+type Option func(*Journal)
+
+// WithBatchWindow bounds how long a group-commit leader waits for
+// concurrent appenders that have entered Append but not yet queued
+// their frames. Zero (the default) disables the wait; batching then
+// still happens naturally while a leader's fsync is in progress. The
+// window only ever applies when another append is in flight, so a
+// single sequential writer never sleeps.
+func WithBatchWindow(d time.Duration) Option {
+	return func(j *Journal) { j.batchWindow = d }
 }
 
 // SetFsyncObserver installs obs to receive the latency of every fsync
@@ -113,6 +171,18 @@ type Journal struct {
 func (j *Journal) SetFsyncObserver(obs FsyncObserver) {
 	j.mu.Lock()
 	j.fsyncObs = obs
+	j.mu.Unlock()
+}
+
+// SetBatchObserver installs obs to receive the size of each committed
+// group-commit batch. Sizes are encoded on the microsecond scale — a
+// batch of n records is observed as n·1µs — so the telemetry
+// package's power-of-two duration histogram doubles as a count
+// histogram (the bucket labeled 2^k µs holds batches of ≤ 2^k
+// records).
+func (j *Journal) SetBatchObserver(obs FsyncObserver) {
+	j.mu.Lock()
+	j.batchObs = obs
 	j.mu.Unlock()
 }
 
@@ -129,7 +199,7 @@ func (j *Journal) syncLocked() error {
 
 // Open opens (creating if necessary) the journal at path for
 // appending.
-func Open(path string) (*Journal, error) {
+func Open(path string, opts ...Option) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -139,45 +209,165 @@ func Open(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Journal{f: f, path: path, size: fi.Size()}, nil
+	j := &Journal{f: f, path: path, size: fi.Size(), leader: make(chan struct{}, 1)}
+	for _, o := range opts {
+		o(j)
+	}
+	return j, nil
 }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
+// appendFrame appends one framed record to buf.
+func appendFrame(buf, data []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], recordMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(data)))
+	binary.BigEndian.PutUint32(hdr[8:], crc32.Checksum(data, castagnoli))
+	return append(append(buf, hdr[:]...), data...)
+}
+
 // Append implements Appender. The record is on stable storage when
 // Append returns nil.
 func (j *Journal) Append(data []byte) error {
-	frame := make([]byte, frameHeaderLen+len(data))
-	binary.BigEndian.PutUint32(frame, recordMagic)
-	binary.BigEndian.PutUint32(frame[4:], uint32(len(data)))
-	binary.BigEndian.PutUint32(frame[8:], crc32.Checksum(data, castagnoli))
-	copy(frame[frameHeaderLen:], data)
+	return j.commit(appendFrame(nil, data), 1)
+}
+
+// AppendBatch implements Appender: every record or none. An empty
+// batch is a no-op.
+func (j *Journal) AppendBatch(records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	total := 0
+	for _, r := range records {
+		total += frameHeaderLen + len(r)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range records {
+		buf = appendFrame(buf, r)
+	}
+	return j.commit(buf, len(records))
+}
+
+// commit runs the group-commit protocol for one pre-framed append:
+// enqueue, then either be acknowledged by a concurrent leader or
+// acquire the leader token and flush the whole queue with one
+// write+fsync. Followers never need the token to observe their ack —
+// crucial, because the next leader holds it while waiting for
+// stragglers, and the previous batch's followers must not count as
+// stragglers.
+func (j *Journal) commit(frames []byte, n int) error {
+	p := &pending{frames: frames, n: n, done: make(chan error, 1)}
+	j.inFlight.Add(1)
+	defer j.inFlight.Add(-1)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+
+	select {
+	case err := <-p.done:
+		// A concurrent leader committed this record.
+		return err
+	case j.leader <- struct{}{}:
+	}
+	// Leader. The previous leader may have committed this record
+	// between the enqueue and the token acquisition; anyone left in
+	// the queue is itself selecting on the token, so releasing it and
+	// returning cannot strand them.
+	select {
+	case err := <-p.done:
+		<-j.leader
+		return err
+	default:
+	}
+	j.waitForStragglers()
+	j.mu.Lock()
+	batch := j.queue
+	j.queue = nil
+	err := j.commitBatchLocked(batch)
+	j.mu.Unlock()
+	for _, q := range batch {
+		q.done <- err
+	}
+	<-j.leader
+	return <-p.done
+}
+
+// waitForStragglers holds the batch open (up to the configured
+// window) while appenders that have entered Append/AppendBatch have
+// not yet queued their frames. With no concurrent appenders it
+// returns immediately.
+func (j *Journal) waitForStragglers() {
+	w := j.batchWindow
+	if w <= 0 {
+		return
+	}
+	step := w / 16
+	if step <= 0 {
+		step = time.Microsecond
+	}
+	deadline := time.Now().Add(w)
+	for {
+		j.mu.Lock()
+		queued := len(j.queue)
+		j.mu.Unlock()
+		if int32(queued) >= j.inFlight.Load() || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(step)
+	}
+}
+
+// commitBatchLocked writes and fsyncs every queued frame as one unit.
+// On failure the file is truncated back to the last acknowledged
+// boundary, so the batch wholly acks or wholly rolls back. Assumes
+// j.mu is held; the caller delivers the returned error to every
+// batch member.
+func (j *Journal) commitBatchLocked(batch []*pending) error {
+	var records int64
+	var buf []byte
+	if len(batch) == 1 {
+		records, buf = int64(batch[0].n), batch[0].frames
+	} else {
+		total := 0
+		for _, p := range batch {
+			records += int64(p.n)
+			total += len(p.frames)
+		}
+		buf = make([]byte, 0, total)
+		for _, p := range batch {
+			buf = append(buf, p.frames...)
+		}
+	}
 	if j.f == nil {
-		j.stats.AppendErrors.Add(1)
+		j.stats.AppendErrors.Add(records)
 		return ErrClosed
 	}
 	if j.failed != nil {
-		j.stats.AppendErrors.Add(1)
+		j.stats.AppendErrors.Add(records)
 		return fmt.Errorf("%w: %v", ErrFailed, j.failed)
 	}
-	if _, err := j.f.Write(frame); err != nil {
-		j.stats.AppendErrors.Add(1)
+	if _, err := j.f.Write(buf); err != nil {
+		j.stats.AppendErrors.Add(records)
 		j.rollbackLocked()
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := j.syncLocked(); err != nil {
-		j.stats.AppendErrors.Add(1)
+		j.stats.AppendErrors.Add(records)
 		j.rollbackLocked()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
-	j.size += int64(len(frame))
-	j.stats.Appends.Add(1)
-	j.stats.BytesAppended.Add(int64(len(frame)))
+	j.size += int64(len(buf))
+	j.stats.Appends.Add(records)
+	j.stats.BytesAppended.Add(int64(len(buf)))
 	j.stats.Syncs.Add(1)
+	j.stats.Batches.Add(1)
+	if j.batchObs != nil {
+		j.batchObs.Observe(time.Duration(records) * time.Microsecond)
+	}
 	return nil
 }
 
@@ -195,7 +385,10 @@ func (j *Journal) rollbackLocked() {
 }
 
 // Reset implements Appender: truncate to zero after a snapshot has
-// captured everything the journal held.
+// captured everything the journal held. The caller must ensure no
+// append is concurrently in flight (the catalog's Save gates
+// mutations for exactly this reason): a queued-but-uncommitted record
+// would land in the truncated log and replay over the newer snapshot.
 func (j *Journal) Reset() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -248,6 +441,7 @@ func (j *Journal) Stats() StatsSnapshot {
 		Syncs:         j.stats.Syncs.Load(),
 		Resets:        j.stats.Resets.Load(),
 		AppendErrors:  j.stats.AppendErrors.Load(),
+		Batches:       j.stats.Batches.Load(),
 	}
 }
 
@@ -268,20 +462,26 @@ type ReplayResult struct {
 // at a torn tail (reported via ReplayResult, not an error); an error
 // from fn aborts the replay and is returned.
 func Replay(path string, fn func(data []byte) error) (ReplayResult, error) {
-	var res ReplayResult
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return res, nil
+			return ReplayResult{}, nil
 		}
-		return res, fmt.Errorf("wal: %w", err)
+		return ReplayResult{}, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
+	return replayReader(f, fn)
+}
 
+// replayReader decodes frames from r until a clean EOF, a tear, or an
+// fn error. Factored out of Replay so the frame decoder can be fuzzed
+// without a file.
+func replayReader(r io.Reader, fn func(data []byte) error) (ReplayResult, error) {
+	var res ReplayResult
 	var off int64
 	hdr := make([]byte, frameHeaderLen)
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			if err == io.EOF {
 				return res, nil // clean end
 			}
@@ -298,7 +498,7 @@ func Replay(path string, fn func(data []byte) error) (ReplayResult, error) {
 			return res, nil
 		}
 		data := make([]byte, n)
-		if _, err := io.ReadFull(f, data); err != nil {
+		if _, err := io.ReadFull(r, data); err != nil {
 			res.Torn, res.TornOffset = true, off
 			return res, nil // torn payload
 		}

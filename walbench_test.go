@@ -1,0 +1,157 @@
+package timedmedia_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+)
+
+// Write-path benchmarks (PR 4): journaled mutation throughput under
+// concurrent writers. The baseline is one writer with group commit
+// disabled — every mutation pays its own fsync, the PR 2 write path.
+// The contrast is N writers with the default batch window: concurrent
+// appends coalesce into shared fsyncs. BENCH_pr4.json records the
+// measured ratio; the acceptance bar is ≥5× for 8 writers.
+
+// benchJournaledWriters drives b.N derived-object adds through
+// `writers` goroutines against a journaled on-disk catalog with the
+// given group-commit window.
+func benchJournaledWriters(b *testing.B, writers int, window time.Duration) {
+	dir := b.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	db := catalog.New(store, catalog.WithWALBatchWindow(window))
+	if err := db.OpenJournal(dir); err != nil {
+		b.Fatal(err)
+	}
+	defer db.CloseJournal()
+	clip, err := db.Ingest("clip", fixtures.Video(8, 32, 24, 1), catalog.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := derive.EncodeParams(derive.EditParams{
+		Entries: []derive.EditEntry{{Input: 0, From: 0, To: 4}},
+	})
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				name := fmt.Sprintf("cut-%d-%d", w, i)
+				if _, err := db.AddDerived(name, "video-edit", []core.ID{clip}, params, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mut/s")
+	s := db.JournalStats()
+	if s.Batches > 0 {
+		b.ReportMetric(float64(s.Appends)/float64(s.Batches), "rec/fsync")
+	}
+}
+
+// BenchmarkIngestSingleWriterFsync is the per-append-fsync baseline.
+func BenchmarkIngestSingleWriterFsync(b *testing.B) {
+	benchJournaledWriters(b, 1, 0)
+}
+
+// BenchmarkIngestGroupCommit2 .. 8 measure concurrent writers with the
+// default batch window.
+func BenchmarkIngestGroupCommit2(b *testing.B) {
+	benchJournaledWriters(b, 2, catalog.DefaultWALBatchWindow)
+}
+
+func BenchmarkIngestGroupCommit4(b *testing.B) {
+	benchJournaledWriters(b, 4, catalog.DefaultWALBatchWindow)
+}
+
+func BenchmarkIngestGroupCommit8(b *testing.B) {
+	benchJournaledWriters(b, 8, catalog.DefaultWALBatchWindow)
+}
+
+// BenchmarkIngestAddBatch8 measures the batched ingest API: 8 writers
+// each committing 16-item batches (one group-committed journal write
+// per batch).
+func BenchmarkIngestAddBatch8(b *testing.B) {
+	const batchSize = 16
+	dir := b.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	db := catalog.New(store, catalog.WithWALBatchWindow(catalog.DefaultWALBatchWindow))
+	if err := db.OpenJournal(dir); err != nil {
+		b.Fatal(err)
+	}
+	defer db.CloseJournal()
+	clip, err := db.Ingest("clip", fixtures.Video(8, 32, 24, 1), catalog.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := derive.EncodeParams(derive.EditParams{
+		Entries: []derive.EditEntry{{Input: 0, From: 0, To: 4}},
+	})
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(int64(batchSize))
+				if i > int64(b.N) {
+					return
+				}
+				items := make([]catalog.BatchItem, batchSize)
+				for k := range items {
+					items[k] = catalog.BatchItem{
+						Name:   fmt.Sprintf("cut-%d-%d-%d", w, i, k),
+						Op:     "video-edit",
+						Inputs: []core.ID{clip},
+						Params: params,
+					}
+				}
+				if _, err := db.AddBatch(items); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mut/s")
+}
+
+// BenchmarkIngestGroupCommit8NoWindow isolates the natural batching a
+// leader's in-progress fsync provides: no explicit straggler window,
+// concurrent arrivals still coalesce behind the token holder.
+func BenchmarkIngestGroupCommit8NoWindow(b *testing.B) {
+	benchJournaledWriters(b, 8, 0)
+}
