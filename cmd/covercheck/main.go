@@ -1,0 +1,213 @@
+// Command covercheck turns a Go cover profile into a per-package and
+// per-file statement-coverage summary and enforces minimum coverage on
+// selected targets. CI runs it after the shuffled coverage lane to
+// keep the indexed read path honest:
+//
+//	go test -shuffle=on -coverprofile=coverage.out ./...
+//	covercheck -profile coverage.out -out summary.txt -min 85 \
+//	    -targets timedmedia/internal/query,timedmedia/internal/catalog/index.go
+//
+// A target naming a .go file is gated on that file's coverage;
+// anything else is treated as a package import path. The summary is
+// always written (stdout plus -out when given); the exit status is
+// non-zero when any target is below -min or absent from the profile.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one profile entry's payload: statement count and whether
+// any run covered it.
+type block struct {
+	stmts   int
+	covered bool
+}
+
+// profile maps file → block-position key → block. Merging by position
+// keeps re-listed blocks (mode count/atomic re-runs) from double
+// counting statements.
+type profile map[string]map[string]block
+
+func parseProfile(r io.Reader) (profile, error) {
+	p := profile{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts hitCount
+		file, rest, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: no file separator: %q", line, text)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want 'pos stmts count', got %q", line, rest)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad statement count: %v", line, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad hit count: %v", line, err)
+		}
+		blocks := p[file]
+		if blocks == nil {
+			blocks = map[string]block{}
+			p[file] = blocks
+		}
+		b := blocks[fields[0]]
+		b.stmts = stmts
+		b.covered = b.covered || hits > 0
+		blocks[fields[0]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// pct returns covered/total statements as a percentage; a target with
+// no statements counts as fully covered.
+func pct(covered, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+func (p profile) fileCoverage(file string) (covered, total int) {
+	for _, b := range p[file] {
+		total += b.stmts
+		if b.covered {
+			covered += b.stmts
+		}
+	}
+	return covered, total
+}
+
+func (p profile) packageCoverage(pkg string) (covered, total int) {
+	for file := range p {
+		if path.Dir(file) != pkg {
+			continue
+		}
+		c, n := p.fileCoverage(file)
+		covered += c
+		total += n
+	}
+	return covered, total
+}
+
+// summarize writes the per-package table, each package followed by its
+// files, plus a grand total.
+func (p profile) summarize(w io.Writer) {
+	byPkg := map[string][]string{}
+	for file := range p {
+		pkg := path.Dir(file)
+		byPkg[pkg] = append(byPkg[pkg], file)
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	grandC, grandN := 0, 0
+	for _, pkg := range pkgs {
+		c, n := p.packageCoverage(pkg)
+		grandC, grandN = grandC+c, grandN+n
+		fmt.Fprintf(w, "%6.1f%%  %-52s %4d/%d stmts\n", pct(c, n), pkg, c, n)
+		sort.Strings(byPkg[pkg])
+		for _, file := range byPkg[pkg] {
+			fc, fn := p.fileCoverage(file)
+			fmt.Fprintf(w, "%6.1f%%      %-48s %4d/%d\n", pct(fc, fn), path.Base(file), fc, fn)
+		}
+	}
+	fmt.Fprintf(w, "%6.1f%%  total %d/%d stmts\n", pct(grandC, grandN), grandC, grandN)
+}
+
+// checkTargets gates each target (package path or .go file) at min
+// percent, returning one line per failure.
+func (p profile) checkTargets(targets []string, min float64) []string {
+	var failures []string
+	for _, target := range targets {
+		var covered, total int
+		if strings.HasSuffix(target, ".go") {
+			covered, total = p.fileCoverage(target)
+		} else {
+			covered, total = p.packageCoverage(target)
+		}
+		if total == 0 {
+			failures = append(failures, fmt.Sprintf("%s: not present in profile", target))
+			continue
+		}
+		if got := pct(covered, total); got < min {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f%% statement coverage, need >= %.1f%%", target, got, min))
+		}
+	}
+	return failures
+}
+
+func run(profilePath, outPath, targetList string, min float64, stdout, stderr io.Writer) int {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "covercheck:", err)
+		return 2
+	}
+	defer f.Close()
+	p, err := parseProfile(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "covercheck:", err)
+		return 2
+	}
+
+	var sb strings.Builder
+	p.summarize(&sb)
+	io.WriteString(stdout, sb.String())
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "covercheck:", err)
+			return 2
+		}
+	}
+
+	var targets []string
+	for _, t := range strings.Split(targetList, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if failures := p.checkTargets(targets, min); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stderr, "covercheck: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	profilePath := flag.String("profile", "coverage.out", "cover profile to read")
+	outPath := flag.String("out", "", "also write the summary to this file")
+	min := flag.Float64("min", 85, "minimum statement coverage percent for -targets")
+	targets := flag.String("targets", "", "comma-separated package paths or .go files to gate")
+	flag.Parse()
+	os.Exit(run(*profilePath, *outPath, *targets, *min, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `mode: set
+example.com/m/pkg/a.go:3.10,5.2 2 1
+example.com/m/pkg/a.go:7.1,9.2 2 0
+example.com/m/pkg/b.go:1.1,2.2 4 1
+example.com/m/other/c.go:1.1,2.2 5 0
+`
+
+func mustParse(t *testing.T, text string) profile {
+	t.Helper()
+	p, err := parseProfile(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseAndCoverage(t *testing.T) {
+	p := mustParse(t, sample)
+	if c, n := p.fileCoverage("example.com/m/pkg/a.go"); c != 2 || n != 4 {
+		t.Errorf("a.go = %d/%d", c, n)
+	}
+	if c, n := p.packageCoverage("example.com/m/pkg"); c != 6 || n != 8 {
+		t.Errorf("pkg = %d/%d", c, n)
+	}
+	if c, n := p.packageCoverage("example.com/m/other"); c != 0 || n != 5 {
+		t.Errorf("other = %d/%d", c, n)
+	}
+	if c, n := p.packageCoverage("example.com/m/ghost"); c != 0 || n != 0 {
+		t.Errorf("ghost = %d/%d", c, n)
+	}
+}
+
+func TestDuplicateBlocksMergeNotDoubleCount(t *testing.T) {
+	p := mustParse(t, `mode: count
+m/p/a.go:1.1,2.2 3 0
+m/p/a.go:1.1,2.2 3 7
+`)
+	if c, n := p.fileCoverage("m/p/a.go"); c != 3 || n != 3 {
+		t.Errorf("merged = %d/%d", c, n)
+	}
+}
+
+func TestCheckTargets(t *testing.T) {
+	p := mustParse(t, sample)
+	if f := p.checkTargets([]string{"example.com/m/pkg"}, 70); len(f) != 0 {
+		t.Errorf("75%% package failed 70%% gate: %v", f)
+	}
+	f := p.checkTargets([]string{
+		"example.com/m/pkg",      // 75% — fails at 85
+		"example.com/m/pkg/b.go", // 100% — passes
+		"example.com/m/missing",  // absent
+	}, 85)
+	if len(f) != 2 {
+		t.Fatalf("failures = %v", f)
+	}
+	if !strings.Contains(f[0], "75.0%") || !strings.Contains(f[1], "not present") {
+		t.Errorf("failure text = %v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"mode: set\nnocolonhere 1 2\n",
+		"mode: set\nf.go:1.1,2.2 1\n",
+		"mode: set\nf.go:1.1,2.2 x 1\n",
+		"mode: set\nf.go:1.1,2.2 1 x\n",
+	} {
+		if _, err := parseProfile(strings.NewReader(bad)); err == nil {
+			t.Errorf("parse %q: no error", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "coverage.out")
+	out := filepath.Join(dir, "summary.txt")
+	if err := os.WriteFile(prof, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run(prof, out, "example.com/m/pkg/b.go", 85, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr %s", code, stderr.String())
+	}
+	summary, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"example.com/m/pkg", "a.go", "total"} {
+		if !strings.Contains(string(summary), want) {
+			t.Errorf("summary missing %q:\n%s", want, summary)
+		}
+	}
+	if stdout.String() != string(summary) {
+		t.Error("stdout and -out differ")
+	}
+	// Failing gate → exit 1 with a FAIL line.
+	stderr.Reset()
+	if code := run(prof, "", "example.com/m/other", 85, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "FAIL") {
+		t.Errorf("stderr = %s", stderr.String())
+	}
+	// Unreadable profile → exit 2.
+	if code := run(filepath.Join(dir, "nope.out"), "", "", 85, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing profile run = %d", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"timedmedia/internal/fixtures"
 	"timedmedia/internal/media"
 	"timedmedia/internal/player"
+	"timedmedia/internal/query"
 	"timedmedia/internal/timebase"
 )
 
@@ -368,32 +370,200 @@ func cmdPlay(args []string) error {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := dirFlag(fs)
+	serverURL := fs.String("url", "", "query a running server (e.g. http://localhost:8080) instead of opening -dir")
 	kind := fs.String("kind", "", "media kind (video, audio, music, animation, image)")
+	class := fs.String("class", "", "object class (nonderived, derived, multimedia)")
 	attr := fs.String("attr", "", "attribute filter key=value")
+	nameContains := fs.String("name-contains", "", "object-name substring filter")
+	derivedFrom := fs.String("derived-from", "", "keep objects transitively derived from / composed over this name")
+	liveAt := fs.String("live-at", "", "keep objects whose timeline covers this instant (seconds)")
+	overlaps := fs.String("overlaps", "", "keep objects whose timeline overlaps t1,t2 (seconds)")
+	minDur := fs.String("min-dur", "", "minimum descriptor duration (seconds)")
+	maxDur := fs.String("max-dur", "", "maximum descriptor duration (seconds)")
+	sortBy := fs.String("sort", "id", "result order: id, name or duration")
+	limit := fs.Int("limit", -1, "cap the result count (-1 = unlimited)")
+	countOnly := fs.Bool("count", false, "print only the number of matches")
 	fs.Parse(args)
+
+	var attrKey, attrVal string
+	if *attr != "" {
+		var ok bool
+		attrKey, attrVal, ok = strings.Cut(*attr, "=")
+		if !ok {
+			return fmt.Errorf("-attr wants key=value")
+		}
+	}
+
+	if *serverURL != "" {
+		params := url.Values{}
+		set := func(k, v string) {
+			if v != "" {
+				params.Set(k, v)
+			}
+		}
+		set("kind", *kind)
+		set("class", *class)
+		if *attr != "" {
+			params.Set("attr."+attrKey, attrVal)
+		}
+		set("name_contains", *nameContains)
+		set("derived_from", *derivedFrom)
+		set("live_at", *liveAt)
+		set("overlaps", *overlaps)
+		set("min_duration", *minDur)
+		set("max_duration", *maxDur)
+		if *sortBy != "id" {
+			params.Set("sort", *sortBy)
+		}
+		if *limit >= 0 {
+			params.Set("limit", strconv.Itoa(*limit))
+		}
+		if *countOnly {
+			params.Set("count", "1")
+		}
+		return remoteQuery(*serverURL, params, *countOnly)
+	}
+
 	db, store, err := openDB(*dir)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
-	pred := func(o *core.Object) bool { return true }
+	q := query.New(db)
 	if *kind != "" {
-		want := kindByName(*kind)
-		prev := pred
-		pred = func(o *core.Object) bool { return prev(o) && o.Kind == want }
+		q.Kind(kindByName(*kind))
+	}
+	if *class != "" {
+		c, err := classByName(*class)
+		if err != nil {
+			return err
+		}
+		q.Class(c)
 	}
 	if *attr != "" {
-		k, v, ok := strings.Cut(*attr, "=")
-		if !ok {
-			return fmt.Errorf("-attr wants key=value")
-		}
-		prev := pred
-		pred = func(o *core.Object) bool { return prev(o) && o.Attrs[k] == v }
+		q.Attr(attrKey, attrVal)
 	}
-	for _, obj := range db.Select(pred) {
+	if *nameContains != "" {
+		q.NameContains(*nameContains)
+	}
+	if *derivedFrom != "" {
+		src, err := db.Lookup(*derivedFrom)
+		if err != nil {
+			return err
+		}
+		q.DerivedFrom(src.ID)
+	}
+	if *liveAt != "" {
+		t, err := strconv.ParseFloat(*liveAt, 64)
+		if err != nil {
+			return fmt.Errorf("-live-at wants seconds: %v", err)
+		}
+		q.LiveAt(t)
+	}
+	if *overlaps != "" {
+		lo, hi, ok := strings.Cut(*overlaps, ",")
+		t1, err1 := strconv.ParseFloat(lo, 64)
+		t2, err2 := strconv.ParseFloat(hi, 64)
+		if !ok || err1 != nil || err2 != nil {
+			return fmt.Errorf("-overlaps wants t1,t2 in seconds")
+		}
+		q.Overlapping(t1, t2)
+	}
+	if *minDur != "" || *maxDur != "" {
+		lo, hi := 0.0, 1e18
+		if *minDur != "" {
+			if lo, err = strconv.ParseFloat(*minDur, 64); err != nil {
+				return fmt.Errorf("-min-dur wants seconds: %v", err)
+			}
+		}
+		if *maxDur != "" {
+			if hi, err = strconv.ParseFloat(*maxDur, 64); err != nil {
+				return fmt.Errorf("-max-dur wants seconds: %v", err)
+			}
+		}
+		q.DurationBetween(lo, hi)
+	}
+	switch *sortBy {
+	case "id":
+	case "name":
+		q.SortByName()
+	case "duration":
+		q.SortByDuration()
+	default:
+		return fmt.Errorf("-sort wants id, name or duration")
+	}
+	q.Limit(*limit)
+	if *countOnly {
+		fmt.Println(q.Count())
+		return nil
+	}
+	for _, obj := range q.Run() {
 		fmt.Println(obj)
 	}
 	return nil
+}
+
+// remoteQuery hits GET /v1/query on a running server and prints the
+// result the same way the local path does.
+func remoteQuery(base string, params url.Values, countOnly bool) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/query?" + params.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s", serverError(body))
+	}
+	if countOnly {
+		var reply struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal(body, &reply); err != nil {
+			return err
+		}
+		fmt.Println(reply.Count)
+		return nil
+	}
+	var reply struct {
+		Objects []struct {
+			ID         uint64 `json:"id"`
+			Name       string `json:"name"`
+			Class      string `json:"class"`
+			Kind       string `json:"kind"`
+			Descriptor string `json:"descriptor"`
+		} `json:"objects"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return err
+	}
+	for _, o := range reply.Objects {
+		line := fmt.Sprintf("#%d %q %s", o.ID, o.Name, o.Class)
+		if o.Descriptor != "" {
+			line += ": " + o.Descriptor
+		}
+		fmt.Println(line)
+	}
+	if len(reply.Objects) < reply.Total {
+		fmt.Printf("(%d of %d matches)\n", len(reply.Objects), reply.Total)
+	}
+	return nil
+}
+
+func classByName(name string) (core.Class, error) {
+	switch name {
+	case "nonderived", "non-derived", "media":
+		return core.ClassNonDerived, nil
+	case "derived":
+		return core.ClassDerived, nil
+	case "multimedia":
+		return core.ClassMultimedia, nil
+	}
+	return 0, fmt.Errorf("unknown class %q (want nonderived, derived or multimedia)", name)
 }
 
 func kindByName(name string) media.Kind {

@@ -18,7 +18,10 @@
 //	tbmctl timeline -dir db -name show
 //	tbmctl lineage  -dir db -name show
 //	tbmctl play     -dir db -name show [-fidelity base]
-//	tbmctl query    -dir db [-kind video] [-attr language=fr]
+//	tbmctl query    -dir db [-kind video] [-class derived] [-attr language=fr]
+//	                [-derived-from clip] [-live-at 2.5] [-overlaps 1,4]
+//	                [-min-dur 1] [-max-dur 30] [-name-contains cut]
+//	                [-sort id|name|duration] [-limit n] [-count] | -url http://host:8080
 //	tbmctl stats    -dir db [-expand name,...] | -url http://host:8080
 //	tbmctl ops
 package main
@@ -102,7 +105,7 @@ commands:
   timeline  render a multimedia object's timeline
   lineage   walk an object down to its BLOBs (the Figure 5 layers)
   play      play an object on the virtual clock and report deadlines
-  query     select objects by kind or attribute
+  query     indexed structural query: kind/class/attr/provenance/time (local or -url)
   stats     show catalog and expansion-cache statistics (local or -url)
   ops       list derivation operators`)
 }

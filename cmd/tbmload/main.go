@@ -12,6 +12,8 @@
 //	element  GET  /v1/objects/{name}/element/{i} payload read
 //	cut      POST /v1/objects/{name}/cut        single journaled mutation
 //	batch    POST /v1/objects:batch             atomic multi-object mutation
+//	query    GET  /v1/query                     indexed structural query
+//	                                            (kind / attr / time-range mix)
 //
 // Targets for reads and cut inputs are discovered from GET /v1/objects
 // at startup; mutation names are namespaced per run (-run-id, default
@@ -21,7 +23,7 @@
 // Usage:
 //
 //	tbmload -url http://127.0.0.1:8080 [-clients 8] [-duration 10s]
-//	        [-mix object=30,expand=15,element=35,cut=15,batch=5]
+//	        [-mix object=25,expand=15,element=30,cut=15,batch=5,query=10]
 //	        [-seed 1] [-run-id r1] [-out bench.json]
 package main
 
@@ -78,7 +80,7 @@ func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
 	clients := flag.Int("clients", 8, "concurrent workload clients")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
-	mixSpec := flag.String("mix", "object=30,expand=15,element=35,cut=15,batch=5",
+	mixSpec := flag.String("mix", "object=25,expand=15,element=30,cut=15,batch=5,query=10",
 		"weighted operation mix (op=weight,...)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	runID := flag.String("run-id", "", "mutation name namespace (default load<seed>)")
@@ -105,7 +107,7 @@ func run(base string, nClients int, duration time.Duration, mixSpec string, seed
 	if len(names) == 0 {
 		return fmt.Errorf("server has no objects; seed it first (tbmctl ingest -dir <dir> -n 16)")
 	}
-	needMedia := mix["element"] > 0 || mix["cut"] > 0 || mix["batch"] > 0 || mix["expand"] > 0
+	needMedia := mix["element"] > 0 || mix["cut"] > 0 || mix["batch"] > 0 || mix["expand"] > 0 || mix["query"] > 0
 	if needMedia && len(media) == 0 {
 		return fmt.Errorf("workload needs stored media objects but the server has none")
 	}
@@ -157,7 +159,7 @@ func run(base string, nClients int, duration time.Duration, mixSpec string, seed
 
 // parseMix parses "op=weight,..." into a weight table.
 func parseMix(spec string) (map[string]int, error) {
-	known := map[string]bool{"object": true, "expand": true, "element": true, "cut": true, "batch": true}
+	known := map[string]bool{"object": true, "expand": true, "element": true, "cut": true, "batch": true, "query": true}
 	mix := map[string]int{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -171,7 +173,7 @@ func parseMix(spec string) (map[string]int, error) {
 			ok = err == nil
 		}
 		if !ok || !known[op] || w < 0 {
-			return nil, fmt.Errorf("bad mix entry %q (want op=weight with op in object|expand|element|cut|batch)", part)
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight with op in object|expand|element|cut|batch|query)", part)
 		}
 		mix[op] = w
 	}
@@ -218,7 +220,7 @@ func pick(rng *rand.Rand, mix map[string]int) string {
 	}
 	n := rng.Intn(total)
 	// Iterate in fixed order so the draw is deterministic.
-	for _, op := range []string{"object", "expand", "element", "cut", "batch"} {
+	for _, op := range []string{"object", "expand", "element", "cut", "batch", "query"} {
 		n -= mix[op]
 		if n < 0 {
 			return op
@@ -288,6 +290,21 @@ func (c *client) do(op string) error {
 		}
 		body, _ := json.Marshal(map[string]any{"items": items})
 		return c.post("/v1/objects:batch", "application/json", body, http.StatusCreated)
+	case "query":
+		// Rotate through the indexed query shapes: kind probe,
+		// provenance reach, timeline point and window lookups.
+		switch c.rng.Intn(4) {
+		case 0:
+			return c.get("/v1/query?kind=video&limit=50")
+		case 1:
+			t := c.media[c.rng.Intn(len(c.media))]
+			return c.get("/v1/query?derived_from=" + t.Name + "&limit=50")
+		case 2:
+			return c.get(fmt.Sprintf("/v1/query?live_at=%.3f&limit=50", c.rng.Float64()*10))
+		default:
+			t1 := c.rng.Float64() * 8
+			return c.get(fmt.Sprintf("/v1/query?overlaps=%.3f,%.3f&limit=50", t1, t1+2))
+		}
 	}
 	return fmt.Errorf("unknown op %q", op)
 }

@@ -59,10 +59,7 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 	// demoted to staged before the lock is released for journaling.
 	undoLocked := func() {
 		for i := len(ids) - 1; i >= 0; i-- {
-			if obj, ok := db.objects[ids[i]]; ok {
-				db.staged[ids[i]] = obj
-				delete(db.objects, ids[i])
-			}
+			db.demoteLocked(ids[i])
 			db.unstageLocked(ids[i])
 		}
 	}
@@ -113,8 +110,7 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 			rec.Seq = db.seq
 		}
 		for _, id := range ids {
-			db.staged[id] = db.objects[id]
-			delete(db.objects, id)
+			db.demoteLocked(id)
 		}
 	}
 	db.mu.Unlock()

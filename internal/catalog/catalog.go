@@ -69,6 +69,13 @@ type DB struct {
 	staged        map[core.ID]*core.Object
 	stagedInterps map[blob.ID]*interp.Interpretation
 
+	// ix holds the secondary indexes (kind/class/attr hash indexes,
+	// provenance adjacency, timeline interval index) over the visible
+	// objects only — see index.go. Guarded by mu; maintained by
+	// insert/demote/publish/delete so it is always exactly the index
+	// of db.objects.
+	ix *indexes
+
 	// commitGate serializes snapshots against in-flight commits:
 	// mutators hold the read side from apply to ack/rollback, and
 	// Save briefly takes the write side so a snapshot never captures
@@ -154,6 +161,7 @@ func New(store blob.Store, opts ...Option) *DB {
 		interps:        map[blob.ID]*interp.Interpretation{},
 		staged:         map[core.ID]*core.Object{},
 		stagedInterps:  map[blob.ID]*interp.Interpretation{},
+		ix:             newIndexes(),
 		walBatchWindow: cfg.walBatchWindow,
 		cache:          expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
@@ -468,6 +476,7 @@ func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	}
 	db.objects[id] = obj
 	db.byName[obj.Name] = id
+	db.linkLocked(obj)
 	return id, nil
 }
 
@@ -495,10 +504,23 @@ func (db *DB) prepareLocked(rec *walOp) wal.Appender {
 func (db *DB) stageCommitLocked(rec *walOp, id core.ID) wal.Appender {
 	j := db.prepareLocked(rec)
 	if j != nil {
-		db.staged[id] = db.objects[id]
-		delete(db.objects, id)
+		db.demoteLocked(id)
 	}
 	return j
+}
+
+// demoteLocked moves a freshly inserted object from the visible map
+// to staged and unlinks it from the indexes, so neither readers nor
+// the query planner observe it before its journal record is durable.
+// Assumes db.mu is held.
+func (db *DB) demoteLocked(id core.ID) {
+	obj, ok := db.objects[id]
+	if !ok {
+		return
+	}
+	db.unlinkLocked(obj)
+	db.staged[id] = obj
+	delete(db.objects, id)
 }
 
 // commitObject journals rec (nil j means no journal: nothing to do)
@@ -526,6 +548,7 @@ func (db *DB) publishLocked(id core.ID) {
 	if obj, ok := db.staged[id]; ok {
 		delete(db.staged, id)
 		db.objects[id] = obj
+		db.linkLocked(obj)
 	}
 }
 
@@ -606,16 +629,17 @@ func (db *DB) Select(pred func(*core.Object) bool) []*core.Object {
 	return out
 }
 
-// ByKind selects media objects of a kind. The result is deep-copied;
-// see Select.
+// ByKind selects media objects of a kind via the kind index. The
+// result is deep-copied; see Select.
 func (db *DB) ByKind(k media.Kind) []*core.Object {
-	return db.Select(func(o *core.Object) bool { return o.Kind == k })
+	return db.SelectIndexed(IndexedQuery{Kind: &k}, nil, -1)
 }
 
 // ByAttr selects objects with attribute key = value (e.g.
-// language = "fr"). The result is deep-copied; see Select.
+// language = "fr") via the attribute index. The result is
+// deep-copied; see Select.
 func (db *DB) ByAttr(key, value string) []*core.Object {
-	return db.Select(func(o *core.Object) bool { return o.Attrs[key] == value })
+	return db.SelectIndexed(IndexedQuery{Attrs: []AttrEq{{Key: key, Value: value}}}, nil, -1)
 }
 
 // ByQuality selects media objects whose descriptor carries the given

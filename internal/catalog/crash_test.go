@@ -57,6 +57,11 @@ func TestCrashJournalReplayRestoresCut(t *testing.T) {
 	if err != nil || obj.ID != cut {
 		t.Fatalf("webcut after crash: %v %v", obj, err)
 	}
+	// Snapshot load + journal replay must leave the secondary indexes
+	// identical to a from-scratch rebuild.
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Errorf("index divergence after replay: %v", err)
+	}
 	v, err := db2.Expand(cut)
 	if err != nil {
 		t.Fatal(err)
@@ -469,6 +474,12 @@ func TestFaultJournalAppendRollsBack(t *testing.T) {
 	}
 	if _, err := db.Lookup("cut"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("lookup rolled-back object: %v", err)
+	}
+	// The rollback must also have unlinked the object from every
+	// secondary index — a leak here would let the planner surface an
+	// unacknowledged mutation.
+	if err := db.VerifyIndexes(); err != nil {
+		t.Errorf("index leak after rollback: %v", err)
 	}
 
 	// The fault was one-shot; the same mutation now succeeds and the

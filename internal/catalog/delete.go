@@ -44,12 +44,14 @@ func (db *DB) Delete(id core.ID) error {
 }
 
 // checkDeletable reports whether any other object references id.
-// Staged objects (applied but not yet durable) count as references:
-// their commit may ack at any moment, and deleting their input would
-// leave the journal unreplayable. Assumes db.mu is held.
+// Visible referrers come straight from the provenance adjacency
+// index. Staged objects (applied but not yet durable) count as
+// references too — their commit may ack at any moment, and deleting
+// their input would leave the journal unreplayable — but they are
+// unindexed by design, so they are scanned. Assumes db.mu is held.
 func (db *DB) checkDeletable(id core.ID) error {
-	if err := checkRefs(db.objects, id); err != nil {
-		return err
+	for other := range db.ix.deps[id] {
+		return fmt.Errorf("%w: %v ← %v", ErrInUse, id, other)
 	}
 	return checkRefs(db.staged, id)
 }
@@ -87,6 +89,7 @@ func (db *DB) deleteLocked(id core.ID) error {
 	if err := db.checkDeletable(id); err != nil {
 		return err
 	}
+	db.unlinkLocked(obj)
 	delete(db.objects, id)
 	delete(db.byName, obj.Name)
 	db.cache.Invalidate(id)

@@ -1,0 +1,529 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"timedmedia/internal/core"
+	"timedmedia/internal/media"
+)
+
+// Secondary indexes over the visible object graph. Every index is
+// maintained transactionally with the commit protocol: objects are
+// linked when they become visible (insert without a journal, publish
+// on ack, snapshot/journal replay on Open) and unlinked the moment
+// they stop being visible (staging for an in-flight commit, rollback,
+// delete). Staged objects are never indexed, so the planner can only
+// ever surface acknowledged mutations — the same guarantee Select
+// gives. All access assumes db.mu.
+//
+//	kind / class / attr  hash indexes for equality filters
+//	deps                 provenance adjacency: id → objects that list
+//	                     it as a derivation input or composition
+//	                     component (replaces per-query graph walks)
+//	spans                interval index over presentation timelines
+//	                     ("what is live at t / overlaps [t1,t2]")
+type idSet map[core.ID]struct{}
+
+type indexes struct {
+	kind  map[media.Kind]idSet
+	class map[core.Class]idSet
+	attr  map[string]map[string]idSet // key → value → ids
+	deps  map[core.ID]idSet
+	spans *intervalIndex
+}
+
+func newIndexes() *indexes {
+	return &indexes{
+		kind:  map[media.Kind]idSet{},
+		class: map[core.Class]idSet{},
+		attr:  map[string]map[string]idSet{},
+		deps:  map[core.ID]idSet{},
+		spans: newIntervalIndex(),
+	}
+}
+
+func addToSet[K comparable](m map[K]idSet, k K, id core.ID) {
+	set, ok := m[k]
+	if !ok {
+		set = idSet{}
+		m[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+// dropFromSet removes id and prunes the set when it empties, so a
+// rebuilt index and a long-lived one compare equal key for key.
+func dropFromSet[K comparable](m map[K]idSet, k K, id core.ID) {
+	set, ok := m[k]
+	if !ok {
+		return
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		delete(m, k)
+	}
+}
+
+// directRefs returns the objects obj directly references: derivation
+// inputs and composition components. Duplicates are fine — the sets
+// absorb them symmetrically on link and unlink.
+func directRefs(obj *core.Object) []core.ID {
+	var refs []core.ID
+	if obj.Derivation != nil {
+		refs = append(refs, obj.Derivation.Inputs...)
+	}
+	if obj.Multimedia != nil {
+		for _, c := range obj.Multimedia.Components {
+			refs = append(refs, c.Object)
+		}
+	}
+	return refs
+}
+
+// timelineSpan computes obj's presentation-timeline span (see Span).
+// Timed media objects span [0, duration); multimedia objects span the
+// union of their timed components' placements on the composition
+// axis, resolving component objects through lookup. Components
+// without a timed descriptor (derived objects, images, nested
+// multimedia) contribute no extent. Objects with no positive extent
+// have no span at all.
+func timelineSpan(obj *core.Object, lookup func(core.ID) *core.Object) (Span, bool) {
+	if obj.Desc != nil && obj.Desc.TimeSystem().Valid() {
+		d := obj.Desc.TimeSystem().Seconds(obj.Desc.Duration())
+		if d > 0 {
+			return Span{Start: 0, End: d}, true
+		}
+		return Span{}, false
+	}
+	if obj.Multimedia == nil || !obj.Multimedia.Time.Valid() {
+		return Span{}, false
+	}
+	axis := obj.Multimedia.Time
+	var s Span
+	found := false
+	for _, c := range obj.Multimedia.Components {
+		comp := lookup(c.Object)
+		if comp == nil || comp.Desc == nil || !comp.Desc.TimeSystem().Valid() {
+			continue
+		}
+		dur := comp.Desc.TimeSystem().Seconds(comp.Desc.Duration())
+		if dur <= 0 {
+			continue
+		}
+		start := axis.Seconds(c.Start)
+		end := start + dur
+		if !found {
+			s, found = Span{Start: start, End: end}, true
+			continue
+		}
+		if start < s.Start {
+			s.Start = start
+		}
+		if end > s.End {
+			s.End = end
+		}
+	}
+	return s, found
+}
+
+// link adds obj to every index. lookup resolves component objects for
+// the timeline span and must see the same visibility the object
+// itself is entering (the visible map).
+func (ix *indexes) link(obj *core.Object, lookup func(core.ID) *core.Object) {
+	addToSet(ix.kind, obj.Kind, obj.ID)
+	addToSet(ix.class, obj.Class, obj.ID)
+	for k, v := range obj.Attrs {
+		vals, ok := ix.attr[k]
+		if !ok {
+			vals = map[string]idSet{}
+			ix.attr[k] = vals
+		}
+		addToSet(vals, v, obj.ID)
+	}
+	for _, ref := range directRefs(obj) {
+		addToSet(ix.deps, ref, obj.ID)
+	}
+	if s, ok := timelineSpan(obj, lookup); ok {
+		ix.spans.add(obj.ID, s)
+	}
+}
+
+// unlink removes obj from every index, pruning emptied sets.
+func (ix *indexes) unlink(obj *core.Object) {
+	dropFromSet(ix.kind, obj.Kind, obj.ID)
+	dropFromSet(ix.class, obj.Class, obj.ID)
+	for k, v := range obj.Attrs {
+		if vals, ok := ix.attr[k]; ok {
+			dropFromSet(vals, v, obj.ID)
+			if len(vals) == 0 {
+				delete(ix.attr, k)
+			}
+		}
+	}
+	for _, ref := range directRefs(obj) {
+		dropFromSet(ix.deps, ref, obj.ID)
+	}
+	ix.spans.remove(obj.ID)
+}
+
+func (db *DB) lookupVisible(id core.ID) *core.Object { return db.objects[id] }
+
+// linkLocked / unlinkLocked index an object entering / leaving the
+// visible map. Assumes db.mu is held.
+func (db *DB) linkLocked(obj *core.Object)   { db.ix.link(obj, db.lookupVisible) }
+func (db *DB) unlinkLocked(obj *core.Object) { db.ix.unlink(obj) }
+
+// AttrEq is one attribute equality constraint of an IndexedQuery.
+type AttrEq struct {
+	Key, Value string
+}
+
+// IndexedQuery names the indexable constraints of a query. All listed
+// constraints are enforced (AND semantics); the planner additionally
+// uses the most selective one to source candidates. The zero value
+// matches everything and plans as a full scan.
+type IndexedQuery struct {
+	// Kind / Class keep objects of that media kind / object class.
+	Kind  *media.Kind
+	Class *core.Class
+
+	// Attrs keeps objects carrying every listed attribute equality.
+	Attrs []AttrEq
+
+	// Reach keeps objects whose derivation/composition ancestry
+	// (transitively) includes each listed ID — DerivedFrom semantics,
+	// answered from the provenance adjacency index.
+	Reach []core.ID
+
+	// Spans keeps objects whose presentation timeline overlaps each
+	// listed window (Span.Overlaps; a point query is {t, t}). Objects
+	// without a timed extent never match.
+	Spans []Span
+}
+
+// Query plan labels, exported to telemetry as
+// tbm_index_probes_total{index="..."} (planScan increments
+// tbm_index_scan_fallback_total instead).
+const (
+	planKind       = "kind"
+	planClass      = "class"
+	planAttr       = "attr"
+	planProvenance = "provenance"
+	planInterval   = "interval"
+	planScan       = "scan"
+)
+
+// indexPlans lists every candidate-sourcing plan, for eager metric
+// registration.
+var indexPlans = []string{planKind, planClass, planAttr, planProvenance, planInterval}
+
+// descendantsLocked returns the transitive dependents of src — every
+// object reachable from src by following the provenance adjacency
+// forward. src itself is excluded (an object is not derived from
+// itself). Assumes db.mu is held.
+func (db *DB) descendantsLocked(src core.ID) idSet {
+	out := idSet{}
+	queue := []core.ID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for dep := range db.ix.deps[cur] {
+			if _, seen := out[dep]; !seen {
+				out[dep] = struct{}{}
+				queue = append(queue, dep)
+			}
+		}
+	}
+	return out
+}
+
+// planLocked picks the most selective candidate source for sel. It
+// returns the plan label, the candidate IDs (nil for planScan), and
+// the materialized descendant set of each Reach constraint (needed
+// for membership checks regardless of which index sources
+// candidates). Assumes db.mu is held.
+func (db *DB) planLocked(sel *IndexedQuery) (string, []core.ID, []idSet) {
+	bestSize := -1
+	var bestName string
+	var bestIDs func() []core.ID
+	consider := func(name string, size int, ids func() []core.ID) {
+		if bestSize < 0 || size < bestSize {
+			bestSize, bestName, bestIDs = size, name, ids
+		}
+	}
+	setIDs := func(set idSet) func() []core.ID {
+		return func() []core.ID {
+			out := make([]core.ID, 0, len(set))
+			for id := range set {
+				out = append(out, id)
+			}
+			return out
+		}
+	}
+	if sel.Kind != nil {
+		set := db.ix.kind[*sel.Kind]
+		consider(planKind, len(set), setIDs(set))
+	}
+	if sel.Class != nil {
+		set := db.ix.class[*sel.Class]
+		consider(planClass, len(set), setIDs(set))
+	}
+	for _, a := range sel.Attrs {
+		set := db.ix.attr[a.Key][a.Value]
+		consider(planAttr, len(set), setIDs(set))
+	}
+	var reach []idSet
+	for _, src := range sel.Reach {
+		set := db.descendantsLocked(src)
+		reach = append(reach, set)
+		consider(planProvenance, len(set), setIDs(set))
+	}
+	if len(sel.Spans) > 0 {
+		// The interval index's selectivity is only known by running the
+		// window query; its O(log n + k) cost is bounded by its own
+		// candidate count, so probing it to compare is safe.
+		ids := db.ix.spans.overlapping(sel.Spans[0].Start, sel.Spans[0].End, nil)
+		consider(planInterval, len(ids), func() []core.ID { return ids })
+	}
+	if bestSize < 0 {
+		return planScan, nil, reach
+	}
+	return bestName, bestIDs(), reach
+}
+
+// matchLocked applies every sel constraint to o. reach must be the
+// descendant sets planLocked materialized for sel.Reach. Assumes
+// db.mu is held.
+func (db *DB) matchLocked(sel *IndexedQuery, reach []idSet, o *core.Object) bool {
+	if sel.Kind != nil && o.Kind != *sel.Kind {
+		return false
+	}
+	if sel.Class != nil && o.Class != *sel.Class {
+		return false
+	}
+	for _, a := range sel.Attrs {
+		if o.Attrs[a.Key] != a.Value {
+			return false
+		}
+	}
+	for _, set := range reach {
+		if _, ok := set[o.ID]; !ok {
+			return false
+		}
+	}
+	if len(sel.Spans) > 0 {
+		sp, ok := db.ix.spans.spanOf(o.ID)
+		if !ok {
+			return false
+		}
+		for _, w := range sel.Spans {
+			if !sp.Overlaps(w.Start, w.End) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runIndexed is the shared executor behind SelectIndexed /
+// CountIndexed / SelectPage: plan, walk candidates in ID order, apply
+// sel + pred, and clone only the objects inside the requested window.
+// When the caller does not need the total (needTotal false) the walk
+// stops as soon as the window is full, so matches past the cap are
+// neither cloned nor visited.
+func (db *DB) runIndexed(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int, needTotal, clone bool) (out []*core.Object, total int) {
+	if offset < 0 {
+		offset = 0
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	planStart := time.Now()
+	plan, cands, reach := db.planLocked(&sel)
+	if t := db.tel.Load(); t != nil {
+		t.queryPlan.Observe(time.Since(planStart))
+		t.probes[plan].Inc()
+	}
+
+	match := func(o *core.Object) bool {
+		return db.matchLocked(&sel, reach, o) && (pred == nil || pred(o))
+	}
+	// emit counts a match and clones it when it falls inside the
+	// window; it reports whether the walk must continue. When the
+	// caller doesn't need the total, matches past the cap are not even
+	// counted — Count(limit) returns min(matches, limit).
+	emit := func(o *core.Object) bool {
+		if !needTotal && limit >= 0 && total >= offset+limit {
+			return false
+		}
+		total++
+		if clone && total > offset && (limit < 0 || len(out) < limit) {
+			out = append(out, o.Clone())
+		}
+		return needTotal || limit < 0 || total < offset+limit
+	}
+
+	if plan != planScan {
+		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		for _, id := range cands {
+			o, ok := db.objects[id]
+			if !ok || !match(o) {
+				continue
+			}
+			if !emit(o) {
+				break
+			}
+		}
+		return out, total
+	}
+	var ids []core.ID
+	for id, o := range db.objects {
+		if match(o) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if !emit(db.objects[id]) {
+			break
+		}
+	}
+	return out, total
+}
+
+// SelectIndexed returns the objects matching sel and pred, ordered by
+// ID and deep-copied like Select. limit < 0 means unlimited;
+// otherwise at most limit objects are returned, and matches past the
+// cap are never cloned. pred (which may be nil) runs on the live
+// objects under the read lock and must not retain or modify them.
+func (db *DB) SelectIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) []*core.Object {
+	out, _ := db.runIndexed(sel, pred, 0, limit, false, true)
+	return out
+}
+
+// CountIndexed counts the matches of sel and pred without cloning a
+// single object. limit >= 0 caps the count (and the walk); limit < 0
+// counts everything.
+func (db *DB) CountIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) int {
+	_, total := db.runIndexed(sel, pred, 0, limit, false, false)
+	return total
+}
+
+// SelectPage returns the page [offset, offset+limit) of the full
+// ID-ordered match list plus the total match count. Only the page is
+// cloned — the pagination primitive behind the list/query endpoints.
+// limit < 0 returns everything from offset on.
+func (db *DB) SelectPage(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int) ([]*core.Object, int) {
+	return db.runIndexed(sel, pred, offset, limit, true, true)
+}
+
+// IndexStats is a size snapshot of every index family.
+type IndexStats struct {
+	Kinds           int `json:"kinds"`            // distinct kinds indexed
+	Classes         int `json:"classes"`          // distinct classes indexed
+	AttrKeys        int `json:"attr_keys"`        // distinct attribute keys
+	AttrValues      int `json:"attr_values"`      // distinct (key, value) pairs
+	ProvenanceEdges int `json:"provenance_edges"` // direct dependency edges
+	Spans           int `json:"spans"`            // objects with a timeline span
+}
+
+// IndexStats reports the current index sizes.
+func (db *DB) IndexStats() IndexStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := IndexStats{
+		Kinds:   len(db.ix.kind),
+		Classes: len(db.ix.class),
+		Spans:   db.ix.spans.len(),
+	}
+	for _, vals := range db.ix.attr {
+		st.AttrKeys++
+		st.AttrValues += len(vals)
+	}
+	for _, deps := range db.ix.deps {
+		st.ProvenanceEdges += len(deps)
+	}
+	return st
+}
+
+// VerifyIndexes rebuilds every index from scratch over the visible
+// object graph and diffs the rebuild against the live incrementally
+// maintained indexes, including the interval treap's structural
+// invariants. Any divergence — a stale entry leaked by a rollback or
+// delete, a missing entry, an unpruned empty set — is returned as an
+// error. Intended for tests (the crash/stress harness calls it after
+// every fault-injected recovery) and offline fsck-style checks.
+func (db *DB) VerifyIndexes() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	want := newIndexes()
+	for _, obj := range db.objects {
+		want.link(obj, db.lookupVisible)
+	}
+	if err := diffSets("kind", db.ix.kind, want.kind); err != nil {
+		return err
+	}
+	if err := diffSets("class", db.ix.class, want.class); err != nil {
+		return err
+	}
+	if err := diffAttr(db.ix.attr, want.attr); err != nil {
+		return err
+	}
+	if err := diffSets("provenance", db.ix.deps, want.deps); err != nil {
+		return err
+	}
+	if err := db.ix.spans.check(); err != nil {
+		return err
+	}
+	if got, wantN := db.ix.spans.len(), want.spans.len(); got != wantN {
+		return fmt.Errorf("catalog: interval index holds %d spans, rebuild holds %d", got, wantN)
+	}
+	for id, ws := range want.spans.byID {
+		if gs, ok := db.ix.spans.spanOf(id); !ok || gs != ws {
+			return fmt.Errorf("catalog: interval index span for %v is %v, rebuild says %v", id, gs, ws)
+		}
+	}
+	return nil
+}
+
+func diffSets[K comparable](fam string, got, want map[K]idSet) error {
+	for k, ws := range want {
+		gs := got[k]
+		for id := range ws {
+			if _, ok := gs[id]; !ok {
+				return fmt.Errorf("catalog: %s index missing %v under %v", fam, id, k)
+			}
+		}
+		if len(gs) != len(ws) {
+			return fmt.Errorf("catalog: %s index has %d entries under %v, rebuild has %d", fam, len(gs), k, len(ws))
+		}
+	}
+	for k, gs := range got {
+		if len(gs) == 0 {
+			return fmt.Errorf("catalog: %s index retains empty set for %v", fam, k)
+		}
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("catalog: %s index has stale key %v", fam, k)
+		}
+	}
+	return nil
+}
+
+func diffAttr(got, want map[string]map[string]idSet) error {
+	for k, wvals := range want {
+		if err := diffSets("attr["+k+"]", got[k], wvals); err != nil {
+			return err
+		}
+	}
+	for k, gvals := range got {
+		if len(gvals) == 0 {
+			return fmt.Errorf("catalog: attr index retains empty key %q", k)
+		}
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("catalog: attr index has stale key %q", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"timedmedia/internal/core"
+	"timedmedia/internal/media"
+	"timedmedia/internal/telemetry"
+	"timedmedia/internal/timebase"
+)
+
+// indexDB builds a small graph exercising every index family: two
+// stored videos (one with attributes), a cut derived from the first,
+// and a multimedia object composing the cut and the second video.
+func indexDB(t *testing.T) (*DB, map[string]core.ID) {
+	t.Helper()
+	db := memDB()
+	ids := map[string]core.ID{}
+	var err error
+	if ids["a"], err = db.Ingest("a", genVideo(10, 1),
+		IngestOptions{Attrs: map[string]string{"language": "en", "genre": "news"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ids["b"], err = db.Ingest("b", genVideo(5, 2), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ids["cut"], err = db.SelectDuration(ids["a"], "cut", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if ids["mix"], err = db.AddMultimedia("mix", timebase.Millis, []core.ComponentRef{
+		{Object: ids["cut"], Start: 0}, {Object: ids["b"], Start: 500}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return db, ids
+}
+
+func TestIndexStats(t *testing.T) {
+	db, _ := indexDB(t)
+	st := db.IndexStats()
+	if st.Kinds != 2 { // video + unknown (the multimedia object)
+		t.Errorf("kinds = %d", st.Kinds)
+	}
+	if st.Classes != 3 {
+		t.Errorf("classes = %d", st.Classes)
+	}
+	if st.AttrKeys != 2 || st.AttrValues != 2 {
+		t.Errorf("attrs = %d keys / %d values", st.AttrKeys, st.AttrValues)
+	}
+	// cut→a, mix→cut, mix→b.
+	if st.ProvenanceEdges != 3 {
+		t.Errorf("provenance edges = %d", st.ProvenanceEdges)
+	}
+	// a, b and mix have timelines; cut has no descriptor.
+	if st.Spans != 3 {
+		t.Errorf("spans = %d", st.Spans)
+	}
+}
+
+// TestVerifyIndexesDetectsCorruption plants one inconsistency per
+// index family directly into the live structures and checks
+// VerifyIndexes names it. A fresh catalog is built per case since each
+// corruption is destructive.
+func TestVerifyIndexesDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(db *DB, ids map[string]core.ID)
+		wantSub string
+	}{
+		{"clean", func(db *DB, ids map[string]core.ID) {}, ""},
+		{"stale kind entry", func(db *DB, ids map[string]core.ID) {
+			db.ix.kind[media.KindVideo][core.ID(9999)] = struct{}{}
+		}, "kind index"},
+		{"missing kind entry", func(db *DB, ids map[string]core.ID) {
+			delete(db.ix.kind[media.KindVideo], ids["a"])
+		}, "kind index missing"},
+		{"unpruned empty class set", func(db *DB, ids map[string]core.ID) {
+			db.ix.class[core.Class(77)] = idSet{}
+		}, "empty set"},
+		{"stale attr key", func(db *DB, ids map[string]core.ID) {
+			db.ix.attr["ghost"] = map[string]idSet{"x": {ids["a"]: {}}}
+		}, "attr"},
+		{"stale provenance edge", func(db *DB, ids map[string]core.ID) {
+			db.ix.deps[ids["b"]][ids["a"]] = struct{}{}
+		}, "provenance"},
+		{"dropped span", func(db *DB, ids map[string]core.ID) {
+			db.ix.spans.remove(ids["b"])
+		}, "interval index"},
+		{"wrong span", func(db *DB, ids map[string]core.ID) {
+			db.ix.spans.add(ids["b"], Span{Start: 40, End: 41})
+		}, "interval index span"},
+		{"stale class key", func(db *DB, ids map[string]core.ID) {
+			db.ix.class[core.Class(77)] = idSet{ids["a"]: {}}
+		}, "stale key"},
+		{"missing attr entry", func(db *DB, ids map[string]core.ID) {
+			delete(db.ix.attr["language"]["en"], ids["a"])
+		}, "attr[language]"},
+		{"unpruned empty attr key", func(db *DB, ids map[string]core.ID) {
+			db.ix.attr["ghost"] = map[string]idSet{}
+		}, "empty key"},
+		{"treap byID divergence", func(db *DB, ids map[string]core.ID) {
+			db.ix.spans.byID[core.ID(9999)] = Span{Start: 1, End: 2}
+		}, "interval index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, ids := indexDB(t)
+			tc.corrupt(db, ids)
+			err := db.VerifyIndexes()
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("clean catalog: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corruption %q not detected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestIndexesFollowDelete checks unlink on the delete path: removing
+// the composition frees its components for deletion, and each delete
+// leaves the indexes equal to a rebuild.
+func TestIndexesFollowDelete(t *testing.T) {
+	db, ids := indexDB(t)
+	for _, name := range []string{"mix", "cut", "b", "a"} {
+		if err := db.Delete(ids[name]); err != nil {
+			t.Fatalf("delete %s: %v", name, err)
+		}
+		if err := db.VerifyIndexes(); err != nil {
+			t.Fatalf("after deleting %s: %v", name, err)
+		}
+	}
+	st := db.IndexStats()
+	if st != (IndexStats{}) {
+		t.Errorf("stats after full drain = %+v", st)
+	}
+}
+
+// TestSelectIndexedLimitAndPage covers the window arithmetic of the
+// shared executor from the catalog side.
+func TestSelectIndexedLimitAndPage(t *testing.T) {
+	db, _ := indexDB(t)
+	k := media.KindVideo
+	all := db.SelectIndexed(IndexedQuery{Kind: &k}, nil, -1)
+	if len(all) != 3 { // a, b, cut
+		t.Fatalf("videos = %d", len(all))
+	}
+	if got := db.SelectIndexed(IndexedQuery{Kind: &k}, nil, 2); len(got) != 2 {
+		t.Errorf("limit 2 = %d", len(got))
+	}
+	if n := db.CountIndexed(IndexedQuery{Kind: &k}, nil, -1); n != 3 {
+		t.Errorf("count = %d", n)
+	}
+	if n := db.CountIndexed(IndexedQuery{Kind: &k}, nil, 1); n != 1 {
+		t.Errorf("capped count = %d", n)
+	}
+	page, total := db.SelectPage(IndexedQuery{Kind: &k}, nil, 1, 1)
+	if total != 3 || len(page) != 1 || page[0].ID != all[1].ID {
+		t.Errorf("page = %v total %d", page, total)
+	}
+	// Offset past the end: empty page, true total.
+	page, total = db.SelectPage(IndexedQuery{}, nil, 50, 2)
+	if total != 4 || len(page) != 0 {
+		t.Errorf("past-end page = %v total %d", page, total)
+	}
+	// Residual predicate composes with the indexed constraints.
+	pred := func(o *core.Object) bool { return o.Name != "cut" }
+	if n := db.CountIndexed(IndexedQuery{Kind: &k}, pred, -1); n != 2 {
+		t.Errorf("count with pred = %d", n)
+	}
+	// limit 0 counts nothing; a negative offset clamps to 0; the scan
+	// plan (zero query) stops walking once the cap is reached.
+	if n := db.CountIndexed(IndexedQuery{Kind: &k}, nil, 0); n != 0 {
+		t.Errorf("count limit 0 = %d", n)
+	}
+	page, total = db.SelectPage(IndexedQuery{Kind: &k}, nil, -7, 2)
+	if total != 3 || len(page) != 2 {
+		t.Errorf("negative offset page = %d/%d", len(page), total)
+	}
+	if got := db.SelectIndexed(IndexedQuery{}, nil, 2); len(got) != 2 {
+		t.Errorf("scan with limit = %d", len(got))
+	}
+}
+
+// TestPlannerPicksEachIndex drives every candidate source and every
+// matchLocked rejection branch: the planner sources candidates from
+// the smallest index, then enforces the remaining constraints on each
+// candidate.
+func TestPlannerPicksEachIndex(t *testing.T) {
+	db, ids := indexDB(t)
+	k := media.KindVideo
+	ku := media.KindUnknown
+	derived := core.ClassDerived
+	multi := core.ClassMultimedia
+
+	// Class alone.
+	if got := db.SelectIndexed(IndexedQuery{Class: &derived}, nil, -1); len(got) != 1 || got[0].Name != "cut" {
+		t.Errorf("class=derived = %v", got)
+	}
+	// Provenance: everything downstream of a (cut directly, mix via cut).
+	got := db.SelectIndexed(IndexedQuery{Reach: []core.ID{ids["a"]}}, nil, -1)
+	if len(got) != 2 {
+		t.Errorf("reach a = %v", got)
+	}
+	// Reach + Kind: mix is KindUnknown → kind constraint rejects it.
+	got = db.SelectIndexed(IndexedQuery{Kind: &k, Reach: []core.ID{ids["a"]}}, nil, -1)
+	if len(got) != 1 || got[0].Name != "cut" {
+		t.Errorf("reach a ∧ video = %v", got)
+	}
+	// Reach + Class: cut is not multimedia → class constraint rejects it.
+	got = db.SelectIndexed(IndexedQuery{Class: &multi, Reach: []core.ID{ids["a"]}}, nil, -1)
+	if len(got) != 1 || got[0].Name != "mix" {
+		t.Errorf("reach a ∧ multimedia = %v", got)
+	}
+	// Class candidates failing an attr constraint: mix has no language.
+	got = db.SelectIndexed(IndexedQuery{Class: &multi, Attrs: []AttrEq{{Key: "language", Value: "en"}}}, nil, -1)
+	if len(got) != 0 {
+		t.Errorf("multimedia ∧ language=en = %v", got)
+	}
+	// Attr candidates failing a reach constraint: a is not its own
+	// descendant.
+	got = db.SelectIndexed(IndexedQuery{
+		Attrs: []AttrEq{{Key: "language", Value: "en"}}, Reach: []core.ID{ids["a"]}}, nil, -1)
+	if len(got) != 0 {
+		t.Errorf("language=en ∧ reach a = %v", got)
+	}
+	// Interval alone: a [0,0.4), b [0,0.2), mix [0.5,0.7) (cut has no
+	// extent; b placed at 500 ms).
+	got = db.SelectIndexed(IndexedQuery{Spans: []Span{{Start: 0.3, End: 0.3}}}, nil, -1)
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("live at 0.3 = %v", got)
+	}
+	got = db.SelectIndexed(IndexedQuery{Spans: []Span{{Start: 0.3, End: 0.6}}}, nil, -1)
+	if len(got) != 2 { // a and mix
+		t.Errorf("overlapping [0.3,0.6] = %v", got)
+	}
+	// Kind candidates under a span constraint: cut has no span → the
+	// span check rejects it without an interval probe.
+	got = db.SelectIndexed(IndexedQuery{Kind: &k, Spans: []Span{{Start: 0, End: 10}}}, nil, -1)
+	if len(got) != 2 { // a and b; cut is spanless
+		t.Errorf("video ∧ [0,10] = %v", got)
+	}
+	// Two windows must BOTH overlap: nothing lives at 39s.
+	got = db.SelectIndexed(IndexedQuery{Spans: []Span{{Start: 0, End: 1}, {Start: 39, End: 40}}}, nil, -1)
+	if len(got) != 0 {
+		t.Errorf("conjunction of disjoint windows = %v", got)
+	}
+	// KindUnknown is a real indexed key (multimedia objects).
+	if got := db.SelectIndexed(IndexedQuery{Kind: &ku}, nil, -1); len(got) != 1 || got[0].Name != "mix" {
+		t.Errorf("kind=unknown = %v", got)
+	}
+	// Reach from a leaf with no dependents.
+	if got := db.SelectIndexed(IndexedQuery{Reach: []core.ID{ids["mix"]}}, nil, -1); len(got) != 0 {
+		t.Errorf("reach mix = %v", got)
+	}
+}
+
+// TestIndexTelemetryCounters checks probe/fallback counters and the
+// query_plan histogram move when a registry is attached.
+func TestIndexTelemetryCounters(t *testing.T) {
+	db, ids := indexDB(t)
+	reg := telemetry.NewRegistry()
+	db.SetTelemetry(reg)
+	k := media.KindVideo
+	db.SelectIndexed(IndexedQuery{Kind: &k}, nil, -1)
+	db.SelectIndexed(IndexedQuery{Spans: []Span{{Start: 0, End: 1}}}, nil, -1)
+	db.SelectIndexed(IndexedQuery{Reach: []core.ID{ids["a"]}}, nil, -1)
+	db.SelectIndexed(IndexedQuery{}, nil, -1) // scan fallback
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`tbm_index_probes_total{index="kind"} 1`,
+		`tbm_index_probes_total{index="interval"} 1`,
+		`tbm_index_probes_total{index="provenance"} 1`,
+		"tbm_index_scan_fallback_total 1",
+		`tbm_stage_duration_seconds_count{stage="query_plan"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestTimelineSpanEdgeCases white-boxes span computation: zero-length
+// descriptors yield no span, spanless components contribute nothing,
+// and the union extends left when a later component starts earlier.
+func TestTimelineSpanEdgeCases(t *testing.T) {
+	zero := &core.Object{ID: 1, Desc: &media.Video{FrameRate: timebase.PAL, DurationTicks: 0}}
+	if _, ok := timelineSpan(zero, func(core.ID) *core.Object { return nil }); ok {
+		t.Error("zero-duration media got a span")
+	}
+	long := &core.Object{ID: 2, Desc: &media.Video{FrameRate: timebase.PAL, DurationTicks: 50}} // 2 s
+	objs := map[core.ID]*core.Object{1: zero, 2: long}
+	lookup := func(id core.ID) *core.Object { return objs[id] }
+	mm := &core.Object{ID: 3, Multimedia: &core.MultimediaSpec{
+		Time: timebase.Millis,
+		Components: []core.ComponentRef{
+			{Object: 2, Start: 1000}, // [1, 3)
+			{Object: 1, Start: 500},  // zero duration → no extent
+			{Object: 99, Start: 0},   // dangling → no extent
+			{Object: 2, Start: 250},  // [0.25, 2.25) extends the union left
+		},
+	}}
+	s, ok := timelineSpan(mm, lookup)
+	if !ok || s.Start != 0.25 || s.End != 3 {
+		t.Errorf("union span = %v %v", s, ok)
+	}
+	// All components spanless → no span at all.
+	bare := &core.Object{ID: 4, Multimedia: &core.MultimediaSpec{
+		Time:       timebase.Millis,
+		Components: []core.ComponentRef{{Object: 1, Start: 0}},
+	}}
+	if _, ok := timelineSpan(bare, lookup); ok {
+		t.Error("spanless composition got a span")
+	}
+}
+
+// TestDropFromSetMissingKey pins that unlinking under a key that was
+// never indexed is a no-op, not a panic.
+func TestDropFromSetMissingKey(t *testing.T) {
+	m := map[string]idSet{}
+	dropFromSet(m, "ghost", core.ID(1))
+	if len(m) != 0 {
+		t.Errorf("map = %v", m)
+	}
+	m["k"] = idSet{core.ID(1): {}}
+	dropFromSet(m, "k", core.ID(1))
+	if _, ok := m["k"]; ok {
+		t.Error("emptied set not pruned")
+	}
+}

@@ -1,0 +1,224 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"timedmedia/internal/core"
+)
+
+// Span is a half-open interval [Start, End) in seconds on the
+// catalog's presentation timeline: for a timed media object, its own
+// playing time starting at 0; for a multimedia object, the union of
+// its components' placements on the composition's time axis (Def. 7).
+// Objects without a timed extent (derived objects, still images,
+// zero-duration streams) have no span.
+type Span struct {
+	Start, End float64
+}
+
+// Overlaps reports whether the span intersects the closed query
+// window [lo, hi]. A point query "live at t" is the window [t, t]:
+// with half-open spans an object is live at t iff Start <= t < End.
+func (s Span) Overlaps(lo, hi float64) bool {
+	return s.Start <= hi && s.End > lo
+}
+
+// intervalIndex stores object spans in a treap keyed by (Start, ID)
+// with subtree-max End augmentation, so a window query visits only
+// subtrees that can still overlap: O(log n + k) for k results. Node
+// priorities are hashed from the object ID, making the shape a pure
+// function of the stored set — identical across live maintenance and
+// rebuild-from-scratch, which VerifyIndexes exploits.
+type intervalIndex struct {
+	root *spanNode
+	byID map[core.ID]Span
+}
+
+type spanNode struct {
+	id          core.ID
+	span        Span
+	prio        uint64
+	maxEnd      float64
+	left, right *spanNode
+}
+
+func newIntervalIndex() *intervalIndex {
+	return &intervalIndex{byID: map[core.ID]Span{}}
+}
+
+// spanPrio derives the treap priority from the object ID (splitmix64
+// finalizer) — deterministic, no RNG state to persist.
+func spanPrio(id core.ID) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// keyLess orders nodes by (Start, ID).
+func (n *spanNode) keyLess(start float64, id core.ID) bool {
+	return n.span.Start < start || (n.span.Start == start && n.id < id)
+}
+
+// pull recomputes the max-End augmentation from the children.
+func (n *spanNode) pull() *spanNode {
+	n.maxEnd = n.span.End
+	if n.left != nil && n.left.maxEnd > n.maxEnd {
+		n.maxEnd = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > n.maxEnd {
+		n.maxEnd = n.right.maxEnd
+	}
+	return n
+}
+
+// spanSplit partitions n into keys < (start, id) and keys >= (start, id).
+func spanSplit(n *spanNode, start float64, id core.ID) (l, r *spanNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.keyLess(start, id) {
+		sl, sr := spanSplit(n.right, start, id)
+		n.right = sl
+		return n.pull(), sr
+	}
+	sl, sr := spanSplit(n.left, start, id)
+	n.left = sr
+	return sl, n.pull()
+}
+
+func spanMerge(l, r *spanNode) *spanNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		l.right = spanMerge(l.right, r)
+		return l.pull()
+	default:
+		r.left = spanMerge(l, r.left)
+		return r.pull()
+	}
+}
+
+// add inserts (or replaces) the span for id.
+func (ix *intervalIndex) add(id core.ID, s Span) {
+	if old, ok := ix.byID[id]; ok {
+		ix.removeKey(old.Start, id)
+	}
+	ix.byID[id] = s
+	n := &spanNode{id: id, span: s, prio: spanPrio(id)}
+	n.pull()
+	l, r := spanSplit(ix.root, s.Start, id)
+	ix.root = spanMerge(spanMerge(l, n), r)
+}
+
+// remove drops id's span; unknown IDs are a no-op.
+func (ix *intervalIndex) remove(id core.ID) {
+	s, ok := ix.byID[id]
+	if !ok {
+		return
+	}
+	delete(ix.byID, id)
+	ix.removeKey(s.Start, id)
+}
+
+// removeKey detaches the single node with key (start, id) by splitting
+// out the one-key range [(start,id), (start,id+1)).
+func (ix *intervalIndex) removeKey(start float64, id core.ID) {
+	l, rest := spanSplit(ix.root, start, id)
+	mid, r := spanSplit(rest, start, id+1)
+	if mid != nil {
+		mid = spanMerge(mid.left, mid.right)
+	}
+	ix.root = spanMerge(spanMerge(l, mid), r)
+}
+
+// spanOf returns the indexed span of id.
+func (ix *intervalIndex) spanOf(id core.ID) (Span, bool) {
+	s, ok := ix.byID[id]
+	return s, ok
+}
+
+func (ix *intervalIndex) len() int { return len(ix.byID) }
+
+// overlapping appends to out the IDs of every span overlapping the
+// closed window [lo, hi], in (Start, ID) order. Subtrees whose maxEnd
+// is <= lo cannot contain an overlap and are pruned; right subtrees
+// are pruned once Start exceeds hi.
+func (ix *intervalIndex) overlapping(lo, hi float64, out []core.ID) []core.ID {
+	var walk func(n *spanNode)
+	walk = func(n *spanNode) {
+		if n == nil || n.maxEnd <= lo {
+			return
+		}
+		walk(n.left)
+		if n.span.Overlaps(lo, hi) {
+			out = append(out, n.id)
+		}
+		if n.span.Start <= hi {
+			walk(n.right)
+		}
+	}
+	walk(ix.root)
+	return out
+}
+
+// check verifies the treap against byID: key order, heap order,
+// max-End augmentation, and exact agreement with the byID map. Used
+// by (*DB).VerifyIndexes.
+func (ix *intervalIndex) check() error {
+	seen := map[core.ID]Span{}
+	prevStart := math.Inf(-1)
+	var prevID core.ID
+	var walk func(n *spanNode) (float64, error)
+	walk = func(n *spanNode) (float64, error) {
+		if n == nil {
+			return math.Inf(-1), nil
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			return 0, fmt.Errorf("interval index: heap violation at %v", n.id)
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			return 0, fmt.Errorf("interval index: heap violation at %v", n.id)
+		}
+		maxL, err := walk(n.left)
+		if err != nil {
+			return 0, err
+		}
+		if n.span.Start < prevStart || (n.span.Start == prevStart && n.id <= prevID) {
+			return 0, fmt.Errorf("interval index: key order violation at %v", n.id)
+		}
+		prevStart, prevID = n.span.Start, n.id
+		if _, dup := seen[n.id]; dup {
+			return 0, fmt.Errorf("interval index: duplicate node for %v", n.id)
+		}
+		seen[n.id] = n.span
+		maxR, err := walk(n.right)
+		if err != nil {
+			return 0, err
+		}
+		want := math.Max(n.span.End, math.Max(maxL, maxR))
+		if n.maxEnd != want {
+			return 0, fmt.Errorf("interval index: maxEnd %v at %v, want %v", n.maxEnd, n.id, want)
+		}
+		return want, nil
+	}
+	if _, err := walk(ix.root); err != nil {
+		return err
+	}
+	if len(seen) != len(ix.byID) {
+		return fmt.Errorf("interval index: tree holds %d spans, byID holds %d", len(seen), len(ix.byID))
+	}
+	for id, s := range ix.byID {
+		if got, ok := seen[id]; !ok || got != s {
+			return fmt.Errorf("interval index: byID span %v for %v not in tree (tree has %v)", s, id, got)
+		}
+	}
+	return nil
+}

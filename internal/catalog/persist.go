@@ -293,6 +293,12 @@ func newFromSnapshot(snap *savedCatalog, store blob.Store, opts ...Option) (*DB,
 		db.objects[obj.ID] = obj
 		db.byName[obj.Name] = obj.ID
 	}
+	// Rebuild the secondary indexes once the whole graph is present —
+	// multimedia spans resolve component objects, which may appear
+	// anywhere in the snapshot.
+	for _, obj := range db.objects {
+		db.linkLocked(obj)
+	}
 	return db, nil
 }
 

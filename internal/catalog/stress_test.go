@@ -170,6 +170,13 @@ func TestCrashStressConcurrentMutators(t *testing.T) {
 		}
 		wg.Wait()
 
+		// The concurrent adds, rolled-back failures and deletes must
+		// have left the secondary indexes exactly equal to a from-scratch
+		// rebuild — a stale entry here means an unlink was missed.
+		if err := db.VerifyIndexes(); err != nil {
+			t.Fatalf("iter %d: index divergence before crash: %v", it, err)
+		}
+
 		// Crash: abandon db without Save or CloseJournal, reopen, and
 		// replay the journal into a fresh catalog.
 		fs2, err := blob.OpenFileStore(dir)
@@ -206,6 +213,11 @@ func TestCrashStressConcurrentMutators(t *testing.T) {
 		}
 		if db2.Len() != wantLen {
 			t.Errorf("iter %d: recovered %d objects, want %d", it, db2.Len(), wantLen)
+		}
+		// The indexes rebuilt during snapshot load + journal replay must
+		// also match a from-scratch rebuild of the recovered graph.
+		if err := db2.VerifyIndexes(); err != nil {
+			t.Fatalf("iter %d: index divergence after replay: %v", it, err)
 		}
 		// A recovered derivation must still expand.
 		for w := range logs {

@@ -13,6 +13,12 @@ type dbTelemetry struct {
 	expand  *telemetry.Histogram
 	decode  *telemetry.Histogram
 	journal *telemetry.Histogram
+
+	// queryPlan times the planner's index selection; probes counts
+	// candidate sourcing per index (plan label → counter), with the
+	// planScan entry pointing at the scan-fallback counter.
+	queryPlan *telemetry.Histogram
+	probes    map[string]*telemetry.Counter
 }
 
 func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
@@ -27,15 +33,23 @@ func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
 		telemetry.StageExpcacheFill,
 		telemetry.StageWALFsync,
 		telemetry.StageBlobRead,
+		telemetry.StageQueryPlan,
 	} {
 		reg.Histogram(telemetry.StageFamily, stage)
 	}
 	reg.Histogram(telemetry.WALBatchFamily, "")
+	probes := make(map[string]*telemetry.Counter, len(indexPlans)+1)
+	for _, idx := range indexPlans {
+		probes[idx] = reg.Counter(telemetry.IndexProbeFamily, `index="`+idx+`"`)
+	}
+	probes[planScan] = reg.Counter(telemetry.IndexScanFallbackFamily, "")
 	return &dbTelemetry{
-		reg:     reg,
-		expand:  reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
-		decode:  reg.Histogram(telemetry.StageFamily, telemetry.StageDecode),
-		journal: reg.Histogram(telemetry.StageFamily, telemetry.StageJournalAppend),
+		reg:       reg,
+		expand:    reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
+		decode:    reg.Histogram(telemetry.StageFamily, telemetry.StageDecode),
+		journal:   reg.Histogram(telemetry.StageFamily, telemetry.StageJournalAppend),
+		queryPlan: reg.Histogram(telemetry.StageFamily, telemetry.StageQueryPlan),
+		probes:    probes,
 	}
 }
 

@@ -179,6 +179,122 @@ func TestLimit(t *testing.T) {
 	}
 }
 
+func TestUsedByThroughComposition(t *testing.T) {
+	db, ids := testDB(t)
+	// tone is referenced only as a multimedia component — UsedBy must
+	// follow composition edges, not just derivation inputs.
+	got := UsedBy(db, ids["tone"])
+	if len(got) != 1 || got[0].Name != "show" {
+		t.Errorf("used by tone = %v", names(got))
+	}
+	// long-en flows derivation → derivation → composition.
+	got = UsedBy(db, ids["long-en"])
+	if len(got) != 3 {
+		t.Errorf("used by long-en = %v", names(got))
+	}
+}
+
+func TestDurationBetweenNilDescriptor(t *testing.T) {
+	db, _ := testDB(t)
+	// cut, cut2 (derived) and show (multimedia) carry no media
+	// descriptor; a duration filter must exclude them rather than
+	// treating them as zero-length.
+	got := New(db).DurationBetween(0, 1e9).Run()
+	for _, o := range got {
+		if o.Desc == nil {
+			t.Errorf("descriptorless %s matched duration filter", o.Name)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("timed objects = %v", names(got))
+	}
+	if n := New(db).Class(core.ClassDerived).DurationBetween(0, 1e9).Count(); n != 0 {
+		t.Errorf("derived with duration = %d", n)
+	}
+}
+
+func TestLimitWithSort(t *testing.T) {
+	db, _ := testDB(t)
+	// Limit must apply after the sort, not before: the two
+	// alphabetically-first names out of all six objects.
+	got := New(db).SortByName().Limit(2).Run()
+	if len(got) != 2 || got[0].Name != "cut" || got[1].Name != "cut2" {
+		t.Errorf("first two by name = %v", names(got))
+	}
+	// And the shortest timed object first under a duration sort.
+	got = New(db).SortByDuration().Limit(1).Run()
+	if len(got) != 1 || got[0].Name != "tone" {
+		t.Errorf("shortest = %v", names(got))
+	}
+	// A sorted page beyond the result set is empty but keeps the total.
+	page, total := New(db).SortByName().Limit(2).RunPage(100)
+	if len(page) != 0 || total != 6 {
+		t.Errorf("page past end = %v total %d", names(page), total)
+	}
+	page, total = New(db).SortByName().Limit(2).RunPage(4)
+	if len(page) != 2 || total != 6 {
+		t.Errorf("last page = %v total %d", names(page), total)
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	db := fixtures.NewMemDB()
+	if n := New(db).Count(); n != 0 {
+		t.Errorf("empty count = %d", n)
+	}
+	if n := New(db).Kind(media.KindVideo).Count(); n != 0 {
+		t.Errorf("empty kind count = %d", n)
+	}
+	if got := New(db).LiveAt(1).Run(); len(got) != 0 {
+		t.Errorf("empty live_at = %v", names(got))
+	}
+	page, total := New(db).RunPage(0)
+	if len(page) != 0 || total != 0 {
+		t.Errorf("empty page = %v total %d", names(page), total)
+	}
+}
+
+func TestLiveAtAndOverlapping(t *testing.T) {
+	db, _ := testDB(t)
+	// Timelines: long-en [0,20), short-fr [0,2), tone [0,1), show
+	// [0,1) (cut2 contributes nothing — no descriptor; tone at 0ms).
+	got := New(db).LiveAt(0.5).Run()
+	if len(got) != 4 {
+		t.Errorf("live at 0.5 = %v", names(got))
+	}
+	got = New(db).LiveAt(1.5).Run()
+	if len(got) != 2 {
+		t.Errorf("live at 1.5 = %v", names(got))
+	}
+	// End is exclusive: tone [0,1) is not live at exactly 1.
+	got = New(db).Kind(media.KindAudio).LiveAt(1).Run()
+	if len(got) != 0 {
+		t.Errorf("tone live at its end = %v", names(got))
+	}
+	got = New(db).Overlapping(3, 50).Run()
+	if len(got) != 1 || got[0].Name != "long-en" {
+		t.Errorf("overlapping [3,50] = %v", names(got))
+	}
+	if n := New(db).LiveAt(-1).Count(); n != 0 {
+		t.Errorf("live before zero = %d", n)
+	}
+}
+
+func TestRepeatedKindAndClass(t *testing.T) {
+	db, _ := testDB(t)
+	// A second Kind/Class filter still ANDs: contradictory values
+	// match nothing, repeated equal values are a no-op.
+	if n := New(db).Kind(media.KindVideo).Kind(media.KindAudio).Count(); n != 0 {
+		t.Errorf("video AND audio = %d", n)
+	}
+	if n := New(db).Kind(media.KindVideo).Kind(media.KindVideo).Count(); n != 4 {
+		t.Errorf("video AND video = %d", n)
+	}
+	if n := New(db).Class(core.ClassDerived).Class(core.ClassMultimedia).Count(); n != 0 {
+		t.Errorf("derived AND multimedia = %d", n)
+	}
+}
+
 func TestNameContainsAndWhere(t *testing.T) {
 	db, _ := testDB(t)
 	if n := New(db).NameContains("cut").Count(); n != 2 {

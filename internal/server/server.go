@@ -10,6 +10,10 @@
 // tbm_legacy_requests_total):
 //
 //	GET /v1/objects?limit=&offset=          paginated object list (JSON)
+//	GET /v1/query?...                       indexed structural query: kind, class,
+//	                                        attr.K=V, derived_from, live_at,
+//	                                        overlaps, durations, sort, pagination
+//	                                        (see query.go)
 //	GET /v1/objects/{name}                  one object: descriptor, categories, attrs
 //	GET /v1/objects/{name}/element/{i}      raw payload of element i
 //	GET /v1/objects/{name}/at/{tick}        payload of the element covering tick
@@ -35,9 +39,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
-	"slices"
 	"strconv"
-	"strings"
 	"time"
 
 	"timedmedia/internal/catalog"
@@ -147,6 +149,7 @@ func New(db *catalog.DB, opts ...Option) *Server {
 		accessLog:   cfg.accessLog,
 	}
 	s.route("GET /v1/objects", "list", s.handleList)
+	s.route("GET /v1/query", "query", s.handleQuery)
 	s.route("GET /v1/objects/{name}", "object", s.handleObject)
 	s.route("GET /v1/objects/{name}/element/{i}", "element", s.handleElement)
 	s.route("GET /v1/objects/{name}/at/{tick}", "at", s.handleAt)
@@ -309,65 +312,56 @@ type listReply struct {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	filtered := s.db.Select(func(o *core.Object) bool {
-		if k := q.Get("kind"); k != "" && o.Kind.String() != k {
-			return false
+	var sel catalog.IndexedQuery
+	impossible := false // kind string no object ever reports
+	if k := q.Get("kind"); k != "" {
+		if kind, ok := parseKindName(k); ok {
+			sel.Kind = &kind
+		} else {
+			impossible = true
 		}
-		for key, vals := range q {
-			if !strings.HasPrefix(key, "attr.") {
-				continue
-			}
-			// A repeated attr.k=v matches if the object carries any of
-			// the requested values.
-			if !slices.Contains(vals, o.Attrs[strings.TrimPrefix(key, "attr.")]) {
-				return false
-			}
-		}
-		return true
-	})
+	}
+	// A repeated attr.k=v matches if the object carries any of the
+	// requested values; single-valued keys go through the attr index.
+	eqs, residual := attrFilters(q)
+	sel.Attrs = eqs
 
-	// Non-nil so an empty page encodes as [] rather than null.
-	out := []objectSummary{}
 	if isLegacy(r.Context()) {
 		// The pre-/v1 route returned a bare, unpaginated array; keep
 		// that shape for existing clients.
-		for _, obj := range filtered {
-			out = append(out, s.summarize(obj))
+		out := []objectSummary{}
+		if !impossible {
+			page, _ := s.db.SelectPage(sel, residual, 0, -1)
+			for _, obj := range page {
+				out = append(out, s.summarize(obj))
+			}
 		}
 		writeJSON(w, out)
 		return
 	}
 
-	limit, offset := -1, 0
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			badRequest(w, "bad limit")
-			return
-		}
-		limit = n
+	limit, offset, ok := parsePage(w, q)
+	if !ok {
+		return
 	}
-	if v := q.Get("offset"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			badRequest(w, "bad offset")
-			return
-		}
-		offset = n
+	var page []*core.Object
+	var total int
+	if !impossible {
+		page, total = s.db.SelectPage(sel, residual, offset, limit)
 	}
-	total := len(filtered)
-	if offset > total {
-		offset = total
-	}
-	end := total
-	if limit >= 0 && offset+limit < end {
-		end = offset + limit
-	}
-	for _, obj := range filtered[offset:end] {
+	writeListPage(w, s, page, offset, total)
+}
+
+// writeListPage renders the paginated listReply envelope for page
+// starting at offset out of total matches.
+func writeListPage(w http.ResponseWriter, s *Server, page []*core.Object, offset, total int) {
+	// Non-nil so an empty page encodes as [] rather than null.
+	out := []objectSummary{}
+	for _, obj := range page {
 		out = append(out, s.summarize(obj))
 	}
 	reply := listReply{Objects: out, Total: total}
-	if end < total {
+	if end := offset + len(page); end < total {
 		next := end
 		reply.NextOffset = &next
 	}

@@ -43,6 +43,13 @@ const (
 	// LegacyCounter counts requests that arrived on deprecated
 	// unversioned routes and were rewritten to /v1.
 	LegacyCounter = "tbm_legacy_requests_total"
+	// IndexProbeFamily counts query-planner index probes; series carry
+	// an index="<kind|class|attr|provenance|interval>" label naming
+	// the index that sourced the candidates.
+	IndexProbeFamily = "tbm_index_probes_total"
+	// IndexScanFallbackFamily counts planned queries that had no
+	// indexable constraint and fell back to a full catalog scan.
+	IndexScanFallbackFamily = "tbm_index_scan_fallback_total"
 	// WALBatchFamily is the group-commit batch-size histogram: one
 	// observation per committed WAL batch, with the record count
 	// encoded on the microsecond scale (a batch of n records is
@@ -62,6 +69,7 @@ const (
 	StageExpcacheFill  = `stage="expcache_fill"`
 	StageWALFsync      = `stage="wal_fsync"`
 	StageBlobRead      = `stage="blob_read"`
+	StageQueryPlan     = `stage="query_plan"`
 )
 
 // Observer receives one latency observation. *Histogram implements
