@@ -3,12 +3,16 @@
 // internal/server for the API).
 //
 // Durability: mutations made over HTTP (e.g. POST .../cut) are
-// journaled to <dir>/journal.log before the response returns, the
-// catalog is snapshotted periodically (-save-every) and on shutdown,
-// and a corrupt snapshot recovers from its retained backup at
-// startup. SIGINT/SIGTERM triggers a graceful drain: stop accepting,
-// finish in-flight requests, sync the journal, write a final
-// snapshot.
+// journaled to the active WAL segment (<dir>/journal.NNNNNN.log)
+// before the response returns; segments rotate at -wal-segment-mb /
+// -wal-segment-records. A background checkpointer (-save-every) keeps
+// recovery bounded: it snapshots only the state dirtied since the last
+// checkpoint, records coverage in <dir>/MANIFEST, and compacts covered
+// segments — promoting to a full snapshot when the incremental chain
+// or the dirty fraction grows too large. A corrupt snapshot recovers
+// from its retained backup at startup. SIGINT/SIGTERM triggers a
+// graceful drain: stop accepting, finish in-flight requests, sync the
+// journal, write a final full snapshot.
 //
 // Observability: every response carries an X-Request-ID, GET /metrics
 // serves Prometheus text (JSON under Accept: application/json), recent
@@ -22,6 +26,7 @@
 //	tbmserve -dir db -addr :8080 [-save-every 5m] [-request-timeout 30s]
 //	         [-max-inflight 1024] [-shutdown-grace 10s] [-cache-mb 256]
 //	         [-debug-addr 127.0.0.1:6060] [-wal-batch-window 2ms]
+//	         [-wal-segment-mb 64] [-wal-segment-records 1048576]
 package main
 
 import (
@@ -61,14 +66,18 @@ func main() {
 		"optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	walBatchWindow := flag.Duration("wal-batch-window", catalog.DefaultWALBatchWindow,
 		"group-commit straggler window: how long a journal fsync waits for concurrent mutators to coalesce (0 disables batching; a lone writer never waits)")
+	walSegmentMB := flag.Int64("wal-segment-mb", 0,
+		"seal a WAL segment once it reaches this many MiB (0 = default 64)")
+	walSegmentRecords := flag.Int64("wal-segment-records", 0,
+		"seal a WAL segment once it holds this many records (0 = default 1048576)")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *walBatchWindow, *maxInFlight, *shutdownGrace); err != nil {
+	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *walBatchWindow, *walSegmentMB, *walSegmentRecords, *maxInFlight, *shutdownGrace); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, walBatchWindow time.Duration, maxInFlight int, shutdownGrace time.Duration) error {
+func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, walBatchWindow time.Duration, walSegmentMB, walSegmentRecords int64, maxInFlight int, shutdownGrace time.Duration) error {
 	store, err := blob.OpenFileStore(dir)
 	if err != nil {
 		return err
@@ -86,13 +95,18 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 	db, err := catalog.Open(dir, store,
 		catalog.WithCacheCapacity(cacheMB<<20),
 		catalog.WithWALBatchWindow(walBatchWindow),
+		catalog.WithWALSegmentBytes(walSegmentMB<<20),
+		catalog.WithWALSegmentRecords(walSegmentRecords),
 		catalog.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
-	if rec := db.Recovery(); rec.UsedBackup || rec.JournalRecords > 0 || rec.JournalTorn {
-		log.Printf("recovery: backup=%v quarantined=%q journal: %d replayed, %d skipped, torn=%v",
-			rec.UsedBackup, rec.Quarantined, rec.JournalRecords, rec.JournalSkipped, rec.JournalTorn)
+	if rec := db.Recovery(); rec.UsedBackup || rec.JournalRecords > 0 || rec.JournalTorn ||
+		rec.CheckpointChainBroken || rec.ManifestCorrupt {
+		log.Printf("recovery: backup=%v quarantined=%q checkpoints: %d applied, %d skipped, broken=%v manifest_corrupt=%v journal: %d records over %d segments, %d skipped, torn=%v",
+			rec.UsedBackup, rec.Quarantined, rec.CheckpointsApplied, rec.CheckpointsSkipped,
+			rec.CheckpointChainBroken, rec.ManifestCorrupt,
+			rec.JournalRecords, rec.SegmentsReplayed, rec.JournalSkipped, rec.JournalTorn)
 	}
 
 	cacheDesc := fmt.Sprintf("%d MiB", cacheMB)
@@ -138,25 +152,22 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 		}()
 	}
 
-	// Periodic autosave: HTTP-created derivations reach the snapshot
-	// without waiting for shutdown. The journal already makes them
-	// crash-safe; snapshots bound replay time.
-	if saveEvery > 0 {
-		ticker := time.NewTicker(saveEvery)
-		defer ticker.Stop()
-		go func() {
-			for {
-				select {
-				case <-ticker.C:
-					if err := db.Save(dir); err != nil {
-						log.Printf("autosave: %v", err)
-					}
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-	}
+	// Background checkpointer: HTTP-created derivations reach durable
+	// checkpoint state without waiting for shutdown, and recovery time
+	// stays bounded by live state plus the uncheckpointed tail. The
+	// journal already makes every mutation crash-safe. A checkpoint
+	// whose data landed but whose WAL cleanup failed
+	// (catalog.ErrJournalTruncate) is logged and retried with backoff
+	// by the checkpointer itself — nothing was lost, the journal just
+	// keeps growing until cleanup succeeds.
+	stopCheckpointer := db.StartCheckpointer(dir, saveEvery, func(err error) {
+		if errors.Is(err, catalog.ErrJournalTruncate) {
+			log.Printf("checkpoint: %v", err)
+			return
+		}
+		log.Printf("checkpoint failed: %v", err)
+	})
+	defer stopCheckpointer()
 
 	errc := make(chan error, 1)
 	go func() {

@@ -104,6 +104,33 @@ type DB struct {
 	// concurrent snapshots (autosave racing shutdown) would collide on
 	// the same .tmp/.bak files.
 	saveMu sync.Mutex
+
+	// Dirty-state tracking for incremental checkpoints (checkpoint.go):
+	// objects and interpretations touched since the last durable
+	// checkpoint, and the ones deleted since. Mutated only under mu's
+	// write lock; Save/Checkpoint swap the maps out while holding
+	// mu.RLock after the commitGate dance — safe, because every mutator
+	// must take the write lock to stage before it can touch them.
+	dirtyObjs      map[core.ID]struct{}
+	dirtyDelObjs   map[core.ID]struct{}
+	dirtyInterps   map[blob.ID]struct{}
+	dirtyDelInterp map[blob.ID]struct{}
+
+	// manifest mirrors the last durable MANIFEST for walDir (nil before
+	// the first checkpoint this process, or when the directory has
+	// none). Guarded by saveMu.
+	manifest *wal.Manifest
+
+	// walSegmentBytes/Records configure segment rotation thresholds for
+	// journals the catalog opens itself; <= 0 keeps the wal defaults.
+	walSegmentBytes   int64
+	walSegmentRecords int64
+
+	// checkpointHook, when non-nil, is called with a stage name at each
+	// durability boundary inside Save/Checkpoint — "rotated", "written",
+	// "manifest", "compacted" — with no locks held. Crash tests use it
+	// to capture the on-disk image between boundaries.
+	checkpointHook func(stage string)
 }
 
 // DefaultWALBatchWindow is the group-commit straggler window applied
@@ -116,9 +143,11 @@ const DefaultWALBatchWindow = 2 * time.Millisecond
 type Option func(*config)
 
 type config struct {
-	cacheCapacity  int64
-	telemetry      *telemetry.Registry
-	walBatchWindow time.Duration
+	cacheCapacity     int64
+	telemetry         *telemetry.Registry
+	walBatchWindow    time.Duration
+	walSegmentBytes   int64
+	walSegmentRecords int64
 }
 
 // WithCacheCapacity bounds the expansion cache to n bytes of decoded
@@ -144,6 +173,18 @@ func WithWALBatchWindow(d time.Duration) Option {
 	return func(c *config) { c.walBatchWindow = d }
 }
 
+// WithWALSegmentBytes seals a WAL segment once it reaches n bytes, for
+// journals the catalog opens itself. n <= 0 keeps the wal default.
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *config) { c.walSegmentBytes = n }
+}
+
+// WithWALSegmentRecords seals a WAL segment once it holds n records,
+// for journals the catalog opens itself. n <= 0 keeps the wal default.
+func WithWALSegmentRecords(n int64) Option {
+	return func(c *config) { c.walSegmentRecords = n }
+}
+
 // New creates a catalog over the given BLOB store.
 func New(store blob.Store, opts ...Option) *DB {
 	cfg := config{cacheCapacity: DefaultCacheCapacity, walBatchWindow: DefaultWALBatchWindow}
@@ -154,16 +195,22 @@ func New(store blob.Store, opts ...Option) *DB {
 		store = blob.Observed(store, cfg.telemetry.Histogram(telemetry.StageFamily, telemetry.StageBlobRead))
 	}
 	db := &DB{
-		store:          store,
-		nextID:         1,
-		objects:        map[core.ID]*core.Object{},
-		byName:         map[string]core.ID{},
-		interps:        map[blob.ID]*interp.Interpretation{},
-		staged:         map[core.ID]*core.Object{},
-		stagedInterps:  map[blob.ID]*interp.Interpretation{},
-		ix:             newIndexes(),
-		walBatchWindow: cfg.walBatchWindow,
-		cache:          expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
+		store:             store,
+		nextID:            1,
+		objects:           map[core.ID]*core.Object{},
+		byName:            map[string]core.ID{},
+		interps:           map[blob.ID]*interp.Interpretation{},
+		staged:            map[core.ID]*core.Object{},
+		stagedInterps:     map[blob.ID]*interp.Interpretation{},
+		dirtyObjs:         map[core.ID]struct{}{},
+		dirtyDelObjs:      map[core.ID]struct{}{},
+		dirtyInterps:      map[blob.ID]struct{}{},
+		dirtyDelInterp:    map[blob.ID]struct{}{},
+		ix:                newIndexes(),
+		walBatchWindow:    cfg.walBatchWindow,
+		walSegmentBytes:   cfg.walSegmentBytes,
+		walSegmentRecords: cfg.walSegmentRecords,
+		cache:             expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
 	if cfg.telemetry != nil {
 		db.SetTelemetry(cfg.telemetry)
@@ -196,6 +243,8 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	}
 	if db.wal == nil {
 		db.interps[it.BlobID()] = it
+		db.dirtyInterps[it.BlobID()] = struct{}{}
+		delete(db.dirtyDelInterp, it.BlobID())
 		db.mu.Unlock()
 		return nil
 	}
@@ -228,6 +277,8 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	delete(db.stagedInterps, it.BlobID())
 	if err == nil {
 		db.interps[it.BlobID()] = it
+		db.dirtyInterps[it.BlobID()] = struct{}{}
+		delete(db.dirtyDelInterp, it.BlobID())
 	}
 	db.mu.Unlock()
 	return err
@@ -448,6 +499,10 @@ func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
 		return compose.ErrBadSkew
 	}
 	obj.Multimedia.Syncs = append(obj.Multimedia.Syncs, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+	// The object mutated in place; the next incremental checkpoint must
+	// re-capture it. A rolled-back sync leaves a spurious mark, which
+	// only costs a redundant re-capture.
+	db.dirtyObjs[id] = struct{}{}
 	return nil
 }
 
@@ -477,6 +532,10 @@ func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	db.objects[id] = obj
 	db.byName[obj.Name] = id
 	db.linkLocked(obj)
+	// Newly inserted (live mutation or replay): dirty until the next
+	// checkpoint captures it. A failed commit unmarks in unstageLocked.
+	db.dirtyObjs[id] = struct{}{}
+	delete(db.dirtyDelObjs, id)
 	return id, nil
 }
 
@@ -562,6 +621,7 @@ func (db *DB) unstageLocked(id core.ID) {
 	}
 	delete(db.staged, id)
 	delete(db.byName, obj.Name)
+	delete(db.dirtyObjs, id)
 	if id == db.nextID-1 {
 		db.nextID--
 	}

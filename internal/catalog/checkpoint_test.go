@@ -1,0 +1,567 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/durable"
+	"timedmedia/internal/faultfs"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/wal"
+)
+
+func openDB(t *testing.T, dir string) *DB {
+	t.Helper()
+	fs, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// copyTree snapshots a database directory byte-for-byte — the crash
+// image a kill -9 at that instant would leave (checkpoint hooks fire
+// between file operations, never mid-write).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, p)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chainFilesOnDisk(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseCheckpointIndex(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCheckpointIncrementalBasics: after a full Save, Checkpoint
+// writes deltas (dirty slice only) into a growing manifest chain; a
+// quiescent catalog checkpoints to a no-op; and a reload applies the
+// chain instead of replaying the journal.
+func TestCheckpointIncrementalBasics(t *testing.T) {
+	dir := t.TempDir()
+	db := openDB(t, dir)
+	clip, err := db.Ingest("clip", genVideo(8, 1), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("base%d", i), 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Manifest()
+	if m == nil || len(m.Checkpoints) != 0 {
+		t.Fatalf("manifest after full save = %+v", m)
+	}
+	baseSeq := m.CheckpointSeq
+
+	cut1, err := db.SelectDuration(clip, "cut1", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	m = db.Manifest()
+	if len(m.Checkpoints) != 1 || m.CheckpointSeq <= baseSeq {
+		t.Fatalf("manifest after incremental = %+v (base seq %d)", m, baseSeq)
+	}
+	if _, err := os.Stat(CheckpointFile(dir, m.Checkpoints[0])); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiescent catalog: checkpoint is a no-op, the manifest does not
+	// churn.
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if m2 := db.Manifest(); m2 != m {
+		t.Fatalf("quiescent checkpoint rewrote the manifest: %+v", m2)
+	}
+
+	if _, err := db.SelectDuration(clip, "cut2", 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(cut1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if m = db.Manifest(); len(m.Checkpoints) != 2 {
+		t.Fatalf("manifest chain = %v, want 2 entries", m.Checkpoints)
+	}
+	want := db.Len()
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDB(t, dir)
+	rec := db2.Recovery()
+	if rec.CheckpointsApplied != 2 || rec.CheckpointChainBroken {
+		t.Errorf("recovery = %+v", rec)
+	}
+	if rec.JournalRecords != 0 {
+		t.Errorf("replayed %d journal records past a current checkpoint", rec.JournalRecords)
+	}
+	if _, err := db2.Lookup("cut2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := db2.Lookup("cut1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted cut1 resurrected: %v", err)
+	}
+	if db2.Len() != want {
+		t.Errorf("reloaded %d objects, want %d", db2.Len(), want)
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointChainPromotesToFull: once the chain reaches its bound
+// the next checkpoint collapses it into a full snapshot and retires
+// the delta files.
+func TestCheckpointChainPromotesToFull(t *testing.T) {
+	dir := t.TempDir()
+	db := openDB(t, dir)
+	clip, err := db.Ingest("clip", genVideo(6, 2), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough live objects that single-object deltas stay incremental
+	// under the dirty-fraction promotion rule.
+	for i := 0; i < 30; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("base%02d", i), 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultMaxCheckpointChain; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("inc%02d", i), 1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(db.Manifest().Checkpoints); got != i+1 {
+			t.Fatalf("chain length %d after %d checkpoints", got, i+1)
+		}
+	}
+	if _, err := db.SelectDuration(clip, "overflow", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if m := db.Manifest(); len(m.Checkpoints) != 0 {
+		t.Fatalf("chain not collapsed by full promotion: %v", m.Checkpoints)
+	}
+	if files := chainFilesOnDisk(t, dir); len(files) != 0 {
+		t.Fatalf("stale delta files survive full promotion: %v", files)
+	}
+	want := db.Len()
+	db.CloseJournal()
+	db2 := openDB(t, dir)
+	if db2.Len() != want {
+		t.Fatalf("reloaded %d objects, want %d", db2.Len(), want)
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointWriterProgressDuringInFlight is the acceptance check
+// for the copy-on-write capture: while a checkpoint is between its
+// lock-free stages (capture released, encode/fsync pending or done),
+// writers must be able to commit new mutations instead of blocking on
+// a lock held across disk I/O.
+func TestCheckpointWriterProgressDuringInFlight(t *testing.T) {
+	dir := t.TempDir()
+	db := openDB(t, dir)
+	clip, err := db.Ingest("clip", genVideo(8, 4), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("base%d", i), 0, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "pending", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	stages := map[string]error{}
+	db.checkpointHook = func(stage string) {
+		if stage != "rotated" && stage != "written" {
+			return
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := db.SelectDuration(clip, "during-"+stage, 1, 4)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			stages[stage] = err
+		case <-time.After(5 * time.Second):
+			stages[stage] = errors.New("writer blocked while checkpoint in flight")
+		}
+	}
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.checkpointHook = nil
+	if len(stages) != 2 {
+		t.Fatalf("hook stages observed: %v", stages)
+	}
+	for stage, err := range stages {
+		if err != nil {
+			t.Fatalf("stage %s: %v", stage, err)
+		}
+	}
+
+	// Mutations committed mid-checkpoint are durable: they landed in
+	// the post-rotation segment and replay on reload.
+	db.CloseJournal()
+	db2 := openDB(t, dir)
+	for _, name := range []string{"pending", "during-rotated", "during-written"} {
+		if _, err := db2.Lookup(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrashDuringCheckpointStages kills the process (by capturing the
+// directory image) at each durability boundary inside an incremental
+// checkpoint. Whatever the stage, a reload of the image must recover
+// every acknowledged mutation and pass index verification.
+func TestCrashDuringCheckpointStages(t *testing.T) {
+	for _, stage := range []string{"rotated", "written", "manifest", "compacted"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			db := openDB(t, dir)
+			clip, err := db.Ingest("clip", genVideo(6, 3), IngestOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 6; i++ {
+				if _, err := db.SelectDuration(clip, fmt.Sprintf("base%d", i), 0, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			acked1, err := db.SelectDuration(clip, "acked1", 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.SelectDuration(clip, "acked2", 1, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Delete(acked1); err != nil {
+				t.Fatal(err)
+			}
+
+			crash := t.TempDir()
+			captured := false
+			db.checkpointHook = func(s string) {
+				if s == stage && !captured {
+					captured = true
+					copyTree(t, dir, crash)
+				}
+			}
+			if err := db.Checkpoint(dir); err != nil {
+				t.Fatal(err)
+			}
+			if !captured {
+				t.Fatalf("stage %s never fired", stage)
+			}
+
+			db2 := openDB(t, crash)
+			if _, err := db2.Lookup("acked2"); err != nil {
+				t.Errorf("acknowledged mutation lost: %v", err)
+			}
+			if _, err := db2.Lookup("acked1"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("deleted object resurrected: %v", err)
+			}
+			if db2.Len() != db.Len() {
+				t.Errorf("recovered %d objects, want %d", db2.Len(), db.Len())
+			}
+			if err := db2.VerifyIndexes(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCheckpointRotateFaultKeepsDirty: a rotation failure aborts the
+// checkpoint before anything durable changes; the dirty slice stays
+// put and the next checkpoint covers it.
+func TestCheckpointRotateFaultKeepsDirty(t *testing.T) {
+	dir := t.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(store)
+	seg, err := wal.OpenSegmented(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector()
+	db.AttachJournal(faultfs.WrapSegmentedJournal(seg, inj), dir)
+
+	clip, err := db.Ingest("clip", genVideo(6, 7), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("base%d", i), 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil { // rotation #1
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(faultfs.Rule{Op: "journal.rotate", Nth: 2})
+	if err := db.Checkpoint(dir); err == nil {
+		t.Fatal("rotate fault not surfaced")
+	}
+	if m := db.Manifest(); len(m.Checkpoints) != 0 {
+		t.Fatalf("failed checkpoint advanced the manifest: %+v", m)
+	}
+	if err := db.Checkpoint(dir); err != nil { // rotation #3, clean
+		t.Fatal(err)
+	}
+	if m := db.Manifest(); len(m.Checkpoints) != 1 {
+		t.Fatalf("retry did not checkpoint the dirty slice: %+v", m)
+	}
+	db.CloseJournal()
+	db2 := openDB(t, dir)
+	if _, err := db2.Lookup("cut"); err != nil {
+		t.Error(err)
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointCompactFaultIsTruncateSentinel: when the checkpoint's
+// data is durable but segment compaction fails, the error is the typed
+// ErrJournalTruncate — callers log and retry, nothing is lost.
+func TestCheckpointCompactFaultIsTruncateSentinel(t *testing.T) {
+	dir := t.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(store)
+	seg, err := wal.OpenSegmented(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector()
+	db.AttachJournal(faultfs.WrapSegmentedJournal(seg, inj), dir)
+
+	clip, err := db.Ingest("clip", genVideo(6, 8), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.SelectDuration(clip, fmt.Sprintf("base%d", i), 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil { // compaction #1
+		t.Fatal(err)
+	}
+	if _, err := db.SelectDuration(clip, "cut", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(faultfs.Rule{Op: "journal.compact", Nth: 2})
+	err = db.Checkpoint(dir)
+	if !errors.Is(err, ErrJournalTruncate) {
+		t.Fatalf("compact fault: err = %v, want ErrJournalTruncate", err)
+	}
+	// The checkpoint itself is durable: the manifest advanced and a
+	// reload sees everything without replaying the stale segments.
+	if m := db.Manifest(); len(m.Checkpoints) != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	db.CloseJournal()
+	db2 := openDB(t, dir)
+	if _, err := db2.Lookup("cut"); err != nil {
+		t.Error(err)
+	}
+	if rec := db2.Recovery(); rec.CheckpointsApplied != 1 {
+		t.Errorf("recovery = %+v", rec)
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSaveLegacyJournalResetFault: with a legacy single-file journal
+// attached, a truncation failure after a durable snapshot reports the
+// typed ErrJournalTruncate, and a retry succeeds.
+func TestSaveLegacyJournalResetFault(t *testing.T) {
+	dir := t.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(store)
+	j, err := wal.Open(JournalFile(dir), wal.WithBatchWindow(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(faultfs.Rule{Op: "journal.reset", Nth: 1})
+	db.AttachJournal(faultfs.WrapJournal(j, inj), dir)
+	if _, err := db.Ingest("clip", genVideo(4, 6), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); !errors.Is(err, ErrJournalTruncate) {
+		t.Fatalf("reset fault: err = %v, want ErrJournalTruncate", err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseJournalClearsWALDir: CloseJournal used to nil the journal
+// but leave the directory binding behind. It must clear both, and a
+// post-close Save must still produce a loadable snapshot.
+func TestCloseJournalClearsWALDir(t *testing.T) {
+	dir := t.TempDir()
+	db := openDB(t, dir)
+	if _, err := db.Ingest("clip", genVideo(4, 5), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	db.mu.RLock()
+	wd := db.walDir
+	db.mu.RUnlock()
+	if wd != "" {
+		t.Fatalf("walDir = %q after CloseJournal, want cleared", wd)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDB(t, dir)
+	if _, err := db2.Lookup("clip"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLegacySnapshotFormat: a v1-framed whole-catalog gob (what
+// Save wrote before streaming snapshots) still loads.
+func TestLoadLegacySnapshotFormat(t *testing.T) {
+	dir := t.TempDir()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(store)
+	if _, err := db.Ingest("clip", genVideo(5, 9), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var snap savedCatalog
+	db.mu.RLock()
+	snap.NextID, snap.Seq = db.nextID, db.seq
+	for id := core.ID(1); id < db.nextID; id++ {
+		obj, ok := db.objects[id]
+		if !ok {
+			continue
+		}
+		so, err := saveObject(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Objects = append(snap.Objects, so)
+	}
+	for _, it := range db.interps {
+		rec, err := interp.Export(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Interps = append(snap.Interps, rec)
+	}
+	db.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.WriteSnapshot(SnapshotFile(dir), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Load(dir, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Lookup("clip"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}

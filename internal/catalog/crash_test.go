@@ -137,12 +137,14 @@ func TestCrashTornTailTruncatedOnRecovery(t *testing.T) {
 	if _, err := db.SelectDuration(clip, "cut1", 0, 4); err != nil {
 		t.Fatal(err)
 	}
-	// Crash mid-append: chop into the last record (the cut1 derivation).
-	fi, err := os.Stat(JournalFile(dir))
+	// Crash mid-append: chop into the last record (the cut1 derivation)
+	// of the active WAL segment.
+	seg := wal.SegmentFile(dir, 1)
+	fi, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(JournalFile(dir), fi.Size()-3); err != nil {
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
 		t.Fatal(err)
 	}
 
@@ -351,10 +353,11 @@ func TestCrashStaleJournalSkipped(t *testing.T) {
 	if _, err := db.SelectDuration(clip, "cut", 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	// Preserve the journal as it stands (3 records: interp,
-	// nonderived, derived), snapshot (which truncates it), then put
-	// the stale journal back — the state a crash mid-Save leaves.
-	stale, err := os.ReadFile(JournalFile(dir))
+	// Preserve the first WAL segment as it stands (3 records: interp,
+	// nonderived, derived), snapshot (which rotates and compacts it),
+	// then put the stale segment back — the state a crash between a
+	// checkpoint's manifest write and its compaction leaves.
+	stale, err := os.ReadFile(wal.SegmentFile(dir, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +367,7 @@ func TestCrashStaleJournalSkipped(t *testing.T) {
 	if err := db.CloseJournal(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(JournalFile(dir), stale, 0o644); err != nil {
+	if err := os.WriteFile(wal.SegmentFile(dir, 1), stale, 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -92,6 +92,8 @@ func (db *DB) deleteLocked(id core.ID) error {
 	db.unlinkLocked(obj)
 	delete(db.objects, id)
 	delete(db.byName, obj.Name)
+	delete(db.dirtyObjs, id)
+	db.dirtyDelObjs[id] = struct{}{}
 	db.cache.Invalidate(id)
 
 	// GC the BLOB if no remaining object reads it.
@@ -115,6 +117,8 @@ func (db *DB) maybeCollectBlob(id blob.ID) {
 		}
 	}
 	delete(db.interps, id)
+	delete(db.dirtyInterps, id)
+	db.dirtyDelInterp[id] = struct{}{}
 	// Best effort: a missing blob is already collected.
 	_ = db.store.Delete(id)
 }

@@ -16,20 +16,32 @@ import (
 	"timedmedia/internal/wal"
 )
 
-// The mutation journal makes the window between snapshots crash-safe:
-// every catalog mutation (register interpretation, add non-derived /
-// derived / multimedia object, add sync, delete) appends one fsynced,
-// checksummed record to dir/journal.log before the call returns.
-// Load replays the journal over the snapshot; Save truncates it.
+// The mutation journal makes the window between checkpoints crash-
+// safe: every catalog mutation (register interpretation, add
+// non-derived / derived / multimedia object, add sync, delete) appends
+// one fsynced, checksummed record to the active WAL segment
+// (dir/journal.NNNNNN.log) before the call returns. Load replays the
+// segments over the snapshot and checkpoint chain; Save and Checkpoint
+// rotate the active segment and compact the covered ones (see
+// checkpoint.go).
 //
 // Records carry a monotonic sequence number and the snapshot records
-// the last applied one, so replay is idempotent: a crash between the
-// snapshot rename and the journal truncate merely leaves records that
-// replay skips.
+// the last applied one, so replay is idempotent: a crash between a
+// checkpoint's file rename and its compaction merely leaves records
+// that replay skips. One sequence base covers the whole log — group
+// commit queues frames in enqueue order and a rotation can land
+// between two commits, so neighboring sequence numbers may sit in
+// different segments.
+//
+// Databases written before segmentation keep their single
+// dir/journal.log; it replays first (its records predate every
+// segment) and the first successful checkpoint removes it.
 
 const journalName = "journal.log"
 
-// JournalFile returns the journal path inside a database directory.
+// JournalFile returns the pre-segmentation single-file journal path
+// inside a database directory. Current journals are WAL segments named
+// by wal.SegmentFile.
 func JournalFile(dir string) string { return filepath.Join(dir, journalName) }
 
 // ErrJournal wraps journal append failures: the mutation was rolled
@@ -112,6 +124,16 @@ type RecoveryInfo struct {
 	JournalRecords int    `json:"journal_records_replayed"`
 	JournalSkipped int    `json:"journal_records_skipped"`
 	JournalTorn    bool   `json:"journal_torn_tail"`
+
+	// Bounded-recovery accounting (see checkpoint.go): how many WAL
+	// segments replayed, how the incremental checkpoint chain applied,
+	// and whether the MANIFEST or its chain had to be abandoned for a
+	// conservative full replay.
+	SegmentsReplayed      int  `json:"segments_replayed"`
+	CheckpointsApplied    int  `json:"checkpoints_applied"`
+	CheckpointsSkipped    int  `json:"checkpoints_skipped"`
+	CheckpointChainBroken bool `json:"checkpoint_chain_broken,omitempty"`
+	ManifestCorrupt       bool `json:"manifest_corrupt,omitempty"`
 }
 
 // Recovery returns what the last Load / OpenJournal recovered.
@@ -133,9 +155,10 @@ func (db *DB) JournalStats() wal.StatsSnapshot {
 	return j.Stats()
 }
 
-// OpenJournal replays any existing journal at dir/journal.log into
-// the catalog (records already captured by the loaded snapshot are
-// skipped via their sequence numbers) and then attaches the journal
+// OpenJournal replays any existing journal at dir — the legacy
+// single-file journal.log first, then the WAL segments — into the
+// catalog (records already captured by the loaded snapshot are skipped
+// via their sequence numbers) and then attaches the segmented journal
 // so subsequent mutations are logged. Call it after Load or New;
 // mutations made before OpenJournal are not journaled.
 func (db *DB) OpenJournal(dir string) error {
@@ -144,16 +167,19 @@ func (db *DB) OpenJournal(dir string) error {
 	if db.wal != nil {
 		return errors.New("catalog: journal already attached")
 	}
-	if err := db.replayJournalLocked(JournalFile(dir)); err != nil {
+	if err := db.replayAllLocked(dir); err != nil {
 		return err
 	}
 	return db.attachJournalLocked(dir)
 }
 
-// attachJournalLocked opens dir's journal for appending without
-// replaying it. Assumes db.mu is held.
+// attachJournalLocked opens dir's segmented journal for appending
+// without replaying it. Assumes db.mu is held.
 func (db *DB) attachJournalLocked(dir string) error {
-	j, err := wal.Open(JournalFile(dir), wal.WithBatchWindow(db.walBatchWindow))
+	j, err := wal.OpenSegmented(dir,
+		wal.WithSegmentBatchWindow(db.walBatchWindow),
+		wal.WithSegmentBytes(db.walSegmentBytes),
+		wal.WithSegmentRecords(db.walSegmentRecords))
 	if err != nil {
 		return err
 	}
@@ -188,6 +214,11 @@ func (db *DB) CloseJournal() error {
 		err = cerr
 	}
 	db.wal = nil
+	// Clear the directory binding too: Save(dir) must not try to
+	// rotate or truncate a journal that is no longer attached, and a
+	// later AttachJournal for a different directory must not inherit
+	// this one.
+	db.walDir = ""
 	return err
 }
 
@@ -250,14 +281,49 @@ func (db *DB) syncBlob(id blob.ID) error {
 	return nil
 }
 
-// replayJournalLocked replays dir's journal into the catalog.
-// Assumes db.mu is held (or the DB is not yet shared).
-func (db *DB) replayJournalLocked(path string) error {
-	// Records already captured by the snapshot are identified against
-	// the snapshot's seq, not a running maximum: group commit writes
-	// frames in enqueue order, so a journal can legitimately hold seq
-	// 5 before seq 3 and both must apply.
+// replayAllLocked replays every journal generation found at dir: the
+// legacy single-file journal.log first (its records predate every
+// segment), then the WAL segments in index order. One sequence base is
+// fixed up front for the whole log — records already captured by the
+// snapshot/chain are identified against that base, not a running
+// maximum, because group commit writes frames in enqueue order (seq 5
+// may precede seq 3) and neighboring seqs may land in different
+// segments across a rotation. Assumes db.mu is held (or the DB is not
+// yet shared).
+func (db *DB) replayAllLocked(dir string) error {
 	base := db.seq
+	if err := db.replayFileLocked(JournalFile(dir), base); err != nil {
+		return err
+	}
+	results, err := wal.ReplaySegments(dir, func(data []byte) error {
+		return db.applyWalLocked(base, data)
+	})
+	if err != nil {
+		return err
+	}
+	db.recovery.SegmentsReplayed = len(results)
+	for _, r := range results {
+		if !r.Torn {
+			continue
+		}
+		db.recovery.JournalTorn = true
+		// Cut the corrupt tail off now, before any journal is attached
+		// for appending: the active segment is opened with O_APPEND, so
+		// new acknowledged records would otherwise land after the
+		// garbage and be dropped at the next replay. A tear in a sealed
+		// (non-last) segment can only hold unacknowledged frames — a
+		// crash during rotation, before the old segment's final sync —
+		// so truncating it loses nothing acknowledged either.
+		if err := wal.TruncateAt(wal.SegmentFile(dir, r.Index), r.TornOffset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayFileLocked replays one single-file journal against a fixed
+// sequence base. Assumes db.mu is held (or the DB is not yet shared).
+func (db *DB) replayFileLocked(path string, base uint64) error {
 	res, err := wal.Replay(path, func(data []byte) error {
 		return db.applyWalLocked(base, data)
 	})
@@ -266,10 +332,6 @@ func (db *DB) replayJournalLocked(path string) error {
 	}
 	if res.Torn {
 		db.recovery.JournalTorn = true
-		// Cut the corrupt tail off now, before any journal is attached
-		// for appending: attachJournalLocked opens with O_APPEND, so
-		// new acknowledged records would otherwise land after the
-		// garbage and be dropped at the next replay.
 		if err := wal.TruncateAt(path, res.TornOffset); err != nil {
 			return err
 		}
@@ -312,6 +374,11 @@ func (db *DB) applyWalLocked(base uint64, data []byte) error {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 		db.interps[exp.BlobID] = it
+		// Replayed records postdate the last checkpoint, so the
+		// registration is dirty until the next one captures it. Object
+		// ops mark through insert/addSyncLocked/deleteLocked.
+		db.dirtyInterps[exp.BlobID] = struct{}{}
+		delete(db.dirtyDelInterp, exp.BlobID)
 	case opNonDerived:
 		if _, err := db.addNonDerivedLocked(rec.ID, rec.Name, rec.Blob, rec.Track, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)

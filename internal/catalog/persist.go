@@ -1,13 +1,15 @@
 package catalog
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/compose"
@@ -16,23 +18,28 @@ import (
 	"timedmedia/internal/interp"
 	"timedmedia/internal/media"
 	"timedmedia/internal/timebase"
+	"timedmedia/internal/wal"
 )
 
-// Durable persistence: the object graph is gob-encoded into
-// catalog.gob next to a blob.FileStore directory; interpretations are
-// exported to their serializable form. Payload bytes stay in the BLOBs.
+// Durable persistence: the object graph is encoded into catalog.gob
+// next to a blob.FileStore directory; interpretations are exported to
+// their serializable form. Payload bytes stay in the BLOBs.
 //
-// Crash safety (see internal/durable and internal/wal):
+// Crash safety (see internal/durable, internal/wal and checkpoint.go):
 //
-//   - Snapshots are framed with a versioned header and CRC-32C
-//     trailer, written to a temp file, fsynced, renamed into place,
-//     and the directory is fsynced — with the previous good snapshot
-//     retained as catalog.gob.bak.
-//   - Load verifies the frame; a truncated or corrupt snapshot is
+//   - Snapshots are streamed through the chunked v2 container (per-
+//     chunk CRC-32C plus a whole-stream trailer), written to a temp
+//     file, fsynced, renamed into place, and the directory is fsynced —
+//     with the previous good snapshot retained as catalog.gob.bak.
+//     Neither Save nor Load ever holds the whole catalog in a buffer.
+//   - Load verifies the container; a truncated or corrupt snapshot is
 //     quarantined (catalog.gob.corrupt) and the backup is used
 //     instead — never a silent partial load.
-//   - Mutations between snapshots live in journal.log and are
-//     replayed over the snapshot; Save truncates the journal.
+//   - Mutations between snapshots live in rotating WAL segments
+//     (journal.NNNNNN.log); the MANIFEST records which sequence prefix
+//     the snapshot and its incremental checkpoint chain already cover.
+//     Recovery loads MANIFEST → catalog.gob → checkpoint chain →
+//     surviving segments; Save rotates and compacts covered segments.
 
 const snapshotName = "catalog.gob"
 
@@ -40,7 +47,7 @@ const snapshotName = "catalog.gob"
 func SnapshotFile(dir string) string { return filepath.Join(dir, snapshotName) }
 
 // ErrCorruptSnapshot reports a snapshot that failed integrity
-// verification (frame checksum or decode).
+// verification (container checksum or decode).
 var ErrCorruptSnapshot = errors.New("catalog: corrupt snapshot")
 
 // savedObject mirrors core.Object with the descriptor boxed for gob.
@@ -70,6 +77,8 @@ type savedComponent struct {
 	Region *compose.Region
 }
 
+// savedCatalog is the pre-streaming snapshot payload: one gob value
+// holding everything. Still decoded for upgrade; no longer written.
 type savedCatalog struct {
 	NextID  core.ID
 	Seq     uint64
@@ -77,227 +86,455 @@ type savedCatalog struct {
 	Interps []*interp.Exported
 }
 
-// buildSnapshot captures the object graph. Assumes db.mu is held (read
-// or write).
-func (db *DB) buildSnapshot() (*savedCatalog, error) {
-	snap := &savedCatalog{NextID: db.nextID, Seq: db.seq}
+// saveObject captures one object into its serialized form. The parts
+// an object can grow after publication (sync constraints) are deep-
+// copied so the capture stays stable once db.mu is released; attribute
+// maps, regions, derivation inputs and components are immutable after
+// publish and are shared.
+func saveObject(obj *core.Object) (savedObject, error) {
+	so := savedObject{
+		ID: obj.ID, Name: obj.Name, Class: obj.Class, Kind: int(obj.Kind),
+		Attrs: obj.Attrs, Blob: obj.Blob, Track: obj.Track,
+	}
+	if obj.Desc != nil {
+		boxed, err := interp.WrapDescriptor(obj.Desc)
+		if err != nil {
+			return savedObject{}, err
+		}
+		so.Desc = &boxed
+	}
+	if obj.Derivation != nil {
+		so.DerivOp = obj.Derivation.Op
+		so.DerivInputs = obj.Derivation.Inputs
+		so.DerivParams = obj.Derivation.Params
+	}
+	if obj.Multimedia != nil {
+		so.MMTimeNum = obj.Multimedia.Time.Num
+		so.MMTimeDen = obj.Multimedia.Time.Den
+		for _, c := range obj.Multimedia.Components {
+			so.MMComponents = append(so.MMComponents, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
+		}
+		so.MMSyncs = append([]compose.SyncConstraint(nil), obj.Multimedia.Syncs...)
+	}
+	return so, nil
+}
+
+// objectFromSaved reconstructs and validates one object. It does not
+// link the object into the secondary indexes — loading runs one link
+// pass once the whole graph is present, because multimedia spans
+// resolve component objects that may appear later in the stream.
+func objectFromSaved(so *savedObject) (*core.Object, error) {
+	obj := &core.Object{
+		ID: so.ID, Name: so.Name, Class: so.Class, Kind: kindFromInt(so.Kind),
+		Attrs: so.Attrs, Blob: so.Blob, Track: so.Track,
+	}
+	if so.Desc != nil {
+		d, err := so.Desc.Unwrap()
+		if err != nil {
+			return nil, err
+		}
+		obj.Desc = d
+	}
+	if so.DerivOp != "" {
+		obj.Derivation = &core.Derivation{Op: so.DerivOp, Inputs: so.DerivInputs, Params: so.DerivParams}
+	}
+	if len(so.MMComponents) != 0 {
+		axis, err := timebase.New(so.MMTimeNum, so.MMTimeDen)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: object %v: %w", so.ID, err)
+		}
+		spec := &core.MultimediaSpec{Time: axis, Syncs: so.MMSyncs}
+		for _, c := range so.MMComponents {
+			spec.Components = append(spec.Components, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
+		}
+		obj.Multimedia = spec
+	}
+	if err := obj.Validate(); err != nil {
+		return nil, fmt.Errorf("catalog: loaded object %v invalid: %w", so.ID, err)
+	}
+	return obj, nil
+}
+
+// captureFullLocked captures the whole object graph as a full
+// streaming snapshot. Assumes db.mu is held (read or write).
+func (db *DB) captureFullLocked() (*snapCapture, error) {
+	cap := &snapCapture{head: streamHead{Full: true, Seq: db.seq, NextID: db.nextID}}
 	for id := core.ID(1); id < db.nextID; id++ {
 		obj, ok := db.objects[id]
 		if !ok {
 			continue
 		}
-		so := savedObject{
-			ID: obj.ID, Name: obj.Name, Class: obj.Class, Kind: int(obj.Kind),
-			Attrs: obj.Attrs, Blob: obj.Blob, Track: obj.Track,
+		so, err := saveObject(obj)
+		if err != nil {
+			return nil, err
 		}
-		if obj.Desc != nil {
-			boxed, err := interp.WrapDescriptor(obj.Desc)
-			if err != nil {
-				return nil, err
-			}
-			so.Desc = &boxed
-		}
-		if obj.Derivation != nil {
-			so.DerivOp = obj.Derivation.Op
-			so.DerivInputs = obj.Derivation.Inputs
-			so.DerivParams = obj.Derivation.Params
-		}
-		if obj.Multimedia != nil {
-			so.MMTimeNum = obj.Multimedia.Time.Num
-			so.MMTimeDen = obj.Multimedia.Time.Den
-			for _, c := range obj.Multimedia.Components {
-				so.MMComponents = append(so.MMComponents, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
-			}
-			so.MMSyncs = obj.Multimedia.Syncs
-		}
-		snap.Objects = append(snap.Objects, so)
+		cap.objs = append(cap.objs, so)
 	}
 	for _, it := range db.interps {
 		rec, err := interp.Export(it)
 		if err != nil {
 			return nil, err
 		}
-		snap.Interps = append(snap.Interps, rec)
+		cap.interps = append(cap.interps, rec)
 	}
-	return snap, nil
+	cap.head.NumObjects = len(cap.objs)
+	cap.head.NumInterps = len(cap.interps)
+	return cap, nil
 }
 
 // Save writes the catalog's object graph and interpretations durably
-// to dir/catalog.gob: checksummed frame, temp-file write, fsync,
-// atomic rename with the previous snapshot kept as catalog.gob.bak,
-// and a directory fsync. When a journal for dir is attached it is
-// truncated afterwards — the snapshot now holds everything it did.
-// The BLOB store persists independently (use a FileStore in the same
-// dir).
+// to dir/catalog.gob as a streamed, checksummed container: temp-file
+// write, fsync, atomic rename with the previous snapshot kept as
+// catalog.gob.bak, and a directory fsync. With a segmented journal
+// attached for dir, Save is a full checkpoint: the WAL rotates at the
+// capture boundary, the MANIFEST records the covered sequence (and an
+// empty checkpoint chain), and covered segments are compacted. The
+// catalog lock is released before any encode or fsync — writers only
+// wait for the in-memory capture. The BLOB store persists
+// independently (use a FileStore in the same dir).
 func (db *DB) Save(dir string) error {
 	db.saveMu.Lock()
 	defer db.saveMu.Unlock()
+	return db.saveLocked(dir)
+}
+
+// saveLocked is Save with saveMu already held (Checkpoint promotes to
+// it when an incremental delta doesn't pay off).
+func (db *DB) saveLocked(dir string) error {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
 	// Wait out in-flight commits: mutators hold commitGate.RLock from
 	// apply to ack/rollback, so after taking the write side no staged
 	// object remains — the snapshot captures acknowledged mutations
 	// only. The gate is dropped as soon as mu.RLock is held: new
 	// mutations may then pass the gate but block on mu before staging,
-	// so nothing touches the object graph or the journal until the
-	// snapshot and journal truncate are done.
+	// so no journal append is in flight while we hold the read lock —
+	// which makes the rotation below land exactly at the capture
+	// boundary.
 	db.commitGate.Lock()
 	db.mu.RLock()
 	db.commitGate.Unlock()
-	defer db.mu.RUnlock()
-	snap, err := db.buildSnapshot()
-	if err != nil {
-		return err
+	attached := db.wal != nil && db.walDir == filepath.Clean(dir)
+	rot, rotatable := db.wal.(rotator)
+
+	if !attached {
+		// No journal for dir: snapshot only, nothing to truncate and no
+		// manifest to maintain.
+		cap, err := db.captureFullLocked()
+		db.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		return writeCapture(SnapshotFile(dir), cap)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	if err := durable.WriteSnapshot(SnapshotFile(dir), buf.Bytes()); err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	if db.wal != nil && db.walDir == filepath.Clean(dir) {
+
+	if !rotatable {
+		// Legacy single-file journal (fault-injection wrappers): the
+		// only safe truncation point is while the lock still excludes
+		// new appends, so hold it through encode and reset.
+		defer db.mu.RUnlock()
+		cap, err := db.captureFullLocked()
+		if err != nil {
+			return err
+		}
+		if err := writeCapture(SnapshotFile(dir), cap); err != nil {
+			return err
+		}
 		if err := db.wal.Reset(); err != nil {
 			// The snapshot is durable; stale journal records are
 			// skipped on replay via their sequence numbers. Still
 			// report it — the journal will grow unboundedly.
-			return fmt.Errorf("catalog: snapshot saved, journal truncate failed: %w", err)
+			return fmt.Errorf("%w: %v", ErrJournalTruncate, err)
 		}
+		db.takeDirtyLocked() // the full snapshot covers everything
+		db.observeCheckpoint(start, true)
+		return nil
+	}
+
+	cap, err := db.captureFullLocked()
+	if err != nil {
+		db.mu.RUnlock()
+		return err
+	}
+	sealed, err := rot.Rotate()
+	if err != nil {
+		db.mu.RUnlock()
+		return fmt.Errorf("catalog: snapshot rotate: %w", err)
+	}
+	dirty := db.takeDirtyLocked()
+	db.mu.RUnlock()
+	db.hook("rotated")
+
+	if err := writeCapture(SnapshotFile(dir), cap); err != nil {
+		db.restoreDirty(dirty)
+		return err
+	}
+	db.hook("written")
+
+	nm := &wal.Manifest{CheckpointSeq: cap.head.Seq, OldestSegment: sealed + 1}
+	if err := wal.WriteManifest(dir, nm); err != nil {
+		// The snapshot is durable and loads fine under the old
+		// manifest: its chain entries apply as no-ops over the newer
+		// base (delta-skip rule) and stale segment records are skipped
+		// by sequence. Restore the dirty slice so the next incremental
+		// checkpoint still covers everything past the old manifest.
+		db.restoreDirty(dirty)
+		return fmt.Errorf("%w: manifest: %v", ErrJournalTruncate, err)
+	}
+	db.manifest = nm
+	db.hook("manifest")
+
+	err = db.compactCoveredLocked(dir, rot, sealed, nil)
+	db.observeCheckpoint(start, true)
+	return err
+}
+
+// observeCheckpoint records one completed checkpoint into telemetry.
+func (db *DB) observeCheckpoint(start time.Time, full bool) {
+	t := db.tel.Load()
+	if t == nil {
+		return
+	}
+	t.checkpoint.Observe(time.Since(start))
+	if full {
+		t.ckptFull.Inc()
+	} else {
+		t.ckptIncr.Inc()
+	}
+}
+
+// readSnapshotInto streams one snapshot or checkpoint file into db,
+// which must not be shared yet. All three payload generations decode:
+// the record-stream format (preamble "TBMCATS1"), and the two
+// whole-catalog gob formats (v1 frame and unframed legacy, which
+// durable.OpenSnapshotReader validates or passes through). Corruption
+// at any layer reports ErrCorruptSnapshot; semantic failures (missing
+// blob, invalid object) pass through untyped so callers don't
+// quarantine a healthy file.
+func (db *DB) readSnapshotInto(path string) error {
+	r, err := durable.OpenSnapshotReader(path)
+	if err != nil {
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			return err
+		case errors.Is(err, durable.ErrCorrupt):
+			return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+		default:
+			return fmt.Errorf("catalog: %w", err)
+		}
+	}
+	defer r.Close()
+	br := bufio.NewReader(r)
+	pre, err := br.Peek(len(catalogStreamPreamble))
+	if err == nil && [8]byte(pre) == catalogStreamPreamble {
+		br.Discard(len(catalogStreamPreamble))
+		dec := gob.NewDecoder(br)
+		var head streamHead
+		if err := dec.Decode(&head); err != nil {
+			return fmt.Errorf("%w: snapshot head: %v", ErrCorruptSnapshot, err)
+		}
+		if err := db.applyStream(&head, dec); err != nil {
+			return err
+		}
+		// Drain to EOF: a v2 container is only proven complete once its
+		// trailer validates, and gob's buffering may stop short of it.
+		if _, err := io.Copy(io.Discard, br); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+		}
+		return nil
+	}
+	var snap savedCatalog
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return db.applySavedCatalog(&snap)
+}
+
+// applySavedCatalog applies a legacy whole-catalog snapshot. Does not
+// link indexes (see objectFromSaved).
+func (db *DB) applySavedCatalog(snap *savedCatalog) error {
+	db.nextID = snap.NextID
+	db.seq = snap.Seq
+	for _, rec := range snap.Interps {
+		it, err := db.importInterp(rec)
+		if err != nil {
+			return err
+		}
+		db.interps[rec.BlobID] = it
+	}
+	for i := range snap.Objects {
+		obj, err := objectFromSaved(&snap.Objects[i])
+		if err != nil {
+			return err
+		}
+		db.objects[obj.ID] = obj
+		db.byName[obj.Name] = obj.ID
 	}
 	return nil
 }
 
-// readSnapshot reads and decodes one snapshot file. Corruption at any
-// layer (frame checksum, truncation, gob decode) is reported via
-// ErrCorruptSnapshot; a missing file surfaces as fs.ErrNotExist.
-// Pre-framing snapshots (no magic) are still accepted for upgrade.
-func readSnapshot(path string) (*savedCatalog, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
-	}
-	payload, err := durable.DecodeFrame(data)
-	switch {
-	case err == nil:
-	case errors.Is(err, durable.ErrNoMagic):
-		payload = data // legacy unframed snapshot
-	default:
-		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
-	}
-	var snap savedCatalog
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
-	}
-	return &snap, nil
-}
-
-// Load reads a catalog saved with Save, resolving interpretations
-// against the given store, and replays any mutation journal found
-// next to the snapshot. Options configure the reloaded DB the same
-// way they configure New (e.g. WithCacheCapacity).
-//
-// Recovery: a corrupt or truncated catalog.gob is quarantined and the
-// retained catalog.gob.bak is loaded instead; a snapshot lost between
-// Save's two renames is likewise recovered from the backup. What
-// happened is reported via (*DB).Recovery. Load does not attach the
-// journal for writing — call OpenJournal to log new mutations.
-func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
-	primary := SnapshotFile(dir)
-	var recovery RecoveryInfo
-	snap, err := readSnapshot(primary)
-	switch {
-	case err == nil:
-	case errors.Is(err, fs.ErrNotExist):
-		// Crash between backup rotation and rename: the previous
-		// snapshot lives on as .bak.
-		bak, bakErr := readSnapshot(primary + ".bak")
-		if bakErr != nil {
-			return nil, err
-		}
-		snap, recovery.UsedBackup = bak, true
-	case errors.Is(err, ErrCorruptSnapshot):
-		if q, qerr := durable.Quarantine(primary); qerr == nil {
-			recovery.Quarantined = q
-		}
-		bak, bakErr := readSnapshot(primary + ".bak")
-		if bakErr != nil {
-			return nil, fmt.Errorf("%w (backup: %v)", err, bakErr)
-		}
-		snap, recovery.UsedBackup = bak, true
-	default:
-		return nil, err
-	}
-	recovery.SnapshotLoaded = true
-
-	db, err := newFromSnapshot(snap, store, opts...)
-	if err != nil {
-		return nil, err
-	}
-	db.recovery = recovery
-	if err := db.replayJournalLocked(JournalFile(dir)); err != nil {
+// attemptLoad builds a fresh DB from one snapshot file. Each attempt
+// starts from a clean DB so a decode failure cannot leave a partially
+// applied primary polluting the backup's load.
+func attemptLoad(path string, store blob.Store, opts ...Option) (*DB, error) {
+	db := New(store, opts...)
+	if err := db.readSnapshotInto(path); err != nil {
 		return nil, err
 	}
 	return db, nil
 }
 
-// newFromSnapshot reconstructs a DB from a decoded snapshot.
-func newFromSnapshot(snap *savedCatalog, store blob.Store, opts ...Option) (*DB, error) {
-	db := New(store, opts...)
-	db.nextID = snap.NextID
-	db.seq = snap.Seq
-	for _, rec := range snap.Interps {
-		var b blob.BLOB
-		if err := durable.Retry(storeRetries, storeRetryBase, func() error {
-			var e error
-			b, e = store.Open(rec.BlobID)
-			return e
-		}); err != nil {
-			return nil, fmt.Errorf("catalog: interpretation of missing %v: %w", rec.BlobID, err)
+// errCheckpointGap reports a checkpoint chain entry that cannot apply:
+// its base sequence is ahead of the loaded state (the covering records
+// were compacted under a snapshot generation we no longer have).
+var errCheckpointGap = errors.New("catalog: checkpoint chain gap")
+
+// errCheckpointUnreadable reports a chain entry that could not be
+// opened or whose header failed before anything was applied.
+var errCheckpointUnreadable = errors.New("catalog: checkpoint unreadable")
+
+// applyCheckpointFile loads one incremental checkpoint over the
+// current state. Returns (false, nil) when the delta is already
+// covered (head.Seq <= db.seq — e.g. a stale chain left by a crash
+// between a full Save's snapshot rename and manifest write).
+// Pre-apply problems (missing file, bad header) and gaps come back as
+// the typed sentinels; corruption detected mid-apply is a hard error,
+// because the state is then partially advanced and not safe to patch
+// up with segment replay.
+func (db *DB) applyCheckpointFile(path string) (bool, error) {
+	r, err := durable.OpenSnapshotReader(path)
+	if err != nil {
+		return false, fmt.Errorf("%w: %s: %v", errCheckpointUnreadable, path, err)
+	}
+	defer r.Close()
+	br := bufio.NewReader(r)
+	var pre [8]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || pre != catalogStreamPreamble {
+		return false, fmt.Errorf("%w: %s: bad preamble", errCheckpointUnreadable, path)
+	}
+	dec := gob.NewDecoder(br)
+	var head streamHead
+	if err := dec.Decode(&head); err != nil {
+		return false, fmt.Errorf("%w: %s: %v", errCheckpointUnreadable, path, err)
+	}
+	if head.Seq <= db.seq {
+		return false, nil
+	}
+	if head.FromSeq > db.seq {
+		return false, fmt.Errorf("%w: delta starts at seq %d, state at %d", errCheckpointGap, head.FromSeq, db.seq)
+	}
+	if err := db.applyStream(&head, dec); err != nil {
+		return false, err
+	}
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		return false, fmt.Errorf("%w: %s: %v", ErrCorruptSnapshot, path, err)
+	}
+	return true, nil
+}
+
+// applyCheckpointChain applies the manifest's checkpoint chain in
+// order. Returns whether the chain (and therefore the manifest's
+// coverage claim) held: a missing, unreadable or gapped entry marks
+// the chain broken — recovery then falls back to whatever the
+// surviving segments can replay, and the manifest is discarded so the
+// next checkpoint is a full Save.
+func (db *DB) applyCheckpointChain(dir string, m *wal.Manifest) (bool, error) {
+	for _, n := range m.Checkpoints {
+		path := CheckpointFile(dir, n)
+		applied, err := db.applyCheckpointFile(path)
+		switch {
+		case err == nil:
+			if applied {
+				db.recovery.CheckpointsApplied++
+			} else {
+				db.recovery.CheckpointsSkipped++
+			}
+		case errors.Is(err, errCheckpointGap), errors.Is(err, errCheckpointUnreadable):
+			if !errors.Is(err, fs.ErrNotExist) {
+				if q, qerr := durable.Quarantine(path); qerr == nil {
+					_ = q
+				}
+			}
+			db.recovery.CheckpointChainBroken = true
+			return false, nil
+		default:
+			return false, err
 		}
-		it, err := interp.Import(rec, b)
+	}
+	return true, nil
+}
+
+// Load reads a catalog saved with Save/Checkpoint, resolving
+// interpretations against the given store, and replays any WAL found
+// next to the snapshot. Options configure the reloaded DB the same
+// way they configure New (e.g. WithCacheCapacity).
+//
+// Recovery sequence: MANIFEST (corrupt one → quarantined, conservative
+// full replay) → catalog.gob (corrupt → quarantined, catalog.gob.bak
+// used) → incremental checkpoint chain (already-covered deltas skip by
+// sequence; a gap marks the chain broken) → legacy journal.log → WAL
+// segments in index order, with a torn tail truncated. What happened
+// is reported via (*DB).Recovery. Load does not attach the journal for
+// writing — call OpenJournal to log new mutations.
+func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
+	var recovery RecoveryInfo
+	man, merr := wal.LoadManifest(dir)
+	if merr != nil {
+		if q, qerr := durable.Quarantine(wal.ManifestFile(dir)); qerr == nil {
+			_ = q
+		}
+		recovery.ManifestCorrupt = true
+		man = nil
+	}
+
+	primary := SnapshotFile(dir)
+	db, err := attemptLoad(primary, store, opts...)
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		// Crash between backup rotation and rename: the previous
+		// snapshot lives on as .bak.
+		bak, bakErr := attemptLoad(primary+".bak", store, opts...)
+		if bakErr != nil {
+			return nil, err
+		}
+		db, recovery.UsedBackup = bak, true
+	case errors.Is(err, ErrCorruptSnapshot):
+		if q, qerr := durable.Quarantine(primary); qerr == nil {
+			recovery.Quarantined = q
+		}
+		bak, bakErr := attemptLoad(primary+".bak", store, opts...)
+		if bakErr != nil {
+			return nil, fmt.Errorf("%w (backup: %v)", err, bakErr)
+		}
+		db, recovery.UsedBackup = bak, true
+	default:
+		return nil, err
+	}
+	recovery.SnapshotLoaded = true
+	db.recovery = recovery
+
+	if man != nil {
+		ok, err := db.applyCheckpointChain(dir, man)
 		if err != nil {
 			return nil, err
 		}
-		db.interps[rec.BlobID] = it
+		if ok {
+			db.manifest = man
+		}
 	}
-	for _, so := range snap.Objects {
-		obj := &core.Object{
-			ID: so.ID, Name: so.Name, Class: so.Class, Kind: kindFromInt(so.Kind),
-			Attrs: so.Attrs, Blob: so.Blob, Track: so.Track,
-		}
-		if so.Desc != nil {
-			d, err := so.Desc.Unwrap()
-			if err != nil {
-				return nil, err
-			}
-			obj.Desc = d
-		}
-		if so.DerivOp != "" {
-			obj.Derivation = &core.Derivation{Op: so.DerivOp, Inputs: so.DerivInputs, Params: so.DerivParams}
-		}
-		if len(so.MMComponents) != 0 {
-			axis, err := timebase.New(so.MMTimeNum, so.MMTimeDen)
-			if err != nil {
-				return nil, fmt.Errorf("catalog: object %v: %w", so.ID, err)
-			}
-			spec := &core.MultimediaSpec{Time: axis, Syncs: so.MMSyncs}
-			for _, c := range so.MMComponents {
-				spec.Components = append(spec.Components, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
-			}
-			obj.Multimedia = spec
-		}
-		if err := obj.Validate(); err != nil {
-			return nil, fmt.Errorf("catalog: loaded object %v invalid: %w", so.ID, err)
-		}
-		db.objects[obj.ID] = obj
-		db.byName[obj.Name] = obj.ID
-	}
-	// Rebuild the secondary indexes once the whole graph is present —
-	// multimedia spans resolve component objects, which may appear
-	// anywhere in the snapshot.
+
+	// Rebuild the secondary indexes once the whole base + chain state
+	// is present — multimedia spans resolve component objects, which
+	// may appear anywhere in the stream.
 	for _, obj := range db.objects {
 		db.linkLocked(obj)
+	}
+
+	if err := db.replayAllLocked(dir); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

@@ -14,6 +14,12 @@ type dbTelemetry struct {
 	decode  *telemetry.Histogram
 	journal *telemetry.Histogram
 
+	// checkpoint times Save/Checkpoint end to end; ckptFull/ckptIncr
+	// count completed checkpoints by mode.
+	checkpoint *telemetry.Histogram
+	ckptFull   *telemetry.Counter
+	ckptIncr   *telemetry.Counter
+
 	// queryPlan times the planner's index selection; probes counts
 	// candidate sourcing per index (plan label → counter), with the
 	// planScan entry pointing at the scan-fallback counter.
@@ -34,6 +40,7 @@ func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
 		telemetry.StageWALFsync,
 		telemetry.StageBlobRead,
 		telemetry.StageQueryPlan,
+		telemetry.StageCheckpoint,
 	} {
 		reg.Histogram(telemetry.StageFamily, stage)
 	}
@@ -44,12 +51,15 @@ func newDBTelemetry(reg *telemetry.Registry) *dbTelemetry {
 	}
 	probes[planScan] = reg.Counter(telemetry.IndexScanFallbackFamily, "")
 	return &dbTelemetry{
-		reg:       reg,
-		expand:    reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
-		decode:    reg.Histogram(telemetry.StageFamily, telemetry.StageDecode),
-		journal:   reg.Histogram(telemetry.StageFamily, telemetry.StageJournalAppend),
-		queryPlan: reg.Histogram(telemetry.StageFamily, telemetry.StageQueryPlan),
-		probes:    probes,
+		reg:        reg,
+		expand:     reg.Histogram(telemetry.StageFamily, telemetry.StageExpand),
+		decode:     reg.Histogram(telemetry.StageFamily, telemetry.StageDecode),
+		journal:    reg.Histogram(telemetry.StageFamily, telemetry.StageJournalAppend),
+		checkpoint: reg.Histogram(telemetry.StageFamily, telemetry.StageCheckpoint),
+		ckptFull:   reg.Counter(telemetry.CheckpointFamily, `mode="full"`),
+		ckptIncr:   reg.Counter(telemetry.CheckpointFamily, `mode="incremental"`),
+		queryPlan:  reg.Histogram(telemetry.StageFamily, telemetry.StageQueryPlan),
+		probes:     probes,
 	}
 }
 

@@ -1,0 +1,360 @@
+package durable
+
+// Streaming snapshot container (format v2): the v1 frame requires the
+// whole payload in memory to compute one length and one checksum, so
+// Save had to gob-encode the entire catalog into a bytes.Buffer before
+// the first byte hit disk, and Load had to read the file back whole.
+// The v2 container is a sequence of independently checksummed chunks
+// behind an io.Writer/io.Reader pair: encoders stream straight into
+// the file and decoders stream straight out of it, and memory use is
+// bounded by the chunk size, not the catalog size.
+//
+// Container layout:
+//
+//	magic     [8]byte  "TBMSNAP2"
+//	version   uint32   2
+//	chunk*             data chunks
+//	trailer            end-of-stream marker
+//
+// Data chunk:
+//
+//	length uint32   payload length (1..MaxChunkLen)
+//	crc    uint32   CRC-32C over the payload
+//	payload [length]byte
+//
+// Trailer:
+//
+//	length uint32   0 (end marker)
+//	crc    uint32   CRC-32C over the big-endian concatenation of every
+//	                data chunk's crc field, in order — a cheap whole-
+//	                stream integrity summary
+//	total  uint64   total payload bytes across all chunks
+//
+// A torn write (crash mid-stream) leaves a file without a valid
+// trailer and fails decode with ErrCorrupt, exactly like a torn v1
+// frame; the atomic-rename write path below means readers only ever
+// see complete containers anyway, and the .bak holds the previous
+// generation.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+var streamMagic = [8]byte{'T', 'B', 'M', 'S', 'N', 'A', 'P', '2'}
+
+// StreamVersion is the chunked container format version.
+const StreamVersion = 2
+
+// DefaultChunkLen is the chunk size ChunkWriter buffers to: large
+// enough to amortize checksum and syscall cost, small enough that a
+// snapshot stream never holds more than ~1 MiB beyond the file cache.
+const DefaultChunkLen = 1 << 20
+
+// MaxChunkLen bounds a chunk so a corrupt length field cannot drive an
+// unbounded allocation during decode.
+const MaxChunkLen = 64 << 20
+
+const streamHeaderLen = 8 + 4 // magic + version
+const chunkHeaderLen = 4 + 4  // length + crc
+
+// ChunkWriter frames a byte stream into checksummed chunks on an
+// underlying writer. Close flushes the final partial chunk and writes
+// the trailer; it does not close or sync the underlying writer.
+type ChunkWriter struct {
+	w       io.Writer
+	buf     []byte
+	crcs    []byte // big-endian crc of each flushed chunk, for the trailer
+	total   uint64
+	started bool
+	err     error
+}
+
+// NewChunkWriter starts a v2 container on w with the default chunk
+// size. The header is written lazily on the first Write (or Close), so
+// constructing a writer has no side effects.
+func NewChunkWriter(w io.Writer) *ChunkWriter {
+	return &ChunkWriter{w: w, buf: make([]byte, 0, DefaultChunkLen)}
+}
+
+func (cw *ChunkWriter) start() error {
+	if cw.started {
+		return nil
+	}
+	var hdr [streamHeaderLen]byte
+	copy(hdr[:], streamMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], StreamVersion)
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	cw.started = true
+	return nil
+}
+
+// Write implements io.Writer.
+func (cw *ChunkWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		room := cap(cw.buf) - len(cw.buf)
+		if room == 0 {
+			if err := cw.flushChunk(); err != nil {
+				cw.err = err
+				return 0, err
+			}
+			room = cap(cw.buf)
+		}
+		if room > len(p) {
+			room = len(p)
+		}
+		cw.buf = append(cw.buf, p[:room]...)
+		p = p[room:]
+	}
+	return n, nil
+}
+
+func (cw *ChunkWriter) flushChunk() error {
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	if err := cw.start(); err != nil {
+		return err
+	}
+	var hdr [chunkHeaderLen]byte
+	crc := crc32.Checksum(cw.buf, castagnoli)
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(cw.buf)))
+	binary.BigEndian.PutUint32(hdr[4:], crc)
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(cw.buf); err != nil {
+		return err
+	}
+	cw.crcs = binary.BigEndian.AppendUint32(cw.crcs, crc)
+	cw.total += uint64(len(cw.buf))
+	cw.buf = cw.buf[:0]
+	return nil
+}
+
+// Close flushes buffered data and writes the trailer. The container is
+// not a valid v2 stream until Close returns nil.
+func (cw *ChunkWriter) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if err := cw.flushChunk(); err != nil {
+		cw.err = err
+		return err
+	}
+	if err := cw.start(); err != nil { // empty payload: header + trailer only
+		cw.err = err
+		return err
+	}
+	var tr [chunkHeaderLen + 8]byte
+	binary.BigEndian.PutUint32(tr[:], 0)
+	binary.BigEndian.PutUint32(tr[4:], crc32.Checksum(cw.crcs, castagnoli))
+	binary.BigEndian.PutUint64(tr[8:], cw.total)
+	if _, err := cw.w.Write(tr[:]); err != nil {
+		cw.err = err
+		return err
+	}
+	cw.err = errors.New("durable: chunk writer closed")
+	return nil
+}
+
+// ChunkReader decodes a v2 container from an underlying reader,
+// validating each chunk's checksum as it streams. The caller must read
+// to io.EOF to know the stream was complete: a missing or corrupt
+// trailer surfaces as ErrCorrupt, never as a clean EOF.
+type ChunkReader struct {
+	r     io.Reader
+	chunk []byte // current chunk, unread remainder
+	crcs  []byte
+	total uint64
+	done  bool
+	err   error
+}
+
+// NewChunkReader validates the container header on r and returns a
+// reader over its payload. ErrNoMagic reports a stream that is not a
+// v2 container (the caller may fall back to v1 or legacy decoding) —
+// in that case the bytes consumed from r are returned for replay.
+func NewChunkReader(r io.Reader) (*ChunkReader, []byte, error) {
+	hdr := make([]byte, streamHeaderLen)
+	n, err := io.ReadFull(r, hdr)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, hdr[:n], ErrNoMagic
+		}
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	if [8]byte(hdr[:8]) != streamMagic {
+		return nil, hdr, ErrNoMagic
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != StreamVersion {
+		return nil, nil, fmt.Errorf("%w: unknown stream version %d", ErrCorrupt, v)
+	}
+	return &ChunkReader{r: r}, nil, nil
+}
+
+// Read implements io.Reader.
+func (cr *ChunkReader) Read(p []byte) (int, error) {
+	if cr.err != nil {
+		return 0, cr.err
+	}
+	for len(cr.chunk) == 0 {
+		if cr.done {
+			return 0, io.EOF
+		}
+		if err := cr.nextChunk(); err != nil {
+			cr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, cr.chunk)
+	cr.chunk = cr.chunk[n:]
+	return n, nil
+}
+
+func (cr *ChunkReader) nextChunk() error {
+	var hdr [chunkHeaderLen]byte
+	if _, err := io.ReadFull(cr.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated chunk header: %v", ErrCorrupt, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	crc := binary.BigEndian.Uint32(hdr[4:])
+	if n == 0 {
+		// Trailer: validate the crc-of-crcs and the total length.
+		var rest [8]byte
+		if _, err := io.ReadFull(cr.r, rest[:]); err != nil {
+			return fmt.Errorf("%w: truncated trailer: %v", ErrCorrupt, err)
+		}
+		if got := crc32.Checksum(cr.crcs, castagnoli); got != crc {
+			return fmt.Errorf("%w: stream checksum %08x, want %08x", ErrCorrupt, got, crc)
+		}
+		if total := binary.BigEndian.Uint64(rest[:]); total != cr.total {
+			return fmt.Errorf("%w: stream length %d, trailer says %d", ErrCorrupt, cr.total, total)
+		}
+		cr.done = true
+		return nil
+	}
+	if n > MaxChunkLen {
+		return fmt.Errorf("%w: chunk length %d exceeds limit", ErrCorrupt, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(cr.r, data); err != nil {
+		return fmt.Errorf("%w: truncated chunk: %v", ErrCorrupt, err)
+	}
+	if got := crc32.Checksum(data, castagnoli); got != crc {
+		return fmt.Errorf("%w: chunk checksum %08x, want %08x", ErrCorrupt, got, crc)
+	}
+	cr.chunk = data
+	cr.crcs = binary.BigEndian.AppendUint32(cr.crcs, crc)
+	cr.total += uint64(n)
+	return nil
+}
+
+// WriteStreamSnapshot durably replaces path with a v2 container whose
+// payload is produced by write: write streams into path.tmp through
+// checksummed chunks, the tmp is fsynced, any existing path rotates to
+// path.bak, the tmp renames into place, and the parent directory is
+// fsynced — the same crash contract as WriteSnapshot, without ever
+// holding the payload in memory.
+func WriteStreamSnapshot(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	cw := NewChunkWriter(bw)
+	if err := write(cw); err != nil {
+		return fail(err)
+	}
+	if err := cw.Close(); err != nil {
+		return fail(fmt.Errorf("durable: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("durable: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("durable: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	// Rotate unconditionally and tolerate only a missing target — see
+	// WriteSnapshot.
+	if err := os.Rename(path, path+".bak"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: rotate backup: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// OpenSnapshotReader opens the snapshot at path for streaming decode,
+// accepting all three generations: a v2 chunked container streams
+// directly; a v1 frame is read whole and validated (its single
+// checksum requires the full payload); a legacy unframed file is
+// returned as-is. The caller must Close the returned reader and must
+// reach io.EOF for a v2 stream to be fully validated.
+func OpenSnapshotReader(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	cr, consumed, err := NewChunkReader(f)
+	switch {
+	case err == nil:
+		return &snapshotReader{r: cr, f: f}, nil
+	case errors.Is(err, ErrNoMagic):
+		// v1 frame or legacy file: both need the whole content anyway.
+		rest, rerr := io.ReadAll(f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("durable: %w", rerr)
+		}
+		data := append(consumed, rest...)
+		payload, derr := DecodeFrame(data)
+		if derr == nil {
+			return readCloser{bytes.NewReader(payload)}, nil
+		}
+		if errors.Is(derr, ErrNoMagic) {
+			return readCloser{bytes.NewReader(data)}, nil // legacy unframed
+		}
+		return nil, derr
+	default:
+		f.Close()
+		return nil, err
+	}
+}
+
+type snapshotReader struct {
+	r io.Reader
+	f *os.File
+}
+
+func (s *snapshotReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+func (s *snapshotReader) Close() error               { return s.f.Close() }
+
+type readCloser struct{ io.Reader }
+
+func (readCloser) Close() error { return nil }

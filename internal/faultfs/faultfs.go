@@ -1,8 +1,8 @@
 // Package faultfs injects deterministic failures into the storage
 // stack so crash-recovery paths can be exercised in ordinary tests:
 // error on the Nth append, short (torn) writes, open/create failures,
-// journal append failures, and transient errors that the catalog's
-// retry-with-backoff must absorb.
+// journal append/rotate/compact failures, and transient errors that
+// the catalog's retry-with-backoff must absorb.
 //
 // An Injector holds a schedule of Rules; wrappers consult it before
 // delegating. Ops are counted per name ("create", "open", "append",
@@ -34,7 +34,8 @@ func Transient() error {
 type Rule struct {
 	// Op names the operation to intercept: "create", "open",
 	// "append", "readspan", "delete", "ids", "sync",
-	// "journal.append", "journal.reset".
+	// "journal.append", "journal.reset", "journal.rotate",
+	// "journal.compact".
 	Op string
 	// Nth fires on the Nth matching call, 1-based.
 	Nth int
@@ -263,3 +264,40 @@ func (j *Journal) Close() error { return j.inner.Close() }
 
 // Stats implements wal.Appender.
 func (j *Journal) Stats() wal.StatsSnapshot { return j.inner.Stats() }
+
+// SegmentedJournal wraps a wal.Segmented with fault injection,
+// additionally intercepting the rotation/compaction surface
+// ("journal.rotate", "journal.compact") so tests can fail a
+// checkpoint's WAL cleanup independently of its appends. It is a
+// distinct type from Journal on purpose: the catalog detects rotation
+// support by interface assertion, and a plain WrapJournal around a
+// legacy single-file journal must keep taking the legacy snapshot
+// path.
+type SegmentedJournal struct {
+	Journal
+	inner *wal.Segmented
+}
+
+// WrapSegmentedJournal builds a fault-injecting journal over a
+// segmented WAL.
+func WrapSegmentedJournal(inner *wal.Segmented, inj *Injector) *SegmentedJournal {
+	return &SegmentedJournal{Journal: Journal{inner: inner, inj: inj}, inner: inner}
+}
+
+// Rotate forwards wal.Segmented.Rotate with a "journal.rotate"
+// injection point.
+func (j *SegmentedJournal) Rotate() (uint64, error) {
+	if err, _ := j.inj.check("journal.rotate"); err != nil {
+		return 0, err
+	}
+	return j.inner.Rotate()
+}
+
+// CompactThrough forwards wal.Segmented.CompactThrough with a
+// "journal.compact" injection point.
+func (j *SegmentedJournal) CompactThrough(through uint64) (int, error) {
+	if err, _ := j.inj.check("journal.compact"); err != nil {
+		return 0, err
+	}
+	return j.inner.CompactThrough(through)
+}

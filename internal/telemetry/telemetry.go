@@ -50,6 +50,9 @@ const (
 	// IndexScanFallbackFamily counts planned queries that had no
 	// indexable constraint and fell back to a full catalog scan.
 	IndexScanFallbackFamily = "tbm_index_scan_fallback_total"
+	// CheckpointFamily counts completed catalog checkpoints; series
+	// carry a mode="full|incremental" label.
+	CheckpointFamily = "tbm_checkpoints_total"
 	// WALBatchFamily is the group-commit batch-size histogram: one
 	// observation per committed WAL batch, with the record count
 	// encoded on the microsecond scale (a batch of n records is
@@ -70,6 +73,7 @@ const (
 	StageWALFsync      = `stage="wal_fsync"`
 	StageBlobRead      = `stage="blob_read"`
 	StageQueryPlan     = `stage="query_plan"`
+	StageCheckpoint    = `stage="checkpoint"`
 )
 
 // Observer receives one latency observation. *Histogram implements

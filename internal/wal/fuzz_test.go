@@ -97,3 +97,41 @@ func FuzzFrameCorruption(f *testing.F) {
 		}
 	})
 }
+
+// FuzzManifestDecode throws arbitrary bytes at the manifest decoder:
+// it must never panic, never allocate past MaxManifestLen, and a
+// manifest it accepts must re-encode to an equivalent manifest
+// (decode∘encode is the identity on accepted inputs).
+func FuzzManifestDecode(f *testing.F) {
+	seed, _ := EncodeManifest(&Manifest{CheckpointSeq: 42, Checkpoints: []uint64{1, 3}, OldestSegment: 9})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(manifestMagic[:])
+	short := append([]byte(nil), seed...)
+	f.Add(short[:len(short)-4]) // truncated payload
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)-2] ^= 0x20 // corrupt payload byte
+	f.Add(flipped)
+	huge := append([]byte(nil), seed...)
+	huge[8], huge[9] = 0xFF, 0xFF // absurd length field
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest fails re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest fails decode: %v", err)
+		}
+		if m2.CheckpointSeq != m.CheckpointSeq || m2.OldestSegment != m.OldestSegment ||
+			len(m2.Checkpoints) != len(m.Checkpoints) {
+			t.Fatalf("round trip diverged: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package wal
+
+// The MANIFEST file records where recovery starts: which sequence
+// number the last durable checkpoint covers, which incremental
+// checkpoint files extend the base snapshot, and the oldest WAL
+// segment that may still hold uncheckpointed records. Recovery reads
+// the manifest first, then the base snapshot, then the checkpoint
+// chain, then replays surviving segments — so startup cost is bounded
+// by live state plus the uncheckpointed tail, not by mutation history.
+//
+// File layout (everything after the header is one JSON document):
+//
+//	magic   [8]byte  "TBMMANI1"
+//	length  uint32   JSON payload length
+//	crc     uint32   CRC-32C over the payload
+//	payload [length]byte
+//
+// The manifest is tiny and rewritten whole on every checkpoint via
+// tmp + fsync + rename + directory fsync, so a crash leaves either the
+// old manifest or the new one, never a torn file. A corrupt or missing
+// manifest is recoverable: replaying every segment over the base
+// snapshot is always safe (sequence numbers dedupe), it just costs
+// time — so decode failures degrade to the conservative path rather
+// than refusing to start.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const manifestName = "MANIFEST"
+
+var manifestMagic = [8]byte{'T', 'B', 'M', 'M', 'A', 'N', 'I', '1'}
+
+const manifestHeaderLen = 8 + 4 + 4 // magic + length + crc
+
+// MaxManifestLen bounds the JSON payload so a corrupt length field
+// cannot drive an unbounded allocation.
+const MaxManifestLen = 16 << 20
+
+// ErrManifestCorrupt reports a manifest that failed framing or JSON
+// validation.
+var ErrManifestCorrupt = errors.New("wal: corrupt manifest")
+
+// Manifest describes the durable recovery state of a database
+// directory.
+type Manifest struct {
+	// CheckpointSeq is the last mutation sequence number covered by the
+	// base snapshot plus the checkpoint chain. Journal records with
+	// Seq <= CheckpointSeq are superseded.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Checkpoints lists the incremental checkpoint file numbers to
+	// apply over the base snapshot, in order. Empty after a full
+	// snapshot.
+	Checkpoints []uint64 `json:"checkpoints,omitempty"`
+	// OldestSegment is the lowest WAL segment index that may still hold
+	// records newer than CheckpointSeq. Segments below it are fully
+	// superseded and are deleted by compaction (possibly after a crash
+	// left them behind — replaying them anyway is harmless).
+	OldestSegment uint64 `json:"oldest_segment"`
+}
+
+// ManifestFile returns the manifest path inside a database directory.
+func ManifestFile(dir string) string { return filepath.Join(dir, manifestName) }
+
+// EncodeManifest frames m for durable storage.
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	out := make([]byte, manifestHeaderLen+len(payload))
+	copy(out, manifestMagic[:])
+	binary.BigEndian.PutUint32(out[8:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[12:], crc32.Checksum(payload, castagnoli))
+	copy(out[manifestHeaderLen:], payload)
+	return out, nil
+}
+
+// DecodeManifest validates a manifest frame and returns the manifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < manifestHeaderLen || [8]byte(data[:8]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrManifestCorrupt)
+	}
+	n := binary.BigEndian.Uint32(data[8:])
+	if n > MaxManifestLen || uint64(len(data)) != uint64(manifestHeaderLen)+uint64(n) {
+		return nil, fmt.Errorf("%w: length %d, file holds %d payload bytes",
+			ErrManifestCorrupt, n, len(data)-manifestHeaderLen)
+	}
+	payload := data[manifestHeaderLen:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(data[12:]); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrManifestCorrupt, got, want)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
+	}
+	for i := 1; i < len(m.Checkpoints); i++ {
+		if m.Checkpoints[i] <= m.Checkpoints[i-1] {
+			return nil, fmt.Errorf("%w: checkpoint chain not ascending", ErrManifestCorrupt)
+		}
+	}
+	return &m, nil
+}
+
+// WriteManifest durably replaces dir's manifest: tmp write, fsync,
+// rename, directory fsync.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	path := ManifestFile(dir)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadManifest reads dir's manifest. A missing file returns (nil, nil):
+// the caller takes the conservative full-replay path. A corrupt file
+// returns ErrManifestCorrupt; callers may likewise degrade to full
+// replay after quarantining it.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(ManifestFile(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return DecodeManifest(data)
+}

@@ -80,13 +80,17 @@ type Stats struct {
 // StatsSnapshot is a plain-value copy of Stats, JSON-friendly for
 // /metrics. Appends counts records; Batches counts group commits
 // (write+fsync cycles), so Appends/Batches is the mean batch size.
+// Rotations and SegmentsCompacted stay zero for a single-file Journal;
+// a Segmented journal fills them in.
 type StatsSnapshot struct {
-	Appends       int64 `json:"appends"`
-	BytesAppended int64 `json:"bytes_appended"`
-	Syncs         int64 `json:"syncs"`
-	Resets        int64 `json:"resets"`
-	AppendErrors  int64 `json:"append_errors"`
-	Batches       int64 `json:"batches"`
+	Appends           int64 `json:"appends"`
+	BytesAppended     int64 `json:"bytes_appended"`
+	Syncs             int64 `json:"syncs"`
+	Resets            int64 `json:"resets"`
+	AppendErrors      int64 `json:"append_errors"`
+	Batches           int64 `json:"batches"`
+	Rotations         int64 `json:"rotations,omitempty"`
+	SegmentsCompacted int64 `json:"segments_compacted,omitempty"`
 }
 
 // Appender is the mutation-journal surface the catalog writes to.
@@ -218,6 +222,14 @@ func Open(path string, opts ...Option) (*Journal, error) {
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// Size returns the length of the last fully-acknowledged record
+// boundary — the journal's durable size.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
 
 // appendFrame appends one framed record to buf.
 func appendFrame(buf, data []byte) []byte {

@@ -1,0 +1,172 @@
+package timedmedia_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+)
+
+// Recovery-time bench (PR 6): with incremental checkpoints compacting
+// the WAL behind them, recovery cost is bounded by live state plus the
+// uncheckpointed tail — not by mutation history. The scenario churns a
+// fixed-size live set (every add past the ring size deletes the oldest
+// object) while a checkpoint fires every checkpointEvery mutations,
+// exactly what the tbmserve background checkpointer does on its timer.
+// BENCH_pr6.json records the measured recovery times; the acceptance
+// bar is 1M-mutation recovery within ~2x of 100k-mutation recovery.
+//
+// The run takes minutes (it is 1.1M journaled commits), so it is
+// gated: TBM_RECOVERY_BENCH=1 go test -run TestRecoveryBoundedPR6 -v .
+
+const (
+	liveRingSize    = 5_000
+	checkpointEvery = 50_000
+	benchWriters    = 8
+)
+
+type recoveryResult struct {
+	Mutations          int     `json:"mutations"`
+	LiveObjects        int     `json:"live_objects"`
+	WorkloadSeconds    float64 `json:"workload_seconds"`
+	RecoveryMillis     float64 `json:"recovery_ms"`
+	CheckpointsApplied int     `json:"checkpoints_applied"`
+	JournalReplayed    int     `json:"journal_records_replayed"`
+	SegmentsReplayed   int     `json:"segments_replayed"`
+}
+
+// churnWorkload drives n journaled mutations through `writers`
+// goroutines: add a derived cut, and once the live ring is full,
+// delete the cut added liveRingSize mutations earlier. Every
+// checkpointEvery-th mutation also triggers an incremental checkpoint.
+func churnWorkload(t *testing.T, dir string, n int) recoveryResult {
+	t.Helper()
+	store, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	db, err := catalog.Open(dir, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := db.Ingest("clip", fixtures.Video(8, 32, 24, 1), catalog.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := derive.EncodeParams(derive.EditParams{
+		Entries: []derive.EditEntry{{Input: 0, From: 0, To: 4}},
+	})
+
+	// ids[i] is the object created by mutation i, published after the
+	// commit returns. A deleter that finds a zero (its adder still in
+	// flight — writers drift by at most the writer count, far less than
+	// the ring size) skips that delete; the ring stays approximately
+	// sized either way.
+	ids := make([]atomic.Uint64, n)
+	start := time.Now()
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < benchWriters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				id, err := db.AddDerived(fmt.Sprintf("cut-%d", i), "video-edit", []core.ID{clip}, params, nil)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ids[i].Store(uint64(id))
+				if i >= liveRingSize {
+					if victim := ids[i-liveRingSize].Load(); victim != 0 {
+						if err := db.Delete(core.ID(victim)); err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+					}
+				}
+				if (i+1)%checkpointEvery == 0 {
+					if err := db.Checkpoint(dir); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	workload := time.Since(start)
+	live := db.Len()
+	if err := db.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: a cold Open of the same directory.
+	store2, err := blob.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	rstart := time.Now()
+	db2, err := catalog.Open(dir, store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relapsed := time.Since(rstart)
+	if err := db2.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != live {
+		t.Fatalf("recovered %d objects, workload left %d", db2.Len(), live)
+	}
+	rec := db2.Recovery()
+	return recoveryResult{
+		Mutations:          n,
+		LiveObjects:        live,
+		WorkloadSeconds:    workload.Seconds(),
+		RecoveryMillis:     float64(relapsed.Microseconds()) / 1e3,
+		CheckpointsApplied: rec.CheckpointsApplied,
+		JournalReplayed:    rec.JournalRecords,
+		SegmentsReplayed:   rec.SegmentsReplayed,
+	}
+}
+
+func TestRecoveryBoundedPR6(t *testing.T) {
+	if os.Getenv("TBM_RECOVERY_BENCH") == "" {
+		t.Skip("set TBM_RECOVERY_BENCH=1 to run the PR 6 recovery bench (~minutes)")
+	}
+	small := churnWorkload(t, t.TempDir(), 100_000)
+	large := churnWorkload(t, t.TempDir(), 1_000_000)
+	ratio := large.RecoveryMillis / small.RecoveryMillis
+	out, _ := json.MarshalIndent(map[string]any{
+		"recovery_100k":      small,
+		"recovery_1m":        large,
+		"ratio_1m_over_100k": fmt.Sprintf("%.2fx", ratio),
+	}, "", "  ")
+	fmt.Printf("RECOVERY_BENCH %s\n", out)
+	if ratio > 2.0 {
+		t.Errorf("1M-mutation recovery %.1fms is %.2fx the 100k recovery %.1fms; want <= ~2x",
+			large.RecoveryMillis, ratio, small.RecoveryMillis)
+	}
+}
