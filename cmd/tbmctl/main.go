@@ -23,6 +23,7 @@
 //	                [-min-dur 1] [-max-dur 30] [-name-contains cut]
 //	                [-sort id|name|duration] [-limit n] [-count] | -url http://host:8080
 //	tbmctl stats    -dir db [-expand name,...] | -url http://host:8080
+//	tbmctl promote  -url http://replica:8081 | -dir db
 //	tbmctl ops
 package main
 
@@ -72,6 +73,8 @@ func main() {
 		err = cmdQuery(args)
 	case "stats":
 		err = cmdStats(args)
+	case "promote":
+		err = cmdPromote(args)
 	case "ops":
 		err = cmdOps(args)
 	case "help", "-h", "--help":
@@ -107,6 +110,7 @@ commands:
   play      play an object on the virtual clock and report deadlines
   query     indexed structural query: kind/class/attr/provenance/time (local or -url)
   stats     show catalog and expansion-cache statistics (local or -url)
+  promote   promote a read replica to primary (-url for a live follower, -dir offline)
   ops       list derivation operators`)
 }
 

@@ -24,7 +24,7 @@
 //
 //	tbmload -url http://127.0.0.1:8080 [-clients 8] [-duration 10s]
 //	        [-mix object=25,expand=15,element=30,cut=15,batch=5,query=10]
-//	        [-seed 1] [-run-id r1] [-out bench.json]
+//	        [-seed 1] [-run-id r1] [-out bench.json] [-wait-ready 30s]
 package main
 
 import (
@@ -85,14 +85,44 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	runID := flag.String("run-id", "", "mutation name namespace (default load<seed>)")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	waitReady := flag.Duration("wait-ready", 0,
+		"poll GET /v1/readyz for up to this long before starting (0 skips; use against replicas still catching up)")
 	verbose := flag.Bool("v", false, "log individual operation errors")
 	flag.Parse()
 	if *runID == "" {
 		*runID = fmt.Sprintf("load%d", *seed)
 	}
+	if *waitReady > 0 {
+		if err := awaitReady(*url, *waitReady); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := run(*url, *clients, *duration, *mixSpec, *seed, *runID, *out, *verbose); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// awaitReady polls the readiness probe until it answers 200 or the
+// budget runs out, so a benchmark against a freshly started replica
+// measures steady-state serving rather than catch-up.
+func awaitReady(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/readyz")
+		if err != nil {
+			last = err.Error()
+		} else {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = strings.TrimSpace(string(body))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %v: %s", budget, last)
 }
 
 func run(base string, nClients int, duration time.Duration, mixSpec string, seed int64, runID, out string, verbose bool) error {

@@ -12,7 +12,16 @@
 // or the dirty fraction grows too large. A corrupt snapshot recovers
 // from its retained backup at startup. SIGINT/SIGTERM triggers a
 // graceful drain: stop accepting, finish in-flight requests, sync the
-// journal, write a final full snapshot.
+// journal, write a final full snapshot. The data directory is guarded
+// by a flock'd <dir>/LOCK so two servers cannot corrupt one catalog.
+//
+// Replication: a primary serves its WAL as a streaming feed under
+// /v1/repl/ (on the main listener, or a dedicated one via
+// -repl-listen). A follower started with -replicate-from URL
+// bootstraps from the primary's snapshot, tails the feed, serves
+// reads (rejecting writes with 409 toward the primary), reports
+// catch-up at /v1/readyz, and can be promoted to a primary with
+// POST /v1/repl/promote (see cmd/tbmctl).
 //
 // Observability: every response carries an X-Request-ID, GET /metrics
 // serves Prometheus text (JSON under Accept: application/json), recent
@@ -27,10 +36,12 @@
 //	         [-max-inflight 1024] [-shutdown-grace 10s] [-cache-mb 256]
 //	         [-debug-addr 127.0.0.1:6060] [-wal-batch-window 2ms]
 //	         [-wal-segment-mb 64] [-wal-segment-records 1048576]
+//	         [-repl-listen :8090 | -replicate-from http://primary:8080]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,67 +51,99 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/catalog"
+	"timedmedia/internal/durable"
+	"timedmedia/internal/repl"
 	"timedmedia/internal/server"
 	"timedmedia/internal/telemetry"
 )
 
+// config carries the parsed flags through run.
+type config struct {
+	dir, addr, debugAddr        string
+	replicateFrom, replListen   string
+	cacheMB                     int64
+	saveEvery                   time.Duration
+	requestTimeout              time.Duration
+	walBatchWindow              time.Duration
+	walSegmentMB, walSegmentRec int64
+	maxInFlight                 int
+	shutdownGrace               time.Duration
+}
+
 func main() {
-	dir := flag.String("dir", "tbmdb", "database directory")
-	addr := flag.String("addr", ":8080", "listen address")
-	cacheMB := flag.Int64("cache-mb", catalog.DefaultCacheCapacity>>20,
+	var cfg config
+	flag.StringVar(&cfg.dir, "dir", "tbmdb", "database directory")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Int64Var(&cfg.cacheMB, "cache-mb", catalog.DefaultCacheCapacity>>20,
 		"expansion cache capacity in MiB (0 = unbounded)")
-	saveEvery := flag.Duration("save-every", 5*time.Minute,
+	flag.DurationVar(&cfg.saveEvery, "save-every", 5*time.Minute,
 		"snapshot interval (0 disables periodic snapshots; the journal still persists every mutation)")
-	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout,
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", server.DefaultRequestTimeout,
 		"per-request deadline (0 disables)")
-	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight,
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", server.DefaultMaxInFlight,
 		"concurrent request bound; beyond it requests are shed with 503 (0 = unbounded)")
-	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second,
 		"how long a SIGTERM drain waits for in-flight requests")
-	debugAddr := flag.String("debug-addr", "",
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "",
 		"optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
-	walBatchWindow := flag.Duration("wal-batch-window", catalog.DefaultWALBatchWindow,
+	flag.DurationVar(&cfg.walBatchWindow, "wal-batch-window", catalog.DefaultWALBatchWindow,
 		"group-commit straggler window: how long a journal fsync waits for concurrent mutators to coalesce (0 disables batching; a lone writer never waits)")
-	walSegmentMB := flag.Int64("wal-segment-mb", 0,
+	flag.Int64Var(&cfg.walSegmentMB, "wal-segment-mb", 0,
 		"seal a WAL segment once it reaches this many MiB (0 = default 64)")
-	walSegmentRecords := flag.Int64("wal-segment-records", 0,
+	flag.Int64Var(&cfg.walSegmentRec, "wal-segment-records", 0,
 		"seal a WAL segment once it holds this many records (0 = default 1048576)")
+	flag.StringVar(&cfg.replicateFrom, "replicate-from", "",
+		"run as a read replica of the primary at this base URL (e.g. http://primary:8080)")
+	flag.StringVar(&cfg.replListen, "repl-listen", "",
+		"serve the replication feed on a dedicated address instead of the main listener (primary only)")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *debugAddr, *cacheMB, *saveEvery, *requestTimeout, *walBatchWindow, *walSegmentMB, *walSegmentRecords, *maxInFlight, *shutdownGrace); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, walBatchWindow time.Duration, walSegmentMB, walSegmentRecords int64, maxInFlight int, shutdownGrace time.Duration) error {
-	store, err := blob.OpenFileStore(dir)
+func run(cfg config) error {
+	// The flock dies with the process, so a crashed server never
+	// leaves a stale lock behind.
+	lock, err := durable.LockDir(cfg.dir)
 	if err != nil {
 		return err
 	}
-	defer store.Close()
+	defer lock.Unlock()
 
-	// One registry spans the catalog and the HTTP layer, so a single
-	// /metrics scrape covers stage latencies (decode, fsync, ...) and
-	// per-route request histograms alike.
+	// One registry spans the catalog, the HTTP layer, and replication,
+	// so a single /metrics scrape covers stage latencies, per-route
+	// request histograms, and replication lag alike.
 	reg := telemetry.NewRegistry()
+	accessLog := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	// Open loads the snapshot (falling back to the .bak on
-	// corruption), replays the mutation journal, and attaches it for
-	// writing.
-	db, err := catalog.Open(dir, store,
-		catalog.WithCacheCapacity(cacheMB<<20),
-		catalog.WithWALBatchWindow(walBatchWindow),
-		catalog.WithWALSegmentBytes(walSegmentMB<<20),
-		catalog.WithWALSegmentRecords(walSegmentRecords),
-		catalog.WithTelemetry(reg))
-	if err != nil {
-		return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.replicateFrom != "" {
+		return runFollower(ctx, cfg, reg, accessLog)
 	}
+	return runPrimary(ctx, cfg, reg, accessLog)
+}
+
+func catalogOptions(cfg config, reg *telemetry.Registry) []catalog.Option {
+	return []catalog.Option{
+		catalog.WithCacheCapacity(cfg.cacheMB << 20),
+		catalog.WithWALBatchWindow(cfg.walBatchWindow),
+		catalog.WithWALSegmentBytes(cfg.walSegmentMB << 20),
+		catalog.WithWALSegmentRecords(cfg.walSegmentRec),
+		catalog.WithTelemetry(reg),
+	}
+}
+
+func logRecovery(db *catalog.DB) {
 	if rec := db.Recovery(); rec.UsedBackup || rec.JournalRecords > 0 || rec.JournalTorn ||
 		rec.CheckpointChainBroken || rec.ManifestCorrupt {
 		log.Printf("recovery: backup=%v quarantined=%q checkpoints: %d applied, %d skipped, broken=%v manifest_corrupt=%v journal: %d records over %d segments, %d skipped, torn=%v",
@@ -108,49 +151,88 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 			rec.CheckpointChainBroken, rec.ManifestCorrupt,
 			rec.JournalRecords, rec.SegmentsReplayed, rec.JournalSkipped, rec.JournalTorn)
 	}
+}
 
-	cacheDesc := fmt.Sprintf("%d MiB", cacheMB)
-	if cacheMB <= 0 {
+// startDebug starts the opt-in profiling listener. The handlers are
+// registered on an explicit mux (not http.DefaultServeMux) so nothing
+// else that touches the default mux can leak onto the debug port, and
+// the debug port never shares a mux with the public API.
+func startDebug(addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	dmux := http.NewServeMux()
+	dmux.HandleFunc("/debug/pprof/", pprof.Index)
+	dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugSrv := &http.Server{Addr: addr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("pprof listening on %s", addr)
+		if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
+	return debugSrv
+}
+
+func runPrimary(ctx context.Context, cfg config, reg *telemetry.Registry, accessLog *slog.Logger) error {
+	store, err := blob.OpenFileStore(cfg.dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	// Open loads the snapshot (falling back to the .bak on
+	// corruption), replays the mutation journal, and attaches it for
+	// writing.
+	db, err := catalog.Open(cfg.dir, store, catalogOptions(cfg, reg)...)
+	if err != nil {
+		return err
+	}
+	logRecovery(db)
+
+	cacheDesc := fmt.Sprintf("%d MiB", cfg.cacheMB)
+	if cfg.cacheMB <= 0 {
 		cacheDesc = "unbounded"
 	}
 	fmt.Printf("serving %d objects from %s on %s (expansion cache %s, snapshot every %v)\n",
-		db.Len(), dir, addr, cacheDesc, saveEvery)
+		db.Len(), cfg.dir, cfg.addr, cacheDesc, cfg.saveEvery)
 
-	accessLog := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := &http.Server{
-		Addr: addr,
-		Handler: server.New(db,
-			server.WithMaxInFlight(maxInFlight),
-			server.WithRequestTimeout(requestTimeout),
-			server.WithTelemetry(reg),
-			server.WithAccessLog(accessLog)),
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+	// The replication feed rides the main listener unless -repl-listen
+	// moves it to a dedicated one (e.g. an internal-only port).
+	feed := repl.NewPrimary(db, store, cfg.dir, reg)
+	srvOpts := []server.Option{
+		server.WithMaxInFlight(cfg.maxInFlight),
+		server.WithRequestTimeout(cfg.requestTimeout),
+		server.WithTelemetry(reg),
+		server.WithAccessLog(accessLog),
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	// Opt-in profiling listener. The handlers are registered on an
-	// explicit mux (not http.DefaultServeMux) so nothing else that
-	// touches the default mux can leak onto the debug port, and the
-	// debug port never shares a mux with the public API.
-	var debugSrv *http.Server
-	if debugAddr != "" {
-		dmux := http.NewServeMux()
-		dmux.HandleFunc("/debug/pprof/", pprof.Index)
-		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		debugSrv = &http.Server{Addr: debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+	var feedSrv *http.Server
+	if cfg.replListen == "" {
+		feed.Register(func(pattern, name string, h http.HandlerFunc) {
+			srvOpts = append(srvOpts, server.WithRoute(pattern, name, h))
+		})
+	} else {
+		fmux := http.NewServeMux()
+		feed.Register(func(pattern, name string, h http.HandlerFunc) { fmux.HandleFunc(pattern, h) })
+		feedSrv = &http.Server{Addr: cfg.replListen, Handler: fmux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Printf("pprof listening on %s", debugAddr)
-			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("pprof listener: %v", err)
+			log.Printf("replication feed listening on %s", cfg.replListen)
+			if err := feedSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("replication listener: %v", err)
 			}
 		}()
 	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           server.New(db, srvOpts...),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	debugSrv := startDebug(cfg.debugAddr)
 
 	// Background checkpointer: HTTP-created derivations reach durable
 	// checkpoint state without waiting for shutdown, and recovery time
@@ -160,7 +242,7 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 	// (catalog.ErrJournalTruncate) is logged and retried with backoff
 	// by the checkpointer itself — nothing was lost, the journal just
 	// keeps growing until cleanup succeeds.
-	stopCheckpointer := db.StartCheckpointer(dir, saveEvery, func(err error) {
+	stopCheckpointer := db.StartCheckpointer(cfg.dir, cfg.saveEvery, func(err error) {
 		if errors.Is(err, catalog.ErrJournalTruncate) {
 			log.Printf("checkpoint: %v", err)
 			return
@@ -184,11 +266,14 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 
 	// Graceful shutdown: drain in-flight requests, sync the journal,
 	// take a final snapshot (which truncates the journal).
-	log.Printf("shutdown: draining (grace %v)", shutdownGrace)
-	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	log.Printf("shutdown: draining (grace %v)", cfg.shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if feedSrv != nil {
+		feedSrv.Shutdown(drainCtx)
 	}
 	if debugSrv != nil {
 		debugSrv.Shutdown(drainCtx)
@@ -196,12 +281,99 @@ func run(dir, addr, debugAddr string, cacheMB int64, saveEvery, requestTimeout, 
 	if err := db.SyncJournal(); err != nil {
 		log.Printf("shutdown: journal sync: %v", err)
 	}
-	if err := db.Save(dir); err != nil {
+	if err := db.Save(cfg.dir); err != nil {
 		return fmt.Errorf("shutdown: final snapshot: %w", err)
 	}
 	if err := db.CloseJournal(); err != nil {
 		log.Printf("shutdown: journal close: %v", err)
 	}
 	log.Printf("shutdown: complete (%d objects saved)", db.Len())
+	return nil
+}
+
+func runFollower(ctx context.Context, cfg config, reg *telemetry.Registry, accessLog *slog.Logger) error {
+	// The follower owns its catalog and blob store (a re-bootstrap
+	// replaces them), so the HTTP handler is swapped atomically
+	// whenever the replica's catalog is rebuilt.
+	var cur atomic.Pointer[server.Server]
+	var f *repl.Follower
+
+	build := func(db *catalog.DB) *server.Server {
+		return server.New(db,
+			server.WithMaxInFlight(cfg.maxInFlight),
+			server.WithRequestTimeout(cfg.requestTimeout),
+			server.WithTelemetry(reg),
+			server.WithAccessLog(accessLog),
+			server.WithReadiness(func() (bool, string) { return f.Ready() }),
+			server.WithWriteGate(func() (bool, string) { return f.Promoted(), f.PrimaryURL() }),
+			server.WithReplStatus(func() any { return f.Status() }),
+			server.WithRoute("POST /v1/repl/promote", "repl_promote",
+				func(w http.ResponseWriter, r *http.Request) {
+					if err := f.Promote(); err != nil {
+						http.Error(w, err.Error(), http.StatusInternalServerError)
+						return
+					}
+					log.Printf("promoted to primary at seq %d", f.DB().Seq())
+					w.Header().Set("Content-Type", "application/json")
+					json.NewEncoder(w).Encode(map[string]any{
+						"status": "primary", "seq": f.DB().Seq(),
+					})
+				}),
+		)
+	}
+
+	f, err := repl.Start(cfg.replicateFrom, cfg.dir, repl.Options{
+		CatalogOptions: catalogOptions(cfg, reg),
+		Registry:       reg,
+		OnSwap:         func(db *catalog.DB) { cur.Store(build(db)) },
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	cur.Store(build(f.DB()))
+
+	fmt.Printf("replicating %s into %s, serving reads on %s (%d objects at start)\n",
+		cfg.replicateFrom, cfg.dir, cfg.addr, f.DB().Len())
+
+	srv := &http.Server{
+		Addr: cfg.addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			cur.Load().ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	debugSrv := startDebug(cfg.debugAddr)
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		f.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown: draining (grace %v)", cfg.shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(drainCtx)
+	}
+	// Close stops the tail loop and releases the replica's journal and
+	// store; the directory resumes from its applied seq on restart.
+	if err := f.Close(); err != nil {
+		log.Printf("shutdown: replica close: %v", err)
+	}
+	log.Printf("shutdown: complete (%d objects replicated)", f.DB().Len())
 	return nil
 }

@@ -46,12 +46,14 @@ type BLOB interface {
 }
 
 // Stats counts I/O against a BLOB or store, for the measurement-driven
-// benches.
+// benches. Corruptions counts payloads that failed their integrity
+// check on open and were quarantined (file stores only).
 type Stats struct {
 	Reads         atomic.Int64
 	BytesRead     atomic.Int64
 	Appends       atomic.Int64
 	BytesAppended atomic.Int64
+	Corruptions   atomic.Int64
 }
 
 // Snapshot returns a plain-value copy.

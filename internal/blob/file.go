@@ -1,7 +1,9 @@
 package blob
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -74,14 +76,27 @@ func (s *FileStore) Create() (ID, BLOB, error) {
 	return id, b, nil
 }
 
-// Open implements Store.
+// Open implements Store. The first open of a file in this process
+// verifies its payload against the CRC sidecar (when one exists); a
+// mismatch quarantines the file and returns ErrCorrupt instead of
+// serving rotted bytes. Cached handles were verified when first
+// opened.
 func (s *FileStore) Open(id ID) (BLOB, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if b, ok := s.open[id]; ok {
 		return b, nil
 	}
-	f, err := os.OpenFile(s.path(id), os.O_RDWR, 0o644)
+	path := s.path(id)
+	if err := verifySidecar(path); err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			quarantine(path)
+			s.stats.Corruptions.Add(1)
+			return nil, err
+		}
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
@@ -91,6 +106,18 @@ func (s *FileStore) Open(id ID) (BLOB, error) {
 	b := &fileBLOB{f: f, stats: &s.stats}
 	s.open[id] = b
 	return b, nil
+}
+
+// Reserve advances the ID allocator past id. Replication installs a
+// primary's payload files directly into the directory after the store
+// was opened; without reserving their IDs a later Create (on a
+// promoted follower) would collide with an installed file.
+func (s *FileStore) Reserve(id ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id >= s.next {
+		s.next = id + 1
+	}
 }
 
 // Delete implements Store.
@@ -107,6 +134,7 @@ func (s *FileStore) Delete(id ID) error {
 		}
 		return fmt.Errorf("blob: %w", err)
 	}
+	os.Remove(SidecarFile(s.path(id)))
 	return nil
 }
 
@@ -134,7 +162,10 @@ func (s *FileStore) IDs() ([]ID, error) {
 // were never opened in this process have nothing buffered and sync
 // trivially. The catalog calls this before journaling an
 // interpretation record, so replay never references bytes that died
-// in the page cache.
+// in the page cache. Sync is the seal point of a payload — the
+// catalog never appends to a blob after its interpretation is
+// journaled — so the CRC sidecar is written here, covering exactly
+// the synced bytes.
 func (s *FileStore) Sync(id ID) error {
 	s.mu.Lock()
 	b, ok := s.open[id]
@@ -150,7 +181,13 @@ func (s *FileStore) Sync(id ID) error {
 	if err := b.f.Sync(); err != nil {
 		return fmt.Errorf("blob: sync %v: %w", id, err)
 	}
-	return nil
+	crc, size, err := b.checksumLocked()
+	if err != nil {
+		return fmt.Errorf("blob: sync %v: %w", id, err)
+	}
+	// The sidecar itself is not fsynced: losing it in a crash merely
+	// skips verification, which is the safe direction.
+	return WriteSidecar(s.path(id), crc, size)
 }
 
 // Stats implements Store.
@@ -233,6 +270,20 @@ func (b *fileBLOB) Size() int64 {
 		return 0
 	}
 	return fi.Size()
+}
+
+// checksumLocked computes the CRC32C and size of the whole file.
+// Assumes b.mu is held.
+func (b *fileBLOB) checksumLocked() (uint32, int64, error) {
+	fi, err := b.f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	crc, n, err := ChecksumReader(io.NewSectionReader(b.f, 0, fi.Size()), fi.Size())
+	if err != nil {
+		return 0, 0, err
+	}
+	return crc, n, nil
 }
 
 func (b *fileBLOB) close() error {

@@ -1,0 +1,123 @@
+package blob
+
+// Payload integrity for the file store: a CRC32C sidecar
+// (<n>.blob.crc) is written when a BLOB is sealed (Sync) and verified
+// the first time the file is opened from disk. A mismatch means the
+// payload rotted or was torn after it was acknowledged; the store
+// quarantines the file (renames it to <n>.blob.corrupt) instead of
+// serving the bad bytes, and counts the event in Stats.Corruptions.
+//
+// The sidecar is advisory in the safe direction: a missing or
+// unparseable sidecar skips verification (stores written before
+// sidecars existed, or a crash mid-sidecar-write, must not quarantine
+// good data), and the sidecar's recorded size bounds the checked
+// prefix, so bytes appended after the last seal are not mistaken for
+// corruption — the next Sync re-seals over the longer payload.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ErrCorrupt reports a BLOB whose payload failed its CRC sidecar
+// check; the file has been quarantined.
+var ErrCorrupt = fmt.Errorf("blob: payload corrupt")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FileName returns the file name a file store uses for a BLOB —
+// exported so replication can install a primary's payload files
+// directly into a follower's directory before the store opens them.
+func FileName(id ID) string { return blobName(id) }
+
+// SidecarFile returns the CRC sidecar path for a blob file path.
+func SidecarFile(path string) string { return path + ".crc" }
+
+// WriteSidecar records (crc, size) for the blob file at path. The
+// sidecar is a single text line — "crc32c <hex> <size>" — so a torn
+// write is unparseable and therefore ignored rather than
+// misinterpreted.
+func WriteSidecar(path string, crc uint32, size int64) error {
+	line := fmt.Sprintf("crc32c %08x %d\n", crc, size)
+	if err := os.WriteFile(SidecarFile(path), []byte(line), 0o644); err != nil {
+		return fmt.Errorf("blob: sidecar: %w", err)
+	}
+	return nil
+}
+
+// ReadSidecar parses the sidecar for the blob file at path. ok is
+// false when the sidecar is missing or unparseable — verification is
+// skipped, never failed, on those.
+func ReadSidecar(path string) (crc uint32, size int64, ok bool) {
+	data, err := os.ReadFile(SidecarFile(path))
+	if err != nil {
+		return 0, 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 3 || fields[0] != "crc32c" {
+		return 0, 0, false
+	}
+	c, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	n, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || n < 0 {
+		return 0, 0, false
+	}
+	return uint32(c), n, true
+}
+
+// ChecksumReader computes the CRC32C of the first size bytes of r
+// (all of r when size < 0), returning the checksum and the byte count
+// consumed. Replication uses it to seal payloads it streams to disk.
+func ChecksumReader(r io.Reader, size int64) (uint32, int64, error) {
+	h := crc32.New(castagnoli)
+	var src io.Reader = r
+	if size >= 0 {
+		src = io.LimitReader(r, size)
+	}
+	n, err := io.Copy(h, src)
+	if err != nil {
+		return 0, n, err
+	}
+	return h.Sum32(), n, nil
+}
+
+// verifySidecar checks the blob file at path against its sidecar, if
+// one exists. Returns ErrCorrupt (wrapped) on mismatch; the caller
+// quarantines.
+func verifySidecar(path string) error {
+	want, size, ok := ReadSidecar(path)
+	if !ok {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("blob: verify: %w", err)
+	}
+	defer f.Close()
+	got, n, err := ChecksumReader(f, size)
+	if err != nil {
+		return fmt.Errorf("blob: verify: %w", err)
+	}
+	if n < size {
+		return fmt.Errorf("%w: %s holds %d of %d sealed bytes", ErrCorrupt, path, n, size)
+	}
+	if got != want {
+		return fmt.Errorf("%w: %s crc32c %08x, sidecar says %08x", ErrCorrupt, path, got, want)
+	}
+	return nil
+}
+
+// quarantine renames a corrupt blob file (and its sidecar) out of the
+// store's namespace so it is never served again but stays on disk for
+// forensics.
+func quarantine(path string) {
+	os.Rename(path, path+".corrupt")
+	os.Rename(SidecarFile(path), path+".corrupt.crc")
+}

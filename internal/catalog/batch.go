@@ -2,7 +2,6 @@ package catalog
 
 import (
 	"fmt"
-	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/core"
@@ -102,46 +101,35 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 			return fail(i, it.Name, fmt.Errorf("item defines neither a blob binding nor a derivation"))
 		}
 	}
-	var j wal.Appender
+	var t *wal.Ticket
 	if db.wal != nil {
-		j = db.wal
-		for _, rec := range recs {
+		// Sequence assignment, encode, and the batch's log-position
+		// reservation all happen in this one db.mu section so log order
+		// equals seq order (see enqueueLocked); the fsync wait happens
+		// after the lock is dropped.
+		frames := make([][]byte, 0, len(recs))
+		for i, rec := range recs {
 			db.seq++
 			rec.Seq = db.seq
+			data, err := encodeOp(rec)
+			if err != nil {
+				return fail(i, rec.Name, err)
+			}
+			frames = append(frames, data)
 		}
 		for _, id := range ids {
 			db.demoteLocked(id)
 		}
+		t = db.wal.EnqueueBatch(frames)
 	}
 	db.mu.Unlock()
-	if j == nil {
+	if t == nil {
 		return ids, nil
 	}
 
-	frames := make([][]byte, 0, len(recs))
-	var encErr error
-	for _, rec := range recs {
-		data, err := encodeOp(rec)
-		if err != nil {
-			encErr = err
-			break
-		}
-		frames = append(frames, data)
-	}
-	var appendErr error
-	if encErr == nil {
-		start := time.Now()
-		appendErr = j.AppendBatch(frames)
-		if t := db.tel.Load(); t != nil {
-			t.journal.Observe(time.Since(start))
-		}
-		if appendErr != nil {
-			appendErr = fmt.Errorf("%w: %v", ErrJournal, appendErr)
-		}
-	}
-
+	appendErr := db.waitRecord(t)
 	db.mu.Lock()
-	if encErr != nil || appendErr != nil {
+	if appendErr != nil {
 		for i := len(ids) - 1; i >= 0; i-- {
 			db.unstageLocked(ids[i])
 		}
@@ -151,9 +139,6 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 		}
 	}
 	db.mu.Unlock()
-	if encErr != nil {
-		return nil, encErr
-	}
 	if appendErr != nil {
 		return nil, appendErr
 	}

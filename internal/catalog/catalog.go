@@ -224,6 +224,10 @@ func (db *DB) CacheStats() expcache.StatsSnapshot { return db.cache.Stats() }
 // Store exposes the underlying BLOB store.
 func (db *DB) Store() blob.Store { return db.store }
 
+// BlobCorruptions reports how many payload files the store has
+// quarantined after a checksum mismatch.
+func (db *DB) BlobCorruptions() int64 { return db.store.Stats().Corruptions.Load() }
+
 // RegisterInterpretation permanently associates a sealed
 // interpretation with its BLOB (Section 4.1: one complete
 // interpretation, built during capture). With a journal attached the
@@ -232,6 +236,28 @@ func (db *DB) Store() blob.Store { return db.store }
 func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	db.commitGate.RLock()
 	defer db.commitGate.RUnlock()
+
+	// With a journal attached, export the interpretation and flush the
+	// BLOB before taking db.mu: the record's log position is reserved
+	// under the lock (see enqueueLocked), and its payload bytes must be
+	// durable before the record can be — syncing them first keeps the
+	// fsync out of the critical section. Wasted only when the
+	// registration turns out to be a duplicate.
+	var interpPayload []byte
+	db.mu.RLock()
+	journaled := db.wal != nil
+	db.mu.RUnlock()
+	if journaled {
+		p, err := exportInterp(it)
+		if err != nil {
+			return err
+		}
+		interpPayload = p
+		if err := db.syncBlob(it.BlobID()); err != nil {
+			return err
+		}
+	}
+
 	db.mu.Lock()
 	if _, dup := db.interps[it.BlobID()]; dup {
 		db.mu.Unlock()
@@ -248,30 +274,31 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 		db.mu.Unlock()
 		return nil
 	}
-	rec := &walOp{Kind: opInterp, Blob: it.BlobID()}
-	exp, err := interp.Export(it)
-	if err != nil {
-		db.mu.Unlock()
-		return err
+	if interpPayload == nil {
+		// A journal was attached between the unlocked check and now
+		// (rare: attachment happens at startup). Export and sync under
+		// the lock — slow but correct.
+		p, err := exportInterp(it)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		interpPayload = p
+		if err := db.syncBlob(it.BlobID()); err != nil {
+			db.mu.Unlock()
+			return err
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(exp); err != nil {
-		db.mu.Unlock()
-		return fmt.Errorf("catalog: %w", err)
-	}
-	rec.Interp = buf.Bytes()
+	rec := &walOp{Kind: opInterp, Blob: it.BlobID(), Interp: interpPayload}
 	// Stage: the registration is invisible to readers (and to
 	// AddNonDerived's interpretation lookup) until the record is
 	// durable; the blob ID is reserved so a concurrent duplicate
 	// registration fails.
 	db.stagedInterps[it.BlobID()] = it
-	j := db.prepareLocked(rec)
+	t, err := db.enqueueLocked(rec)
 	db.mu.Unlock()
-
-	// The journal record must not outlive its payload bytes.
-	err = db.syncBlob(it.BlobID())
 	if err == nil {
-		err = db.appendRecord(j, rec)
+		err = db.waitRecord(t)
 	}
 	db.mu.Lock()
 	delete(db.stagedInterps, it.BlobID())
@@ -282,6 +309,19 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	}
 	db.mu.Unlock()
 	return err
+}
+
+// exportInterp gob-encodes an interpretation for an opInterp record.
+func exportInterp(it *interp.Interpretation) ([]byte, error) {
+	exp, err := interp.Export(it)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(exp); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // Interpretation returns the interpretation of a BLOB.
@@ -307,9 +347,12 @@ func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map
 		return 0, err
 	}
 	rec := &walOp{Kind: opNonDerived, ID: id, Name: name, Blob: blobID, Track: track, Attrs: attrs}
-	j := db.stageCommitLocked(rec, id)
+	t, err := db.stageCommitLocked(rec, id)
 	db.mu.Unlock()
-	if err := db.commitObject(j, rec, id); err != nil {
+	if err != nil {
+		return 0, err
+	}
+	if err := db.commitObject(t, id); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -352,9 +395,12 @@ func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs
 		return 0, err
 	}
 	rec := &walOp{Kind: opDerived, ID: id, Name: name, Op: op, Inputs: inputs, Params: params, Attrs: attrs}
-	j := db.stageCommitLocked(rec, id)
+	t, err := db.stageCommitLocked(rec, id)
 	db.mu.Unlock()
-	if err := db.commitObject(j, rec, id); err != nil {
+	if err != nil {
+		return 0, err
+	}
+	if err := db.commitObject(t, id); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -409,9 +455,12 @@ func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.Comp
 	for _, c := range comps {
 		rec.Comps = append(rec.Comps, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
 	}
-	j := db.stageCommitLocked(rec, id)
+	t, err := db.stageCommitLocked(rec, id)
 	db.mu.Unlock()
-	if err := db.commitObject(j, rec, id); err != nil {
+	if err != nil {
+		return 0, err
+	}
+	if err := db.commitObject(t, id); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -449,12 +498,17 @@ func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 		return err
 	}
 	rec := &walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}
-	j := db.prepareLocked(rec)
+	t, err := db.enqueueLocked(rec)
+	if err != nil {
+		db.removeSyncLocked(id, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+		db.mu.Unlock()
+		return err
+	}
 	db.mu.Unlock()
-	if j == nil {
+	if t == nil {
 		return nil
 	}
-	if err := db.appendRecord(j, rec); err != nil {
+	if err := db.waitRecord(t); err != nil {
 		db.mu.Lock()
 		db.removeSyncLocked(id, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
 		db.mu.Unlock()
@@ -508,10 +562,10 @@ func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
 
 // insert places obj into the visible object map. want == 0 allocates
 // the next ID (live mutations); a non-zero want forces the recorded
-// ID (journal replay — records may appear in the log out of sequence
-// order because frames are queued for group commit in enqueue order,
-// so replay cannot rely on re-allocation reproducing them). Assumes
-// db.mu is held.
+// ID (journal replay and replication apply must reproduce recorded
+// IDs exactly, and logs written before log order was pinned to seq
+// order may hold reordered frames, so replay cannot rely on
+// re-allocation reproducing them). Assumes db.mu is held.
 func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	if _, dup := db.byName[obj.Name]; dup {
 		return 0, fmt.Errorf("%w: %q", ErrDupName, obj.Name)
@@ -539,33 +593,48 @@ func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	return id, nil
 }
 
-// prepareLocked assigns the next journal sequence number to rec and
-// returns the journal to append it to, or nil when none is attached.
-// Sequence numbers are allocated under db.mu even though the append
-// happens outside it, and are never reused after a failed append: a
-// record that failed only at fsync may still be intact on disk, and a
-// later acknowledged record under the same seq would lose to it on
-// replay. Assumes db.mu is held.
-func (db *DB) prepareLocked(rec *walOp) wal.Appender {
+// enqueueLocked assigns the next journal sequence number to rec,
+// encodes it, and reserves its log position — all in one db.mu
+// critical section, so the log's frame order provably equals sequence
+// order. Replication depends on that equality: a follower resuming
+// "from seq N" can trust that every frame after N's log position
+// carries a seq > N, with no reordered stragglers behind it.
+// Durability is NOT waited for here (the returned ticket's Wait runs
+// outside db.mu, so concurrent mutators share group commits and
+// readers never block on an fsync). Returns a nil ticket when no
+// journal is attached. Sequence numbers are never reused after a
+// failure: a record that failed only at fsync may still be intact on
+// disk, and a later acknowledged record under the same seq would lose
+// to it on replay. Assumes db.mu is held.
+func (db *DB) enqueueLocked(rec *walOp) (*wal.Ticket, error) {
 	if db.wal == nil {
-		return nil
+		return nil, nil
 	}
 	db.seq++
 	rec.Seq = db.seq
-	return db.wal
+	data, err := encodeOp(rec)
+	if err != nil {
+		return nil, err
+	}
+	return db.wal.Enqueue(data), nil
 }
 
-// stageCommitLocked prepares rec for journaling and, when a journal
-// is attached, demotes the freshly inserted object to staged so
-// readers cannot observe it before its record is durable. With no
-// journal the object stays visible — it is already committed. Assumes
-// db.mu is held.
-func (db *DB) stageCommitLocked(rec *walOp, id core.ID) wal.Appender {
-	j := db.prepareLocked(rec)
-	if j != nil {
-		db.demoteLocked(id)
+// stageCommitLocked demotes the freshly inserted object to staged so
+// readers cannot observe it before its record is durable, and
+// reserves the record's log position. With no journal the object
+// stays visible — it is already committed — and the ticket is nil.
+// Assumes db.mu is held.
+func (db *DB) stageCommitLocked(rec *walOp, id core.ID) (*wal.Ticket, error) {
+	if db.wal == nil {
+		return nil, nil
 	}
-	return j
+	db.demoteLocked(id)
+	t, err := db.enqueueLocked(rec)
+	if err != nil {
+		db.unstageLocked(id)
+		return nil, err
+	}
+	return t, nil
 }
 
 // demoteLocked moves a freshly inserted object from the visible map
@@ -582,15 +651,15 @@ func (db *DB) demoteLocked(id core.ID) {
 	delete(db.objects, id)
 }
 
-// commitObject journals rec (nil j means no journal: nothing to do)
-// and then publishes the staged object, or rolls it back when the
-// append failed. Runs outside db.mu so concurrent mutators share
-// group commits.
-func (db *DB) commitObject(j wal.Appender, rec *walOp, id core.ID) error {
-	if j == nil {
+// commitObject waits for the staged object's journal record to become
+// durable (nil t means no journal: nothing to do) and then publishes
+// it, or rolls it back when the commit failed. Runs outside db.mu so
+// concurrent mutators share group commits.
+func (db *DB) commitObject(t *wal.Ticket, id core.ID) error {
+	if t == nil {
 		return nil
 	}
-	err := db.appendRecord(j, rec)
+	err := db.waitRecord(t)
 	db.mu.Lock()
 	if err != nil {
 		db.unstageLocked(id)

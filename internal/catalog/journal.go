@@ -28,10 +28,13 @@ import (
 // Records carry a monotonic sequence number and the snapshot records
 // the last applied one, so replay is idempotent: a crash between a
 // checkpoint's file rename and its compaction merely leaves records
-// that replay skips. One sequence base covers the whole log — group
-// commit queues frames in enqueue order and a rotation can land
-// between two commits, so neighboring sequence numbers may sit in
-// different segments.
+// that replay skips. Sequence numbers are assigned and the frame's
+// log position reserved in one db.mu critical section (enqueueLocked),
+// so log order equals sequence order — the invariant the replication
+// feed's from_seq resume and the follower's local checkpoints rely
+// on. Replay itself stays order-tolerant (one fixed sequence base for
+// the whole log, not a running maximum) so logs written by earlier
+// versions, whose group commits could reorder frames, still recover.
 //
 // Databases written before segmentation keep their single
 // dir/journal.log; it replays first (its records predate every
@@ -237,34 +240,35 @@ func (db *DB) SyncJournal() error {
 // used only by Delete, which must stay fully serialized: its blob
 // garbage collection is destructive, so the record has to be durable
 // before the apply, and no competing mutation may slip between
-// validation and removal. Object adds instead go through
-// prepareLocked + appendRecord outside the lock. A nil journal is a
-// no-op. On failure the caller must undo the in-memory mutation, but
-// the sequence number is never reused: a record that failed only at
-// fsync may still be on disk intact, and a later acknowledged record
-// written under the same seq would be skipped on replay in favor of
-// the rolled-back one. Gaps are harmless to the replay skip check.
+// validation and removal. Object adds instead enqueue under the lock
+// and wait for durability outside it (see enqueueLocked). A nil
+// journal is a no-op. On failure the caller must undo the in-memory
+// mutation, but the sequence number is never reused: a record that
+// failed only at fsync may still be on disk intact, and a later
+// acknowledged record written under the same seq would be skipped on
+// replay in favor of the rolled-back one. Gaps are harmless to the
+// replay skip check.
 func (db *DB) journalOp(rec *walOp) error {
-	j := db.prepareLocked(rec)
-	if j == nil {
-		return nil
-	}
-	return db.appendRecord(j, rec)
-}
-
-// appendRecord encodes rec and appends it to j, recording the
-// journal-append stage latency. Called outside db.mu (group commits
-// from concurrent mutators coalesce in the wal layer); Delete calls
-// it under db.mu via journalOp.
-func (db *DB) appendRecord(j wal.Appender, rec *walOp) error {
-	data, err := encodeOp(rec)
-	if err != nil {
+	t, err := db.enqueueLocked(rec)
+	if err != nil || t == nil {
 		return err
 	}
+	return db.waitRecord(t)
+}
+
+// waitRecord blocks until an enqueued record's group commit resolves,
+// recording the journal-append stage latency. Called outside db.mu
+// (group commits from concurrent mutators coalesce in the wal layer);
+// Delete calls it under db.mu via journalOp. nil tickets (no journal)
+// are a no-op.
+func (db *DB) waitRecord(t *wal.Ticket) error {
+	if t == nil {
+		return nil
+	}
 	start := time.Now()
-	err = j.Append(data)
-	if t := db.tel.Load(); t != nil {
-		t.journal.Observe(time.Since(start))
+	err := t.Wait()
+	if tel := db.tel.Load(); tel != nil {
+		tel.journal.Observe(time.Since(start))
 	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
@@ -286,10 +290,10 @@ func (db *DB) syncBlob(id blob.ID) error {
 // segment), then the WAL segments in index order. One sequence base is
 // fixed up front for the whole log — records already captured by the
 // snapshot/chain are identified against that base, not a running
-// maximum, because group commit writes frames in enqueue order (seq 5
-// may precede seq 3) and neighboring seqs may land in different
-// segments across a rotation. Assumes db.mu is held (or the DB is not
-// yet shared).
+// maximum: logs written before log order was pinned to sequence order
+// (see enqueueLocked) could hold reordered frames (seq 5 preceding
+// seq 3), and neighboring seqs may land in different segments across
+// a rotation. Assumes db.mu is held (or the DB is not yet shared).
 func (db *DB) replayAllLocked(dir string) error {
 	base := db.seq
 	if err := db.replayFileLocked(JournalFile(dir), base); err != nil {
@@ -355,6 +359,22 @@ func (db *DB) applyWalLocked(base uint64, data []byte) error {
 		db.recovery.JournalSkipped++
 		return nil
 	}
+	if err := db.applyOpLocked(rec); err != nil {
+		return err
+	}
+	if rec.Seq > db.seq {
+		db.seq = rec.Seq
+	}
+	db.recovery.JournalRecords++
+	return nil
+}
+
+// applyOpLocked applies one decoded journal record to the in-memory
+// graph — the shared core of crash replay (applyWalLocked) and
+// replication apply (ApplyReplicated). It neither checks sequence
+// numbers nor advances db.seq; callers own both. Assumes db.mu is
+// held.
+func (db *DB) applyOpLocked(rec *walOp) error {
 	switch rec.Kind {
 	case opInterp:
 		var exp interp.Exported
@@ -410,9 +430,5 @@ func (db *DB) applyWalLocked(base uint64, data []byte) error {
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrReplay, rec.Kind)
 	}
-	if rec.Seq > db.seq {
-		db.seq = rec.Seq
-	}
-	db.recovery.JournalRecords++
 	return nil
 }

@@ -1,0 +1,106 @@
+package catalog
+
+// Replication surface: the small set of catalog hooks internal/repl
+// builds on. A primary ships its journal frames verbatim (they are
+// already idempotent, seq-stamped, and — since enqueueLocked — laid
+// out in sequence order); a follower applies them through the same
+// code path crash replay uses and re-journals the identical bytes
+// locally, so a promoted follower's log is byte-compatible with the
+// primary's acked prefix.
+
+import (
+	"fmt"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/wal"
+)
+
+// Seq returns the sequence number of the newest mutation this catalog
+// has accepted. On a primary that includes records whose group commit
+// is still in flight; on a follower it is exactly the last applied
+// replicated record, which is what a feed resume sends as from_seq.
+func (db *DB) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// WALDurableBoundary reports the attached journal's active segment
+// index and durable byte offset within it, when the journal can name
+// one (a segmented WAL, possibly behind a fault wrapper). The
+// replication feed reads sealed segments whole and the active segment
+// only up to this boundary, so it never ships bytes a crash could
+// roll back.
+func (db *DB) WALDurableBoundary() (seg uint64, off int64, ok bool) {
+	db.mu.RLock()
+	j := db.wal
+	db.mu.RUnlock()
+	if b, has := j.(interface{ DurableBoundary() (uint64, int64) }); has {
+		seg, off = b.DurableBoundary()
+		return seg, off, true
+	}
+	return 0, 0, false
+}
+
+// RecordInfo decodes the routing metadata of one encoded journal
+// record without applying it: its sequence number, operation kind,
+// and — for interpretation records — the BLOB whose payload must be
+// present before the record can apply. The feed server uses the seq
+// to filter frames; the follower uses the blob ID to fetch payloads
+// ahead of apply.
+func RecordInfo(data []byte) (seq uint64, kind string, blobID blob.ID, err error) {
+	rec, err := decodeOp(data)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	if rec.Kind == opInterp {
+		blobID = rec.Blob
+	}
+	return rec.Seq, rec.Kind, blobID, nil
+}
+
+// ApplyReplicated applies one journal record received from a
+// replication feed: the mutation is applied to the in-memory graph at
+// its recorded IDs, db.seq advances to the record's seq, and the
+// identical bytes are re-journaled locally so the follower's own WAL
+// stays a faithful copy of the primary's acked prefix. Records at or
+// below the current seq are skipped (the feed replays from a resume
+// point, so duplicates are expected and harmless). Returns the
+// catalog's seq after the call.
+//
+// The feed delivers records in sequence order; ApplyReplicated must
+// not be called concurrently with itself or with local mutations —
+// a follower has exactly one tailer and rejects writes.
+//
+// An error after the in-memory apply (the local journal append
+// failing) leaves memory ahead of disk; the caller must treat it like
+// a crash and reload the catalog from its directory rather than
+// continue applying.
+func (db *DB) ApplyReplicated(data []byte) (uint64, error) {
+	rec, err := decodeOp(data)
+	if err != nil {
+		return 0, err
+	}
+	db.commitGate.RLock()
+	defer db.commitGate.RUnlock()
+	db.mu.Lock()
+	if rec.Seq <= db.seq {
+		seq := db.seq
+		db.mu.Unlock()
+		return seq, nil
+	}
+	if err := db.applyOpLocked(rec); err != nil {
+		db.mu.Unlock()
+		return 0, fmt.Errorf("catalog: apply replicated seq %d: %w", rec.Seq, err)
+	}
+	db.seq = rec.Seq
+	var t *wal.Ticket
+	if db.wal != nil {
+		t = db.wal.Enqueue(data)
+	}
+	db.mu.Unlock()
+	if err := db.waitRecord(t); err != nil {
+		return 0, err
+	}
+	return rec.Seq, nil
+}

@@ -1,0 +1,75 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flock is per open file description on Linux, so a second LockDir in
+// the same process conflicts exactly like one from another process.
+func TestLockDirConflict(t *testing.T) {
+	dir := t.TempDir()
+	l, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Unlock()
+	if l.Path() != filepath.Join(dir, LockFileName) {
+		t.Errorf("lock path = %q", l.Path())
+	}
+
+	_, err = LockDir(dir)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second lock: got %v, want ErrLocked", err)
+	}
+	// The error names the holder so an operator knows what to kill.
+	if want := fmt.Sprintf("%d", os.Getpid()); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name holder pid %s", err, want)
+	}
+}
+
+func TestLockDirUnlockReleases(t *testing.T) {
+	dir := t.TempDir()
+	l, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("relock after unlock: %v", err)
+	}
+	if err := l2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlock is nil-safe and idempotent.
+	if err := l2.Unlock(); err != nil {
+		t.Errorf("double unlock: %v", err)
+	}
+	var nilLock *DirLock
+	if err := nilLock.Unlock(); err != nil {
+		t.Errorf("nil unlock: %v", err)
+	}
+}
+
+func TestLockDirCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub", "data")
+	l, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Unlock()
+	data, err := os.ReadFile(l.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%d\n", os.Getpid()); string(data) != want {
+		t.Errorf("lock file = %q, want %q", data, want)
+	}
+}

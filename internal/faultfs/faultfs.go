@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"timedmedia/internal/blob"
 	"timedmedia/internal/durable"
@@ -35,7 +36,7 @@ type Rule struct {
 	// Op names the operation to intercept: "create", "open",
 	// "append", "readspan", "delete", "ids", "sync",
 	// "journal.append", "journal.reset", "journal.rotate",
-	// "journal.compact".
+	// "journal.compact", "net.request", "net.read".
 	Op string
 	// Nth fires on the Nth matching call, 1-based.
 	Nth int
@@ -44,9 +45,15 @@ type Rule struct {
 	Times int
 	// Err is the error to return; nil means ErrInjected.
 	Err error
-	// Short, for "append" only, writes the first half of the data
-	// before failing — a torn write.
+	// Short, for "append" and "net.read", delivers the first half of
+	// the data before failing — a torn write (or a feed cut
+	// mid-frame).
 	Short bool
+	// Delay sleeps this long before the call proceeds. A rule with a
+	// Delay and neither Err nor Short is delay-only — the call
+	// succeeds slowly (a slow peer); set Err explicitly (e.g.
+	// ErrInjected) to combine delay with failure.
+	Delay time.Duration
 }
 
 func (r Rule) err() error {
@@ -95,10 +102,20 @@ func (in *Injector) Count(op string) int {
 }
 
 // check counts one call to op and returns the scheduled fault, if
-// any. The bool reports whether a short write was requested.
+// any. The bool reports whether a short write was requested. A rule's
+// Delay is slept here, outside the injector lock, so a slow-peer rule
+// stalls only the faulted call.
 func (in *Injector) check(op string) (error, bool) {
+	err, short, delay := in.checkLocked(op)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err, short
+}
+
+func (in *Injector) checkLocked(op string) (error, bool, time.Duration) {
 	if in == nil {
-		return nil, false
+		return nil, false, 0
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -114,10 +131,13 @@ func (in *Injector) check(op string) (error, bool) {
 		last := r.Nth + r.Times
 		if n == r.Nth || (n > r.Nth && (r.Times < 0 || n <= last)) {
 			in.fired++
-			return r.err(), r.Short
+			if r.Delay > 0 && r.Err == nil && !r.Short {
+				return nil, false, r.Delay // delay-only: slow, not broken
+			}
+			return r.err(), r.Short, r.Delay
 		}
 	}
-	return nil, false
+	return nil, false, 0
 }
 
 // Store wraps a blob.Store with fault injection.
@@ -248,6 +268,28 @@ func (j *Journal) AppendBatch(records [][]byte) error {
 	return j.inner.AppendBatch(records)
 }
 
+// Enqueue implements wal.Appender. The injection point is at enqueue
+// time — the same place a real enqueue reserves its log position — so
+// a scheduled fault resolves the ticket immediately without touching
+// the inner journal.
+func (j *Journal) Enqueue(data []byte) *wal.Ticket {
+	if err, _ := j.inj.check("journal.append"); err != nil {
+		return wal.ErrTicket(err)
+	}
+	return j.inner.Enqueue(data)
+}
+
+// EnqueueBatch implements wal.Appender; per-record injection slots,
+// like AppendBatch.
+func (j *Journal) EnqueueBatch(records [][]byte) *wal.Ticket {
+	for range records {
+		if err, _ := j.inj.check("journal.append"); err != nil {
+			return wal.ErrTicket(err)
+		}
+	}
+	return j.inner.EnqueueBatch(records)
+}
+
 // Reset implements wal.Appender.
 func (j *Journal) Reset() error {
 	if err, _ := j.inj.check("journal.reset"); err != nil {
@@ -300,4 +342,11 @@ func (j *SegmentedJournal) CompactThrough(through uint64) (int, error) {
 		return 0, err
 	}
 	return j.inner.CompactThrough(through)
+}
+
+// DurableBoundary forwards wal.Segmented.DurableBoundary, so a
+// replication feed over a fault-injected catalog still sees the real
+// acked boundary.
+func (j *SegmentedJournal) DurableBoundary() (uint64, int64) {
+	return j.inner.DurableBoundary()
 }

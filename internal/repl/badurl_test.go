@@ -1,0 +1,34 @@
+package repl
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// A primary URL that fails request construction must surface as an
+// error from every fetch path, not a panic or a silent retry loop.
+func TestUnbuildableRequests(t *testing.T) {
+	f := newBareFollower(t, "http://bad url", t.TempDir())
+	ctx := context.Background()
+	if err := f.tailOnce(ctx); err == nil {
+		t.Error("tailOnce built a request from an invalid URL")
+	}
+	if err := f.fetchBlobs(ctx); err == nil {
+		t.Error("fetchBlobs built a request from an invalid URL")
+	}
+	if err := f.ensureBlob(ctx, 5); err == nil {
+		t.Error("ensureBlob built a request from an invalid URL")
+	}
+	if err := f.bootstrap(ctx); err == nil {
+		t.Error("bootstrap built a request from an invalid URL")
+	}
+}
+
+func TestInstallBlobCreateFailure(t *testing.T) {
+	f := &Follower{dir: "/nonexistent/replica/dir", client: &http.Client{}}
+	if err := f.installBlob(1, strings.NewReader("x"), 1); err == nil {
+		t.Error("install into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,131 @@
+package repl
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/fixtures"
+)
+
+// A catalog without a segmented journal (the in-memory test setup) can
+// still serve snapshots, but has no WAL to stream: the feed refuses
+// rather than hanging a follower on a silent empty stream.
+func TestPrimaryWithoutSegmentedJournal(t *testing.T) {
+	db := fixtures.NewMemDB()
+	if _, err := db.Ingest("clip", fixtures.Video(3, 32, 24, 5), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPrimary(db, nil, t.TempDir(), nil)
+
+	rec := httptest.NewRecorder()
+	p.HandleWAL(rec, httptest.NewRequest("GET", "/v1/repl/wal?from_seq=0", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("wal without segmented journal = %d, want 500", rec.Code)
+	}
+	if _, ok := p.startCursor(); ok {
+		t.Error("startCursor ok without a segmented journal")
+	}
+
+	// Snapshot still works, with X-Repl-Seq from the live sequence
+	// number since there is no manifest to pin it.
+	rec = httptest.NewRecorder()
+	p.HandleSnapshot(rec, httptest.NewRequest("GET", "/v1/repl/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Repl-Seq"); got != strconv.FormatUint(db.Seq(), 10) {
+		t.Errorf("X-Repl-Seq = %q, want %d", got, db.Seq())
+	}
+	if rec.Body.Len() == 0 {
+		t.Error("snapshot body empty")
+	}
+}
+
+func TestHandleSnapshotSaveFailure(t *testing.T) {
+	// A regular file where the database directory should be: Save
+	// cannot create the directory and must surface the error.
+	notDir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPrimary(fixtures.NewMemDB(), nil, notDir, nil)
+	rec := httptest.NewRecorder()
+	p.HandleSnapshot(rec, httptest.NewRequest("GET", "/v1/repl/snapshot", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("snapshot into unwritable dir = %d, want 500", rec.Code)
+	}
+}
+
+// backlog is the byte-lag estimate carried on heartbeats: zero at the
+// durable boundary, positive behind it, and tolerant of segments that
+// compaction already deleted.
+func TestBacklogEstimate(t *testing.T) {
+	tp := newTestPrimary(t, catalog.WithWALSegmentRecords(2))
+	for i := 0; i < 5; i++ {
+		tp.ingest(t, "clip"+strconv.Itoa(i), 3, int64(i))
+	}
+	durSeg, durOff, ok := tp.db.WALDurableBoundary()
+	if !ok {
+		t.Fatal("no durable boundary")
+	}
+	if got := tp.p.backlog(cursor{seg: durSeg, off: durOff}, durSeg, durOff); got != 0 {
+		t.Errorf("backlog at boundary = %d, want 0", got)
+	}
+	behind := tp.p.backlog(cursor{seg: 1}, durSeg, durOff)
+	if behind == 0 {
+		t.Error("backlog from segment 1 = 0, want > 0")
+	}
+	if mid := tp.p.backlog(cursor{seg: 1, off: 8}, durSeg, durOff); mid != behind-8 {
+		t.Errorf("backlog with mid-segment offset = %d, want %d", mid, behind-8)
+	}
+
+	// Compact everything; a cursor pointing at deleted segments counts
+	// only what still exists.
+	if err := tp.db.Save(tp.dir); err != nil {
+		t.Fatal(err)
+	}
+	durSeg, durOff, _ = tp.db.WALDurableBoundary()
+	if got := tp.p.backlog(cursor{seg: 1}, durSeg, durOff); got != uint64(durOff) {
+		t.Errorf("backlog over compacted segments = %d, want %d (active only)", got, durOff)
+	}
+}
+
+// HandleBlobs skips payloads it cannot open (quarantined, or deleted
+// under the listing) instead of failing the whole inventory: the
+// follower would fail to fetch them anyway.
+func TestHandleBlobsSkipsUnopenable(t *testing.T) {
+	tp := newTestPrimary(t)
+	tp.ingest(t, "a", 3, 1)
+	tp.ingest(t, "b", 3, 2)
+
+	// Payload 1 vanishes between listing and open (a raced delete).
+	path := filepath.Join(tp.dir, blob.FileName(blob.ID(1)))
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	tp.p.HandleBlobs(rec, httptest.NewRequest("GET", "/v1/repl/blobs", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("blobs = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var infos []blobInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	for _, bi := range infos {
+		if bi.ID == 1 {
+			t.Errorf("missing blob 1 still listed: %+v", infos)
+		}
+	}
+	if len(infos) == 0 {
+		t.Error("inventory empty, want the intact blob")
+	}
+}

@@ -1,0 +1,129 @@
+// Package repl implements WAL-shipping replication for the catalog: a
+// primary serves its journal as an HTTP feed, followers bootstrap from
+// a streamed snapshot and tail the feed through the catalog's
+// idempotent replay path, re-journaling the identical bytes locally so
+// a promoted follower's log is byte-compatible with the primary's
+// acked prefix.
+//
+// Feed endpoints (mounted by the primary):
+//
+//	GET /v1/repl/snapshot       fresh full snapshot (a TBMSNAP2
+//	                            container); X-Repl-Seq names its seq
+//	GET /v1/repl/wal?from_seq=N long-poll stream of RPF1 frames:
+//	                            journal records with seq > N, heartbeats
+//	                            carrying the primary's seq and byte
+//	                            backlog, and a gone marker when
+//	                            compaction outran the follower
+//	                            (a too-old from_seq is 410 up front)
+//	GET /v1/repl/blobs          JSON list of payload files
+//	GET /v1/repl/blob/{id}      one payload's bytes
+//
+// Frame format ("RPF1"):
+//
+//	magic   [4]byte  "RPF1"
+//	type    byte     'R' record / 'H' heartbeat / 'E' gone
+//	seq     uint64   record seq; primary seq on 'H'; checkpoint seq on 'E'
+//	backlog uint64   'H' only: durable WAL bytes not yet shipped
+//	length  uint32   payload length ('R' only; 0 otherwise)
+//	crc     uint32   CRC-32C over the payload
+//	payload [length]byte
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"timedmedia/internal/wal"
+)
+
+// Frame types.
+const (
+	TypeRecord    byte = 'R' // one journal record payload
+	TypeHeartbeat byte = 'H' // primary's current seq + byte backlog
+	TypeGone      byte = 'E' // compaction outran the follower: re-bootstrap
+)
+
+var frameMagic = [4]byte{'R', 'P', 'F', '1'}
+
+const frameHeaderLen = 4 + 1 + 8 + 8 + 4 + 4
+
+// MaxFramePayload bounds a record payload; journal records are bounded
+// the same way, so anything larger is corruption, not data.
+const MaxFramePayload = wal.MaxRecordLen
+
+// ErrBadFrame reports a feed frame that failed framing or checksum
+// validation — the reader must drop the connection and resume.
+var ErrBadFrame = errors.New("repl: bad feed frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one feed message.
+type Frame struct {
+	Type    byte
+	Seq     uint64
+	Backlog uint64
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:4], frameMagic[:])
+	hdr[4] = f.Type
+	binary.BigEndian.PutUint64(hdr[5:], f.Seq)
+	binary.BigEndian.PutUint64(hdr[13:], f.Backlog)
+	binary.BigEndian.PutUint32(hdr[21:], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(hdr[25:], crc32.Checksum(f.Payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads and validates one frame from r. io.EOF at a frame
+// boundary passes through unchanged (the stream ended); a tear inside
+// a frame or a checksum mismatch is ErrBadFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: torn header: %v", ErrBadFrame, err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	f := Frame{
+		Type:    hdr[4],
+		Seq:     binary.BigEndian.Uint64(hdr[5:]),
+		Backlog: binary.BigEndian.Uint64(hdr[13:]),
+	}
+	switch f.Type {
+	case TypeRecord, TypeHeartbeat, TypeGone:
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown type %q", ErrBadFrame, f.Type)
+	}
+	n := binary.BigEndian.Uint32(hdr[21:])
+	if n > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("%w: torn payload: %v", ErrBadFrame, err)
+		}
+	}
+	if crc32.Checksum(f.Payload, castagnoli) != binary.BigEndian.Uint32(hdr[25:]) {
+		return Frame{}, fmt.Errorf("%w: payload checksum mismatch", ErrBadFrame)
+	}
+	return f, nil
+}

@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeRecord, Seq: 42, Payload: []byte("journal record bytes")},
+		{Type: TypeHeartbeat, Seq: 99, Backlog: 1 << 20},
+		{Type: TypeGone, Seq: 7},
+		{Type: TypeRecord, Seq: 43, Payload: []byte{}},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Backlog != want.Backlog ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	// Stream exhausted at a frame boundary: clean EOF, not ErrBadFrame.
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("at end: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	encode := func(f Frame) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	rec := encode(Frame{Type: TypeRecord, Seq: 1, Payload: []byte("payload")})
+
+	cases := map[string][]byte{
+		"bad magic":     append([]byte("XXXX"), rec[4:]...),
+		"unknown type":  append(append(append([]byte{}, rec[:4]...), 'Z'), rec[5:]...),
+		"flipped crc":   flip(rec, 27), // crc lives at header bytes 25..28
+		"torn header":   rec[:10],
+		"torn payload":  rec[:len(rec)-3],
+		"flipped bytes": flip(rec, len(rec)-1), // payload bit flip fails the crc
+	}
+	for name, data := range cases {
+		_, err := ReadFrame(bytes.NewReader(data))
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0xff
+	return out
+}

@@ -62,6 +62,9 @@ type batchReply struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.writeAllowed(w) {
+		return
+	}
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	dec.DisallowUnknownFields()

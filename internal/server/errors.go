@@ -30,6 +30,8 @@ const (
 	CodeJournal      = "journal_failed"
 	CodeBadRequest   = "bad_request"
 	CodeOverloaded   = "overloaded"
+	CodeReadOnly     = "read_only"
+	CodeNotReady     = "not_ready"
 	CodeInternal     = "internal"
 )
 

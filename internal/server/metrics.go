@@ -64,6 +64,8 @@ func (s *Server) writePromCounters(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE tbm_expcache_compute_seconds_total counter\ntbm_expcache_compute_seconds_total %g\n",
 		float64(c.ComputeNanos)/1e9)
 
+	promCounter(w, "tbm_blob_corruptions_total", "payload files quarantined on checksum mismatch", s.db.BlobCorruptions())
+
 	promCounter(w, "tbm_journal_appends_total", "journal records appended", j.Appends)
 	promCounter(w, "tbm_journal_bytes_appended_total", "journal bytes appended", j.BytesAppended)
 	promCounter(w, "tbm_journal_syncs_total", "journal fsyncs", j.Syncs)

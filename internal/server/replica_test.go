@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/fixtures"
+)
+
+// replicaServer builds a server configured the way tbmserve configures
+// a follower: not ready until the flag flips, writes rejected toward
+// the primary, replication status merged into /healthz.
+func replicaServer(t *testing.T) (*httptest.Server, *struct {
+	ready    bool
+	promoted bool
+}) {
+	t.Helper()
+	state := &struct {
+		ready    bool
+		promoted bool
+	}{}
+	db := fixtures.NewMemDB()
+	if _, err := db.Ingest("clip", fixtures.Video(4, 32, 24, 9), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db,
+		WithReadiness(func() (bool, string) {
+			if state.ready {
+				return true, ""
+			}
+			return false, "replica catching up: applied seq 3, primary at 9"
+		}),
+		WithWriteGate(func() (bool, string) {
+			if state.promoted {
+				return true, ""
+			}
+			return false, "http://primary.example:8080"
+		}),
+		WithReplStatus(func() any {
+			return map[string]any{"role": "follower", "lag_seqs": 6}
+		}),
+	)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, state
+}
+
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	ts, state := replicaServer(t)
+
+	// Liveness stays 200 regardless of catch-up state, and carries the
+	// replication block.
+	body := get(t, ts.URL+"/healthz", http.StatusOK)
+	var health struct {
+		Status      string `json:"status"`
+		Replication struct {
+			Role    string `json:"role"`
+			LagSeqs int    `json:"lag_seqs"`
+		} `json:"replication"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Replication.Role != "follower" || health.Replication.LagSeqs != 6 {
+		t.Errorf("healthz = %s", body)
+	}
+
+	// Readiness is 503 with a JSON reason while behind...
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	notReady, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while catching up = %d (%s)", resp.StatusCode, notReady)
+	}
+	var nr struct{ Status, Reason string }
+	if err := json.Unmarshal(notReady, &nr); err != nil {
+		t.Fatal(err)
+	}
+	if nr.Status != "not_ready" || !strings.Contains(nr.Reason, "catching up") {
+		t.Errorf("readyz body = %s", notReady)
+	}
+
+	// ...and 200 once caught up.
+	state.ready = true
+	body = get(t, ts.URL+"/v1/readyz", http.StatusOK)
+	if !strings.Contains(string(body), "ready") {
+		t.Errorf("ready body = %s", body)
+	}
+}
+
+func TestReadyzDefaultsReadyWithoutOption(t *testing.T) {
+	ts, _ := testServer(t)
+	get(t, ts.URL+"/v1/readyz", http.StatusOK)
+	// And /healthz has no replication block on a standalone node.
+	body := get(t, ts.URL+"/healthz", http.StatusOK)
+	if strings.Contains(string(body), "replication") {
+		t.Errorf("standalone healthz mentions replication: %s", body)
+	}
+}
+
+func TestWriteGateRejectsMutations(t *testing.T) {
+	ts, state := replicaServer(t)
+
+	check409 := func(resp *http.Response, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("replica write = %d (%s), want 409", resp.StatusCode, body)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Code != CodeReadOnly || !strings.Contains(env.Error.Message, "http://primary.example:8080") {
+			t.Errorf("envelope = %s", body)
+		}
+		if got := resp.Header.Get("X-Primary"); got != "http://primary.example:8080" {
+			t.Errorf("X-Primary = %q", got)
+		}
+	}
+	check409(http.Post(ts.URL+"/v1/objects/clip/cut?out=c&from=0&to=2", "", nil))
+	check409(http.Post(ts.URL+"/v1/objects:batch", "application/json",
+		strings.NewReader(`{"items":[{"name":"x","kind":"video","frames":1}]}`)))
+
+	// Reads keep flowing on the gated replica.
+	get(t, ts.URL+"/v1/objects/clip", http.StatusOK)
+
+	// Promotion flips the gate: the same request now mutates.
+	state.promoted = true
+	get(t, ts.URL+"/v1/objects/clip", http.StatusOK)
+	resp, err := http.Post(ts.URL+"/v1/objects/clip/cut?out=c&from=0&to=2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-promotion cut = %d (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestWithRouteMountsExtraHandler(t *testing.T) {
+	db := fixtures.NewMemDB()
+	srv := New(db, WithRoute("GET /v1/repl/ping", "repl_ping",
+		func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("pong")) }))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	if body := get(t, ts.URL+"/v1/repl/ping", http.StatusOK); string(body) != "pong" {
+		t.Errorf("extra route body = %q", body)
+	}
+}
+
+func TestBlobCorruptionsMetricExposed(t *testing.T) {
+	ts, _ := testServer(t)
+	body := get(t, ts.URL+"/metrics", http.StatusOK)
+	if !strings.Contains(string(body), "tbm_blob_corruptions_total 0") {
+		t.Error("metrics exposition missing tbm_blob_corruptions_total")
+	}
+}

@@ -26,7 +26,14 @@
 //	GET /v1/debug/trace                     recent request traces (JSON)
 //	GET /metrics                            Prometheus text exposition;
 //	                                        JSON under Accept: application/json
-//	GET /healthz                            liveness probe
+//	GET /healthz                            liveness probe (+ replication status
+//	                                        when the node replicates)
+//	GET /v1/readyz                          readiness probe: 503 + reason while a
+//	                                        replica is catching up
+//
+// A replica additionally rejects the mutating routes with 409
+// read_only (X-Primary names where to write) and mounts the
+// replication feed endpoints of internal/repl via WithRoute.
 //
 // Every response carries an X-Request-ID header; API errors are JSON
 // envelopes {"error":{"code":"...","message":"..."}} (see errors.go).
@@ -67,6 +74,15 @@ type serverConfig struct {
 	registry       *telemetry.Registry
 	accessLog      *slog.Logger
 	traceCapacity  int
+	readiness      func() (bool, string)
+	writeGate      func() (bool, string)
+	replStatus     func() any
+	extraRoutes    []extraRoute
+}
+
+type extraRoute struct {
+	pattern, name string
+	h             http.HandlerFunc
 }
 
 // WithMaxInFlight bounds concurrent requests to n; n <= 0 removes the
@@ -100,12 +116,46 @@ func WithTraceCapacity(n int) Option {
 	return func(c *serverConfig) { c.traceCapacity = n }
 }
 
+// WithReadiness installs the GET /v1/readyz probe: ready() false makes
+// the endpoint answer 503 with the returned reason. Without it the
+// server is ready whenever it is serving. Liveness (/healthz) is
+// unaffected — a catching-up replica is alive but not ready.
+func WithReadiness(ready func() (ok bool, reason string)) Option {
+	return func(c *serverConfig) { c.readiness = ready }
+}
+
+// WithWriteGate guards the mutating routes (cut, batch): when allowed()
+// is false they answer 409 read_only, with the returned primary URL in
+// the message and an X-Primary header so clients can redirect
+// themselves. Replicas install this until promotion.
+func WithWriteGate(allowed func() (ok bool, primary string)) Option {
+	return func(c *serverConfig) { c.writeGate = allowed }
+}
+
+// WithReplStatus merges status() into the /healthz body under
+// "replication", surfacing role, seq, and lag next to liveness.
+func WithReplStatus(status func() any) Option {
+	return func(c *serverConfig) { c.replStatus = status }
+}
+
+// WithRoute mounts an extra handler (e.g. the replication feed or the
+// promote hook) on the server's mux with the same per-route telemetry
+// as the built-in endpoints.
+func WithRoute(pattern, name string, h http.HandlerFunc) Option {
+	return func(c *serverConfig) {
+		c.extraRoutes = append(c.extraRoutes, extraRoute{pattern: pattern, name: name, h: h})
+	}
+}
+
 // Server serves a catalog over HTTP.
 type Server struct {
-	db      *catalog.DB
-	mux     *http.ServeMux
-	handler http.Handler
-	stats   lifecycleStats
+	db         *catalog.DB
+	mux        *http.ServeMux
+	handler    http.Handler
+	stats      lifecycleStats
+	readiness  func() (bool, string)
+	writeGate  func() (bool, string)
+	replStatus func() any
 
 	reg         *telemetry.Registry
 	tracer      *telemetry.Tracer
@@ -147,6 +197,9 @@ func New(db *catalog.DB, opts ...Option) *Server {
 		lookupHist:  reg.Histogram(telemetry.StageFamily, telemetry.StageLookup),
 		payloadHist: reg.Histogram(telemetry.StageFamily, telemetry.StagePayload),
 		accessLog:   cfg.accessLog,
+		readiness:   cfg.readiness,
+		writeGate:   cfg.writeGate,
+		replStatus:  cfg.replStatus,
 	}
 	s.route("GET /v1/objects", "list", s.handleList)
 	s.route("GET /v1/query", "query", s.handleQuery)
@@ -162,6 +215,10 @@ func New(db *catalog.DB, opts ...Option) *Server {
 	s.route("GET /v1/debug/trace", "trace", s.handleTrace)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /v1/readyz", "readyz", s.handleReadyz)
+	for _, er := range cfg.extraRoutes {
+		s.route(er.pattern, er.name, er.h)
+	}
 
 	var slots chan struct{}
 	if cfg.maxInFlight > 0 {
@@ -556,6 +613,9 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
+	if !s.writeAllowed(w) {
+		return
+	}
 	obj, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -646,5 +706,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	out := map[string]any{"status": "ok"}
+	if s.replStatus != nil {
+		out["replication"] = s.replStatus()
+	}
+	writeJSON(w, out)
+}
+
+// handleReadyz is the readiness probe: distinct from /healthz so a
+// load balancer can keep a lagging replica alive but out of rotation.
+// 200 means "safe to route reads here"; 503 carries the reason.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.readiness != nil {
+		if ok, reason := s.readiness(); !ok {
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "not_ready", "reason": reason})
+			return
+		}
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// writeAllowed guards a mutating route behind the write gate. When the
+// node is a replica the response is 409 read_only naming the primary
+// (also in X-Primary, so scripted clients can redirect without parsing
+// the envelope).
+func (s *Server) writeAllowed(w http.ResponseWriter) bool {
+	if s.writeGate == nil {
+		return true
+	}
+	ok, primary := s.writeGate()
+	if ok {
+		return true
+	}
+	msg := "read-only replica: writes must go to the primary"
+	if primary != "" {
+		w.Header().Set("X-Primary", primary)
+		msg += " at " + primary
+	}
+	writeError(w, http.StatusConflict, CodeReadOnly, msg)
+	return false
 }

@@ -33,8 +33,38 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
-// Registry is a set of named histograms and counters. Series are
-// keyed by (family, labels) where labels is a raw Prometheus label
+// Gauge is a settable instantaneous value (replication lag, queue
+// depth). Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a set of named histograms, counters and gauges. Series
+// are keyed by (family, labels) where labels is a raw Prometheus label
 // list such as `route="list"` (empty for none). Get-or-create is
 // idempotent, so independent subsystems can share one registry and
 // ask for the same series. A nil *Registry hands out nil instruments,
@@ -43,6 +73,7 @@ type Registry struct {
 	mu       sync.Mutex
 	hists    map[string]map[string]*Histogram // family -> labels -> series
 	counters map[string]map[string]*Counter
+	gauges   map[string]map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -50,6 +81,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		hists:    map[string]map[string]*Histogram{},
 		counters: map[string]map[string]*Counter{},
+		gauges:   map[string]map[string]*Gauge{},
 	}
 }
 
@@ -97,6 +129,27 @@ func (r *Registry) Counter(family, labels string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge series (family, labels), creating it if
+// needed.
+func (r *Registry) Gauge(family, labels string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.gauges[family]
+	if fam == nil {
+		fam = map[string]*Gauge{}
+		r.gauges[family] = fam
+	}
+	g := fam[labels]
+	if g == nil {
+		g = &Gauge{}
+		fam[labels] = g
+	}
+	return g
+}
+
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format (version 0.0.4): histograms as cumulative
 // _bucket/_sum/_count series with le labels in seconds, counters as
@@ -115,6 +168,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for f := range r.counters {
 		counterFams = append(counterFams, f)
 	}
+	gaugeFams := make([]string, 0, len(r.gauges))
+	for f := range r.gauges {
+		gaugeFams = append(gaugeFams, f)
+	}
 	// Copy the series maps so rendering (which takes snapshots) runs
 	// without the registry lock.
 	histSeries := map[string][]seriesRef[*Histogram]{}
@@ -125,10 +182,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range counterFams {
 		counterSeries[f] = sortedSeries(r.counters[f])
 	}
+	gaugeSeries := map[string][]seriesRef[*Gauge]{}
+	for _, f := range gaugeFams {
+		gaugeSeries[f] = sortedSeries(r.gauges[f])
+	}
 	r.mu.Unlock()
 
 	sort.Strings(histFams)
 	sort.Strings(counterFams)
+	sort.Strings(gaugeFams)
 	for _, fam := range histFams {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
 			return err
@@ -144,6 +206,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range counterSeries[fam] {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, braced(s.labels), s.v.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fam := range gaugeFams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+			return err
+		}
+		for _, s := range gaugeSeries[fam] {
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, braced(s.labels), s.v.Load()); err != nil {
 				return err
 			}

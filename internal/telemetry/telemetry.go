@@ -60,6 +60,25 @@ const (
 	// as count buckets — the le="2^k µs" bucket holds batches of
 	// ≤ 2^k records.
 	WALBatchFamily = "tbm_wal_batch_size"
+
+	// Replication families (see internal/repl). Lag gauges measure the
+	// follower's distance behind the primary: sequence numbers and
+	// journal bytes still to apply.
+	ReplLagSeqsFamily  = "tbm_repl_lag_seqs"
+	ReplLagBytesFamily = "tbm_repl_lag_bytes"
+	// ReplShippedFamily counts records a primary's feed has written to
+	// followers; ReplAppliedFamily counts records a follower applied.
+	ReplShippedFamily = "tbm_repl_records_shipped_total"
+	ReplAppliedFamily = "tbm_repl_records_applied_total"
+	// ReplReconnectsFamily counts feed reconnect attempts after a
+	// stream drop; ReplBootstrapsFamily counts snapshot bootstraps
+	// (initial plus forced re-bootstraps after compaction outran the
+	// follower).
+	ReplReconnectsFamily = "tbm_repl_reconnects_total"
+	ReplBootstrapsFamily = "tbm_repl_bootstraps_total"
+	// BlobCorruptionsFamily counts blob payloads that failed their
+	// CRC sidecar check on open and were quarantined.
+	BlobCorruptionsFamily = "tbm_blob_corruptions_total"
 )
 
 // Stage label values used by the instrumented packages.

@@ -204,37 +204,66 @@ func (s *Segmented) ActivePath() string {
 
 // Append implements Appender.
 func (s *Segmented) Append(data []byte) error {
-	return s.append(func(j *Journal) error { return j.Append(data) }, 1)
+	return s.Enqueue(data).Wait()
 }
 
 // AppendBatch implements Appender.
 func (s *Segmented) AppendBatch(records [][]byte) error {
-	if len(records) == 0 {
-		return nil
-	}
-	return s.append(func(j *Journal) error { return j.AppendBatch(records) }, int64(len(records)))
+	return s.EnqueueBatch(records).Wait()
 }
 
-func (s *Segmented) append(commit func(*Journal) error, n int64) error {
+// Enqueue implements Appender. The rotation read-lock is held from
+// Enqueue until the ticket resolves, so the active segment cannot be
+// sealed (synced, closed) out from under a queued-but-uncommitted
+// frame — the same critical section Append always had, split at the
+// enqueue/wait boundary. The ticket must be waited on or the journal
+// can never rotate again.
+func (s *Segmented) Enqueue(data []byte) *Ticket {
+	return s.enqueue(func(j *Journal) *Ticket { return j.Enqueue(data) }, 1)
+}
+
+// EnqueueBatch implements Appender.
+func (s *Segmented) EnqueueBatch(records [][]byte) *Ticket {
+	if len(records) == 0 {
+		return ErrTicket(nil)
+	}
+	return s.enqueue(func(j *Journal) *Ticket { return j.EnqueueBatch(records) }, int64(len(records)))
+}
+
+func (s *Segmented) enqueue(enq func(*Journal) *Ticket, n int64) *Ticket {
 	s.rot.RLock()
 	if s.closed {
 		s.rot.RUnlock()
-		return ErrClosed
+		return ErrTicket(ErrClosed)
 	}
 	j := s.active
-	err := commit(j)
-	if err == nil {
-		atomic.AddInt64(&s.records, n)
-	}
-	full := err == nil && (j.Size() >= s.maxBytes || atomic.LoadInt64(&s.records) >= s.maxRecords)
-	s.rot.RUnlock()
-	if full {
-		// Opportunistic size-triggered rotation. Losing the race to a
-		// concurrent appender or an explicit Rotate is fine — rotateFrom
-		// re-checks the active index under the write lock.
-		s.rotateFrom(j)
-	}
-	return err
+	inner := enq(j)
+	return &Ticket{wait: func() error {
+		err := inner.Wait()
+		if err == nil {
+			atomic.AddInt64(&s.records, n)
+		}
+		full := err == nil && (j.Size() >= s.maxBytes || atomic.LoadInt64(&s.records) >= s.maxRecords)
+		s.rot.RUnlock()
+		if full {
+			// Opportunistic size-triggered rotation. Losing the race to a
+			// concurrent appender or an explicit Rotate is fine — rotateFrom
+			// re-checks the active index under the write lock.
+			s.rotateFrom(j)
+		}
+		return err
+	}}
+}
+
+// DurableBoundary reports the active segment's index and its durable
+// byte size — the last fully-acknowledged record boundary. A
+// replication feed reads sealed segments whole and the active segment
+// only up to this boundary, so it never ships bytes that a
+// crash-then-rollback could retract.
+func (s *Segmented) DurableBoundary() (idx uint64, size int64) {
+	s.rot.RLock()
+	defer s.rot.RUnlock()
+	return s.idx, s.active.Size()
 }
 
 // rotateFrom seals the active segment if it is still `from` — a

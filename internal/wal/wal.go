@@ -103,6 +103,18 @@ type Appender interface {
 	// records share one frame sequence, one write and one fsync, and
 	// a failure rolls the whole batch back.
 	AppendBatch(records [][]byte) error
+	// Enqueue reserves the record's position in the log without
+	// waiting for durability: the record's log offset is fixed by the
+	// order of Enqueue calls, and the returned Ticket's Wait blocks
+	// until the group commit lands (or fails). Append is exactly
+	// Enqueue followed by Wait. The split lets a caller assign its
+	// own sequence numbers and enqueue under the same lock, so log
+	// order provably equals sequence order. Every Ticket MUST be
+	// waited on.
+	Enqueue(data []byte) *Ticket
+	// EnqueueBatch is Enqueue for an atomic batch: all records take
+	// consecutive log positions and share one commit outcome.
+	EnqueueBatch(records [][]byte) *Ticket
 	// Reset truncates the journal after a successful snapshot.
 	Reset() error
 	// Sync flushes without appending (used at shutdown).
@@ -130,6 +142,33 @@ type pending struct {
 	done   chan error
 }
 
+// Ticket is the handle for an enqueued-but-unacknowledged append. Wait
+// blocks until the record's group commit lands and returns its
+// outcome; it is idempotent and safe to call from any goroutine, but
+// every ticket must be waited on at least once — an abandoned ticket
+// leaks the resources (straggler accounting, rotation read-lock) that
+// Enqueue reserved.
+type Ticket struct {
+	once sync.Once
+	wait func() error
+	err  error
+}
+
+// Wait blocks until the enqueued records are durable (or the commit
+// failed) and returns the outcome. Repeated calls return the same
+// result.
+func (t *Ticket) Wait() error {
+	t.once.Do(func() { t.err = t.wait() })
+	return t.err
+}
+
+// ErrTicket returns a ticket that is already resolved to err — the
+// shape fault-injection wrappers need to fail an enqueue before it
+// reaches the real log. err may be nil (an empty batch).
+func ErrTicket(err error) *Ticket {
+	return &Ticket{wait: func() error { return err }}
+}
+
 // Journal is an append-only record log. Safe for concurrent use.
 type Journal struct {
 	mu sync.Mutex
@@ -143,14 +182,16 @@ type Journal struct {
 	fsyncObs FsyncObserver
 	batchObs FsyncObserver
 
-	// Group-commit state: queued appends (guarded by mu), the leader
-	// token (a 1-buffered channel; its holder is the batch leader), the
-	// straggler window, and a count of Append calls currently in flight
-	// (enqueued or about to be) that the leader compares against the
-	// queue length. A channel rather than a mutex because followers
-	// must be able to learn their fate without acquiring anything the
-	// next leader holds: they select on their done channel OR the
-	// token, whichever comes first.
+	// Group-commit state: queued appends (guarded by qmu — a separate,
+	// tiny lock so Enqueue never blocks behind a leader's fsync, which
+	// runs under mu), the leader token (a 1-buffered channel; its
+	// holder is the batch leader), the straggler window, and a count of
+	// appends currently in flight (enqueued or about to be) that the
+	// leader compares against the queue length. A channel rather than
+	// a mutex because followers must be able to learn their fate
+	// without acquiring anything the next leader holds: they select on
+	// their done channel OR the token, whichever comes first.
+	qmu         sync.Mutex
 	queue       []*pending
 	leader      chan struct{}
 	batchWindow time.Duration
@@ -243,14 +284,26 @@ func appendFrame(buf, data []byte) []byte {
 // Append implements Appender. The record is on stable storage when
 // Append returns nil.
 func (j *Journal) Append(data []byte) error {
-	return j.commit(appendFrame(nil, data), 1)
+	return j.Enqueue(data).Wait()
 }
 
 // AppendBatch implements Appender: every record or none. An empty
 // batch is a no-op.
 func (j *Journal) AppendBatch(records [][]byte) error {
+	return j.EnqueueBatch(records).Wait()
+}
+
+// Enqueue implements Appender: the record's log position is fixed (in
+// Enqueue-call order) before Enqueue returns; the returned ticket's
+// Wait runs the group-commit protocol.
+func (j *Journal) Enqueue(data []byte) *Ticket {
+	return j.enqueue(appendFrame(nil, data), 1)
+}
+
+// EnqueueBatch implements Appender.
+func (j *Journal) EnqueueBatch(records [][]byte) *Ticket {
 	if len(records) == 0 {
-		return nil
+		return ErrTicket(nil)
 	}
 	total := 0
 	for _, r := range records {
@@ -260,25 +313,31 @@ func (j *Journal) AppendBatch(records [][]byte) error {
 	for _, r := range records {
 		buf = appendFrame(buf, r)
 	}
-	return j.commit(buf, len(records))
+	return j.enqueue(buf, len(records))
 }
 
-// commit runs the group-commit protocol for one pre-framed append:
-// enqueue, then either be acknowledged by a concurrent leader or
-// acquire the leader token and flush the whole queue with one
-// write+fsync. Followers never need the token to observe their ack —
-// crucial, because the next leader holds it while waiting for
-// stragglers, and the previous batch's followers must not count as
-// stragglers.
-func (j *Journal) commit(frames []byte, n int) error {
+// enqueue reserves the frames' position in the queue. The in-flight
+// count is held until the ticket resolves so a leader's straggler
+// window keeps covering enqueued-but-unwaited tickets.
+func (j *Journal) enqueue(frames []byte, n int) *Ticket {
 	p := &pending{frames: frames, n: n, done: make(chan error, 1)}
 	j.inFlight.Add(1)
-	defer j.inFlight.Add(-1)
-
-	j.mu.Lock()
+	j.qmu.Lock()
 	j.queue = append(j.queue, p)
-	j.mu.Unlock()
+	j.qmu.Unlock()
+	return &Ticket{wait: func() error {
+		defer j.inFlight.Add(-1)
+		return j.finish(p)
+	}}
+}
 
+// finish runs the group-commit protocol for one enqueued append:
+// either be acknowledged by a concurrent leader or acquire the leader
+// token and flush the whole queue with one write+fsync. Followers
+// never need the token to observe their ack — crucial, because the
+// next leader holds it while waiting for stragglers, and the previous
+// batch's followers must not count as stragglers.
+func (j *Journal) finish(p *pending) error {
 	select {
 	case err := <-p.done:
 		// A concurrent leader committed this record.
@@ -296,9 +355,11 @@ func (j *Journal) commit(frames []byte, n int) error {
 	default:
 	}
 	j.waitForStragglers()
-	j.mu.Lock()
+	j.qmu.Lock()
 	batch := j.queue
 	j.queue = nil
+	j.qmu.Unlock()
+	j.mu.Lock()
 	err := j.commitBatchLocked(batch)
 	j.mu.Unlock()
 	for _, q := range batch {
@@ -323,9 +384,9 @@ func (j *Journal) waitForStragglers() {
 	}
 	deadline := time.Now().Add(w)
 	for {
-		j.mu.Lock()
+		j.qmu.Lock()
 		queued := len(j.queue)
-		j.mu.Unlock()
+		j.qmu.Unlock()
 		if int32(queued) >= j.inFlight.Load() || !time.Now().Before(deadline) {
 			return
 		}
@@ -467,6 +528,10 @@ type ReplayResult struct {
 	Torn bool
 	// TornOffset is the byte offset of the tear when Torn.
 	TornOffset int64
+	// Consumed is the byte length of the intact records handed to fn —
+	// the offset a resuming reader should continue from. It excludes
+	// the torn tail and any record fn rejected.
+	Consumed int64
 }
 
 // Replay reads the journal at path and calls fn for each intact
@@ -485,6 +550,13 @@ func Replay(path string, fn func(data []byte) error) (ReplayResult, error) {
 	return replayReader(f, fn)
 }
 
+// ReplayFrames decodes frames from r — exactly Replay, but over any
+// reader, so a replication feed can resume a segment from a byte
+// offset (position the reader, then add ReplayResult.Consumed).
+func ReplayFrames(r io.Reader, fn func(data []byte) error) (ReplayResult, error) {
+	return replayReader(r, fn)
+}
+
 // replayReader decodes frames from r until a clean EOF, a tear, or an
 // fn error. Factored out of Replay so the frame decoder can be fuzzed
 // without a file.
@@ -493,6 +565,7 @@ func replayReader(r io.Reader, fn func(data []byte) error) (ReplayResult, error)
 	var off int64
 	hdr := make([]byte, frameHeaderLen)
 	for {
+		res.Consumed = off
 		if _, err := io.ReadFull(r, hdr); err != nil {
 			if err == io.EOF {
 				return res, nil // clean end
@@ -523,6 +596,7 @@ func replayReader(r io.Reader, fn func(data []byte) error) (ReplayResult, error)
 		}
 		res.Records++
 		off += int64(frameHeaderLen) + int64(n)
+		res.Consumed = off
 	}
 }
 
