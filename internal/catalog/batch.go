@@ -34,14 +34,16 @@ type BatchItem struct {
 }
 
 // AddBatch registers every item or none of them. The whole batch is
-// validated and applied under one lock acquisition and journaled as
+// validated and staged under one lock acquisition and journaled as
 // one WAL batch — a single write + fsync regardless of batch size —
 // which is what makes bulk ingest amortize both locking and
 // durability (the motivation: the paper's workflow "raw material is
 // created and added to the database, and then successively refined
-// and composed" arrives in bulk). On success the returned IDs are in
-// item order. On any error — validation of any item, or the journal
-// append — no object is added and the catalog is unchanged.
+// and composed" arrives in bulk). On ack the whole batch is published
+// as ONE new epoch, so no reader can ever observe half a batch. On
+// success the returned IDs are in item order. On any error —
+// validation of any item, or the journal append — no object is added
+// and the catalog is unchanged.
 func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 	if len(items) == 0 {
 		return nil, nil
@@ -52,57 +54,70 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 	db.mu.Lock()
 	ids := make([]core.ID, 0, len(items))
 	recs := make([]*walOp, 0, len(items))
-	// Items are inserted into the visible maps while db.mu is held —
-	// invisible to readers since none can acquire the lock — so later
-	// items' input validation naturally sees earlier ones. They are
-	// demoted to staged before the lock is released for journaling.
-	undoLocked := func() {
-		for i := len(ids) - 1; i >= 0; i-- {
-			db.demoteLocked(ids[i])
-			db.unstageLocked(ids[i])
-		}
-	}
+	// Items go straight into the staged set — invisible to the
+	// lock-free readers pinning epochs. Later items' input validation
+	// sees earlier ones through the batch-local scratch maps, never
+	// through another writer's in-flight staging.
+	scratch := make(map[core.ID]*core.Object, len(items))
+	localNames := make(map[string]core.ID, len(items))
 	fail := func(i int, name string, err error) ([]core.ID, error) {
-		undoLocked()
+		for j := len(ids) - 1; j >= 0; j-- {
+			db.unstageLocked(ids[j])
+		}
 		db.mu.Unlock()
 		return nil, fmt.Errorf("catalog: batch item %d (%q): %w", i, name, err)
 	}
+	cur := db.cur.Load()
 	for i := range items {
 		it := &items[i]
+		var obj *core.Object
+		var err error
+		var rec *walOp
 		switch {
 		case it.Op != "":
 			inputs := append([]core.ID(nil), it.Inputs...)
 			for _, nm := range it.InputNames {
-				inID, ok := db.byName[nm]
-				if ok {
-					_, ok = db.objects[inID] // staged names are not yet durable
+				inID, ok := cur.shardFor(nm).byName.get(nm)
+				if !ok {
+					inID, ok = localNames[nm]
 				}
 				if !ok {
 					return fail(i, it.Name, fmt.Errorf("%w: input %q", ErrNotFound, nm))
 				}
 				inputs = append(inputs, inID)
 			}
-			id, err := db.addDerivedLocked(0, it.Name, it.Op, inputs, it.Params, it.Attrs)
+			obj, err = db.buildDerivedLocked(it.Name, it.Op, inputs, it.Params, it.Attrs, scratch)
 			if err != nil {
 				return fail(i, it.Name, err)
 			}
-			ids = append(ids, id)
-			recs = append(recs, &walOp{Kind: opDerived, ID: id, Name: it.Name, Op: it.Op,
-				Inputs: inputs, Params: it.Params, Attrs: it.Attrs})
+			rec = &walOp{Kind: opDerived, Name: it.Name, Op: it.Op,
+				Inputs: inputs, Params: it.Params, Attrs: it.Attrs}
 		case it.Blob != 0:
-			id, err := db.addNonDerivedLocked(0, it.Name, it.Blob, it.Track, it.Attrs)
+			obj, err = db.buildNonDerivedLocked(it.Name, it.Blob, it.Track, it.Attrs)
 			if err != nil {
 				return fail(i, it.Name, err)
 			}
-			ids = append(ids, id)
-			recs = append(recs, &walOp{Kind: opNonDerived, ID: id, Name: it.Name,
-				Blob: it.Blob, Track: it.Track, Attrs: it.Attrs})
+			rec = &walOp{Kind: opNonDerived, Name: it.Name,
+				Blob: it.Blob, Track: it.Track, Attrs: it.Attrs}
 		default:
 			return fail(i, it.Name, fmt.Errorf("item defines neither a blob binding nor a derivation"))
 		}
+		id, err := db.stageLocked(obj, 0)
+		if err != nil {
+			return fail(i, it.Name, err)
+		}
+		rec.ID = id
+		scratch[id] = obj
+		localNames[it.Name] = id
+		ids = append(ids, id)
+		recs = append(recs, rec)
 	}
 	var t *wal.Ticket
-	if db.wal != nil {
+	if db.wal == nil {
+		// No journal: the batch is committed by definition. One edit,
+		// one epoch.
+		db.publishLocked(ids...)
+	} else {
 		// Sequence assignment, encode, and the batch's log-position
 		// reservation all happen in this one db.mu section so log order
 		// equals seq order (see enqueueLocked); the fsync wait happens
@@ -116,9 +131,6 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 				return fail(i, rec.Name, err)
 			}
 			frames = append(frames, data)
-		}
-		for _, id := range ids {
-			db.demoteLocked(id)
 		}
 		t = db.wal.EnqueueBatch(frames)
 	}
@@ -134,9 +146,7 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 			db.unstageLocked(ids[i])
 		}
 	} else {
-		for _, id := range ids {
-			db.publishLocked(id)
-		}
+		db.publishLocked(ids...)
 	}
 	db.mu.Unlock()
 	if appendErr != nil {

@@ -15,7 +15,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,37 +46,44 @@ var (
 
 // DB is the multimedia database. Safe for concurrent use.
 //
-// Commit protocol: with a journal attached, a mutation is applied to
-// the in-memory graph under db.mu, staged (hidden from readers), and
-// then journaled *outside* db.mu — concurrent mutators share group
-// commits (see internal/wal) instead of serializing one fsync each,
-// and readers are never blocked by a disk flush. Once the record is
-// durable the object is published; if the append fails it is rolled
-// back, so readers only ever observe acknowledged mutations.
+// Read side: the visible catalog state lives in an immutable epoch
+// View (view.go) — sharded persistent treaps over objects, names,
+// interpretations and every index. Readers pin the current view with
+// one atomic load and run entirely lock-free; a pinned view stays
+// internally consistent forever.
+//
+// Write side / commit protocol: with a journal attached, a mutation
+// is validated against the current view and staged (invisible to
+// every reader) under db.mu, then journaled *outside* db.mu —
+// concurrent mutators share group commits (see internal/wal) instead
+// of serializing one fsync each. Once the record is durable the
+// object is published: a new copy-on-write epoch containing it is
+// built and swapped in atomically. A failed append unstages it, so
+// readers only ever observe acknowledged mutations. db.mu stays a
+// single global writer lock because the WAL's correctness depends on
+// log order equaling sequence order, which requires one critical
+// section per enqueue — but no read ever takes it.
 type DB struct {
 	mu      sync.RWMutex
 	store   blob.Store
 	nextID  core.ID
-	objects map[core.ID]*core.Object
-	byName  map[string]core.ID
-	interps map[blob.ID]*interp.Interpretation
+	nShards int
 
-	// staged holds objects applied in memory whose journal record is
-	// not yet durable: their names are reserved in byName but they
-	// are invisible to every reader until published. stagedInterps is
+	// cur is the published epoch; ring retains recent predecessors for
+	// epoch-pinned reads (ViewAt).
+	cur  atomic.Pointer[View]
+	ring *epochRing
+
+	// staged holds objects whose journal record is not yet durable:
+	// their names are reserved in reservedNames but they are invisible
+	// to every reader until published into a view. stagedInterps is
 	// the same for interpretations.
 	staged        map[core.ID]*core.Object
+	reservedNames map[string]core.ID
 	stagedInterps map[blob.ID]*interp.Interpretation
 
-	// ix holds the secondary indexes (kind/class/attr hash indexes,
-	// provenance adjacency, timeline interval index) over the visible
-	// objects only — see index.go. Guarded by mu; maintained by
-	// insert/demote/publish/delete so it is always exactly the index
-	// of db.objects.
-	ix *indexes
-
 	// commitGate serializes snapshots against in-flight commits:
-	// mutators hold the read side from apply to ack/rollback, and
+	// mutators hold the read side from stage to ack/rollback, and
 	// Save briefly takes the write side so a snapshot never captures
 	// (or races the rollback of) a mutation that is not yet durable.
 	// Lock order: saveMu → commitGate → mu.
@@ -105,14 +111,15 @@ type DB struct {
 	// the same .tmp/.bak files.
 	saveMu sync.Mutex
 
-	// Dirty-state tracking for incremental checkpoints (checkpoint.go):
-	// objects and interpretations touched since the last durable
-	// checkpoint, and the ones deleted since. Mutated only under mu's
-	// write lock; Save/Checkpoint swap the maps out while holding
-	// mu.RLock after the commitGate dance — safe, because every mutator
-	// must take the write lock to stage before it can touch them.
-	dirtyObjs      map[core.ID]struct{}
-	dirtyDelObjs   map[core.ID]struct{}
+	// Dirty-state tracking for incremental checkpoints (checkpoint.go),
+	// partitioned by shard like the views themselves: per shard, the
+	// objects touched since the last durable checkpoint and the ones
+	// deleted since; interpretation dirt stays global (interps are not
+	// sharded). Mutated only under mu's write lock; Save/Checkpoint
+	// swap the sets out while holding mu.RLock after the commitGate
+	// dance — safe, because every mutator must take the write lock to
+	// stage before it can touch them.
+	dirty          []dirtyShard
 	dirtyInterps   map[blob.ID]struct{}
 	dirtyDelInterp map[blob.ID]struct{}
 
@@ -133,6 +140,20 @@ type DB struct {
 	checkpointHook func(stage string)
 }
 
+// dirtyShard tracks one shard's uncheckpointed churn.
+type dirtyShard struct {
+	objs map[core.ID]struct{}
+	del  map[core.ID]struct{}
+}
+
+func newDirtyShards(n int) []dirtyShard {
+	out := make([]dirtyShard, n)
+	for i := range out {
+		out[i] = dirtyShard{objs: map[core.ID]struct{}{}, del: map[core.ID]struct{}{}}
+	}
+	return out
+}
+
 // DefaultWALBatchWindow is the group-commit straggler window applied
 // when no WithWALBatchWindow option is given: how long a journal
 // batch leader waits for concurrent mutators that are mid-append but
@@ -148,6 +169,8 @@ type config struct {
 	walBatchWindow    time.Duration
 	walSegmentBytes   int64
 	walSegmentRecords int64
+	shards            int
+	epochRetention    int
 }
 
 // WithCacheCapacity bounds the expansion cache to n bytes of decoded
@@ -185,11 +208,37 @@ func WithWALSegmentRecords(n int64) Option {
 	return func(c *config) { c.walSegmentRecords = n }
 }
 
+// WithShards partitions the catalog state into n hash-by-name shards.
+// n <= 0 keeps DefaultShards. More shards mean smaller copy-on-write
+// units per commit and finer checkpoint dirty tracking.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithEpochRetention keeps the last n published epochs pinnable via
+// ViewAt (the HTTP epoch= parameter). n <= 0 keeps
+// DefaultEpochRetention; n == 1 effectively disables pinning past the
+// current epoch.
+func WithEpochRetention(n int) Option {
+	return func(c *config) { c.epochRetention = n }
+}
+
 // New creates a catalog over the given BLOB store.
 func New(store blob.Store, opts ...Option) *DB {
-	cfg := config{cacheCapacity: DefaultCacheCapacity, walBatchWindow: DefaultWALBatchWindow}
+	cfg := config{
+		cacheCapacity:  DefaultCacheCapacity,
+		walBatchWindow: DefaultWALBatchWindow,
+		shards:         DefaultShards,
+		epochRetention: DefaultEpochRetention,
+	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = DefaultShards
+	}
+	if cfg.epochRetention <= 0 {
+		cfg.epochRetention = DefaultEpochRetention
 	}
 	if cfg.telemetry != nil {
 		store = blob.Observed(store, cfg.telemetry.Histogram(telemetry.StageFamily, telemetry.StageBlobRead))
@@ -197,21 +246,20 @@ func New(store blob.Store, opts ...Option) *DB {
 	db := &DB{
 		store:             store,
 		nextID:            1,
-		objects:           map[core.ID]*core.Object{},
-		byName:            map[string]core.ID{},
-		interps:           map[blob.ID]*interp.Interpretation{},
+		nShards:           cfg.shards,
+		ring:              newEpochRing(cfg.epochRetention),
 		staged:            map[core.ID]*core.Object{},
+		reservedNames:     map[string]core.ID{},
 		stagedInterps:     map[blob.ID]*interp.Interpretation{},
-		dirtyObjs:         map[core.ID]struct{}{},
-		dirtyDelObjs:      map[core.ID]struct{}{},
+		dirty:             newDirtyShards(cfg.shards),
 		dirtyInterps:      map[blob.ID]struct{}{},
 		dirtyDelInterp:    map[blob.ID]struct{}{},
-		ix:                newIndexes(),
 		walBatchWindow:    cfg.walBatchWindow,
 		walSegmentBytes:   cfg.walSegmentBytes,
 		walSegmentRecords: cfg.walSegmentRecords,
 		cache:             expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
+	db.cur.Store(newView(db, cfg.shards))
 	if cfg.telemetry != nil {
 		db.SetTelemetry(cfg.telemetry)
 	}
@@ -227,6 +275,14 @@ func (db *DB) Store() blob.Store { return db.store }
 // BlobCorruptions reports how many payload files the store has
 // quarantined after a checksum mismatch.
 func (db *DB) BlobCorruptions() int64 { return db.store.Stats().Corruptions.Load() }
+
+// markDirtyLocked records an object's shard-local churn for the next
+// incremental checkpoint. Assumes db.mu is held.
+func (db *DB) markDirtyLocked(name string, id core.ID) {
+	d := &db.dirty[shardOf(name, db.nShards)]
+	d.objs[id] = struct{}{}
+	delete(d.del, id)
+}
 
 // RegisterInterpretation permanently associates a sealed
 // interpretation with its BLOB (Section 4.1: one complete
@@ -259,7 +315,7 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	}
 
 	db.mu.Lock()
-	if _, dup := db.interps[it.BlobID()]; dup {
+	if db.cur.Load().interps.has(it.BlobID()) {
 		db.mu.Unlock()
 		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
@@ -268,9 +324,7 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
 	if db.wal == nil {
-		db.interps[it.BlobID()] = it
-		db.dirtyInterps[it.BlobID()] = struct{}{}
-		delete(db.dirtyDelInterp, it.BlobID())
+		db.publishInterpLocked(it)
 		db.mu.Unlock()
 		return nil
 	}
@@ -303,12 +357,20 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	db.mu.Lock()
 	delete(db.stagedInterps, it.BlobID())
 	if err == nil {
-		db.interps[it.BlobID()] = it
-		db.dirtyInterps[it.BlobID()] = struct{}{}
-		delete(db.dirtyDelInterp, it.BlobID())
+		db.publishInterpLocked(it)
 	}
 	db.mu.Unlock()
 	return err
+}
+
+// publishInterpLocked publishes an interpretation as a new epoch and
+// marks it dirty for the next checkpoint. Assumes db.mu is held.
+func (db *DB) publishInterpLocked(it *interp.Interpretation) {
+	e := db.beginEditLocked()
+	e.setInterp(it)
+	db.commitEditLocked(e)
+	db.dirtyInterps[it.BlobID()] = struct{}{}
+	delete(db.dirtyDelInterp, it.BlobID())
 }
 
 // exportInterp gob-encodes an interpretation for an opInterp record.
@@ -324,15 +386,10 @@ func exportInterp(it *interp.Interpretation) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Interpretation returns the interpretation of a BLOB.
+// Interpretation returns the interpretation of a BLOB at the current
+// epoch.
 func (db *DB) Interpretation(id blob.ID) (*interp.Interpretation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	it, ok := db.interps[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNoInterp, id)
-	}
-	return it, nil
+	return db.CurrentView().Interpretation(id)
 }
 
 // AddNonDerived registers a media object bound to an interpretation
@@ -341,13 +398,18 @@ func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map
 	db.commitGate.RLock()
 	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	id, err := db.addNonDerivedLocked(0, name, blobID, track, attrs)
+	obj, err := db.buildNonDerivedLocked(name, blobID, track, attrs)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	id, err := db.stageLocked(obj, 0)
 	if err != nil {
 		db.mu.Unlock()
 		return 0, err
 	}
 	rec := &walOp{Kind: opNonDerived, ID: id, Name: name, Blob: blobID, Track: track, Attrs: attrs}
-	t, err := db.stageCommitLocked(rec, id)
+	t, err := db.enqueueStagedLocked(rec, id)
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -358,19 +420,18 @@ func (db *DB) AddNonDerived(name string, blobID blob.ID, track string, attrs map
 	return id, nil
 }
 
-// addNonDerivedLocked is AddNonDerived without locking or journaling.
-// Journal replay reuses it with want set to the recorded ID; live
-// callers pass 0 to allocate. Assumes db.mu is held.
-func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
-	it, ok := db.interps[blobID]
+// buildNonDerivedLocked validates inputs against the current epoch and
+// constructs (but does not stage) the object. Assumes db.mu is held.
+func (db *DB) buildNonDerivedLocked(name string, blobID blob.ID, track string, attrs map[string]string) (*core.Object, error) {
+	it, ok := db.cur.Load().interps.get(blobID)
 	if !ok {
-		return 0, fmt.Errorf("%w: %v", ErrNoInterp, blobID)
+		return nil, fmt.Errorf("%w: %v", ErrNoInterp, blobID)
 	}
 	tr, err := it.Track(track)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	obj := &core.Object{
+	return &core.Object{
 		Name:  name,
 		Class: core.ClassNonDerived,
 		Kind:  tr.MediaType().Kind,
@@ -378,8 +439,23 @@ func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, tra
 		Attrs: attrs,
 		Blob:  blobID,
 		Track: track,
+	}, nil
+}
+
+// addNonDerivedLocked stages and immediately publishes — the replay /
+// replication-apply path, where the record is already durable. want
+// is the recorded ID. Assumes db.mu is held.
+func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
+	obj, err := db.buildNonDerivedLocked(name, blobID, track, attrs)
+	if err != nil {
+		return 0, err
 	}
-	return db.insert(obj, want)
+	id, err := db.stageLocked(obj, want)
+	if err != nil {
+		return 0, err
+	}
+	db.publishLocked(id)
+	return id, nil
 }
 
 // AddDerived registers a derived media object. Inputs must already
@@ -389,13 +465,18 @@ func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs
 	db.commitGate.RLock()
 	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	id, err := db.addDerivedLocked(0, name, op, inputs, params, attrs)
+	obj, err := db.buildDerivedLocked(name, op, inputs, params, attrs, nil)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	id, err := db.stageLocked(obj, 0)
 	if err != nil {
 		db.mu.Unlock()
 		return 0, err
 	}
 	rec := &walOp{Kind: opDerived, ID: id, Name: name, Op: op, Inputs: inputs, Params: params, Attrs: attrs}
-	t, err := db.stageCommitLocked(rec, id)
+	t, err := db.enqueueStagedLocked(rec, id)
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -406,38 +487,57 @@ func (db *DB) AddDerived(name, op string, inputs []core.ID, params []byte, attrs
 	return id, nil
 }
 
-// addDerivedLocked is AddDerived without locking or journaling.
-// Replay passes the recorded ID as want; live callers pass 0.
-// Assumes db.mu is held.
-func (db *DB) addDerivedLocked(want core.ID, name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+// buildDerivedLocked validates and constructs a derived object. aux,
+// when non-nil, resolves IDs beyond the current epoch — AddBatch uses
+// it so later batch items can reference earlier ones before they are
+// published. Assumes db.mu is held.
+func (db *DB) buildDerivedLocked(name, op string, inputs []core.ID, params []byte, attrs map[string]string, aux map[core.ID]*core.Object) (*core.Object, error) {
 	opImpl, err := derive.Lookup(op)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	lo, hi := opImpl.Arity()
 	if len(inputs) < lo || (hi >= 0 && len(inputs) > hi) {
-		return 0, fmt.Errorf("catalog: %s takes %d..%d inputs, got %d", op, lo, hi, len(inputs))
+		return nil, fmt.Errorf("catalog: %s takes %d..%d inputs, got %d", op, lo, hi, len(inputs))
 	}
+	cur := db.cur.Load()
 	for i, in := range inputs {
-		src, ok := db.objects[in]
-		if !ok {
-			return 0, fmt.Errorf("%w: input %v", ErrNotFound, in)
+		src := cur.getByID(in)
+		if src == nil {
+			src = aux[in]
+		}
+		if src == nil {
+			return nil, fmt.Errorf("%w: input %v", ErrNotFound, in)
 		}
 		if src.Class == core.ClassMultimedia {
-			return 0, fmt.Errorf("%w: input %v is a multimedia object", ErrNotMedia, in)
+			return nil, fmt.Errorf("%w: input %v is a multimedia object", ErrNotMedia, in)
 		}
 		if want := opImpl.ArgKind(i); src.Kind != want {
-			return 0, fmt.Errorf("catalog: %s input %d is %v, want %v", op, i, src.Kind, want)
+			return nil, fmt.Errorf("catalog: %s input %d is %v, want %v", op, i, src.Kind, want)
 		}
 	}
-	obj := &core.Object{
+	return &core.Object{
 		Name:       name,
 		Class:      core.ClassDerived,
 		Kind:       opImpl.ResultKind(),
 		Attrs:      attrs,
 		Derivation: &core.Derivation{Op: op, Inputs: append([]core.ID(nil), inputs...), Params: append([]byte(nil), params...)},
+	}, nil
+}
+
+// addDerivedLocked stages and immediately publishes — the replay
+// path. Assumes db.mu is held.
+func (db *DB) addDerivedLocked(want core.ID, name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+	obj, err := db.buildDerivedLocked(name, op, inputs, params, attrs, nil)
+	if err != nil {
+		return 0, err
 	}
-	return db.insert(obj, want)
+	id, err := db.stageLocked(obj, want)
+	if err != nil {
+		return 0, err
+	}
+	db.publishLocked(id)
+	return id, nil
 }
 
 // AddMultimedia registers a multimedia object composing existing
@@ -446,7 +546,12 @@ func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.Comp
 	db.commitGate.RLock()
 	defer db.commitGate.RUnlock()
 	db.mu.Lock()
-	id, err := db.addMultimediaLocked(0, name, axis, comps, attrs)
+	obj, err := db.buildMultimediaLocked(name, axis, comps, attrs, nil)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	id, err := db.stageLocked(obj, 0)
 	if err != nil {
 		db.mu.Unlock()
 		return 0, err
@@ -455,7 +560,7 @@ func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.Comp
 	for _, c := range comps {
 		rec.Comps = append(rec.Comps, savedComponent{Object: c.Object, Start: c.Start, Region: c.Region})
 	}
-	t, err := db.stageCommitLocked(rec, id)
+	t, err := db.enqueueStagedLocked(rec, id)
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -466,32 +571,48 @@ func (db *DB) AddMultimedia(name string, axis timebase.System, comps []core.Comp
 	return id, nil
 }
 
-// addMultimediaLocked is AddMultimedia without locking or journaling.
-// Replay passes the recorded ID as want; live callers pass 0.
-// Assumes db.mu is held.
-func (db *DB) addMultimediaLocked(want core.ID, name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+// buildMultimediaLocked validates and constructs a multimedia object;
+// aux is as in buildDerivedLocked. Assumes db.mu is held.
+func (db *DB) buildMultimediaLocked(name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string, aux map[core.ID]*core.Object) (*core.Object, error) {
+	cur := db.cur.Load()
 	for _, c := range comps {
-		if _, ok := db.objects[c.Object]; !ok {
-			return 0, fmt.Errorf("%w: component %v", ErrNotFound, c.Object)
+		if cur.getByID(c.Object) == nil && aux[c.Object] == nil {
+			return nil, fmt.Errorf("%w: component %v", ErrNotFound, c.Object)
 		}
 	}
-	obj := &core.Object{
+	return &core.Object{
 		Name:       name,
 		Class:      core.ClassMultimedia,
 		Attrs:      attrs,
 		Multimedia: &core.MultimediaSpec{Time: axis, Components: append([]core.ComponentRef(nil), comps...)},
+	}, nil
+}
+
+// addMultimediaLocked stages and immediately publishes — the replay
+// path. Assumes db.mu is held.
+func (db *DB) addMultimediaLocked(want core.ID, name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+	obj, err := db.buildMultimediaLocked(name, axis, comps, attrs, nil)
+	if err != nil {
+		return 0, err
 	}
-	return db.insert(obj, want)
+	id, err := db.stageLocked(obj, want)
+	if err != nil {
+		return 0, err
+	}
+	db.publishLocked(id)
+	return id, nil
 }
 
 // AddSync records a synchronization constraint on a multimedia object.
-// Unlike object adds, the constraint mutates an already-published
-// object in place, so concurrent readers may observe it during the
-// (rare) window where its journal record is still in flight; a failed
-// append removes it again.
+// The constraint is applied as a copy-on-write revision of the object
+// in a fresh epoch, so concurrent readers of older epochs keep seeing
+// the un-revised object; like before, the revision may be observable
+// during the (rare) window where its journal record is still in
+// flight, and a failed append publishes a reverting revision.
 func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 	db.commitGate.RLock()
 	defer db.commitGate.RUnlock()
+	sc := compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew}
 	db.mu.Lock()
 	if err := db.addSyncLocked(id, a, b, maxSkew); err != nil {
 		db.mu.Unlock()
@@ -500,7 +621,7 @@ func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 	rec := &walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}
 	t, err := db.enqueueLocked(rec)
 	if err != nil {
-		db.removeSyncLocked(id, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+		db.removeSyncLocked(id, sc)
 		db.mu.Unlock()
 		return err
 	}
@@ -510,37 +631,18 @@ func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 	}
 	if err := db.waitRecord(t); err != nil {
 		db.mu.Lock()
-		db.removeSyncLocked(id, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+		db.removeSyncLocked(id, sc)
 		db.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
-// removeSyncLocked rolls back a sync constraint whose journal record
-// failed. It removes the last constraint equal to sc by value:
-// concurrent AddSyncs may have appended after ours, so slicing off
-// the tail element would drop someone else's acknowledged constraint.
-// Assumes db.mu is held.
-func (db *DB) removeSyncLocked(id core.ID, sc compose.SyncConstraint) {
-	obj, ok := db.objects[id]
-	if !ok || obj.Multimedia == nil {
-		return
-	}
-	syncs := obj.Multimedia.Syncs
-	for i := len(syncs) - 1; i >= 0; i-- {
-		if syncs[i] == sc {
-			obj.Multimedia.Syncs = append(syncs[:i], syncs[i+1:]...)
-			return
-		}
-	}
-}
-
-// addSyncLocked is AddSync without locking or journaling. Assumes
-// db.mu is held.
+// addSyncLocked validates the constraint and publishes a revised copy
+// of the object. Assumes db.mu is held.
 func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
-	obj, ok := db.objects[id]
-	if !ok {
+	obj := db.cur.Load().getByID(id)
+	if obj == nil {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	if obj.Class != core.ClassMultimedia {
@@ -552,28 +654,61 @@ func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
 	if maxSkew < 0 {
 		return compose.ErrBadSkew
 	}
-	obj.Multimedia.Syncs = append(obj.Multimedia.Syncs, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
-	// The object mutated in place; the next incremental checkpoint must
+	rev := obj.Clone()
+	rev.Multimedia.Syncs = append(rev.Multimedia.Syncs, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+	e := db.beginEditLocked()
+	e.replace(rev)
+	db.commitEditLocked(e)
+	// The object was revised; the next incremental checkpoint must
 	// re-capture it. A rolled-back sync leaves a spurious mark, which
 	// only costs a redundant re-capture.
-	db.dirtyObjs[id] = struct{}{}
+	db.markDirtyLocked(obj.Name, id)
 	return nil
 }
 
-// insert places obj into the visible object map. want == 0 allocates
-// the next ID (live mutations); a non-zero want forces the recorded
-// ID (journal replay and replication apply must reproduce recorded
-// IDs exactly, and logs written before log order was pinned to seq
-// order may hold reordered frames, so replay cannot rely on
-// re-allocation reproducing them). Assumes db.mu is held.
-func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
-	if _, dup := db.byName[obj.Name]; dup {
+// removeSyncLocked rolls back a sync constraint whose journal record
+// failed, by publishing a revision without it. It removes the last
+// constraint equal to sc by value: concurrent AddSyncs may have
+// appended after ours, so slicing off the tail element would drop
+// someone else's acknowledged constraint. Assumes db.mu is held.
+func (db *DB) removeSyncLocked(id core.ID, sc compose.SyncConstraint) {
+	obj := db.cur.Load().getByID(id)
+	if obj == nil || obj.Multimedia == nil {
+		return
+	}
+	syncs := obj.Multimedia.Syncs
+	for i := len(syncs) - 1; i >= 0; i-- {
+		if syncs[i] != sc {
+			continue
+		}
+		rev := obj.Clone()
+		rev.Multimedia.Syncs = append(rev.Multimedia.Syncs[:i], rev.Multimedia.Syncs[i+1:]...)
+		e := db.beginEditLocked()
+		e.replace(rev)
+		db.commitEditLocked(e)
+		return
+	}
+}
+
+// stageLocked validates obj's name and ID against the current epoch
+// plus in-flight reservations and stages it, invisible to readers.
+// want == 0 allocates the next ID (live mutations); a non-zero want
+// forces the recorded ID (journal replay and replication apply must
+// reproduce recorded IDs exactly, and logs written before log order
+// was pinned to seq order may hold reordered frames, so replay cannot
+// rely on re-allocation reproducing them). Assumes db.mu is held.
+func (db *DB) stageLocked(obj *core.Object, want core.ID) (core.ID, error) {
+	cur := db.cur.Load()
+	if _, dup := db.reservedNames[obj.Name]; dup {
+		return 0, fmt.Errorf("%w: %q", ErrDupName, obj.Name)
+	}
+	if cur.shardFor(obj.Name).byName.has(obj.Name) {
 		return 0, fmt.Errorf("%w: %q", ErrDupName, obj.Name)
 	}
 	id := want
 	if id == 0 {
 		id = db.nextID
-	} else if _, taken := db.objects[id]; taken {
+	} else if _, taken := db.staged[id]; taken || cur.getByID(id) != nil {
 		return 0, fmt.Errorf("catalog: object %v already exists", id)
 	}
 	obj.ID = id
@@ -583,13 +718,8 @@ func (db *DB) insert(obj *core.Object, want core.ID) (core.ID, error) {
 	if id >= db.nextID {
 		db.nextID = id + 1
 	}
-	db.objects[id] = obj
-	db.byName[obj.Name] = id
-	db.linkLocked(obj)
-	// Newly inserted (live mutation or replay): dirty until the next
-	// checkpoint captures it. A failed commit unmarks in unstageLocked.
-	db.dirtyObjs[id] = struct{}{}
-	delete(db.dirtyDelObjs, id)
+	db.staged[id] = obj
+	db.reservedNames[obj.Name] = id
 	return id, nil
 }
 
@@ -619,36 +749,20 @@ func (db *DB) enqueueLocked(rec *walOp) (*wal.Ticket, error) {
 	return db.wal.Enqueue(data), nil
 }
 
-// stageCommitLocked demotes the freshly inserted object to staged so
-// readers cannot observe it before its record is durable, and
-// reserves the record's log position. With no journal the object
-// stays visible — it is already committed — and the ticket is nil.
-// Assumes db.mu is held.
-func (db *DB) stageCommitLocked(rec *walOp, id core.ID) (*wal.Ticket, error) {
+// enqueueStagedLocked reserves the staged object's log position. With
+// no journal the object is published immediately — it is already
+// committed — and the ticket is nil. Assumes db.mu is held.
+func (db *DB) enqueueStagedLocked(rec *walOp, id core.ID) (*wal.Ticket, error) {
 	if db.wal == nil {
+		db.publishLocked(id)
 		return nil, nil
 	}
-	db.demoteLocked(id)
 	t, err := db.enqueueLocked(rec)
 	if err != nil {
 		db.unstageLocked(id)
 		return nil, err
 	}
 	return t, nil
-}
-
-// demoteLocked moves a freshly inserted object from the visible map
-// to staged and unlinks it from the indexes, so neither readers nor
-// the query planner observe it before its journal record is durable.
-// Assumes db.mu is held.
-func (db *DB) demoteLocked(id core.ID) {
-	obj, ok := db.objects[id]
-	if !ok {
-		return
-	}
-	db.unlinkLocked(obj)
-	db.staged[id] = obj
-	delete(db.objects, id)
 }
 
 // commitObject waits for the staged object's journal record to become
@@ -670,13 +784,26 @@ func (db *DB) commitObject(t *wal.Ticket, id core.ID) error {
 	return err
 }
 
-// publishLocked moves a staged object into the visible map after its
-// journal record was acknowledged. Assumes db.mu is held.
-func (db *DB) publishLocked(id core.ID) {
-	if obj, ok := db.staged[id]; ok {
+// publishLocked moves staged objects into a new epoch after their
+// journal records were acknowledged: one copy-on-write edit, one
+// atomic view swap — so a multi-object batch lands as one epoch.
+// Assumes db.mu is held.
+func (db *DB) publishLocked(ids ...core.ID) {
+	e := db.beginEditLocked()
+	any := false
+	for _, id := range ids {
+		obj, ok := db.staged[id]
+		if !ok {
+			continue
+		}
 		delete(db.staged, id)
-		db.objects[id] = obj
-		db.linkLocked(obj)
+		delete(db.reservedNames, obj.Name)
+		e.link(obj)
+		db.markDirtyLocked(obj.Name, id)
+		any = true
+	}
+	if any {
+		db.commitEditLocked(e)
 	}
 }
 
@@ -689,50 +816,28 @@ func (db *DB) unstageLocked(id core.ID) {
 		return
 	}
 	delete(db.staged, id)
-	delete(db.byName, obj.Name)
-	delete(db.dirtyObjs, id)
+	delete(db.reservedNames, obj.Name)
 	if id == db.nextID-1 {
 		db.nextID--
 	}
 }
 
-// Get returns the object with the given ID. The returned object is
-// shared with the catalog and must be treated as read-only; use
+// Get returns the object with the given ID at the current epoch. The
+// returned object is immutable shared state; use
 // (*core.Object).Clone for a mutable copy.
 func (db *DB) Get(id core.ID) (*core.Object, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	obj, ok := db.objects[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
-	}
-	return obj, nil
+	return db.CurrentView().Get(id)
 }
 
-// Lookup returns the object with the given name. The returned object
-// is shared with the catalog and must be treated as read-only; use
-// (*core.Object).Clone for a mutable copy.
+// Lookup returns the object with the given name at the current epoch.
+// The returned object is immutable shared state.
 func (db *DB) Lookup(name string) (*core.Object, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.byName[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	obj, ok := db.objects[id]
-	if !ok {
-		// The name is reserved by an in-flight mutation whose journal
-		// record is not yet durable: invisible until acknowledged.
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	return obj, nil
+	return db.CurrentView().Lookup(name)
 }
 
-// Len returns the number of objects.
+// Len returns the number of objects at the current epoch.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.objects)
+	return db.CurrentView().Len()
 }
 
 // Select returns objects satisfying pred, ordered by ID — the
@@ -743,19 +848,10 @@ func (db *DB) Len() int {
 //
 // The returned objects are deep copies (see core.Object.Clone):
 // callers may mutate them — attribute maps included — without
-// corrupting the catalog's shared state. pred itself runs on the live
-// objects under the read lock and must not retain or modify them.
+// corrupting shared state. pred itself runs on the epoch's shared
+// objects and must not retain or modify them.
 func (db *DB) Select(pred func(*core.Object) bool) []*core.Object {
-	db.mu.RLock()
-	var out []*core.Object
-	for _, obj := range db.objects {
-		if pred(obj) {
-			out = append(out, obj.Clone())
-		}
-	}
-	db.mu.RUnlock()
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out
+	return db.CurrentView().Select(pred)
 }
 
 // ByKind selects media objects of a kind via the kind index. The

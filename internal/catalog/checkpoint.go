@@ -189,19 +189,22 @@ func writeCapture(path string, cap *snapCapture) error {
 
 // applyStream decodes a streaming snapshot payload over the current
 // state: deletes first (an ID freed by a delete may be re-used by name
-// within the same delta), then interpretation and object upserts.
-// Decode failures are ErrCorruptSnapshot; semantic failures (missing
-// blob, invalid object) pass through untyped, matching the v1 loader.
-// Assumes db.mu is held or the DB is unshared; does not link indexes.
+// within the same delta), then interpretation and object upserts — all
+// into one copy-on-write edit, published as one epoch, so a decode
+// failure leaves the loaded state untouched. Decode failures are
+// ErrCorruptSnapshot; semantic failures (missing blob, invalid object)
+// pass through untyped, matching the v1 loader. Assumes db.mu is held
+// or the DB is unshared; does not link indexes (raw inserts —
+// relinkAllLocked runs once the whole base + chain state is present).
 func (db *DB) applyStream(head *streamHead, dec *gob.Decoder) error {
+	e := db.beginEditLocked()
 	for _, id := range head.DelObjects {
-		if old, ok := db.objects[id]; ok {
-			delete(db.objects, id)
-			delete(db.byName, old.Name)
+		if old := e.lookupByID(id); old != nil {
+			e.removeRaw(old)
 		}
 	}
 	for _, bid := range head.DelInterps {
-		delete(db.interps, bid)
+		e.delInterp(bid)
 	}
 	for i := 0; i < head.NumInterps; i++ {
 		var exp interp.Exported
@@ -212,7 +215,7 @@ func (db *DB) applyStream(head *streamHead, dec *gob.Decoder) error {
 		if err != nil {
 			return err
 		}
-		db.interps[exp.BlobID] = it
+		e.setInterp(it)
 	}
 	for i := 0; i < head.NumObjects; i++ {
 		var so savedObject
@@ -223,12 +226,12 @@ func (db *DB) applyStream(head *streamHead, dec *gob.Decoder) error {
 		if err != nil {
 			return err
 		}
-		if old, ok := db.objects[obj.ID]; ok {
-			delete(db.byName, old.Name)
+		if old := e.lookupByID(obj.ID); old != nil {
+			e.removeRaw(old)
 		}
-		db.objects[obj.ID] = obj
-		db.byName[obj.Name] = obj.ID
+		e.insertRaw(obj)
 	}
+	db.commitEditLocked(e)
 	if head.Seq > db.seq {
 		db.seq = head.Seq
 	}
@@ -252,22 +255,29 @@ func (db *DB) importInterp(rec *interp.Exported) (*interp.Interpretation, error)
 	return interp.Import(rec, b)
 }
 
-// dirtySets is the swapped-out dirty state of one checkpoint attempt.
+// dirtySets is the swapped-out dirty state of one checkpoint attempt:
+// one dirtyShard per hash shard plus the global interpretation dirt.
 type dirtySets struct {
-	objs       map[core.ID]struct{}
-	delObjs    map[core.ID]struct{}
+	shards     []dirtyShard
 	interps    map[blob.ID]struct{}
 	delInterps map[blob.ID]struct{}
 }
 
-// takeDirtyLocked swaps the dirty maps for fresh ones and returns the
+func (ds dirtySets) count() int {
+	n := len(ds.interps) + len(ds.delInterps)
+	for i := range ds.shards {
+		n += len(ds.shards[i].objs) + len(ds.shards[i].del)
+	}
+	return n
+}
+
+// takeDirtyLocked swaps the dirty sets for fresh ones and returns the
 // captured state. Called under mu.RLock after the commitGate dance:
 // no mutator can hold mu's write side, and nothing else touches the
-// maps, so the swap is exclusive in practice.
+// sets, so the swap is exclusive in practice.
 func (db *DB) takeDirtyLocked() dirtySets {
-	ds := dirtySets{db.dirtyObjs, db.dirtyDelObjs, db.dirtyInterps, db.dirtyDelInterp}
-	db.dirtyObjs = map[core.ID]struct{}{}
-	db.dirtyDelObjs = map[core.ID]struct{}{}
+	ds := dirtySets{db.dirty, db.dirtyInterps, db.dirtyDelInterp}
+	db.dirty = newDirtyShards(db.nShards)
 	db.dirtyInterps = map[blob.ID]struct{}{}
 	db.dirtyDelInterp = map[blob.ID]struct{}{}
 	return ds
@@ -282,11 +292,13 @@ func (db *DB) takeDirtyLocked() dirtySets {
 func (db *DB) restoreDirty(ds dirtySets) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for id := range ds.objs {
-		db.dirtyObjs[id] = struct{}{}
-	}
-	for id := range ds.delObjs {
-		db.dirtyDelObjs[id] = struct{}{}
+	for i := range ds.shards {
+		for id := range ds.shards[i].objs {
+			db.dirty[i].objs[id] = struct{}{}
+		}
+		for id := range ds.shards[i].del {
+			db.dirty[i].del[id] = struct{}{}
+		}
 	}
 	for id := range ds.interps {
 		db.dirtyInterps[id] = struct{}{}
@@ -313,34 +325,41 @@ type rotator interface {
 	CompactThrough(through uint64) (int, error)
 }
 
-// captureDeltaLocked captures the dirty slice as a delta over fromSeq.
-// Assumes db.mu is held (read side, after the commitGate dance — so no
-// staged objects exist and no append is in flight).
+// captureDeltaLocked captures the dirty slice as a delta over fromSeq,
+// walking each shard's dirty set against the same shard of the current
+// epoch (dirty IDs are recorded in the shard their object's name
+// hashes to, so each lookup is a single-shard probe). Assumes db.mu is
+// held (read side, after the commitGate dance — so no staged objects
+// exist and no append is in flight).
 func (db *DB) captureDeltaLocked(fromSeq uint64) (*snapCapture, error) {
+	cur := db.cur.Load()
 	cap := &snapCapture{head: streamHead{FromSeq: fromSeq, Seq: db.seq, NextID: db.nextID}}
-	for id := range db.dirtyObjs {
-		obj, ok := db.objects[id]
-		if !ok {
-			// Dirty but not visible: deleted after being marked (its
-			// tombstone is in dirtyDelObjs), or a merge artifact from a
-			// failed attempt. Either way the tombstone governs.
-			continue
+	for si := range db.dirty {
+		sh := cur.shards[si]
+		for id := range db.dirty[si].objs {
+			obj, ok := sh.objects.get(id)
+			if !ok {
+				// Dirty but not visible: deleted after being marked (its
+				// tombstone is in the shard's del set), or a merge artifact
+				// from a failed attempt. Either way the tombstone governs.
+				continue
+			}
+			so, err := saveObject(obj)
+			if err != nil {
+				return nil, err
+			}
+			cap.objs = append(cap.objs, so)
 		}
-		so, err := saveObject(obj)
-		if err != nil {
-			return nil, err
+		for id := range db.dirty[si].del {
+			cap.head.DelObjects = append(cap.head.DelObjects, id)
 		}
-		cap.objs = append(cap.objs, so)
 	}
 	sort.Slice(cap.objs, func(a, b int) bool { return cap.objs[a].ID < cap.objs[b].ID })
-	for id := range db.dirtyDelObjs {
-		cap.head.DelObjects = append(cap.head.DelObjects, id)
-	}
 	sort.Slice(cap.head.DelObjects, func(a, b int) bool {
 		return cap.head.DelObjects[a] < cap.head.DelObjects[b]
 	})
 	for bid := range db.dirtyInterps {
-		it, ok := db.interps[bid]
+		it, ok := cur.interps.get(bid)
 		if !ok {
 			continue
 		}
@@ -375,8 +394,9 @@ func (db *DB) Checkpoint(dir string) error {
 	db.mu.RLock()
 	attached := db.wal != nil && db.walDir == filepath.Clean(dir)
 	_, rotatable := db.wal.(rotator)
-	nLive := len(db.objects) + len(db.interps)
-	nDirty := len(db.dirtyObjs) + len(db.dirtyDelObjs) + len(db.dirtyInterps) + len(db.dirtyDelInterp)
+	cur := db.cur.Load()
+	nLive := cur.count + cur.interps.len()
+	nDirty := dirtySets{db.dirty, db.dirtyInterps, db.dirtyDelInterp}.count()
 	seq := db.seq
 	db.mu.RUnlock()
 

@@ -527,9 +527,10 @@ func TestLoadLegacySnapshotFormat(t *testing.T) {
 	var snap savedCatalog
 	db.mu.RLock()
 	snap.NextID, snap.Seq = db.nextID, db.seq
-	for id := core.ID(1); id < db.nextID; id++ {
-		obj, ok := db.objects[id]
-		if !ok {
+	cur := db.cur.Load()
+	for id := core.ID(1); id < snap.NextID; id++ {
+		obj := cur.getByID(id)
+		if obj == nil {
 			continue
 		}
 		so, err := saveObject(obj)
@@ -538,13 +539,14 @@ func TestLoadLegacySnapshotFormat(t *testing.T) {
 		}
 		snap.Objects = append(snap.Objects, so)
 	}
-	for _, it := range db.interps {
+	cur.interps.ascend(func(_ blob.ID, it *interp.Interpretation) bool {
 		rec, err := interp.Export(it)
 		if err != nil {
 			t.Fatal(err)
 		}
 		snap.Interps = append(snap.Interps, rec)
-	}
+		return true
+	})
 	db.mu.RUnlock()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {

@@ -27,7 +27,7 @@ func (db *DB) Delete(id core.ID) error {
 	defer db.commitGate.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.objects[id]; !ok {
+	if db.cur.Load().getByID(id) == nil {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	// Journal before applying: the BLOB garbage collection below is
@@ -44,14 +44,22 @@ func (db *DB) Delete(id core.ID) error {
 }
 
 // checkDeletable reports whether any other object references id.
-// Visible referrers come straight from the provenance adjacency
-// index. Staged objects (applied but not yet durable) count as
+// Visible referrers come from the provenance adjacency index; edges
+// live in the referrer's shard, so every shard of the current epoch is
+// probed. Staged objects (applied but not yet durable) count as
 // references too — their commit may ack at any moment, and deleting
 // their input would leave the journal unreplayable — but they are
 // unindexed by design, so they are scanned. Assumes db.mu is held.
 func (db *DB) checkDeletable(id core.ID) error {
-	for other := range db.ix.deps[id] {
-		return fmt.Errorf("%w: %v ← %v", ErrInUse, id, other)
+	for _, sh := range db.cur.Load().shards {
+		if set, ok := sh.ix.deps.get(id); ok {
+			var other core.ID
+			set.ascend(func(k core.ID, _ struct{}) bool {
+				other = k
+				return false
+			})
+			return fmt.Errorf("%w: %v ← %v", ErrInUse, id, other)
+		}
 	}
 	return checkRefs(db.staged, id)
 }
@@ -80,34 +88,45 @@ func checkRefs(objs map[core.ID]*core.Object, id core.ID) error {
 }
 
 // deleteLocked removes an object, re-validating references (journal
-// replay reuses it). Assumes db.mu is held.
+// replay reuses it). The unlink and any BLOB interpretation collection
+// land together as one new epoch. Assumes db.mu is held.
 func (db *DB) deleteLocked(id core.ID) error {
-	obj, ok := db.objects[id]
-	if !ok {
+	obj := db.cur.Load().getByID(id)
+	if obj == nil {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	if err := db.checkDeletable(id); err != nil {
 		return err
 	}
-	db.unlinkLocked(obj)
-	delete(db.objects, id)
-	delete(db.byName, obj.Name)
-	delete(db.dirtyObjs, id)
-	db.dirtyDelObjs[id] = struct{}{}
-	db.cache.Invalidate(id)
-
+	e := db.beginEditLocked()
+	e.unlink(obj)
 	// GC the BLOB if no remaining object reads it.
 	if obj.Class == core.ClassNonDerived {
-		db.maybeCollectBlob(obj.Blob)
+		db.maybeCollectBlob(e, obj.Blob)
 	}
+	db.commitEditLocked(e)
+	d := &db.dirty[shardOf(obj.Name, db.nShards)]
+	delete(d.objs, id)
+	d.del[id] = struct{}{}
+	db.cache.Invalidate(id)
 	return nil
 }
 
-// maybeCollectBlob assumes db.mu is held. Staged objects keep their
-// BLOB alive like visible ones do.
-func (db *DB) maybeCollectBlob(id blob.ID) {
-	for _, other := range db.objects {
-		if other.Blob == id {
+// maybeCollectBlob drops the BLOB's interpretation from the edit and
+// deletes its payload when no object in the edit's working state (nor
+// any staged object) still reads it. Staged objects keep their BLOB
+// alive like visible ones do. Assumes db.mu is held.
+func (db *DB) maybeCollectBlob(e *viewEdit, id blob.ID) {
+	for _, sh := range e.shards {
+		inUse := false
+		sh.objects.ascend(func(_ core.ID, other *core.Object) bool {
+			if other.Blob == id {
+				inUse = true
+				return false
+			}
+			return true
+		})
+		if inUse {
 			return
 		}
 	}
@@ -116,7 +135,7 @@ func (db *DB) maybeCollectBlob(id blob.ID) {
 			return
 		}
 	}
-	delete(db.interps, id)
+	e.delInterp(id)
 	delete(db.dirtyInterps, id)
 	db.dirtyDelInterp[id] = struct{}{}
 	// Best effort: a missing blob is already collected.

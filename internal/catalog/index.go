@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 	"time"
@@ -10,60 +11,52 @@ import (
 )
 
 // Secondary indexes over the visible object graph. Every index is
-// maintained transactionally with the commit protocol: objects are
-// linked when they become visible (insert without a journal, publish
-// on ack, snapshot/journal replay on Open) and unlinked the moment
-// they stop being visible (staging for an in-flight commit, rollback,
-// delete). Staged objects are never indexed, so the planner can only
-// ever surface acknowledged mutations — the same guarantee Select
-// gives. All access assumes db.mu.
+// persistent (path-copying treaps, see pmap.go) and lives inside a
+// shard of an immutable epoch View: linking an object into a shard
+// produces a new pIndexes value sharing structure with the old one,
+// so every published epoch carries exactly the index of its own
+// object set. Staged objects are never indexed, so the planner can
+// only ever surface acknowledged mutations — the same guarantee
+// Select gives — and a pinned epoch's plan, match and pagination all
+// read the same committed prefix without taking any lock.
 //
-//	kind / class / attr  hash indexes for equality filters
-//	deps                 provenance adjacency: id → objects that list
-//	                     it as a derivation input or composition
-//	                     component (replaces per-query graph walks)
+//	kind / class / attr  equality indexes
+//	deps                 provenance adjacency: id → objects in THIS
+//	                     shard that list it as a derivation input or
+//	                     composition component (edges live in the
+//	                     referrer's shard, so each shard's indexes are
+//	                     a pure function of the shard's own objects)
 //	spans                interval index over presentation timelines
 //	                     ("what is live at t / overlaps [t1,t2]")
 type idSet map[core.ID]struct{}
 
-type indexes struct {
-	kind  map[media.Kind]idSet
-	class map[core.Class]idSet
-	attr  map[string]map[string]idSet // key → value → ids
-	deps  map[core.ID]idSet
-	spans *intervalIndex
+// pIndexes is the immutable index bundle of one shard.
+type pIndexes struct {
+	kind  tmap[media.Kind, idset]
+	class tmap[core.Class, idset]
+	attr  tmap[string, tmap[string, idset]] // key → value → ids
+	deps  tmap[core.ID, idset]
+	spans spanIndex
 }
 
-func newIndexes() *indexes {
-	return &indexes{
-		kind:  map[media.Kind]idSet{},
-		class: map[core.Class]idSet{},
-		attr:  map[string]map[string]idSet{},
-		deps:  map[core.ID]idSet{},
-		spans: newIntervalIndex(),
-	}
+// setAdd / setDrop maintain a posting list inside a persistent index
+// family, pruning emptied sets so a rebuilt index and a long-lived
+// one compare equal key for key.
+func setAdd[K cmp.Ordered](m tmap[K, idset], k K, id core.ID) tmap[K, idset] {
+	set, _ := m.get(k)
+	return m.set(k, set.set(id, struct{}{}))
 }
 
-func addToSet[K comparable](m map[K]idSet, k K, id core.ID) {
-	set, ok := m[k]
+func setDrop[K cmp.Ordered](m tmap[K, idset], k K, id core.ID) tmap[K, idset] {
+	set, ok := m.get(k)
 	if !ok {
-		set = idSet{}
-		m[k] = set
+		return m
 	}
-	set[id] = struct{}{}
-}
-
-// dropFromSet removes id and prunes the set when it empties, so a
-// rebuilt index and a long-lived one compare equal key for key.
-func dropFromSet[K comparable](m map[K]idSet, k K, id core.ID) {
-	set, ok := m[k]
-	if !ok {
-		return
+	set = set.del(id)
+	if set.len() == 0 {
+		return m.del(k)
 	}
-	delete(set, id)
-	if len(set) == 0 {
-		delete(m, k)
-	}
+	return m.set(k, set)
 }
 
 // directRefs returns the objects obj directly references: derivation
@@ -128,52 +121,48 @@ func timelineSpan(obj *core.Object, lookup func(core.ID) *core.Object) (Span, bo
 	return s, found
 }
 
-// link adds obj to every index. lookup resolves component objects for
-// the timeline span and must see the same visibility the object
-// itself is entering (the visible map).
-func (ix *indexes) link(obj *core.Object, lookup func(core.ID) *core.Object) {
-	addToSet(ix.kind, obj.Kind, obj.ID)
-	addToSet(ix.class, obj.Class, obj.ID)
+// link returns the indexes with obj added to every family. lookup
+// resolves component objects for the timeline span and must see the
+// same visibility the object itself is entering.
+func (ix pIndexes) link(obj *core.Object, lookup func(core.ID) *core.Object) pIndexes {
+	ix.kind = setAdd(ix.kind, obj.Kind, obj.ID)
+	ix.class = setAdd(ix.class, obj.Class, obj.ID)
 	for k, v := range obj.Attrs {
-		vals, ok := ix.attr[k]
-		if !ok {
-			vals = map[string]idSet{}
-			ix.attr[k] = vals
-		}
-		addToSet(vals, v, obj.ID)
+		vals, _ := ix.attr.get(k)
+		ix.attr = ix.attr.set(k, setAdd(vals, v, obj.ID))
 	}
 	for _, ref := range directRefs(obj) {
-		addToSet(ix.deps, ref, obj.ID)
+		ix.deps = setAdd(ix.deps, ref, obj.ID)
 	}
 	if s, ok := timelineSpan(obj, lookup); ok {
-		ix.spans.add(obj.ID, s)
+		ix.spans = ix.spans.add(obj.ID, s)
 	}
+	return ix
 }
 
-// unlink removes obj from every index, pruning emptied sets.
-func (ix *indexes) unlink(obj *core.Object) {
-	dropFromSet(ix.kind, obj.Kind, obj.ID)
-	dropFromSet(ix.class, obj.Class, obj.ID)
+// unlink returns the indexes with obj removed from every family,
+// pruning emptied sets.
+func (ix pIndexes) unlink(obj *core.Object) pIndexes {
+	ix.kind = setDrop(ix.kind, obj.Kind, obj.ID)
+	ix.class = setDrop(ix.class, obj.Class, obj.ID)
 	for k, v := range obj.Attrs {
-		if vals, ok := ix.attr[k]; ok {
-			dropFromSet(vals, v, obj.ID)
-			if len(vals) == 0 {
-				delete(ix.attr, k)
-			}
+		vals, ok := ix.attr.get(k)
+		if !ok {
+			continue
+		}
+		vals = setDrop(vals, v, obj.ID)
+		if vals.len() == 0 {
+			ix.attr = ix.attr.del(k)
+		} else {
+			ix.attr = ix.attr.set(k, vals)
 		}
 	}
 	for _, ref := range directRefs(obj) {
-		dropFromSet(ix.deps, ref, obj.ID)
+		ix.deps = setDrop(ix.deps, ref, obj.ID)
 	}
-	ix.spans.remove(obj.ID)
+	ix.spans = ix.spans.remove(obj.ID)
+	return ix
 }
-
-func (db *DB) lookupVisible(id core.ID) *core.Object { return db.objects[id] }
-
-// linkLocked / unlinkLocked index an object entering / leaving the
-// visible map. Assumes db.mu is held.
-func (db *DB) linkLocked(obj *core.Object)   { db.ix.link(obj, db.lookupVisible) }
-func (db *DB) unlinkLocked(obj *core.Object) { db.ix.unlink(obj) }
 
 // AttrEq is one attribute equality constraint of an IndexedQuery.
 type AttrEq struct {
@@ -219,84 +208,116 @@ const (
 // registration.
 var indexPlans = []string{planKind, planClass, planAttr, planProvenance, planInterval}
 
-// descendantsLocked returns the transitive dependents of src — every
-// object reachable from src by following the provenance adjacency
-// forward. src itself is excluded (an object is not derived from
-// itself). Assumes db.mu is held.
-func (db *DB) descendantsLocked(src core.ID) idSet {
+// Descendants returns the transitive dependents of src — every object
+// reachable from src by following the provenance adjacency forward.
+// src itself is excluded (an object is not derived from itself).
+// Edges live in the referrer's shard, so each hop unions the adjacency
+// of every shard.
+func (v *View) descendants(src core.ID) idSet {
 	out := idSet{}
 	queue := []core.ID{src}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for dep := range db.ix.deps[cur] {
-			if _, seen := out[dep]; !seen {
-				out[dep] = struct{}{}
-				queue = append(queue, dep)
+		for _, sh := range v.shards {
+			set, ok := sh.ix.deps.get(cur)
+			if !ok {
+				continue
 			}
+			set.ascend(func(dep core.ID, _ struct{}) bool {
+				if _, seen := out[dep]; !seen {
+					out[dep] = struct{}{}
+					queue = append(queue, dep)
+				}
+				return true
+			})
 		}
 	}
 	return out
 }
 
-// planLocked picks the most selective candidate source for sel. It
-// returns the plan label, the candidate IDs (nil for planScan), and
-// the materialized descendant set of each Reach constraint (needed
-// for membership checks regardless of which index sources
-// candidates). Assumes db.mu is held.
-func (db *DB) planLocked(sel *IndexedQuery) (string, []core.ID, []idSet) {
+// planResult is the outcome of candidate sourcing: which family won,
+// and its per-shard (or global, for provenance) candidates.
+type planResult struct {
+	label string
+	sets  []idset     // per shard: posting lists (kind/class/attr)
+	ids   [][]core.ID // per shard: interval probe results
+	prov  []core.ID   // global, ID-sorted (provenance)
+	reach []idSet     // materialized Reach sets, for match
+}
+
+// plan picks the most selective candidate source for sel against this
+// view. A scan fallback leaves all candidate fields nil.
+func (v *View) plan(sel *IndexedQuery) planResult {
+	res := planResult{label: planScan}
 	bestSize := -1
-	var bestName string
-	var bestIDs func() []core.ID
-	consider := func(name string, size int, ids func() []core.ID) {
+	consider := func(label string, size int, commit func(*planResult)) {
 		if bestSize < 0 || size < bestSize {
-			bestSize, bestName, bestIDs = size, name, ids
+			bestSize = size
+			res.label = label
+			res.sets, res.ids, res.prov = nil, nil, nil
+			commit(&res)
 		}
 	}
-	setIDs := func(set idSet) func() []core.ID {
-		return func() []core.ID {
-			out := make([]core.ID, 0, len(set))
-			for id := range set {
-				out = append(out, id)
+	shardSets := func(family func(sh *shardState) (idset, bool)) ([]idset, int) {
+		sets := make([]idset, len(v.shards))
+		size := 0
+		for i, sh := range v.shards {
+			if set, ok := family(sh); ok {
+				sets[i] = set
+				size += set.len()
 			}
-			return out
 		}
+		return sets, size
 	}
 	if sel.Kind != nil {
-		set := db.ix.kind[*sel.Kind]
-		consider(planKind, len(set), setIDs(set))
+		sets, size := shardSets(func(sh *shardState) (idset, bool) { return sh.ix.kind.get(*sel.Kind) })
+		consider(planKind, size, func(r *planResult) { r.sets = sets })
 	}
 	if sel.Class != nil {
-		set := db.ix.class[*sel.Class]
-		consider(planClass, len(set), setIDs(set))
+		sets, size := shardSets(func(sh *shardState) (idset, bool) { return sh.ix.class.get(*sel.Class) })
+		consider(planClass, size, func(r *planResult) { r.sets = sets })
 	}
 	for _, a := range sel.Attrs {
-		set := db.ix.attr[a.Key][a.Value]
-		consider(planAttr, len(set), setIDs(set))
+		a := a
+		sets, size := shardSets(func(sh *shardState) (idset, bool) {
+			vals, ok := sh.ix.attr.get(a.Key)
+			if !ok {
+				return idset{}, false
+			}
+			return vals.get(a.Value)
+		})
+		consider(planAttr, size, func(r *planResult) { r.sets = sets })
 	}
-	var reach []idSet
 	for _, src := range sel.Reach {
-		set := db.descendantsLocked(src)
-		reach = append(reach, set)
-		consider(planProvenance, len(set), setIDs(set))
+		set := v.descendants(src)
+		res.reach = append(res.reach, set)
+		ids := make([]core.ID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		consider(planProvenance, len(ids), func(r *planResult) { r.prov = ids })
 	}
 	if len(sel.Spans) > 0 {
 		// The interval index's selectivity is only known by running the
 		// window query; its O(log n + k) cost is bounded by its own
 		// candidate count, so probing it to compare is safe.
-		ids := db.ix.spans.overlapping(sel.Spans[0].Start, sel.Spans[0].End, nil)
-		consider(planInterval, len(ids), func() []core.ID { return ids })
+		ids := make([][]core.ID, len(v.shards))
+		size := 0
+		for i, sh := range v.shards {
+			ids[i] = sh.ix.spans.overlapping(sel.Spans[0].Start, sel.Spans[0].End, nil)
+			size += len(ids[i])
+		}
+		consider(planInterval, size, func(r *planResult) { r.ids = ids })
 	}
-	if bestSize < 0 {
-		return planScan, nil, reach
-	}
-	return bestName, bestIDs(), reach
+	return res
 }
 
-// matchLocked applies every sel constraint to o. reach must be the
-// descendant sets planLocked materialized for sel.Reach. Assumes
-// db.mu is held.
-func (db *DB) matchLocked(sel *IndexedQuery, reach []idSet, o *core.Object) bool {
+// match applies every sel constraint to o. reach must be the
+// descendant sets plan materialized for sel.Reach; sh must be o's
+// shard (it holds o's span).
+func (v *View) match(sel *IndexedQuery, reach []idSet, sh *shardState, o *core.Object) bool {
 	if sel.Kind != nil && o.Kind != *sel.Kind {
 		return false
 	}
@@ -314,7 +335,7 @@ func (db *DB) matchLocked(sel *IndexedQuery, reach []idSet, o *core.Object) bool
 		}
 	}
 	if len(sel.Spans) > 0 {
-		sp, ok := db.ix.spans.spanOf(o.ID)
+		sp, ok := sh.ix.spans.spanOf(o.ID)
 		if !ok {
 			return false
 		}
@@ -332,61 +353,110 @@ func (db *DB) matchLocked(sel *IndexedQuery, reach []idSet, o *core.Object) bool
 // sel + pred, and clone only the objects inside the requested window.
 // When the caller does not need the total (needTotal false) the walk
 // stops as soon as the window is full, so matches past the cap are
-// neither cloned nor visited.
-func (db *DB) runIndexed(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int, needTotal, clone bool) (out []*core.Object, total int) {
+// neither cloned nor visited. The entire run executes against this
+// immutable view — no locks, no interaction with concurrent writers.
+func (v *View) runIndexed(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int, needTotal, clone bool) (out []*core.Object, total int) {
 	if offset < 0 {
 		offset = 0
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
 	planStart := time.Now()
-	plan, cands, reach := db.planLocked(&sel)
-	if t := db.tel.Load(); t != nil {
+	pr := v.plan(&sel)
+	if t := v.db.tel.Load(); t != nil {
 		t.queryPlan.Observe(time.Since(planStart))
-		t.probes[plan].Inc()
+		t.probes[pr.label].Inc()
 	}
 
-	match := func(o *core.Object) bool {
-		return db.matchLocked(&sel, reach, o) && (pred == nil || pred(o))
+	match := func(sh *shardState, o *core.Object) bool {
+		return v.match(&sel, pr.reach, sh, o) && (pred == nil || pred(o))
 	}
-	// emit counts a match and clones it when it falls inside the
-	// window; it reports whether the walk must continue. When the
-	// caller doesn't need the total, matches past the cap are not even
-	// counted — Count(limit) returns min(matches, limit).
-	emit := func(o *core.Object) bool {
+	// hardCap bounds how many matches any single candidate walk needs:
+	// when the caller doesn't need the total, nothing past
+	// offset+limit can influence the result.
+	hardCap := -1
+	if !needTotal && limit >= 0 {
+		hardCap = offset + limit
+	}
+
+	var matched []*core.Object
+	perShard := func(si int, walk func(yield func(id core.ID) bool)) {
+		sh := v.shards[si]
+		n := 0
+		walk(func(id core.ID) bool {
+			if o, ok := sh.objects.get(id); ok && match(sh, o) {
+				matched = append(matched, o)
+				n++
+				if hardCap >= 0 && n >= hardCap {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	switch {
+	case pr.sets != nil:
+		for si, set := range pr.sets {
+			if set.len() == 0 {
+				continue
+			}
+			perShard(si, func(yield func(core.ID) bool) {
+				set.ascend(func(id core.ID, _ struct{}) bool { return yield(id) })
+			})
+		}
+	case pr.ids != nil:
+		for si, ids := range pr.ids {
+			if len(ids) == 0 {
+				continue
+			}
+			// overlapping returns (Start, ID) order; the walk wants IDs.
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			ids := ids
+			perShard(si, func(yield func(core.ID) bool) {
+				for _, id := range ids {
+					if !yield(id) {
+						return
+					}
+				}
+			})
+		}
+	case pr.prov != nil:
+		n := 0
+		for _, id := range pr.prov {
+			o := v.getByID(id)
+			if o == nil {
+				continue
+			}
+			sh := v.shardFor(o.Name)
+			if match(sh, o) {
+				matched = append(matched, o)
+				n++
+				if hardCap >= 0 && n >= hardCap {
+					break
+				}
+			}
+		}
+	default: // scan
+		for si, sh := range v.shards {
+			sh := sh
+			perShard(si, func(yield func(core.ID) bool) {
+				sh.objects.ascend(func(id core.ID, _ *core.Object) bool { return yield(id) })
+			})
+		}
+	}
+
+	sort.Slice(matched, func(a, b int) bool { return matched[a].ID < matched[b].ID })
+	// emit: count a match and clone it when it falls inside the window.
+	// When the caller doesn't need the total, matches past the cap are
+	// not even counted — Count(limit) returns min(matches, limit).
+	for _, o := range matched {
 		if !needTotal && limit >= 0 && total >= offset+limit {
-			return false
+			break
 		}
 		total++
 		if clone && total > offset && (limit < 0 || len(out) < limit) {
 			out = append(out, o.Clone())
 		}
-		return needTotal || limit < 0 || total < offset+limit
-	}
-
-	if plan != planScan {
-		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
-		for _, id := range cands {
-			o, ok := db.objects[id]
-			if !ok || !match(o) {
-				continue
-			}
-			if !emit(o) {
-				break
-			}
-		}
-		return out, total
-	}
-	var ids []core.ID
-	for id, o := range db.objects {
-		if match(o) {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	for _, id := range ids {
-		if !emit(db.objects[id]) {
+		if !(needTotal || limit < 0 || total < offset+limit) {
 			break
 		}
 	}
@@ -396,27 +466,43 @@ func (db *DB) runIndexed(sel IndexedQuery, pred func(*core.Object) bool, offset,
 // SelectIndexed returns the objects matching sel and pred, ordered by
 // ID and deep-copied like Select. limit < 0 means unlimited;
 // otherwise at most limit objects are returned, and matches past the
-// cap are never cloned. pred (which may be nil) runs on the live
-// objects under the read lock and must not retain or modify them.
-func (db *DB) SelectIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) []*core.Object {
-	out, _ := db.runIndexed(sel, pred, 0, limit, false, true)
+// cap are never cloned. pred (which may be nil) runs on the view's
+// shared objects and must not retain or modify them.
+func (v *View) SelectIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) []*core.Object {
+	out, _ := v.runIndexed(sel, pred, 0, limit, false, true)
 	return out
 }
 
 // CountIndexed counts the matches of sel and pred without cloning a
 // single object. limit >= 0 caps the count (and the walk); limit < 0
 // counts everything.
-func (db *DB) CountIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) int {
-	_, total := db.runIndexed(sel, pred, 0, limit, false, false)
+func (v *View) CountIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) int {
+	_, total := v.runIndexed(sel, pred, 0, limit, false, false)
 	return total
 }
 
 // SelectPage returns the page [offset, offset+limit) of the full
-// ID-ordered match list plus the total match count. Only the page is
-// cloned — the pagination primitive behind the list/query endpoints.
-// limit < 0 returns everything from offset on.
+// ID-ordered match list plus the total match count, both computed
+// against this single epoch — concurrent publishes cannot skip or
+// duplicate rows across pages pinned to the same view. limit < 0
+// returns everything from offset on.
+func (v *View) SelectPage(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int) ([]*core.Object, int) {
+	return v.runIndexed(sel, pred, offset, limit, true, true)
+}
+
+// SelectIndexed runs against the current epoch; see (*View).SelectIndexed.
+func (db *DB) SelectIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) []*core.Object {
+	return db.CurrentView().SelectIndexed(sel, pred, limit)
+}
+
+// CountIndexed runs against the current epoch; see (*View).CountIndexed.
+func (db *DB) CountIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) int {
+	return db.CurrentView().CountIndexed(sel, pred, limit)
+}
+
+// SelectPage runs against the current epoch; see (*View).SelectPage.
 func (db *DB) SelectPage(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int) ([]*core.Object, int) {
-	return db.runIndexed(sel, pred, offset, limit, true, true)
+	return db.CurrentView().SelectPage(sel, pred, offset, limit)
 }
 
 // IndexStats is a size snapshot of every index family.
@@ -429,63 +515,129 @@ type IndexStats struct {
 	Spans           int `json:"spans"`            // objects with a timeline span
 }
 
-// IndexStats reports the current index sizes.
-func (db *DB) IndexStats() IndexStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	st := IndexStats{
-		Kinds:   len(db.ix.kind),
-		Classes: len(db.ix.class),
-		Spans:   db.ix.spans.len(),
+// IndexStats reports the view's index sizes, aggregated across shards.
+func (v *View) IndexStats() IndexStats {
+	st := IndexStats{}
+	kinds := map[media.Kind]struct{}{}
+	classes := map[core.Class]struct{}{}
+	attrKeys := map[string]struct{}{}
+	attrVals := map[[2]string]struct{}{}
+	for _, sh := range v.shards {
+		sh.ix.kind.ascend(func(k media.Kind, _ idset) bool { kinds[k] = struct{}{}; return true })
+		sh.ix.class.ascend(func(c core.Class, _ idset) bool { classes[c] = struct{}{}; return true })
+		sh.ix.attr.ascend(func(k string, vals tmap[string, idset]) bool {
+			attrKeys[k] = struct{}{}
+			vals.ascend(func(val string, _ idset) bool { attrVals[[2]string{k, val}] = struct{}{}; return true })
+			return true
+		})
+		sh.ix.deps.ascend(func(_ core.ID, set idset) bool { st.ProvenanceEdges += set.len(); return true })
+		st.Spans += sh.ix.spans.len()
 	}
-	for _, vals := range db.ix.attr {
-		st.AttrKeys++
-		st.AttrValues += len(vals)
-	}
-	for _, deps := range db.ix.deps {
-		st.ProvenanceEdges += len(deps)
-	}
+	st.Kinds = len(kinds)
+	st.Classes = len(classes)
+	st.AttrKeys = len(attrKeys)
+	st.AttrValues = len(attrVals)
 	return st
 }
 
-// VerifyIndexes rebuilds every index from scratch over the visible
-// object graph and diffs the rebuild against the live incrementally
-// maintained indexes, including the interval treap's structural
-// invariants. Any divergence — a stale entry leaked by a rollback or
-// delete, a missing entry, an unpruned empty set — is returned as an
-// error. Intended for tests (the crash/stress harness calls it after
-// every fault-injected recovery) and offline fsck-style checks.
-func (db *DB) VerifyIndexes() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	want := newIndexes()
-	for _, obj := range db.objects {
-		want.link(obj, db.lookupVisible)
-	}
-	if err := diffSets("kind", db.ix.kind, want.kind); err != nil {
-		return err
-	}
-	if err := diffSets("class", db.ix.class, want.class); err != nil {
-		return err
-	}
-	if err := diffAttr(db.ix.attr, want.attr); err != nil {
-		return err
-	}
-	if err := diffSets("provenance", db.ix.deps, want.deps); err != nil {
-		return err
-	}
-	if err := db.ix.spans.check(); err != nil {
-		return err
-	}
-	if got, wantN := db.ix.spans.len(), want.spans.len(); got != wantN {
-		return fmt.Errorf("catalog: interval index holds %d spans, rebuild holds %d", got, wantN)
-	}
-	for id, ws := range want.spans.byID {
-		if gs, ok := db.ix.spans.spanOf(id); !ok || gs != ws {
-			return fmt.Errorf("catalog: interval index span for %v is %v, rebuild says %v", id, gs, ws)
+// IndexStats reports the current epoch's index sizes.
+func (db *DB) IndexStats() IndexStats { return db.CurrentView().IndexStats() }
+
+// VerifyIndexes rebuilds every shard's indexes from scratch over the
+// shard's objects and diffs the rebuild against the view's live
+// incrementally maintained indexes, including the interval treap's
+// structural invariants, shard placement (every object lives in the
+// shard its name hashes to) and the name directory. Any divergence —
+// a stale entry leaked by a rollback or delete, a missing entry, an
+// unpruned empty set — is returned as an error. Works per shard, on
+// an immutable epoch: safe to run concurrently with writers.
+func (v *View) VerifyIndexes() error {
+	count := 0
+	for si, sh := range v.shards {
+		want := pIndexes{}
+		var err error
+		sh.objects.ascend(func(id core.ID, o *core.Object) bool {
+			if o.ID != id {
+				err = fmt.Errorf("catalog: shard %d stores %v under key %v", si, o.ID, id)
+				return false
+			}
+			if got := shardOf(o.Name, len(v.shards)); got != si {
+				err = fmt.Errorf("catalog: object %q in shard %d, name hashes to %d", o.Name, si, got)
+				return false
+			}
+			if nid, ok := sh.byName.get(o.Name); !ok || nid != id {
+				err = fmt.Errorf("catalog: shard %d name directory maps %q to %v, object is %v", si, o.Name, nid, id)
+				return false
+			}
+			want = want.link(o, v.getByID)
+			count++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if got, wantN := sh.byName.len(), sh.objects.len(); got != wantN {
+			return fmt.Errorf("catalog: shard %d has %d names for %d objects", si, got, wantN)
+		}
+		if err := diffSets(fmt.Sprintf("shard %d kind", si), setsToMap(sh.ix.kind), setsToMap(want.kind)); err != nil {
+			return err
+		}
+		if err := diffSets(fmt.Sprintf("shard %d class", si), setsToMap(sh.ix.class), setsToMap(want.class)); err != nil {
+			return err
+		}
+		if err := diffAttr(attrToMap(sh.ix.attr), attrToMap(want.attr)); err != nil {
+			return err
+		}
+		if err := diffSets(fmt.Sprintf("shard %d provenance", si), setsToMap(sh.ix.deps), setsToMap(want.deps)); err != nil {
+			return err
+		}
+		if err := sh.ix.spans.check(); err != nil {
+			return err
+		}
+		if got, wantN := sh.ix.spans.len(), want.spans.len(); got != wantN {
+			return fmt.Errorf("catalog: shard %d interval index holds %d spans, rebuild holds %d", si, got, wantN)
+		}
+		var spanErr error
+		want.spans.byID.ascend(func(id core.ID, ws Span) bool {
+			if gs, ok := sh.ix.spans.spanOf(id); !ok || gs != ws {
+				spanErr = fmt.Errorf("catalog: interval index span for %v is %v, rebuild says %v", id, gs, ws)
+				return false
+			}
+			return true
+		})
+		if spanErr != nil {
+			return spanErr
 		}
 	}
+	if count != v.count {
+		return fmt.Errorf("catalog: view count %d, shards hold %d objects", v.count, count)
+	}
 	return nil
+}
+
+// VerifyIndexes verifies the current epoch; see (*View).VerifyIndexes.
+func (db *DB) VerifyIndexes() error { return db.CurrentView().VerifyIndexes() }
+
+// setsToMap / attrToMap flatten persistent index families into plain
+// maps for the verification diff.
+func setsToMap[K cmp.Ordered](m tmap[K, idset]) map[K]idSet {
+	out := map[K]idSet{}
+	m.ascend(func(k K, set idset) bool {
+		s := idSet{}
+		set.ascend(func(id core.ID, _ struct{}) bool { s[id] = struct{}{}; return true })
+		out[k] = s
+		return true
+	})
+	return out
+}
+
+func attrToMap(m tmap[string, tmap[string, idset]]) map[string]map[string]idSet {
+	out := map[string]map[string]idSet{}
+	m.ascend(func(k string, vals tmap[string, idset]) bool {
+		out[k] = setsToMap(vals)
+		return true
+	})
+	return out
 }
 
 func diffSets[K comparable](fam string, got, want map[K]idSet) error {

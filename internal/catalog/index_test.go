@@ -57,10 +57,24 @@ func TestIndexStats(t *testing.T) {
 	}
 }
 
+// corruptShard republishes the current view with f applied to a copy
+// of the shard owning name — planting an inconsistency inside an epoch
+// the way a buggy edit would.
+func corruptShard(db *DB, name string, f func(sh *shardState)) {
+	cur := db.cur.Load()
+	v := *cur
+	v.shards = append([]*shardState(nil), cur.shards...)
+	si := shardOf(name, len(v.shards))
+	c := *v.shards[si]
+	f(&c)
+	v.shards[si] = &c
+	db.cur.Store(&v)
+}
+
 // TestVerifyIndexesDetectsCorruption plants one inconsistency per
-// index family directly into the live structures and checks
-// VerifyIndexes names it. A fresh catalog is built per case since each
-// corruption is destructive.
+// index family into a republished epoch and checks VerifyIndexes names
+// it. A fresh catalog is built per case since each corruption is
+// destructive.
 func TestVerifyIndexesDetectsCorruption(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -69,37 +83,61 @@ func TestVerifyIndexesDetectsCorruption(t *testing.T) {
 	}{
 		{"clean", func(db *DB, ids map[string]core.ID) {}, ""},
 		{"stale kind entry", func(db *DB, ids map[string]core.ID) {
-			db.ix.kind[media.KindVideo][core.ID(9999)] = struct{}{}
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.kind = setAdd(sh.ix.kind, media.KindVideo, core.ID(9999))
+			})
 		}, "kind index"},
 		{"missing kind entry", func(db *DB, ids map[string]core.ID) {
-			delete(db.ix.kind[media.KindVideo], ids["a"])
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.kind = setDrop(sh.ix.kind, media.KindVideo, ids["a"])
+			})
 		}, "kind index missing"},
 		{"unpruned empty class set", func(db *DB, ids map[string]core.ID) {
-			db.ix.class[core.Class(77)] = idSet{}
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.class = sh.ix.class.set(core.Class(77), idset{})
+			})
 		}, "empty set"},
 		{"stale attr key", func(db *DB, ids map[string]core.ID) {
-			db.ix.attr["ghost"] = map[string]idSet{"x": {ids["a"]: {}}}
+			corruptShard(db, "a", func(sh *shardState) {
+				vals := tmap[string, idset]{}.set("x", idset{}.set(ids["a"], struct{}{}))
+				sh.ix.attr = sh.ix.attr.set("ghost", vals)
+			})
 		}, "attr"},
 		{"stale provenance edge", func(db *DB, ids map[string]core.ID) {
-			db.ix.deps[ids["b"]][ids["a"]] = struct{}{}
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.deps = setAdd(sh.ix.deps, ids["b"], ids["a"])
+			})
 		}, "provenance"},
 		{"dropped span", func(db *DB, ids map[string]core.ID) {
-			db.ix.spans.remove(ids["b"])
+			corruptShard(db, "b", func(sh *shardState) {
+				sh.ix.spans = sh.ix.spans.remove(ids["b"])
+			})
 		}, "interval index"},
 		{"wrong span", func(db *DB, ids map[string]core.ID) {
-			db.ix.spans.add(ids["b"], Span{Start: 40, End: 41})
+			corruptShard(db, "b", func(sh *shardState) {
+				sh.ix.spans = sh.ix.spans.add(ids["b"], Span{Start: 40, End: 41})
+			})
 		}, "interval index span"},
 		{"stale class key", func(db *DB, ids map[string]core.ID) {
-			db.ix.class[core.Class(77)] = idSet{ids["a"]: {}}
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.class = sh.ix.class.set(core.Class(77), idset{}.set(ids["a"], struct{}{}))
+			})
 		}, "stale key"},
 		{"missing attr entry", func(db *DB, ids map[string]core.ID) {
-			delete(db.ix.attr["language"]["en"], ids["a"])
+			corruptShard(db, "a", func(sh *shardState) {
+				vals, _ := sh.ix.attr.get("language")
+				sh.ix.attr = sh.ix.attr.set("language", setDrop(vals, "en", ids["a"]))
+			})
 		}, "attr[language]"},
 		{"unpruned empty attr key", func(db *DB, ids map[string]core.ID) {
-			db.ix.attr["ghost"] = map[string]idSet{}
+			corruptShard(db, "a", func(sh *shardState) {
+				sh.ix.attr = sh.ix.attr.set("ghost", tmap[string, idset]{})
+			})
 		}, "empty key"},
 		{"treap byID divergence", func(db *DB, ids map[string]core.ID) {
-			db.ix.spans.byID[core.ID(9999)] = Span{Start: 1, End: 2}
+			corruptShard(db, "b", func(sh *shardState) {
+				sh.ix.spans.byID = sh.ix.spans.byID.set(core.ID(9999), Span{Start: 1, End: 2})
+			})
 		}, "interval index"},
 	}
 	for _, tc := range cases {
@@ -324,17 +362,18 @@ func TestTimelineSpanEdgeCases(t *testing.T) {
 	}
 }
 
-// TestDropFromSetMissingKey pins that unlinking under a key that was
-// never indexed is a no-op, not a panic.
-func TestDropFromSetMissingKey(t *testing.T) {
-	m := map[string]idSet{}
-	dropFromSet(m, "ghost", core.ID(1))
-	if len(m) != 0 {
-		t.Errorf("map = %v", m)
+// TestSetDropMissingKey pins that unlinking under a key that was
+// never indexed is a no-op, not a panic, and that emptied posting
+// lists are pruned from the persistent family.
+func TestSetDropMissingKey(t *testing.T) {
+	var m tmap[string, idset]
+	m = setDrop(m, "ghost", core.ID(1))
+	if m.len() != 0 {
+		t.Errorf("map has %d keys", m.len())
 	}
-	m["k"] = idSet{core.ID(1): {}}
-	dropFromSet(m, "k", core.ID(1))
-	if _, ok := m["k"]; ok {
+	m = setAdd(m, "k", core.ID(1))
+	m = setDrop(m, "k", core.ID(1))
+	if m.has("k") {
 		t.Error("emptied set not pruned")
 	}
 }

@@ -24,15 +24,18 @@ func (s Span) Overlaps(lo, hi float64) bool {
 	return s.Start <= hi && s.End > lo
 }
 
-// intervalIndex stores object spans in a treap keyed by (Start, ID)
-// with subtree-max End augmentation, so a window query visits only
-// subtrees that can still overlap: O(log n + k) for k results. Node
-// priorities are hashed from the object ID, making the shape a pure
-// function of the stored set — identical across live maintenance and
-// rebuild-from-scratch, which VerifyIndexes exploits.
-type intervalIndex struct {
+// spanIndex stores object spans in a persistent treap keyed by
+// (Start, ID) with subtree-max End augmentation, so a window query
+// visits only subtrees that can still overlap: O(log n + k) for k
+// results. Like tmap, mutation is by path copying: add and remove
+// return a new index sharing all untouched nodes with the old one, so
+// every published epoch carries its own immutable interval index.
+// Node priorities are hashed from the object ID, making the shape a
+// pure function of the stored set — identical across live maintenance
+// and rebuild-from-scratch, which VerifyIndexes exploits.
+type spanIndex struct {
 	root *spanNode
-	byID map[core.ID]Span
+	byID tmap[core.ID, Span]
 }
 
 type spanNode struct {
@@ -43,21 +46,14 @@ type spanNode struct {
 	left, right *spanNode
 }
 
-func newIntervalIndex() *intervalIndex {
-	return &intervalIndex{byID: map[core.ID]Span{}}
+func (n *spanNode) copy() *spanNode {
+	c := *n
+	return &c
 }
 
 // spanPrio derives the treap priority from the object ID (splitmix64
 // finalizer) — deterministic, no RNG state to persist.
-func spanPrio(id core.ID) uint64 {
-	x := uint64(id) + 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+func spanPrio(id core.ID) uint64 { return mix64(uint64(id)) }
 
 // keyLess orders nodes by (Start, ID).
 func (n *spanNode) keyLess(start float64, id core.ID) bool {
@@ -76,21 +72,26 @@ func (n *spanNode) pull() *spanNode {
 	return n
 }
 
-// spanSplit partitions n into keys < (start, id) and keys >= (start, id).
+// spanSplit partitions n into keys < (start, id) and keys >=
+// (start, id), copying every node on the split spine. Subtrees that
+// land wholly on one side are shared, not copied.
 func spanSplit(n *spanNode, start float64, id core.ID) (l, r *spanNode) {
 	if n == nil {
 		return nil, nil
 	}
-	if n.keyLess(start, id) {
-		sl, sr := spanSplit(n.right, start, id)
-		n.right = sl
-		return n.pull(), sr
+	c := n.copy()
+	if c.keyLess(start, id) {
+		sl, sr := spanSplit(c.right, start, id)
+		c.right = sl
+		return c.pull(), sr
 	}
-	sl, sr := spanSplit(n.left, start, id)
-	n.left = sr
-	return sl, n.pull()
+	sl, sr := spanSplit(c.left, start, id)
+	c.left = sr
+	return sl, c.pull()
 }
 
+// spanMerge joins two treaps where every key in l precedes every key
+// in r, copying the merge spine.
 func spanMerge(l, r *spanNode) *spanNode {
 	switch {
 	case l == nil:
@@ -98,60 +99,64 @@ func spanMerge(l, r *spanNode) *spanNode {
 	case r == nil:
 		return l
 	case l.prio >= r.prio:
-		l.right = spanMerge(l.right, r)
-		return l.pull()
+		c := l.copy()
+		c.right = spanMerge(c.right, r)
+		return c.pull()
 	default:
-		r.left = spanMerge(l, r.left)
-		return r.pull()
+		c := r.copy()
+		c.left = spanMerge(l, c.left)
+		return c.pull()
 	}
 }
 
-// add inserts (or replaces) the span for id.
-func (ix *intervalIndex) add(id core.ID, s Span) {
-	if old, ok := ix.byID[id]; ok {
-		ix.removeKey(old.Start, id)
+// add returns an index with the span for id inserted (or replaced).
+func (ix spanIndex) add(id core.ID, s Span) spanIndex {
+	if old, ok := ix.byID.get(id); ok {
+		ix = ix.removeKey(old.Start, id)
 	}
-	ix.byID[id] = s
+	ix.byID = ix.byID.set(id, s)
 	n := &spanNode{id: id, span: s, prio: spanPrio(id)}
 	n.pull()
 	l, r := spanSplit(ix.root, s.Start, id)
 	ix.root = spanMerge(spanMerge(l, n), r)
+	return ix
 }
 
-// remove drops id's span; unknown IDs are a no-op.
-func (ix *intervalIndex) remove(id core.ID) {
-	s, ok := ix.byID[id]
+// remove returns an index without id's span; unknown IDs return the
+// index unchanged.
+func (ix spanIndex) remove(id core.ID) spanIndex {
+	s, ok := ix.byID.get(id)
 	if !ok {
-		return
+		return ix
 	}
-	delete(ix.byID, id)
-	ix.removeKey(s.Start, id)
+	ix.byID = ix.byID.del(id)
+	return ix.removeKey(s.Start, id)
 }
 
 // removeKey detaches the single node with key (start, id) by splitting
 // out the one-key range [(start,id), (start,id+1)).
-func (ix *intervalIndex) removeKey(start float64, id core.ID) {
+func (ix spanIndex) removeKey(start float64, id core.ID) spanIndex {
 	l, rest := spanSplit(ix.root, start, id)
 	mid, r := spanSplit(rest, start, id+1)
 	if mid != nil {
 		mid = spanMerge(mid.left, mid.right)
 	}
 	ix.root = spanMerge(spanMerge(l, mid), r)
+	return ix
 }
 
 // spanOf returns the indexed span of id.
-func (ix *intervalIndex) spanOf(id core.ID) (Span, bool) {
-	s, ok := ix.byID[id]
-	return s, ok
+func (ix spanIndex) spanOf(id core.ID) (Span, bool) {
+	return ix.byID.get(id)
 }
 
-func (ix *intervalIndex) len() int { return len(ix.byID) }
+func (ix spanIndex) len() int { return ix.byID.len() }
 
 // overlapping appends to out the IDs of every span overlapping the
 // closed window [lo, hi], in (Start, ID) order. Subtrees whose maxEnd
 // is <= lo cannot contain an overlap and are pruned; right subtrees
 // are pruned once Start exceeds hi.
-func (ix *intervalIndex) overlapping(lo, hi float64, out []core.ID) []core.ID {
+func (ix spanIndex) overlapping(lo, hi float64, out []core.ID) []core.ID {
 	var walk func(n *spanNode)
 	walk = func(n *spanNode) {
 		if n == nil || n.maxEnd <= lo {
@@ -171,8 +176,8 @@ func (ix *intervalIndex) overlapping(lo, hi float64, out []core.ID) []core.ID {
 
 // check verifies the treap against byID: key order, heap order,
 // max-End augmentation, and exact agreement with the byID map. Used
-// by (*DB).VerifyIndexes.
-func (ix *intervalIndex) check() error {
+// by VerifyIndexes.
+func (ix spanIndex) check() error {
 	seen := map[core.ID]Span{}
 	prevStart := math.Inf(-1)
 	var prevID core.ID
@@ -212,13 +217,16 @@ func (ix *intervalIndex) check() error {
 	if _, err := walk(ix.root); err != nil {
 		return err
 	}
-	if len(seen) != len(ix.byID) {
-		return fmt.Errorf("interval index: tree holds %d spans, byID holds %d", len(seen), len(ix.byID))
+	if len(seen) != ix.byID.len() {
+		return fmt.Errorf("interval index: tree holds %d spans, byID holds %d", len(seen), ix.byID.len())
 	}
-	for id, s := range ix.byID {
+	var err error
+	ix.byID.ascend(func(id core.ID, s Span) bool {
 		if got, ok := seen[id]; !ok || got != s {
-			return fmt.Errorf("interval index: byID span %v for %v not in tree (tree has %v)", s, id, got)
+			err = fmt.Errorf("interval index: byID span %v for %v not in tree (tree has %v)", s, id, got)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return err
 }

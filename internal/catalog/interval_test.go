@@ -14,7 +14,7 @@ import (
 // queries are cross-checked against brute-force iteration of the map.
 func TestIntervalRandomOpsAgainstMapOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	ix := newIntervalIndex()
+	var ix spanIndex
 	oracle := map[core.ID]Span{}
 
 	bruteOverlap := func(lo, hi float64) []core.ID {
@@ -33,13 +33,13 @@ func TestIntervalRandomOpsAgainstMapOracle(t *testing.T) {
 		switch rng.Intn(10) {
 		case 0, 1: // remove (often a no-op on a missing id)
 			id := core.ID(rng.Intn(200))
-			ix.remove(id)
+			ix = ix.remove(id)
 			delete(oracle, id)
 		default: // add or replace; duplicate starts are common on purpose
 			id := core.ID(rng.Intn(200))
 			start := float64(rng.Intn(40)) / 4
 			s := Span{Start: start, End: start + 0.25 + rng.Float64()*5}
-			ix.add(id, s)
+			ix = ix.add(id, s)
 			oracle[id] = s
 		}
 		if err := ix.check(); err != nil {
@@ -69,7 +69,7 @@ func TestIntervalRandomOpsAgainstMapOracle(t *testing.T) {
 
 	// Drain completely; the tree must empty out cleanly.
 	for id := range oracle {
-		ix.remove(id)
+		ix = ix.remove(id)
 	}
 	if ix.len() != 0 || ix.root != nil {
 		t.Errorf("after drain: len=%d root=%v", ix.len(), ix.root)
@@ -82,10 +82,10 @@ func TestIntervalRandomOpsAgainstMapOracle(t *testing.T) {
 // TestIntervalSpanOfAndReplace pins the replace-in-place semantics of
 // add: re-adding an id moves its span, never duplicates it.
 func TestIntervalSpanOfAndReplace(t *testing.T) {
-	ix := newIntervalIndex()
-	ix.add(1, Span{Start: 0, End: 2})
-	ix.add(2, Span{Start: 1, End: 3})
-	ix.add(1, Span{Start: 10, End: 12}) // replace
+	var ix spanIndex
+	ix = ix.add(1, Span{Start: 0, End: 2})
+	ix = ix.add(2, Span{Start: 1, End: 3})
+	ix = ix.add(1, Span{Start: 10, End: 12}) // replace
 
 	if s, ok := ix.spanOf(1); !ok || s.Start != 10 || s.End != 12 {
 		t.Errorf("spanOf(1) = %v %v", s, ok)

@@ -393,12 +393,11 @@ func (db *DB) applyOpLocked(rec *walOp) error {
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
-		db.interps[exp.BlobID] = it
-		// Replayed records postdate the last checkpoint, so the
-		// registration is dirty until the next one captures it. Object
-		// ops mark through insert/addSyncLocked/deleteLocked.
-		db.dirtyInterps[exp.BlobID] = struct{}{}
-		delete(db.dirtyDelInterp, exp.BlobID)
+		// Replayed records postdate the last checkpoint, so
+		// publishInterpLocked's dirty mark keeps the registration dirty
+		// until the next one captures it. Object ops mark through
+		// publishLocked/addSyncLocked/deleteLocked.
+		db.publishInterpLocked(it)
 	case opNonDerived:
 		if _, err := db.addNonDerivedLocked(rec.ID, rec.Name, rec.Blob, rec.Track, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)

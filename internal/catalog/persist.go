@@ -9,6 +9,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"timedmedia/internal/blob"
@@ -155,27 +156,37 @@ func objectFromSaved(so *savedObject) (*core.Object, error) {
 	return obj, nil
 }
 
-// captureFullLocked captures the whole object graph as a full
+// captureFullLocked captures the whole object graph — the current
+// epoch's shards, merged back into one ID-ordered stream — as a full
 // streaming snapshot. Assumes db.mu is held (read or write).
 func (db *DB) captureFullLocked() (*snapCapture, error) {
+	cur := db.cur.Load()
 	cap := &snapCapture{head: streamHead{Full: true, Seq: db.seq, NextID: db.nextID}}
-	for id := core.ID(1); id < db.nextID; id++ {
-		obj, ok := db.objects[id]
-		if !ok {
-			continue
-		}
-		so, err := saveObject(obj)
+	var err error
+	for _, sh := range cur.shards {
+		sh.objects.ascend(func(_ core.ID, obj *core.Object) bool {
+			var so savedObject
+			if so, err = saveObject(obj); err != nil {
+				return false
+			}
+			cap.objs = append(cap.objs, so)
+			return true
+		})
 		if err != nil {
 			return nil, err
 		}
-		cap.objs = append(cap.objs, so)
 	}
-	for _, it := range db.interps {
-		rec, err := interp.Export(it)
-		if err != nil {
-			return nil, err
+	sort.Slice(cap.objs, func(a, b int) bool { return cap.objs[a].ID < cap.objs[b].ID })
+	cur.interps.ascend(func(_ blob.ID, it *interp.Interpretation) bool {
+		var rec *interp.Exported
+		if rec, err = interp.Export(it); err != nil {
+			return false
 		}
 		cap.interps = append(cap.interps, rec)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	cap.head.NumObjects = len(cap.objs)
 	cap.head.NumInterps = len(cap.interps)
@@ -352,26 +363,27 @@ func (db *DB) readSnapshotInto(path string) error {
 	return db.applySavedCatalog(&snap)
 }
 
-// applySavedCatalog applies a legacy whole-catalog snapshot. Does not
-// link indexes (see objectFromSaved).
+// applySavedCatalog applies a legacy whole-catalog snapshot as one
+// published epoch. Does not link indexes (see objectFromSaved).
 func (db *DB) applySavedCatalog(snap *savedCatalog) error {
 	db.nextID = snap.NextID
 	db.seq = snap.Seq
+	e := db.beginEditLocked()
 	for _, rec := range snap.Interps {
 		it, err := db.importInterp(rec)
 		if err != nil {
 			return err
 		}
-		db.interps[rec.BlobID] = it
+		e.setInterp(it)
 	}
 	for i := range snap.Objects {
 		obj, err := objectFromSaved(&snap.Objects[i])
 		if err != nil {
 			return err
 		}
-		db.objects[obj.ID] = obj
-		db.byName[obj.Name] = obj.ID
+		e.insertRaw(obj)
 	}
+	db.commitEditLocked(e)
 	return nil
 }
 
@@ -529,9 +541,7 @@ func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
 	// Rebuild the secondary indexes once the whole base + chain state
 	// is present — multimedia spans resolve component objects, which
 	// may appear anywhere in the stream.
-	for _, obj := range db.objects {
-		db.linkLocked(obj)
-	}
+	db.relinkAllLocked()
 
 	if err := db.replayAllLocked(dir); err != nil {
 		return nil, err

@@ -1,0 +1,266 @@
+package catalog
+
+// Persistent ordered map: a path-copying treap with deterministic
+// priorities and size augmentation. This is the building block for the
+// epoch-snapshot catalog: every mutation copies the O(log n) spine it
+// touches and shares the rest of the tree with the previous epoch, so
+// publishing a new immutable view after a commit costs log-time and a
+// handful of allocations instead of a full map clone.
+//
+// Priorities are a hash of the key, so the shape of a treap is a pure
+// function of its key set — two independently built maps over the same
+// keys are structurally identical. VerifyIndexes leans on a weaker
+// form of this (set equality), but determinism also keeps replay and
+// rebuild paths reproducible under -race and in crash tests.
+//
+// The zero value is an empty, ready-to-use map. All methods are
+// value receivers returning new maps; a tmap is safe to read from any
+// number of goroutines once published.
+
+import (
+	"cmp"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/media"
+)
+
+type tnode[K cmp.Ordered, V any] struct {
+	k    K
+	v    V
+	prio uint64
+	size int
+	l, r *tnode[K, V]
+}
+
+// tmap is a persistent ordered map from K to V.
+type tmap[K cmp.Ordered, V any] struct {
+	root *tnode[K, V]
+}
+
+func tsize[K cmp.Ordered, V any](n *tnode[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *tnode[K, V]) pull() {
+	n.size = tsize(n.l) + tsize(n.r) + 1
+}
+
+func (n *tnode[K, V]) copy() *tnode[K, V] {
+	c := *n
+	return &c
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed
+// bijection used to derive treap priorities from keys.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// prioOf derives the deterministic priority for a key. The type switch
+// covers every key type the catalog instantiates; adding a new key
+// type without a case is a programming error caught at first insert.
+func prioOf[K cmp.Ordered](k K) uint64 {
+	switch x := any(k).(type) {
+	case core.ID:
+		return mix64(uint64(x))
+	case blob.ID:
+		return mix64(uint64(x))
+	case media.Kind:
+		return mix64(uint64(x))
+	case core.Class:
+		return mix64(uint64(x))
+	case string:
+		return mix64(fnv64(x))
+	case uint64:
+		return mix64(x)
+	case int:
+		return mix64(uint64(x))
+	default:
+		panic("catalog: tmap key type lacks a priority hash")
+	}
+}
+
+func (m tmap[K, V]) len() int { return tsize(m.root) }
+
+func (m tmap[K, V]) get(k K) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case k < n.k:
+			n = n.l
+		case k > n.k:
+			n = n.r
+		default:
+			return n.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (m tmap[K, V]) has(k K) bool {
+	_, ok := m.get(k)
+	return ok
+}
+
+// set returns a map with k bound to v, sharing structure with m.
+func (m tmap[K, V]) set(k K, v V) tmap[K, V] {
+	return tmap[K, V]{root: tset(m.root, k, v, prioOf(k))}
+}
+
+func tset[K cmp.Ordered, V any](n *tnode[K, V], k K, v V, prio uint64) *tnode[K, V] {
+	if n == nil {
+		return &tnode[K, V]{k: k, v: v, prio: prio, size: 1}
+	}
+	c := n.copy()
+	switch {
+	case k < n.k:
+		c.l = tset(n.l, k, v, prio)
+		c.pull()
+		if c.l.prio > c.prio {
+			c = rotRight(c)
+		}
+	case k > n.k:
+		c.r = tset(n.r, k, v, prio)
+		c.pull()
+		if c.r.prio > c.prio {
+			c = rotLeft(c)
+		}
+	default:
+		c.v = v
+	}
+	return c
+}
+
+// rotRight and rotLeft operate on freshly copied nodes only: the
+// parent is a copy made by tset, and the promoted child is the node
+// tset just returned, so in-place pointer surgery never mutates a
+// published epoch.
+func rotRight[K cmp.Ordered, V any](n *tnode[K, V]) *tnode[K, V] {
+	l := n.l
+	n.l = l.r
+	n.pull()
+	l.r = n
+	l.pull()
+	return l
+}
+
+func rotLeft[K cmp.Ordered, V any](n *tnode[K, V]) *tnode[K, V] {
+	r := n.r
+	n.r = r.l
+	n.pull()
+	r.l = n
+	r.pull()
+	return r
+}
+
+// del returns a map without k, sharing structure with m. Deleting an
+// absent key returns m unchanged.
+func (m tmap[K, V]) del(k K) tmap[K, V] {
+	root, ok := tdel(m.root, k)
+	if !ok {
+		return m
+	}
+	return tmap[K, V]{root: root}
+}
+
+func tdel[K cmp.Ordered, V any](n *tnode[K, V], k K) (*tnode[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch {
+	case k < n.k:
+		nl, ok := tdel(n.l, k)
+		if !ok {
+			return n, false
+		}
+		c := n.copy()
+		c.l = nl
+		c.pull()
+		return c, true
+	case k > n.k:
+		nr, ok := tdel(n.r, k)
+		if !ok {
+			return n, false
+		}
+		c := n.copy()
+		c.r = nr
+		c.pull()
+		return c, true
+	default:
+		return tmerge(n.l, n.r), true
+	}
+}
+
+// tmerge joins two treaps where every key in l precedes every key in
+// r. Nodes returned untouched (the nil cases) stay shared; every node
+// on the merge spine is copied.
+func tmerge[K cmp.Ordered, V any](l, r *tnode[K, V]) *tnode[K, V] {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio >= r.prio {
+		c := l.copy()
+		c.r = tmerge(l.r, r)
+		c.pull()
+		return c
+	}
+	c := r.copy()
+	c.l = tmerge(l, r.l)
+	c.pull()
+	return c
+}
+
+// ascend walks keys in ascending order, stopping early when f returns
+// false. Reports whether the walk ran to completion.
+func (m tmap[K, V]) ascend(f func(K, V) bool) bool {
+	return tascend(m.root, f)
+}
+
+func tascend[K cmp.Ordered, V any](n *tnode[K, V], f func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !tascend(n.l, f) {
+		return false
+	}
+	if !f(n.k, n.v) {
+		return false
+	}
+	return tascend(n.r, f)
+}
+
+// idset is a persistent set of object IDs — the posting-list type for
+// every secondary index family.
+type idset = tmap[core.ID, struct{}]
+
+func (m tmap[K, V]) keys() []K {
+	out := make([]K, 0, m.len())
+	m.ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -106,10 +106,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	// One view: the batch landed as one epoch, so the epoch current
+	// right after AddBatch returns contains every created object (or a
+	// later epoch where some were already deleted again).
+	cur := s.db.CurrentView()
 	reply := batchReply{IDs: make([]uint64, len(ids)), Objects: make([]objectSummary, len(ids))}
 	for i, id := range ids {
 		reply.IDs[i] = uint64(id)
-		obj, err := s.db.Get(id)
+		obj, err := cur.Get(id)
 		if err != nil {
 			// Deleted between commit and summary — still created.
 			if errors.Is(err, catalog.ErrNotFound) {
@@ -119,7 +123,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, err)
 			return
 		}
-		reply.Objects[i] = s.summarize(obj)
+		reply.Objects[i] = s.summarize(cur, obj)
 	}
 	writeJSONStatus(w, http.StatusCreated, reply)
 }

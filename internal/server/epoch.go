@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/telemetry"
+)
+
+// Epochs are a first-class API concept on every read route: a read
+// resolves the catalog to one immutable epoch view up front and runs
+// the whole request — lookup, planner, match, pagination — against
+// it, so concurrent commits never tear a response.
+//
+// The resolved epoch is exposed two ways:
+//
+//   - ETag: every read response carries the epoch as a strong ETag
+//     (`ETag: "17"`). If-None-Match with the current epoch's tag
+//     answers 304 Not Modified without running the handler body — a
+//     cheap "has anything changed?" poll.
+//   - epoch= pin: a read may pass ?epoch=N to run against a retained
+//     earlier epoch. Paginated clients pin the epoch of their first
+//     page so later pages are mutually consistent with it instead of
+//     racing writers page to page. A retired epoch answers
+//     410 epoch_gone; clients drop the pin and restart from the
+//     current epoch.
+
+// pinView resolves the epoch view a read runs against: the epoch=
+// parameter pins a retained epoch, otherwise the current epoch is
+// used (one atomic load, no locks). It sets the ETag header and
+// short-circuits If-None-Match with 304. ok=false means the response
+// has already been written.
+func (s *Server) pinView(w http.ResponseWriter, r *http.Request) (*catalog.View, bool) {
+	var v *catalog.View
+	if e := r.URL.Query().Get("epoch"); e != "" {
+		n, err := strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			badRequest(w, "bad epoch")
+			return nil, false
+		}
+		pinned, err := s.db.ViewAt(n)
+		if err != nil {
+			httpError(w, err)
+			return nil, false
+		}
+		v = pinned
+	} else {
+		v = s.db.CurrentView()
+	}
+	etag := `"` + strconv.FormatUint(v.Epoch(), 10) + `"`
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil, false
+	}
+	return v, true
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// entity tag. Weak comparison: a W/ prefix on a listed tag is
+// ignored, and * matches anything.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupPinned resolves {name} against the pinned view, timing the
+// lookup into the stage histogram and the request trace.
+func (s *Server) lookupPinned(w http.ResponseWriter, r *http.Request, v *catalog.View) (*core.Object, bool) {
+	done := telemetry.StartSpan(r.Context(), "lookup")
+	start := time.Now()
+	obj, err := v.Lookup(r.PathValue("name"))
+	s.lookupHist.Observe(time.Since(start))
+	done()
+	if err != nil {
+		httpError(w, err)
+		return nil, false
+	}
+	return obj, true
+}

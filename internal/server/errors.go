@@ -29,6 +29,7 @@ const (
 	CodeDupName      = "duplicate_name"
 	CodeJournal      = "journal_failed"
 	CodeBadRequest   = "bad_request"
+	CodeEpochGone    = "epoch_gone"
 	CodeOverloaded   = "overloaded"
 	CodeReadOnly     = "read_only"
 	CodeNotReady     = "not_ready"
@@ -62,6 +63,10 @@ func classify(err error) (status int, code string) {
 		return http.StatusBadRequest, CodeCannotExpand
 	case errors.Is(err, catalog.ErrNoInterp):
 		return http.StatusBadRequest, CodeNoInterp
+	case errors.Is(err, catalog.ErrEpochGone):
+		// 410, not 404: the resource class still exists, the pinned
+		// epoch has been retired. Clients drop the pin and re-read.
+		return http.StatusGone, CodeEpochGone
 	case errors.Is(err, catalog.ErrDupName):
 		return http.StatusConflict, CodeDupName
 	case errors.Is(err, catalog.ErrJournal):

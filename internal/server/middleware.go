@@ -229,14 +229,28 @@ func (s *Server) telemetryMiddleware(next http.Handler) http.Handler {
 	})
 }
 
+// legacySunset is the announced removal date of the unversioned
+// routes, sent as the Sunset header (RFC 8594) on every rewritten
+// request.
+const legacySunset = "Tue, 30 Jun 2027 00:00:00 GMT"
+
 // legacyRewrite keeps the pre-/v1 object routes working: unversioned
 // /objects... paths are rewritten in place to /v1/objects..., counted
 // in tbm_legacy_requests_total, and flagged in the context so list
 // responses keep their legacy bare-array shape.
+//
+// The rewrite is formally deprecated: every rewritten response
+// carries Deprecation (RFC 9745), a Sunset date, and a Link to its
+// /v1 successor, so clients and proxies can discover the migration
+// mechanically instead of reading release notes.
 func (s *Server) legacyRewrite(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if p := r.URL.Path; p == "/objects" || strings.HasPrefix(p, "/objects/") {
 			s.legacy.Inc()
+			h := w.Header()
+			h.Set("Deprecation", "true")
+			h.Set("Sunset", legacySunset)
+			h.Set("Link", `</v1`+p+`>; rel="successor-version"`)
 			r2 := r.Clone(context.WithValue(r.Context(), legacyKey, true))
 			r2.URL.Path = "/v1" + p
 			next.ServeHTTP(w, r2)

@@ -114,8 +114,15 @@ func parsePage(w http.ResponseWriter, q url.Values) (limit, offset int, ok bool)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// The whole query — planner, match, pagination, summaries — runs
+	// against one pinned epoch view: no lock is taken and concurrent
+	// commits cannot tear the result or skew total against the page.
+	v, okPin := s.pinView(w, r)
+	if !okPin {
+		return
+	}
 	params := r.URL.Query()
-	q := query.New(s.db)
+	q := query.At(v)
 
 	if v := params.Get("kind"); v != "" {
 		k, ok := parseKindName(v)
@@ -143,8 +150,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if v := params.Get("name_contains"); v != "" {
 		q.NameContains(v)
 	}
-	if v := params.Get("derived_from"); v != "" {
-		src, err := s.db.Lookup(v)
+	if name := params.Get("derived_from"); name != "" {
+		src, err := v.Lookup(name)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -207,19 +214,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q.Limit(limit)
 
-	if v := params.Get("count"); v == "1" || v == "true" {
-		writeJSON(w, map[string]int{"count": q.Count()})
+	if c := params.Get("count"); c == "1" || c == "true" {
+		writeJSON(w, map[string]any{"count": q.Count(), "epoch": v.Epoch()})
 		return
 	}
 	page, total := q.RunPage(offset)
-	out := []objectSummary{}
-	for _, obj := range page {
-		out = append(out, s.summarize(obj))
-	}
-	reply := listReply{Objects: out, Total: total}
-	if end := offset + len(page); end < total {
-		next := end
-		reply.NextOffset = &next
-	}
-	writeJSON(w, reply)
+	writeListPage(w, s, v, page, offset, total)
 }

@@ -53,6 +53,7 @@ import (
 	"timedmedia/internal/core"
 	"timedmedia/internal/expcache"
 	"timedmedia/internal/interp"
+	"timedmedia/internal/query"
 	"timedmedia/internal/telemetry"
 	"timedmedia/internal/wal"
 )
@@ -264,7 +265,10 @@ type objectSummary struct {
 	Derivation string            `json:"derivation,omitempty"`
 }
 
-func (s *Server) summarize(obj *core.Object) objectSummary {
+// summarize renders an object against the epoch view it was read
+// from — the interpretation table is part of the epoch, so descriptor
+// and element counts stay consistent with the pinned object.
+func (s *Server) summarize(v *catalog.View, obj *core.Object) objectSummary {
 	out := objectSummary{
 		ID:    uint64(obj.ID),
 		Name:  obj.Name,
@@ -274,7 +278,7 @@ func (s *Server) summarize(obj *core.Object) objectSummary {
 	}
 	switch obj.Class {
 	case core.ClassNonDerived:
-		if tr, err := s.track(obj); err == nil {
+		if tr, err := s.track(v, obj); err == nil {
 			out.Descriptor = tr.Descriptor().String()
 			out.Categories = tr.Stream().Classify().String()
 			out.Elements = tr.Len()
@@ -286,20 +290,21 @@ func (s *Server) summarize(obj *core.Object) objectSummary {
 	return out
 }
 
-func (s *Server) track(obj *core.Object) (*interp.Track, error) {
-	_, tr, err := s.source(obj)
+func (s *Server) track(v *catalog.View, obj *core.Object) (*interp.Track, error) {
+	_, tr, err := s.source(v, obj)
 	return tr, err
 }
 
-// source resolves a stored object to its interpretation and track.
-// Derived and multimedia objects have no stored elements — they must
-// be expanded/played instead — so they fail with ErrNotMedia rather
-// than a nil-interpretation panic.
-func (s *Server) source(obj *core.Object) (*interp.Interpretation, *interp.Track, error) {
+// source resolves a stored object to its interpretation and track, as
+// of the epoch view the object was read from. Derived and multimedia
+// objects have no stored elements — they must be expanded/played
+// instead — so they fail with ErrNotMedia rather than a
+// nil-interpretation panic.
+func (s *Server) source(v *catalog.View, obj *core.Object) (*interp.Interpretation, *interp.Track, error) {
 	if obj.Class != core.ClassNonDerived {
 		return nil, nil, fmt.Errorf("%w: %s has no stored elements", catalog.ErrNotMedia, obj.Name)
 	}
-	it, err := s.db.Interpretation(obj.Blob)
+	it, err := v.Interpretation(obj.Blob)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -308,19 +313,6 @@ func (s *Server) source(obj *core.Object) (*interp.Interpretation, *interp.Track
 		return nil, nil, err
 	}
 	return it, tr, nil
-}
-
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Object, bool) {
-	done := telemetry.StartSpan(r.Context(), "lookup")
-	start := time.Now()
-	obj, err := s.db.Lookup(r.PathValue("name"))
-	s.lookupHist.Observe(time.Since(start))
-	done()
-	if err != nil {
-		httpError(w, err)
-		return nil, false
-	}
-	return obj, true
 }
 
 // payload fetches one element's bytes, timing the fetch into the
@@ -359,15 +351,23 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Write(buf.Bytes())
 }
 
-// listReply is the paginated shape of GET /v1/objects. NextOffset is
-// present only when more objects follow the returned page.
+// listReply is the paginated shape of GET /v1/objects and /v1/query.
+// Epoch names the epoch the page was computed against — pass it back
+// as ?epoch= to make the next page mutually consistent with this one.
+// NextOffset is present only when more objects follow the returned
+// page.
 type listReply struct {
 	Objects    []objectSummary `json:"objects"`
 	Total      int             `json:"total"`
+	Epoch      uint64          `json:"epoch"`
 	NextOffset *int            `json:"next_offset,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	var sel catalog.IndexedQuery
 	impossible := false // kind string no object ever reports
@@ -388,9 +388,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		// that shape for existing clients.
 		out := []objectSummary{}
 		if !impossible {
-			page, _ := s.db.SelectPage(sel, residual, 0, -1)
+			page, _ := v.SelectPage(sel, residual, 0, -1)
 			for _, obj := range page {
-				out = append(out, s.summarize(obj))
+				out = append(out, s.summarize(v, obj))
 			}
 		}
 		writeJSON(w, out)
@@ -404,20 +404,24 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	var page []*core.Object
 	var total int
 	if !impossible {
-		page, total = s.db.SelectPage(sel, residual, offset, limit)
+		// Page and total come from the same pinned view, so total can
+		// never disagree with what paging over every offset would
+		// return — and with an epoch= pin, neither can racing writers.
+		page, total = v.SelectPage(sel, residual, offset, limit)
 	}
-	writeListPage(w, s, page, offset, total)
+	writeListPage(w, s, v, page, offset, total)
 }
 
 // writeListPage renders the paginated listReply envelope for page
-// starting at offset out of total matches.
-func writeListPage(w http.ResponseWriter, s *Server, page []*core.Object, offset, total int) {
+// starting at offset out of total matches, all computed against the
+// pinned view v.
+func writeListPage(w http.ResponseWriter, s *Server, v *catalog.View, page []*core.Object, offset, total int) {
 	// Non-nil so an empty page encodes as [] rather than null.
 	out := []objectSummary{}
 	for _, obj := range page {
-		out = append(out, s.summarize(obj))
+		out = append(out, s.summarize(v, obj))
 	}
-	reply := listReply{Objects: out, Total: total}
+	reply := listReply{Objects: out, Total: total, Epoch: v.Epoch()}
 	if end := offset + len(page); end < total {
 		next := end
 		reply.NextOffset = &next
@@ -426,15 +430,23 @@ func writeListPage(w http.ResponseWriter, s *Server, page []*core.Object, offset
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, s.summarize(obj))
+	obj, ok := s.lookupPinned(w, r, v)
+	if !ok {
+		return
+	}
+	writeJSON(w, s.summarize(v, obj))
 }
 
 func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
+	obj, ok := s.lookupPinned(w, r, v)
 	if !ok {
 		return
 	}
@@ -443,7 +455,7 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad element index")
 		return
 	}
-	it, _, err := s.source(obj)
+	it, _, err := s.source(v, obj)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -457,8 +469,31 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 	w.Write(payload)
 }
 
+// atReply is the JSON shape of GET .../at/{tick}?format=json — the
+// same objectSummary envelope the query path uses, plus the resolved
+// element.
+type atReply struct {
+	Epoch   uint64        `json:"epoch"`
+	Object  objectSummary `json:"object"`
+	Element int           `json:"element"`
+	Tick    int64         `json:"tick"`
+	Seconds float64       `json:"seconds"`
+}
+
+// handleAt resolves the element covering an instant. The route is a
+// thin alias over the planner path behind /v1/query?live_at=: the
+// tick converts to seconds through the track's own time system, the
+// same pinned-view planner predicate confirms the object is live at
+// that instant (interval index), and the covering element index comes
+// from the track. The default response is the raw element payload
+// (the pre-epoch shape); ?format=json returns the shared
+// objectSummary envelope instead. See README for the mapping table.
 func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
+	obj, ok := s.lookupPinned(w, r, v)
 	if !ok {
 		return
 	}
@@ -467,14 +502,36 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad tick")
 		return
 	}
-	it, tr, err := s.source(obj)
+	it, tr, err := s.source(v, obj)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	// The same predicate /v1/query?live_at= plans with, against the
+	// same pinned view: an object with a timed extent must cover the
+	// instant in the interval index. Untimed tracks have no span
+	// there (index.go), so for them the element index alone decides.
+	live, sec := true, 0.0
+	if obj.Desc != nil && obj.Desc.TimeSystem().Valid() {
+		sec = obj.Desc.TimeSystem().Seconds(tick)
+		name := obj.Name
+		live = query.At(v).LiveAt(sec).
+			Where(func(o *core.Object) bool { return o.Name == name }).
+			Count() > 0
+	}
 	i, found := tr.ElementAt(tick)
-	if !found {
+	if !found || !live {
 		writeError(w, http.StatusNotFound, CodeNoElement, "no element at tick")
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, atReply{
+			Epoch:   v.Epoch(),
+			Object:  s.summarize(v, obj),
+			Element: i,
+			Tick:    tick,
+			Seconds: sec,
+		})
 		return
 	}
 	payload, err := s.payload(r, it, obj.Track, i)
@@ -495,11 +552,15 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 // truncation — counted in lifecycle stats, and logged with the request
 // ID.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
 	if !ok {
 		return
 	}
-	it, tr, err := s.source(obj)
+	obj, ok := s.lookupPinned(w, r, v)
+	if !ok {
+		return
+	}
+	it, tr, err := s.source(v, obj)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -582,10 +643,19 @@ func (s *Server) logStreamError(r *http.Request, name string, elem int, err erro
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
 	if !ok {
 		return
 	}
+	obj, ok := s.lookupPinned(w, r, v)
+	if !ok {
+		return
+	}
+	// Graph assembly resolves components against the current epoch;
+	// only the root lookup is pinned. Composition edges are immutable
+	// once committed, so the view can only differ on deletions — and a
+	// deleted component fails the build with not_found, never a torn
+	// timeline.
 	mm, err := s.db.BuildMultimedia(obj.ID)
 	if err != nil {
 		httpError(w, err)
@@ -600,7 +670,11 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	v, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
+	obj, ok := s.lookupPinned(w, r, v)
 	if !ok {
 		return
 	}
@@ -616,7 +690,9 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 	if !s.writeAllowed(w) {
 		return
 	}
-	obj, ok := s.lookup(w, r)
+	// A mutation resolves its input against the current epoch — no
+	// pin, no ETag: the write's effect lands in a future epoch anyway.
+	obj, ok := s.lookupPinned(w, r, s.db.CurrentView())
 	if !ok {
 		return
 	}
@@ -637,12 +713,13 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	created, err := s.db.Get(id)
+	cur := s.db.CurrentView()
+	created, err := cur.Get(id)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	writeJSONStatus(w, http.StatusCreated, s.summarize(created))
+	writeJSONStatus(w, http.StatusCreated, s.summarize(cur, created))
 }
 
 // expandSummary is the JSON shape of GET /v1/objects/{name}/expand:
@@ -662,7 +739,11 @@ type expandSummary struct {
 // produced. Repeated requests hit the cache; concurrent requests for
 // the same object share one decode.
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
-	obj, ok := s.lookup(w, r)
+	pv, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
+	obj, ok := s.lookupPinned(w, r, pv)
 	if !ok {
 		return
 	}
