@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"timedmedia/internal/workload"
+)
+
+// The subcommand implementations. Each parses its own flag set, so
+// `tbmload run -h` documents run without dragging in the closed-loop
+// flags, and each writes one JSON artifact (stdout or -out).
+
+// writeArtifact lands a report on stdout or at path.
+func writeArtifact(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// liveInventory builds the deterministic schedule inventory from a
+// running server's object listing.
+func liveInventory(base string) (*workload.Inventory, error) {
+	media, names, err := discover(base)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]workload.Target, len(media))
+	for i, t := range media {
+		targets[i] = workload.Target{Name: t.Name, Elements: t.Elements}
+	}
+	return workload.NewInventory(names, targets)
+}
+
+// RunReport is the artifact of one open-loop simulation: the spec and
+// schedule fingerprints plus everything Execute measured. The
+// embedded RunResult flattens into the top level so the shape matches
+// the closed-loop Report where the fields overlap.
+type RunReport struct {
+	Tool        string  `json:"tool"`
+	Mode        string  `json:"mode"`
+	URL         string  `json:"url"`
+	SpecFile    string  `json:"spec_file"`
+	SpecName    string  `json:"spec_name"`
+	SpecHash    string  `json:"spec_hash"`
+	Seed        int64   `json:"seed"`
+	GitRevision string  `json:"git_revision"`
+	TimeScale   float64 `json:"time_scale,omitempty"`
+	Label       string  `json:"label,omitempty"`
+	*workload.RunResult
+}
+
+// cmdRun materializes a schedule from a workload spec and drives it
+// open loop against a live server.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("tbmload run", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
+	specPath := fs.String("spec", "", "workload spec JSON (required)")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	label := fs.String("label", "", "candidate label for later scoring")
+	timeScale := fs.Float64("time-scale", 1, "replay speed: 2 halves every scheduled gap")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	waitReady := fs.Duration("wait-ready", 0, "poll GET /v1/readyz for up to this long before starting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("tbmload run: -spec is required")
+	}
+	spec, err := workload.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	if *waitReady > 0 {
+		if err := awaitReady(*url, *waitReady); err != nil {
+			return err
+		}
+	}
+	inv, err := liveInventory(*url)
+	if err != nil {
+		return err
+	}
+	sched, err := workload.Generate(spec, *seed, inv)
+	if err != nil {
+		return err
+	}
+	result, err := workload.Execute(*url, sched, workload.ExecOptions{TimeScale: *timeScale})
+	if err != nil {
+		return err
+	}
+	rep := RunReport{
+		Tool: "tbmload", Mode: "open-loop", URL: *url,
+		SpecFile: filepath.Base(*specPath), SpecName: spec.Name,
+		SpecHash: spec.Hash(), Seed: *seed,
+		GitRevision: gitRevision(), TimeScale: *timeScale, Label: *label,
+		RunResult: result,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeArtifact(*out, append(data, '\n')); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s: %d ops, %.0f ops/s, %d errors, %d shed\n",
+			*out, result.TotalOps, result.ThroughputOps, result.TotalErrors, result.TotalShed)
+	}
+	return nil
+}
+
+// cmdSchedule prints the materialized request schedule for a spec and
+// seed: canonical JSONL, byte-identical across runs. -url derives the
+// inventory from a live catalog; without it a synthetic inventory
+// (-objects/-elements) makes the schedule fully offline.
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("tbmload schedule", flag.ExitOnError)
+	specPath := fs.String("spec", "", "workload spec JSON (required)")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	url := fs.String("url", "", "derive inventory from this live server (default: synthetic)")
+	objects := fs.Int("objects", 16, "synthetic inventory size (ignored with -url)")
+	elements := fs.Int("elements", 32, "elements per synthetic media object (ignored with -url)")
+	out := fs.String("out", "", "write the schedule here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("tbmload schedule: -spec is required")
+	}
+	spec, err := workload.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	var inv *workload.Inventory
+	if *url != "" {
+		inv, err = liveInventory(*url)
+	} else {
+		inv, err = syntheticInventory(*objects, *elements)
+	}
+	if err != nil {
+		return err
+	}
+	sched, err := workload.Generate(spec, *seed, inv)
+	if err != nil {
+		return err
+	}
+	return writeArtifact(*out, sched.Encode())
+}
+
+// syntheticInventory fabricates a deterministic catalog view so a
+// schedule can be materialized (and diffed) without a server.
+func syntheticInventory(objects, elements int) (*workload.Inventory, error) {
+	if objects < 1 {
+		return nil, fmt.Errorf("tbmload schedule: -objects must be positive")
+	}
+	if elements < 2 {
+		return nil, fmt.Errorf("tbmload schedule: -elements must be at least 2")
+	}
+	names := make([]string, objects)
+	media := make([]workload.Target, objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("obj%03d", i)
+		media[i] = workload.Target{Name: names[i], Elements: elements}
+	}
+	return workload.NewInventory(names, media)
+}
+
+// cmdReplay re-issues a captured trace in record order and writes the
+// deterministic equivalence report. Wall-clock numbers go to the
+// optional -timing-out sidecar, never into the report: two replays of
+// one trace against identically seeded catalogs must produce
+// byte-identical reports.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("tbmload replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "captured trace file (required)")
+	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
+	out := fs.String("out", "", "write the deterministic replay report here (default stdout)")
+	timingOut := fs.String("timing-out", "", "write the wall-clock timing sidecar here")
+	maxSamples := fs.Int("max-samples", 16, "mismatch samples kept per report")
+	waitReady := fs.Duration("wait-ready", 0, "poll GET /v1/readyz for up to this long before starting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("tbmload replay: -trace is required")
+	}
+	meta, records, err := workload.ReadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	digest, err := workload.TraceFileDigest(*tracePath)
+	if err != nil {
+		return err
+	}
+	if *waitReady > 0 {
+		if err := awaitReady(*url, *waitReady); err != nil {
+			return err
+		}
+	}
+	rep, timing, err := workload.Replay(*url, meta, records, digest,
+		workload.ReplayOptions{MaxMismatchSamples: *maxSamples})
+	if err != nil {
+		return err
+	}
+	if err := writeArtifact(*out, workload.EncodeReport(rep)); err != nil {
+		return err
+	}
+	if *timingOut != "" {
+		data, err := json.MarshalIndent(timing, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*timingOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		fmt.Printf("replayed %d/%d: %d matches, %d mismatches, %d epoch_gone, %d recorded_shed, equivalent=%v\n",
+			rep.Replayed, rep.Records, rep.Matches, rep.Mismatches, rep.EpochGone, rep.RecordedShed, rep.Equivalent)
+	}
+	if !rep.Equivalent {
+		return fmt.Errorf("tbmload replay: trace diverged (%d mismatches, initial_match=%v)",
+			rep.Mismatches, rep.InitialMatch)
+	}
+	return nil
+}
+
+// ScoreReport ranks sweep candidates by weighted multi-objective
+// fitness. Candidates are traces (server-side truth: what was
+// actually served) or open-loop run reports (client-side view).
+type ScoreReport struct {
+	Tool        string            `json:"tool"`
+	Title       string            `json:"title,omitempty"`
+	GitRevision string            `json:"git_revision"`
+	Weights     workload.Weights  `json:"weights"`
+	Candidates  []workload.Scored `json:"candidates"`
+	Best        string            `json:"best"`
+}
+
+// cmdScore reads candidate artifacts ([label=]path...), computes each
+// one's objectives, and scores them against each other.
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("tbmload score", flag.ExitOnError)
+	weightSpec := fs.String("weights", "", "objective weights (throughput=0.5,p99=0.25,errors=0.25)")
+	title := fs.String("title", "", "sweep title carried into the report")
+	out := fs.String("out", "", "write the score report here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("tbmload score: need at least two candidates ([label=]trace-or-report...)")
+	}
+	weights := workload.DefaultWeights
+	if *weightSpec != "" {
+		var err error
+		if weights, err = workload.ParseWeights(*weightSpec); err != nil {
+			return err
+		}
+	}
+	cands := make([]workload.Objectives, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		label, path := "", arg
+		if l, p, ok := strings.Cut(arg, "="); ok && !strings.Contains(l, "/") {
+			label, path = l, p
+		}
+		if label == "" {
+			label = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		obj, err := loadCandidate(label, path)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, obj)
+	}
+	scored := workload.ScoreSweep(cands, weights)
+	rep := ScoreReport{
+		Tool: "tbmload", Title: *title, GitRevision: gitRevision(),
+		Weights: weights, Candidates: scored,
+		Best: scored[workload.Best(scored)].Label,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeArtifact(*out, append(data, '\n')); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s: best candidate %q (fitness %.3f)\n",
+			*out, rep.Best, scored[workload.Best(scored)].Fitness)
+	}
+	return nil
+}
+
+// loadCandidate reads one candidate artifact: a capture trace
+// (detected by magic) or an open-loop run report.
+func loadCandidate(label, path string) (workload.Objectives, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Objectives{}, err
+	}
+	magic := make([]byte, 8)
+	n, _ := f.Read(magic)
+	f.Close()
+	if n == 8 && string(magic) == "TBMTRC1\n" {
+		_, records, err := workload.ReadTrace(path)
+		if err != nil {
+			return workload.Objectives{}, err
+		}
+		return workload.ObjectivesFromTrace(label, records)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.Objectives{}, err
+	}
+	var rep struct {
+		ThroughputOps float64            `json:"throughput_ops_per_sec"`
+		TotalOps      int                `json:"total_ops"`
+		TotalErrors   int                `json:"total_errors"`
+		TotalShed     int                `json:"total_shed"`
+		Overall       workload.OpSummary `json:"overall"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return workload.Objectives{}, fmt.Errorf("%s: not a trace and not a run report: %w", path, err)
+	}
+	if rep.TotalOps == 0 {
+		return workload.Objectives{}, fmt.Errorf("%s: run report has no operations", path)
+	}
+	return workload.Objectives{
+		Label:         label,
+		ThroughputOps: rep.ThroughputOps,
+		P99Ms:         rep.Overall.P99Ms,
+		ErrorRate:     float64(rep.TotalErrors+rep.TotalShed) / float64(rep.TotalOps),
+	}, nil
+}

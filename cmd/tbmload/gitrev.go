@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"runtime/debug"
+	"strings"
+)
+
+// subcommands dispatches the non-legacy modes; main falls back to the
+// closed-loop benchmark driver when the first argument is a flag.
+var subcommands = map[string]func([]string) error{
+	"run":      cmdRun,
+	"replay":   cmdReplay,
+	"score":    cmdScore,
+	"schedule": cmdSchedule,
+}
+
+// gitRevision identifies the build that produced a report, so BENCH
+// artifacts are self-describing. Preference order: the VCS stamp Go
+// embeds at build time (works for installed binaries), then asking
+// git directly (works for `go run` from a checkout), then "unknown".
+func gitRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}

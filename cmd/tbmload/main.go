@@ -1,6 +1,18 @@
-// Command tbmload replays a deterministic mixed read/write workload
-// against a live tbmserve instance and reports throughput and latency
-// percentiles — the write-path numbers for BENCH_*.json.
+// Command tbmload is the workload harness: a closed-loop benchmark
+// driver (the original mode), a spec-driven open-loop simulator, a
+// deterministic trace replayer, and a policy scorer.
+//
+//	tbmload [flags]              closed-loop mixed workload (below)
+//	tbmload run -spec f ...      open-loop simulation from a workload spec
+//	tbmload replay -trace f ...  deterministic replay of a captured trace
+//	tbmload score ...            weighted multi-objective policy scoring
+//	tbmload schedule -spec f ... print the materialized request schedule
+//
+// Every JSON report embeds the seed, the canonical spec hash, and the
+// git revision of the build, so a BENCH artifact is self-describing:
+// the run that produced it can be reproduced from the artifact alone.
+//
+// # Closed-loop mode
 //
 // The workload is seeded: the same -seed, -clients, -duration and -mix
 // produce the same operation sequence per client, so runs are
@@ -41,6 +53,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"timedmedia/internal/workload"
 )
 
 type opStats struct {
@@ -77,6 +91,14 @@ type listShape struct {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		if cmd, ok := subcommands[os.Args[1]]; ok {
+			if err := cmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
 	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
 	clients := flag.Int("clients", 8, "concurrent workload clients")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
@@ -366,7 +388,11 @@ func (c *client) post(path, contentType string, body []byte, want int) error {
 }
 
 // Report is the JSON artifact: throughput and per-operation latency
-// percentiles for one workload run.
+// percentiles for one workload run. SpecHash and GitRevision make it
+// self-describing: the hash fingerprints the effective workload spec
+// (even closed-loop flags canonicalize into one — workload.MixSpec)
+// and the revision names the build, so any BENCH number can be traced
+// back to the exact workload and code that produced it.
 type Report struct {
 	Tool          string             `json:"tool"`
 	URL           string             `json:"url"`
@@ -374,6 +400,8 @@ type Report struct {
 	Duration      string             `json:"duration"`
 	Mix           string             `json:"mix"`
 	Seed          int64              `json:"seed"`
+	SpecHash      string             `json:"spec_hash"`
+	GitRevision   string             `json:"git_revision"`
 	ElapsedSec    float64            `json:"elapsed_seconds"`
 	TotalOps      int                `json:"total_ops"`
 	TotalErrors   int                `json:"total_errors"`
@@ -410,6 +438,10 @@ func buildReport(base string, nClients int, duration time.Duration, mix string, 
 		Duration: duration.String(), Mix: mix, Seed: seed,
 		ElapsedSec: elapsed.Seconds(), Ops: map[string]OpStats{},
 	}
+	if m, err := parseMix(mix); err == nil {
+		rep.SpecHash = workload.MixSpec("closed-loop", nClients, duration, m).Hash()
+	}
+	rep.GitRevision = gitRevision()
 	for op, s := range merged {
 		sort.Slice(s.lat, func(a, b int) bool { return s.lat[a] < s.lat[b] })
 		var sum time.Duration

@@ -37,6 +37,12 @@
 //	         [-debug-addr 127.0.0.1:6060] [-wal-batch-window 2ms]
 //	         [-wal-segment-mb 64] [-wal-segment-records 1048576]
 //	         [-repl-listen :8090 | -replicate-from http://primary:8080]
+//	         [-trace-out capture.trc]
+//
+// Trace capture: -trace-out records every completed request — shed
+// ones included, flagged — to a framed trace file that tbmload can
+// replay deterministically against a rebuilt catalog and score for
+// policy sweeps (see internal/workload and scripts/policy_sweep.sh).
 package main
 
 import (
@@ -61,12 +67,14 @@ import (
 	"timedmedia/internal/repl"
 	"timedmedia/internal/server"
 	"timedmedia/internal/telemetry"
+	"timedmedia/internal/workload"
 )
 
 // config carries the parsed flags through run.
 type config struct {
 	dir, addr, debugAddr        string
 	replicateFrom, replListen   string
+	traceOut                    string
 	cacheMB                     int64
 	saveEvery                   time.Duration
 	requestTimeout              time.Duration
@@ -102,6 +110,8 @@ func main() {
 		"run as a read replica of the primary at this base URL (e.g. http://primary:8080)")
 	flag.StringVar(&cfg.replListen, "repl-listen", "",
 		"serve the replication feed on a dedicated address instead of the main listener (primary only)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "",
+		"record every request (including shed ones) to this trace file for deterministic replay (tbmload replay) and policy scoring (tbmload score)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -209,6 +219,22 @@ func runPrimary(ctx context.Context, cfg config, reg *telemetry.Registry, access
 		server.WithTelemetry(reg),
 		server.WithAccessLog(accessLog),
 	}
+	// Trace capture: the meta frame pins the catalog state recording
+	// started from, so replay can verify it rebuilt the same starting
+	// point before re-issuing a single request.
+	var traceRec *workload.Recorder
+	if cfg.traceOut != "" {
+		traceRec, err = workload.CreateTrace(cfg.traceOut, workload.TraceMeta{
+			Objects: db.Len(),
+			Seq:     db.Seq(),
+			Epoch:   db.CurrentView().Epoch(),
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("recording trace to %s", cfg.traceOut)
+		srvOpts = append(srvOpts, server.WithTraceRecorder(traceRec))
+	}
 	var feedSrv *http.Server
 	if cfg.replListen == "" {
 		feed.Register(func(pattern, name string, h http.HandlerFunc) {
@@ -277,6 +303,13 @@ func runPrimary(ctx context.Context, cfg config, reg *telemetry.Registry, access
 	}
 	if debugSrv != nil {
 		debugSrv.Shutdown(drainCtx)
+	}
+	if traceRec != nil {
+		// In-flight requests have drained, so the trace is complete;
+		// flush it before the final snapshot.
+		if err := traceRec.Close(); err != nil {
+			log.Printf("shutdown: trace close: %v", err)
+		}
 	}
 	if err := db.SyncJournal(); err != nil {
 		log.Printf("shutdown: journal sync: %v", err)

@@ -56,6 +56,7 @@ import (
 	"timedmedia/internal/query"
 	"timedmedia/internal/telemetry"
 	"timedmedia/internal/wal"
+	"timedmedia/internal/workload"
 )
 
 // DefaultMaxInFlight bounds concurrent requests when no option is
@@ -79,6 +80,7 @@ type serverConfig struct {
 	writeGate      func() (bool, string)
 	replStatus     func() any
 	extraRoutes    []extraRoute
+	traceRecorder  *workload.Recorder
 }
 
 type extraRoute struct {
@@ -137,6 +139,14 @@ func WithWriteGate(allowed func() (ok bool, primary string)) Option {
 // "replication", surfacing role, seq, and lag next to liveness.
 func WithReplStatus(status func() any) Option {
 	return func(c *serverConfig) { c.replStatus = status }
+}
+
+// WithTraceRecorder captures every completed request into rec for
+// deterministic replay and policy scoring (tbmserve -trace-out). The
+// capture layer sits outside the load-shedding limiter, so shed
+// requests are recorded (flagged Shed) rather than lost.
+func WithTraceRecorder(rec *workload.Recorder) Option {
+	return func(c *serverConfig) { c.traceRecorder = rec }
 }
 
 // WithRoute mounts an extra handler (e.g. the replication feed or the
@@ -227,9 +237,10 @@ func New(db *catalog.DB, opts ...Option) *Server {
 	}
 	s.handler = recoverMiddleware(&s.stats,
 		s.telemetryMiddleware(
-			limitMiddleware(&s.stats, slots, time.Second,
-				timeoutMiddleware(cfg.requestTimeout,
-					s.legacyRewrite(s.mux)))))
+			s.captureMiddleware(cfg.traceRecorder,
+				limitMiddleware(&s.stats, slots, time.Second,
+					timeoutMiddleware(cfg.requestTimeout,
+						s.legacyRewrite(s.mux))))))
 	return s
 }
 

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// arrivals generates one client's arrival offsets over [0, horizon)
+// from its group's process and optional diurnal shaping. The draws
+// come exclusively from rng, so the result is a pure function of the
+// generator's seed.
+//
+// Diurnal shaping uses thinning (Lewis-Shedler): arrivals are
+// generated at the peak rate base*(1+amplitude) and each is kept with
+// probability rate(t)/peak. Thinning preserves determinism — every
+// candidate consumes exactly one extra uniform — and is exact for any
+// bounded rate function, unlike time-warping approximations.
+func arrivals(rng *RNG, a Arrival, d *Diurnal, horizon time.Duration) []time.Duration {
+	h := horizon.Seconds()
+	peak := a.Rate
+	if d != nil {
+		peak = a.Rate * (1 + d.Amplitude)
+	}
+	shape := a.Shape
+	if shape == 0 {
+		shape = 0.5
+	}
+	var out []time.Duration
+	t := 0.0
+	for {
+		var gap float64
+		switch a.Process {
+		case "poisson":
+			gap = rng.Exp(peak)
+		case "gamma":
+			// Mean gap 1/peak: Gamma(k, 1/(peak*k)) has mean 1/peak
+			// with burstiness controlled by k.
+			gap = rng.Gamma(shape, 1/(peak*shape))
+		default: // "uniform"
+			gap = 1 / peak
+		}
+		t += gap
+		if t >= h {
+			return out
+		}
+		if d != nil {
+			period := d.PeriodSec
+			if period == 0 {
+				period = h
+			}
+			rate := a.Rate * (1 + d.Amplitude*math.Sin(2*math.Pi*t/period+d.PhaseRad))
+			if rng.Float64()*peak >= rate {
+				continue // thinned out
+			}
+		}
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+)
+
+// Response equivalence is asserted modulo volatile fields: values
+// that legitimately differ between a recorded run and a replay of the
+// same logical state. Object IDs are allocation-order artifacts,
+// epochs are commit-count artifacts, and error messages are
+// explicitly non-contractual (errors.go: clients switch on codes, the
+// wording may change and often embeds an id or epoch number). The
+// stable surface — names, structure, payload bytes, error codes —
+// is what the digest covers.
+
+// volatileKeys are JSON object keys dropped (at any nesting depth)
+// before digesting.
+var volatileKeys = map[string]bool{
+	"epoch":      true,
+	"id":         true,
+	"request_id": true,
+}
+
+// BodyDigest returns the hex SHA-256 of a response body, normalized
+// when the body is JSON: volatile keys are dropped recursively, an
+// error envelope keeps only its code, and the result is re-marshaled
+// canonically (encoding/json sorts object keys). Non-JSON bodies
+// (element payloads, streams) digest their raw bytes.
+func BodyDigest(contentType string, body []byte) string {
+	if strings.HasPrefix(contentType, "application/json") {
+		if norm, ok := normalizeJSON(body); ok {
+			body = norm
+		}
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// ErrCodeFromBody extracts the stable code from a JSON error
+// envelope ({"error":{"code":...}}), or "" when the body is not one.
+func ErrCodeFromBody(body []byte) string {
+	if !strings.Contains(string(body), `"error"`) {
+		return ""
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) != nil {
+		return ""
+	}
+	return env.Error.Code
+}
+
+// normalizeJSON parses, scrubs and canonically re-marshals a JSON
+// body. ok=false means the body did not parse (digest the raw bytes
+// instead — a mangled body should still compare equal to an equally
+// mangled one and unequal to anything else).
+func normalizeJSON(body []byte) ([]byte, bool) {
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, false
+	}
+	v = scrub(v)
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// scrub walks the decoded value dropping volatile keys and reducing
+// error envelopes to their stable code.
+func scrub(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		// {"error":{"code":...,"message":...}} → keep the code only.
+		if e, ok := t["error"].(map[string]any); ok && len(t) == 1 {
+			if code, ok := e["code"]; ok {
+				return map[string]any{"error": map[string]any{"code": code}}
+			}
+		}
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			if volatileKeys[k] {
+				continue
+			}
+			out[k] = scrub(val)
+		}
+		return out
+	case []any:
+		for i := range t {
+			t[i] = scrub(t[i])
+		}
+		return t
+	default:
+		return v
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func TestBodyDigestVolatileFields(t *testing.T) {
+	// Two responses for the same logical object, recorded and replayed:
+	// the allocation-order id and the commit-count epoch differ, the
+	// stable surface does not.
+	recorded := []byte(`{"name":"clip","id":17,"epoch":40,"elements":[{"id":3,"dur":1.5}]}`)
+	replayed := []byte(`{"epoch":7,"elements":[{"dur":1.5,"id":99}],"id":2,"name":"clip"}`)
+	if BodyDigest("application/json", recorded) != BodyDigest("application/json", replayed) {
+		t.Error("digests differ on volatile-only changes")
+	}
+	other := []byte(`{"name":"clip2","id":17,"epoch":40,"elements":[{"id":3,"dur":1.5}]}`)
+	if BodyDigest("application/json", recorded) == BodyDigest("application/json", other) {
+		t.Error("digests equal despite a real field change")
+	}
+}
+
+func TestBodyDigestErrorEnvelope(t *testing.T) {
+	// Error messages are non-contractual and often embed an epoch or
+	// id; equivalence is the code alone.
+	a := []byte(`{"error":{"code":"epoch_gone","message":"epoch 40 evicted"}}`)
+	b := []byte(`{"error":{"code":"epoch_gone","message":"epoch 7 evicted"}}`)
+	if BodyDigest("application/json", a) != BodyDigest("application/json", b) {
+		t.Error("error digests differ on message-only changes")
+	}
+	c := []byte(`{"error":{"code":"not_found","message":"x"}}`)
+	if BodyDigest("application/json", a) == BodyDigest("application/json", c) {
+		t.Error("different error codes digest equal")
+	}
+}
+
+func TestBodyDigestNonJSON(t *testing.T) {
+	raw := []byte{0x01, 0x02, 0x03}
+	if BodyDigest("application/octet-stream", raw) != BodyDigest("application/octet-stream", raw) {
+		t.Error("raw digest unstable")
+	}
+	if BodyDigest("application/octet-stream", raw) == BodyDigest("application/octet-stream", []byte{0x01, 0x02}) {
+		t.Error("different raw bodies digest equal")
+	}
+	// A JSON content type with a mangled body falls back to raw bytes:
+	// equal to an equally mangled one, unequal to anything else.
+	bad := []byte(`{"truncated":`)
+	if BodyDigest("application/json", bad) != BodyDigest("application/json", bad) {
+		t.Error("mangled JSON digest unstable")
+	}
+}
+
+func TestErrCodeFromBody(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"error":{"code":"not_found","message":"no such object"}}`, "not_found"},
+		{`{"name":"clip"}`, ""},
+		{`not json`, ""},
+		{`{"error":"flat string"}`, ""},
+	}
+	for _, tc := range cases {
+		if got := ErrCodeFromBody([]byte(tc.body)); got != tc.want {
+			t.Errorf("ErrCodeFromBody(%s) = %q, want %q", tc.body, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// newFakeMedia is a stub of the media server's workload-facing
+// surface, just enough for the executor and replayer: object reads,
+// mutations, and an epoch-pinned paginated query. pinnedFails makes
+// the first n pinned page requests answer 410 epoch_gone, simulating
+// retention-ring eviction mid-walk.
+func newFakeMedia(objects int, epoch uint64, pinnedFails int) *httptest.Server {
+	var mu sync.Mutex
+	fails := pinnedFails
+	reply := func(w http.ResponseWriter, code int, body string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		io.WriteString(w, body)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/objects", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, 200, fmt.Sprintf(`{"objects":[],"total":%d,"epoch":%d}`, objects, epoch))
+	})
+	mux.HandleFunc("GET /v1/objects/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "missing" {
+			reply(w, 404, `{"error":{"code":"not_found","message":"no object `+name+`"}}`)
+			return
+		}
+		reply(w, 200, fmt.Sprintf(`{"name":%q,"id":7,"epoch":%d,"kind":"video"}`, name, epoch))
+	})
+	mux.HandleFunc("GET /v1/objects/{name}/expand", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, 200, fmt.Sprintf(`{"name":%q,"epoch":%d,"tree":{"op":"leaf"}}`, r.PathValue("name"), epoch))
+	})
+	mux.HandleFunc("GET /v1/objects/{name}/element/{i}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.WriteString(w, "payload-"+r.PathValue("i"))
+	})
+	mux.HandleFunc("POST /v1/objects/{name}/cut", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, 201, fmt.Sprintf(`{"name":%q,"id":9,"epoch":%d}`, r.URL.Query().Get("out"), epoch))
+	})
+	mux.HandleFunc("POST /v1/objects:batch", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if len(body) == 0 {
+			reply(w, 400, `{"error":{"code":"bad_request","message":"empty body"}}`)
+			return
+		}
+		reply(w, 201, fmt.Sprintf(`{"created":2,"epoch":%d}`, epoch))
+	})
+	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("epoch") != "" { // pinned follow-up page
+			mu.Lock()
+			evict := fails > 0
+			if evict {
+				fails--
+			}
+			mu.Unlock()
+			if evict {
+				reply(w, 410, `{"error":{"code":"epoch_gone","message":"epoch evicted"}}`)
+				return
+			}
+			reply(w, 200, fmt.Sprintf(`{"objects":[],"total":4,"epoch":%d}`, epoch))
+			return
+		}
+		if q.Get("offset") != "" { // pquery first page: more follows
+			reply(w, 200, fmt.Sprintf(`{"objects":[],"total":4,"epoch":%d,"next_offset":2}`, epoch))
+			return
+		}
+		reply(w, 200, fmt.Sprintf(`{"objects":[],"total":4,"epoch":%d}`, epoch))
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestExecuteDrivesSchedule(t *testing.T) {
+	ts := newFakeMedia(3, 5, 1)
+	defer ts.Close()
+	spec, inv := allOpsSpec(), testInventory(t)
+	spec.DurationSec = 0.5
+	sched, err := Generate(spec, 21, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TimeScale 50 compresses the half-second horizon to ~10ms of wall
+	// clock; the open loop semantics are unchanged.
+	res, err := Execute(ts.URL, sched, ExecOptions{TimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScheduleHash != sched.Hash() {
+		t.Error("result does not carry the schedule hash")
+	}
+	if res.Items != len(sched.Items) {
+		t.Errorf("items = %d, want %d", res.Items, len(sched.Items))
+	}
+	// pquery walks follow-up pages, so ops >= scheduled items.
+	if res.TotalOps < len(sched.Items) {
+		t.Errorf("total ops = %d < %d items", res.TotalOps, len(sched.Items))
+	}
+	if res.TotalErrors != 0 {
+		t.Errorf("errors = %d against a fully healthy stub", res.TotalErrors)
+	}
+	if res.ThroughputOps <= 0 || res.Overall.Count != res.TotalOps || res.Overall.P99Ms <= 0 {
+		t.Errorf("overall summary = %+v", res.Overall)
+	}
+	for op, s := range res.Ops {
+		if s.Count == 0 {
+			t.Errorf("op %q summarized with zero count", op)
+		}
+	}
+}
+
+func TestExecuteCountsFailures(t *testing.T) {
+	// A server shedding everything: every op is an error, POSTs and
+	// GETs alike, and sheds are counted separately.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	spec := validSpec()
+	spec.DurationSec = 0.2
+	spec.Groups[0].Arrival = Arrival{Process: "uniform", Rate: 50}
+	inv, _ := NewInventory([]string{"a"}, nil)
+	sched, err := Generate(spec, 3, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(ts.URL, sched, ExecOptions{TimeScale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalErrors != res.TotalOps || res.TotalShed != res.TotalOps {
+		t.Errorf("errors = %d, shed = %d, want both = %d ops", res.TotalErrors, res.TotalShed, res.TotalOps)
+	}
+
+	if _, err := Execute(ts.URL, &Schedule{}, ExecOptions{}); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestStripParams(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"/v1/query?kind=video&limit=4&offset=0", "/v1/query?kind=video&limit=4"},
+		{"/v1/query?offset=2&epoch=9&kind=video", "/v1/query?kind=video"},
+		{"/v1/query", "/v1/query"},
+	}
+	for _, tc := range cases {
+		if got := stripParams(tc.in, "offset", "epoch"); got != tc.out {
+			t.Errorf("stripParams(%q) = %q, want %q", tc.in, got, tc.out)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+// Replay re-issues a recorded trace, in record order, against a
+// catalog rebuilt from the same starting point, and asserts response
+// equivalence. The replay is sequential — record order is the only
+// order the trace defines — so mutations land deterministically and
+// reads see exactly the state the record-time request saw (modulo the
+// volatile fields BodyDigest scrubs).
+//
+// Divergences are classified, not conflated:
+//
+//   - mismatch: status or normalized digest differs — the signal the
+//     harness exists to catch;
+//   - epoch_gone: a replayed request answered 410 epoch_gone because
+//     the replay-side retention ring evicted the pinned epoch. With a
+//     smaller retention setting than record time this is expected and
+//     deterministic, so it is counted, never failed;
+//   - recorded_shed: the record-time server shed the request before
+//     any handler ran. It had no effect to reproduce, so replay skips
+//     it and counts it.
+//
+// The report contains no wall-clock data: two replays of one trace
+// against identically seeded catalogs must produce byte-identical
+// reports (diffed in CI). Timing lives in the separate ReplayTiming.
+
+// ReplayOptions tune a replay run.
+type ReplayOptions struct {
+	// Client is the HTTP client to use (default: 30s timeout).
+	Client *http.Client
+	// MaxMismatchSamples bounds the per-class sample lists in the
+	// report (default 16).
+	MaxMismatchSamples int
+}
+
+// MismatchSample pinpoints one diverging record.
+type MismatchSample struct {
+	Seq            uint64 `json:"seq"`
+	Method         string `json:"method"`
+	Path           string `json:"path"`
+	RecordedStatus int    `json:"recorded_status"`
+	ReplayedStatus int    `json:"replayed_status"`
+	RecordedDigest string `json:"recorded_digest"`
+	ReplayedDigest string `json:"replayed_digest"`
+	ReplayedCode   string `json:"replayed_code,omitempty"`
+	Note           string `json:"note,omitempty"`
+}
+
+// RouteCounts aggregates replay outcomes per route.
+type RouteCounts struct {
+	Replayed   int `json:"replayed"`
+	Matches    int `json:"matches"`
+	Mismatches int `json:"mismatches"`
+	EpochGone  int `json:"epoch_gone"`
+	Shed       int `json:"recorded_shed"`
+}
+
+// ReplayReport is the deterministic artifact of one replay.
+type ReplayReport struct {
+	Tool        string    `json:"tool"`
+	TraceDigest string    `json:"trace_digest"`
+	Meta        TraceMeta `json:"meta"`
+	// InitialObjects is the replay-side catalog size before the first
+	// record; InitialMatch is whether it equals the recorded Meta.
+	InitialObjects int  `json:"initial_objects"`
+	InitialMatch   bool `json:"initial_match"`
+
+	Records      int `json:"records"`
+	Replayed     int `json:"replayed"`
+	Matches      int `json:"matches"`
+	Mismatches   int `json:"mismatches"`
+	EpochGone    int `json:"epoch_gone"`
+	RecordedShed int `json:"recorded_shed"`
+	// TransportErrors counts requests that failed before any response
+	// (connection refused, timeout); they are also mismatches.
+	TransportErrors int `json:"transport_errors"`
+
+	Routes          map[string]*RouteCounts `json:"routes"`
+	MismatchSamples []MismatchSample        `json:"mismatch_samples,omitempty"`
+	Equivalent      bool                    `json:"equivalent"`
+}
+
+// ReplayTiming is the wall-clock sidecar: useful for eyeballing a
+// replay, deliberately excluded from the deterministic report.
+type ReplayTiming struct {
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// TraceFileDigest is the hex SHA-256 of the raw trace file, embedded
+// in the report so a report unambiguously names its input.
+func TraceFileDigest(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("workload: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Replay runs the trace against base and builds the report.
+func Replay(base string, meta TraceMeta, records []TraceRecord, traceDigest string, opts ReplayOptions) (*ReplayReport, *ReplayTiming, error) {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	maxSamples := opts.MaxMismatchSamples
+	if maxSamples == 0 {
+		maxSamples = 16
+	}
+	rep := &ReplayReport{
+		Tool:        "tbmload replay",
+		TraceDigest: traceDigest,
+		Meta:        meta,
+		Records:     len(records),
+		Routes:      map[string]*RouteCounts{},
+	}
+	// Verify the rebuilt catalog matches the recorded starting point:
+	// same object count before any record is replayed.
+	rep.InitialObjects = countObjects(client, base)
+	rep.InitialMatch = rep.InitialObjects == meta.Objects
+
+	var lat []time.Duration
+	start := time.Now()
+	for _, rec := range records {
+		rc := rep.Routes[rec.Route()]
+		if rc == nil {
+			rc = &RouteCounts{}
+			rep.Routes[rec.Route()] = rc
+		}
+		if rec.Shed {
+			rep.RecordedShed++
+			rc.Shed++
+			continue
+		}
+		rep.Replayed++
+		rc.Replayed++
+		status, code, digest, d, err := issue(client, base, rec)
+		if err != nil {
+			rep.TransportErrors++
+			rep.Mismatches++
+			rc.Mismatches++
+			if len(rep.MismatchSamples) < maxSamples {
+				rep.MismatchSamples = append(rep.MismatchSamples, MismatchSample{
+					Seq: rec.Seq, Method: rec.Method, Path: rec.Path,
+					RecordedStatus: rec.Status, RecordedDigest: rec.Digest,
+					Note: "transport: " + err.Error(),
+				})
+			}
+			continue
+		}
+		lat = append(lat, d)
+		switch {
+		case status == rec.Status && digest == rec.Digest:
+			rep.Matches++
+			rc.Matches++
+		case status == http.StatusGone && code == "epoch_gone":
+			// The replay-side retention ring evicted the pinned epoch —
+			// a deterministic consequence of replay-side policy, not a
+			// correctness failure.
+			rep.EpochGone++
+			rc.EpochGone++
+		default:
+			rep.Mismatches++
+			rc.Mismatches++
+			if len(rep.MismatchSamples) < maxSamples {
+				rep.MismatchSamples = append(rep.MismatchSamples, MismatchSample{
+					Seq: rec.Seq, Method: rec.Method, Path: rec.Path,
+					RecordedStatus: rec.Status, ReplayedStatus: status,
+					RecordedDigest: rec.Digest, ReplayedDigest: digest,
+					ReplayedCode: code,
+				})
+			}
+		}
+	}
+	rep.Equivalent = rep.Mismatches == 0 && rep.InitialMatch
+
+	elapsed := time.Since(start)
+	timing := &ReplayTiming{ElapsedSec: elapsed.Seconds()}
+	if elapsed > 0 {
+		timing.ThroughputOps = float64(rep.Replayed) / elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		timing.P50Ms = float64(lat[len(lat)/2]) / float64(time.Millisecond)
+		timing.P99Ms = float64(lat[int(0.99*float64(len(lat)-1))]) / float64(time.Millisecond)
+	}
+	return rep, timing, nil
+}
+
+// Route buckets a record for per-route counts. Shed requests never
+// matched a route, so they bucket under "shed".
+func (r TraceRecord) Route() string {
+	if r.RouteName != "" {
+		return r.RouteName
+	}
+	if r.Shed {
+		return "shed"
+	}
+	return "other"
+}
+
+// issue re-sends one recorded request and summarizes the response.
+func issue(client *http.Client, base string, rec TraceRecord) (status int, code, digest string, d time.Duration, err error) {
+	var req *http.Request
+	if len(rec.Body) > 0 {
+		req, err = http.NewRequest(rec.Method, base+rec.Path, bytes.NewReader(rec.Body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequest(rec.Method, base+rec.Path, nil)
+	}
+	if err != nil {
+		return 0, "", "", 0, err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", "", 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d = time.Since(start)
+	if err != nil {
+		return 0, "", "", 0, err
+	}
+	ct := resp.Header.Get("Content-Type")
+	return resp.StatusCode, ErrCodeFromBody(body), BodyDigest(ct, body), d, nil
+}
+
+// countObjects asks the server how many objects it holds (the
+// paginated list's total), or -1 when the probe fails.
+func countObjects(client *http.Client, base string) int {
+	resp, err := client.Get(base + "/v1/objects?limit=1")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Total int `json:"total"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&reply) != nil || resp.StatusCode != http.StatusOK {
+		return -1
+	}
+	return reply.Total
+}
+
+// EncodeReport renders the report as stable, indented JSON: struct
+// field order is fixed and encoding/json sorts the route map, so
+// equal reports are byte-equal.
+func EncodeReport(rep *ReplayReport) []byte {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic("workload: report encode: " + err.Error())
+	}
+	return append(out, '\n')
+}

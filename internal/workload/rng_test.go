@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		n := r.Intn(7)
+		if n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) = %d", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d of 7 values", len(seen))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n, rate = 200000, 4.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp(rate)
+		if x < 0 {
+			t.Fatalf("Exp() = %v negative", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exp(%v) mean = %v, want ~%v", rate, mean, 1/rate)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGGammaMean(t *testing.T) {
+	// E[Gamma(shape, scale)] = shape*scale; check a bursty shape (<1,
+	// exercising the boost path) and a smooth one (>1).
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 2}, {3, 0.5}} {
+		r := NewRNG(17)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) = %v negative", tc.shape, tc.scale, x)
+			}
+			sum += x
+		}
+		mean, want := sum/n, tc.shape*tc.scale
+		if math.Abs(mean-want)/want > 0.03 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, mean, want)
+		}
+	}
+}

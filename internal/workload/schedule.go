@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Target is one stored media object a schedule can read from or
+// derive against.
+type Target struct {
+	Name     string `json:"name"`
+	Elements int    `json:"elements"`
+}
+
+// Inventory is the deterministic view of the catalog a schedule is
+// generated against: every object name (point reads) and the media
+// targets with at least two elements (payload reads, cuts, batches).
+// Both slices are sorted so the same catalog always yields the same
+// inventory regardless of listing order.
+type Inventory struct {
+	Names []string `json:"names"`
+	Media []Target `json:"media"`
+}
+
+// NewInventory sorts and validates the raw listing into an Inventory.
+func NewInventory(names []string, media []Target) (*Inventory, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload: empty inventory")
+	}
+	inv := &Inventory{Names: append([]string(nil), names...), Media: append([]Target(nil), media...)}
+	sort.Strings(inv.Names)
+	sort.Slice(inv.Media, func(i, j int) bool { return inv.Media[i].Name < inv.Media[j].Name })
+	return inv, nil
+}
+
+// Item is one scheduled request. Path carries the full request target
+// including query parameters; Body is non-nil only for POSTs.
+type Item struct {
+	AtNs   int64  `json:"at_ns"`
+	Group  int    `json:"group"`
+	Client int    `json:"client"`
+	Op     string `json:"op"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   []byte `json:"body,omitempty"`
+}
+
+// Schedule is the fully materialized request program of one
+// (spec, seed, inventory) triple, sorted by dispatch time.
+type Schedule struct {
+	SpecHash string `json:"spec_hash"`
+	Seed     int64  `json:"seed"`
+	Items    []Item `json:"items"`
+}
+
+// clientSeed derives an independent PRNG stream per (group, client)
+// from the run seed, so adding a client to one group never perturbs
+// another group's draws.
+func clientSeed(seed int64, group, client int) int64 {
+	r := NewRNG(seed ^ int64(group+1)<<32 ^ int64(client+1))
+	return int64(r.Uint64())
+}
+
+// Generate materializes the request schedule for spec under seed
+// against inv. The result is byte-identical across runs: same
+// (spec, seed, inventory) → same Encode() bytes.
+func Generate(spec *Spec, seed int64, inv *Inventory) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	needsMedia := false
+	for _, g := range spec.Groups {
+		for _, op := range knownOps {
+			if op != "object" && g.Mix[op] > 0 {
+				needsMedia = true
+			}
+		}
+	}
+	if needsMedia && len(inv.Media) == 0 {
+		return nil, fmt.Errorf("workload: spec %q needs media targets but the inventory has none", spec.Name)
+	}
+	horizon := time.Duration(spec.DurationSec * float64(time.Second))
+	sched := &Schedule{SpecHash: spec.Hash(), Seed: seed}
+	for gi, g := range spec.Groups {
+		for ci := 0; ci < g.Clients; ci++ {
+			rng := NewRNG(clientSeed(seed, gi, ci))
+			mutSeq := 0
+			for _, at := range arrivals(rng, g.Arrival, g.Diurnal, horizon) {
+				op := pickOp(rng, g.Mix)
+				item := Item{AtNs: int64(at), Group: gi, Client: ci, Op: op}
+				buildRequest(rng, &item, inv, seed, &mutSeq)
+				sched.Items = append(sched.Items, item)
+			}
+		}
+	}
+	// One global dispatch order; ties broken by (group, client) so the
+	// sort is total and the encoding stable.
+	sort.SliceStable(sched.Items, func(i, j int) bool {
+		a, b := sched.Items[i], sched.Items[j]
+		if a.AtNs != b.AtNs {
+			return a.AtNs < b.AtNs
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Client < b.Client
+	})
+	return sched, nil
+}
+
+// pickOp draws from the weighted mix, iterating ops in the fixed
+// knownOps order so the draw is deterministic.
+func pickOp(rng *RNG, mix map[string]int) string {
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	n := rng.Intn(total)
+	for _, op := range knownOps {
+		n -= mix[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return knownOps[0]
+}
+
+// buildRequest fills the HTTP request of one drawn operation.
+// Mutation names embed (seed, group, client, seq) so concurrent
+// clients and repeated runs never collide, yet the names are fully
+// deterministic.
+func buildRequest(rng *RNG, item *Item, inv *Inventory, seed int64, mutSeq *int) {
+	item.Method = http.MethodGet
+	switch item.Op {
+	case "object":
+		item.Path = "/v1/objects/" + inv.Names[rng.Intn(len(inv.Names))]
+	case "expand":
+		item.Path = "/v1/objects/" + inv.Media[rng.Intn(len(inv.Media))].Name + "/expand"
+	case "element":
+		t := inv.Media[rng.Intn(len(inv.Media))]
+		item.Path = fmt.Sprintf("/v1/objects/%s/element/%d", t.Name, rng.Intn(t.Elements))
+	case "cut":
+		t := inv.Media[rng.Intn(len(inv.Media))]
+		from := rng.Intn(t.Elements - 1)
+		to := from + 1 + rng.Intn(t.Elements-from-1)
+		*mutSeq++
+		out := fmt.Sprintf("w%d-g%dc%d-%d", seed, item.Group, item.Client, *mutSeq)
+		item.Method = http.MethodPost
+		item.Path = fmt.Sprintf("/v1/objects/%s/cut?out=%s&from=%d&to=%d", t.Name, out, from, to)
+	case "batch":
+		t := inv.Media[rng.Intn(len(inv.Media))]
+		type batchItem struct {
+			Name       string          `json:"name"`
+			Op         string          `json:"op"`
+			InputNames []string        `json:"input_names"`
+			Params     json.RawMessage `json:"params"`
+		}
+		n := 2 + rng.Intn(3)
+		items := make([]batchItem, n)
+		for k := range items {
+			*mutSeq++
+			from := rng.Intn(t.Elements - 1)
+			items[k] = batchItem{
+				Name:       fmt.Sprintf("w%d-g%dc%d-%d", seed, item.Group, item.Client, *mutSeq),
+				Op:         "video-edit",
+				InputNames: []string{t.Name},
+				Params: json.RawMessage(fmt.Sprintf(
+					`{"entries":[{"input":0,"from":%d,"to":%d}]}`, from, from+1)),
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"items": items})
+		item.Method = http.MethodPost
+		item.Path = "/v1/objects:batch"
+		item.Body = body
+	case "query":
+		switch rng.Intn(4) {
+		case 0:
+			item.Path = "/v1/query?kind=video&limit=50"
+		case 1:
+			item.Path = "/v1/query?derived_from=" + inv.Media[rng.Intn(len(inv.Media))].Name + "&limit=50"
+		case 2:
+			item.Path = fmt.Sprintf("/v1/query?live_at=%.3f&limit=50", rng.Float64()*10)
+		default:
+			t1 := rng.Float64() * 8
+			item.Path = fmt.Sprintf("/v1/query?overlaps=%.3f,%.3f&limit=50", t1, t1+2)
+		}
+	case "pquery":
+		// Epoch-pinned pagination: the executor fetches this first page,
+		// reads the epoch from the response, and walks the remaining
+		// pages with an epoch= pin — exercising the retention ring under
+		// a mutating workload.
+		item.Path = fmt.Sprintf("/v1/query?kind=video&limit=%d&offset=0", 2+rng.Intn(6))
+	}
+}
+
+// Encode renders the schedule as canonical JSON lines: one header
+// line (spec hash, seed), then one line per item. Byte-identical
+// encodes mean identical schedules; the determinism lane diffs these
+// bytes directly.
+func (s *Schedule) Encode() []byte {
+	var buf bytes.Buffer
+	hdr, _ := json.Marshal(struct {
+		SpecHash string `json:"spec_hash"`
+		Seed     int64  `json:"seed"`
+		Items    int    `json:"items"`
+	}{s.SpecHash, s.Seed, len(s.Items)})
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for i := range s.Items {
+		line, _ := json.Marshal(&s.Items[i])
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Hash is the hex SHA-256 of Encode — the schedule fingerprint
+// reports embed next to the spec hash.
+func (s *Schedule) Hash() string {
+	sum := sha256.Sum256(s.Encode())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Policy scoring reduces a candidate policy's measured behavior to a
+// single comparable number. Three objectives cover the tradeoffs the
+// catalog's knobs move: throughput (ops/s, higher is better), tail
+// latency (p99 ms, lower is better) and error rate (shed + 5xx,
+// lower is better). Because the objectives live on incomparable
+// scales, each is min-max normalized across the sweep's candidates
+// before weighting — a fitness is only meaningful relative to the
+// sweep it was computed in, which is exactly how a sweep uses it.
+
+// Objectives are one candidate's raw measurements.
+type Objectives struct {
+	Label         string  `json:"label"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	P99Ms         float64 `json:"p99_ms"`
+	ErrorRate     float64 `json:"error_rate"`
+}
+
+// Weights are the relative importance of each objective; they are
+// normalized to sum to 1, so only ratios matter.
+type Weights struct {
+	Throughput float64 `json:"throughput"`
+	P99        float64 `json:"p99"`
+	Errors     float64 `json:"errors"`
+}
+
+// DefaultWeights: throughput half, tail latency and robustness a
+// quarter each.
+var DefaultWeights = Weights{Throughput: 0.5, P99: 0.25, Errors: 0.25}
+
+// ParseWeights parses "throughput=0.5,p99=0.25,errors=0.25".
+func ParseWeights(s string) (Weights, error) {
+	w := Weights{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		var f float64
+		if ok {
+			_, err := fmt.Sscanf(v, "%g", &f)
+			ok = err == nil && f >= 0
+		}
+		if !ok {
+			return w, fmt.Errorf("workload: bad weight %q (want name=value)", part)
+		}
+		switch k {
+		case "throughput":
+			w.Throughput = f
+		case "p99":
+			w.P99 = f
+		case "errors":
+			w.Errors = f
+		default:
+			return w, fmt.Errorf("workload: unknown objective %q (want throughput|p99|errors)", k)
+		}
+	}
+	if w.Throughput+w.P99+w.Errors == 0 {
+		return w, fmt.Errorf("workload: weights sum to zero")
+	}
+	return w, nil
+}
+
+// Scored is one candidate with its normalized components and final
+// fitness.
+type Scored struct {
+	Objectives
+	// Normalized components, each in [0, 1], 1 = best in sweep.
+	NormThroughput float64 `json:"norm_throughput"`
+	NormP99        float64 `json:"norm_p99"`
+	NormErrors     float64 `json:"norm_errors"`
+	Fitness        float64 `json:"fitness"`
+}
+
+// ScoreSweep scores candidates against each other: min-max normalize
+// each objective over the sweep, orient so 1 is always best, then
+// weight. Returned in input order; Best gives the winner.
+func ScoreSweep(cands []Objectives, w Weights) []Scored {
+	total := w.Throughput + w.P99 + w.Errors
+	if total <= 0 {
+		w, total = DefaultWeights, 1
+	}
+	minMax := func(get func(Objectives) float64) (lo, hi float64) {
+		lo, hi = get(cands[0]), get(cands[0])
+		for _, c := range cands[1:] {
+			v := get(c)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lo, hi
+	}
+	// norm maps a value to [0,1] oriented so 1 is always best; a
+	// degenerate range (all candidates equal) scores 1 for everyone —
+	// the objective cannot distinguish them, so it shouldn't penalize
+	// any. Orientation must happen inside the degenerate check: a
+	// bare 1-norm flip would turn that 1 into a 0.
+	norm := func(v, lo, hi float64, higherBetter bool) float64 {
+		if hi == lo {
+			return 1
+		}
+		f := (v - lo) / (hi - lo)
+		if !higherBetter {
+			f = 1 - f
+		}
+		return f
+	}
+	tLo, tHi := minMax(func(o Objectives) float64 { return o.ThroughputOps })
+	pLo, pHi := minMax(func(o Objectives) float64 { return o.P99Ms })
+	eLo, eHi := minMax(func(o Objectives) float64 { return o.ErrorRate })
+	out := make([]Scored, len(cands))
+	for i, c := range cands {
+		s := Scored{Objectives: c}
+		s.NormThroughput = norm(c.ThroughputOps, tLo, tHi, true)
+		s.NormP99 = norm(c.P99Ms, pLo, pHi, false)
+		s.NormErrors = norm(c.ErrorRate, eLo, eHi, false)
+		s.Fitness = (w.Throughput*s.NormThroughput + w.P99*s.NormP99 + w.Errors*s.NormErrors) / total
+		out[i] = s
+	}
+	return out
+}
+
+// Best returns the index of the highest-fitness candidate; ties break
+// toward the earlier candidate so the result is deterministic.
+func Best(scored []Scored) int {
+	best := 0
+	for i, s := range scored {
+		if s.Fitness > scored[best].Fitness {
+			best = i
+		}
+	}
+	return best
+}
+
+// ObjectivesFromTrace computes a candidate's objectives from its
+// recorded trace: throughput over the recorded span, p99 over the
+// recorded service times, error rate counting sheds and 5xx
+// responses. Scoring straight from the capture trace means the
+// numbers describe what the server actually served, not what a client
+// harness managed to observe.
+func ObjectivesFromTrace(label string, records []TraceRecord) (Objectives, error) {
+	if len(records) == 0 {
+		return Objectives{}, fmt.Errorf("workload: trace has no records")
+	}
+	o := Objectives{Label: label}
+	var lat []time.Duration
+	errors := 0
+	minAt, maxEnd := records[0].AtNs, int64(0)
+	for _, r := range records {
+		if r.AtNs < minAt {
+			minAt = r.AtNs
+		}
+		if end := r.AtNs + r.LatencyNs; end > maxEnd {
+			maxEnd = end
+		}
+		if r.Shed || r.Status >= 500 || r.Status == 0 {
+			errors++
+		}
+		if !r.Shed {
+			lat = append(lat, time.Duration(r.LatencyNs))
+		}
+	}
+	if span := maxEnd - minAt; span > 0 {
+		o.ThroughputOps = float64(len(records)) / (float64(span) / float64(time.Second))
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		o.P99Ms = float64(lat[int(0.99*float64(len(lat)-1))]) / float64(time.Millisecond)
+	}
+	o.ErrorRate = float64(errors) / float64(len(records))
+	return o, nil
+}

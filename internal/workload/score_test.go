@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("throughput=2,p99=1,errors=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Throughput != 2 || w.P99 != 1 || w.Errors != 1 {
+		t.Errorf("weights = %+v", w)
+	}
+	for _, bad := range []string{"latency=1", "p99=-1", "p99", "p99=0,errors=0,throughput=0"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("ParseWeights(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScoreSweepOrientation(t *testing.T) {
+	// Candidate "good" dominates on every objective; it must win under
+	// any weighting, and its normalized components must all be 1.
+	cands := []Objectives{
+		{Label: "good", ThroughputOps: 1000, P99Ms: 5, ErrorRate: 0},
+		{Label: "slow", ThroughputOps: 400, P99Ms: 80, ErrorRate: 0.2},
+		{Label: "mid", ThroughputOps: 700, P99Ms: 40, ErrorRate: 0.1},
+	}
+	scored := ScoreSweep(cands, DefaultWeights)
+	if len(scored) != 3 {
+		t.Fatalf("scored %d candidates", len(scored))
+	}
+	g := scored[0]
+	if g.NormThroughput != 1 || g.NormP99 != 1 || g.NormErrors != 1 || math.Abs(g.Fitness-1) > 1e-9 {
+		t.Errorf("dominant candidate scored %+v", g)
+	}
+	if s := scored[1]; s.NormThroughput != 0 || s.NormP99 != 0 || s.NormErrors != 0 {
+		t.Errorf("dominated candidate scored %+v", s)
+	}
+	if Best(scored) != 0 {
+		t.Errorf("Best = %d, want 0", Best(scored))
+	}
+	// Fitness is monotone in domination: mid sits strictly between.
+	if !(scored[1].Fitness < scored[2].Fitness && scored[2].Fitness < scored[0].Fitness) {
+		t.Errorf("fitness order broken: %v %v %v",
+			scored[1].Fitness, scored[2].Fitness, scored[0].Fitness)
+	}
+}
+
+func TestScoreSweepDegenerateRange(t *testing.T) {
+	// All candidates identical on an objective: that objective cannot
+	// discriminate and everyone gets full marks on it.
+	cands := []Objectives{
+		{Label: "a", ThroughputOps: 500, P99Ms: 10, ErrorRate: 0},
+		{Label: "b", ThroughputOps: 600, P99Ms: 10, ErrorRate: 0},
+	}
+	scored := ScoreSweep(cands, DefaultWeights)
+	for _, s := range scored {
+		if s.NormP99 != 1 || s.NormErrors != 1 {
+			t.Errorf("degenerate objective scored %+v", s)
+		}
+	}
+	if Best(scored) != 1 {
+		t.Errorf("Best = %d, want the higher-throughput candidate", Best(scored))
+	}
+}
+
+func TestObjectivesFromTrace(t *testing.T) {
+	ns := int64(1e6)
+	records := []TraceRecord{
+		{AtNs: 0, LatencyNs: 2 * ns, Status: 200},
+		{AtNs: 100 * ns, LatencyNs: 4 * ns, Status: 200},
+		{AtNs: 200 * ns, LatencyNs: 8 * ns, Status: 500},
+		{AtNs: 300 * ns, LatencyNs: 1 * ns, Status: 503, Shed: true},
+	}
+	o, err := ObjectivesFromTrace("cand", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Label != "cand" {
+		t.Errorf("label = %q", o.Label)
+	}
+	if o.ErrorRate != 0.5 { // one 5xx + one shed out of four
+		t.Errorf("error rate = %v, want 0.5", o.ErrorRate)
+	}
+	if o.ThroughputOps <= 0 || o.P99Ms <= 0 {
+		t.Errorf("objectives = %+v", o)
+	}
+	if _, err := ObjectivesFromTrace("empty", nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

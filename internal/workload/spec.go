@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Spec describes a simulated workload: one or more client groups,
+// each with its own arrival process, optional diurnal rate shaping,
+// and weighted operation mix. A Spec plus a seed fully determines a
+// request schedule (see Generate).
+type Spec struct {
+	// Name labels the spec in reports and BENCH artifacts.
+	Name string `json:"name"`
+	// DurationSec is the schedule horizon in seconds: arrivals are
+	// generated in [0, DurationSec).
+	DurationSec float64 `json:"duration_sec"`
+	// Groups are the client populations. Group order is significant:
+	// each (group, client) pair derives its own PRNG stream from the
+	// run seed, so reordering groups changes the schedule.
+	Groups []Group `json:"groups"`
+}
+
+// Group is a homogeneous client population.
+type Group struct {
+	// Name labels the group ("readers", "editors", ...).
+	Name string `json:"name"`
+	// Clients is how many independent clients the group simulates.
+	Clients int `json:"clients"`
+	// Arrival is the per-client inter-arrival process.
+	Arrival Arrival `json:"arrival"`
+	// Diurnal optionally shapes the arrival rate over the schedule
+	// horizon.
+	Diurnal *Diurnal `json:"diurnal,omitempty"`
+	// Mix is the weighted operation mix, op name → weight. Known ops:
+	// object, expand, element, cut, batch, query, pquery (epoch-pinned
+	// two-page query).
+	Mix map[string]int `json:"mix"`
+}
+
+// Arrival selects and parameterizes an inter-arrival process.
+type Arrival struct {
+	// Process is "poisson", "gamma" or "uniform".
+	//
+	//   poisson: exponential inter-arrivals at Rate req/s — the
+	//            memoryless open-loop baseline.
+	//   gamma:   Gamma(Shape, 1/(Rate*Shape)) inter-arrivals; Shape<1
+	//            produces bursts (heavy clustering at the same mean
+	//            rate), Shape>1 smooths toward a pacemaker.
+	//   uniform: fixed 1/Rate spacing — a metronome, useful for
+	//            minimal-variance regression lanes.
+	Process string `json:"process"`
+	// Rate is the mean arrival rate in requests/second per client.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma shape parameter (gamma only; default 0.5).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Diurnal shapes the instantaneous arrival rate as
+//
+//	rate(t) = base * (1 + Amplitude * sin(2*pi*t/PeriodSec + PhaseRad))
+//
+// implemented by thinning, so the draw sequence stays deterministic.
+// Amplitude must be in [0, 1]; PeriodSec defaults to the schedule
+// horizon (one full day-cycle per run).
+type Diurnal struct {
+	Amplitude float64 `json:"amplitude"`
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	PhaseRad  float64 `json:"phase_rad,omitempty"`
+}
+
+// knownOps is the closed set of schedulable operations, in the fixed
+// order weighted draws iterate (the order is part of the
+// deterministic contract).
+var knownOps = []string{"object", "expand", "element", "cut", "batch", "query", "pquery"}
+
+// mutatingOps are the ops that create objects; they need media
+// targets with at least two elements.
+func isKnownOp(op string) bool {
+	for _, k := range knownOps {
+		if k == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec's structural invariants.
+func (s *Spec) Validate() error {
+	if s.DurationSec <= 0 {
+		return fmt.Errorf("workload: spec %q: duration_sec must be positive", s.Name)
+	}
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("workload: spec %q: no client groups", s.Name)
+	}
+	for gi, g := range s.Groups {
+		if g.Clients <= 0 {
+			return fmt.Errorf("workload: group %d (%s): clients must be positive", gi, g.Name)
+		}
+		switch g.Arrival.Process {
+		case "poisson", "uniform":
+		case "gamma":
+			if g.Arrival.Shape < 0 {
+				return fmt.Errorf("workload: group %d (%s): negative gamma shape", gi, g.Name)
+			}
+		default:
+			return fmt.Errorf("workload: group %d (%s): unknown arrival process %q", gi, g.Name, g.Arrival.Process)
+		}
+		if g.Arrival.Rate <= 0 {
+			return fmt.Errorf("workload: group %d (%s): arrival rate must be positive", gi, g.Name)
+		}
+		if d := g.Diurnal; d != nil {
+			if d.Amplitude < 0 || d.Amplitude > 1 {
+				return fmt.Errorf("workload: group %d (%s): diurnal amplitude must be in [0,1]", gi, g.Name)
+			}
+			if d.PeriodSec < 0 {
+				return fmt.Errorf("workload: group %d (%s): negative diurnal period", gi, g.Name)
+			}
+		}
+		total := 0
+		for op, w := range g.Mix {
+			if !isKnownOp(op) {
+				return fmt.Errorf("workload: group %d (%s): unknown op %q (want one of %s)",
+					gi, g.Name, op, strings.Join(knownOps, "|"))
+			}
+			if w < 0 {
+				return fmt.Errorf("workload: group %d (%s): negative weight for %q", gi, g.Name, op)
+			}
+			total += w
+		}
+		if total == 0 {
+			return fmt.Errorf("workload: group %d (%s): mix has zero total weight", gi, g.Name)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the spec's canonical JSON encoding: fixed field
+// order, map keys sorted (encoding/json sorts map keys), no
+// insignificant whitespace. Two specs with equal canonical bytes are
+// the same workload.
+func (s *Spec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic("workload: canonical encode: " + err.Error())
+	}
+	return b
+}
+
+// Hash is the hex SHA-256 of the canonical encoding — the spec
+// fingerprint embedded in every report and BENCH artifact.
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// LoadSpec reads and validates a spec from a JSON file. Unknown
+// fields are rejected so a typo'd knob fails loudly instead of
+// silently running the default.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// MixSpec converts tbmload's legacy closed-loop parameters into a
+// one-group Spec so even legacy bench reports carry a spec hash.
+func MixSpec(name string, clients int, duration time.Duration, mix map[string]int) *Spec {
+	ops := make(map[string]int, len(mix))
+	keys := make([]string, 0, len(mix))
+	for op := range mix {
+		keys = append(keys, op)
+	}
+	sort.Strings(keys)
+	for _, op := range keys {
+		ops[op] = mix[op]
+	}
+	return &Spec{
+		Name:        name,
+		DurationSec: duration.Seconds(),
+		Groups: []Group{{
+			Name:    "closed-loop",
+			Clients: clients,
+			// Closed-loop mode has no arrival process — clients issue
+			// back to back — encoded as a uniform process at a nominal
+			// rate so the spec still validates and hashes.
+			Arrival: Arrival{Process: "uniform", Rate: 1},
+			Mix:     ops,
+		}},
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:        "t",
+		DurationSec: 2,
+		Groups: []Group{{
+			Name:    "readers",
+			Clients: 2,
+			Arrival: Arrival{Process: "poisson", Rate: 10},
+			Mix:     map[string]int{"object": 1},
+		}},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"zero duration", func(s *Spec) { s.DurationSec = 0 }, "duration_sec"},
+		{"no groups", func(s *Spec) { s.Groups = nil }, "no client groups"},
+		{"zero clients", func(s *Spec) { s.Groups[0].Clients = 0 }, "clients"},
+		{"bad process", func(s *Spec) { s.Groups[0].Arrival.Process = "zipf" }, "unknown arrival process"},
+		{"negative gamma shape", func(s *Spec) {
+			s.Groups[0].Arrival = Arrival{Process: "gamma", Rate: 1, Shape: -1}
+		}, "gamma shape"},
+		{"zero rate", func(s *Spec) { s.Groups[0].Arrival.Rate = 0 }, "rate"},
+		{"diurnal amplitude", func(s *Spec) { s.Groups[0].Diurnal = &Diurnal{Amplitude: 2} }, "amplitude"},
+		{"diurnal period", func(s *Spec) {
+			s.Groups[0].Diurnal = &Diurnal{Amplitude: 0.5, PeriodSec: -1}
+		}, "period"},
+		{"unknown op", func(s *Spec) { s.Groups[0].Mix = map[string]int{"drop-table": 1} }, "unknown op"},
+		{"negative weight", func(s *Spec) { s.Groups[0].Mix = map[string]int{"object": -1} }, "negative weight"},
+		{"zero mix", func(s *Spec) { s.Groups[0].Mix = map[string]int{"object": 0} }, "zero total weight"},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecHashStable(t *testing.T) {
+	a, b := validSpec(), validSpec()
+	if a.Hash() != b.Hash() {
+		t.Error("equal specs hash differently")
+	}
+	b.Groups[0].Arrival.Rate = 11
+	if a.Hash() == b.Hash() {
+		t.Error("different specs hash equal")
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{
+		"name": "smoke", "duration_sec": 1,
+		"groups": [{"name": "g", "clients": 1,
+			"arrival": {"process": "uniform", "rate": 5},
+			"mix": {"object": 1, "query": 1}}]
+	}`), 0o644)
+	s, err := LoadSpec(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "smoke" || len(s.Groups) != 1 {
+		t.Errorf("loaded spec = %+v", s)
+	}
+
+	// A typo'd knob must fail loudly, not silently run the default.
+	typo := filepath.Join(dir, "typo.json")
+	os.WriteFile(typo, []byte(`{"name": "x", "duration_sec": 1, "groupz": []}`), 0o644)
+	if _, err := LoadSpec(typo); err == nil {
+		t.Error("unknown field accepted")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name": "x", "duration_sec": 1, "groups": []}`), 0o644)
+	if _, err := LoadSpec(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMixSpec(t *testing.T) {
+	mix := map[string]int{"object": 3, "cut": 1}
+	s := MixSpec("closed-loop", 4, 10*time.Second, mix)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("MixSpec produced invalid spec: %v", err)
+	}
+	if s.Hash() != MixSpec("closed-loop", 4, 10*time.Second, mix).Hash() {
+		t.Error("MixSpec hash not stable")
+	}
+	if s.Groups[0].Clients != 4 || s.DurationSec != 10 {
+		t.Errorf("MixSpec = %+v", s)
+	}
+}

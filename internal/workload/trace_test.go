@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestTrace(t *testing.T, path string, meta TraceMeta, recs []TraceRecord) {
+	t.Helper()
+	rec, err := CreateTrace(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := rec.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trc")
+	in := []TraceRecord{
+		{Method: "GET", Path: "/v1/objects/a", RouteName: "object", Status: 200, Digest: "d1", Epoch: 3, LatencyNs: 1000},
+		{Method: "POST", Path: "/v1/objects:batch", Body: []byte(`{"items":[]}`), Status: 201, Digest: "d2", LatencyNs: 2000},
+		{Method: "GET", Path: "/v1/objects/x", Status: 503, ErrCode: "overloaded", Shed: true, LatencyNs: 10},
+	}
+	writeTestTrace(t, path, TraceMeta{Objects: 5, Seq: 9, Epoch: 4}, in)
+
+	meta, out, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (TraceMeta{Objects: 5, Seq: 9, Epoch: 4}) {
+		t.Errorf("meta = %+v", meta)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		want := in[i]
+		want.Seq = uint64(i + 1) // Recorder assigns completion order
+		got := out[i]
+		if got.Method != want.Method || got.Path != want.Path || got.Status != want.Status ||
+			got.Digest != want.Digest || got.ErrCode != want.ErrCode ||
+			got.Epoch != want.Epoch || got.Shed != want.Shed ||
+			got.Seq != want.Seq || !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestTraceTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trc")
+	writeTestTrace(t, path, TraceMeta{Objects: 1}, []TraceRecord{
+		{Method: "GET", Path: "/a", Status: 200},
+		{Method: "GET", Path: "/b", Status: 200},
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a torn final frame: the records before
+	// it must still parse.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := ReadTrace(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("got %d records before the tear, want 1", len(recs))
+	}
+}
+
+func TestTraceCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trc")
+	writeTestTrace(t, path, TraceMeta{}, []TraceRecord{
+		{Method: "GET", Path: "/aaaaaaaaaa", Status: 200},
+		{Method: "GET", Path: "/bbbbbbbbbb", Status: 200},
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle: corruption with more data following
+	// is damage, not a tear, and must be an error.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTrace(path); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.trc")
+	os.WriteFile(path, []byte("this is not a trace file at all"), 0o644)
+	if _, _, err := ReadTrace(path); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := ReadTrace(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRecorderStickyError(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(f, TraceMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Push enough records through the 64 KiB buffer to force a flush
+	// onto the closed file; from then on every call reports the error.
+	var firstErr error
+	for i := 0; i < 5000 && firstErr == nil; i++ {
+		firstErr = rec.Record(TraceRecord{Method: "GET", Path: "/some/long/enough/path", Status: 200})
+	}
+	if firstErr == nil {
+		t.Fatal("writes to a closed file never failed")
+	}
+	if err := rec.Record(TraceRecord{}); err == nil {
+		t.Error("record after failure succeeded")
+	}
+	if err := rec.Close(); err == nil {
+		t.Error("close after failure reported success")
+	}
+}
+
+func TestCreateTraceBadPath(t *testing.T) {
+	if _, err := CreateTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "t.trc"), TraceMeta{}); err == nil {
+		t.Error("create into missing directory succeeded")
+	}
+}
