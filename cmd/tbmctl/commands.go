@@ -383,6 +383,7 @@ func cmdQuery(args []string) error {
 	sortBy := fs.String("sort", "id", "result order: id, name or duration")
 	limit := fs.Int("limit", -1, "cap the result count (-1 = unlimited)")
 	countOnly := fs.Bool("count", false, "print only the number of matches")
+	asOf := fs.Uint64("as-of", 0, "transaction-time read: run the query as of this journal sequence (0 = latest)")
 	fs.Parse(args)
 
 	var attrKey, attrVal string
@@ -412,6 +413,9 @@ func cmdQuery(args []string) error {
 		set("overlaps", *overlaps)
 		set("min_duration", *minDur)
 		set("max_duration", *maxDur)
+		if *asOf > 0 {
+			params.Set("as_of", strconv.FormatUint(*asOf, 10))
+		}
 		if *sortBy != "id" {
 			params.Set("sort", *sortBy)
 		}
@@ -429,7 +433,19 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer store.Close()
+	// -as-of narrows the query to the catalog as it stood at that
+	// journal sequence; lookups (derived-from) resolve against the same
+	// snapshot so the whole query is internally consistent.
 	q := query.New(db)
+	lookup := db.Lookup
+	if *asOf > 0 {
+		av, err := db.CurrentView().AsOf(*asOf)
+		if err != nil {
+			return err
+		}
+		q = query.At(av)
+		lookup = av.Lookup
+	}
 	if *kind != "" {
 		q.Kind(kindByName(*kind))
 	}
@@ -447,7 +463,7 @@ func cmdQuery(args []string) error {
 		q.NameContains(*nameContains)
 	}
 	if *derivedFrom != "" {
-		src, err := db.Lookup(*derivedFrom)
+		src, err := lookup(*derivedFrom)
 		if err != nil {
 			return err
 		}

@@ -35,7 +35,12 @@ func liveInventory(base string) (*workload.Inventory, error) {
 	for i, t := range media {
 		targets[i] = workload.Target{Name: t.Name, Elements: t.Elements}
 	}
-	return workload.NewInventory(names, targets)
+	inv, err := workload.NewInventory(names, targets)
+	if err != nil {
+		return nil, err
+	}
+	inv.Seq = discoverSeq(base)
+	return inv, nil
 }
 
 // RunReport is the artifact of one open-loop simulation: the spec and
@@ -168,7 +173,15 @@ func syntheticInventory(objects, elements int) (*workload.Inventory, error) {
 		names[i] = fmt.Sprintf("obj%03d", i)
 		media[i] = workload.Target{Name: names[i], Elements: elements}
 	}
-	return workload.NewInventory(names, media)
+	inv, err := workload.NewInventory(names, media)
+	if err != nil {
+		return nil, err
+	}
+	// Each synthetic object costs two journal sequences when ingested
+	// (interpretation + object), so asof draws target a plausible range
+	// — and stay deterministic without a server.
+	inv.Seq = uint64(2 * objects)
+	return inv, nil
 }
 
 // cmdReplay re-issues a captured trace in record order and writes the

@@ -26,6 +26,10 @@
 //	batch    POST /v1/objects:batch             atomic multi-object mutation
 //	query    GET  /v1/query                     indexed structural query
 //	                                            (kind / attr / time-range mix)
+//	asof     GET  /v1/query?as_of=N             transaction-time read at a drawn
+//	         GET  /v1/objects/{name}?as_of=N    journal sequence (410/404 below
+//	                                            the retention floor are outcomes,
+//	                                            not errors)
 //
 // Targets for reads and cut inputs are discovered from GET /v1/objects
 // at startup; mutation names are namespaced per run (-run-id, default
@@ -69,6 +73,7 @@ type client struct {
 	http    *http.Client
 	media   []target // non-derived objects with stored elements
 	names   []string // every object name (for point reads)
+	seq     uint64   // committed journal sequence at startup (asof bound)
 	runID   string
 	mutSeq  int
 	stats   map[string]*opStats
@@ -159,6 +164,7 @@ func run(base string, nClients int, duration time.Duration, mixSpec string, seed
 	if len(names) == 0 {
 		return fmt.Errorf("server has no objects; seed it first (tbmctl ingest -dir <dir> -n 16)")
 	}
+	seqBound := discoverSeq(base)
 	needMedia := mix["element"] > 0 || mix["cut"] > 0 || mix["batch"] > 0 || mix["expand"] > 0 || mix["query"] > 0
 	if needMedia && len(media) == 0 {
 		return fmt.Errorf("workload needs stored media objects but the server has none")
@@ -174,7 +180,7 @@ func run(base string, nClients int, duration time.Duration, mixSpec string, seed
 			rng:   rand.New(rand.NewSource(seed*1_000_003 + int64(i))),
 			base:  base,
 			http:  &http.Client{Timeout: 30 * time.Second},
-			media: media, names: names,
+			media: media, names: names, seq: seqBound,
 			runID:   runID,
 			stats:   map[string]*opStats{},
 			verbose: verbose,
@@ -211,7 +217,7 @@ func run(base string, nClients int, duration time.Duration, mixSpec string, seed
 
 // parseMix parses "op=weight,..." into a weight table.
 func parseMix(spec string) (map[string]int, error) {
-	known := map[string]bool{"object": true, "expand": true, "element": true, "cut": true, "batch": true, "query": true}
+	known := map[string]bool{"object": true, "expand": true, "element": true, "cut": true, "batch": true, "query": true, "asof": true}
 	mix := map[string]int{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -225,7 +231,7 @@ func parseMix(spec string) (map[string]int, error) {
 			ok = err == nil
 		}
 		if !ok || !known[op] || w < 0 {
-			return nil, fmt.Errorf("bad mix entry %q (want op=weight with op in object|expand|element|cut|batch|query)", part)
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight with op in object|expand|element|cut|batch|query|asof)", part)
 		}
 		mix[op] = w
 	}
@@ -272,7 +278,7 @@ func pick(rng *rand.Rand, mix map[string]int) string {
 	}
 	n := rng.Intn(total)
 	// Iterate in fixed order so the draw is deterministic.
-	for _, op := range []string{"object", "expand", "element", "cut", "batch", "query"} {
+	for _, op := range []string{"object", "expand", "element", "cut", "batch", "query", "asof"} {
 		n -= mix[op]
 		if n < 0 {
 			return op
@@ -357,21 +363,68 @@ func (c *client) do(op string) error {
 			t1 := c.rng.Float64() * 8
 			return c.get(fmt.Sprintf("/v1/query?overlaps=%.3f,%.3f&limit=50", t1, t1+2))
 		}
+	case "asof":
+		// Transaction-time reads at a drawn journal sequence. Below the
+		// version retention floor the server answers 410 version_gone;
+		// a name not yet present at that sequence answers 404. Both are
+		// deterministic outcomes of the draw, accepted alongside 200.
+		maxSeq := c.seq
+		if maxSeq == 0 {
+			maxSeq = 1
+		}
+		at := 1 + uint64(c.rng.Int63n(int64(maxSeq)))
+		switch c.rng.Intn(3) {
+		case 0:
+			return c.getAny(fmt.Sprintf("/v1/query?kind=video&as_of=%d&limit=50", at),
+				http.StatusOK, http.StatusGone)
+		case 1:
+			return c.getAny(fmt.Sprintf("/v1/query?live_at=%.3f&as_of=%d&limit=50", c.rng.Float64()*10, at),
+				http.StatusOK, http.StatusGone)
+		default:
+			name := c.names[c.rng.Intn(len(c.names))]
+			return c.getAny(fmt.Sprintf("/v1/objects/%s?as_of=%d", name, at),
+				http.StatusOK, http.StatusGone, http.StatusNotFound)
+		}
 	}
 	return fmt.Errorf("unknown op %q", op)
 }
 
+// discoverSeq reads the committed journal sequence from the readiness
+// probe — the upper bound asof draws use. 0 when the probe is
+// unavailable or predates the field.
+func discoverSeq(base string) uint64 {
+	resp, err := http.Get(base + "/v1/readyz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Seq uint64 `json:"seq"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil {
+		return 0
+	}
+	return body.Seq
+}
+
 func (c *client) get(path string) error {
+	return c.getAny(path, http.StatusOK)
+}
+
+// getAny issues a GET accepting any of the listed statuses.
+func (c *client) getAny(path string, want ...int) error {
 	resp, err := c.http.Get(c.base + path)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	for _, w := range want {
+		if resp.StatusCode == w {
+			return nil
+		}
 	}
-	return nil
+	return fmt.Errorf("GET %s: %s", path, resp.Status)
 }
 
 func (c *client) post(path, contentType string, body []byte, want int) error {

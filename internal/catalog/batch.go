@@ -114,8 +114,14 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 	}
 	var t *wal.Ticket
 	if db.wal == nil {
-		// No journal: the batch is committed by definition. One edit,
-		// one epoch.
+		// No journal: the batch is committed by definition. Each item
+		// still gets its own sequence number — its transaction-time
+		// version stamp. One edit, one epoch.
+		for i, rec := range recs {
+			db.seq++
+			rec.Seq = db.seq
+			db.stagedSeq[ids[i]] = rec.Seq
+		}
 		db.publishLocked(ids...)
 	} else {
 		// Sequence assignment, encode, and the batch's log-position
@@ -126,6 +132,7 @@ func (db *DB) AddBatch(items []BatchItem) ([]core.ID, error) {
 		for i, rec := range recs {
 			db.seq++
 			rec.Seq = db.seq
+			db.stagedSeq[ids[i]] = rec.Seq
 			data, err := encodeOp(rec)
 			if err != nil {
 				return fail(i, rec.Name, err)

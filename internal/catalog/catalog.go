@@ -138,6 +138,22 @@ type DB struct {
 	// "manifest", "compacted" — with no locks held. Crash tests use it
 	// to capture the on-disk image between boundaries.
 	checkpointHook func(stage string)
+
+	// Transaction-time versioning (versions.go): verRetention bounds
+	// each object's version chain; stagedSeq remembers the journal seq
+	// assigned to each staged object so publishLocked can stamp its
+	// version entry; versionsIntact records whether the loaded state
+	// carried version chains (legacy snapshots do not — Load reseeds
+	// trivial chains and raises the version floor to the load seq).
+	verRetention   int
+	stagedSeq      map[core.ID]uint64
+	versionsIntact bool
+
+	// replayCap, when non-zero, stops journal replay past this seq: the
+	// catalog comes back exactly as of transaction-time replayCap. The
+	// bitemporal oracle uses it as the ground truth an as_of query must
+	// match.
+	replayCap uint64
 }
 
 // dirtyShard tracks one shard's uncheckpointed churn.
@@ -171,6 +187,8 @@ type config struct {
 	walSegmentRecords int64
 	shards            int
 	epochRetention    int
+	versionRetention  int
+	replayCap         uint64
 }
 
 // WithCacheCapacity bounds the expansion cache to n bytes of decoded
@@ -223,13 +241,31 @@ func WithEpochRetention(n int) Option {
 	return func(c *config) { c.epochRetention = n }
 }
 
+// WithVersionRetention bounds each object's transaction-time version
+// chain to its newest n entries. Pruning raises the catalog-wide
+// version floor: as_of seqs below the floor answer ErrVersionGone
+// rather than a silently incomplete catalog. n <= 0 keeps
+// DefaultVersionRetention; n == 1 retains only the committed state.
+func WithVersionRetention(n int) Option {
+	return func(c *config) { c.versionRetention = n }
+}
+
+// WithReplayCap stops journal replay past seq n: Load reconstructs the
+// catalog exactly as of transaction-time n, later records are skipped.
+// The bitemporal oracle replays with a cap to produce the ground truth
+// an as_of=n query must match. Zero means no cap.
+func WithReplayCap(n uint64) Option {
+	return func(c *config) { c.replayCap = n }
+}
+
 // New creates a catalog over the given BLOB store.
 func New(store blob.Store, opts ...Option) *DB {
 	cfg := config{
-		cacheCapacity:  DefaultCacheCapacity,
-		walBatchWindow: DefaultWALBatchWindow,
-		shards:         DefaultShards,
-		epochRetention: DefaultEpochRetention,
+		cacheCapacity:    DefaultCacheCapacity,
+		walBatchWindow:   DefaultWALBatchWindow,
+		shards:           DefaultShards,
+		epochRetention:   DefaultEpochRetention,
+		versionRetention: DefaultVersionRetention,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -239,6 +275,9 @@ func New(store blob.Store, opts ...Option) *DB {
 	}
 	if cfg.epochRetention <= 0 {
 		cfg.epochRetention = DefaultEpochRetention
+	}
+	if cfg.versionRetention <= 0 {
+		cfg.versionRetention = DefaultVersionRetention
 	}
 	if cfg.telemetry != nil {
 		store = blob.Observed(store, cfg.telemetry.Histogram(telemetry.StageFamily, telemetry.StageBlobRead))
@@ -257,6 +296,10 @@ func New(store blob.Store, opts ...Option) *DB {
 		walBatchWindow:    cfg.walBatchWindow,
 		walSegmentBytes:   cfg.walSegmentBytes,
 		walSegmentRecords: cfg.walSegmentRecords,
+		verRetention:      cfg.versionRetention,
+		stagedSeq:         map[core.ID]uint64{},
+		versionsIntact:    true,
+		replayCap:         cfg.replayCap,
 		cache:             expcache.New[core.ID, *derive.Value](cfg.cacheCapacity),
 	}
 	db.cur.Store(newView(db, cfg.shards))
@@ -324,7 +367,14 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 		return fmt.Errorf("catalog: %v already interpreted", it.BlobID())
 	}
 	if db.wal == nil {
-		db.publishInterpLocked(it)
+		// No journal: still burn a sequence number so the registration
+		// gets a distinct transaction-time stamp in its version chain.
+		rec := &walOp{Kind: opInterp, Blob: it.BlobID()}
+		if _, err := db.enqueueLocked(rec); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.publishInterpLocked(it, rec.Seq)
 		db.mu.Unlock()
 		return nil
 	}
@@ -357,17 +407,19 @@ func (db *DB) RegisterInterpretation(it *interp.Interpretation) error {
 	db.mu.Lock()
 	delete(db.stagedInterps, it.BlobID())
 	if err == nil {
-		db.publishInterpLocked(it)
+		db.publishInterpLocked(it, rec.Seq)
 	}
 	db.mu.Unlock()
 	return err
 }
 
-// publishInterpLocked publishes an interpretation as a new epoch and
-// marks it dirty for the next checkpoint. Assumes db.mu is held.
-func (db *DB) publishInterpLocked(it *interp.Interpretation) {
+// publishInterpLocked publishes an interpretation as a new epoch,
+// stamps it into its version chain at seq, and marks it dirty for the
+// next checkpoint. Assumes db.mu is held.
+func (db *DB) publishInterpLocked(it *interp.Interpretation, seq uint64) {
 	e := db.beginEditLocked()
 	e.setInterp(it)
+	e.appendInterpVersion(it, seq)
 	db.commitEditLocked(e)
 	db.dirtyInterps[it.BlobID()] = struct{}{}
 	delete(db.dirtyDelInterp, it.BlobID())
@@ -444,8 +496,9 @@ func (db *DB) buildNonDerivedLocked(name string, blobID blob.ID, track string, a
 
 // addNonDerivedLocked stages and immediately publishes — the replay /
 // replication-apply path, where the record is already durable. want
-// is the recorded ID. Assumes db.mu is held.
-func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
+// is the recorded ID, seq its recorded sequence number (the version
+// stamp). Assumes db.mu is held.
+func (db *DB) addNonDerivedLocked(want core.ID, seq uint64, name string, blobID blob.ID, track string, attrs map[string]string) (core.ID, error) {
 	obj, err := db.buildNonDerivedLocked(name, blobID, track, attrs)
 	if err != nil {
 		return 0, err
@@ -454,6 +507,7 @@ func (db *DB) addNonDerivedLocked(want core.ID, name string, blobID blob.ID, tra
 	if err != nil {
 		return 0, err
 	}
+	db.stagedSeq[id] = seq
 	db.publishLocked(id)
 	return id, nil
 }
@@ -527,7 +581,7 @@ func (db *DB) buildDerivedLocked(name, op string, inputs []core.ID, params []byt
 
 // addDerivedLocked stages and immediately publishes — the replay
 // path. Assumes db.mu is held.
-func (db *DB) addDerivedLocked(want core.ID, name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
+func (db *DB) addDerivedLocked(want core.ID, seq uint64, name, op string, inputs []core.ID, params []byte, attrs map[string]string) (core.ID, error) {
 	obj, err := db.buildDerivedLocked(name, op, inputs, params, attrs, nil)
 	if err != nil {
 		return 0, err
@@ -536,6 +590,7 @@ func (db *DB) addDerivedLocked(want core.ID, name, op string, inputs []core.ID, 
 	if err != nil {
 		return 0, err
 	}
+	db.stagedSeq[id] = seq
 	db.publishLocked(id)
 	return id, nil
 }
@@ -590,7 +645,7 @@ func (db *DB) buildMultimediaLocked(name string, axis timebase.System, comps []c
 
 // addMultimediaLocked stages and immediately publishes — the replay
 // path. Assumes db.mu is held.
-func (db *DB) addMultimediaLocked(want core.ID, name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
+func (db *DB) addMultimediaLocked(want core.ID, seq uint64, name string, axis timebase.System, comps []core.ComponentRef, attrs map[string]string) (core.ID, error) {
 	obj, err := db.buildMultimediaLocked(name, axis, comps, attrs, nil)
 	if err != nil {
 		return 0, err
@@ -599,6 +654,7 @@ func (db *DB) addMultimediaLocked(want core.ID, name string, axis timebase.Syste
 	if err != nil {
 		return 0, err
 	}
+	db.stagedSeq[id] = seq
 	db.publishLocked(id)
 	return id, nil
 }
@@ -614,80 +670,112 @@ func (db *DB) AddSync(id core.ID, a, b int, maxSkew int64) error {
 	defer db.commitGate.RUnlock()
 	sc := compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew}
 	db.mu.Lock()
-	if err := db.addSyncLocked(id, a, b, maxSkew); err != nil {
+	// Validate and build the revision before reserving a log position:
+	// a record enqueued for a doomed constraint would replay.
+	rev, err := db.buildSyncLocked(id, a, b, maxSkew)
+	if err != nil {
 		db.mu.Unlock()
 		return err
 	}
 	rec := &walOp{Kind: opSync, ID: id, A: a, B: b, MaxSkew: maxSkew}
 	t, err := db.enqueueLocked(rec)
 	if err != nil {
-		db.removeSyncLocked(id, sc)
 		db.mu.Unlock()
 		return err
 	}
+	db.applySyncLocked(rev, rec.Seq)
 	db.mu.Unlock()
 	if t == nil {
 		return nil
 	}
 	if err := db.waitRecord(t); err != nil {
 		db.mu.Lock()
-		db.removeSyncLocked(id, sc)
+		db.rollbackSyncLocked(id, sc, rec.Seq)
 		db.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
-// addSyncLocked validates the constraint and publishes a revised copy
-// of the object. Assumes db.mu is held.
-func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64) error {
+// buildSyncLocked validates the constraint against the current epoch
+// and returns the revised object without publishing it. Assumes db.mu
+// is held.
+func (db *DB) buildSyncLocked(id core.ID, a, b int, maxSkew int64) (*core.Object, error) {
 	obj := db.cur.Load().getByID(id)
 	if obj == nil {
-		return fmt.Errorf("%w: %v", ErrNotFound, id)
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	if obj.Class != core.ClassMultimedia {
-		return fmt.Errorf("%w: %v", ErrNotComposite, id)
+		return nil, fmt.Errorf("%w: %v", ErrNotComposite, id)
 	}
 	if a < 0 || a >= len(obj.Multimedia.Components) || b < 0 || b >= len(obj.Multimedia.Components) {
-		return compose.ErrNoComponent
+		return nil, compose.ErrNoComponent
 	}
 	if maxSkew < 0 {
-		return compose.ErrBadSkew
+		return nil, compose.ErrBadSkew
 	}
 	rev := obj.Clone()
 	rev.Multimedia.Syncs = append(rev.Multimedia.Syncs, compose.SyncConstraint{A: a, B: b, MaxSkew: maxSkew})
+	return rev, nil
+}
+
+// applySyncLocked publishes a sync revision as a new epoch and stamps
+// it into the object's version chain at seq. Assumes db.mu is held.
+func (db *DB) applySyncLocked(rev *core.Object, seq uint64) {
 	e := db.beginEditLocked()
 	e.replace(rev)
+	e.appendVersion(rev, seq)
 	db.commitEditLocked(e)
 	// The object was revised; the next incremental checkpoint must
 	// re-capture it. A rolled-back sync leaves a spurious mark, which
 	// only costs a redundant re-capture.
-	db.markDirtyLocked(obj.Name, id)
+	db.markDirtyLocked(rev.Name, rev.ID)
+}
+
+// addSyncLocked validates, publishes, and version-stamps a constraint
+// in one step — the replay path, where seq is the record's. Assumes
+// db.mu is held.
+func (db *DB) addSyncLocked(id core.ID, a, b int, maxSkew int64, seq uint64) error {
+	rev, err := db.buildSyncLocked(id, a, b, maxSkew)
+	if err != nil {
+		return err
+	}
+	db.applySyncLocked(rev, seq)
 	return nil
 }
 
-// removeSyncLocked rolls back a sync constraint whose journal record
+// rollbackSyncLocked rolls back a sync constraint whose journal record
 // failed, by publishing a revision without it. It removes the last
 // constraint equal to sc by value: concurrent AddSyncs may have
 // appended after ours, so slicing off the tail element would drop
-// someone else's acknowledged constraint. Assumes db.mu is held.
-func (db *DB) removeSyncLocked(id core.ID, sc compose.SyncConstraint) {
+// someone else's acknowledged constraint. The failed revision's
+// version entry at seq is dropped and any later retained versions are
+// rewritten without the constraint. Assumes db.mu is held.
+func (db *DB) rollbackSyncLocked(id core.ID, sc compose.SyncConstraint, seq uint64) {
 	obj := db.cur.Load().getByID(id)
 	if obj == nil || obj.Multimedia == nil {
 		return
 	}
-	syncs := obj.Multimedia.Syncs
-	for i := len(syncs) - 1; i >= 0; i-- {
-		if syncs[i] != sc {
-			continue
+	strip := func(o *core.Object) *core.Object {
+		syncs := o.Multimedia.Syncs
+		for i := len(syncs) - 1; i >= 0; i-- {
+			if syncs[i] != sc {
+				continue
+			}
+			rev := o.Clone()
+			rev.Multimedia.Syncs = append(rev.Multimedia.Syncs[:i], rev.Multimedia.Syncs[i+1:]...)
+			return rev
 		}
-		rev := obj.Clone()
-		rev.Multimedia.Syncs = append(rev.Multimedia.Syncs[:i], rev.Multimedia.Syncs[i+1:]...)
-		e := db.beginEditLocked()
-		e.replace(rev)
-		db.commitEditLocked(e)
+		return o
+	}
+	rev := strip(obj)
+	if rev == obj {
 		return
 	}
+	e := db.beginEditLocked()
+	e.replace(rev)
+	e.rollbackSync(obj, seq, strip)
+	db.commitEditLocked(e)
 }
 
 // stageLocked validates obj's name and ID against the current epoch
@@ -731,17 +819,19 @@ func (db *DB) stageLocked(obj *core.Object, want core.ID) (core.ID, error) {
 // carries a seq > N, with no reordered stragglers behind it.
 // Durability is NOT waited for here (the returned ticket's Wait runs
 // outside db.mu, so concurrent mutators share group commits and
-// readers never block on an fsync). Returns a nil ticket when no
-// journal is attached. Sequence numbers are never reused after a
-// failure: a record that failed only at fsync may still be intact on
-// disk, and a later acknowledged record under the same seq would lose
-// to it on replay. Assumes db.mu is held.
+// readers never block on an fsync). With no journal attached the
+// sequence number still advances — every committed mutation gets a
+// distinct transaction-time stamp for its version chain — but nothing
+// is encoded and the ticket is nil. Sequence numbers are never reused
+// after a failure: a record that failed only at fsync may still be
+// intact on disk, and a later acknowledged record under the same seq
+// would lose to it on replay. Assumes db.mu is held.
 func (db *DB) enqueueLocked(rec *walOp) (*wal.Ticket, error) {
+	db.seq++
+	rec.Seq = db.seq
 	if db.wal == nil {
 		return nil, nil
 	}
-	db.seq++
-	rec.Seq = db.seq
 	data, err := encodeOp(rec)
 	if err != nil {
 		return nil, err
@@ -749,18 +839,19 @@ func (db *DB) enqueueLocked(rec *walOp) (*wal.Ticket, error) {
 	return db.wal.Enqueue(data), nil
 }
 
-// enqueueStagedLocked reserves the staged object's log position. With
-// no journal the object is published immediately — it is already
-// committed — and the ticket is nil. Assumes db.mu is held.
+// enqueueStagedLocked reserves the staged object's log position and
+// remembers its seq for the version stamp at publish. With no journal
+// the object is published immediately — it is already committed — and
+// the ticket is nil. Assumes db.mu is held.
 func (db *DB) enqueueStagedLocked(rec *walOp, id core.ID) (*wal.Ticket, error) {
-	if db.wal == nil {
-		db.publishLocked(id)
-		return nil, nil
-	}
 	t, err := db.enqueueLocked(rec)
 	if err != nil {
 		db.unstageLocked(id)
 		return nil, err
+	}
+	db.stagedSeq[id] = rec.Seq
+	if t == nil {
+		db.publishLocked(id)
 	}
 	return t, nil
 }
@@ -796,9 +887,15 @@ func (db *DB) publishLocked(ids ...core.ID) {
 		if !ok {
 			continue
 		}
+		seq, stamped := db.stagedSeq[id]
+		if !stamped {
+			seq = db.seq
+		}
+		delete(db.stagedSeq, id)
 		delete(db.staged, id)
 		delete(db.reservedNames, obj.Name)
 		e.link(obj)
+		e.appendVersion(obj, seq)
 		db.markDirtyLocked(obj.Name, id)
 		any = true
 	}
@@ -816,6 +913,7 @@ func (db *DB) unstageLocked(id core.ID) {
 		return
 	}
 	delete(db.staged, id)
+	delete(db.stagedSeq, id)
 	delete(db.reservedNames, obj.Name)
 	if id == db.nextID-1 {
 		db.nextID--

@@ -37,6 +37,7 @@ package catalog
 // the stale chain applies as a no-op over the newer base.
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -145,6 +146,16 @@ type streamHead struct {
 	NumObjects int
 	DelObjects []core.ID
 	DelInterps []blob.ID
+
+	// Version-chain trailer (versions.go): NumVersions self-checking
+	// frames (one gob []byte each) follow the objects. HasVersions
+	// distinguishes "no versions captured" (legacy stream — Load must
+	// reseed chains and raise the floor) from "zero frames". VerFloor is
+	// the capture-time version floor. Gob ignores fields the writer did
+	// not know, so old streams decode with all three zero.
+	HasVersions bool
+	VerFloor    uint64
+	NumVersions int
 }
 
 // snapCapture is the in-memory copy-on-write slice a checkpoint writes
@@ -156,6 +167,56 @@ type snapCapture struct {
 	head    streamHead
 	interps []*interp.Exported
 	objs    []savedObject
+	vers    []verCapture
+}
+
+// verCapture is one version-chain entry captured under db.mu; the
+// frame bytes (and the gob payload inside them) are rendered later in
+// writeCapture, with no catalog lock held.
+type verCapture struct {
+	kind byte
+	id   uint64
+	seq  uint64
+	name string
+	obj  *savedObject     // verFrameObj payload
+	exp  *interp.Exported // verFrameInterp payload
+}
+
+// renderFrame encodes the capture as a self-checking version frame.
+func (vc *verCapture) renderFrame() ([]byte, error) {
+	var payload []byte
+	switch {
+	case vc.obj != nil:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(vc.obj); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
+	case vc.exp != nil:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(vc.exp); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
+	}
+	return encodeVersionFrame(vc.kind, vc.id, vc.seq, vc.name, payload), nil
+}
+
+// sortVerCaptures fixes the stream order: object frames before interp
+// frames, then by id, then by seq — so every chain's entries arrive in
+// seq order and a tombstone never precedes the create it closes.
+func sortVerCaptures(vers []verCapture) {
+	sort.Slice(vers, func(a, b int) bool {
+		ga := vers[a].kind >= verFrameInterp
+		gb := vers[b].kind >= verFrameInterp
+		if ga != gb {
+			return !ga
+		}
+		if vers[a].id != vers[b].id {
+			return vers[a].id < vers[b].id
+		}
+		return vers[a].seq < vers[b].seq
+	})
 }
 
 // writeCapture streams cap into path as a v2 chunked container
@@ -179,10 +240,116 @@ func writeCapture(path string, cap *snapCapture) error {
 				return err
 			}
 		}
+		for i := range cap.vers {
+			frame, err := cap.vers[i].renderFrame()
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(frame); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// captureObjChain appends version captures for one object chain's
+// entries newer than fromSeq (fromSeq 0 captures the whole chain).
+func captureObjChain(cap *snapCapture, id core.ID, c *verChain, fromSeq uint64) error {
+	for _, ent := range c.entries {
+		if ent.seq <= fromSeq {
+			continue
+		}
+		if ent.obj == nil {
+			cap.vers = append(cap.vers, verCapture{kind: verFrameObjTomb, id: uint64(id), seq: ent.seq, name: c.name})
+			continue
+		}
+		so, err := saveObject(ent.obj)
+		if err != nil {
+			return err
+		}
+		cap.vers = append(cap.vers, verCapture{kind: verFrameObj, id: uint64(id), seq: ent.seq, name: c.name, obj: &so})
+	}
+	return nil
+}
+
+// captureInterpChain appends version captures for one interpretation
+// chain. Only the live tail is exported as a create frame: a
+// superseded or tombstoned registration's BLOB may already be
+// collected, so its history cannot be re-imported after a reload — the
+// tombstone frame raises the floor past it instead.
+func captureInterpChain(cap *snapCapture, id blob.ID, c *interpVerChain, fromSeq uint64) error {
+	tailSeq := c.entries[len(c.entries)-1].seq
+	for _, ent := range c.entries {
+		if ent.seq <= fromSeq {
+			continue
+		}
+		switch {
+		case ent.it == nil:
+			cap.vers = append(cap.vers, verCapture{kind: verFrameInterpTomb, id: uint64(id), seq: ent.seq})
+		case ent.seq == tailSeq:
+			exp, err := interp.Export(ent.it)
+			if err != nil {
+				return err
+			}
+			cap.vers = append(cap.vers, verCapture{kind: verFrameInterp, id: uint64(id), seq: ent.seq, exp: exp})
+		}
+	}
+	return nil
+}
+
+// applyVersionFrame decodes one version frame into the edit's chains.
+// Frames whose history cannot be reconstructed (a tombstone over an
+// uncaptured chain, a create whose BLOB is gone) raise the version
+// floor instead of failing the load.
+func (db *DB) applyVersionFrame(e *viewEdit, frame []byte) error {
+	kind, id, seq, name, payload, err := decodeVersionFrame(frame)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	switch kind {
+	case verFrameObj:
+		var so savedObject
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&so); err != nil {
+			return fmt.Errorf("%w: version payload: %v", ErrCorruptSnapshot, err)
+		}
+		obj, err := objectFromSaved(&so)
+		if err != nil {
+			return err
+		}
+		e.appendVersion(obj, seq)
+	case verFrameObjTomb:
+		sh := e.shard(e.shardIndexFor(name))
+		c, ok := sh.vers.get(core.ID(id))
+		if !ok {
+			// The entries this tombstone closed were not captured (pruned,
+			// or a version-less base): nothing below it is answerable.
+			e.raiseFloor(seq)
+			return nil
+		}
+		c = c.appended(verEntry{seq: seq})
+		c, floor := c.pruned(db.verRetention)
+		e.raiseFloor(floor)
+		e.setChain(core.ID(id), c)
+	case verFrameInterp:
+		var exp interp.Exported
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&exp); err != nil {
+			return fmt.Errorf("%w: version payload: %v", ErrCorruptSnapshot, err)
+		}
+		it, err := db.importInterp(&exp)
+		if err != nil {
+			// The BLOB was collected before the crash: this slice of
+			// history cannot be served again.
+			e.raiseFloor(seq)
+			return nil
+		}
+		e.appendInterpVersion(it, seq)
+	case verFrameInterpTomb:
+		e.appendInterpTombstone(blob.ID(id), seq)
 	}
 	return nil
 }
@@ -230,6 +397,24 @@ func (db *DB) applyStream(head *streamHead, dec *gob.Decoder) error {
 			e.removeRaw(old)
 		}
 		e.insertRaw(obj)
+	}
+	for i := 0; i < head.NumVersions; i++ {
+		var frame []byte
+		if err := dec.Decode(&frame); err != nil {
+			return fmt.Errorf("%w: version frame %d/%d: %v", ErrCorruptSnapshot, i, head.NumVersions, err)
+		}
+		if err := db.applyVersionFrame(e, frame); err != nil {
+			return err
+		}
+	}
+	e.raiseFloor(head.VerFloor)
+	if head.HasVersions {
+		e.reconcileChains()
+	}
+	if !head.HasVersions {
+		// A pre-versioning snapshot carries no transaction-time history;
+		// the load path reseeds trivial chains once the base is complete.
+		db.versionsIntact = false
 	}
 	db.commitEditLocked(e)
 	if head.Seq > db.seq {
@@ -376,6 +561,51 @@ func (db *DB) captureDeltaLocked(fromSeq uint64) (*snapCapture, error) {
 	sort.Slice(cap.head.DelInterps, func(a, b int) bool {
 		return cap.head.DelInterps[a] < cap.head.DelInterps[b]
 	})
+	// Version chains ride the same dirty sets: an object (or BLOB) is
+	// dirty exactly when its chain gained entries since fromSeq. Deleted
+	// IDs keep their chain in the shard (tombstone tail), so both sets
+	// are probed.
+	for si := range db.dirty {
+		sh := cur.shards[si]
+		capture := func(id core.ID) error {
+			c, ok := sh.vers.get(id)
+			if !ok {
+				return nil // chain pruned away; the floor covers it
+			}
+			return captureObjChain(cap, id, c, fromSeq)
+		}
+		for id := range db.dirty[si].objs {
+			if err := capture(id); err != nil {
+				return nil, err
+			}
+		}
+		for id := range db.dirty[si].del {
+			if err := capture(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	captureInterp := func(bid blob.ID) error {
+		c, ok := cur.interpVers.get(bid)
+		if !ok {
+			return nil
+		}
+		return captureInterpChain(cap, bid, c, fromSeq)
+	}
+	for bid := range db.dirtyInterps {
+		if err := captureInterp(bid); err != nil {
+			return nil, err
+		}
+	}
+	for bid := range db.dirtyDelInterp {
+		if err := captureInterp(bid); err != nil {
+			return nil, err
+		}
+	}
+	sortVerCaptures(cap.vers)
+	cap.head.HasVersions = true
+	cap.head.VerFloor = cur.verFloor
+	cap.head.NumVersions = len(cap.vers)
 	cap.head.NumObjects = len(cap.objs)
 	cap.head.NumInterps = len(cap.interps)
 	return cap, nil

@@ -37,10 +37,11 @@ func (db *DB) Delete(id core.ID) error {
 	if err := db.checkDeletable(id); err != nil {
 		return err
 	}
-	if err := db.journalOp(&walOp{Kind: opDelete, ID: id}); err != nil {
+	rec := &walOp{Kind: opDelete, ID: id}
+	if err := db.journalOp(rec); err != nil {
 		return err
 	}
-	return db.deleteLocked(id)
+	return db.deleteLocked(id, rec.Seq)
 }
 
 // checkDeletable reports whether any other object references id.
@@ -88,9 +89,10 @@ func checkRefs(objs map[core.ID]*core.Object, id core.ID) error {
 }
 
 // deleteLocked removes an object, re-validating references (journal
-// replay reuses it). The unlink and any BLOB interpretation collection
-// land together as one new epoch. Assumes db.mu is held.
-func (db *DB) deleteLocked(id core.ID) error {
+// replay reuses it). The unlink, the version-chain tombstone at seq,
+// and any BLOB interpretation collection land together as one new
+// epoch. Assumes db.mu is held.
+func (db *DB) deleteLocked(id core.ID, seq uint64) error {
 	obj := db.cur.Load().getByID(id)
 	if obj == nil {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
@@ -100,9 +102,10 @@ func (db *DB) deleteLocked(id core.ID) error {
 	}
 	e := db.beginEditLocked()
 	e.unlink(obj)
+	e.appendTombstone(obj, seq)
 	// GC the BLOB if no remaining object reads it.
 	if obj.Class == core.ClassNonDerived {
-		db.maybeCollectBlob(e, obj.Blob)
+		db.maybeCollectBlob(e, obj.Blob, seq)
 	}
 	db.commitEditLocked(e)
 	d := &db.dirty[shardOf(obj.Name, db.nShards)]
@@ -115,8 +118,10 @@ func (db *DB) deleteLocked(id core.ID) error {
 // maybeCollectBlob drops the BLOB's interpretation from the edit and
 // deletes its payload when no object in the edit's working state (nor
 // any staged object) still reads it. Staged objects keep their BLOB
-// alive like visible ones do. Assumes db.mu is held.
-func (db *DB) maybeCollectBlob(e *viewEdit, id blob.ID) {
+// alive like visible ones do. The collection is recorded as an
+// interpretation tombstone at seq so as-of reads know the history
+// ends there. Assumes db.mu is held.
+func (db *DB) maybeCollectBlob(e *viewEdit, id blob.ID, seq uint64) {
 	for _, sh := range e.shards {
 		inUse := false
 		sh.objects.ascend(func(_ core.ID, other *core.Object) bool {
@@ -136,6 +141,7 @@ func (db *DB) maybeCollectBlob(e *viewEdit, id blob.ID) {
 		}
 	}
 	e.delInterp(id)
+	e.appendInterpTombstone(id, seq)
 	delete(db.dirtyInterps, id)
 	db.dirtyDelInterp[id] = struct{}{}
 	// Best effort: a missing blob is already collected.

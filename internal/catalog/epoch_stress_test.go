@@ -3,6 +3,7 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,7 +25,11 @@ import (
 //     many concurrent commits;
 //   - re-pinning the same epoch through the retention ring yields the
 //     identical view (or ErrEpochGone once retired — never a torn
-//     one).
+//     one);
+//   - as-of readers materializing random transaction-time seqs from
+//     pinned views get internally consistent snapshots (scan, count,
+//     paginated walk and name lookup all agree) while the version
+//     chains they read from are being appended to.
 //
 // Run with -race this also proves the read path shares no mutable
 // state with writers.
@@ -33,6 +38,7 @@ func TestEpochRaceStress(t *testing.T) {
 		mutators     = 4
 		opsPerWorker = 40
 		readers      = 3
+		asofReaders  = 2
 	)
 	db := New(blob.NewMemStore(), WithShards(8), WithEpochRetention(16))
 	clip, err := db.Ingest("clip", genVideo(8, 42), IngestOptions{})
@@ -144,6 +150,77 @@ func TestEpochRaceStress(t *testing.T) {
 				default:
 					t.Errorf("reader %d: ViewAt(%d): %v", rdr, v.Epoch(), err)
 					return
+				}
+			}
+		}(rdr)
+	}
+
+	for rdr := 0; rdr < asofReaders; rdr++ {
+		rg.Add(1)
+		go func(rdr int) {
+			defer rg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + rdr)))
+			for !stop.Load() {
+				v := db.CurrentView()
+				if err := v.VerifyVersions(); err != nil {
+					t.Errorf("asof reader %d: epoch %d: %v", rdr, v.Epoch(), err)
+					return
+				}
+				max := db.Seq()
+				if max == 0 {
+					continue
+				}
+				seq := 1 + uint64(rng.Int63())%max
+				av, err := v.AsOf(seq)
+				switch {
+				case errors.Is(err, ErrVersionGone):
+					continue // retention outran the draw — a clean refusal
+				case err != nil:
+					t.Errorf("asof reader %d: AsOf(%d): %v", rdr, seq, err)
+					return
+				}
+				if av.Epoch() != v.Epoch() || av.Seq() != seq {
+					t.Errorf("asof reader %d: AsOf(%d) pinned epoch %d seq %d, want %d/%d",
+						rdr, seq, av.Epoch(), av.Seq(), v.Epoch(), seq)
+					return
+				}
+				all := av.SelectIndexed(IndexedQuery{}, nil, -1)
+				if len(all) != av.Len() || av.CountIndexed(IndexedQuery{}, nil, -1) != av.Len() {
+					t.Errorf("asof reader %d: seq %d: scan %d, count %d, Len %d disagree",
+						rdr, seq, len(all), av.CountIndexed(IndexedQuery{}, nil, -1), av.Len())
+					return
+				}
+				seen := map[core.ID]bool{}
+				for off := 0; ; {
+					page, total := av.SelectPage(IndexedQuery{}, nil, off, 5)
+					if total != av.Len() {
+						t.Errorf("asof reader %d: seq %d: page total %d != Len %d", rdr, seq, total, av.Len())
+						return
+					}
+					for _, o := range page {
+						if seen[o.ID] {
+							t.Errorf("asof reader %d: seq %d: %v paged twice", rdr, seq, o.ID)
+							return
+						}
+						seen[o.ID] = true
+					}
+					off += len(page)
+					if len(page) == 0 || off >= total {
+						break
+					}
+				}
+				if len(seen) != av.Len() {
+					t.Errorf("asof reader %d: seq %d: walked %d of %d", rdr, seq, len(seen), av.Len())
+					return
+				}
+				if len(all) > 0 {
+					o := all[rng.Intn(len(all))]
+					got, err := av.Lookup(o.Name)
+					if err != nil || got.ID != o.ID {
+						t.Errorf("asof reader %d: seq %d: Lookup(%q) = %v, %v; want %v",
+							rdr, seq, o.Name, got, err, o.ID)
+						return
+					}
 				}
 			}
 		}(rdr)

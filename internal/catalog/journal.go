@@ -359,6 +359,13 @@ func (db *DB) applyWalLocked(base uint64, data []byte) error {
 		db.recovery.JournalSkipped++
 		return nil
 	}
+	if db.replayCap != 0 && rec.Seq > db.replayCap {
+		// Replay is capped (WithReplayCap): the catalog is being
+		// reconstructed as of a past transaction time, so later records
+		// are skipped — not torn-truncated; the log stays intact.
+		db.recovery.JournalSkipped++
+		return nil
+	}
 	if err := db.applyOpLocked(rec); err != nil {
 		return err
 	}
@@ -397,13 +404,13 @@ func (db *DB) applyOpLocked(rec *walOp) error {
 		// publishInterpLocked's dirty mark keeps the registration dirty
 		// until the next one captures it. Object ops mark through
 		// publishLocked/addSyncLocked/deleteLocked.
-		db.publishInterpLocked(it)
+		db.publishInterpLocked(it, rec.Seq)
 	case opNonDerived:
-		if _, err := db.addNonDerivedLocked(rec.ID, rec.Name, rec.Blob, rec.Track, rec.Attrs); err != nil {
+		if _, err := db.addNonDerivedLocked(rec.ID, rec.Seq, rec.Name, rec.Blob, rec.Track, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 	case opDerived:
-		if _, err := db.addDerivedLocked(rec.ID, rec.Name, rec.Op, rec.Inputs, rec.Params, rec.Attrs); err != nil {
+		if _, err := db.addDerivedLocked(rec.ID, rec.Seq, rec.Name, rec.Op, rec.Inputs, rec.Params, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 	case opMultimedia:
@@ -415,15 +422,15 @@ func (db *DB) applyOpLocked(rec *walOp) error {
 		for _, c := range rec.Comps {
 			comps = append(comps, core.ComponentRef{Object: c.Object, Start: c.Start, Region: c.Region})
 		}
-		if _, err := db.addMultimediaLocked(rec.ID, rec.Name, axis, comps, rec.Attrs); err != nil {
+		if _, err := db.addMultimediaLocked(rec.ID, rec.Seq, rec.Name, axis, comps, rec.Attrs); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 	case opSync:
-		if err := db.addSyncLocked(rec.ID, rec.A, rec.B, rec.MaxSkew); err != nil {
+		if err := db.addSyncLocked(rec.ID, rec.A, rec.B, rec.MaxSkew, rec.Seq); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 	case opDelete:
-		if err := db.deleteLocked(rec.ID); err != nil {
+		if err := db.deleteLocked(rec.ID, rec.Seq); err != nil {
 			return fmt.Errorf("%w: %v", ErrReplay, err)
 		}
 	default:

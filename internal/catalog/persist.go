@@ -188,6 +188,29 @@ func (db *DB) captureFullLocked() (*snapCapture, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Full version history: every chain, including chains whose object
+	// is deleted (tombstone tail) — those have no row in the objects
+	// section but still answer as-of reads below their tombstone.
+	for _, sh := range cur.shards {
+		sh.vers.ascend(func(id core.ID, c *verChain) bool {
+			err = captureObjChain(cap, id, c, 0)
+			return err == nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	cur.interpVers.ascend(func(bid blob.ID, c *interpVerChain) bool {
+		err = captureInterpChain(cap, bid, c, 0)
+		return err == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortVerCaptures(cap.vers)
+	cap.head.HasVersions = true
+	cap.head.VerFloor = cur.verFloor
+	cap.head.NumVersions = len(cap.vers)
 	cap.head.NumObjects = len(cap.objs)
 	cap.head.NumInterps = len(cap.interps)
 	return cap, nil
@@ -368,6 +391,8 @@ func (db *DB) readSnapshotInto(path string) error {
 func (db *DB) applySavedCatalog(snap *savedCatalog) error {
 	db.nextID = snap.NextID
 	db.seq = snap.Seq
+	// Legacy snapshots predate version chains entirely.
+	db.versionsIntact = false
 	e := db.beginEditLocked()
 	for _, rec := range snap.Interps {
 		it, err := db.importInterp(rec)
@@ -542,6 +567,12 @@ func Load(dir string, store blob.Store, opts ...Option) (*DB, error) {
 	// is present — multimedia spans resolve component objects, which
 	// may appear anywhere in the stream.
 	db.relinkAllLocked()
+
+	// A version-less base (legacy snapshot) gets trivial chains at the
+	// covered sequence before replay appends real history on top.
+	if !db.versionsIntact {
+		db.reseedVersionsLocked()
+	}
 
 	if err := db.replayAllLocked(dir); err != nil {
 		return nil, err

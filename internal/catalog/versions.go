@@ -1,0 +1,775 @@
+package catalog
+
+// Transaction-time version chains: the bitemporal half the paper's
+// media-time model leaves out.
+//
+// Every committed mutation appends an immutable version — the object
+// as published, stamped with the journal sequence number that
+// committed it — to a per-object chain stored next to the object in
+// its epoch shard. Deletes append a tombstone. Chains are persistent
+// values like everything else in a View: appending copies the chain
+// header and shares the entry storage, so every published epoch
+// carries exactly the history its committed prefix implies, and as-of
+// reads (View.AsOf) are as lock-free as any other epoch read.
+//
+// A chain answers "what did this object look like as of seq S" by
+// resolving the newest entry with seq <= S. The catalog as of S is
+// the union of those answers — materialized by AsOf into an AsOfView
+// that implements the same indexed-query contract the live View does,
+// so /v1/query?as_of=S composes with live_at, pagination, and epoch
+// pinning unchanged.
+//
+// Retention: chains are bounded by WithVersionRetention. Pruning the
+// oldest entry of a chain raises the catalog-wide version floor; any
+// as_of below the floor is answered with ErrVersionGone (HTTP 410
+// version_gone) rather than a silently incomplete catalog.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/core"
+	"timedmedia/internal/interp"
+)
+
+// DefaultVersionRetention bounds a single object's version chain when
+// no WithVersionRetention option is given. Retained versions share
+// structure with the live object graph, so the cost of a long chain is
+// the mutated objects themselves, not copies of the catalog.
+const DefaultVersionRetention = 256
+
+// ErrVersionGone reports an as_of seq older than the version floor:
+// retention has pruned at least one chain past it, so the catalog at
+// that seq can no longer be reconstructed faithfully.
+var ErrVersionGone = errors.New("catalog: version truncated by retention")
+
+// verEntry is one committed version of an object. A nil obj is a
+// tombstone: the object was deleted at seq.
+type verEntry struct {
+	seq uint64
+	obj *core.Object
+}
+
+// verChain is the immutable version history of one object ID, entries
+// in ascending seq order. The name is carried on the chain so shard
+// placement (and tombstone routing during checkpoint apply) never
+// needs a live object.
+type verChain struct {
+	name    string
+	entries []verEntry
+}
+
+// at resolves the newest entry with entry.seq <= seq. ok is false when
+// the chain has no entry that old (the object did not exist yet).
+func (c *verChain) at(seq uint64) (e verEntry, ok bool) {
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].seq > seq })
+	if i == 0 {
+		return verEntry{}, false
+	}
+	return c.entries[i-1], true
+}
+
+// appended returns a chain with e added, keeping ascending seq order.
+// An entry equal in seq to an existing one replaces it (idempotent
+// re-apply during checkpoint-chain replay).
+func (c *verChain) appended(e verEntry) *verChain {
+	n := &verChain{name: c.name}
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].seq >= e.seq })
+	if i < len(c.entries) && c.entries[i].seq == e.seq {
+		n.entries = append(append(append(n.entries, c.entries[:i]...), e), c.entries[i+1:]...)
+		return n
+	}
+	n.entries = append(append(append(n.entries, c.entries[:i]...), e), c.entries[i:]...)
+	return n
+}
+
+// pruned drops the oldest entries beyond keep. floor is the seq of the
+// new oldest entry when anything was dropped (0 otherwise): as-of
+// reads below it can no longer see this chain faithfully.
+func (c *verChain) pruned(keep int) (_ *verChain, floor uint64) {
+	if keep < 1 {
+		keep = 1
+	}
+	if len(c.entries) <= keep {
+		return c, 0
+	}
+	n := &verChain{name: c.name, entries: c.entries[len(c.entries)-keep:]}
+	return n, n.entries[0].seq
+}
+
+// allTombstones reports a chain holding no resurrectable state — every
+// retained entry is a delete. Such chains are dropped: retention has
+// already raised the floor past anything they could answer.
+func (c *verChain) allTombstones() bool {
+	for _, e := range c.entries {
+		if e.obj != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// interpVerEntry / interpVerChain mirror verEntry/verChain for the
+// interpretation table (keyed by blob ID, global rather than sharded).
+type interpVerEntry struct {
+	seq uint64
+	it  *interp.Interpretation // nil marks a tombstone (BLOB collected)
+}
+
+type interpVerChain struct {
+	entries []interpVerEntry
+}
+
+func (c *interpVerChain) at(seq uint64) (e interpVerEntry, ok bool) {
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].seq > seq })
+	if i == 0 {
+		return interpVerEntry{}, false
+	}
+	return c.entries[i-1], true
+}
+
+func (c *interpVerChain) appended(e interpVerEntry) *interpVerChain {
+	n := &interpVerChain{}
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].seq >= e.seq })
+	if i < len(c.entries) && c.entries[i].seq == e.seq {
+		n.entries = append(append(append(n.entries, c.entries[:i]...), e), c.entries[i+1:]...)
+		return n
+	}
+	n.entries = append(append(append(n.entries, c.entries[:i]...), e), c.entries[i:]...)
+	return n
+}
+
+func (c *interpVerChain) pruned(keep int) (_ *interpVerChain, floor uint64) {
+	if keep < 1 {
+		keep = 1
+	}
+	if len(c.entries) <= keep {
+		return c, 0
+	}
+	n := &interpVerChain{entries: c.entries[len(c.entries)-keep:]}
+	return n, n.entries[0].seq
+}
+
+func (c *interpVerChain) allTombstones() bool {
+	for _, e := range c.entries {
+		if e.it != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// --- viewEdit chain maintenance -----------------------------------
+
+// raiseFloor records a retention prune: as-of reads below seq are no
+// longer answerable.
+func (e *viewEdit) raiseFloor(seq uint64) {
+	if seq > e.verFloor {
+		e.verFloor = seq
+	}
+}
+
+// setChain stores (or, for all-tombstone chains, drops) a chain in the
+// shard owning name.
+func (e *viewEdit) setChain(id core.ID, c *verChain) {
+	sh := e.shard(e.shardIndexFor(c.name))
+	if c.allTombstones() {
+		sh.vers = sh.vers.del(id)
+		return
+	}
+	sh.vers = sh.vers.set(id, c)
+}
+
+// appendVersion records obj as the committed state at seq.
+func (e *viewEdit) appendVersion(obj *core.Object, seq uint64) {
+	sh := e.shard(e.shardIndexFor(obj.Name))
+	c, ok := sh.vers.get(obj.ID)
+	if !ok {
+		c = &verChain{name: obj.Name}
+	}
+	c = c.appended(verEntry{seq: seq, obj: obj})
+	c, floor := c.pruned(e.db.verRetention)
+	e.raiseFloor(floor)
+	e.setChain(obj.ID, c)
+}
+
+// appendTombstone records obj's deletion at seq.
+func (e *viewEdit) appendTombstone(obj *core.Object, seq uint64) {
+	sh := e.shard(e.shardIndexFor(obj.Name))
+	c, ok := sh.vers.get(obj.ID)
+	if !ok {
+		c = &verChain{name: obj.Name}
+	}
+	c = c.appended(verEntry{seq: seq})
+	c, floor := c.pruned(e.db.verRetention)
+	e.raiseFloor(floor)
+	e.setChain(obj.ID, c)
+}
+
+// rollbackSync undoes a sync revision whose journal append failed:
+// the exact-seq entry is dropped and every later retained version
+// (appended by syncs that overtook this one in the group-commit
+// window) is rewritten without the constraint, mirroring what the
+// rollback does to the live object.
+func (e *viewEdit) rollbackSync(obj *core.Object, seq uint64, strip func(*core.Object) *core.Object) {
+	sh := e.shard(e.shardIndexFor(obj.Name))
+	c, ok := sh.vers.get(obj.ID)
+	if !ok {
+		return
+	}
+	n := &verChain{name: c.name}
+	for _, ent := range c.entries {
+		switch {
+		case ent.seq == seq:
+			// the failed revision itself: drop
+		case ent.seq > seq && ent.obj != nil:
+			n.entries = append(n.entries, verEntry{seq: ent.seq, obj: strip(ent.obj)})
+		default:
+			n.entries = append(n.entries, ent)
+		}
+	}
+	e.setChain(obj.ID, n)
+}
+
+// appendInterpVersion / appendInterpTombstone maintain the
+// interpretation chains.
+func (e *viewEdit) appendInterpVersion(it *interp.Interpretation, seq uint64) {
+	c, ok := e.interpVers.get(it.BlobID())
+	if !ok {
+		c = &interpVerChain{}
+	}
+	c = c.appended(interpVerEntry{seq: seq, it: it})
+	c, floor := c.pruned(e.db.verRetention)
+	e.raiseFloor(floor)
+	e.interpVers = e.interpVers.set(it.BlobID(), c)
+}
+
+func (e *viewEdit) appendInterpTombstone(id blob.ID, seq uint64) {
+	c, ok := e.interpVers.get(id)
+	if !ok {
+		// Nothing to tombstone over: history for this BLOB never existed
+		// or did not survive (re)load. Raise the floor so as-of reads
+		// cannot silently miss it.
+		e.raiseFloor(seq)
+		return
+	}
+	c = c.appended(interpVerEntry{seq: seq})
+	c, floor := c.pruned(e.db.verRetention)
+	e.raiseFloor(floor)
+	if c.allTombstones() {
+		e.raiseFloor(c.entries[len(c.entries)-1].seq)
+		e.interpVers = e.interpVers.del(id)
+		return
+	}
+	e.interpVers = e.interpVers.set(id, c)
+}
+
+// reseedVersionsLocked rebuilds trivial single-entry chains from the
+// live state — the upgrade path for catalogs persisted before version
+// chains existed (legacy snapshots, version-less checkpoint streams).
+// History before the reseed point is unknowable, so the floor rises to
+// the current seq: as-of reads at or after it work, older ones answer
+// ErrVersionGone.
+func (db *DB) reseedVersionsLocked() {
+	e := db.beginEditLocked()
+	for i := range e.shards {
+		sh := e.shard(i)
+		sh.vers = tmap[core.ID, *verChain]{}
+		sh.objects.ascend(func(id core.ID, o *core.Object) bool {
+			sh.vers = sh.vers.set(id, &verChain{name: o.Name, entries: []verEntry{{seq: db.seq, obj: o}}})
+			return true
+		})
+	}
+	e.interpVers = tmap[blob.ID, *interpVerChain]{}
+	e.interps.ascend(func(id blob.ID, it *interp.Interpretation) bool {
+		e.interpVers = e.interpVers.set(id, &interpVerChain{entries: []interpVerEntry{{seq: db.seq, it: it}}})
+		return true
+	})
+	e.verFloor = db.seq
+	db.commitEditLocked(e)
+	db.versionsIntact = true
+}
+
+// reconcileChains drops version chains whose live tail contradicts
+// object liveness after a snapshot-stream apply. A chain that
+// retention pruned down to tombstones is dropped from the live
+// catalog the moment it happens, so a checkpoint delta carries no
+// frames for it — only the raised floor. Applying that delta over a
+// base snapshot would otherwise leave the base's stale chain behind,
+// with a live tail for an object the delta deleted, and an as-of read
+// would resurrect it. The floor in the delta head already covers the
+// drop seq (it was raised live when the chain was dropped), so
+// removing the chain restores exactly the live structure.
+func (e *viewEdit) reconcileChains() {
+	for i := range e.shards {
+		sh := e.shard(i)
+		var stale []core.ID
+		sh.vers.ascend(func(id core.ID, c *verChain) bool {
+			if tail := c.entries[len(c.entries)-1]; tail.obj != nil {
+				if _, ok := sh.objects.get(id); !ok {
+					stale = append(stale, id)
+					e.raiseFloor(tail.seq)
+				}
+			}
+			return true
+		})
+		for _, id := range stale {
+			sh.vers = sh.vers.del(id)
+		}
+	}
+	var staleInterps []blob.ID
+	e.interpVers.ascend(func(id blob.ID, c *interpVerChain) bool {
+		if tail := c.entries[len(c.entries)-1]; tail.it != nil {
+			if _, ok := e.interps.get(id); !ok {
+				staleInterps = append(staleInterps, id)
+				e.raiseFloor(tail.seq)
+			}
+		}
+		return true
+	})
+	for _, id := range staleInterps {
+		e.interpVers = e.interpVers.del(id)
+	}
+}
+
+// --- version frames (persistence) ---------------------------------
+
+// Version-chain frame format — the unit the checkpoint stream carries
+// (one gob []byte per frame) and the fuzz targets attack:
+//
+//	offset  size  field
+//	0       2     magic "TV"
+//	2       1     format version (1)
+//	3       1     kind (frame kinds below)
+//	4       8     id (object ID or blob ID), big endian
+//	12      8     seq, big endian
+//	20      2     name length, big endian
+//	22      n     name (UTF-8; empty for interp frames)
+//	22+n    4     payload length, big endian
+//	26+n    p     payload (gob savedObject / gob interp export; empty
+//	              for tombstones)
+//	26+n+p  4     CRC-32C of everything above, big endian
+//
+// The frame is length-delimited by its container, so decode rejects
+// trailing bytes: a frame is exactly one record.
+const (
+	verFrameObj        = 1 // object version; payload = gob savedObject
+	verFrameObjTomb    = 2 // object tombstone; empty payload
+	verFrameInterp     = 3 // interpretation version; payload = gob export
+	verFrameInterpTomb = 4 // interpretation tombstone; empty payload
+)
+
+const (
+	verFrameVersion   = 1
+	verFrameFixedLen  = 2 + 1 + 1 + 8 + 8 + 2 // through name length
+	verFrameMaxName   = 1 << 12
+	verFramePayLenLen = 4
+	verFrameCRCLen    = 4
+)
+
+var verFrameMagic = [2]byte{'T', 'V'}
+
+// ErrVersionFrame reports a version frame the decoder rejected.
+var ErrVersionFrame = errors.New("catalog: corrupt version frame")
+
+var verCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeVersionFrame renders one chain entry as a self-checking frame.
+func encodeVersionFrame(kind byte, id uint64, seq uint64, name string, payload []byte) []byte {
+	buf := make([]byte, 0, verFrameFixedLen+len(name)+verFramePayLenLen+len(payload)+verFrameCRCLen)
+	buf = append(buf, verFrameMagic[0], verFrameMagic[1], verFrameVersion, kind)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, verCRCTable))
+}
+
+// decodeVersionFrame parses and verifies one frame. The returned name
+// and payload alias data.
+func decodeVersionFrame(data []byte) (kind byte, id, seq uint64, name string, payload []byte, err error) {
+	fail := func(why string) (byte, uint64, uint64, string, []byte, error) {
+		return 0, 0, 0, "", nil, fmt.Errorf("%w: %s", ErrVersionFrame, why)
+	}
+	if len(data) < verFrameFixedLen+verFramePayLenLen+verFrameCRCLen {
+		return fail("short frame")
+	}
+	if data[0] != verFrameMagic[0] || data[1] != verFrameMagic[1] {
+		return fail("bad magic")
+	}
+	if data[2] != verFrameVersion {
+		return fail(fmt.Sprintf("unknown format version %d", data[2]))
+	}
+	kind = data[3]
+	if kind < verFrameObj || kind > verFrameInterpTomb {
+		return fail(fmt.Sprintf("unknown frame kind %d", kind))
+	}
+	id = binary.BigEndian.Uint64(data[4:12])
+	seq = binary.BigEndian.Uint64(data[12:20])
+	nameLen := int(binary.BigEndian.Uint16(data[20:22]))
+	if nameLen > verFrameMaxName {
+		return fail("name too long")
+	}
+	rest := data[verFrameFixedLen:]
+	if len(rest) < nameLen+verFramePayLenLen+verFrameCRCLen {
+		return fail("truncated name")
+	}
+	name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	payLen := int(binary.BigEndian.Uint32(rest[:verFramePayLenLen]))
+	rest = rest[verFramePayLenLen:]
+	if payLen != len(rest)-verFrameCRCLen {
+		return fail("payload length does not match frame")
+	}
+	payload = rest[:payLen]
+	want := binary.BigEndian.Uint32(rest[payLen:])
+	if got := crc32.Checksum(data[:len(data)-verFrameCRCLen], verCRCTable); got != want {
+		return fail(fmt.Sprintf("crc mismatch %08x != %08x", got, want))
+	}
+	switch kind {
+	case verFrameObjTomb, verFrameInterpTomb:
+		if payLen != 0 {
+			return fail("tombstone with payload")
+		}
+	case verFrameObj:
+		if nameLen == 0 {
+			return fail("object frame without name")
+		}
+	}
+	return kind, id, seq, name, payload, nil
+}
+
+// --- AsOfView ------------------------------------------------------
+
+// AsOfView is the catalog as of one transaction-time seq, materialized
+// from a pinned epoch's version chains. It implements the same read
+// contract the live View serves queries with (SelectIndexed /
+// CountIndexed / SelectPage, name lookup, interpretation lookup), so
+// the query planner and the HTTP layer use it interchangeably: an
+// as-of read is an ordinary lock-free epoch read over reconstructed
+// state. Epoch() reports the pinned base epoch, so ETag/epoch=
+// semantics are unchanged.
+type AsOfView struct {
+	base    *View
+	seq     uint64
+	objects map[core.ID]*core.Object
+	byName  map[string]core.ID
+	interps map[blob.ID]*interp.Interpretation
+	ids     []core.ID // ascending: the global result order
+	spans   map[core.ID]Span
+	deps    map[core.ID][]core.ID // referenced ID → referrer IDs
+}
+
+// AsOf reconstructs the catalog as of transaction-time seq from this
+// epoch's version chains. seq below the version floor (retention has
+// pruned history past it) returns ErrVersionGone; seq beyond the
+// newest committed mutation resolves to the epoch's own state.
+func (v *View) AsOf(seq uint64) (*AsOfView, error) {
+	if seq < v.verFloor {
+		return nil, fmt.Errorf("%w: as_of %d precedes version floor %d", ErrVersionGone, seq, v.verFloor)
+	}
+	a := &AsOfView{
+		base:    v,
+		seq:     seq,
+		objects: map[core.ID]*core.Object{},
+		byName:  map[string]core.ID{},
+		interps: map[blob.ID]*interp.Interpretation{},
+		spans:   map[core.ID]Span{},
+		deps:    map[core.ID][]core.ID{},
+	}
+	for _, sh := range v.shards {
+		sh.vers.ascend(func(id core.ID, c *verChain) bool {
+			if e, ok := c.at(seq); ok && e.obj != nil {
+				a.objects[id] = e.obj
+				a.byName[e.obj.Name] = id
+			}
+			return true
+		})
+	}
+	v.interpVers.ascend(func(id blob.ID, c *interpVerChain) bool {
+		if e, ok := c.at(seq); ok && e.it != nil {
+			a.interps[id] = e.it
+		}
+		return true
+	})
+	a.ids = make([]core.ID, 0, len(a.objects))
+	for id := range a.objects {
+		a.ids = append(a.ids, id)
+	}
+	sort.Slice(a.ids, func(i, j int) bool { return a.ids[i] < a.ids[j] })
+	lookup := func(id core.ID) *core.Object { return a.objects[id] }
+	for _, id := range a.ids {
+		o := a.objects[id]
+		if s, ok := timelineSpan(o, lookup); ok {
+			a.spans[id] = s
+		}
+		for _, ref := range directRefs(o) {
+			a.deps[ref] = append(a.deps[ref], id)
+		}
+	}
+	return a, nil
+}
+
+// Epoch returns the pinned base epoch the as-of state was
+// reconstructed from.
+func (a *AsOfView) Epoch() uint64 { return a.base.Epoch() }
+
+// Seq returns the transaction-time seq the view reconstructs.
+func (a *AsOfView) Seq() uint64 { return a.seq }
+
+// Len returns the number of objects as of the seq.
+func (a *AsOfView) Len() int { return len(a.ids) }
+
+// Get returns the object with the given ID as of the seq (shared,
+// read-only — same contract as View.Get).
+func (a *AsOfView) Get(id core.ID) (*core.Object, error) {
+	if o, ok := a.objects[id]; ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+}
+
+// Lookup returns the object with the given name as of the seq.
+func (a *AsOfView) Lookup(name string) (*core.Object, error) {
+	if id, ok := a.byName[name]; ok {
+		return a.objects[id], nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+}
+
+// Interpretation returns the interpretation of a BLOB as of the seq.
+func (a *AsOfView) Interpretation(id blob.ID) (*interp.Interpretation, error) {
+	if it, ok := a.interps[id]; ok {
+		return it, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoInterp, id)
+}
+
+// descendants mirrors View.descendants over the as-of object graph.
+func (a *AsOfView) descendants(src core.ID) idSet {
+	out := idSet{}
+	queue := []core.ID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, dep := range a.deps[cur] {
+			if _, seen := out[dep]; !seen {
+				out[dep] = struct{}{}
+				queue = append(queue, dep)
+			}
+		}
+	}
+	return out
+}
+
+// runIndexed mirrors (*View).runIndexed's selection and emit-window
+// semantics exactly — same match predicate, same global ID order, same
+// count-versus-window rules — over the reconstructed state. There is
+// no per-seq index to plan against; the walk is a scan of the as-of
+// object set, which retention keeps bounded.
+func (a *AsOfView) runIndexed(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int, needTotal, clone bool) (out []*core.Object, total int) {
+	if offset < 0 {
+		offset = 0
+	}
+	reach := make([]idSet, 0, len(sel.Reach))
+	for _, src := range sel.Reach {
+		reach = append(reach, a.descendants(src))
+	}
+	match := func(o *core.Object) bool {
+		if sel.Kind != nil && o.Kind != *sel.Kind {
+			return false
+		}
+		if sel.Class != nil && o.Class != *sel.Class {
+			return false
+		}
+		for _, at := range sel.Attrs {
+			if o.Attrs[at.Key] != at.Value {
+				return false
+			}
+		}
+		for _, set := range reach {
+			if _, ok := set[o.ID]; !ok {
+				return false
+			}
+		}
+		if len(sel.Spans) > 0 {
+			sp, ok := a.spans[o.ID]
+			if !ok {
+				return false
+			}
+			for _, w := range sel.Spans {
+				if !sp.Overlaps(w.Start, w.End) {
+					return false
+				}
+			}
+		}
+		return pred == nil || pred(o)
+	}
+	hardCap := -1
+	if !needTotal && limit >= 0 {
+		hardCap = offset + limit
+	}
+	var matched []*core.Object
+	for _, id := range a.ids {
+		o := a.objects[id]
+		if !match(o) {
+			continue
+		}
+		matched = append(matched, o)
+		if hardCap >= 0 && len(matched) >= hardCap {
+			break
+		}
+	}
+	for _, o := range matched {
+		if !needTotal && limit >= 0 && total >= offset+limit {
+			break
+		}
+		total++
+		if clone && total > offset && (limit < 0 || len(out) < limit) {
+			out = append(out, o.Clone())
+		}
+		if !(needTotal || limit < 0 || total < offset+limit) {
+			break
+		}
+	}
+	return out, total
+}
+
+// SelectIndexed mirrors (*View).SelectIndexed as of the seq.
+func (a *AsOfView) SelectIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) []*core.Object {
+	out, _ := a.runIndexed(sel, pred, 0, limit, false, true)
+	return out
+}
+
+// CountIndexed mirrors (*View).CountIndexed as of the seq.
+func (a *AsOfView) CountIndexed(sel IndexedQuery, pred func(*core.Object) bool, limit int) int {
+	_, total := a.runIndexed(sel, pred, 0, limit, false, false)
+	return total
+}
+
+// SelectPage mirrors (*View).SelectPage as of the seq.
+func (a *AsOfView) SelectPage(sel IndexedQuery, pred func(*core.Object) bool, offset, limit int) ([]*core.Object, int) {
+	return a.runIndexed(sel, pred, offset, limit, true, true)
+}
+
+// --- invariants ----------------------------------------------------
+
+// VersionFloor returns the oldest as_of seq this view can answer.
+func (v *View) VersionFloor() uint64 { return v.verFloor }
+
+// VerifyVersions checks the view's version chains against the live
+// state: entries strictly ascending in seq, chains non-empty and
+// shard-placed by name, every live object the non-tombstone tail of
+// its own chain, every chain tail agreeing with liveness, and the
+// interpretation chains likewise. Like VerifyIndexes it runs on an
+// immutable epoch, safe concurrently with writers.
+func (v *View) VerifyVersions() error {
+	liveChains := 0
+	for si, sh := range v.shards {
+		var err error
+		sh.vers.ascend(func(id core.ID, c *verChain) bool {
+			if len(c.entries) == 0 {
+				err = fmt.Errorf("catalog: empty version chain for %v", id)
+				return false
+			}
+			if got := shardOf(c.name, len(v.shards)); got != si {
+				err = fmt.Errorf("catalog: chain %q in shard %d, name hashes to %d", c.name, si, got)
+				return false
+			}
+			if c.allTombstones() {
+				err = fmt.Errorf("catalog: all-tombstone chain retained for %v", id)
+				return false
+			}
+			var prev uint64
+			for i, ent := range c.entries {
+				if i > 0 && ent.seq <= prev {
+					err = fmt.Errorf("catalog: chain %v seq order violation: %d after %d", id, ent.seq, prev)
+					return false
+				}
+				prev = ent.seq
+				if ent.obj != nil && (ent.obj.ID != id || ent.obj.Name != c.name) {
+					err = fmt.Errorf("catalog: chain %v holds version of %v (%q)", id, ent.obj.ID, ent.obj.Name)
+					return false
+				}
+			}
+			tail := c.entries[len(c.entries)-1]
+			live, liveOK := sh.objects.get(id)
+			if tail.obj != nil {
+				liveChains++
+				if !liveOK {
+					err = fmt.Errorf("catalog: chain %v tail is live at seq %d but object is absent", id, tail.seq)
+					return false
+				}
+				if live.Name != c.name {
+					err = fmt.Errorf("catalog: chain %v name %q, live object named %q", id, c.name, live.Name)
+					return false
+				}
+			} else if liveOK {
+				err = fmt.Errorf("catalog: chain %v tail is a tombstone at seq %d but object is live", id, tail.seq)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		sh.objects.ascend(func(id core.ID, o *core.Object) bool {
+			c, ok := sh.vers.get(id)
+			if !ok {
+				err = fmt.Errorf("catalog: live object %v (%q) has no version chain", id, o.Name)
+				return false
+			}
+			if tail := c.entries[len(c.entries)-1]; tail.obj == nil {
+				err = fmt.Errorf("catalog: live object %v behind tombstoned chain", id)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if liveChains != v.count {
+		return fmt.Errorf("catalog: %d live chain tails, view holds %d objects", liveChains, v.count)
+	}
+	var err error
+	v.interpVers.ascend(func(id blob.ID, c *interpVerChain) bool {
+		if len(c.entries) == 0 || c.allTombstones() {
+			err = fmt.Errorf("catalog: degenerate interpretation chain for %v", id)
+			return false
+		}
+		var prev uint64
+		for i, ent := range c.entries {
+			if i > 0 && ent.seq <= prev {
+				err = fmt.Errorf("catalog: interp chain %v seq order violation", id)
+				return false
+			}
+			prev = ent.seq
+		}
+		tail := c.entries[len(c.entries)-1]
+		_, liveOK := v.interps.get(id)
+		if (tail.it != nil) != liveOK {
+			err = fmt.Errorf("catalog: interp chain %v tail liveness disagrees with table", id)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	var missing error
+	v.interps.ascend(func(id blob.ID, _ *interp.Interpretation) bool {
+		if _, ok := v.interpVers.get(id); !ok {
+			missing = fmt.Errorf("catalog: live interpretation %v has no version chain", id)
+			return false
+		}
+		return true
+	})
+	return missing
+}

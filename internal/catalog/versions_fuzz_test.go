@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Version frames carry the catalog's transaction-time history through
+// checkpoints, so the decoder faces whatever a torn write or bit rot
+// left on disk. The fuzz invariants mirror the WAL's: never panic,
+// never accept a frame that does not re-encode to the exact input
+// bytes, and detect every single-byte mutation of a valid frame.
+
+// verFrameCorpus builds representative valid frames for corpus seeding.
+func verFrameCorpus() [][]byte {
+	return [][]byte{
+		encodeVersionFrame(verFrameObj, 7, 42, "clip-a", []byte("gob-ish payload")),
+		encodeVersionFrame(verFrameObjTomb, 7, 43, "clip-a", nil),
+		encodeVersionFrame(verFrameInterp, 901, 41, "", bytes.Repeat([]byte{0xC3}, 200)),
+		encodeVersionFrame(verFrameInterpTomb, 901, 44, "", nil),
+	}
+}
+
+// FuzzVersionChainDecode throws arbitrary bytes at the version frame
+// decoder. Never panic; reject with ErrVersionFrame; and any frame it
+// accepts must re-encode byte-identically (the format has exactly one
+// rendering per record, so decode∘encode is the identity on accepted
+// inputs).
+func FuzzVersionChainDecode(f *testing.F) {
+	for _, frame := range verFrameCorpus() {
+		f.Add(frame)
+		f.Add(frame[:len(frame)-3]) // torn tail
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TV")) // magic alone
+	f.Add([]byte("not a version frame"))
+	long := encodeVersionFrame(verFrameObj, 1, 1, "x", []byte("p"))
+	long[20], long[21] = 0xFF, 0xFF // absurd name length
+	f.Add(long)
+	badKind := encodeVersionFrame(verFrameObj, 1, 1, "x", []byte("p"))
+	badKind[3] = 9 // unknown kind
+	f.Add(badKind)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, id, seq, name, payload, err := decodeVersionFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrVersionFrame) {
+				t.Fatalf("rejection is not ErrVersionFrame: %v", err)
+			}
+			return
+		}
+		re := encodeVersionFrame(kind, id, seq, name, payload)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame does not re-encode to input: %x vs %x", re, data)
+		}
+	})
+}
+
+// FuzzVersionChainCorruption mutates one byte of a valid frame and
+// asserts the CRC (or framing) rejects it — a version chain must never
+// be rebuilt from silently altered history.
+func FuzzVersionChainCorruption(f *testing.F) {
+	f.Add(0, 0, byte(0x01))
+	f.Add(1, 3, byte(0x80))  // kind byte
+	f.Add(2, 15, byte(0xFF)) // seq bytes
+	f.Add(3, 25, byte(0x20)) // payload / CRC region
+	f.Fuzz(func(t *testing.T, which, pos int, mask byte) {
+		if mask == 0 {
+			return // not a mutation
+		}
+		corpus := verFrameCorpus()
+		if which %= len(corpus); which < 0 {
+			which += len(corpus)
+		}
+		frame := append([]byte(nil), corpus[which]...)
+		if pos %= len(frame); pos < 0 {
+			pos += len(frame)
+		}
+		frame[pos] ^= mask
+		if _, _, _, _, _, err := decodeVersionFrame(frame); err == nil {
+			t.Fatalf("single-byte corruption at %d (mask %02x) not detected", pos, mask)
+		} else if !errors.Is(err, ErrVersionFrame) {
+			t.Fatalf("rejection is not ErrVersionFrame: %v", err)
+		}
+	})
+}

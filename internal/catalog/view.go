@@ -63,6 +63,10 @@ type shardState struct {
 	objects tmap[core.ID, *core.Object]
 	byName  tmap[string, core.ID]
 	ix      pIndexes
+	// vers holds the transaction-time version chain of every object
+	// whose name hashes to this shard, including tombstoned (deleted)
+	// ones still within the retention window (versions.go).
+	vers tmap[core.ID, *verChain]
 }
 
 // View is one immutable epoch of the catalog. All methods are safe
@@ -73,6 +77,11 @@ type View struct {
 	shards  []*shardState
 	interps tmap[blob.ID, *interp.Interpretation]
 	count   int
+	// interpVers is the interpretation table's version-chain analog of
+	// shardState.vers; verFloor is the oldest as_of seq this epoch can
+	// answer (versions.go).
+	interpVers tmap[blob.ID, *interpVerChain]
+	verFloor   uint64
 }
 
 func newView(db *DB, nShards int) *View {
@@ -230,12 +239,14 @@ func (r *epochRing) at(epoch uint64) *View {
 // cloned lazily: an edit that touches 1 of N shards copies one
 // shardState header and the treap spines of that shard only.
 type viewEdit struct {
-	db      *DB
-	base    *View
-	shards  []*shardState
-	touched []bool
-	interps tmap[blob.ID, *interp.Interpretation]
-	count   int
+	db         *DB
+	base       *View
+	shards     []*shardState
+	touched    []bool
+	interps    tmap[blob.ID, *interp.Interpretation]
+	count      int
+	interpVers tmap[blob.ID, *interpVerChain]
+	verFloor   uint64
 }
 
 // beginEditLocked starts an edit over the current view. Assumes db.mu
@@ -243,12 +254,14 @@ type viewEdit struct {
 func (db *DB) beginEditLocked() *viewEdit {
 	base := db.cur.Load()
 	e := &viewEdit{
-		db:      db,
-		base:    base,
-		shards:  make([]*shardState, len(base.shards)),
-		touched: make([]bool, len(base.shards)),
-		interps: base.interps,
-		count:   base.count,
+		db:         db,
+		base:       base,
+		shards:     make([]*shardState, len(base.shards)),
+		touched:    make([]bool, len(base.shards)),
+		interps:    base.interps,
+		count:      base.count,
+		interpVers: base.interpVers,
+		verFloor:   base.verFloor,
 	}
 	copy(e.shards, base.shards)
 	return e
@@ -349,11 +362,13 @@ func (e *viewEdit) delInterp(id blob.ID) {
 func (db *DB) commitEditLocked(e *viewEdit) {
 	prev := db.cur.Load()
 	v := &View{
-		db:      db,
-		epoch:   prev.epoch + 1,
-		shards:  e.shards,
-		interps: e.interps,
-		count:   e.count,
+		db:         db,
+		epoch:      prev.epoch + 1,
+		shards:     e.shards,
+		interps:    e.interps,
+		count:      e.count,
+		interpVers: e.interpVers,
+		verFloor:   e.verFloor,
 	}
 	db.ring.add(prev)
 	db.cur.Store(v)

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"timedmedia/internal/blob"
+	"timedmedia/internal/catalog"
+	"timedmedia/internal/core"
+	"timedmedia/internal/derive"
+	"timedmedia/internal/fixtures"
+	"timedmedia/internal/timebase"
+	"timedmedia/internal/workload"
+)
+
+// The bitemporal oracle: a transaction-time read MUST equal a replay.
+// For a journaled catalog with committed history H and any sequence S,
+//
+//	query(live catalog, as_of=S)  ≡  query(fresh catalog replayed to S)
+//
+// after volatile-field normalization (epoch numbers and request IDs
+// differ by construction; workload.BodyDigest strips exactly those).
+// The left side reads version chains inside one pinned epoch view; the
+// right side rebuilds state record by record with a replay cap — two
+// independent implementations of "the catalog at S", which is what
+// makes the equivalence an oracle rather than a tautology.
+
+// histOp is one scripted mutation: an op selector plus pre-drawn
+// randomness, so a history is a pure function of its script. Greedy
+// shrinking relies on that: dropping an op re-applies the remainder
+// deterministically, and ops whose targets disappeared skip themselves
+// — any subset of a script is itself a valid script.
+type histOp struct {
+	kind       int // 0 ingest, 1 cut, 2 batch, 3 multimedia, 4 sync, 5 delete
+	r1, r2, r3 int64
+}
+
+func genScript(rng *rand.Rand, steps int) []histOp {
+	ops := make([]histOp, steps)
+	for i := range ops {
+		k := rng.Intn(10)
+		switch {
+		case i == 0 || k < 3:
+			ops[i].kind = 0 // ingest — the first op always seeds media
+		case k < 5:
+			ops[i].kind = 1
+		case k < 7:
+			ops[i].kind = 2
+		case k < 8:
+			ops[i].kind = 3
+		case k < 9:
+			ops[i].kind = 4
+		default:
+			ops[i].kind = 5
+		}
+		ops[i].r1, ops[i].r2, ops[i].r3 = rng.Int63(), rng.Int63(), rng.Int63()
+	}
+	return ops
+}
+
+// applyScript replays a history script onto a journaled catalog.
+// Deletes target derived and multimedia objects only: deleting the
+// last non-derived reader of a BLOB garbage-collects the BLOB, and a
+// from-scratch replay of the interpretation record would then have
+// nothing to open. Structural refusals (delete of a referenced object,
+// sync on an already-deleted composition) are outcomes of the script,
+// not failures.
+func applyScript(t *testing.T, db *catalog.DB, prefix string, script []histOp) {
+	t.Helper()
+	var videos, derived, multis []core.ID
+	n := 0
+	for _, op := range script {
+		n++
+		name := fmt.Sprintf("%s-%03d", prefix, n)
+		switch op.kind {
+		case 0:
+			id, err := db.Ingest(name, fixtures.Video(4+int(op.r1%6), 16, 12, op.r2),
+				catalog.IngestOptions{Attrs: map[string]string{"lane": fmt.Sprintf("l%d", op.r3%3)}})
+			if err != nil {
+				t.Fatalf("ingest %s: %v", name, err)
+			}
+			videos = append(videos, id)
+		case 1:
+			if len(videos) == 0 {
+				continue
+			}
+			src := videos[int(op.r1)%len(videos)]
+			from := op.r2 % 3
+			id, err := db.SelectDuration(src, name, from, from+1+op.r3%2)
+			if err != nil {
+				t.Fatalf("cut %s: %v", name, err)
+			}
+			derived = append(derived, id)
+		case 2:
+			if len(videos) == 0 {
+				continue
+			}
+			src := videos[int(op.r1)%len(videos)]
+			cut := func(from int64) []byte {
+				return derive.EncodeParams(derive.EditParams{
+					Entries: []derive.EditEntry{{Input: 0, From: from, To: from + 1}}})
+			}
+			ids, err := db.AddBatch([]catalog.BatchItem{
+				{Name: name + "a", Op: "video-edit", Inputs: []core.ID{src}, Params: cut(op.r2 % 3)},
+				{Name: name + "b", Op: "video-edit", Inputs: []core.ID{src}, Params: cut(op.r3 % 3)},
+			})
+			if err != nil {
+				t.Fatalf("batch %s: %v", name, err)
+			}
+			derived = append(derived, ids...)
+		case 3:
+			if len(videos) == 0 {
+				continue
+			}
+			a := videos[int(op.r1)%len(videos)]
+			b := videos[int(op.r2)%len(videos)]
+			id, err := db.AddMultimedia(name, timebase.Millis, []core.ComponentRef{
+				{Object: a, Start: op.r3 % 2000},
+				{Object: b, Start: 500},
+			}, nil)
+			if err != nil {
+				t.Fatalf("multimedia %s: %v", name, err)
+			}
+			multis = append(multis, id)
+		case 4:
+			if len(multis) == 0 {
+				continue
+			}
+			m := multis[int(op.r1)%len(multis)]
+			err := db.AddSync(m, 0, 1, 5+op.r2%20)
+			if err != nil && !errors.Is(err, catalog.ErrNotFound) {
+				t.Fatalf("sync: %v", err)
+			}
+		case 5:
+			pool := derived
+			if op.r3%2 == 0 && len(multis) > 0 {
+				pool = multis
+			}
+			if len(pool) == 0 {
+				continue
+			}
+			err := db.Delete(pool[int(op.r1)%len(pool)])
+			if err != nil && !errors.Is(err, catalog.ErrInUse) && !errors.Is(err, catalog.ErrNotFound) {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+	}
+}
+
+// copyDir copies every regular file of a catalog directory into a
+// fresh one, so a replay opens its own journal handles instead of
+// sharing segment files with the live catalog.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+type probeResp struct {
+	status int
+	digest string
+	body   string
+}
+
+func fetch(t *testing.T, url string) probeResp {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probeResp{resp.StatusCode,
+		workload.BodyDigest(resp.Header.Get("Content-Type"), body), string(body)}
+}
+
+// withParam appends one key=value to a path that may or may not carry
+// a query string already.
+func withParam(path, kv string) string {
+	if strings.Contains(path, "?") {
+		return path + "&" + kv
+	}
+	return path + "?" + kv
+}
+
+// queryShapes draws the probe set for one sequence: planner filters,
+// pagination, a count, and a point read of a scripted name (which may
+// well 404 on both sides — also an equivalence).
+func queryShapes(prng *rand.Rand, nOps int) []string {
+	shapes := []string{
+		"/v1/query?kind=video&limit=50",
+		"/v1/query?class=derived&sort=name&limit=50",
+		fmt.Sprintf("/v1/query?live_at=%.3f&limit=50", prng.Float64()*3),
+		fmt.Sprintf("/v1/query?kind=video&sort=name&limit=2&offset=%d", prng.Intn(3)),
+		"/v1/query?count=1",
+	}
+	name := fmt.Sprintf("h-%03d", 1+prng.Intn(nOps))
+	if prng.Intn(2) == 0 {
+		name += "a" // a batch item name
+	}
+	return append(shapes, "/v1/objects/"+name)
+}
+
+// bitemporalDiff builds the scripted history in a journaled catalog,
+// then for a deterministic set of probe sequences compares every live
+// as_of=S read against a fresh catalog replayed to S (replay cap).
+// Returns "" when fully equivalent, else a description of the first
+// divergence. Probes include the boundaries: sequence 1, the newest
+// sequence, and a sequence past the end ("as of the future" must read
+// as the latest state).
+func bitemporalDiff(t *testing.T, seed int64, script []histOp) string {
+	t.Helper()
+	dir := t.TempDir()
+	store := blob.NewMemStore()
+	db, err := catalog.Open(dir, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseJournal()
+	applyScript(t, db, "h", script)
+	maxSeq := db.Seq()
+	live := httptest.NewServer(New(db))
+	defer live.Close()
+	liveEpoch := db.CurrentView().Epoch()
+
+	prng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	probes := []uint64{1, maxSeq, maxSeq + 7}
+	for i := 0; i < 4 && maxSeq > 1; i++ {
+		probes = append(probes, 1+uint64(prng.Int63())%maxSeq)
+	}
+	for _, S := range probes {
+		rdb, err := catalog.Open(copyDir(t, dir), store, catalog.WithReplayCap(S))
+		if err != nil {
+			return fmt.Sprintf("replay to seq %d: %v", S, err)
+		}
+		// The replayed catalog rebuilt its own version chains from the
+		// journal — they must verify just like the live ones.
+		if err := rdb.CurrentView().VerifyVersions(); err != nil {
+			rdb.CloseJournal()
+			return fmt.Sprintf("replay to seq %d: %v", S, err)
+		}
+		replay := httptest.NewServer(New(rdb))
+		asOf := fmt.Sprintf("as_of=%d", S)
+		for si, shape := range queryShapes(prng, len(script)) {
+			lr := fetch(t, live.URL+withParam(shape, asOf))
+			rr := fetch(t, replay.URL+shape)
+			if lr.status != rr.status || lr.digest != rr.digest {
+				replay.Close()
+				rdb.CloseJournal()
+				return fmt.Sprintf("seq %d, %s: live as_of %d %q vs replay %d %q",
+					S, shape, lr.status, lr.body, rr.status, rr.body)
+			}
+			if si == 0 {
+				// epoch= composes with as_of=: pinning the epoch the
+				// request would resolve to anyway must change nothing.
+				pinned := fetch(t, live.URL+withParam(withParam(shape, asOf),
+					fmt.Sprintf("epoch=%d", liveEpoch)))
+				if pinned.status != lr.status || pinned.digest != lr.digest {
+					replay.Close()
+					rdb.CloseJournal()
+					return fmt.Sprintf("seq %d, %s: epoch pin changed the as_of read: %d %q vs %d %q",
+						S, shape, pinned.status, pinned.body, lr.status, lr.body)
+				}
+			}
+		}
+		replay.Close()
+		rdb.CloseJournal()
+	}
+	return ""
+}
+
+// shrinkScript greedily minimizes a failing history, dropping one op
+// at a time while the divergence persists.
+func shrinkScript(t *testing.T, seed int64, script []histOp) []histOp {
+	t.Helper()
+	for changed := true; changed; {
+		changed = false
+		for i := range script {
+			trial := append(append([]histOp{}, script[:i]...), script[i+1:]...)
+			if len(trial) == 0 {
+				continue
+			}
+			if bitemporalDiff(t, seed, trial) != "" {
+				script, changed = trial, true
+				break
+			}
+		}
+	}
+	return script
+}
+
+// TestBitemporalOracle is the battery: 100 seeded random histories,
+// each probed at boundary and random sequences across filter,
+// pagination, count, point-read and epoch-pinned shapes.
+func TestBitemporalOracle(t *testing.T) {
+	histories := 100
+	if testing.Short() {
+		histories = 10
+	}
+	for h := 0; h < histories; h++ {
+		seed := int64(4000 + h)
+		rng := rand.New(rand.NewSource(seed))
+		script := genScript(rng, 8+rng.Intn(5))
+		if d := bitemporalDiff(t, seed, script); d != "" {
+			min := shrinkScript(t, seed, script)
+			t.Fatalf("bitemporal divergence (seed %d)\n  %s\n  minimal script (%d ops): %+v\n  minimal divergence: %s",
+				seed, d, len(min), min, bitemporalDiff(t, seed, min))
+		}
+	}
+}
+
+// TestBitemporalOracleAcrossCheckpoint runs the oracle across the
+// persistence boundary: history → full Save → more history →
+// incremental Checkpoint → Load a copy. The loaded catalog's version
+// chains came entirely out of snapshot version frames (the checkpoint
+// compacted the journal), so every as_of answer it gives must be
+// byte-equal to the live catalog's.
+func TestBitemporalOracleAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	store := blob.NewMemStore()
+	db, err := catalog.Open(dir, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseJournal()
+	rng := rand.New(rand.NewSource(7))
+	script := genScript(rng, 12)
+	applyScript(t, db, "a", script[:6])
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	applyScript(t, db, "b", script[6:])
+	if err := db.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	maxSeq := db.Seq()
+
+	ldb, err := catalog.Load(copyDir(t, dir), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ldb.CurrentView().VerifyVersions(); err != nil {
+		t.Fatalf("loaded chains do not verify: %v", err)
+	}
+	if err := ldb.CurrentView().VerifyIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	live := httptest.NewServer(New(db))
+	defer live.Close()
+	loaded := httptest.NewServer(New(ldb))
+	defer loaded.Close()
+	for S := uint64(1); S <= maxSeq; S++ {
+		for _, shape := range []string{
+			"/v1/query?kind=video&limit=50",
+			"/v1/query?class=multimedia&limit=50",
+			"/v1/objects/a-001",
+		} {
+			p := withParam(shape, fmt.Sprintf("as_of=%d", S))
+			lr, rr := fetch(t, live.URL+p), fetch(t, loaded.URL+p)
+			if lr.status != rr.status || lr.digest != rr.digest {
+				t.Fatalf("seq %d, %s: live %d %q vs loaded %d %q",
+					S, shape, lr.status, lr.body, rr.status, rr.body)
+			}
+		}
+	}
+}
+
+// TestBitemporalRetentionGone pins the deterministic failure mode: a
+// catalog retaining only the committed state (retention 1) evicts a
+// chain's history on its first re-edit, and every as_of below the
+// floor answers 410 with the stable version_gone code — the same
+// answer every time it is asked. Gone probes are counted, not failed:
+// they are the policy working.
+func TestBitemporalRetentionGone(t *testing.T) {
+	dir := t.TempDir()
+	store := blob.NewMemStore()
+	db, err := catalog.Open(dir, store, catalog.WithVersionRetention(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseJournal()
+	rng := rand.New(rand.NewSource(99))
+	applyScript(t, db, "h", genScript(rng, 14))
+	// Deterministic churn: a cut created and deleted gives its chain a
+	// second entry, which retention 1 prunes immediately.
+	src, err := db.Lookup("h-001") // the first scripted op is always an ingest
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := db.SelectDuration(src.ID, "churn", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(cut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest("after-churn", fixtures.Video(4, 16, 12, 42), catalog.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	floor := db.CurrentView().VersionFloor()
+	if floor == 0 {
+		t.Fatalf("retention 1 never raised the version floor across %d sequences", db.Seq())
+	}
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+
+	gone := 0
+	for S := uint64(1); S <= db.Seq(); S++ {
+		r := fetch(t, ts.URL+fmt.Sprintf("/v1/query?kind=video&as_of=%d&limit=50", S))
+		if S < floor {
+			gone++
+			if r.status != http.StatusGone {
+				t.Fatalf("as_of=%d below floor %d: status %d, want 410: %s", S, floor, r.status, r.body)
+			}
+			var env struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(r.body), &env); err != nil || env.Error.Code != "version_gone" {
+				t.Fatalf("as_of=%d below floor: code %q, want version_gone: %s", S, env.Error.Code, r.body)
+			}
+			// Deterministic: the same probe answers the same way again.
+			if again := fetch(t, ts.URL+fmt.Sprintf("/v1/query?kind=video&as_of=%d&limit=50", S)); again.digest != r.digest || again.status != r.status {
+				t.Fatalf("as_of=%d not deterministic: %q then %q", S, r.body, again.body)
+			}
+		} else if r.status != http.StatusOK {
+			t.Fatalf("as_of=%d at/above floor %d: status %d: %s", S, floor, r.status, r.body)
+		}
+	}
+	if gone == 0 {
+		t.Fatal("no probe landed below the floor — the eviction case went untested")
+	}
+}
+
+// TestQueryRejectsUnknownParams locks in the strict parameter
+// whitelist: a typo'd parameter (as_off=) must answer 400 bad_request
+// rather than silently matching everything.
+func TestQueryRejectsUnknownParams(t *testing.T) {
+	db := oracleDB(t, 0)
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+
+	for _, bad := range []string{
+		"/v1/query?as_off=5",
+		"/v1/query?kind=video&limitt=3",
+		"/v1/query?attrlane=x", // attr filters need the attr. prefix
+	} {
+		r := fetch(t, ts.URL+bad)
+		if r.status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, r.status)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(r.body), &env); err != nil {
+			t.Errorf("%s: not an error envelope: %s", bad, r.body)
+			continue
+		}
+		if env.Error.Code != "bad_request" || !strings.Contains(env.Error.Message, "unknown query parameter") {
+			t.Errorf("%s: envelope %+v, want bad_request naming the parameter", bad, env.Error)
+		}
+	}
+	// Every documented parameter still passes.
+	ok := fetch(t, ts.URL+"/v1/query?kind=video&class=nonderived&name_contains=a&live_at=0.1"+
+		"&min_duration=0&max_duration=100&sort=name&limit=5&offset=0&attr.lane=x&as_of=1")
+	if ok.status != http.StatusOK {
+		t.Errorf("whitelisted parameters rejected: %d %s", ok.status, ok.body)
+	}
+}

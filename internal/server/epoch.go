@@ -6,10 +6,25 @@ import (
 	"strings"
 	"time"
 
+	"timedmedia/internal/blob"
 	"timedmedia/internal/catalog"
 	"timedmedia/internal/core"
+	"timedmedia/internal/interp"
+	"timedmedia/internal/query"
 	"timedmedia/internal/telemetry"
 )
+
+// readView is the read surface a request runs against: the pinned
+// epoch view itself, or — when the request carries as_of= — a
+// transaction-time snapshot reconstructed from that view's version
+// chains. Both are immutable, so everything downstream (lookup,
+// planner, summaries, pagination) is oblivious to which one it got.
+type readView interface {
+	query.Source
+	Epoch() uint64
+	Lookup(name string) (*core.Object, error)
+	Interpretation(id blob.ID) (*interp.Interpretation, error)
+}
 
 // Epochs are a first-class API concept on every read route: a read
 // resolves the catalog to one immutable epoch view up front and runs
@@ -74,9 +89,35 @@ func etagMatch(header, etag string) bool {
 	return false
 }
 
+// asOfView narrows a pinned epoch view to the transaction-time
+// snapshot named by as_of= (a journal sequence number). Without the
+// parameter the view passes through unchanged. A sequence below the
+// retention floor answers 410 version_gone; a sequence ahead of the
+// newest commit is simply the latest state — "as of the future" and
+// "now" are the same snapshot. ok=false means the response has been
+// written. Composes with epoch=: the chains are part of the pinned
+// view, so as_of within a pinned epoch reads that epoch's history.
+func asOfView(w http.ResponseWriter, r *http.Request, v *catalog.View) (readView, bool) {
+	a := r.URL.Query().Get("as_of")
+	if a == "" {
+		return v, true
+	}
+	seq, err := strconv.ParseUint(a, 10, 64)
+	if err != nil {
+		badRequest(w, "bad as_of")
+		return nil, false
+	}
+	av, err := v.AsOf(seq)
+	if err != nil {
+		httpError(w, err)
+		return nil, false
+	}
+	return av, true
+}
+
 // lookupPinned resolves {name} against the pinned view, timing the
 // lookup into the stage histogram and the request trace.
-func (s *Server) lookupPinned(w http.ResponseWriter, r *http.Request, v *catalog.View) (*core.Object, bool) {
+func (s *Server) lookupPinned(w http.ResponseWriter, r *http.Request, v readView) (*core.Object, bool) {
 	done := telemetry.StartSpan(r.Context(), "lookup")
 	start := time.Now()
 	obj, err := v.Lookup(r.PathValue("name"))

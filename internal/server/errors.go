@@ -30,6 +30,7 @@ const (
 	CodeJournal      = "journal_failed"
 	CodeBadRequest   = "bad_request"
 	CodeEpochGone    = "epoch_gone"
+	CodeVersionGone  = "version_gone"
 	CodeOverloaded   = "overloaded"
 	CodeReadOnly     = "read_only"
 	CodeNotReady     = "not_ready"
@@ -67,6 +68,11 @@ func classify(err error) (status int, code string) {
 		// 410, not 404: the resource class still exists, the pinned
 		// epoch has been retired. Clients drop the pin and re-read.
 		return http.StatusGone, CodeEpochGone
+	case errors.Is(err, catalog.ErrVersionGone):
+		// Same shape for transaction time: the requested as_of sequence
+		// fell below the version retention floor. Deterministic and
+		// stable — replaying the same history yields the same 410.
+		return http.StatusGone, CodeVersionGone
 	case errors.Is(err, catalog.ErrDupName):
 		return http.StatusConflict, CodeDupName
 	case errors.Is(err, catalog.ErrJournal):

@@ -90,6 +90,31 @@ func attrFilters(q url.Values) ([]catalog.AttrEq, func(*core.Object) bool) {
 	}
 }
 
+// queryParams is every parameter /v1/query accepts (plus the attr.*
+// namespace). Anything else is rejected with 400 bad_request: a typo
+// like as_off= silently matching everything would corrupt downstream
+// analysis far more than a hard error does.
+var queryParams = map[string]bool{
+	"kind": true, "class": true, "name_contains": true,
+	"derived_from": true, "live_at": true, "overlaps": true,
+	"min_duration": true, "max_duration": true, "sort": true,
+	"limit": true, "offset": true, "count": true,
+	"epoch": true, "as_of": true,
+}
+
+// checkQueryParams rejects unknown /v1/query parameters, reporting
+// ok=false after writing the 400 reply.
+func checkQueryParams(w http.ResponseWriter, params url.Values) bool {
+	for key := range params {
+		if queryParams[key] || strings.HasPrefix(key, "attr.") {
+			continue
+		}
+		badRequest(w, "unknown query parameter "+strconv.Quote(key))
+		return false
+	}
+	return true
+}
+
 // parsePage reads limit/offset, reporting ok=false after writing the
 // error reply.
 func parsePage(w http.ResponseWriter, q url.Values) (limit, offset int, ok bool) {
@@ -114,14 +139,23 @@ func parsePage(w http.ResponseWriter, q url.Values) (limit, offset int, ok bool)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	if !checkQueryParams(w, params) {
+		return
+	}
 	// The whole query — planner, match, pagination, summaries — runs
 	// against one pinned epoch view: no lock is taken and concurrent
 	// commits cannot tear the result or skew total against the page.
-	v, okPin := s.pinView(w, r)
+	// With as_of= the view narrows further, to the transaction-time
+	// snapshot at that journal sequence.
+	pv, okPin := s.pinView(w, r)
 	if !okPin {
 		return
 	}
-	params := r.URL.Query()
+	v, okAs := asOfView(w, r, pv)
+	if !okAs {
+		return
+	}
 	q := query.At(v)
 
 	if v := params.Get("kind"); v != "" {

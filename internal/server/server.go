@@ -279,7 +279,7 @@ type objectSummary struct {
 // summarize renders an object against the epoch view it was read
 // from — the interpretation table is part of the epoch, so descriptor
 // and element counts stay consistent with the pinned object.
-func (s *Server) summarize(v *catalog.View, obj *core.Object) objectSummary {
+func (s *Server) summarize(v readView, obj *core.Object) objectSummary {
 	out := objectSummary{
 		ID:    uint64(obj.ID),
 		Name:  obj.Name,
@@ -301,7 +301,7 @@ func (s *Server) summarize(v *catalog.View, obj *core.Object) objectSummary {
 	return out
 }
 
-func (s *Server) track(v *catalog.View, obj *core.Object) (*interp.Track, error) {
+func (s *Server) track(v readView, obj *core.Object) (*interp.Track, error) {
 	_, tr, err := s.source(v, obj)
 	return tr, err
 }
@@ -311,7 +311,7 @@ func (s *Server) track(v *catalog.View, obj *core.Object) (*interp.Track, error)
 // objects have no stored elements — they must be expanded/played
 // instead — so they fail with ErrNotMedia rather than a
 // nil-interpretation panic.
-func (s *Server) source(v *catalog.View, obj *core.Object) (*interp.Interpretation, *interp.Track, error) {
+func (s *Server) source(v readView, obj *core.Object) (*interp.Interpretation, *interp.Track, error) {
 	if obj.Class != core.ClassNonDerived {
 		return nil, nil, fmt.Errorf("%w: %s has no stored elements", catalog.ErrNotMedia, obj.Name)
 	}
@@ -426,7 +426,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // writeListPage renders the paginated listReply envelope for page
 // starting at offset out of total matches, all computed against the
 // pinned view v.
-func writeListPage(w http.ResponseWriter, s *Server, v *catalog.View, page []*core.Object, offset, total int) {
+func writeListPage(w http.ResponseWriter, s *Server, v readView, page []*core.Object, offset, total int) {
 	// Non-nil so an empty page encodes as [] rather than null.
 	out := []objectSummary{}
 	for _, obj := range page {
@@ -441,7 +441,13 @@ func writeListPage(w http.ResponseWriter, s *Server, v *catalog.View, page []*co
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.pinView(w, r)
+	pv, ok := s.pinView(w, r)
+	if !ok {
+		return
+	}
+	// as_of= reads the object as it stood at that journal sequence —
+	// including names whose object has since been deleted or revised.
+	v, ok := asOfView(w, r, pv)
 	if !ok {
 		return
 	}
@@ -816,7 +822,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, map[string]string{"status": "ready"})
+	// seq is the newest committed journal sequence — the upper bound a
+	// client can ask for with /v1/query?as_of= (closed-loop load
+	// generators draw as-of targets from it).
+	writeJSON(w, map[string]any{"status": "ready", "seq": s.db.Seq()})
 }
 
 // writeAllowed guards a mutating route behind the write gate. When the

@@ -157,6 +157,12 @@ func runItem(client *http.Client, base string, it Item, agg *opAgg) {
 		agg.shed++
 		agg.errors++
 		return
+	case it.Op == "asof" && (status == http.StatusGone || status == http.StatusNotFound):
+		// A drawn sequence below the version retention floor (410
+		// version_gone) or a name that did not exist yet at that
+		// sequence (404) is a deterministic outcome of the draw, not a
+		// server failure.
+		return
 	case status >= 400 && !(it.Method == http.MethodPost && status == http.StatusCreated):
 		agg.errors++
 		return

@@ -26,6 +26,10 @@ type Target struct {
 type Inventory struct {
 	Names []string `json:"names"`
 	Media []Target `json:"media"`
+	// Seq is the newest committed journal sequence at inventory time —
+	// the upper bound asof ops draw their as_of= targets from. Zero
+	// means "unknown": asof ops then pin sequence 1.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // NewInventory sorts and validates the raw listing into an Inventory.
@@ -77,7 +81,7 @@ func Generate(spec *Spec, seed int64, inv *Inventory) (*Schedule, error) {
 	needsMedia := false
 	for _, g := range spec.Groups {
 		for _, op := range knownOps {
-			if op != "object" && g.Mix[op] > 0 {
+			if op != "object" && op != "asof" && g.Mix[op] > 0 {
 				needsMedia = true
 			}
 		}
@@ -196,6 +200,25 @@ func buildRequest(rng *RNG, item *Item, inv *Inventory, seed int64, mutSeq *int)
 		// pages with an epoch= pin — exercising the retention ring under
 		// a mutating workload.
 		item.Path = fmt.Sprintf("/v1/query?kind=video&limit=%d&offset=0", 2+rng.Intn(6))
+	case "asof":
+		// Transaction-time reads at a sequence drawn in [1, inv.Seq].
+		// A sequence below the retention floor answers 410 version_gone
+		// and a name absent at that sequence answers 404 — both are
+		// deterministic policy outcomes of the draw, not failures (the
+		// executor counts them as successes for asof ops).
+		maxSeq := inv.Seq
+		if maxSeq == 0 {
+			maxSeq = 1
+		}
+		at := 1 + uint64(rng.Intn(int(maxSeq)))
+		switch rng.Intn(3) {
+		case 0:
+			item.Path = fmt.Sprintf("/v1/query?kind=video&as_of=%d&limit=50", at)
+		case 1:
+			item.Path = fmt.Sprintf("/v1/query?live_at=%.3f&as_of=%d&limit=50", rng.Float64()*10, at)
+		default:
+			item.Path = fmt.Sprintf("/v1/objects/%s?as_of=%d", inv.Names[rng.Intn(len(inv.Names))], at)
+		}
 	}
 }
 

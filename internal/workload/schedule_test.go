@@ -16,6 +16,7 @@ func testInventory(t *testing.T) *Inventory {
 	if err != nil {
 		t.Fatal(err)
 	}
+	inv.Seq = 9
 	return inv
 }
 
@@ -31,7 +32,7 @@ func allOpsSpec() *Spec {
 				Name: "readers", Clients: 3,
 				Arrival: Arrival{Process: "poisson", Rate: 30},
 				Diurnal: &Diurnal{Amplitude: 0.6, PeriodSec: 3},
-				Mix:     map[string]int{"object": 3, "expand": 2, "element": 3, "query": 2, "pquery": 1},
+				Mix:     map[string]int{"object": 3, "expand": 2, "element": 3, "query": 2, "pquery": 1, "asof": 2},
 			},
 			{
 				Name: "editors", Clients: 2,

@@ -40,7 +40,8 @@ type Group struct {
 	Diurnal *Diurnal `json:"diurnal,omitempty"`
 	// Mix is the weighted operation mix, op name → weight. Known ops:
 	// object, expand, element, cut, batch, query, pquery (epoch-pinned
-	// two-page query).
+	// two-page query), asof (transaction-time as_of= read at a drawn
+	// journal sequence).
 	Mix map[string]int `json:"mix"`
 }
 
@@ -78,7 +79,7 @@ type Diurnal struct {
 // knownOps is the closed set of schedulable operations, in the fixed
 // order weighted draws iterate (the order is part of the
 // deterministic contract).
-var knownOps = []string{"object", "expand", "element", "cut", "batch", "query", "pquery"}
+var knownOps = []string{"object", "expand", "element", "cut", "batch", "query", "pquery", "asof"}
 
 // mutatingOps are the ops that create objects; they need media
 // targets with at least two elements.
